@@ -1,0 +1,101 @@
+// E12 — atomic query evaluation (Sec. 4.1).
+// Claims: the reverse-DN-ordered store answers scoped atomic queries with
+// range scans proportional to the subtree size, and the B-tree / trie /
+// suffix-array indexes beat full scans for selective filters — "atomic
+// queries can be evaluated efficiently", the premise every theorem builds
+// on.
+
+#include "bench_util.h"
+#include "exec/atomic.h"
+#include "gen/dif_gen.h"
+#include "gen/paper_data.h"
+#include "index/attr_index.h"
+
+using namespace ndq;
+using namespace ndq::bench;
+
+int main() {
+  PrintHeader("E12: atomic queries — scans, scopes and indexes "
+              "(bench_atomic)",
+              "scoped range scans + index-assisted selection");
+
+  std::printf("\nscope locality (reads vs. subtree size):\n");
+  std::printf("%10s %10s | %10s %10s %10s\n", "entries", "store_pgs",
+              "rd(base)", "rd(one)", "rd(sub)");
+  for (int scale : {1, 4, 16}) {
+    gen::DifOptions opt;
+    opt.num_orgs = 2 * scale;
+    DirectoryInstance inst = gen::GenerateDif(opt);
+    SimDisk disk;
+    EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+    SimDisk scratch;
+    Dn base = gen::MustDn("ou=userProfiles, dc=sub0, dc=org0, dc=com");
+    AtomicFilter f = AtomicFilter::True();
+    uint64_t reads[3];
+    Scope scopes[3] = {Scope::kBase, Scope::kOne, Scope::kSub};
+    for (int i = 0; i < 3; ++i) {
+      disk.ResetStats();
+      EntryList out =
+          EvalAtomic(&scratch, store, base, scopes[i], f).TakeValue();
+      reads[i] = disk.stats().page_reads;
+      FreeRun(&scratch, &out).ok();
+    }
+    std::printf("%10zu %10llu | %10llu %10llu %10llu\n", inst.size(),
+                (unsigned long long)store.num_pages(),
+                (unsigned long long)reads[0], (unsigned long long)reads[1],
+                (unsigned long long)reads[2]);
+  }
+  std::printf("  expected: reads track the subtree, not the directory.\n");
+
+  std::printf("\nindex-assisted vs. full-scan selection (whole-forest "
+              "scope):\n");
+  std::printf("%-28s | %8s | %10s %10s %8s\n", "filter", "results",
+              "rd(scan)", "rd(index)", "speedup");
+  gen::DifOptions opt;
+  opt.num_orgs = 16;
+  DirectoryInstance inst = gen::GenerateDif(opt);
+  SimDisk disk;
+  EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+  BufferPool pool(&disk, 512);
+  IndexSpec spec;
+  spec.int_attrs = {"priority", "SLARulePriority", "sourcePort"};
+  spec.string_attrs = {"objectClass", "uid", "SourceAddress", "CANumber"};
+  spec.dn_attrs = {"SLATPRef"};
+  AttributeIndexes indexes =
+      AttributeIndexes::Build(&pool, store, spec).TakeValue();
+  SimDisk scratch;
+  Dn root = gen::MustDn("dc=com");
+
+  for (const char* filter_text :
+       {"CANumber=9731000005", "uid=user7", "sourcePort=25",
+        "SLARulePriority<=1", "priority>=3", "SourceAddress=204.*",
+        "objectClass=SLADSAction", "objectClass=QHP"}) {
+    AtomicFilter f = AtomicFilter::Parse(filter_text).TakeValue();
+    disk.ResetStats();
+    EntryList scan =
+        EvalAtomic(&scratch, store, root, Scope::kSub, f).TakeValue();
+    uint64_t rd_scan = disk.stats().page_reads;
+    disk.ResetStats();
+    Result<std::optional<Run>> via =
+        indexes.EvalAtomic(&scratch, store, root, Scope::kSub, f);
+    uint64_t rd_index = disk.stats().page_reads;
+    size_t results = scan.num_records;
+    FreeRun(&scratch, &scan).ok();
+    if (via.ok() && via->has_value()) {
+      std::printf("%-28s | %8zu | %10llu %10llu %7.1fx\n", filter_text,
+                  results, (unsigned long long)rd_scan,
+                  (unsigned long long)rd_index,
+                  rd_index > 0 ? static_cast<double>(rd_scan) / rd_index
+                               : 0.0);
+      FreeRun(&scratch, &**via).ok();
+    } else {
+      std::printf("%-28s | %8zu | %10llu %10s %8s\n", filter_text, results,
+                  (unsigned long long)rd_scan, "n/a", "-");
+    }
+  }
+  std::printf(
+      "  expected: selective filters (point lookups) win big via the\n"
+      "  indexes; low-selectivity filters (objectClass=QHP) approach the\n"
+      "  scan cost — the classic access-path trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// E1 — boolean operators (Sec. 4.2, after Jacobson et al. [21]).
+// Claim: (& L1 L2), (| L1 L2), (- L1 L2) cost O((|L1|+|L2|)/B) page I/Os
+// via one merging scan, and the output stays sorted.
+
+#include "bench_util.h"
+#include "exec/boolean.h"
+
+using namespace ndq;
+using namespace ndq::bench;
+
+int main() {
+  PrintHeader("E1: boolean operator I/O (bench_boolean)",
+              "linear I/O in (|L1|+|L2|)/B for &, |, -");
+  std::printf("%10s %10s %8s | %8s %8s %8s | %s\n", "entries", "in_pages",
+              "in_recs", "io(&)", "io(|)", "io(-)", "io(&)/in_pages");
+  std::vector<uint64_t> xs, ys;
+  for (size_t n : {4000, 8000, 16000, 32000, 64000}) {
+    OperandLists lists(n);
+    uint64_t io[3];
+    QueryOp ops[3] = {QueryOp::kAnd, QueryOp::kOr, QueryOp::kDiff};
+    for (int i = 0; i < 3; ++i) {
+      uint64_t before = lists.disk.stats().TotalTransfers();
+      EntryList out =
+          EvalBoolean(&lists.disk, ops[i], lists.l1, lists.l2).TakeValue();
+      io[i] = lists.disk.stats().TotalTransfers() - before;
+      FreeRun(&lists.disk, &out).ok();
+    }
+    uint64_t in_pages = lists.l1.pages.size() + lists.l2.pages.size();
+    std::printf("%10zu %10llu %8llu | %8llu %8llu %8llu | %.2f\n", n,
+                (unsigned long long)in_pages,
+                (unsigned long long)(lists.l1.num_records +
+                                     lists.l2.num_records),
+                (unsigned long long)io[0], (unsigned long long)io[1],
+                (unsigned long long)io[2],
+                static_cast<double>(io[0]) / in_pages);
+    xs.push_back(in_pages);
+    ys.push_back(io[0]);
+  }
+  PrintGrowth(xs, ys, "io(&)");
+  std::printf("  expected: ~2x per 2x input (linear), constant io/in_pages\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E13 — end-to-end DEN workloads (Secs. 2 and 7; Figs. 11 and 12).
+// Claims: the full application pipelines — QoS packet-to-action
+// resolution and TOPS dial-by-name — run with I/O dominated by the
+// relevant subtrees and scale gracefully with directory size.
+
+#include <chrono>
+
+#include "apps/qos.h"
+#include "apps/tops.h"
+#include "bench_util.h"
+#include "gen/dif_gen.h"
+#include "gen/paper_data.h"
+
+using namespace ndq;
+using namespace ndq::bench;
+
+int main() {
+  PrintHeader("E13: DEN application workloads (bench_den_apps)",
+              "QoS match + TOPS resolve, scaling with directory size");
+
+  std::printf("%10s %10s | %12s %12s | %12s %12s\n", "entries", "store_pgs",
+              "qos io/req", "qos us/req", "tops io/req", "tops us/req");
+  for (int scale : {1, 2, 4, 8}) {
+    gen::DifOptions opt;
+    opt.num_orgs = 2 * scale;
+    opt.subdomains_per_org = 2;
+    opt.policies_per_domain = 16;
+    opt.subscribers_per_domain = 25;
+    DirectoryInstance inst = gen::GenerateDif(opt);
+    SimDisk disk, scratch;
+    EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+
+    apps::QosPolicyEngine qos(&scratch, &store,
+                              gen::MustDn("dc=sub0, dc=org0, dc=com"));
+    apps::TopsResolver tops(&scratch, &store,
+                            gen::MustDn("dc=sub0, dc=org0, dc=com"));
+
+    const int kReqs = 50;
+    // --- QoS ---
+    uint64_t io0 = disk.stats().TotalTransfers() +
+                   scratch.stats().TotalTransfers();
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReqs; ++i) {
+      apps::PacketProfile packet;
+      packet.source_address = std::to_string(200 + i % 20) + ".7.3.2";
+      packet.source_port = (i % 2 == 0) ? 25 : 443;
+      packet.timestamp = 19980408120000 + i;
+      packet.day_of_week = 1 + i % 7;
+      if (!qos.Match(packet).ok()) return 1;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    uint64_t qos_io = disk.stats().TotalTransfers() +
+                      scratch.stats().TotalTransfers() - io0;
+    double qos_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / kReqs;
+
+    // --- TOPS ---
+    io0 = disk.stats().TotalTransfers() + scratch.stats().TotalTransfers();
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReqs; ++i) {
+      apps::CallContext ctx{"", 900 + (i % 10) * 100, 1 + i % 7};
+      if (!tops.Resolve("user" + std::to_string(i % 25), ctx).ok()) {
+        return 1;
+      }
+    }
+    t1 = std::chrono::steady_clock::now();
+    uint64_t tops_io = disk.stats().TotalTransfers() +
+                       scratch.stats().TotalTransfers() - io0;
+    double tops_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / kReqs;
+
+    std::printf("%10zu %10llu | %12.1f %12.1f | %12.1f %12.1f\n",
+                inst.size(), (unsigned long long)store.num_pages(),
+                static_cast<double>(qos_io) / kReqs, qos_us,
+                static_cast<double>(tops_io) / kReqs, tops_us);
+  }
+  std::printf(
+      "\nexpected: per-request I/O grows with the *domain* subtree (fixed\n"
+      "here), not the whole directory — locality from the hierarchical\n"
+      "namespace; latency stays in the sub-millisecond range.\n");
+  return 0;
+}

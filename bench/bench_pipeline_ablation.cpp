@@ -1,0 +1,103 @@
+// E14 — pipelined sorted dataflow (Sec. 8.2).
+// Claim: "since each operator gets sorted input lists, and computes a
+// sorted output list, no additional sorting of the result of an
+// intermediate operator is necessary". Ablation: an engine that does NOT
+// maintain the invariant must externally re-sort every intermediate list,
+// paying (N/B)·log(N/B) between operators.
+
+#include "bench_util.h"
+#include "exec/atomic.h"
+#include "exec/boolean.h"
+#include "exec/evaluator.h"
+#include "exec/hierarchy.h"
+#include "gen/dif_gen.h"
+#include "gen/paper_data.h"
+#include "storage/external_sort.h"
+
+using namespace ndq;
+using namespace ndq::bench;
+
+namespace {
+
+// Re-sorts an entry list (what a sorted-order-oblivious engine would do
+// between operators).
+EntryList Resort(SimDisk* disk, EntryList list) {
+  auto key_fn = [](std::string_view rec) {
+    Result<std::string_view> key = PeekEntryKey(rec);
+    return key.ok() ? *key : std::string_view();
+  };
+  ExternalSortOptions opts;
+  opts.memory_budget = 64 * 1024;  // bounded memory, like the operators
+  ExternalSorter sorter(disk, key_fn, opts);
+  RunReader reader(disk, list);
+  std::string rec;
+  while (reader.Next(&rec).ValueOrDie()) {
+    if (!sorter.Add(rec).ok()) break;
+  }
+  FreeRun(disk, &list).ok();
+  return sorter.Finish().TakeValue();
+}
+
+// The 3-operator plan of Example 5.3, executed operator by operator.
+// When `resort` is set, every intermediate list is re-sorted first.
+uint64_t RunPlan(const EntryStore& store, SimDisk* scratch, bool resort) {
+  SimDisk* d = scratch;
+  uint64_t before = d->stats().TotalTransfers();
+  Dn root = gen::MustDn("dc=com");
+  auto atom = [&](const char* filter) {
+    return EvalAtomic(d, store, root, Scope::kSub,
+                      AtomicFilter::Parse(filter).TakeValue())
+        .TakeValue();
+  };
+  EntryList dcs = atom("objectClass=dcObject");
+  EntryList ports = atom("sourcePort=25");
+  EntryList profiles = atom("objectClass=trafficProfile");
+  EntryList dcs2 = atom("objectClass=dcObject");
+  if (resort) {
+    dcs = Resort(d, std::move(dcs));
+    ports = Resort(d, std::move(ports));
+    profiles = Resort(d, std::move(profiles));
+    dcs2 = Resort(d, std::move(dcs2));
+  }
+  EntryList anded =
+      EvalBoolean(d, QueryOp::kAnd, ports, profiles).TakeValue();
+  if (resort) anded = Resort(d, std::move(anded));
+  EntryList out = EvalHierarchy(d, QueryOp::kCoDescendants, dcs, anded,
+                                &dcs2, std::nullopt)
+                      .TakeValue();
+  if (resort) out = Resort(d, std::move(out));
+  uint64_t io = d->stats().TotalTransfers() - before;
+  for (EntryList* l : {&dcs, &ports, &profiles, &dcs2, &anded, &out}) {
+    FreeRun(d, l).ok();
+  }
+  return io;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E14: pipelined sorted dataflow ablation "
+              "(bench_pipeline_ablation)",
+              "Sec. 8.2 — no intermediate re-sorts needed");
+  std::printf("%10s | %12s %14s %10s\n", "entries", "io(pipeline)",
+              "io(+resorts)", "overhead");
+  for (int scale : {1, 2, 4, 8, 16}) {
+    gen::DifOptions opt;
+    opt.num_orgs = 2 * scale;
+    opt.profiles_per_domain = 12;
+    DirectoryInstance inst = gen::GenerateDif(opt);
+    SimDisk disk;
+    EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+    SimDisk scratch1, scratch2;
+    uint64_t io_pipe = RunPlan(store, &scratch1, /*resort=*/false);
+    uint64_t io_sort = RunPlan(store, &scratch2, /*resort=*/true);
+    std::printf("%10zu | %12llu %14llu %9.2fx\n", inst.size(),
+                (unsigned long long)io_pipe, (unsigned long long)io_sort,
+                io_pipe > 0 ? static_cast<double>(io_sort) / io_pipe : 0.0);
+  }
+  std::printf(
+      "\nexpected: the re-sorting engine pays a growing constant-factor\n"
+      "overhead (and would grow logarithmically once intermediates exceed\n"
+      "the sort's memory budget); the pipeline never sorts.\n");
+  return 0;
+}

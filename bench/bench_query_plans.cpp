@@ -1,0 +1,90 @@
+// E8/E9 — whole-query evaluation (Theorems 8.3 and 8.4).
+// Claims: an L2 query tree evaluates bottom-up in O(|Q|·|L|/B) page I/Os
+// with constant main memory, where |L| is the cumulative size of the
+// atomic sub-query outputs; an L3 query adds only the pair-list sorts
+// (N log N). Main memory is constant by construction: every operator uses
+// single-page stream buffers plus fixed-size spillable-stack windows,
+// independent of directory size.
+
+#include "bench_util.h"
+#include "exec/evaluator.h"
+#include "gen/dif_gen.h"
+#include "gen/paper_data.h"
+#include "query/parser.h"
+
+using namespace ndq;
+using namespace ndq::bench;
+
+namespace {
+
+// Example 5.3's shape: which subnets specify SMTP traffic profiles.
+const char* kL2Query =
+    "(dc (dc=com ? sub ? objectClass=dcObject)"
+    "    (& (dc=com ? sub ? sourcePort=25)"
+    "       (dc=com ? sub ? objectClass=trafficProfile))"
+    "    (dc=com ? sub ? objectClass=dcObject))";
+
+// Example 6.2's shape with aggregation.
+const char* kL2AggQuery =
+    "(c (dc=com ? sub ? objectClass=TOPSSubscriber)"
+    "   (dc=com ? sub ? objectClass=QHP) count($2)>=3)";
+
+// The Section 7 flagship (L3).
+const char* kL3Query =
+    "(dv (dc=com ? sub ? objectClass=SLADSAction)"
+    "    (g (vd (dc=com ? sub ? objectClass=SLAPolicyRules)"
+    "           (& (dc=com ? sub ? sourcePort=25)"
+    "              (dc=com ? sub ? objectClass=trafficProfile))"
+    "           SLATPRef)"
+    "       min(SLARulePriority)=min(min(SLARulePriority)))"
+    "    SLADSActRef)";
+
+void Sweep(const char* label, const char* text) {
+  QueryPtr q = ParseQuery(text).TakeValue();
+  std::printf("\n%s  [%s, |Q|=%zu nodes]\n", label,
+              LanguageToString(q->MinimalLanguage()), q->NodeCount());
+  std::printf("%10s %10s %8s | %10s %10s | %10s\n", "entries", "|L| recs",
+              "results", "io(query)", "io/|L|pgs", "store pgs");
+  for (int scale : {1, 2, 4, 8, 16}) {
+    gen::DifOptions opt;
+    opt.num_orgs = 2 * scale;
+    opt.subdomains_per_org = 2;
+    DirectoryInstance inst = gen::GenerateDif(opt);
+    SimDisk disk;
+    EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+    SimDisk scratch;
+    Evaluator evaluator(&scratch, &store);
+    uint64_t before =
+        disk.stats().TotalTransfers() + scratch.stats().TotalTransfers();
+    std::vector<Entry> result = evaluator.EvaluateToEntries(*q).TakeValue();
+    uint64_t io = disk.stats().TotalTransfers() +
+                  scratch.stats().TotalTransfers() - before;
+    // |L| = cumulative atomic sub-query output (Theorem 8.3's input size).
+    uint64_t l_records = evaluator.stats().atomic_output_records;
+    double l_pages = static_cast<double>(l_records) / 40.0;  // ~40/page
+    std::printf("%10zu %10llu %8zu | %10llu %10.2f | %10llu\n", inst.size(),
+                (unsigned long long)l_records, result.size(),
+                (unsigned long long)io, l_pages > 0 ? io / l_pages : 0.0,
+                (unsigned long long)store.num_pages());
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E8: whole L2 query plans (bench_query_plans)",
+              "Theorem 8.3 — I/O linear in |Q|·|L|/B, constant memory");
+  Sweep("Example 5.3 (pure L1/L2 plan)", kL2Query);
+  Sweep("Example 6.2 (structural aggregate plan)", kL2AggQuery);
+
+  PrintHeader("E9: whole L3 query plans (bench_query_plans)",
+              "Theorem 8.4 — N log N via the embedded-reference sorts");
+  Sweep("Section 7 flagship (vd/dv plan)", kL3Query);
+
+  std::printf(
+      "\nmemory note: every operator holds single-page buffers plus a\n"
+      "fixed spill window (default %zu stack items), independent of the\n"
+      "directory size — the constant-memory claim of Theorems 8.3/8.4.\n",
+      ExecOptions().stack_window);
+  return 0;
+}

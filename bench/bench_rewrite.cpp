@@ -1,0 +1,98 @@
+// E15 — the query optimizer (src/query/rewrite.h).
+// Claims: (a) merging same-base/same-scope boolean operands into one LDAP
+// scan saves a full leaf scan per merge; (b) contracting the Theorem
+// 8.2(d) p/c-via-ac/dc expansion removes the whole-forest third operand —
+// the exact cost Sec. 8.1 warns about when motivating keeping p and c as
+// primitives; (c) the cost model predicts the same ordering the measured
+// I/O shows.
+
+#include "bench_util.h"
+#include "exec/cost.h"
+#include "exec/evaluator.h"
+#include "gen/dif_gen.h"
+#include "gen/paper_data.h"
+#include "query/parser.h"
+#include "query/rewrite.h"
+
+using namespace ndq;
+using namespace ndq::bench;
+
+namespace {
+
+struct Measured {
+  uint64_t io;
+  size_t results;
+  double estimated;
+};
+
+Measured Measure(SimDisk* disk, const EntryStore& store,
+                 const QueryPtr& q) {
+  SimDisk scratch;
+  Evaluator evaluator(&scratch, &store);
+  disk->ResetStats();
+  std::vector<Entry> r = evaluator.EvaluateToEntries(*q).TakeValue();
+  return Measured{
+      disk->stats().TotalTransfers() + scratch.stats().TotalTransfers(),
+      r.size(), EstimateCost(store, *q).TotalPages()};
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E15: query optimizer (bench_rewrite)",
+              "rewrites reduce scans; the Thm 8.2(d) expansion is costly");
+
+  std::printf("%10s | %-22s | %10s %10s %8s | %10s %10s\n", "entries",
+              "plan", "io(orig)", "io(rewr)", "saved", "est(orig)",
+              "est(rewr)");
+  for (int scale : {2, 8}) {
+    gen::DifOptions opt;
+    opt.num_orgs = 2 * scale;
+    DirectoryInstance inst = gen::GenerateDif(opt);
+    SimDisk disk;
+    EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+
+    const struct {
+      const char* label;
+      const char* text;
+    } plans[] = {
+        {"merge & into one scan",
+         "(& (dc=com ? sub ? objectClass=QHP)"
+         "   (dc=com ? sub ? priority<=1))"},
+        {"merge nested | and &",
+         "(& (| (dc=com ? sub ? objectClass=QHP)"
+         "      (dc=com ? sub ? objectClass=callAppearance))"
+         "   (dc=com ? sub ? priority=1))"},
+        {"contract p from ac",
+         "(ac (dc=com ? sub ? objectClass=QHP)"
+         "    (dc=com ? sub ? objectClass=TOPSSubscriber)"
+         "    (null-dn ? sub ? objectClass=*))"},
+        {"contract c from dc",
+         "(dc (dc=com ? sub ? objectClass=TOPSSubscriber)"
+         "    (dc=com ? sub ? objectClass=QHP)"
+         "    (null-dn ? sub ? objectClass=*))"},
+    };
+    for (const auto& plan : plans) {
+      QueryPtr q = ParseQuery(plan.text).TakeValue();
+      QueryPtr r = RewriteQuery(q);
+      Measured orig = Measure(&disk, store, q);
+      Measured rewr = Measure(&disk, store, r);
+      if (orig.results != rewr.results) {
+        std::printf("RESULT MISMATCH on %s!\n", plan.label);
+        return 1;
+      }
+      std::printf("%10zu | %-22s | %10llu %10llu %7.2fx | %10.0f %10.0f\n",
+                  inst.size(), plan.label,
+                  (unsigned long long)orig.io, (unsigned long long)rewr.io,
+                  rewr.io > 0 ? static_cast<double>(orig.io) / rewr.io
+                              : 0.0,
+                  orig.estimated, rewr.estimated);
+    }
+  }
+  std::printf(
+      "\nexpected: scan merges save ~1.5-2x I/O; contracting the Thm\n"
+      "8.2(d) expansion removes the whole-forest scan of the third\n"
+      "operand (the cost Sec. 8.1 cites for keeping p/c primitive); the\n"
+      "cost-model estimates rank plans the same way as measured I/O.\n");
+  return 0;
+}

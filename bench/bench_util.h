@@ -1,0 +1,80 @@
+// Shared helpers for the experiment harnesses (see DESIGN.md, Sec. 4).
+//
+// Every harness validates a *shape* claim from the paper — linear I/O,
+// N log N I/O, quadratic naive baselines, crossovers — by measuring page
+// transfers on the simulated disk across a size sweep and printing the
+// series plus a fitted growth ratio.
+
+#ifndef NDQ_BENCH_BENCH_UTIL_H_
+#define NDQ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exec/common.h"
+#include "gen/random_forest.h"
+
+namespace ndq {
+namespace bench {
+
+/// Two operand lists drawn from a random forest by class membership.
+struct OperandLists {
+  SimDisk disk{4096};
+  DirectoryInstance inst{Schema(), false};
+  EntryList l1, l2, l3;
+
+  explicit OperandLists(size_t n, uint32_t seed = 7) {
+    gen::RandomForestOptions opt;
+    opt.seed = seed;
+    opt.num_entries = n;
+    inst = gen::RandomForest(opt);
+    std::vector<const Entry*> c0, c01, c2;
+    for (const auto& [key, entry] : inst) {
+      (void)key;
+      if (entry.HasClass("class0")) c0.push_back(&entry);
+      if (entry.HasClass("class1") || entry.HasClass("class0")) {
+        c01.push_back(&entry);
+      }
+      if (entry.HasClass("class2")) c2.push_back(&entry);
+    }
+    l1 = MakeEntryList(&disk, c0).TakeValue();
+    l2 = MakeEntryList(&disk, c01).TakeValue();
+    l3 = MakeEntryList(&disk, c2).TakeValue();
+  }
+
+  uint64_t InputPages() const {
+    return l1.pages.size() + l2.pages.size() + l3.pages.size();
+  }
+  uint64_t InputRecords() const {
+    return l1.num_records + l2.num_records + l3.num_records;
+  }
+};
+
+inline void PrintHeader(const char* experiment, const char* claim) {
+  std::printf("\n==================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("claim: %s\n", claim);
+  std::printf("==================================================\n");
+}
+
+/// Prints the growth factor between successive sweep points: ~doubling for
+/// linear behaviour under a doubling sweep, ~4x for quadratic.
+inline void PrintGrowth(const std::vector<uint64_t>& xs,
+                        const std::vector<uint64_t>& ys,
+                        const char* label) {
+  std::printf("  growth of %s per 2x input:", label);
+  for (size_t i = 1; i < ys.size(); ++i) {
+    double gx = xs[i] > 0 && xs[i - 1] > 0
+                    ? static_cast<double>(xs[i]) / xs[i - 1]
+                    : 0.0;
+    double gy = ys[i - 1] > 0 ? static_cast<double>(ys[i]) / ys[i - 1] : 0.0;
+    std::printf(" %.2fx(in %.1fx)", gy, gx);
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace ndq
+
+#endif  // NDQ_BENCH_BENCH_UTIL_H_

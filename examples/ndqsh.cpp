@@ -1,0 +1,254 @@
+// ndqsh — an interactive shell for querying network directories.
+//
+// Usage:
+//   ndqsh [ldif-file]        load entries from LDIF (default: the paper's
+//                            Figures 1/11/12 sample data)
+//
+// Commands (one per line; queries are the paper's syntax, Figs. 7-10):
+//   (dc=att, dc=com ? sub ? surName=jagadish)      evaluate a query
+//   .load <file>                                   load more LDIF
+//   .add                                           read one LDIF record
+//                                                  from following lines
+//                                                  (end with a blank line)
+//   .delete <dn>                                   remove an entry
+//   .explain <query>                               classify + optimize
+//   .stats                                         store and I/O counters
+//   .help / .quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/ldif.h"
+#include "core/ldif_update.h"
+#include "exec/cost.h"
+#include "exec/evaluator.h"
+#include "gen/paper_data.h"
+#include "query/parser.h"
+#include "query/rewrite.h"
+#include "query/validate.h"
+#include "store/directory_store.h"
+
+namespace {
+
+struct Shell {
+  ndq::SimDisk disk;
+  ndq::SimDisk scratch;
+  ndq::DirectoryStore store{&disk, ndq::gen::PaperSchema()};
+  ndq::Evaluator evaluator{&scratch, &store};
+
+  int LoadLdifText(const std::string& text) {
+    ndq::Result<std::vector<ndq::Entry>> entries =
+        ndq::ParseLdif(store.schema(), text);
+    if (!entries.ok()) {
+      std::printf("parse error: %s\n", entries.status().ToString().c_str());
+      return -1;
+    }
+    int n = 0;
+    for (ndq::Entry& e : *entries) {
+      ndq::Status s = store.Put(std::move(e));
+      if (!s.ok()) {
+        std::printf("put error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      ++n;
+    }
+    return n;
+  }
+
+  void ApplyFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      std::printf("cannot open %s\n", path.c_str());
+      return;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    ndq::Result<size_t> n =
+        ndq::ApplyLdifChanges(store.schema(), buf.str(), &store);
+    if (!n.ok()) {
+      std::printf("apply error: %s\n", n.status().ToString().c_str());
+      return;
+    }
+    std::printf("applied %zu change record(s)\n", *n);
+  }
+
+  void LoadFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      std::printf("cannot open %s\n", path.c_str());
+      return;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    int n = LoadLdifText(buf.str());
+    if (n >= 0) std::printf("loaded %d entries from %s\n", n, path.c_str());
+  }
+
+  void RunQuery(const std::string& text) {
+    ndq::Result<ndq::QueryPtr> q = ndq::ParseQuery(text);
+    if (!q.ok()) {
+      std::printf("parse error: %s\n", q.status().ToString().c_str());
+      return;
+    }
+    ndq::QueryPtr optimized = ndq::RewriteQuery(*q);
+    ndq::Result<std::vector<ndq::Entry>> r =
+        evaluator.EvaluateToEntries(*optimized);
+    if (!r.ok()) {
+      std::printf("eval error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    for (const ndq::Entry& e : *r) {
+      std::printf("%s", e.ToString().c_str());
+      std::printf("\n");
+    }
+    std::printf("# %zu entr%s  [%s]\n", r->size(),
+                r->size() == 1 ? "y" : "ies",
+                ndq::LanguageToString((*q)->MinimalLanguage()));
+  }
+
+  void Explain(const std::string& text) {
+    ndq::Result<ndq::QueryPtr> q = ndq::ParseQuery(text);
+    if (!q.ok()) {
+      std::printf("parse error: %s\n", q.status().ToString().c_str());
+      return;
+    }
+    std::printf("language: %s, %zu node(s)\n",
+                ndq::LanguageToString((*q)->MinimalLanguage()),
+                (*q)->NodeCount());
+    for (const ndq::QueryIssue& issue :
+         ndq::ValidateQuery(store.schema(), **q)) {
+      std::printf("%s: %s\n",
+                  issue.severity == ndq::QueryIssue::Severity::kError
+                      ? "error"
+                      : "warning",
+                  issue.message.c_str());
+    }
+    ndq::RewriteStats stats;
+    ndq::QueryPtr r = ndq::RewriteQuery(*q, &stats);
+    if (stats.Total() > 0) {
+      std::printf("optimized (%zu rewrite(s)): %s\n", stats.Total(),
+                  r->ToString().c_str());
+    } else {
+      std::printf("already optimal: %s\n", r->ToString().c_str());
+    }
+    std::printf("plan:\n%s", ndq::ExplainPlan(store, *r).c_str());
+    ndq::CostEstimate est = ndq::EstimateCost(store, *r);
+    std::printf("estimated cost: ~%.0f pages (%.0f leaf + %.0f operator)\n",
+                est.TotalPages(), est.leaf_pages, est.operator_pages);
+  }
+
+  void Stats() {
+    std::printf("store: %llu entries, %zu segment(s), memtable %zu\n",
+                (unsigned long long)store.num_entries(),
+                store.num_segments(), store.memtable_size());
+    std::printf("data disk:    %s\n", disk.stats().ToString().c_str());
+    std::printf("scratch disk: %s\n", scratch.stats().ToString().c_str());
+  }
+};
+
+const char* kHelp =
+    "commands:\n"
+    "  (<query>)           evaluate (paper syntax; try .help-examples)\n"
+    "  .load <file>        load LDIF entries\n"
+    "  .apply <file>       apply LDIF change records (changetype:)\n"
+    "  .add                read one LDIF record until a blank line\n"
+    "  .delete <dn>        remove an entry\n"
+    "  .explain <query>    classify + show optimizer rewrites\n"
+    "  .stats              store / I/O counters\n"
+    "  .help-examples      sample queries\n"
+    "  .quit\n";
+
+const char* kExamples =
+    "examples:\n"
+    "  (dc=att, dc=com ? sub ? surName=jagadish)\n"
+    "  (c (dc=com ? sub ? objectClass=organizationalUnit)\n"
+    "     (dc=com ? sub ? surName=jagadish))\n"
+    "  (g (dc=com ? sub ? objectClass=SLAPolicyRules)\n"
+    "     count(SLAPVPRef) > 1)\n"
+    "  (vd (dc=com ? sub ? objectClass=SLAPolicyRules)\n"
+    "      (dc=com ? sub ? sourcePort=25) SLATPRef)\n"
+    "  (ldap dc=com ? sub ? (&(objectClass=QHP)(priority<=1)))\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  if (argc > 1) {
+    shell.LoadFile(argv[1]);
+  } else {
+    int n = shell.LoadLdifText(
+        ndq::WriteLdif(ndq::gen::PaperInstance()));
+    std::printf("loaded %d entries (paper sample data)\n", n);
+  }
+  std::printf("ndqsh — type .help for commands\n");
+
+  std::string line;
+  bool interactive = true;
+  while (interactive) {
+    std::printf("ndq> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Trim.
+    size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    size_t e = line.find_last_not_of(" \t");
+    line = line.substr(b, e - b + 1);
+
+    if (line == ".quit" || line == ".exit") break;
+    if (line == ".help") {
+      std::printf("%s", kHelp);
+    } else if (line == ".help-examples") {
+      std::printf("%s", kExamples);
+    } else if (line == ".stats") {
+      shell.Stats();
+    } else if (line.rfind(".load ", 0) == 0) {
+      shell.LoadFile(line.substr(6));
+    } else if (line.rfind(".apply ", 0) == 0) {
+      shell.ApplyFile(line.substr(7));
+    } else if (line == ".add") {
+      std::string record, rec_line;
+      while (std::getline(std::cin, rec_line) && !rec_line.empty()) {
+        record += rec_line;
+        record += '\n';
+      }
+      int n = shell.LoadLdifText(record);
+      if (n >= 0) std::printf("added %d entr%s\n", n, n == 1 ? "y" : "ies");
+    } else if (line.rfind(".delete ", 0) == 0) {
+      ndq::Result<ndq::Dn> dn = ndq::Dn::Parse(line.substr(8));
+      if (!dn.ok()) {
+        std::printf("bad dn: %s\n", dn.status().ToString().c_str());
+        continue;
+      }
+      ndq::Status s = shell.store.Remove(*dn);
+      std::printf("%s\n", s.ok() ? "deleted" : s.ToString().c_str());
+    } else if (line.rfind(".explain ", 0) == 0) {
+      std::string q = line.substr(9);
+      // Multi-line queries: keep reading while parens are unbalanced.
+      while (std::count(q.begin(), q.end(), '(') >
+             std::count(q.begin(), q.end(), ')')) {
+        std::string more;
+        if (!std::getline(std::cin, more)) break;
+        q += ' ';
+        q += more;
+      }
+      shell.Explain(q);
+    } else if (line[0] == '(') {
+      std::string q = line;
+      while (std::count(q.begin(), q.end(), '(') >
+             std::count(q.begin(), q.end(), ')')) {
+        std::string more;
+        if (!std::getline(std::cin, more)) break;
+        q += ' ';
+        q += more;
+      }
+      shell.RunQuery(q);
+    } else {
+      std::printf("unknown command (try .help)\n");
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

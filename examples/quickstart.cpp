@@ -1,0 +1,97 @@
+// Quickstart: build a directory, pose queries in L0-L3, read the answers.
+//
+// This walks the public API end to end:
+//   1. define a schema (Def. 3.1) and an instance (Def. 3.2),
+//   2. bulk-load it into the external-memory entry store,
+//   3. parse paper-syntax queries and evaluate them,
+//   4. inspect results and I/O statistics.
+
+#include <cstdio>
+
+#include "exec/evaluator.h"
+#include "query/parser.h"
+#include "testing_support.h"
+
+namespace {
+
+void RunQuery(ndq::Evaluator* evaluator, const char* title,
+              const char* text) {
+  std::printf("--- %s\n    %s\n", title, text);
+  ndq::Result<ndq::QueryPtr> query = ndq::ParseQuery(text);
+  if (!query.ok()) {
+    std::printf("    parse error: %s\n", query.status().ToString().c_str());
+    return;
+  }
+  std::printf("    language: %s\n",
+              ndq::LanguageToString((*query)->MinimalLanguage()));
+  ndq::Result<std::vector<ndq::Entry>> result =
+      evaluator->EvaluateToEntries(**query);
+  if (!result.ok()) {
+    std::printf("    eval error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("    %zu result(s):\n", result->size());
+  for (const ndq::Entry& e : *result) {
+    std::printf("      %s\n", e.dn().ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  // The paper's own example data: Figures 1 (DNS levels), 11 (TOPS),
+  // 12 (QoS policies).
+  ndq::DirectoryInstance instance = ndq::gen::PaperInstance();
+  std::printf("directory instance: %zu entries\n", instance.size());
+
+  ndq::SimDisk disk;  // the simulated block device
+  ndq::Result<ndq::EntryStore> store =
+      ndq::EntryStore::BulkLoad(&disk, instance);
+  if (!store.ok()) {
+    std::printf("bulk load failed: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("entry store: %llu entries on %llu pages\n\n",
+              (unsigned long long)store->num_entries(),
+              (unsigned long long)store->num_pages());
+
+  ndq::Evaluator evaluator(&disk, &*store);
+
+  RunQuery(&evaluator, "Atomic query (LDAP-expressible)",
+           "(dc=att, dc=com ? sub ? surName=jagadish)");
+
+  RunQuery(&evaluator, "L0: set difference across bases (Example 4.1)",
+           "(- (dc=att, dc=com ? sub ? surName=jagadish)\n"
+           "   (dc=research, dc=att, dc=com ? sub ? surName=jagadish))");
+
+  RunQuery(&evaluator, "L1: hierarchical selection (Example 5.1)",
+           "(c (dc=att, dc=com ? sub ? objectClass=organizationalUnit)\n"
+           "   (dc=att, dc=com ? sub ? surName=jagadish))");
+
+  RunQuery(&evaluator, "L1: closest-subnet selection (Example 5.3)",
+           "(dc (dc=att, dc=com ? sub ? objectClass=dcObject)\n"
+           "    (& (dc=att, dc=com ? sub ? sourcePort=25)\n"
+           "       (dc=att, dc=com ? sub ? objectClass=trafficProfile))\n"
+           "    (dc=att, dc=com ? sub ? objectClass=dcObject))");
+
+  RunQuery(&evaluator, "L2: aggregate selection (Example 6.1)",
+           "(g (dc=research, dc=att, dc=com ? sub ? "
+           "objectClass=SLAPolicyRules)\n"
+           "   count(SLAPVPRef) > 1)");
+
+  RunQuery(&evaluator,
+           "L3: the Section 7 flagship — action of the highest-priority "
+           "policy governing SMTP traffic",
+           "(dv (dc=att, dc=com ? sub ? objectClass=SLADSAction)\n"
+           "    (g (vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)\n"
+           "           (& (dc=att, dc=com ? sub ? sourcePort=25)\n"
+           "              (dc=att, dc=com ? sub ? "
+           "objectClass=trafficProfile))\n"
+           "           SLATPRef)\n"
+           "       min(SLARulePriority)=min(min(SLARulePriority)))\n"
+           "    SLADSActRef)");
+
+  std::printf("\ndisk I/O for the session: %s\n",
+              disk.stats().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Shared includes for the example programs.
+
+#ifndef NDQ_EXAMPLES_TESTING_SUPPORT_H_
+#define NDQ_EXAMPLES_TESTING_SUPPORT_H_
+
+#include "gen/dif_gen.h"
+#include "gen/paper_data.h"
+#include "store/entry_store.h"
+
+#endif  // NDQ_EXAMPLES_TESTING_SUPPORT_H_

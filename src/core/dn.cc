@@ -1,0 +1,308 @@
+#include "core/dn.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ndq {
+
+namespace {
+
+bool IsValidAttrName(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0]))) return false;
+  for (char c : name) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (!std::isalnum(u) && c != '-' && c != '_' && c != '.') return false;
+  }
+  return true;
+}
+
+bool HasControlBytes(const std::string& s) {
+  for (char c : s) {
+    if (static_cast<unsigned char>(c) < 0x20) return true;
+  }
+  return false;
+}
+
+// Splits `text` on unescaped occurrences of `delim`, preserving escape
+// sequences in the returned segments.
+std::vector<std::string> SplitUnescaped(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool escaped = false;
+  for (char c : text) {
+    if (escaped) {
+      cur += c;
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      cur += c;
+      escaped = true;
+      continue;
+    }
+    if (c == delim) {
+      out.push_back(std::move(cur));
+      cur.clear();
+      continue;
+    }
+    cur += c;
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+// Removes one level of backslash escaping; rejects trailing lone backslash.
+Result<std::string> Unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool escaped = false;
+  for (char c : text) {
+    if (escaped) {
+      out += c;
+      escaped = false;
+    } else if (c == '\\') {
+      escaped = true;
+    } else {
+      out += c;
+    }
+  }
+  if (escaped) {
+    return Status::InvalidArgument("dangling backslash in DN component");
+  }
+  return out;
+}
+
+// Trims unescaped ASCII spaces from both ends (escape sequences are still
+// present in `text`, so a trailing "\\ " survives).
+std::string_view TrimSpaces(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() && text[begin] == ' ') ++begin;
+  size_t end = text.size();
+  while (end > begin && text[end - 1] == ' ' &&
+         (end < 2 || text[end - 2] != '\\')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string EscapeValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == ',' || c == '+' || c == '=' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Rdn> Rdn::Make(
+    std::vector<std::pair<std::string, std::string>> pairs) {
+  if (pairs.empty()) {
+    return Status::InvalidArgument("RDN must contain at least one pair");
+  }
+  for (const auto& [attr, value] : pairs) {
+    if (!IsValidAttrName(attr)) {
+      return Status::InvalidArgument("invalid attribute name in RDN: '" +
+                                     attr + "'");
+    }
+    if (value.empty()) {
+      return Status::InvalidArgument("empty value for RDN attribute " + attr);
+    }
+    if (HasControlBytes(value)) {
+      return Status::InvalidArgument("control bytes in RDN value for " + attr);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  Rdn rdn;
+  rdn.pairs_ = std::move(pairs);
+  return rdn;
+}
+
+Result<Rdn> Rdn::Single(std::string attr, std::string value) {
+  return Make({{std::move(attr), std::move(value)}});
+}
+
+std::string Rdn::ToKeyComponent() const {
+  std::string out;
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    if (i > 0) out += kHierPairSep;
+    out += pairs_[i].first;
+    out += '=';
+    out += pairs_[i].second;
+  }
+  return out;
+}
+
+std::string Rdn::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    if (i > 0) out += '+';
+    out += pairs_[i].first;
+    out += '=';
+    out += EscapeValue(pairs_[i].second);
+  }
+  return out;
+}
+
+Result<Dn> Dn::Make(std::vector<Rdn> rdns) {
+  for (const Rdn& r : rdns) {
+    if (r.empty()) {
+      return Status::InvalidArgument("DN contains an empty RDN component");
+    }
+  }
+  Dn dn;
+  dn.rdns_ = std::move(rdns);
+  dn.RebuildKey();
+  return dn;
+}
+
+Result<Dn> Dn::Parse(std::string_view text) {
+  std::string_view trimmed = TrimSpaces(text);
+  if (trimmed.empty()) return Dn();  // the null dn
+  std::vector<Rdn> rdns;
+  for (const std::string& comp : SplitUnescaped(trimmed, ',')) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (const std::string& pair_text : SplitUnescaped(comp, '+')) {
+      std::string_view pt = TrimSpaces(pair_text);
+      // Split at the first unescaped '='.
+      size_t eq = std::string::npos;
+      bool escaped = false;
+      for (size_t i = 0; i < pt.size(); ++i) {
+        if (escaped) {
+          escaped = false;
+        } else if (pt[i] == '\\') {
+          escaped = true;
+        } else if (pt[i] == '=') {
+          eq = i;
+          break;
+        }
+      }
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument(
+            "DN component missing '=': '" + std::string(pt) + "'");
+      }
+      NDQ_ASSIGN_OR_RETURN(std::string attr,
+                           Unescape(TrimSpaces(pt.substr(0, eq))));
+      NDQ_ASSIGN_OR_RETURN(std::string value,
+                           Unescape(TrimSpaces(pt.substr(eq + 1))));
+      pairs.emplace_back(std::move(attr), std::move(value));
+    }
+    NDQ_ASSIGN_OR_RETURN(Rdn rdn, Rdn::Make(std::move(pairs)));
+    rdns.push_back(std::move(rdn));
+  }
+  return Make(std::move(rdns));
+}
+
+Result<Dn> Dn::FromHierKey(std::string_view key) {
+  if (key.empty()) return Dn();
+  std::vector<Rdn> rdns;
+  size_t begin = 0;
+  while (begin <= key.size()) {
+    size_t end = key.find(kHierKeySep, begin);
+    if (end == std::string_view::npos) end = key.size();
+    std::string_view comp = key.substr(begin, end - begin);
+    std::vector<std::pair<std::string, std::string>> pairs;
+    size_t pb = 0;
+    while (pb <= comp.size()) {
+      size_t pe = comp.find(kHierPairSep, pb);
+      if (pe == std::string_view::npos) pe = comp.size();
+      std::string_view pair = comp.substr(pb, pe - pb);
+      size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        return Status::Corruption("malformed HierKey component");
+      }
+      pairs.emplace_back(std::string(pair.substr(0, eq)),
+                         std::string(pair.substr(eq + 1)));
+      if (pe == comp.size()) break;
+      pb = pe + 1;
+    }
+    NDQ_ASSIGN_OR_RETURN(Rdn rdn, Rdn::Make(std::move(pairs)));
+    // Key is root-first; Dn stores leaf-first.
+    rdns.insert(rdns.begin(), std::move(rdn));
+    if (end == key.size()) break;
+    begin = end + 1;
+  }
+  return Make(std::move(rdns));
+}
+
+void Dn::RebuildKey() {
+  key_.clear();
+  for (auto it = rdns_.rbegin(); it != rdns_.rend(); ++it) {
+    if (it != rdns_.rbegin()) key_ += kHierKeySep;
+    key_ += it->ToKeyComponent();
+  }
+}
+
+Dn Dn::Parent() const {
+  if (depth() <= 1) return Dn();
+  Dn parent;
+  parent.rdns_.assign(rdns_.begin() + 1, rdns_.end());
+  parent.RebuildKey();
+  return parent;
+}
+
+Dn Dn::Child(Rdn child_rdn) const {
+  Dn child;
+  child.rdns_.reserve(rdns_.size() + 1);
+  child.rdns_.push_back(std::move(child_rdn));
+  child.rdns_.insert(child.rdns_.end(), rdns_.begin(), rdns_.end());
+  child.RebuildKey();
+  return child;
+}
+
+std::string Dn::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < rdns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += rdns_[i].ToString();
+  }
+  return out;
+}
+
+bool Dn::IsAncestorOf(const Dn& other) const {
+  return KeyIsAncestor(key_, other.key_);
+}
+
+bool Dn::IsParentOf(const Dn& other) const {
+  return KeyIsParent(key_, other.key_);
+}
+
+bool KeyIsAncestor(std::string_view anc, std::string_view desc) {
+  if (desc.empty()) return false;
+  if (anc.empty()) return true;  // virtual forest root
+  return desc.size() > anc.size() && desc.substr(0, anc.size()) == anc &&
+         desc[anc.size()] == kHierKeySep;
+}
+
+bool KeyIsParent(std::string_view parent, std::string_view child) {
+  if (!KeyIsAncestor(parent, child)) return false;
+  std::string_view rest =
+      parent.empty() ? child : child.substr(parent.size() + 1);
+  return rest.find(kHierKeySep) == std::string_view::npos;
+}
+
+size_t KeyDepth(std::string_view key) {
+  if (key.empty()) return 0;
+  return static_cast<size_t>(
+             std::count(key.begin(), key.end(), kHierKeySep)) +
+         1;
+}
+
+std::string_view KeyParent(std::string_view key) {
+  size_t pos = key.rfind(kHierKeySep);
+  if (pos == std::string_view::npos) return std::string_view();
+  return key.substr(0, pos);
+}
+
+std::string KeySubtreeEnd(std::string_view key) {
+  if (key.empty()) return std::string();  // unbounded: whole forest
+  std::string end(key);
+  end += static_cast<char>(kHierKeySep + 1);
+  return end;
+}
+
+}  // namespace ndq

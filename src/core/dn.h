@@ -1,0 +1,153 @@
+// Distinguished names (Def. 3.2(d)) and the reverse-DN hierarchical key.
+//
+// A DN is a sequence s1,...,sn of *sets* of (attribute, value) pairs; s1 is
+// the entry's relative distinguished name (RDN) and sn is the root-most
+// component. The paper's single physical design decision is to sort every
+// entry list by "the lexicographic ordering on the reverse of the string
+// representation of the distinguished names" [Sec 4.2, RFC 2253]: under
+// that order a parent's key is a prefix of every descendant's key, which is
+// what makes the merge- and stack-based operators of Sections 4-7 work.
+//
+// ndq materializes that order as Dn::HierKey(): the RDN components
+// serialized root -> leaf, joined with the separator byte 0x1F (which is
+// forbidden inside attribute names and values). Plain lexicographic
+// comparison of HierKeys is exactly the paper's sort order, and ancestry
+// tests become prefix tests on keys (see KeyIsAncestor / KeyIsParent).
+
+#ifndef NDQ_CORE_DN_H_
+#define NDQ_CORE_DN_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace ndq {
+
+/// Separator between RDN components inside a HierKey.
+inline constexpr char kHierKeySep = '\x1f';
+/// Separator between (attribute, value) pairs inside one RDN of a HierKey.
+inline constexpr char kHierPairSep = '\x1e';
+
+/// \brief One relative distinguished name: a non-empty set of
+/// (attribute, value) pairs, e.g. {(uid, jag)} or {(cn, x), (sn, y)}.
+///
+/// Pairs are kept sorted and de-duplicated, so two Rdns denoting the same
+/// set compare equal byte-for-byte in serialized form.
+class Rdn {
+ public:
+  Rdn() = default;
+
+  /// Builds an RDN from pairs; normalizes (sorts, dedups) and validates
+  /// that attributes are well-formed and values contain no control bytes.
+  static Result<Rdn> Make(
+      std::vector<std::pair<std::string, std::string>> pairs);
+
+  /// Convenience for the common single-pair case.
+  static Result<Rdn> Single(std::string attr, std::string value);
+
+  const std::vector<std::pair<std::string, std::string>>& pairs() const {
+    return pairs_;
+  }
+  bool empty() const { return pairs_.empty(); }
+
+  /// Serializes for HierKey use: "a=v" pairs joined with kHierPairSep.
+  std::string ToKeyComponent() const;
+  /// Serializes for display: "a=v" pairs joined with '+', values escaped.
+  std::string ToString() const;
+
+  bool operator==(const Rdn& other) const { return pairs_ == other.pairs_; }
+  bool operator!=(const Rdn& other) const { return !(*this == other); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> pairs_;
+};
+
+/// \brief A distinguished name: a sequence of RDNs, leaf-most first.
+///
+/// The empty Dn (zero components) is the "null dn": it is not a legal entry
+/// name but is accepted as a query base meaning "the whole forest"
+/// (Sec. 8.1 uses null-dn exactly this way).
+class Dn {
+ public:
+  /// Constructs the null dn.
+  Dn() = default;
+
+  /// Builds a DN from components, leaf-most first.
+  static Result<Dn> Make(std::vector<Rdn> rdns);
+
+  /// Parses the LDAP textual form, e.g.
+  /// "uid=jag, ou=userProfiles, dc=research, dc=att, dc=com".
+  /// Backslash escapes ',', '+', '=', '\\' inside values; '+' joins pairs
+  /// of a multi-valued RDN. Whitespace around separators is ignored.
+  static Result<Dn> Parse(std::string_view text);
+
+  /// Reconstructs a Dn from a HierKey previously produced by HierKey().
+  static Result<Dn> FromHierKey(std::string_view key);
+
+  bool IsNull() const { return rdns_.empty(); }
+  size_t depth() const { return rdns_.size(); }
+  const std::vector<Rdn>& rdns() const { return rdns_; }
+
+  /// The entry's relative distinguished name (first component). Requires
+  /// !IsNull().
+  const Rdn& rdn() const { return rdns_.front(); }
+
+  /// The parent DN (one component shorter); the null dn if depth() <= 1.
+  Dn Parent() const;
+
+  /// Appends `child_rdn` below this DN and returns the child DN.
+  Dn Child(Rdn child_rdn) const;
+
+  /// The hierarchical sort key (root -> leaf). Lexicographic order on these
+  /// keys is the paper's reverse-DN order; the null dn's key is "".
+  const std::string& HierKey() const { return key_; }
+
+  /// LDAP textual form, leaf-most first. The null dn renders as "".
+  std::string ToString() const;
+
+  bool IsAncestorOf(const Dn& other) const;  ///< Proper ancestor.
+  bool IsParentOf(const Dn& other) const;
+  bool IsDescendantOf(const Dn& other) const { return other.IsAncestorOf(*this); }
+  bool IsChildOf(const Dn& other) const { return other.IsParentOf(*this); }
+
+  bool operator==(const Dn& other) const { return key_ == other.key_; }
+  bool operator!=(const Dn& other) const { return !(*this == other); }
+  /// Orders by HierKey: the global sort order of the whole system.
+  bool operator<(const Dn& other) const { return key_ < other.key_; }
+
+ private:
+  std::vector<Rdn> rdns_;  // leaf first
+  std::string key_;        // root first
+
+  void RebuildKey();
+};
+
+// Key-level relatives of the Dn predicates. Operators in exec/ work on raw
+// HierKeys pulled from serialized runs and never rebuild Dn objects; these
+// free functions are the hot-path forms.
+
+/// True iff `anc` is a proper ancestor key of `desc`. The null key ""
+/// is an ancestor of every non-null key (the forest has a virtual root).
+bool KeyIsAncestor(std::string_view anc, std::string_view desc);
+
+/// True iff `parent` is the parent key of `child`.
+bool KeyIsParent(std::string_view parent, std::string_view child);
+
+/// Number of RDN components in a key (0 for the null key).
+size_t KeyDepth(std::string_view key);
+
+/// The parent key of `key` ("" if key has a single component).
+std::string_view KeyParent(std::string_view key);
+
+/// The smallest key string strictly greater than every descendant key of
+/// `key` — i.e. the exclusive upper bound of the subtree rooted at `key`.
+/// Used for scoped range scans (scope=sub).
+std::string KeySubtreeEnd(std::string_view key);
+
+}  // namespace ndq
+
+#endif  // NDQ_CORE_DN_H_

@@ -1,0 +1,85 @@
+#include "core/entry.h"
+
+#include <algorithm>
+
+#include "core/schema.h"
+
+namespace ndq {
+
+void Entry::AddValue(const std::string& attr, Value value) {
+  std::vector<Value>& vals = attrs_[attr];
+  auto it = std::lower_bound(vals.begin(), vals.end(), value);
+  if (it != vals.end() && *it == value) return;  // set semantics
+  vals.insert(it, std::move(value));
+}
+
+bool Entry::RemoveValue(const std::string& attr, const Value& value) {
+  auto mit = attrs_.find(attr);
+  if (mit == attrs_.end()) return false;
+  std::vector<Value>& vals = mit->second;
+  auto it = std::lower_bound(vals.begin(), vals.end(), value);
+  if (it == vals.end() || !(*it == value)) return false;
+  vals.erase(it);
+  if (vals.empty()) attrs_.erase(mit);
+  return true;
+}
+
+size_t Entry::RemoveAttribute(const std::string& attr) {
+  auto mit = attrs_.find(attr);
+  if (mit == attrs_.end()) return 0;
+  size_t n = mit->second.size();
+  attrs_.erase(mit);
+  return n;
+}
+
+bool Entry::HasAttribute(const std::string& attr) const {
+  return attrs_.find(attr) != attrs_.end();
+}
+
+const std::vector<Value>* Entry::Values(const std::string& attr) const {
+  auto it = attrs_.find(attr);
+  if (it == attrs_.end()) return nullptr;
+  return &it->second;
+}
+
+bool Entry::HasPair(const std::string& attr, const Value& value) const {
+  const std::vector<Value>* vals = Values(attr);
+  if (vals == nullptr) return false;
+  return std::binary_search(vals->begin(), vals->end(), value);
+}
+
+std::vector<std::string> Entry::Classes() const {
+  std::vector<std::string> out;
+  const std::vector<Value>* vals = Values(kObjectClassAttr);
+  if (vals == nullptr) return out;
+  out.reserve(vals->size());
+  for (const Value& v : *vals) {
+    if (v.is_string()) out.push_back(v.AsString());
+  }
+  return out;
+}
+
+bool Entry::HasClass(const std::string& cls) const {
+  return HasPair(kObjectClassAttr, Value::String(cls));
+}
+
+size_t Entry::NumPairs() const {
+  size_t n = 0;
+  for (const auto& [attr, vals] : attrs_) n += vals.size();
+  return n;
+}
+
+std::string Entry::ToString() const {
+  std::string out = "dn: " + dn_.ToString() + "\n";
+  for (const auto& [attr, vals] : attrs_) {
+    for (const Value& v : vals) {
+      out += attr;
+      out += ": ";
+      out += v.ToString();
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace ndq

@@ -1,0 +1,85 @@
+// Directory entries (Def. 3.2): the basic unit of information.
+
+#ifndef NDQ_CORE_ENTRY_H_
+#define NDQ_CORE_ENTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dn.h"
+#include "core/schema.h"
+#include "core/value.h"
+
+namespace ndq {
+
+/// \brief A directory entry: a distinguished name plus a set of
+/// (attribute, value) pairs.
+///
+/// An entry may belong to several classes (the values of its objectClass
+/// attribute) and an attribute may have several values — the two forms of
+/// heterogeneity Sec. 3.5 calls out. Values are kept sorted and unique per
+/// attribute, so val(r) is a set of pairs as in the formal model.
+class Entry {
+ public:
+  Entry() = default;
+  explicit Entry(Dn dn) : dn_(std::move(dn)) {}
+
+  const Dn& dn() const { return dn_; }
+  const std::string& HierKey() const { return dn_.HierKey(); }
+
+  /// Inserts (attr, value) into val(r); duplicates are ignored.
+  void AddValue(const std::string& attr, Value value);
+
+  /// Convenience inserters.
+  void AddString(const std::string& attr, std::string v) {
+    AddValue(attr, Value::String(std::move(v)));
+  }
+  void AddInt(const std::string& attr, int64_t v) {
+    AddValue(attr, Value::Int(v));
+  }
+  void AddDnRef(const std::string& attr, const Dn& target) {
+    AddValue(attr, Value::DnRef(target.ToString()));
+  }
+  void AddClass(const std::string& cls) {
+    AddString(kObjectClassAttr, cls);
+  }
+
+  /// Removes one (attr, value) pair; returns false if absent.
+  bool RemoveValue(const std::string& attr, const Value& value);
+  /// Removes all values of `attr`; returns the number removed.
+  size_t RemoveAttribute(const std::string& attr);
+
+  bool HasAttribute(const std::string& attr) const;
+  /// The (sorted) values of `attr`, or nullptr if the entry has none.
+  const std::vector<Value>* Values(const std::string& attr) const;
+  /// True iff (attr, value) is in val(r).
+  bool HasPair(const std::string& attr, const Value& value) const;
+
+  /// The classes of the entry = the values of its objectClass attribute.
+  std::vector<std::string> Classes() const;
+  bool HasClass(const std::string& cls) const;
+
+  /// Total number of (attribute, value) pairs in val(r).
+  size_t NumPairs() const;
+
+  const std::map<std::string, std::vector<Value>>& attributes() const {
+    return attrs_;
+  }
+
+  /// Multi-line rendering: the DN followed by "attr: value" lines, in the
+  /// style of the paper's figures (and of LDIF).
+  std::string ToString() const;
+
+  bool operator==(const Entry& other) const {
+    return dn_ == other.dn_ && attrs_ == other.attrs_;
+  }
+
+ private:
+  Dn dn_;
+  std::map<std::string, std::vector<Value>> attrs_;
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_CORE_ENTRY_H_

@@ -1,0 +1,127 @@
+#include "core/instance.h"
+
+namespace ndq {
+
+Status DirectoryInstance::Add(Entry entry) {
+  if (entry.dn().IsNull()) {
+    return Status::InvalidArgument("cannot add entry with null dn");
+  }
+  if (validate_) NDQ_RETURN_IF_ERROR(schema_.ValidateEntry(entry));
+  const std::string& key = entry.HierKey();
+  auto [it, inserted] = entries_.emplace(key, std::move(entry));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("dn already bound: " +
+                                 it->second.dn().ToString());
+  }
+  return Status::OK();
+}
+
+Status DirectoryInstance::Put(Entry entry) {
+  if (entry.dn().IsNull()) {
+    return Status::InvalidArgument("cannot put entry with null dn");
+  }
+  if (validate_) NDQ_RETURN_IF_ERROR(schema_.ValidateEntry(entry));
+  const std::string key = entry.HierKey();
+  entries_[key] = std::move(entry);
+  return Status::OK();
+}
+
+Status DirectoryInstance::Remove(const Dn& dn) {
+  auto it = entries_.find(dn.HierKey());
+  if (it == entries_.end()) {
+    return Status::NotFound("no entry named " + dn.ToString());
+  }
+  auto next = std::next(it);
+  if (next != entries_.end() && KeyIsAncestor(it->first, next->first)) {
+    return Status::InvalidArgument("entry " + dn.ToString() +
+                                   " has descendants; remove them first");
+  }
+  entries_.erase(it);
+  return Status::OK();
+}
+
+const Entry* DirectoryInstance::Find(const Dn& dn) const {
+  return FindByKey(dn.HierKey());
+}
+
+const Entry* DirectoryInstance::FindByKey(const std::string& hier_key) const {
+  auto it = entries_.find(hier_key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Entry*> DirectoryInstance::EntriesInScope(
+    const Dn& base, Scope scope) const {
+  std::vector<const Entry*> out;
+  const std::string& base_key = base.HierKey();
+  switch (scope) {
+    case Scope::kBase: {
+      const Entry* e = FindByKey(base_key);
+      if (e != nullptr) out.push_back(e);
+      break;
+    }
+    case Scope::kOne: {
+      const Entry* e = FindByKey(base_key);
+      if (e != nullptr) out.push_back(e);
+      // Children are contiguous within the subtree range but interleaved
+      // with deeper descendants; filter by parent test.
+      auto it = entries_.lower_bound(base_key);
+      std::string end = KeySubtreeEnd(base_key);
+      for (; it != entries_.end() && (end.empty() || it->first < end); ++it) {
+        if (KeyIsParent(base_key, it->first)) out.push_back(&it->second);
+      }
+      break;
+    }
+    case Scope::kSub: {
+      auto it = entries_.lower_bound(base_key);
+      std::string end = KeySubtreeEnd(base_key);
+      for (; it != entries_.end() && (end.empty() || it->first < end); ++it) {
+        out.push_back(&it->second);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+const Entry* DirectoryInstance::ParentOf(const Entry& entry) const {
+  Dn parent = entry.dn().Parent();
+  if (parent.IsNull()) return nullptr;
+  return Find(parent);
+}
+
+std::vector<const Entry*> DirectoryInstance::ChildrenOf(
+    const Entry& entry) const {
+  std::vector<const Entry*> out;
+  const std::string& key = entry.HierKey();
+  auto it = entries_.upper_bound(key);
+  std::string end = KeySubtreeEnd(key);
+  for (; it != entries_.end() && it->first < end; ++it) {
+    if (KeyIsParent(key, it->first)) out.push_back(&it->second);
+  }
+  return out;
+}
+
+std::vector<const Entry*> DirectoryInstance::AncestorsOf(
+    const Entry& entry) const {
+  std::vector<const Entry*> out;
+  for (Dn d = entry.dn().Parent(); !d.IsNull(); d = d.Parent()) {
+    const Entry* e = Find(d);
+    if (e != nullptr) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<const Entry*> DirectoryInstance::DescendantsOf(
+    const Entry& entry) const {
+  std::vector<const Entry*> out;
+  const std::string& key = entry.HierKey();
+  auto it = entries_.upper_bound(key);
+  std::string end = KeySubtreeEnd(key);
+  for (; it != entries_.end() && it->first < end; ++it) {
+    out.push_back(&it->second);
+  }
+  return out;
+}
+
+}  // namespace ndq

@@ -1,0 +1,75 @@
+// The in-memory directory instance I = (R, class, val, dn) of Def. 3.2,
+// organized as a directory information forest (Sec. 3.3).
+//
+// This container is the semantic reference: entries ordered by HierKey,
+// ancestry derivable from DNs alone. The external-memory store (src/store)
+// holds the same logical content on the simulated disk; tests cross-check
+// the two.
+
+#ifndef NDQ_CORE_INSTANCE_H_
+#define NDQ_CORE_INSTANCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/entry.h"
+#include "core/schema.h"
+#include "core/scope.h"
+
+namespace ndq {
+
+/// \brief A directory instance: a finite forest of entries keyed (and
+/// iterated) in reverse-DN lexicographic order.
+class DirectoryInstance {
+ public:
+  /// Constructs an empty instance of `schema`. If `validate` is false the
+  /// instance accepts schema-less data (useful for algorithm-level tests).
+  explicit DirectoryInstance(Schema schema, bool validate = true)
+      : schema_(std::move(schema)), validate_(validate) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Adds an entry; fails if the dn is already bound (dn is a key,
+  /// Def. 3.2(d)(i)) or if validation fails.
+  Status Add(Entry entry);
+
+  /// Replaces the entry with the same dn, or adds it if absent.
+  Status Put(Entry entry);
+
+  /// Removes the entry named `dn`; fails with NotFound if absent. Removal
+  /// of an entry with descendants is rejected (the namespace must remain
+  /// prefix-closed per server, as in LDAP).
+  Status Remove(const Dn& dn);
+
+  /// Looks up an entry by dn; nullptr if absent.
+  const Entry* Find(const Dn& dn) const;
+  const Entry* FindByKey(const std::string& hier_key) const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  using EntryMap = std::map<std::string, Entry>;
+  EntryMap::const_iterator begin() const { return entries_.begin(); }
+  EntryMap::const_iterator end() const { return entries_.end(); }
+
+  /// All entries within `scope` of `base`, in HierKey order (Def. 4.1 scope
+  /// semantics: kOne/kSub include the base entry itself). A null base with
+  /// kSub denotes the whole forest.
+  std::vector<const Entry*> EntriesInScope(const Dn& base, Scope scope) const;
+
+  /// Hierarchy navigation (nullptr / empty when absent).
+  const Entry* ParentOf(const Entry& entry) const;
+  std::vector<const Entry*> ChildrenOf(const Entry& entry) const;
+  std::vector<const Entry*> AncestorsOf(const Entry& entry) const;
+  std::vector<const Entry*> DescendantsOf(const Entry& entry) const;
+
+ private:
+  Schema schema_;
+  bool validate_;
+  EntryMap entries_;  // HierKey -> Entry
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_CORE_INSTANCE_H_

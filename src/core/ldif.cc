@@ -1,0 +1,98 @@
+#include "core/ldif.h"
+
+#include <sstream>
+
+namespace ndq {
+
+std::string WriteLdif(const DirectoryInstance& instance) {
+  std::string out;
+  for (const auto& [key, entry] : instance) {
+    (void)key;
+    out += entry.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string WriteLdif(const std::vector<Entry>& entries) {
+  std::string out;
+  for (const Entry& e : entries) {
+    out += e.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+std::string TrimWs(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return std::string();
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+Result<std::vector<Entry>> ParseLdif(const Schema& schema,
+                                     const std::string& text) {
+  std::vector<Entry> out;
+  std::istringstream in(text);
+  std::string line;
+  bool have_entry = false;
+  Entry current;
+  size_t lineno = 0;
+  auto flush = [&]() {
+    if (have_entry) out.push_back(std::move(current));
+    current = Entry();
+    have_entry = false;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string t = TrimWs(line);
+    if (t.empty() || t[0] == '#') {
+      flush();
+      continue;
+    }
+    size_t colon = t.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("LDIF line " + std::to_string(lineno) +
+                                     " missing ':'");
+    }
+    std::string attr = TrimWs(t.substr(0, colon));
+    std::string value = TrimWs(t.substr(colon + 1));
+    if (attr == "dn") {
+      if (have_entry) {
+        return Status::InvalidArgument("LDIF line " + std::to_string(lineno) +
+                                       ": dn inside record");
+      }
+      NDQ_ASSIGN_OR_RETURN(Dn dn, Dn::Parse(value));
+      current = Entry(std::move(dn));
+      have_entry = true;
+      continue;
+    }
+    if (!have_entry) {
+      return Status::InvalidArgument("LDIF line " + std::to_string(lineno) +
+                                     ": attribute before dn");
+    }
+    NDQ_ASSIGN_OR_RETURN(TypeKind type, schema.AttributeType(attr));
+    NDQ_ASSIGN_OR_RETURN(Value v, ParseValueAs(type, value));
+    current.AddValue(attr, std::move(v));
+  }
+  flush();
+  return out;
+}
+
+Result<size_t> LoadLdif(const std::string& text,
+                        DirectoryInstance* instance) {
+  NDQ_ASSIGN_OR_RETURN(std::vector<Entry> entries,
+                       ParseLdif(instance->schema(), text));
+  size_t n = 0;
+  for (Entry& e : entries) {
+    NDQ_RETURN_IF_ERROR(instance->Add(std::move(e)));
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace ndq

@@ -1,0 +1,35 @@
+// LDIF-style text import/export for directory instances.
+//
+// The format mirrors the entry fragments in the paper's Figures 1, 11 and
+// 12: each record is a "dn: <dn>" line followed by "attr: value" lines,
+// records separated by blank lines. Typed parsing uses the schema's tau.
+
+#ifndef NDQ_CORE_LDIF_H_
+#define NDQ_CORE_LDIF_H_
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace ndq {
+
+/// Serializes all entries of `instance` (in HierKey order).
+std::string WriteLdif(const DirectoryInstance& instance);
+
+/// Serializes a list of entries.
+std::string WriteLdif(const std::vector<Entry>& entries);
+
+/// Parses LDIF text into entries typed against `schema`. Unknown attributes
+/// are an error; values failing tau are an error.
+Result<std::vector<Entry>> ParseLdif(const Schema& schema,
+                                     const std::string& text);
+
+/// Parses and loads LDIF text into `instance` (validating per instance
+/// policy). Returns the number of entries added.
+Result<size_t> LoadLdif(const std::string& text,
+                        DirectoryInstance* instance);
+
+}  // namespace ndq
+
+#endif  // NDQ_CORE_LDIF_H_

@@ -1,0 +1,199 @@
+#include "core/ldif_update.h"
+
+#include <sstream>
+
+namespace ndq {
+
+namespace {
+
+std::string TrimWs(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return std::string();
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+// Splits the text into blank-line-separated records of trimmed lines.
+std::vector<std::vector<std::string>> SplitRecords(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string t = TrimWs(line);
+    if (t.empty()) {
+      if (!current.empty()) records.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    if (t[0] == '#') continue;
+    current.push_back(std::move(t));
+  }
+  if (!current.empty()) records.push_back(std::move(current));
+  return records;
+}
+
+Result<std::pair<std::string, std::string>> SplitAttrLine(
+    const std::string& line) {
+  size_t colon = line.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("LDIF line missing ':': " + line);
+  }
+  return std::make_pair(TrimWs(line.substr(0, colon)),
+                        TrimWs(line.substr(colon + 1)));
+}
+
+Result<LdifChange> ParseRecord(const Schema& schema,
+                               const std::vector<std::string>& lines) {
+  NDQ_ASSIGN_OR_RETURN(auto dn_kv, SplitAttrLine(lines[0]));
+  if (dn_kv.first != "dn") {
+    return Status::InvalidArgument("change record must start with dn:");
+  }
+  LdifChange change;
+  NDQ_ASSIGN_OR_RETURN(change.dn, Dn::Parse(dn_kv.second));
+
+  size_t i = 1;
+  change.type = LdifChange::Type::kAdd;
+  if (i < lines.size()) {
+    NDQ_ASSIGN_OR_RETURN(auto kv, SplitAttrLine(lines[i]));
+    if (kv.first == "changetype") {
+      if (kv.second == "add") {
+        change.type = LdifChange::Type::kAdd;
+      } else if (kv.second == "delete") {
+        change.type = LdifChange::Type::kDelete;
+      } else if (kv.second == "modify") {
+        change.type = LdifChange::Type::kModify;
+      } else {
+        return Status::InvalidArgument("unknown changetype: " + kv.second);
+      }
+      ++i;
+    }
+  }
+
+  switch (change.type) {
+    case LdifChange::Type::kDelete:
+      if (i != lines.size()) {
+        return Status::InvalidArgument(
+            "delete record has trailing content for " +
+            change.dn.ToString());
+      }
+      return change;
+    case LdifChange::Type::kAdd: {
+      change.entry = Entry(change.dn);
+      for (; i < lines.size(); ++i) {
+        NDQ_ASSIGN_OR_RETURN(auto kv, SplitAttrLine(lines[i]));
+        NDQ_ASSIGN_OR_RETURN(TypeKind type, schema.AttributeType(kv.first));
+        NDQ_ASSIGN_OR_RETURN(Value v, ParseValueAs(type, kv.second));
+        change.entry.AddValue(kv.first, std::move(v));
+      }
+      return change;
+    }
+    case LdifChange::Type::kModify: {
+      while (i < lines.size()) {
+        NDQ_ASSIGN_OR_RETURN(auto op_kv, SplitAttrLine(lines[i]));
+        LdifChange::Modification mod;
+        if (op_kv.first == "add") {
+          mod.op = LdifChange::ModOp::kAdd;
+        } else if (op_kv.first == "delete") {
+          mod.op = LdifChange::ModOp::kDelete;
+        } else if (op_kv.first == "replace") {
+          mod.op = LdifChange::ModOp::kReplace;
+        } else {
+          return Status::InvalidArgument("expected add/delete/replace, got " +
+                                         op_kv.first);
+        }
+        mod.attr = op_kv.second;
+        NDQ_ASSIGN_OR_RETURN(TypeKind type, schema.AttributeType(mod.attr));
+        ++i;
+        while (i < lines.size() && lines[i] != "-") {
+          NDQ_ASSIGN_OR_RETURN(auto kv, SplitAttrLine(lines[i]));
+          if (kv.first != mod.attr) {
+            return Status::InvalidArgument(
+                "modification values must use attribute " + mod.attr);
+          }
+          NDQ_ASSIGN_OR_RETURN(Value v, ParseValueAs(type, kv.second));
+          mod.values.push_back(std::move(v));
+          ++i;
+        }
+        if (i < lines.size()) ++i;  // consume '-'
+        change.mods.push_back(std::move(mod));
+      }
+      if (change.mods.empty()) {
+        return Status::InvalidArgument("modify record with no operations");
+      }
+      return change;
+    }
+  }
+  return Status::Internal("unreachable changetype");
+}
+
+Status ApplyOne(const LdifChange& change, UpdateTarget* target) {
+  switch (change.type) {
+    case LdifChange::Type::kAdd:
+      return target->AddEntry(change.entry);
+    case LdifChange::Type::kDelete:
+      return target->DeleteEntry(change.dn);
+    case LdifChange::Type::kModify: {
+      NDQ_ASSIGN_OR_RETURN(std::optional<Entry> current,
+                           target->GetEntry(change.dn));
+      if (!current.has_value()) {
+        return Status::NotFound("modify target missing: " +
+                                change.dn.ToString());
+      }
+      Entry entry = std::move(*current);
+      for (const LdifChange::Modification& mod : change.mods) {
+        switch (mod.op) {
+          case LdifChange::ModOp::kAdd:
+            for (const Value& v : mod.values) entry.AddValue(mod.attr, v);
+            break;
+          case LdifChange::ModOp::kDelete:
+            if (mod.values.empty()) {
+              entry.RemoveAttribute(mod.attr);
+            } else {
+              for (const Value& v : mod.values) {
+                entry.RemoveValue(mod.attr, v);
+              }
+            }
+            break;
+          case LdifChange::ModOp::kReplace:
+            entry.RemoveAttribute(mod.attr);
+            for (const Value& v : mod.values) entry.AddValue(mod.attr, v);
+            break;
+        }
+      }
+      return target->ReplaceEntry(std::move(entry));
+    }
+  }
+  return Status::Internal("unreachable changetype");
+}
+
+}  // namespace
+
+Result<std::vector<LdifChange>> ParseLdifChanges(const Schema& schema,
+                                                 const std::string& text) {
+  std::vector<LdifChange> changes;
+  for (const auto& record : SplitRecords(text)) {
+    NDQ_ASSIGN_OR_RETURN(LdifChange change, ParseRecord(schema, record));
+    changes.push_back(std::move(change));
+  }
+  return changes;
+}
+
+Result<size_t> ApplyLdifChanges(const Schema& schema,
+                                const std::string& text,
+                                UpdateTarget* target) {
+  NDQ_ASSIGN_OR_RETURN(std::vector<LdifChange> changes,
+                       ParseLdifChanges(schema, text));
+  size_t applied = 0;
+  for (const LdifChange& change : changes) {
+    Status s = ApplyOne(change, target);
+    if (!s.ok()) {
+      return s.WithContext("change record " + std::to_string(applied + 1) +
+                           " (" + change.dn.ToString() + ")");
+    }
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace ndq

@@ -1,0 +1,72 @@
+// LDIF change records: the standard textual update stream for directories.
+//
+// Supports the three changetypes the TOPS application needs for dynamic
+// policy management (Sec. 2.2):
+//
+//   dn: QHPName=dnd, uid=jag, ...      dn: uid=gone, ...
+//   changetype: add                    changetype: delete
+//   objectClass: QHP
+//   QHPName: dnd
+//
+//   dn: QHPName=weekend, uid=jag, ...
+//   changetype: modify
+//   replace: priority                  (also: add: attr / delete: attr)
+//   priority: 5
+//   -
+//
+// A record without a changetype line is an add. Records apply atomically
+// in order; the first failure stops processing and reports the record
+// index.
+
+#ifndef NDQ_CORE_LDIF_UPDATE_H_
+#define NDQ_CORE_LDIF_UPDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/entry.h"
+#include "core/schema.h"
+
+namespace ndq {
+
+/// One parsed change record.
+struct LdifChange {
+  enum class Type { kAdd, kDelete, kModify };
+  enum class ModOp { kAdd, kDelete, kReplace };
+
+  struct Modification {
+    ModOp op = ModOp::kReplace;
+    std::string attr;
+    std::vector<Value> values;  // empty for delete-whole-attribute
+  };
+
+  Type type = Type::kAdd;
+  Dn dn;
+  Entry entry;                          // kAdd payload
+  std::vector<Modification> mods;      // kModify payload
+};
+
+/// Parses LDIF change text (typed against `schema`).
+Result<std::vector<LdifChange>> ParseLdifChanges(const Schema& schema,
+                                                 const std::string& text);
+
+/// The store operations LdifChange drives; implemented by DirectoryStore
+/// (store/) and adaptable to DirectoryInstance in tests.
+class UpdateTarget {
+ public:
+  virtual ~UpdateTarget() = default;
+  virtual Status AddEntry(Entry entry) = 0;
+  virtual Status DeleteEntry(const Dn& dn) = 0;
+  virtual Result<std::optional<Entry>> GetEntry(const Dn& dn) = 0;
+  virtual Status ReplaceEntry(Entry entry) = 0;
+};
+
+/// Applies the changes in order; returns the number applied. On failure
+/// the Status message names the failing record.
+Result<size_t> ApplyLdifChanges(const Schema& schema,
+                                const std::string& text,
+                                UpdateTarget* target);
+
+}  // namespace ndq
+
+#endif  // NDQ_CORE_LDIF_UPDATE_H_

@@ -1,0 +1,82 @@
+// The directory schema S = (C, A, tau, alpha) of Definition 3.1.
+
+#ifndef NDQ_CORE_SCHEMA_H_
+#define NDQ_CORE_SCHEMA_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/value.h"
+
+namespace ndq {
+
+class Entry;
+
+/// Name of the mandatory class-membership attribute (Def. 3.1(b)).
+inline constexpr const char* kObjectClassAttr = "objectClass";
+
+/// \brief A directory schema: a finite set of classes C, attributes A, a
+/// typing function tau : A -> T, and an allowed-attribute function
+/// alpha : C -> 2^A.
+///
+/// The decoupling of attributes from classes is deliberate (Sec. 3.1): an
+/// attribute's type is global, so occurrences of the same attribute in
+/// multiple classes share one type. objectClass : string is always present.
+class Schema {
+ public:
+  /// Constructs a schema containing only the objectClass attribute.
+  Schema();
+
+  /// Declares attribute `name` with type `type`. Re-declaring with the same
+  /// type is a no-op; with a different type, an error.
+  Status AddAttribute(const std::string& name, TypeKind type);
+
+  /// Declares class `name` with the given allowed attributes, all of which
+  /// must already be declared. objectClass is implicitly allowed for every
+  /// class. Re-declaring an existing class replaces its attribute set.
+  Status AddClass(const std::string& name,
+                  const std::vector<std::string>& allowed_attrs);
+
+  bool HasAttribute(const std::string& name) const;
+  bool HasClass(const std::string& name) const;
+
+  /// tau: the type of attribute `name`.
+  Result<TypeKind> AttributeType(const std::string& name) const;
+
+  /// alpha: the allowed attributes of class `name`.
+  Result<std::set<std::string>> AllowedAttributes(
+      const std::string& name) const;
+
+  /// True iff `attr` is allowed for at least one class in `classes`
+  /// (Def. 3.2(c)(1)); objectClass is always allowed.
+  bool AttributeAllowedForAny(const std::string& attr,
+                              const std::vector<std::string>& classes) const;
+
+  /// Checks an entry against Def. 3.2(c) and (d)(ii): every attribute is
+  /// allowed by one of the entry's classes and has the declared type, the
+  /// objectClass values coincide with the classes, and rdn(r) is contained
+  /// in val(r).
+  Status ValidateEntry(const Entry& entry) const;
+
+  const std::map<std::string, TypeKind>& attributes() const {
+    return attributes_;
+  }
+  const std::map<std::string, std::set<std::string>>& classes() const {
+    return classes_;
+  }
+
+ private:
+  std::map<std::string, TypeKind> attributes_;
+  std::map<std::string, std::set<std::string>> classes_;
+};
+
+/// Parses `text` as a value of type `type` (int literal, plain string, or a
+/// DN that is normalized through Dn::Parse).
+Result<Value> ParseValueAs(TypeKind type, const std::string& text);
+
+}  // namespace ndq
+
+#endif  // NDQ_CORE_SCHEMA_H_

@@ -1,0 +1,42 @@
+// Search scopes for atomic queries (Sec. 4.1).
+
+#ifndef NDQ_CORE_SCOPE_H_
+#define NDQ_CORE_SCOPE_H_
+
+#include <string>
+
+#include "core/status.h"
+
+namespace ndq {
+
+/// The scope of an atomic query relative to its base entry (Def. 4.1).
+/// Note that, following the paper (and unlike LDAP's onelevel), kOne and
+/// kSub both *include* the base entry itself.
+enum class Scope {
+  kBase,  ///< only the base entry
+  kOne,   ///< the base entry and its children
+  kSub,   ///< the base entry and all its descendants
+};
+
+inline const char* ScopeToString(Scope s) {
+  switch (s) {
+    case Scope::kBase:
+      return "base";
+    case Scope::kOne:
+      return "one";
+    case Scope::kSub:
+      return "sub";
+  }
+  return "?";
+}
+
+inline Result<Scope> ScopeFromString(const std::string& s) {
+  if (s == "base") return Scope::kBase;
+  if (s == "one") return Scope::kOne;
+  if (s == "sub") return Scope::kSub;
+  return Status::InvalidArgument("unknown scope: " + s);
+}
+
+}  // namespace ndq
+
+#endif  // NDQ_CORE_SCOPE_H_

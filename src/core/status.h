@@ -1,0 +1,159 @@
+// Status / Result error-handling primitives for ndq.
+//
+// ndq follows the Arrow/RocksDB convention: fallible functions return a
+// Status (or a Result<T> when they produce a value) instead of throwing.
+// Exceptions never cross public API boundaries.
+
+#ifndef NDQ_CORE_STATUS_H_
+#define NDQ_CORE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ndq {
+
+/// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCorruption,
+  kNotSupported,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns a human-readable name for a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief The outcome of a fallible operation.
+///
+/// A Status is cheap to copy in the OK case (no allocation) and carries a
+/// code plus message otherwise. Use the factory functions
+/// (Status::InvalidArgument(...) etc.) to construct errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy with "<context>: " prepended to the message (no-op
+  /// for OK statuses).
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code_, context + ": " + message_);
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Access the value with ValueOrDie()/operator* only after checking ok();
+/// violations abort in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& ValueOrDie() {
+    assert(ok());
+    return *value_;
+  }
+  const T& ValueOrDie() const {
+    assert(ok());
+    return *value_;
+  }
+
+  T& operator*() { return ValueOrDie(); }
+  const T& operator*() const { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+  /// Moves the value out of the Result.
+  T TakeValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define NDQ_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::ndq::Status _ndq_status = (expr);           \
+    if (!_ndq_status.ok()) return _ndq_status;    \
+  } while (false)
+
+/// Evaluates a Result expression; on error propagates the Status, otherwise
+/// moves the value into `lhs`.
+#define NDQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr)      \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = tmp.TakeValue()
+
+#define NDQ_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define NDQ_ASSIGN_OR_RETURN_NAME(a, b) NDQ_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define NDQ_ASSIGN_OR_RETURN(lhs, rexpr) \
+  NDQ_ASSIGN_OR_RETURN_IMPL(             \
+      NDQ_ASSIGN_OR_RETURN_NAME(_ndq_result_, __LINE__), lhs, rexpr)
+
+}  // namespace ndq
+
+#endif  // NDQ_CORE_STATUS_H_

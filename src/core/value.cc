@@ -1,0 +1,41 @@
+#include "core/value.h"
+
+namespace ndq {
+
+const char* TypeKindToString(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kInt:
+      return "int";
+    case TypeKind::kString:
+      return "string";
+    case TypeKind::kDn:
+      return "dn";
+  }
+  return "unknown";
+}
+
+Result<TypeKind> TypeKindFromString(const std::string& name) {
+  if (name == "int") return TypeKind::kInt;
+  if (name == "string") return TypeKind::kString;
+  if (name == "dn" || name == "distinguishedName") return TypeKind::kDn;
+  return Status::InvalidArgument("unknown type name: " + name);
+}
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(int_);
+  return str_;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  if (is_int()) return int_ == other.int_;
+  return str_ == other.str_;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (kind_ != other.kind_) return kind_ < other.kind_;
+  if (is_int()) return int_ < other.int_;
+  return str_ < other.str_;
+}
+
+}  // namespace ndq

@@ -1,0 +1,81 @@
+// The directory type system of Section 3.1.
+//
+// The paper assumes a set T of type names, each with a domain; string and
+// int are required base types, and distinguishedName is a required complex
+// type whose values act as references to other entries. ndq represents all
+// three with the Value variant below; a DN-typed value stores the
+// *normalized string form* of the DN (see core/dn.h), which makes value
+// comparison and serialization uniform.
+
+#ifndef NDQ_CORE_VALUE_H_
+#define NDQ_CORE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+
+namespace ndq {
+
+/// The base types of the directory data model (Def. 3.1).
+enum class TypeKind : uint8_t {
+  kInt = 0,     ///< dom(int) = 64-bit signed integers.
+  kString = 1,  ///< dom(string) = UTF-8 strings (control chars excluded).
+  kDn = 2,      ///< dom(distinguishedName) = normalized DN strings.
+};
+
+/// Returns the name of a TypeKind ("int" / "string" / "dn").
+const char* TypeKindToString(TypeKind kind);
+
+/// Parses a type name; accepts "int", "string", "dn"/"distinguishedName".
+Result<TypeKind> TypeKindFromString(const std::string& name);
+
+/// \brief A typed attribute value.
+///
+/// Values are immutable after construction and totally ordered, first by
+/// kind, then by domain order (numeric for kInt, lexicographic otherwise).
+class Value {
+ public:
+  /// Constructs the int value 0.
+  Value() : kind_(TypeKind::kInt), int_(0) {}
+
+  static Value Int(int64_t v) { return Value(v); }
+  static Value String(std::string v) {
+    return Value(TypeKind::kString, std::move(v));
+  }
+  /// `normalized_dn` must be a DN string already normalized via
+  /// Dn::ToString(); Entry validation enforces this.
+  static Value DnRef(std::string normalized_dn) {
+    return Value(TypeKind::kDn, std::move(normalized_dn));
+  }
+
+  TypeKind kind() const { return kind_; }
+  bool is_int() const { return kind_ == TypeKind::kInt; }
+  bool is_string() const { return kind_ == TypeKind::kString; }
+  bool is_dn() const { return kind_ == TypeKind::kDn; }
+
+  /// Requires is_int().
+  int64_t AsInt() const { return int_; }
+  /// Requires is_string() or is_dn().
+  const std::string& AsString() const { return str_; }
+
+  /// Renders the value for display and for LDIF-style text output.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const;
+
+ private:
+  explicit Value(int64_t v) : kind_(TypeKind::kInt), int_(v) {}
+  Value(TypeKind kind, std::string s)
+      : kind_(kind), int_(0), str_(std::move(s)) {}
+
+  TypeKind kind_;
+  int64_t int_;
+  std::string str_;
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_CORE_VALUE_H_

@@ -1,0 +1,270 @@
+#include "dist/distributed.h"
+
+#include <algorithm>
+
+#include "exec/atomic.h"
+#include "exec/boolean.h"
+#include "exec/embedded_ref.h"
+#include "exec/hierarchy.h"
+#include "storage/external_sort.h"
+#include "storage/serde.h"
+
+namespace ndq {
+
+DirectoryServer::DirectoryServer(std::string name, Dn context,
+                                 size_t page_size)
+    : name_(std::move(name)),
+      context_(std::move(context)),
+      disk_(std::make_unique<SimDisk>(page_size)) {}
+
+Result<DistributedDirectory> DistributedDirectory::Build(
+    const DirectoryInstance& global,
+    const std::vector<std::pair<std::string, std::string>>& contexts,
+    size_t page_size) {
+  DistributedDirectory dist;
+  dist.coordinator_disk_ = std::make_unique<SimDisk>(page_size);
+  for (const auto& [dn_text, server_name] : contexts) {
+    NDQ_ASSIGN_OR_RETURN(Dn context, Dn::Parse(dn_text));
+    dist.servers_.push_back(std::make_unique<DirectoryServer>(
+        server_name, std::move(context), page_size));
+  }
+
+  // Partition: each entry to the deepest covering context.
+  std::vector<DirectoryInstance> parts;
+  parts.reserve(dist.servers_.size());
+  for (size_t i = 0; i < dist.servers_.size(); ++i) {
+    parts.emplace_back(global.schema(), /*validate=*/false);
+  }
+  for (const auto& [key, entry] : global) {
+    DirectoryServer* best = nullptr;
+    size_t best_idx = 0;
+    for (size_t i = 0; i < dist.servers_.size(); ++i) {
+      const Dn& ctx = dist.servers_[i]->context();
+      const std::string& ck = ctx.HierKey();
+      bool covers = ck == key || KeyIsAncestor(ck, key);
+      if (!covers) continue;
+      if (best == nullptr || ctx.depth() > best->context().depth()) {
+        best = dist.servers_[i].get();
+        best_idx = i;
+      }
+    }
+    if (best == nullptr) {
+      return Status::InvalidArgument("no naming context covers entry " +
+                                     entry.dn().ToString());
+    }
+    NDQ_RETURN_IF_ERROR(parts[best_idx].Add(entry));
+  }
+  for (size_t i = 0; i < dist.servers_.size(); ++i) {
+    NDQ_ASSIGN_OR_RETURN(
+        dist.servers_[i]->store_,
+        EntryStore::BulkLoad(dist.servers_[i]->disk_.get(), parts[i]));
+  }
+  return dist;
+}
+
+DirectoryServer* DistributedDirectory::FindServer(const std::string& name) {
+  for (auto& s : servers_) {
+    if (s->name() == name) return s.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> DistributedDirectory::OwnersFor(const Dn& base,
+                                                         Scope scope) const {
+  const std::string& bk = base.HierKey();
+  // Owner of the base dn itself: deepest context covering it.
+  const DirectoryServer* owner = nullptr;
+  for (const auto& s : servers_) {
+    const std::string& ck = s->context().HierKey();
+    if (ck == bk || KeyIsAncestor(ck, bk) || bk.empty()) {
+      if (owner == nullptr ||
+          s->context().depth() > owner->context().depth()) {
+        owner = s.get();
+      }
+    }
+  }
+  std::vector<std::string> out;
+  if (owner != nullptr) out.push_back(owner->name());
+  if (scope == Scope::kBase) return out;
+  // Subtree scopes may reach into delegated contexts below the base. kOne
+  // can cross exactly one delegation boundary (a child held by a
+  // delegate); include those too.
+  for (const auto& s : servers_) {
+    if (owner != nullptr && s->name() == owner->name()) continue;
+    const std::string& ck = s->context().HierKey();
+    bool under = bk.empty() || ck == bk || KeyIsAncestor(bk, ck);
+    if (!under) continue;
+    if (scope == Scope::kOne) {
+      // Only relevant if the delegated context is the base or its child.
+      if (!(ck == bk || KeyIsParent(bk, ck))) continue;
+    }
+    out.push_back(s->name());
+  }
+  return out;
+}
+
+Result<EntryList> DistributedDirectory::EvaluateAtomicDistributed(
+    const Query& query) {
+  std::vector<std::string> owners = OwnersFor(query.base(), query.scope());
+  net_.servers_contacted += owners.size();
+  std::vector<Run> shipped;
+  for (const std::string& name : owners) {
+    DirectoryServer* server = FindServer(name);
+    if (server == nullptr) continue;
+    net_.messages += 2;  // request + response
+    Result<EntryList> local =
+        query.op() == QueryOp::kLdap
+            ? EvalLdap(server->disk(), server->store(), query.base(),
+                       query.scope(), *query.ldap_filter())
+            : EvalAtomic(server->disk(), server->store(), query.base(),
+                         query.scope(), query.filter());
+    NDQ_RETURN_IF_ERROR(local.status());
+    // Ship the (sorted) result to the coordinator.
+    RunWriter writer(coordinator_disk_.get());
+    RunReader reader(server->disk(), *local);
+    std::string rec;
+    while (true) {
+      NDQ_ASSIGN_OR_RETURN(bool more, reader.Next(&rec));
+      if (!more) break;
+      net_.bytes_shipped += rec.size();
+      ++net_.records_shipped;
+      NDQ_RETURN_IF_ERROR(writer.Add(rec));
+    }
+    NDQ_RETURN_IF_ERROR(FreeRun(server->disk(), &*local));
+    NDQ_ASSIGN_OR_RETURN(Run run, writer.Finish());
+    shipped.push_back(std::move(run));
+  }
+  if (shipped.empty()) {
+    RunWriter writer(coordinator_disk_.get());
+    return writer.Finish();
+  }
+  if (shipped.size() == 1) return std::move(shipped[0]);
+  // Each shipped list is sorted; contexts are disjoint so a merge (no
+  // dedup needed) restores global order.
+  auto key_fn = [](std::string_view rec) {
+    Result<std::string_view> key = PeekEntryKey(rec);
+    return key.ok() ? *key : std::string_view();
+  };
+  return MergeSortedRuns(coordinator_disk_.get(), key_fn,
+                         std::move(shipped));
+}
+
+DirectoryServer* DistributedDirectory::SingleOwner(const Query& query) {
+  DirectoryServer* owner = nullptr;
+  for (const Query* leaf : query.Leaves()) {
+    std::vector<std::string> owners =
+        OwnersFor(leaf->base(), leaf->scope());
+    if (owners.size() != 1) return nullptr;
+    DirectoryServer* s = FindServer(owners[0]);
+    if (s == nullptr) return nullptr;
+    if (owner != nullptr && owner != s) return nullptr;
+    owner = s;
+  }
+  return owner;
+}
+
+Result<EntryList> DistributedDirectory::ShipWholeQuery(
+    const Query& query, DirectoryServer* server) {
+  // The server evaluates the whole tree locally (on its own disk and
+  // scratch space) and only the final result crosses the network.
+  ++net_.queries_shipped;
+  net_.messages += 2;
+  ++net_.servers_contacted;
+  Evaluator remote(server->disk(), &server->store(), options_);
+  NDQ_ASSIGN_OR_RETURN(EntryList local, remote.Evaluate(query));
+  RunWriter writer(coordinator_disk_.get());
+  RunReader reader(server->disk(), local);
+  std::string rec;
+  while (true) {
+    NDQ_ASSIGN_OR_RETURN(bool more, reader.Next(&rec));
+    if (!more) break;
+    net_.bytes_shipped += rec.size();
+    ++net_.records_shipped;
+    NDQ_RETURN_IF_ERROR(writer.Add(rec));
+  }
+  NDQ_RETURN_IF_ERROR(FreeRun(server->disk(), &local));
+  return writer.Finish();
+}
+
+Result<EntryList> DistributedDirectory::EvaluateNode(const Query& query) {
+  SimDisk* disk = coordinator_disk_.get();
+  if (query_shipping_ && !query.is_atomic() &&
+      query.op() != QueryOp::kLdap) {
+    DirectoryServer* owner = SingleOwner(query);
+    if (owner != nullptr) return ShipWholeQuery(query, owner);
+  }
+  switch (query.op()) {
+    case QueryOp::kAtomic:
+    case QueryOp::kLdap:
+      return EvaluateAtomicDistributed(query);
+    case QueryOp::kAnd:
+    case QueryOp::kOr:
+    case QueryOp::kDiff: {
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1()));
+      NDQ_ASSIGN_OR_RETURN(EntryList l2, EvaluateNode(*query.q2()));
+      Result<EntryList> out = EvalBoolean(disk, query.op(), l1, l2);
+      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l1));
+      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l2));
+      return out;
+    }
+    case QueryOp::kSimpleAgg: {
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1()));
+      Result<EntryList> out = EvalSimpleAgg(disk, l1, *query.agg());
+      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l1));
+      return out;
+    }
+    case QueryOp::kParents:
+    case QueryOp::kChildren:
+    case QueryOp::kAncestors:
+    case QueryOp::kDescendants: {
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1()));
+      NDQ_ASSIGN_OR_RETURN(EntryList l2, EvaluateNode(*query.q2()));
+      Result<EntryList> out = EvalHierarchy(disk, query.op(), l1, l2,
+                                            nullptr, query.agg(), options_);
+      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l1));
+      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l2));
+      return out;
+    }
+    case QueryOp::kCoAncestors:
+    case QueryOp::kCoDescendants: {
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1()));
+      NDQ_ASSIGN_OR_RETURN(EntryList l2, EvaluateNode(*query.q2()));
+      NDQ_ASSIGN_OR_RETURN(EntryList l3, EvaluateNode(*query.q3()));
+      Result<EntryList> out = EvalHierarchy(disk, query.op(), l1, l2, &l3,
+                                            query.agg(), options_);
+      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l1));
+      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l2));
+      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l3));
+      return out;
+    }
+    case QueryOp::kValueDn:
+    case QueryOp::kDnValue: {
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1()));
+      NDQ_ASSIGN_OR_RETURN(EntryList l2, EvaluateNode(*query.q2()));
+      Result<EntryList> out =
+          EvalEmbeddedRef(disk, query.op(), l1, l2, query.ref_attr(),
+                          query.agg(), options_);
+      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l1));
+      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l2));
+      return out;
+    }
+  }
+  return Status::Internal("unreachable query op in distributed eval");
+}
+
+Result<std::vector<Entry>> DistributedDirectory::Evaluate(
+    const Query& query) {
+  NDQ_ASSIGN_OR_RETURN(EntryList out, EvaluateNode(query));
+  Result<std::vector<Entry>> entries =
+      ReadEntryList(coordinator_disk_.get(), out);
+  NDQ_RETURN_IF_ERROR(FreeRun(coordinator_disk_.get(), &out));
+  return entries;
+}
+
+void DistributedDirectory::ResetStats() {
+  net_.Reset();
+  coordinator_disk_->ResetStats();
+  for (auto& s : servers_) s->disk()->ResetStats();
+}
+
+}  // namespace ndq

@@ -1,0 +1,129 @@
+// Distributed query evaluation (Sec. 8.3).
+//
+// The namespace is partitioned into naming contexts, DNS-style: each
+// directory server owns the subtree rooted at its context dn, minus any
+// subtree delegated to a more specific context (Sec. 3.3). A query is
+// evaluated as the paper prescribes: "each atomic query, whose base dn is
+// managed by a directory server different from the queried server, is
+// issued to the directory server that manages the base dn ... The results
+// of those atomic queries are shipped to the original queried directory
+// server, which then computes the query result using the algorithms
+// described previously."
+//
+// An atomic query whose scope spans delegated subdomains fans out to the
+// delegate servers as well (as a DNS resolver would chase referrals); each
+// server returns a sorted list and the coordinator merges them — sorted-
+// ness is preserved end to end, so the coordinator's operator algorithms
+// run unchanged.
+//
+// Everything is simulated in-process: every server has its own SimDisk
+// (I/O accounted per server) and the "network" counts messages and bytes
+// shipped.
+
+#ifndef NDQ_DIST_DISTRIBUTED_H_
+#define NDQ_DIST_DISTRIBUTED_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/evaluator.h"
+#include "query/ast.h"
+
+namespace ndq {
+
+/// Network accounting for one distributed evaluation.
+struct NetStats {
+  uint64_t messages = 0;        ///< request/response round trips
+  uint64_t bytes_shipped = 0;   ///< result payload bytes moved to the
+                                ///< coordinator
+  uint64_t records_shipped = 0;
+  uint64_t servers_contacted = 0;  ///< distinct servers per atomic query,
+                                   ///< summed over atomic queries
+  uint64_t queries_shipped = 0;  ///< whole (sub)queries pushed to a server
+
+  void Reset() { *this = NetStats(); }
+};
+
+/// One directory server: a naming context plus a store over its own disk.
+class DirectoryServer {
+ public:
+  DirectoryServer(std::string name, Dn context, size_t page_size);
+
+  const std::string& name() const { return name_; }
+  const Dn& context() const { return context_; }
+  SimDisk* disk() { return disk_.get(); }
+  const EntryStore& store() const { return store_; }
+  size_t num_entries() const { return store_.num_entries(); }
+
+ private:
+  friend class DistributedDirectory;
+
+  std::string name_;
+  Dn context_;
+  std::unique_ptr<SimDisk> disk_;
+  EntryStore store_;
+};
+
+/// \brief A fleet of directory servers plus a coordinator.
+class DistributedDirectory {
+ public:
+  /// Partitions `global` across servers: each entry goes to the server
+  /// with the deepest context that is an ancestor-or-self of the entry's
+  /// dn. Contexts are (dn text, server name) pairs; entries matching no
+  /// context are rejected.
+  static Result<DistributedDirectory> Build(
+      const DirectoryInstance& global,
+      const std::vector<std::pair<std::string, std::string>>& contexts,
+      size_t page_size = kDefaultPageSize);
+
+  /// Names of the servers whose data an atomic query at (base, scope) can
+  /// touch: the owner of the base dn plus, for subtree scopes, every
+  /// delegate whose context lies under the base.
+  std::vector<std::string> OwnersFor(const Dn& base, Scope scope) const;
+
+  /// Distributed bottom-up evaluation; the result materializes at the
+  /// coordinator.
+  Result<std::vector<Entry>> Evaluate(const Query& query);
+
+  /// When enabled (default), a (sub)query whose atomic leaves all fall
+  /// within ONE server's exclusive ownership is shipped to that server
+  /// whole — it evaluates there with the usual algorithms and only the
+  /// FINAL result crosses the network. This is the natural refinement of
+  /// Sec. 8.3's atomic-result shipping for subtree-local queries (compare
+  /// the two modes in bench_distributed).
+  void set_query_shipping(bool enabled) { query_shipping_ = enabled; }
+
+  /// The single server that exclusively covers every leaf of `query`, or
+  /// nullptr if the query spans servers. Exposed for tests.
+  DirectoryServer* SingleOwner(const Query& query);
+
+  const NetStats& net_stats() const { return net_; }
+  void ResetStats();
+
+  SimDisk* coordinator_disk() { return coordinator_disk_.get(); }
+  const std::vector<std::unique_ptr<DirectoryServer>>& servers() const {
+    return servers_;
+  }
+  DirectoryServer* FindServer(const std::string& name);
+
+ private:
+  DistributedDirectory() = default;
+
+  Result<EntryList> EvaluateNode(const Query& query);
+  Result<EntryList> EvaluateAtomicDistributed(const Query& query);
+
+  Result<EntryList> ShipWholeQuery(const Query& query,
+                                   DirectoryServer* server);
+
+  std::vector<std::unique_ptr<DirectoryServer>> servers_;
+  std::unique_ptr<SimDisk> coordinator_disk_;
+  ExecOptions options_;
+  NetStats net_;
+  bool query_shipping_ = true;
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_DIST_DISTRIBUTED_H_

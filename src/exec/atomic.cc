@@ -1,0 +1,60 @@
+#include "exec/atomic.h"
+
+namespace ndq {
+
+namespace {
+
+template <typename MatchFn>
+Result<EntryList> ScanScope(SimDisk* disk, const EntrySource& store,
+                            const Dn& base, Scope scope,
+                            const MatchFn& matches) {
+  const std::string& base_key = base.HierKey();
+  std::string start = base_key;
+  std::string end;
+  switch (scope) {
+    case Scope::kBase:
+      end = base_key + '\x01';
+      break;
+    case Scope::kOne:
+    case Scope::kSub:
+      end = KeySubtreeEnd(base_key);
+      break;
+  }
+  if (scope == Scope::kBase && base.IsNull()) {
+    // The null dn names no entry.
+    RunWriter writer(disk);
+    return writer.Finish();
+  }
+  RunWriter writer(disk);
+  Status s = store.ScanRange(
+      start, end, [&](std::string_view record) -> Status {
+        NDQ_ASSIGN_OR_RETURN(std::string_view key, PeekEntryKey(record));
+        if (scope == Scope::kOne && key != base_key &&
+            !KeyIsParent(base_key, key)) {
+          return Status::OK();  // deeper descendant: outside scope one
+        }
+        NDQ_ASSIGN_OR_RETURN(Entry entry, DeserializeEntry(record));
+        if (matches(entry)) NDQ_RETURN_IF_ERROR(writer.Add(record));
+        return Status::OK();
+      });
+  NDQ_RETURN_IF_ERROR(s);
+  return writer.Finish();
+}
+
+}  // namespace
+
+Result<EntryList> EvalAtomic(SimDisk* disk, const EntrySource& store,
+                             const Dn& base, Scope scope,
+                             const AtomicFilter& filter) {
+  return ScanScope(disk, store, base, scope,
+                   [&](const Entry& e) { return filter.Matches(e); });
+}
+
+Result<EntryList> EvalLdap(SimDisk* disk, const EntrySource& store,
+                           const Dn& base, Scope scope,
+                           const LdapFilter& filter) {
+  return ScanScope(disk, store, base, scope,
+                   [&](const Entry& e) { return filter.Matches(e); });
+}
+
+}  // namespace ndq

@@ -1,0 +1,29 @@
+// Atomic (and baseline-LDAP) query evaluation against the entry store
+// (Sec. 4.1).
+//
+// Because the store is in reverse-DN order, every scope is a key range;
+// the scan touches only the pages overlapping the base entry's subtree and
+// the output comes out sorted, ready for the merge/stack operators.
+
+#ifndef NDQ_EXEC_ATOMIC_H_
+#define NDQ_EXEC_ATOMIC_H_
+
+#include "exec/common.h"
+#include "query/ast.h"
+#include "store/entry_store.h"
+
+namespace ndq {
+
+/// Evaluates "(base ? scope ? filter)" over the store.
+Result<EntryList> EvalAtomic(SimDisk* disk, const EntrySource& store,
+                             const Dn& base, Scope scope,
+                             const AtomicFilter& filter);
+
+/// Evaluates a baseline LDAP query (base + scope + boolean filter).
+Result<EntryList> EvalLdap(SimDisk* disk, const EntrySource& store,
+                           const Dn& base, Scope scope,
+                           const LdapFilter& filter);
+
+}  // namespace ndq
+
+#endif  // NDQ_EXEC_ATOMIC_H_

@@ -1,0 +1,37 @@
+#include "exec/boolean.h"
+
+namespace ndq {
+
+Result<EntryList> EvalBoolean(SimDisk* disk, QueryOp op, const EntryList& l1,
+                              const EntryList& l2) {
+  if (op != QueryOp::kAnd && op != QueryOp::kOr && op != QueryOp::kDiff) {
+    return Status::InvalidArgument("EvalBoolean: not a boolean operator");
+  }
+  LabeledMerge merge(disk, &l1, &l2, nullptr);
+  RunWriter writer(disk);
+  LabeledRecord rec;
+  while (true) {
+    NDQ_ASSIGN_OR_RETURN(bool more, merge.Next(&rec));
+    if (!more) break;
+    bool in1 = (rec.labels & kInL1) != 0;
+    bool in2 = (rec.labels & kInL2) != 0;
+    bool keep = false;
+    switch (op) {
+      case QueryOp::kAnd:
+        keep = in1 && in2;
+        break;
+      case QueryOp::kOr:
+        keep = in1 || in2;
+        break;
+      case QueryOp::kDiff:
+        keep = in1 && !in2;
+        break;
+      default:
+        break;
+    }
+    if (keep) NDQ_RETURN_IF_ERROR(writer.Add(rec.entry_record));
+  }
+  return writer.Finish();
+}
+
+}  // namespace ndq

@@ -1,0 +1,24 @@
+// Boolean operators over sorted entry lists (Sec. 4.2).
+//
+// "Given sorted lists L1, L2, the results of (& L1 L2), (| L1 L2) and
+// (- L1 L2) can be computed with linear I/O complexity by scanning the
+// input lists once in sorted order, and writing out the output list"
+// — the table-driven merge of Jacobson et al. [21]. Output stays sorted,
+// preserving the pipeline invariant of Sec. 8.2.
+
+#ifndef NDQ_EXEC_BOOLEAN_H_
+#define NDQ_EXEC_BOOLEAN_H_
+
+#include "exec/common.h"
+#include "query/ast.h"
+
+namespace ndq {
+
+/// Computes (& L1 L2), (| L1 L2) or (- L1 L2); op must be one of kAnd,
+/// kOr, kDiff. Inputs are borrowed, the result is a fresh list.
+Result<EntryList> EvalBoolean(SimDisk* disk, QueryOp op, const EntryList& l1,
+                              const EntryList& l2);
+
+}  // namespace ndq
+
+#endif  // NDQ_EXEC_BOOLEAN_H_

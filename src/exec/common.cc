@@ -1,0 +1,353 @@
+#include "exec/common.h"
+
+namespace ndq {
+
+LabeledMerge::LabeledMerge(SimDisk* disk, const EntryList* l1,
+                           const EntryList* l2, const EntryList* l3) {
+  const EntryList* lists[3] = {l1, l2, l3};
+  const uint8_t labels[3] = {kInL1, kInL2, kInL3};
+  for (int i = 0; i < 3; ++i) {
+    if (lists[i] == nullptr) continue;
+    Input in;
+    in.reader = std::make_unique<RunReader>(disk, *lists[i]);
+    in.label = labels[i];
+    inputs_.push_back(std::move(in));
+  }
+  for (Input& in : inputs_) Refill(&in).ok();
+}
+
+Status LabeledMerge::Refill(Input* in) {
+  NDQ_ASSIGN_OR_RETURN(bool more, in->reader->Next(&in->record));
+  in->has = more;
+  if (more) {
+    NDQ_ASSIGN_OR_RETURN(std::string_view key, PeekEntryKey(in->record));
+    in->key = std::string(key);
+  }
+  return Status::OK();
+}
+
+Result<bool> LabeledMerge::Next(LabeledRecord* out) {
+  const std::string* min_key = nullptr;
+  for (Input& in : inputs_) {
+    if (in.has && (min_key == nullptr || in.key < *min_key)) {
+      min_key = &in.key;
+    }
+  }
+  if (min_key == nullptr) return false;
+  std::string key = *min_key;  // copy: refills invalidate min_key
+  out->labels = 0;
+  for (Input& in : inputs_) {
+    if (in.has && in.key == key) {
+      out->labels |= in.label;
+      out->entry_record = std::move(in.record);
+      NDQ_RETURN_IF_ERROR(Refill(&in));
+    }
+  }
+  NDQ_ASSIGN_OR_RETURN(std::string_view kv, PeekEntryKey(out->entry_record));
+  out->key = kv;
+  return true;
+}
+
+Result<Run> MaterializeLabeledMerge(SimDisk* disk, const EntryList* l1,
+                                    const EntryList* l2,
+                                    const EntryList* l3) {
+  LabeledMerge merge(disk, l1, l2, l3);
+  RunWriter writer(disk);
+  LabeledRecord rec;
+  std::string buf;
+  while (true) {
+    NDQ_ASSIGN_OR_RETURN(bool more, merge.Next(&rec));
+    if (!more) break;
+    buf.clear();
+    buf.push_back(static_cast<char>(rec.labels));
+    buf += rec.entry_record;
+    NDQ_RETURN_IF_ERROR(writer.Add(buf));
+  }
+  return writer.Finish();
+}
+
+Status ParseLabeledRecord(std::string_view rec, uint8_t* labels,
+                          std::string_view* entry_record) {
+  if (rec.empty()) return Status::Corruption("empty labeled record");
+  *labels = static_cast<uint8_t>(rec[0]);
+  *entry_record = rec.substr(1);
+  return Status::OK();
+}
+
+void WriteAnnotated(const std::vector<std::optional<int64_t>>& vals,
+                    std::string_view entry_record, std::string* out) {
+  ByteWriter w(out);
+  w.PutVarint(vals.size());
+  for (const std::optional<int64_t>& v : vals) {
+    w.PutU8(v.has_value() ? 1 : 0);
+    w.PutSigned(v.value_or(0));
+  }
+  out->append(entry_record.data(), entry_record.size());
+}
+
+Status ParseAnnotated(std::string_view rec,
+                      std::vector<std::optional<int64_t>>* vals,
+                      std::string_view* entry_record) {
+  ByteReader r(rec);
+  NDQ_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  vals->clear();
+  vals->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    NDQ_ASSIGN_OR_RETURN(uint8_t defined, r.GetU8());
+    NDQ_ASSIGN_OR_RETURN(int64_t v, r.GetSigned());
+    vals->push_back(defined ? std::optional<int64_t>(v) : std::nullopt);
+  }
+  *entry_record = rec.substr(r.position());
+  return Status::OK();
+}
+
+void SerializeAcc(const AggAccumulator& acc, std::string* out) {
+  ByteWriter w(out);
+  w.PutU8(static_cast<uint8_t>(acc.fn));
+  w.PutVarint(acc.count);
+  w.PutVarint(acc.int_count);
+  w.PutSigned(acc.sum);
+  w.PutSigned(acc.min);
+  w.PutSigned(acc.max);
+  w.PutU8(acc.any_int ? 1 : 0);
+}
+
+Result<AggAccumulator> DeserializeAcc(ByteReader* reader) {
+  NDQ_ASSIGN_OR_RETURN(uint8_t fn, reader->GetU8());
+  if (fn > static_cast<uint8_t>(AggFn::kAvg)) {
+    return Status::Corruption("bad aggregate fn byte");
+  }
+  AggAccumulator acc(static_cast<AggFn>(fn));
+  NDQ_ASSIGN_OR_RETURN(acc.count, reader->GetVarint());
+  NDQ_ASSIGN_OR_RETURN(acc.int_count, reader->GetVarint());
+  NDQ_ASSIGN_OR_RETURN(acc.sum, reader->GetSigned());
+  NDQ_ASSIGN_OR_RETURN(acc.min, reader->GetSigned());
+  NDQ_ASSIGN_OR_RETURN(acc.max, reader->GetSigned());
+  NDQ_ASSIGN_OR_RETURN(uint8_t any, reader->GetU8());
+  acc.any_int = any != 0;
+  return acc;
+}
+
+namespace {
+
+bool IsWitnessTargeted(const EntryAgg& ea) {
+  return ea.target == AggTarget::kWitnessAttr ||
+         ea.target == AggTarget::kWitnessCount;
+}
+
+void CollectWitnessAggs(const AggAttr& aa, std::vector<EntryAgg>* out) {
+  if (aa.kind == AggAttr::Kind::kConst) return;
+  if (aa.kind == AggAttr::Kind::kEntrySet &&
+      aa.set_form == AggAttr::SetForm::kCountSet) {
+    return;
+  }
+  if (IsWitnessTargeted(aa.entry)) {
+    for (const EntryAgg& e : *out) {
+      if (e == aa.entry) return;
+    }
+    out->push_back(aa.entry);
+  }
+}
+
+}  // namespace
+
+Result<AggProgram> AggProgram::Compile(const AggSelFilter& filter,
+                                       bool structural) {
+  AggProgram prog;
+  prog.filter = filter;
+  CollectWitnessAggs(filter.lhs, &prog.witness_aggs);
+  CollectWitnessAggs(filter.rhs, &prog.witness_aggs);
+  if (!structural && !prog.witness_aggs.empty()) {
+    return Status::InvalidArgument(
+        "$2 reference in simple aggregate selection");
+  }
+  return prog;
+}
+
+size_t AggProgram::WitnessIndex(const EntryAgg& ea) const {
+  for (size_t i = 0; i < witness_aggs.size(); ++i) {
+    if (witness_aggs[i] == ea) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+std::vector<AggAccumulator> AggProgram::MakeWitnessAccs() const {
+  std::vector<AggAccumulator> accs;
+  accs.reserve(witness_aggs.size());
+  for (const EntryAgg& ea : witness_aggs) accs.emplace_back(ea.fn);
+  return accs;
+}
+
+void AggProgram::AddWitnessContribution(
+    const Entry& entry, std::vector<AggAccumulator>* accs) const {
+  for (size_t i = 0; i < witness_aggs.size(); ++i) {
+    const EntryAgg& ea = witness_aggs[i];
+    AggAccumulator& acc = (*accs)[i];
+    if (ea.target == AggTarget::kWitnessCount) {
+      acc.AddUnit();
+    } else {
+      const std::vector<Value>* vals = entry.Values(ea.attr);
+      if (vals != nullptr) {
+        for (const Value& v : *vals) acc.AddValue(v);
+      }
+    }
+  }
+}
+
+namespace {
+
+std::optional<int64_t> EvalSelfAgg(const EntryAgg& ea, const Entry& entry) {
+  AggAccumulator acc(ea.fn);
+  const std::vector<Value>* vals = entry.Values(ea.attr);
+  if (vals != nullptr) {
+    for (const Value& v : *vals) acc.AddValue(v);
+  }
+  return acc.Finish();
+}
+
+}  // namespace
+
+std::optional<int64_t> AggProgram::EvalSide(
+    bool lhs_side, const Entry& entry,
+    const std::vector<std::optional<int64_t>>& witness_vals,
+    const Globals& globals) const {
+  const AggAttr& aa = lhs_side ? filter.lhs : filter.rhs;
+  switch (aa.kind) {
+    case AggAttr::Kind::kConst:
+      return aa.constant;
+    case AggAttr::Kind::kEntry: {
+      if (IsWitnessTargeted(aa.entry)) {
+        size_t idx = WitnessIndex(aa.entry);
+        return idx < witness_vals.size() ? witness_vals[idx] : std::nullopt;
+      }
+      return EvalSelfAgg(aa.entry, entry);
+    }
+    case AggAttr::Kind::kEntrySet:
+      if (aa.set_form == AggAttr::SetForm::kCountSet) {
+        return static_cast<int64_t>(globals.set_size);
+      }
+      return lhs_side ? globals.lhs : globals.rhs;
+  }
+  return std::nullopt;
+}
+
+bool AggProgram::Matches(
+    const Entry& entry,
+    const std::vector<std::optional<int64_t>>& witness_vals,
+    const Globals& globals) const {
+  std::optional<int64_t> lhs = EvalSide(true, entry, witness_vals, globals);
+  std::optional<int64_t> rhs = EvalSide(false, entry, witness_vals, globals);
+  return CompareAgg(lhs, filter.op, rhs);
+}
+
+namespace {
+
+// Per-entry value of the *inner* entry aggregate of an entry-set
+// aggregate.
+std::optional<int64_t> InnerValue(
+    const AggProgram& prog, const AggAttr& aa, const Entry& entry,
+    const std::vector<std::optional<int64_t>>& witness_vals) {
+  if (IsWitnessTargeted(aa.entry)) {
+    size_t idx = prog.WitnessIndex(aa.entry);
+    return idx < witness_vals.size() ? witness_vals[idx] : std::nullopt;
+  }
+  return EvalSelfAgg(aa.entry, entry);
+}
+
+}  // namespace
+
+Result<EntryList> FilterAnnotatedList(SimDisk* disk, Run annotated,
+                                      const AggProgram& prog) {
+  AggProgram::Globals globals;
+  globals.set_size = annotated.num_records;
+
+  const bool lhs_set = prog.filter.lhs.kind == AggAttr::Kind::kEntrySet &&
+                       prog.filter.lhs.set_form ==
+                           AggAttr::SetForm::kAggOfEntry;
+  const bool rhs_set = prog.filter.rhs.kind == AggAttr::Kind::kEntrySet &&
+                       prog.filter.rhs.set_form ==
+                           AggAttr::SetForm::kAggOfEntry;
+  if (lhs_set || rhs_set) {
+    // Pre-scan: fold per-entry inner values into the global accumulators.
+    AggAccumulator lhs_acc(prog.filter.lhs.outer_fn);
+    AggAccumulator rhs_acc(prog.filter.rhs.outer_fn);
+    RunReader reader(disk, annotated);
+    std::string rec;
+    std::vector<std::optional<int64_t>> vals;
+    std::string_view entry_bytes;
+    while (true) {
+      NDQ_ASSIGN_OR_RETURN(bool more, reader.Next(&rec));
+      if (!more) break;
+      NDQ_RETURN_IF_ERROR(ParseAnnotated(rec, &vals, &entry_bytes));
+      NDQ_ASSIGN_OR_RETURN(Entry entry, DeserializeEntry(entry_bytes));
+      if (lhs_set) {
+        std::optional<int64_t> v =
+            InnerValue(prog, prog.filter.lhs, entry, vals);
+        if (v.has_value()) lhs_acc.AddInt(*v);
+      }
+      if (rhs_set) {
+        std::optional<int64_t> v =
+            InnerValue(prog, prog.filter.rhs, entry, vals);
+        if (v.has_value()) rhs_acc.AddInt(*v);
+      }
+    }
+    if (lhs_set) globals.lhs = lhs_acc.Finish();
+    if (rhs_set) globals.rhs = rhs_acc.Finish();
+  }
+
+  RunWriter writer(disk);
+  RunReader reader(disk, annotated);
+  std::string rec;
+  std::vector<std::optional<int64_t>> vals;
+  std::string_view entry_bytes;
+  while (true) {
+    NDQ_ASSIGN_OR_RETURN(bool more, reader.Next(&rec));
+    if (!more) break;
+    NDQ_RETURN_IF_ERROR(ParseAnnotated(rec, &vals, &entry_bytes));
+    NDQ_ASSIGN_OR_RETURN(Entry entry, DeserializeEntry(entry_bytes));
+    if (prog.Matches(entry, vals, globals)) {
+      NDQ_RETURN_IF_ERROR(writer.Add(entry_bytes));
+    }
+  }
+  NDQ_RETURN_IF_ERROR(FreeRun(disk, &annotated));
+  return writer.Finish();
+}
+
+AggSelFilter ExistentialFilter() {
+  AggSelFilter f;
+  EntryAgg ea;
+  ea.fn = AggFn::kCount;
+  ea.target = AggTarget::kWitnessCount;
+  f.lhs = AggAttr::Entry(std::move(ea));
+  f.op = CompareOp::kGt;
+  f.rhs = AggAttr::Const(0);
+  return f;
+}
+
+Result<EntryList> MakeEntryList(SimDisk* disk,
+                                const std::vector<const Entry*>& entries) {
+  RunWriter writer(disk);
+  std::string buf;
+  for (const Entry* e : entries) {
+    buf.clear();
+    SerializeEntry(*e, &buf);
+    NDQ_RETURN_IF_ERROR(writer.Add(buf));
+  }
+  return writer.Finish();
+}
+
+Result<std::vector<Entry>> ReadEntryList(SimDisk* disk,
+                                         const EntryList& list) {
+  std::vector<Entry> out;
+  RunReader reader(disk, list);
+  std::string rec;
+  while (true) {
+    NDQ_ASSIGN_OR_RETURN(bool more, reader.Next(&rec));
+    if (!more) break;
+    NDQ_ASSIGN_OR_RETURN(Entry e, DeserializeEntry(rec));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace ndq

@@ -1,0 +1,180 @@
+// Shared plumbing for the external-memory operators:
+//   * EntryList — the inter-operator dataflow unit: a Run of serialized
+//     entries in ascending HierKey order;
+//   * labeled merge — the "lexicographic merge of L1 and L2 [and L3]" that
+//     the stack algorithms consume, with per-record membership labels;
+//   * annotated records — an entry plus its per-witness-aggregate values,
+//     produced by phase 1 of the algorithms and consumed by the filter
+//     phase;
+//   * AggProgram — the compiled form of an AggSelFilter: which witness
+//     ($2) aggregates phase 1 must maintain, and how each comparison side
+//     is evaluated in the filter phase.
+
+#ifndef NDQ_EXEC_COMMON_H_
+#define NDQ_EXEC_COMMON_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/entry.h"
+#include "query/aggregate.h"
+#include "storage/external_sort.h"
+#include "storage/run.h"
+#include "storage/serde.h"
+
+namespace ndq {
+
+/// A run of serialized entries in ascending HierKey order.
+using EntryList = Run;
+
+/// Tuning knobs for the evaluation engine.
+struct ExecOptions {
+  /// In-memory window of the spillable stacks (items). Must span at least
+  /// a couple of pages of serialized stack items for the amortized-linear
+  /// I/O bound to hold.
+  size_t stack_window = 4096;
+  /// External sort configuration (used by the embedded-reference
+  /// operators, the only place the engine sorts).
+  ExternalSortOptions sort;
+};
+
+/// Membership labels in the merged stream (Figs. 2/4/5: label(r) = {i |
+/// r in Li}).
+inline constexpr uint8_t kInL1 = 1;
+inline constexpr uint8_t kInL2 = 2;
+inline constexpr uint8_t kInL3 = 4;
+
+/// One element of a labeled merge.
+struct LabeledRecord {
+  uint8_t labels = 0;
+  std::string entry_record;
+  std::string_view key;  // into entry_record
+};
+
+/// \brief Streaming lexicographic merge of up to three entry lists.
+///
+/// Produces each distinct entry once, labels OR-ed across the lists that
+/// contain it, in ascending key order. Holds one page buffer per input.
+class LabeledMerge {
+ public:
+  /// Any list pointer may be null (treated as empty).
+  LabeledMerge(SimDisk* disk, const EntryList* l1, const EntryList* l2,
+               const EntryList* l3);
+
+  /// Reads the next merged element; returns false at end.
+  Result<bool> Next(LabeledRecord* out);
+
+ private:
+  struct Input {
+    std::unique_ptr<RunReader> reader;
+    uint8_t label;
+    std::string record;
+    std::string key;
+    bool has = false;
+  };
+
+  Status Refill(Input* in);
+
+  std::vector<Input> inputs_;
+};
+
+/// Materializes a labeled merge into a run of [u8 labels][entry] records.
+Result<Run> MaterializeLabeledMerge(SimDisk* disk, const EntryList* l1,
+                                    const EntryList* l2, const EntryList* l3);
+
+/// Splits a labeled record produced by MaterializeLabeledMerge.
+Status ParseLabeledRecord(std::string_view rec, uint8_t* labels,
+                          std::string_view* entry_record);
+
+// ---------------------------------------------------------------------------
+// Annotated records: [varint n][n x (u8 defined, zigzag value)][entry bytes]
+// ---------------------------------------------------------------------------
+
+void WriteAnnotated(const std::vector<std::optional<int64_t>>& vals,
+                    std::string_view entry_record, std::string* out);
+
+Status ParseAnnotated(std::string_view rec,
+                      std::vector<std::optional<int64_t>>* vals,
+                      std::string_view* entry_record);
+
+// ---------------------------------------------------------------------------
+// Accumulator wire format (for spillable stacks and ER pair lists)
+// ---------------------------------------------------------------------------
+
+void SerializeAcc(const AggAccumulator& acc, std::string* out);
+Result<AggAccumulator> DeserializeAcc(ByteReader* reader);
+
+// ---------------------------------------------------------------------------
+// AggProgram
+// ---------------------------------------------------------------------------
+
+/// \brief Compiled evaluation plan for one AggSelFilter.
+struct AggProgram {
+  AggSelFilter filter;
+  /// Distinct $2-targeted entry aggregates phase 1 must maintain; the
+  /// annotated record carries one value per element, in this order.
+  std::vector<EntryAgg> witness_aggs;
+
+  /// Builds the program; `structural` controls whether $2 targets are
+  /// legal (they are not in simple aggregate selection).
+  static Result<AggProgram> Compile(const AggSelFilter& filter,
+                                    bool structural);
+
+  /// Index into witness_aggs, or npos for self-targeted aggregates.
+  size_t WitnessIndex(const EntryAgg& ea) const;
+
+  bool NeedsSetAggregates() const { return filter.NeedsSetAggregates(); }
+
+  /// Fresh accumulators, one per witness aggregate.
+  std::vector<AggAccumulator> MakeWitnessAccs() const;
+
+  /// Folds `entry`'s contribution (as a witness) into `accs`.
+  void AddWitnessContribution(const Entry& entry,
+                              std::vector<AggAccumulator>* accs) const;
+
+  /// Globals computed by the pre-filter scan: one slot per comparison side.
+  struct Globals {
+    std::optional<int64_t> lhs;
+    std::optional<int64_t> rhs;
+    uint64_t set_size = 0;  // |M(Q1)|, for count($1)/count($$)
+  };
+
+  /// Evaluates one side of the comparison for an annotated entry.
+  std::optional<int64_t> EvalSide(
+      bool lhs_side, const Entry& entry,
+      const std::vector<std::optional<int64_t>>& witness_vals,
+      const Globals& globals) const;
+
+  /// True for the annotated entry iff the filter comparison holds.
+  bool Matches(const Entry& entry,
+               const std::vector<std::optional<int64_t>>& witness_vals,
+               const Globals& globals) const;
+};
+
+/// Runs the filter phase over an annotated list: an optional globals scan
+/// (when the program needs entry-set aggregates) followed by the selection
+/// scan. The annotated input is consumed (freed); the result contains the
+/// plain entry records that pass. Linear I/O (<= 2 scans + output).
+Result<EntryList> FilterAnnotatedList(SimDisk* disk, Run annotated,
+                                      const AggProgram& prog);
+
+/// The implicit existential filter "count($2) > 0" (Sec. 6.2 observes the
+/// L1 operators are this special case).
+AggSelFilter ExistentialFilter();
+
+// ---------------------------------------------------------------------------
+// Test/bench helpers
+// ---------------------------------------------------------------------------
+
+/// Materializes entries (already key-ordered) into an EntryList.
+Result<EntryList> MakeEntryList(SimDisk* disk,
+                                const std::vector<const Entry*>& entries);
+
+/// Reads back a whole entry list (for tests).
+Result<std::vector<Entry>> ReadEntryList(SimDisk* disk,
+                                         const EntryList& list);
+
+}  // namespace ndq
+
+#endif  // NDQ_EXEC_COMMON_H_

@@ -1,0 +1,155 @@
+#include "exec/cost.h"
+
+#include <cmath>
+
+namespace ndq {
+
+namespace {
+
+// Average records per page, from the store's own geometry.
+double RecordsPerPage(const EntrySource& store) {
+  uint64_t total_pages = store.EstimateRangePages("", "");
+  if (total_pages == 0) return 1.0;
+  return static_cast<double>(store.num_entries()) /
+         static_cast<double>(total_pages);
+}
+
+CostEstimate EstimateNode(const EntrySource& store, const Query& q) {
+  const double rpp = std::max(1.0, RecordsPerPage(store));
+  switch (q.op()) {
+    case QueryOp::kAtomic:
+    case QueryOp::kLdap: {
+      CostEstimate est;
+      const std::string& base_key = q.base().HierKey();
+      std::string end;
+      switch (q.scope()) {
+        case Scope::kBase:
+          end = base_key + '\x01';
+          break;
+        case Scope::kOne:
+        case Scope::kSub:
+          end = KeySubtreeEnd(base_key);
+          break;
+      }
+      est.leaf_pages =
+          static_cast<double>(store.EstimateRangePages(base_key, end));
+      est.output_records =
+          static_cast<double>(store.EstimateRangeRecords(base_key, end));
+      if (q.scope() == Scope::kBase) est.output_records = 1;
+      // Writing the output list.
+      est.operator_pages = est.output_records / rpp;
+      return est;
+    }
+    case QueryOp::kAnd:
+    case QueryOp::kOr:
+    case QueryOp::kDiff: {
+      CostEstimate a = EstimateNode(store, *q.q1());
+      CostEstimate b = EstimateNode(store, *q.q2());
+      CostEstimate est;
+      est.leaf_pages = a.leaf_pages + b.leaf_pages;
+      double in_pages = (a.output_records + b.output_records) / rpp;
+      est.operator_pages = a.operator_pages + b.operator_pages + in_pages;
+      est.output_records = q.op() == QueryOp::kOr
+                               ? a.output_records + b.output_records
+                               : a.output_records;
+      if (q.op() == QueryOp::kAnd) {
+        est.output_records = std::min(a.output_records, b.output_records);
+      }
+      return est;
+    }
+    case QueryOp::kSimpleAgg: {
+      CostEstimate a = EstimateNode(store, *q.q1());
+      CostEstimate est = a;
+      // Annotate + (globals) + filter: up to 3 linear passes + output.
+      double passes = q.agg()->NeedsSetAggregates() ? 3.0 : 2.0;
+      est.operator_pages += passes * (a.output_records / rpp) + 1;
+      return est;
+    }
+    case QueryOp::kParents:
+    case QueryOp::kAncestors:
+    case QueryOp::kCoAncestors:
+    case QueryOp::kChildren:
+    case QueryOp::kDescendants:
+    case QueryOp::kCoDescendants: {
+      CostEstimate a = EstimateNode(store, *q.q1());
+      CostEstimate b = EstimateNode(store, *q.q2());
+      CostEstimate c;
+      if (q.q3() != nullptr) c = EstimateNode(store, *q.q3());
+      CostEstimate est;
+      est.leaf_pages = a.leaf_pages + b.leaf_pages + c.leaf_pages;
+      double in_pages =
+          (a.output_records + b.output_records + c.output_records) / rpp;
+      bool backward = q.op() == QueryOp::kChildren ||
+                      q.op() == QueryOp::kDescendants ||
+                      q.op() == QueryOp::kCoDescendants;
+      // Forward: merge+annotate+filter (~2 passes). Backward adds the
+      // materialized merge and two reversals (~6 passes).
+      double passes = backward ? 6.0 : 2.0;
+      est.operator_pages = a.operator_pages + b.operator_pages +
+                           c.operator_pages + passes * in_pages + 1;
+      est.output_records = a.output_records;
+      return est;
+    }
+    case QueryOp::kValueDn:
+    case QueryOp::kDnValue: {
+      CostEstimate a = EstimateNode(store, *q.q1());
+      CostEstimate b = EstimateNode(store, *q.q2());
+      CostEstimate est;
+      est.leaf_pages = a.leaf_pages + b.leaf_pages;
+      double pair_pages = b.output_records / rpp + 1;
+      double sort_pages =
+          pair_pages * std::max(1.0, std::log2(pair_pages));
+      // vd needs a second sort keyed back to L1.
+      if (q.op() == QueryOp::kValueDn) sort_pages *= 2;
+      est.operator_pages = a.operator_pages + b.operator_pages +
+                           sort_pages +
+                           2 * (a.output_records / rpp) + 1;
+      est.output_records = a.output_records;
+      return est;
+    }
+  }
+  return CostEstimate();
+}
+
+void ExplainNode(const EntrySource& store, const Query& q, int depth,
+                 std::string* out) {
+  CostEstimate est = EstimateNode(store, q);
+  out->append(static_cast<size_t>(2 * depth), ' ');
+  if (q.op() == QueryOp::kAtomic) {
+    out->append("atomic base='" + q.base().ToString() + "' scope=" +
+                ScopeToString(q.scope()) + " filter=" +
+                q.filter().ToString());
+  } else if (q.op() == QueryOp::kLdap) {
+    out->append("ldap base='" + q.base().ToString() + "' scope=" +
+                ScopeToString(q.scope()) + " filter=" +
+                q.ldap_filter()->ToString());
+  } else {
+    out->append("op ");
+    out->append(QueryOpToString(q.op()));
+    if (q.agg().has_value()) out->append(" [" + q.agg()->ToString() + "]");
+    if (!q.ref_attr().empty()) out->append(" via " + q.ref_attr());
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "  {<=%.0f recs, ~%.0f leaf + %.0f op pages}",
+                est.output_records, est.leaf_pages, est.operator_pages);
+  out->append(buf);
+  out->push_back('\n');
+  for (const QueryPtr& child : {q.q1(), q.q2(), q.q3()}) {
+    if (child != nullptr) ExplainNode(store, *child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+CostEstimate EstimateCost(const EntrySource& store, const Query& query) {
+  return EstimateNode(store, query);
+}
+
+std::string ExplainPlan(const EntrySource& store, const Query& query) {
+  std::string out;
+  ExplainNode(store, query, 0, &out);
+  return out;
+}
+
+}  // namespace ndq

@@ -1,0 +1,42 @@
+// A transparent I/O cost model and plan explainer.
+//
+// Estimates page I/O for a query plan straight from the theorems:
+// linear terms for boolean/hierarchy/aggregate operators (Thms 5.1-6.2,
+// 8.3), a sort term for the embedded-reference operators (Thm 7.1), and
+// range sizes for atomic leaves from the store's sparse index (no I/O).
+//
+// Cardinalities are UPPER BOUNDS (filters are not assumed selective):
+// a leaf's output is bounded by its scope range; an operator's output by
+// its first operand. The model is meant for plan comparison ("which of
+// two equivalent forms scans less"), not for absolute prediction — see
+// cost_test.cc for the guarantees it is tested to keep.
+
+#ifndef NDQ_EXEC_COST_H_
+#define NDQ_EXEC_COST_H_
+
+#include <string>
+
+#include "query/ast.h"
+#include "store/entry_store.h"
+
+namespace ndq {
+
+/// Cost estimate for one plan node (cumulative over its subtree).
+struct CostEstimate {
+  double leaf_pages = 0;      ///< pages scanned by atomic leaves
+  double operator_pages = 0;  ///< pages moved by operator passes
+  double output_records = 0;  ///< upper bound on result cardinality
+
+  double TotalPages() const { return leaf_pages + operator_pages; }
+};
+
+/// Estimates the cost of evaluating `query` against `store`.
+CostEstimate EstimateCost(const EntrySource& store, const Query& query);
+
+/// Renders the plan tree with per-node cumulative estimates, e.g. for
+/// ndqsh's .explain.
+std::string ExplainPlan(const EntrySource& store, const Query& query);
+
+}  // namespace ndq
+
+#endif  // NDQ_EXEC_COST_H_

@@ -1,0 +1,34 @@
+// The embedded-reference operators valueDN (vd) and DNvalue (dv) of
+// Section 7, generalizing Algorithm ComputeERAggDV (Fig. 3) to arbitrary
+// aggregate selection filters.
+//
+// dv (L1 L2 a): keep r1 in L1 referenced by some r2 in L2 via attribute a.
+//   Phase 1 flattens L2 into the pair list LP = {(v, contribution of r2) |
+//   (a, v) in val(r2)} and sorts it by the referenced DN — the external
+//   sort is the source of the m·(|L2|/B)·log term in Theorem 7.1. Phase 2
+//   merges LP with L1 (both now in key order) folding contributions into
+//   per-r1 witness accumulators; phase 3 is the shared filter scan.
+//
+// vd (L1 L2 a): keep r1 whose attribute a references some r2 in L2. One
+//   extra sort: L1 is flattened to (referenced key, r1 key) pairs, joined
+//   against L2 by key to pick up witness contributions, and the resulting
+//   (r1 key, contribution) pairs are re-sorted into r1 order.
+
+#ifndef NDQ_EXEC_EMBEDDED_REF_H_
+#define NDQ_EXEC_EMBEDDED_REF_H_
+
+#include "exec/common.h"
+#include "query/ast.h"
+
+namespace ndq {
+
+/// Evaluates (vd L1 L2 attr [agg]) or (dv L1 L2 attr [agg]).
+Result<EntryList> EvalEmbeddedRef(SimDisk* disk, QueryOp op,
+                                  const EntryList& l1, const EntryList& l2,
+                                  const std::string& attr,
+                                  const std::optional<AggSelFilter>& agg,
+                                  const ExecOptions& options = {});
+
+}  // namespace ndq
+
+#endif  // NDQ_EXEC_EMBEDDED_REF_H_

@@ -1,0 +1,112 @@
+#include "exec/evaluator.h"
+
+#include "exec/atomic.h"
+#include "exec/boolean.h"
+#include "exec/embedded_ref.h"
+#include "exec/hierarchy.h"
+
+namespace ndq {
+
+Result<EntryList> EvalSimpleAgg(SimDisk* disk, const EntryList& l1,
+                                const AggSelFilter& filter) {
+  NDQ_ASSIGN_OR_RETURN(AggProgram prog,
+                       AggProgram::Compile(filter, /*structural=*/false));
+  // Annotate with empty witness-value vectors (no $2 references), then run
+  // the shared (<= 2 scan) filter phase.
+  RunWriter writer(disk);
+  RunReader reader(disk, l1);
+  std::string rec, buf;
+  const std::vector<std::optional<int64_t>> no_vals;
+  while (true) {
+    NDQ_ASSIGN_OR_RETURN(bool more, reader.Next(&rec));
+    if (!more) break;
+    buf.clear();
+    WriteAnnotated(no_vals, rec, &buf);
+    NDQ_RETURN_IF_ERROR(writer.Add(buf));
+  }
+  NDQ_ASSIGN_OR_RETURN(Run annotated, writer.Finish());
+  return FilterAnnotatedList(disk, std::move(annotated), prog);
+}
+
+Result<EntryList> Evaluator::Evaluate(const Query& query) {
+  ++stats_.operators_evaluated;
+  switch (query.op()) {
+    case QueryOp::kAtomic: {
+      ++stats_.atomic_queries;
+      NDQ_ASSIGN_OR_RETURN(
+          EntryList out, EvalAtomic(disk_, *store_, query.base(),
+                                    query.scope(), query.filter()));
+      stats_.atomic_output_records += out.num_records;
+      return out;
+    }
+    case QueryOp::kLdap: {
+      ++stats_.atomic_queries;
+      NDQ_ASSIGN_OR_RETURN(
+          EntryList out, EvalLdap(disk_, *store_, query.base(),
+                                  query.scope(), *query.ldap_filter()));
+      stats_.atomic_output_records += out.num_records;
+      return out;
+    }
+    case QueryOp::kAnd:
+    case QueryOp::kOr:
+    case QueryOp::kDiff: {
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1()));
+      NDQ_ASSIGN_OR_RETURN(EntryList l2, Evaluate(*query.q2()));
+      Result<EntryList> out = EvalBoolean(disk_, query.op(), l1, l2);
+      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l1));
+      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l2));
+      return out;
+    }
+    case QueryOp::kSimpleAgg: {
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1()));
+      Result<EntryList> out = EvalSimpleAgg(disk_, l1, *query.agg());
+      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l1));
+      return out;
+    }
+    case QueryOp::kParents:
+    case QueryOp::kChildren:
+    case QueryOp::kAncestors:
+    case QueryOp::kDescendants: {
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1()));
+      NDQ_ASSIGN_OR_RETURN(EntryList l2, Evaluate(*query.q2()));
+      Result<EntryList> out = EvalHierarchy(disk_, query.op(), l1, l2,
+                                            nullptr, query.agg(), options_);
+      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l1));
+      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l2));
+      return out;
+    }
+    case QueryOp::kCoAncestors:
+    case QueryOp::kCoDescendants: {
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1()));
+      NDQ_ASSIGN_OR_RETURN(EntryList l2, Evaluate(*query.q2()));
+      NDQ_ASSIGN_OR_RETURN(EntryList l3, Evaluate(*query.q3()));
+      Result<EntryList> out = EvalHierarchy(disk_, query.op(), l1, l2, &l3,
+                                            query.agg(), options_);
+      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l1));
+      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l2));
+      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l3));
+      return out;
+    }
+    case QueryOp::kValueDn:
+    case QueryOp::kDnValue: {
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1()));
+      NDQ_ASSIGN_OR_RETURN(EntryList l2, Evaluate(*query.q2()));
+      Result<EntryList> out =
+          EvalEmbeddedRef(disk_, query.op(), l1, l2, query.ref_attr(),
+                          query.agg(), options_);
+      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l1));
+      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l2));
+      return out;
+    }
+  }
+  return Status::Internal("unreachable query op in Evaluate");
+}
+
+Result<std::vector<Entry>> Evaluator::EvaluateToEntries(const Query& query) {
+  NDQ_ASSIGN_OR_RETURN(EntryList list, Evaluate(query));
+  Result<std::vector<Entry>> entries = ReadEntryList(disk_, list);
+  NDQ_RETURN_IF_ERROR(FreeRun(disk_, &list));
+  return entries;
+}
+
+}  // namespace ndq

@@ -1,0 +1,62 @@
+// The bottom-up external-memory query evaluator (Sec. 8.2).
+//
+// "Each query expression can be evaluated bottom-up ...: first, the atomic
+// queries are evaluated, and the resulting entries are sorted by the
+// lexicographic ordering on the reverse of their dn's. Next, each operator
+// in the query tree is evaluated ... Since each operator gets sorted input
+// lists, and computes a sorted output list, no additional sorting of the
+// result of an intermediate operator is necessary."
+//
+// Every intermediate list lives on the simulated disk; each operator uses
+// a constant number of page buffers (plus the spillable stacks), so whole-
+// query evaluation runs in constant main memory with the I/O bounds of
+// Theorems 8.3 (L2: linear) and 8.4 (L3: N log N).
+
+#ifndef NDQ_EXEC_EVALUATOR_H_
+#define NDQ_EXEC_EVALUATOR_H_
+
+#include "exec/common.h"
+#include "query/ast.h"
+#include "store/entry_store.h"
+
+namespace ndq {
+
+/// Per-query evaluation statistics.
+struct EvalStats {
+  uint64_t operators_evaluated = 0;
+  uint64_t atomic_queries = 0;
+  /// Cumulative size (records) of all atomic sub-query outputs: the |L| of
+  /// Theorem 8.3.
+  uint64_t atomic_output_records = 0;
+};
+
+/// \brief Evaluates query trees against one directory server's store.
+class Evaluator {
+ public:
+  Evaluator(SimDisk* disk, const EntrySource* store, ExecOptions options = {})
+      : disk_(disk), store_(store), options_(options) {}
+
+  /// Evaluates the query; the caller owns (and frees) the returned list.
+  Result<EntryList> Evaluate(const Query& query);
+
+  /// Convenience: evaluates and deserializes the result entries.
+  Result<std::vector<Entry>> EvaluateToEntries(const Query& query);
+
+  const EvalStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EvalStats(); }
+
+ private:
+  SimDisk* disk_;
+  const EntrySource* store_;
+  ExecOptions options_;
+  EvalStats stats_;
+};
+
+/// Simple aggregate selection "(g L1 AggSelFilter)" over a materialized
+/// list (Theorem 6.1: at most two scans + output). Exposed for benches.
+Result<EntryList> EvalSimpleAgg(SimDisk* disk, const EntryList& l1,
+                                const AggSelFilter& filter);
+
+}  // namespace ndq
+
+#endif  // NDQ_EXEC_EVALUATOR_H_

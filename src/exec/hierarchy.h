@@ -1,0 +1,49 @@
+// The stack-based hierarchical selection operators.
+//
+// Implements ComputeHSPC (Fig. 2), ComputeHSAD (Fig. 4), ComputeHSADc
+// (Fig. 5) and their aggregate-selection generalizations ComputeHSAgg*
+// (Sec. 6.4, Fig. 6) as ONE parameterized pass plus the shared filter
+// phase of exec/common.h. The L1-only operators are evaluated as their
+// "count($2) > 0" aggregate special case, exactly as Sec. 6.2 observes.
+//
+// Direction. The inputs are merged in reverse-DN order, where an entry's
+// ancestors precede it. Consequently:
+//   * For the ancestor-direction operators (p, a, ac) an entry's witness
+//     aggregate is complete the moment the entry ARRIVES — the paper's
+//     below(.) counters — so one forward pass emits the annotated list in
+//     key order.
+//   * For the descendant-direction operators (c, d, dc) — the paper's
+//     above(.) counters, finalized at pop time — this implementation
+//     instead scans the merged stream in DESCENDING key order (a linear-
+//     time reversal of the materialized merge), where an entry's
+//     descendants precede it and the same arrival-time argument applies;
+//     the annotated output is reversed back. This achieves the in-place
+//     "associate values with entry rt in list L1" of the paper's Phase 1
+//     with strictly sequential I/O: 5 linear scans in total, O((|L1| +
+//     |L2| [+ |L3|])/B) I/Os as Theorems 5.1/6.2 require.
+//
+// The stack itself is a SpillableStack, so a root-to-leaf chain larger
+// than memory spills in page-sized batches with amortized O(chain/B) I/O —
+// the crux of the Theorem 5.1 proof.
+
+#ifndef NDQ_EXEC_HIERARCHY_H_
+#define NDQ_EXEC_HIERARCHY_H_
+
+#include "exec/common.h"
+#include "query/ast.h"
+
+namespace ndq {
+
+/// Evaluates one of the six hierarchy operators with an (optional)
+/// aggregate selection filter. `l3` must be non-null exactly for the
+/// path-constrained operators (kCoAncestors / kCoDescendants). A missing
+/// `agg` means the existential L1 semantics.
+Result<EntryList> EvalHierarchy(SimDisk* disk, QueryOp op,
+                                const EntryList& l1, const EntryList& l2,
+                                const EntryList* l3,
+                                const std::optional<AggSelFilter>& agg,
+                                const ExecOptions& options = {});
+
+}  // namespace ndq
+
+#endif  // NDQ_EXEC_HIERARCHY_H_

@@ -1,0 +1,112 @@
+#include "exec/naive.h"
+
+#include "core/dn.h"
+
+namespace ndq {
+
+namespace {
+
+bool RelatedKeys(QueryOp op, std::string_view k1, std::string_view k2) {
+  switch (op) {
+    case QueryOp::kParents:
+      return KeyIsParent(k2, k1);
+    case QueryOp::kChildren:
+      return KeyIsParent(k1, k2);
+    case QueryOp::kAncestors:
+    case QueryOp::kCoAncestors:
+      return KeyIsAncestor(k2, k1);
+    case QueryOp::kDescendants:
+    case QueryOp::kCoDescendants:
+      return KeyIsAncestor(k1, k2);
+    default:
+      return false;
+  }
+}
+
+// Whether some r3 in L3 strictly intervenes between r1 and witness r2.
+Result<bool> Blocked(SimDisk* disk, QueryOp op, const EntryList& l3,
+                     std::string_view k1, std::string_view k2) {
+  RunReader reader(disk, l3);
+  std::string rec;
+  while (true) {
+    NDQ_ASSIGN_OR_RETURN(bool more, reader.Next(&rec));
+    if (!more) break;
+    NDQ_ASSIGN_OR_RETURN(std::string_view k3, PeekEntryKey(rec));
+    if (k3 == k1 || k3 == k2) continue;
+    bool between = op == QueryOp::kCoAncestors
+                       ? (KeyIsAncestor(k3, k1) && KeyIsAncestor(k2, k3))
+                       : (KeyIsAncestor(k1, k3) && KeyIsAncestor(k3, k2));
+    if (between) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<EntryList> NaiveHierarchy(SimDisk* disk, QueryOp op,
+                                 const EntryList& l1, const EntryList& l2,
+                                 const EntryList* l3) {
+  const bool constrained =
+      op == QueryOp::kCoAncestors || op == QueryOp::kCoDescendants;
+  if (constrained && l3 == nullptr) {
+    return Status::InvalidArgument("constrained operator requires L3");
+  }
+  RunWriter out(disk);
+  RunReader outer(disk, l1);
+  std::string rec1;
+  while (true) {
+    NDQ_ASSIGN_OR_RETURN(bool more, outer.Next(&rec1));
+    if (!more) break;
+    NDQ_ASSIGN_OR_RETURN(std::string_view k1, PeekEntryKey(rec1));
+    // Independently rescan L2 looking for a witness for this entry.
+    RunReader inner(disk, l2);
+    std::string rec2;
+    bool found = false;
+    while (!found) {
+      NDQ_ASSIGN_OR_RETURN(bool more2, inner.Next(&rec2));
+      if (!more2) break;
+      NDQ_ASSIGN_OR_RETURN(std::string_view k2, PeekEntryKey(rec2));
+      if (!RelatedKeys(op, k1, k2)) continue;
+      if (constrained) {
+        NDQ_ASSIGN_OR_RETURN(bool blocked, Blocked(disk, op, *l3, k1, k2));
+        if (blocked) continue;
+      }
+      found = true;
+    }
+    if (found) NDQ_RETURN_IF_ERROR(out.Add(rec1));
+  }
+  return out.Finish();
+}
+
+Result<EntryList> NaiveEmbeddedRef(SimDisk* disk, QueryOp op,
+                                   const EntryList& l1, const EntryList& l2,
+                                   const std::string& attr) {
+  if (op != QueryOp::kValueDn && op != QueryOp::kDnValue) {
+    return Status::InvalidArgument("NaiveEmbeddedRef: not vd/dv");
+  }
+  RunWriter out(disk);
+  RunReader outer(disk, l1);
+  std::string rec1;
+  while (true) {
+    NDQ_ASSIGN_OR_RETURN(bool more, outer.Next(&rec1));
+    if (!more) break;
+    NDQ_ASSIGN_OR_RETURN(Entry r1, DeserializeEntry(rec1));
+    RunReader inner(disk, l2);
+    std::string rec2;
+    bool found = false;
+    while (!found) {
+      NDQ_ASSIGN_OR_RETURN(bool more2, inner.Next(&rec2));
+      if (!more2) break;
+      NDQ_ASSIGN_OR_RETURN(Entry r2, DeserializeEntry(rec2));
+      if (op == QueryOp::kValueDn) {
+        found = r1.HasPair(attr, Value::DnRef(r2.dn().ToString()));
+      } else {
+        found = r2.HasPair(attr, Value::DnRef(r1.dn().ToString()));
+      }
+    }
+    if (found) NDQ_RETURN_IF_ERROR(out.Add(rec1));
+  }
+  return out.Finish();
+}
+
+}  // namespace ndq

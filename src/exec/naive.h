@@ -1,0 +1,35 @@
+// The quadratic baselines the paper contrasts with.
+//
+// Sec. 5.3: "The straightforward way of computing the hierarchical
+// selection operators ... by independently testing whether each entry of
+// the first operand is in the output by finding a 'witness' entry in the
+// second operand, is quadratic in the sum of the sizes of the two
+// operands." Sec. 7.2 says the same of the embedded-reference operators.
+//
+// These implementations exist for the benchmark harness (E2/E3/E4/E7):
+// a block-nested-loop witness test whose I/O is O((|L1|/B) * (|L2|/B)).
+// Results are identical to the stack/merge algorithms.
+
+#ifndef NDQ_EXEC_NAIVE_H_
+#define NDQ_EXEC_NAIVE_H_
+
+#include "exec/common.h"
+#include "query/ast.h"
+
+namespace ndq {
+
+/// Quadratic witness-test evaluation of any of the six hierarchy operators
+/// (existential semantics only — the baseline predates aggregation).
+Result<EntryList> NaiveHierarchy(SimDisk* disk, QueryOp op,
+                                 const EntryList& l1, const EntryList& l2,
+                                 const EntryList* l3);
+
+/// Quadratic evaluation of vd/dv: for each L1 entry, rescan L2 for
+/// witnesses.
+Result<EntryList> NaiveEmbeddedRef(SimDisk* disk, QueryOp op,
+                                   const EntryList& l1, const EntryList& l2,
+                                   const std::string& attr);
+
+}  // namespace ndq
+
+#endif  // NDQ_EXEC_NAIVE_H_

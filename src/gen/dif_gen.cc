@@ -1,0 +1,223 @@
+#include "gen/dif_gen.h"
+
+#include <cassert>
+#include <random>
+#include <vector>
+
+#include "gen/paper_data.h"
+
+namespace ndq {
+namespace gen {
+
+namespace {
+
+Rdn R(const std::string& attr, const std::string& value) {
+  return Rdn::Single(attr, value).TakeValue();
+}
+
+void MustAdd(DirectoryInstance* inst, Entry entry) {
+  Status s = inst->Add(std::move(entry));
+  assert(s.ok() && "DIF generator produced an invalid entry");
+  (void)s;
+}
+
+Entry DomainEntry(const Dn& dn, const std::string& dc) {
+  Entry e(dn);
+  e.AddClass("dcObject");
+  e.AddString("dc", dc);
+  return e;
+}
+
+Entry OuEntry(const Dn& dn, const std::string& ou) {
+  Entry e(dn);
+  e.AddClass("organizationalUnit");
+  e.AddString("ou", ou);
+  return e;
+}
+
+}  // namespace
+
+DirectoryInstance GenerateDif(const DifOptions& opt) {
+  std::mt19937 rng(opt.seed);
+  DirectoryInstance inst(PaperSchema());
+
+  Dn com = Dn::Make({R("dc", "com")}).TakeValue();
+  MustAdd(&inst, DomainEntry(com, "com"));
+
+  int sub_serial = 0;
+  int64_t ca_serial = 0;
+  for (int o = 0; o < opt.num_orgs; ++o) {
+    std::string org = "org" + std::to_string(o);
+    Dn org_dn = com.Child(R("dc", org));
+    MustAdd(&inst, DomainEntry(org_dn, org));
+
+    for (int s = 0; s < opt.subdomains_per_org; ++s) {
+      std::string sub = "sub" + std::to_string(sub_serial++);
+      Dn dom = org_dn.Child(R("dc", sub));
+      MustAdd(&inst, DomainEntry(dom, sub));
+
+      // ---- QoS subtree (Fig. 12 shape) ----
+      Dn np = dom.Child(R("ou", "networkPolicies"));
+      MustAdd(&inst, OuEntry(np, "networkPolicies"));
+      Dn rules_ou = np.Child(R("ou", "SLAPolicyRules"));
+      Dn tp_ou = np.Child(R("ou", "trafficProfile"));
+      Dn pvp_ou = np.Child(R("ou", "policyValidityPeriod"));
+      Dn act_ou = np.Child(R("ou", "SLADSAction"));
+      MustAdd(&inst, OuEntry(rules_ou, "SLAPolicyRules"));
+      MustAdd(&inst, OuEntry(tp_ou, "trafficProfile"));
+      MustAdd(&inst, OuEntry(pvp_ou, "policyValidityPeriod"));
+      MustAdd(&inst, OuEntry(act_ou, "SLADSAction"));
+
+      std::vector<Dn> profiles, periods, actions, policies;
+      for (int i = 0; i < opt.profiles_per_domain; ++i) {
+        std::string name = "tp" + std::to_string(i);
+        Dn dn = tp_ou.Child(R("TPName", name));
+        Entry e(dn);
+        e.AddClass("trafficProfile");
+        e.AddString("TPName", name);
+        if (i % 4 == 0) {
+          e.AddString("SourceAddress", "*.*.*.*");  // catch-all profile
+        } else {
+          e.AddString("SourceAddress", std::to_string(200 + rng() % 20) +
+                                           "." + std::to_string(rng() % 256) +
+                                           ".*.*");
+        }
+        if (rng() % 3 != 0) {
+          // Common well-known ports; port 25 (SMTP) appears regularly so
+          // the Sec. 7 query has non-trivial answers at every scale.
+          const int ports[] = {25, 80, 110, 443, 8080};
+          e.AddInt("sourcePort", ports[rng() % 5]);
+        }
+        MustAdd(&inst, std::move(e));
+        profiles.push_back(dn);
+      }
+      for (int i = 0; i < opt.periods_per_domain; ++i) {
+        std::string name = "pvp" + std::to_string(i);
+        Dn dn = pvp_ou.Child(R("PVPName", name));
+        Entry e(dn);
+        e.AddClass("policyValidityPeriod");
+        e.AddString("PVPName", name);
+        if (i % 3 == 0) {
+          // Standing policy window: the whole year, every day.
+          e.AddInt("PVStartTime", 19980101000000);
+          e.AddInt("PVEndTime", 19981231235959);
+        } else {
+          int64_t start = 19980101000000 +
+                          static_cast<int64_t>(rng() % 300) * 1000000;
+          e.AddInt("PVStartTime", start);
+          e.AddInt("PVEndTime", start + 86399);
+          int ndays = 1 + rng() % 3;
+          for (int d = 0; d < ndays; ++d) {
+            e.AddInt("PVDayOfWeek", 1 + rng() % 7);
+          }
+        }
+        MustAdd(&inst, std::move(e));
+        periods.push_back(dn);
+      }
+      for (int i = 0; i < opt.actions_per_domain; ++i) {
+        std::string name = "act" + std::to_string(i);
+        Dn dn = act_ou.Child(R("DSActionName", name));
+        Entry e(dn);
+        e.AddClass("SLADSAction");
+        e.AddString("DSActionName", name);
+        e.AddString("DSPermission", (rng() % 2 == 0) ? "Deny" : "Allow");
+        e.AddInt("DSInProfilePeakRate", 10 + rng() % 90);
+        e.AddInt("DSDropPriority", 1 + rng() % 3);
+        MustAdd(&inst, std::move(e));
+        actions.push_back(dn);
+      }
+      for (int i = 0; i < opt.policies_per_domain; ++i) {
+        std::string name = "pol" + std::to_string(i);
+        Dn dn = rules_ou.Child(R("SLAPolicyName", name));
+        policies.push_back(dn);
+      }
+      for (int i = 0; i < opt.policies_per_domain; ++i) {
+        const Dn& dn = policies[i];
+        Entry e(dn);
+        e.AddClass("SLAPolicyRules");
+        e.AddString("SLAPolicyName", "pol" + std::to_string(i));
+        e.AddString("SLAPolicyScope", (rng() % 2 == 0) ? "DataTraffic"
+                                                       : "SignalingTraffic");
+        e.AddInt("SLARulePriority",
+                 1 + static_cast<int64_t>(rng() % opt.priority_levels));
+        for (int r = 0; r < opt.refs_per_policy && !profiles.empty(); ++r) {
+          e.AddDnRef("SLATPRef", profiles[rng() % profiles.size()]);
+        }
+        for (int r = 0; r < opt.refs_per_policy && !periods.empty(); ++r) {
+          e.AddDnRef("SLAPVPRef", periods[rng() % periods.size()]);
+        }
+        if (!actions.empty()) {
+          e.AddDnRef("SLADSActRef", actions[rng() % actions.size()]);
+        }
+        if (opt.policies_per_domain > 1 &&
+            std::uniform_real_distribution<double>(0, 1)(rng) <
+                opt.exception_probability) {
+          const Dn& exc = policies[rng() % policies.size()];
+          if (!(exc == dn)) e.AddDnRef("SLAExceptionRef", exc);
+        }
+        MustAdd(&inst, std::move(e));
+      }
+
+      // ---- TOPS subtree (Fig. 11 shape) ----
+      Dn up = dom.Child(R("ou", "userProfiles"));
+      MustAdd(&inst, OuEntry(up, "userProfiles"));
+      for (int u = 0; u < opt.subscribers_per_domain; ++u) {
+        std::string uid = "user" + std::to_string(u);
+        Dn udn = up.Child(R("uid", uid));
+        Entry ue(udn);
+        ue.AddClass("inetOrgPerson");
+        ue.AddClass("TOPSSubscriber");
+        ue.AddString("uid", uid);
+        ue.AddString("surName", "sn" + std::to_string(rng() % 1000));
+        ue.AddString("commonName", uid + " " + sub);
+        MustAdd(&inst, std::move(ue));
+        for (int q = 0; q < opt.qhps_per_subscriber; ++q) {
+          std::string qname = "qhp" + std::to_string(q);
+          Dn qdn = udn.Child(R("QHPName", qname));
+          Entry qe(qdn);
+          qe.AddClass("QHP");
+          qe.AddString("QHPName", qname);
+          qe.AddInt("priority", q + 1);  // lower value = higher priority
+          if (rng() % 2 == 0) {
+            int64_t start = 600 + static_cast<int64_t>(rng() % 6) * 100;
+            qe.AddInt("startTime", start);
+            qe.AddInt("endTime", start + 800 + rng() % 400);
+          } else {
+            qe.AddInt("daysOfWeek", 6);
+            qe.AddInt("daysOfWeek", 7);
+          }
+          MustAdd(&inst, std::move(qe));
+          for (int c = 0; c < opt.cas_per_qhp; ++c) {
+            std::string number = "973" + std::to_string(1000000 + ca_serial++);
+            Dn cdn = qdn.Child(R("CANumber", number));
+            Entry ce(cdn);
+            ce.AddClass("callAppearance");
+            ce.AddString("CANumber", number);
+            ce.AddInt("priority", c + 1);
+            ce.AddInt("timeOut", 10 + static_cast<int64_t>(rng() % 30));
+            MustAdd(&inst, std::move(ce));
+          }
+        }
+      }
+    }
+  }
+  return inst;
+}
+
+size_t ExpectedDifSize(const DifOptions& opt) {
+  size_t per_domain =
+      1 /*dom*/ + 5 /*ous*/ + 1 /*userProfiles ou*/ +
+      static_cast<size_t>(opt.policies_per_domain) +
+      static_cast<size_t>(opt.profiles_per_domain) +
+      static_cast<size_t>(opt.periods_per_domain) +
+      static_cast<size_t>(opt.actions_per_domain) +
+      static_cast<size_t>(opt.subscribers_per_domain) *
+          (1 + static_cast<size_t>(opt.qhps_per_subscriber) *
+                   (1 + static_cast<size_t>(opt.cas_per_qhp)));
+  return 1 /*dc=com*/ + static_cast<size_t>(opt.num_orgs) *
+                            (1 + static_cast<size_t>(opt.subdomains_per_org) *
+                                     per_domain);
+}
+
+}  // namespace gen
+}  // namespace ndq

@@ -1,0 +1,53 @@
+// Scalable synthetic DEN directory generator.
+//
+// The paper's applications (Sec. 2) use real AT&T data we do not have;
+// this generator reproduces their *shape* at any scale: a DNS-style domain
+// hierarchy (Fig. 1), a networkPolicies subtree per domain with
+// SLAPolicyRules / trafficProfile / policyValidityPeriod / SLADSAction
+// entries cross-linked by DN-valued reference attributes (Fig. 12), and a
+// userProfiles subtree with TOPSSubscriber / QHP / callAppearance chains
+// (Fig. 11). Sizes, fan-outs and reference densities are parameters, so
+// the benchmark harness can sweep directory size while holding shape
+// fixed.
+
+#ifndef NDQ_GEN_DIF_GEN_H_
+#define NDQ_GEN_DIF_GEN_H_
+
+#include <cstdint>
+
+#include "core/instance.h"
+
+namespace ndq {
+namespace gen {
+
+struct DifOptions {
+  uint32_t seed = 1;
+  /// DNS levels: number of top-level orgs under dc=com, and subdomains per
+  /// org (each subdomain owns a networkPolicies + userProfiles subtree).
+  int num_orgs = 2;
+  int subdomains_per_org = 2;
+  /// QoS content per subdomain.
+  int policies_per_domain = 8;
+  int profiles_per_domain = 6;
+  int periods_per_domain = 4;
+  int actions_per_domain = 3;
+  int refs_per_policy = 2;        ///< SLATPRef / SLAPVPRef fan-out
+  double exception_probability = 0.3;  ///< chance of an SLAExceptionRef
+  int priority_levels = 5;
+  /// TOPS content per subdomain.
+  int subscribers_per_domain = 10;
+  int qhps_per_subscriber = 3;
+  int cas_per_qhp = 2;
+};
+
+/// Generates the synthetic DEN directory (schema = PaperSchema()).
+DirectoryInstance GenerateDif(const DifOptions& options);
+
+/// Approximate entry count for the given options (exact for this
+/// generator; useful for sizing sweeps).
+size_t ExpectedDifSize(const DifOptions& options);
+
+}  // namespace gen
+}  // namespace ndq
+
+#endif  // NDQ_GEN_DIF_GEN_H_

@@ -1,0 +1,27 @@
+// The paper's schema and sample data (Figures 1, 11 and 12), as reusable
+// fixtures for tests, examples and benchmarks.
+
+#ifndef NDQ_GEN_PAPER_DATA_H_
+#define NDQ_GEN_PAPER_DATA_H_
+
+#include "core/instance.h"
+
+namespace ndq {
+namespace gen {
+
+/// The combined schema of the paper's examples: DNS-style domain entries,
+/// organizational units, the QoS/SLA classes (after Chaudhury et al. [11])
+/// and the TOPS classes.
+Schema PaperSchema();
+
+/// The directory fragments of Figures 1 (DNS levels), 11 (TOPS) and 12
+/// (QoS policies), combined in one instance (23 entries).
+DirectoryInstance PaperInstance();
+
+/// Parses a DN, aborting on failure (test/bench convenience).
+Dn MustDn(const std::string& text);
+
+}  // namespace gen
+}  // namespace ndq
+
+#endif  // NDQ_GEN_PAPER_DATA_H_

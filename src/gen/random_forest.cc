@@ -1,0 +1,63 @@
+#include "gen/random_forest.h"
+
+#include <vector>
+
+namespace ndq {
+namespace gen {
+
+DirectoryInstance RandomForest(const RandomForestOptions& options) {
+  std::mt19937 rng(options.seed);
+  DirectoryInstance inst(Schema(), /*validate=*/false);
+
+  // Grow the forest: keep a pool of prospective parents; each new entry
+  // attaches under a random pool member (or becomes a root).
+  std::vector<Dn> pool;
+  size_t serial = 0;
+  auto make_rdn = [&](const char* attr) {
+    return Rdn::Single(attr, "n" + std::to_string(serial++)).TakeValue();
+  };
+  std::vector<Dn> all_dns;
+  for (size_t i = 0; i < options.num_entries; ++i) {
+    Dn dn;
+    if (pool.size() < options.num_roots) {
+      dn = Dn::Make({make_rdn("dc")}).TakeValue();
+    } else {
+      const Dn& parent = pool[rng() % pool.size()];
+      const char* attr = (parent.depth() % 2 == 0) ? "ou" : "cn";
+      dn = parent.Child(make_rdn(attr));
+    }
+    if (rng() % options.max_children != 0) pool.push_back(dn);
+    all_dns.push_back(dn);
+  }
+
+  // Populate attributes; references point at any generated dn.
+  for (const Dn& dn : all_dns) {
+    Entry e(dn);
+    e.AddClass("class" + std::to_string(rng() % options.num_classes));
+    if (rng() % 4 == 0) {
+      e.AddClass("class" + std::to_string(rng() % options.num_classes));
+    }
+    e.AddInt("x", static_cast<int64_t>(rng() % options.int_attr_range));
+    if (rng() % 3 == 0) {
+      e.AddInt("x", static_cast<int64_t>(rng() % options.int_attr_range));
+    }
+    e.AddString("tag", "tag" + std::to_string(rng() % options.num_tags));
+    // rdn(r) subseteq val(r).
+    for (const auto& [attr, value] : dn.rdn().pairs()) {
+      e.AddString(attr, value);
+    }
+    if (std::uniform_real_distribution<double>(0, 1)(rng) <
+        options.ref_probability) {
+      int nrefs = 1 + static_cast<int>(rng() % options.max_refs);
+      for (int r = 0; r < nrefs; ++r) {
+        e.AddDnRef("ref", all_dns[rng() % all_dns.size()]);
+      }
+    }
+    Status s = inst.Add(std::move(e));
+    (void)s;  // duplicate dns impossible: serial numbers are unique
+  }
+  return inst;
+}
+
+}  // namespace gen
+}  // namespace ndq

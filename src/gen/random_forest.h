@@ -1,0 +1,40 @@
+// Random directory forests for property testing and algorithm benches.
+//
+// The generated instances are schema-light (validation off) but exercise
+// every feature the operators care about: variable depth/fan-out, multi-
+// valued attributes, multiple classes, int/string/dn-typed values, and
+// DN-valued reference attributes ("ref") for the embedded-reference
+// operators.
+
+#ifndef NDQ_GEN_RANDOM_FOREST_H_
+#define NDQ_GEN_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <random>
+
+#include "core/instance.h"
+
+namespace ndq {
+namespace gen {
+
+struct RandomForestOptions {
+  uint32_t seed = 1;
+  size_t num_entries = 200;
+  size_t num_roots = 3;        ///< forest, not tree
+  size_t max_children = 4;     ///< fan-out bound when growing
+  int num_classes = 3;         ///< objectClass drawn from classA..classN
+  int int_attr_range = 20;     ///< "x" values in [0, range)
+  int num_tags = 8;            ///< "tag" values tag0..tagN
+  double ref_probability = 0.4;  ///< chance an entry gets "ref" values
+  int max_refs = 3;            ///< max "ref" values per entry
+};
+
+/// Generates a random forest instance. Entries have attributes:
+///   objectClass (1-2 classes), x (1-2 int values), tag (string),
+///   ref (0..max_refs DN references to random entries).
+DirectoryInstance RandomForest(const RandomForestOptions& options);
+
+}  // namespace gen
+}  // namespace ndq
+
+#endif  // NDQ_GEN_RANDOM_FOREST_H_

@@ -1,0 +1,181 @@
+#include "gen/random_query.h"
+
+#include <vector>
+
+namespace ndq {
+namespace gen {
+
+namespace {
+
+class QueryGen {
+ public:
+  QueryGen(std::mt19937* rng, const DirectoryInstance& inst,
+           const RandomQueryOptions& options)
+      : rng_(*rng), options_(options) {
+    for (const auto& [key, entry] : inst) {
+      (void)entry;
+      Result<Dn> dn = Dn::FromHierKey(key);
+      if (dn.ok()) dns_.push_back(dn.TakeValue());
+    }
+  }
+
+  QueryPtr Gen(int depth) {
+    int lang = static_cast<int>(options_.max_language);
+    // Weighted choice of node kind, bounded by depth and language.
+    if (depth <= 0 || Chance(0.35)) return GenAtomic();
+    std::vector<int> choices;  // 0=bool 1=hier 2=hierc 3=g 4=er
+    if (lang >= 1) choices.push_back(0);
+    if (lang >= 2) {
+      choices.push_back(1);
+      choices.push_back(1);
+      choices.push_back(2);
+    }
+    if (lang >= 3) choices.push_back(3);
+    if (lang >= 4) {
+      choices.push_back(4);
+      choices.push_back(4);
+    }
+    if (choices.empty()) return GenAtomic();
+    switch (choices[rng_() % choices.size()]) {
+      case 0: {
+        QueryOp ops[] = {QueryOp::kAnd, QueryOp::kOr, QueryOp::kDiff};
+        QueryOp op = ops[rng_() % 3];
+        QueryPtr a = Gen(depth - 1);
+        QueryPtr b = Gen(depth - 1);
+        if (op == QueryOp::kAnd) return Query::And(a, b);
+        if (op == QueryOp::kOr) return Query::Or(a, b);
+        return Query::Diff(a, b);
+      }
+      case 1: {
+        QueryOp ops[] = {QueryOp::kParents, QueryOp::kChildren,
+                         QueryOp::kAncestors, QueryOp::kDescendants};
+        return Query::Hierarchy(ops[rng_() % 4], Gen(depth - 1),
+                                Gen(depth - 1), MaybeAgg(lang));
+      }
+      case 2: {
+        QueryOp op = (rng_() % 2 == 0) ? QueryOp::kCoAncestors
+                                       : QueryOp::kCoDescendants;
+        return Query::HierarchyConstrained(op, Gen(depth - 1), Gen(depth - 1),
+                                           Gen(depth - 1), MaybeAgg(lang));
+      }
+      case 3:
+        return Query::SimpleAgg(Gen(depth - 1), RandomAggFilter(false));
+      default: {
+        QueryOp op =
+            (rng_() % 2 == 0) ? QueryOp::kValueDn : QueryOp::kDnValue;
+        return Query::EmbeddedRef(op, Gen(depth - 1), Gen(depth - 1), "ref",
+                                  MaybeAgg(lang));
+      }
+    }
+  }
+
+ private:
+  bool Chance(double p) {
+    return std::uniform_real_distribution<double>(0, 1)(rng_) < p;
+  }
+
+  QueryPtr GenAtomic() {
+    Dn base;
+    // Mostly broad bases so operands overlap; sometimes a specific one.
+    if (!dns_.empty() && Chance(0.5)) {
+      const Dn& dn = dns_[rng_() % dns_.size()];
+      // Walk up to a shallow ancestor most of the time.
+      base = dn;
+      while (base.depth() > 1 && Chance(0.6)) base = base.Parent();
+    }
+    Scope scopes[] = {Scope::kBase, Scope::kOne, Scope::kSub, Scope::kSub,
+                      Scope::kSub};
+    Scope scope = scopes[rng_() % 5];
+    if (base.IsNull()) scope = Scope::kSub;
+    return Query::Atomic(base, scope, RandomFilter());
+  }
+
+  AtomicFilter RandomFilter() {
+    switch (rng_() % 6) {
+      case 0:
+        return AtomicFilter::True();
+      case 1:
+        return AtomicFilter::Presence("ref");
+      case 2:
+        return AtomicFilter::Equals(
+            "objectClass", Value::String("class" + std::to_string(rng_() % 3)));
+      case 3: {
+        CompareOp ops[] = {CompareOp::kLt, CompareOp::kLe, CompareOp::kGt,
+                           CompareOp::kGe, CompareOp::kEq, CompareOp::kNe};
+        return AtomicFilter::IntCompare("x", ops[rng_() % 6],
+                                        static_cast<int64_t>(rng_() % 20));
+      }
+      case 4:
+        return AtomicFilter::Equals(
+            "tag", Value::String("tag" + std::to_string(rng_() % 8)));
+      default:
+        return AtomicFilter::Substring("tag",
+                                       "*" + std::to_string(rng_() % 10) +
+                                           "*");
+    }
+  }
+
+  std::optional<AggSelFilter> MaybeAgg(int lang) {
+    if (lang < 3 || !Chance(options_.agg_probability)) return std::nullopt;
+    return RandomAggFilter(true);
+  }
+
+  AggSelFilter RandomAggFilter(bool structural) {
+    AggSelFilter f;
+    f.lhs = RandomAggAttr(structural, /*allow_const=*/false);
+    CompareOp ops[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+    f.op = ops[rng_() % 6];
+    f.rhs = RandomAggAttr(structural, /*allow_const=*/true);
+    return f;
+  }
+
+  EntryAgg RandomEntryAgg(bool structural) {
+    EntryAgg ea;
+    AggFn fns[] = {AggFn::kMin, AggFn::kMax, AggFn::kSum, AggFn::kCount,
+                   AggFn::kAvg};
+    ea.fn = fns[rng_() % 5];
+    if (structural && rng_() % 2 == 0) {
+      if (rng_() % 3 == 0) {
+        ea.fn = AggFn::kCount;
+        ea.target = AggTarget::kWitnessCount;
+      } else {
+        ea.target = AggTarget::kWitnessAttr;
+        ea.attr = "x";
+      }
+    } else {
+      ea.target = AggTarget::kSelfAttr;
+      ea.attr = (rng_() % 4 == 0) ? "ref" : "x";
+    }
+    return ea;
+  }
+
+  AggAttr RandomAggAttr(bool structural, bool allow_const) {
+    int pick = rng_() % (allow_const ? 3 : 2);
+    if (allow_const && pick == 2) {
+      return AggAttr::Const(static_cast<int64_t>(rng_() % 25));
+    }
+    if (pick == 1 && rng_() % 2 == 0) {
+      if (rng_() % 3 == 0) return AggAttr::CountSet(!structural);
+      return AggAttr::EntrySet(
+          (rng_() % 2 == 0) ? AggFn::kMin : AggFn::kMax,
+          RandomEntryAgg(structural));
+    }
+    return AggAttr::Entry(RandomEntryAgg(structural));
+  }
+
+  std::mt19937& rng_;
+  RandomQueryOptions options_;
+  std::vector<Dn> dns_;
+};
+
+}  // namespace
+
+QueryPtr RandomQuery(std::mt19937* rng, const DirectoryInstance& instance,
+                     const RandomQueryOptions& options) {
+  QueryGen gen(rng, instance, options);
+  return gen.Gen(options.max_depth);
+}
+
+}  // namespace gen
+}  // namespace ndq

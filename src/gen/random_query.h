@@ -1,0 +1,35 @@
+// Random query generation for property testing (exec engine vs. the
+// definitional reference evaluator) across all language levels.
+
+#ifndef NDQ_GEN_RANDOM_QUERY_H_
+#define NDQ_GEN_RANDOM_QUERY_H_
+
+#include <random>
+
+#include "core/instance.h"
+#include "query/ast.h"
+
+namespace ndq {
+namespace gen {
+
+struct RandomQueryOptions {
+  /// Highest language allowed in the generated tree.
+  Language max_language = Language::kL3;
+  /// Maximum operator-tree depth (atomic leaves not counted).
+  int max_depth = 3;
+  /// Probability that a hierarchy/ER operator carries an aggregate
+  /// selection filter (when the language allows).
+  double agg_probability = 0.5;
+};
+
+/// Generates a random query against instances produced by RandomForest
+/// (attributes objectClass/x/tag/ref). Bases are drawn from the
+/// instance's dns (or null); every generated query parses back from its
+/// ToString form.
+QueryPtr RandomQuery(std::mt19937* rng, const DirectoryInstance& instance,
+                     const RandomQueryOptions& options);
+
+}  // namespace gen
+}  // namespace ndq
+
+#endif  // NDQ_GEN_RANDOM_QUERY_H_

@@ -1,0 +1,70 @@
+// Per-attribute secondary indexes and index-assisted atomic evaluation.
+//
+// Sec. 4.1: "atomic queries ... can be evaluated with the help of B-tree
+// indices for integer and distinguishedName filters, and trie and suffix
+// tree indices for string filters". AttributeIndexes bundles the three
+// index kinds over a store segment and answers atomic queries for indexed
+// attributes; non-indexed filters fall back to the range scan of
+// exec/atomic.h. Benchmark E12 quantifies the trade-off.
+
+#ifndef NDQ_INDEX_ATTR_INDEX_H_
+#define NDQ_INDEX_ATTR_INDEX_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "filter/atomic_filter.h"
+#include "index/btree.h"
+#include "index/string_index.h"
+#include "store/entry_store.h"
+
+namespace ndq {
+
+/// Which attributes to index, by type.
+struct IndexSpec {
+  std::vector<std::string> int_attrs;     ///< B+-tree over EncodeIntKey
+  std::vector<std::string> string_attrs;  ///< trie + suffix array
+  std::vector<std::string> dn_attrs;      ///< B+-tree over the DN string
+};
+
+class AttributeIndexes {
+ public:
+  /// Scans the store once and builds all configured indexes. The pool
+  /// backs the B+-trees.
+  static Result<AttributeIndexes> Build(BufferPool* pool,
+                                        const EntryStore& store,
+                                        const IndexSpec& spec);
+
+  /// Index-assisted evaluation of "(base ? scope ? filter)". Returns
+  /// nullopt when the filter's attribute is not indexed (or the filter
+  /// kind defeats the index); the caller then falls back to a range scan.
+  /// The result, when present, is identical to EvalAtomic's.
+  Result<std::optional<Run>> EvalAtomic(SimDisk* disk,
+                                              const EntryStore& store,
+                                              const Dn& base, Scope scope,
+                                              const AtomicFilter& filter)
+      const;
+
+  size_t num_entries() const { return keys_.size(); }
+
+ private:
+  // Candidate entry ordinals for the filter, or nullopt if unindexable.
+  Result<std::optional<std::vector<uint64_t>>> Candidates(
+      const AtomicFilter& filter) const;
+
+  // Ordinal -> HierKey (ordinals are assigned in key order).
+  std::vector<std::string> keys_;
+  std::map<std::string, BPlusTree> int_trees_;
+  std::map<std::string, BPlusTree> dn_trees_;
+  std::map<std::string, Trie> tries_;
+  std::map<std::string, SuffixIndex> suffixes_;
+  // Presence lists (ordinals having the attribute), for presence filters
+  // and as a fallback verifier.
+  std::map<std::string, std::vector<uint64_t>> presence_;
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_INDEX_ATTR_INDEX_H_

@@ -1,0 +1,325 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "storage/serde.h"
+
+namespace ndq {
+
+std::string EncodeIntKey(int64_t v) {
+  uint64_t u = static_cast<uint64_t>(v) ^ (1ull << 63);  // flip sign bit
+  std::string out(8, '\0');
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<char>((u >> (56 - 8 * i)) & 0xff);
+  }
+  return out;
+}
+
+int64_t DecodeIntKey(std::string_view key) {
+  uint64_t u = 0;
+  for (int i = 0; i < 8 && i < static_cast<int>(key.size()); ++i) {
+    u = (u << 8) | static_cast<uint8_t>(key[i]);
+  }
+  return static_cast<int64_t>(u ^ (1ull << 63));
+}
+
+namespace {
+
+// In-memory image of one node page.
+struct Node {
+  bool is_leaf = true;
+  PageId link = kInvalidPage;  // leaf: next leaf; internal: leftmost child
+  struct Item {
+    std::string key;
+    uint64_t payload;  // leaf: value; internal: child PageId
+  };
+  std::vector<Item> items;
+
+  size_t SerializedSize() const {
+    size_t n = 1 + 2 + 4 + 2;
+    for (const Item& it : items) n += 2 + it.key.size() + 8;
+    return n;
+  }
+
+  void Serialize(uint8_t* page, size_t page_size) const {
+    std::string buf;
+    buf.push_back(is_leaf ? 1 : 0);
+    uint16_t count = static_cast<uint16_t>(items.size());
+    buf.push_back(static_cast<char>(count & 0xff));
+    buf.push_back(static_cast<char>(count >> 8));
+    for (int i = 0; i < 4; ++i) {
+      buf.push_back(static_cast<char>((link >> (8 * i)) & 0xff));
+    }
+    buf.push_back(0);
+    buf.push_back(0);  // reserved
+    for (const Item& it : items) {
+      uint16_t klen = static_cast<uint16_t>(it.key.size());
+      buf.push_back(static_cast<char>(klen & 0xff));
+      buf.push_back(static_cast<char>(klen >> 8));
+      buf += it.key;
+      for (int i = 0; i < 8; ++i) {
+        buf.push_back(static_cast<char>((it.payload >> (8 * i)) & 0xff));
+      }
+    }
+    std::fill(page, page + page_size, 0);
+    std::copy(buf.begin(), buf.end(), page);
+  }
+
+  static Result<Node> Parse(const uint8_t* page, size_t page_size) {
+    Node node;
+    size_t pos = 0;
+    auto need = [&](size_t n) -> Status {
+      if (pos + n > page_size) return Status::Corruption("btree node short");
+      return Status::OK();
+    };
+    NDQ_RETURN_IF_ERROR(need(9));
+    node.is_leaf = page[pos++] != 0;
+    uint16_t count = static_cast<uint16_t>(page[pos] | (page[pos + 1] << 8));
+    pos += 2;
+    node.link = 0;
+    for (int i = 0; i < 4; ++i) {
+      node.link |= static_cast<PageId>(page[pos + i]) << (8 * i);
+    }
+    pos += 4;
+    pos += 2;  // reserved
+    node.items.reserve(count);
+    for (uint16_t i = 0; i < count; ++i) {
+      NDQ_RETURN_IF_ERROR(need(2));
+      uint16_t klen =
+          static_cast<uint16_t>(page[pos] | (page[pos + 1] << 8));
+      pos += 2;
+      NDQ_RETURN_IF_ERROR(need(klen + 8));
+      Node::Item item;
+      item.key.assign(reinterpret_cast<const char*>(page + pos), klen);
+      pos += klen;
+      item.payload = 0;
+      for (int b = 0; b < 8; ++b) {
+        item.payload |= static_cast<uint64_t>(page[pos + b]) << (8 * b);
+      }
+      pos += 8;
+      node.items.push_back(std::move(item));
+    }
+    return node;
+  }
+};
+
+Result<Node> LoadNode(BufferPool* pool, PageId id) {
+  NDQ_ASSIGN_OR_RETURN(PageHandle h, pool->Pin(id));
+  return Node::Parse(h.data(), pool->disk()->page_size());
+}
+
+Status StoreNode(BufferPool* pool, PageId id, const Node& node) {
+  NDQ_ASSIGN_OR_RETURN(PageHandle h, pool->Pin(id));
+  node.Serialize(h.data(), pool->disk()->page_size());
+  h.MarkDirty();
+  return Status::OK();
+}
+
+// Index of the child covering `key` in an internal node: items[i] covers
+// keys >= items[i].key; the leftmost link covers keys < items[0].key.
+// Returns -1 for the leftmost link.
+int ChildIndex(const Node& node, std::string_view key) {
+  int lo = 0, hi = static_cast<int>(node.items.size());
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (node.items[mid].key <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo - 1;
+}
+
+PageId ChildAt(const Node& node, int idx) {
+  return idx < 0 ? node.link
+                 : static_cast<PageId>(node.items[idx].payload);
+}
+
+}  // namespace
+
+Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
+  BPlusTree tree(pool);
+  NDQ_ASSIGN_OR_RETURN(PageHandle h, pool->New());
+  Node root;
+  root.is_leaf = true;
+  root.Serialize(h.data(), pool->disk()->page_size());
+  h.MarkDirty();
+  tree.root_ = h.id();
+  return tree;
+}
+
+Result<BPlusTree::SplitResult> BPlusTree::InsertRec(PageId node_id,
+                                                    std::string_view key,
+                                                    uint64_t value,
+                                                    bool* inserted) {
+  NDQ_ASSIGN_OR_RETURN(Node node, LoadNode(pool_, node_id));
+  if (node.is_leaf) {
+    Node::Item item{std::string(key), value};
+    auto it = std::lower_bound(
+        node.items.begin(), node.items.end(), item,
+        [](const Node::Item& a, const Node::Item& b) {
+          return a.key != b.key ? a.key < b.key : a.payload < b.payload;
+        });
+    if (it != node.items.end() && it->key == key && it->payload == value) {
+      *inserted = false;
+      return SplitResult{};
+    }
+    node.items.insert(it, std::move(item));
+    *inserted = true;
+  } else {
+    int idx = ChildIndex(node, key);
+    NDQ_ASSIGN_OR_RETURN(SplitResult child_split,
+                         InsertRec(ChildAt(node, idx), key, value, inserted));
+    if (!child_split.split) return SplitResult{};
+    Node::Item item{child_split.sep_key,
+                    static_cast<uint64_t>(child_split.right)};
+    node.items.insert(node.items.begin() + (idx + 1), std::move(item));
+  }
+
+  if (node.SerializedSize() <= pool_->disk()->page_size()) {
+    NDQ_RETURN_IF_ERROR(StoreNode(pool_, node_id, node));
+    return SplitResult{};
+  }
+
+  // Split: move the upper half to a fresh right sibling.
+  size_t mid = node.items.size() / 2;
+  Node right;
+  right.is_leaf = node.is_leaf;
+  SplitResult result;
+  result.split = true;
+  if (node.is_leaf) {
+    right.items.assign(node.items.begin() + mid, node.items.end());
+    node.items.resize(mid);
+    result.sep_key = right.items.front().key;
+    NDQ_ASSIGN_OR_RETURN(PageHandle rh, pool_->New());
+    right.link = node.link;
+    node.link = rh.id();
+    right.Serialize(rh.data(), pool_->disk()->page_size());
+    rh.MarkDirty();
+    result.right = rh.id();
+  } else {
+    // The middle key moves up; its child becomes the right node's
+    // leftmost link.
+    result.sep_key = node.items[mid].key;
+    right.link = static_cast<PageId>(node.items[mid].payload);
+    right.items.assign(node.items.begin() + mid + 1, node.items.end());
+    node.items.resize(mid);
+    NDQ_ASSIGN_OR_RETURN(PageHandle rh, pool_->New());
+    right.Serialize(rh.data(), pool_->disk()->page_size());
+    rh.MarkDirty();
+    result.right = rh.id();
+  }
+  NDQ_RETURN_IF_ERROR(StoreNode(pool_, node_id, node));
+  return result;
+}
+
+Status BPlusTree::Insert(std::string_view key, uint64_t value) {
+  if (key.size() > pool_->disk()->page_size() / 4) {
+    return Status::InvalidArgument("btree key too long for page size");
+  }
+  // Duplicate (key, value) pairs may live in a leaf left of the one insert
+  // routing picks; detect them with an equal-range probe up front.
+  bool exists = false;
+  NDQ_RETURN_IF_ERROR(ScanEqual(key, [&](uint64_t v) -> Status {
+    if (v == value) exists = true;
+    return Status::OK();
+  }));
+  if (exists) return Status::OK();
+  bool inserted = false;
+  NDQ_ASSIGN_OR_RETURN(SplitResult split,
+                       InsertRec(root_, key, value, &inserted));
+  if (split.split) {
+    Node new_root;
+    new_root.is_leaf = false;
+    new_root.link = root_;
+    new_root.items.push_back(
+        {split.sep_key, static_cast<uint64_t>(split.right)});
+    NDQ_ASSIGN_OR_RETURN(PageHandle h, pool_->New());
+    new_root.Serialize(h.data(), pool_->disk()->page_size());
+    h.MarkDirty();
+    root_ = h.id();
+    ++height_;
+  }
+  if (inserted) ++size_;
+  return Status::OK();
+}
+
+Result<bool> BPlusTree::RemoveRec(PageId node_id, std::string_view key,
+                                  uint64_t value) {
+  NDQ_ASSIGN_OR_RETURN(Node node, LoadNode(pool_, node_id));
+  if (!node.is_leaf) {
+    // (key, value) pairs with equal keys may straddle several children:
+    // every separator equal to `key` admits duplicates on its left, so
+    // back up across them, then probe candidates left to right.
+    int last = ChildIndex(node, key);
+    int first = last;
+    while (first >= 0 && node.items[first].key == key) --first;
+    for (int i = first; i <= last; ++i) {
+      NDQ_ASSIGN_OR_RETURN(bool removed,
+                           RemoveRec(ChildAt(node, i), key, value));
+      if (removed) return true;
+    }
+    return false;
+  }
+  for (auto it = node.items.begin(); it != node.items.end(); ++it) {
+    if (it->key == key && it->payload == value) {
+      node.items.erase(it);
+      NDQ_RETURN_IF_ERROR(StoreNode(pool_, node_id, node));
+      return true;
+    }
+    if (it->key > key) break;
+  }
+  return false;
+}
+
+Result<bool> BPlusTree::Remove(std::string_view key, uint64_t value) {
+  NDQ_ASSIGN_OR_RETURN(bool removed, RemoveRec(root_, key, value));
+  if (removed) --size_;
+  return removed;
+}
+
+Result<PageId> BPlusTree::FindLeaf(std::string_view key) const {
+  // Route to the LEFTMOST leaf that can contain `key`: separators equal to
+  // the key admit duplicates in the child on their left, so back up over
+  // them at every level (forward scanning via the leaf chain covers the
+  // rest of the range).
+  PageId cur = root_;
+  while (true) {
+    NDQ_ASSIGN_OR_RETURN(Node node, LoadNode(pool_, cur));
+    if (node.is_leaf) return cur;
+    int idx = ChildIndex(node, key);
+    while (idx >= 0 && node.items[idx].key == key) --idx;
+    cur = ChildAt(node, idx);
+  }
+}
+
+Status BPlusTree::ScanRange(
+    std::string_view lo, std::string_view hi,
+    const std::function<Status(std::string_view, uint64_t)>& fn) const {
+  NDQ_ASSIGN_OR_RETURN(PageId leaf, FindLeaf(lo));
+  while (leaf != kInvalidPage) {
+    NDQ_ASSIGN_OR_RETURN(Node node, LoadNode(pool_, leaf));
+    for (const Node::Item& it : node.items) {
+      if (it.key < lo) continue;
+      if (!hi.empty() && it.key >= hi) return Status::OK();
+      NDQ_RETURN_IF_ERROR(fn(it.key, it.payload));
+    }
+    leaf = node.link;
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::ScanEqual(
+    std::string_view key, const std::function<Status(uint64_t)>& fn) const {
+  std::string hi(key);
+  hi.push_back('\0');
+  return ScanRange(key, hi,
+                   [&](std::string_view k, uint64_t v) -> Status {
+                     (void)k;
+                     return fn(v);
+                   });
+}
+
+}  // namespace ndq

@@ -1,0 +1,87 @@
+// A disk-paged B+-tree multimap from byte-string keys to 64-bit values.
+//
+// Sec. 4.1 assumes atomic queries "can be evaluated with the help of
+// B-tree indices for integer and distinguishedName filters". This tree
+// indexes attribute values: keys are order-preserving encodings of values
+// (EncodeIntKey for integers), payloads are entry ordinals. Pages go
+// through the buffer pool, so hot paths hit memory and cold lookups cost
+// O(height) page reads.
+//
+// Duplicate keys are allowed (an attribute value may occur in many
+// entries); (key, value) pairs are unique. Among equal keys, the order in
+// which values are returned is unspecified (callers sort the id lists they
+// collect).
+
+#ifndef NDQ_INDEX_BTREE_H_
+#define NDQ_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/status.h"
+#include "storage/buffer_pool.h"
+
+namespace ndq {
+
+/// Order-preserving encoding of a signed integer (big-endian, sign bit
+/// flipped): EncodeIntKey(a) < EncodeIntKey(b) iff a < b.
+std::string EncodeIntKey(int64_t v);
+int64_t DecodeIntKey(std::string_view key);
+
+class BPlusTree {
+ public:
+  /// Creates an empty tree whose pages are allocated from `pool`.
+  static Result<BPlusTree> Create(BufferPool* pool);
+
+  /// Inserts (key, value); duplicate (key, value) pairs are ignored.
+  Status Insert(std::string_view key, uint64_t value);
+
+  /// Removes (key, value); returns false if absent.
+  Result<bool> Remove(std::string_view key, uint64_t value);
+
+  /// Calls `fn(key, value)` for each pair with lo <= key < hi (hi empty =
+  /// unbounded), in (key, value) order. Return an error from `fn` to stop.
+  Status ScanRange(std::string_view lo, std::string_view hi,
+                   const std::function<Status(std::string_view, uint64_t)>&
+                       fn) const;
+
+  /// All values for exactly `key`.
+  Status ScanEqual(std::string_view key,
+                   const std::function<Status(uint64_t)>& fn) const;
+
+  uint64_t size() const { return size_; }
+  size_t height() const { return height_; }
+
+ private:
+  explicit BPlusTree(BufferPool* pool) : pool_(pool) {}
+
+  // Node page layout:
+  //   u8  is_leaf
+  //   u16 count
+  //   u32 next          (leaf: next-leaf PageId; internal: leftmost child)
+  //   u16 used          (payload bytes)
+  //   entries: leaf     [u16 klen][key][u64 value]
+  //            internal [u16 klen][key][u32 child]   (child >= key side)
+  struct NodeRef;  // in btree.cc
+
+  struct SplitResult {
+    bool split = false;
+    std::string sep_key;
+    PageId right = kInvalidPage;
+  };
+
+  Result<SplitResult> InsertRec(PageId node, std::string_view key,
+                                uint64_t value, bool* inserted);
+  Result<bool> RemoveRec(PageId node, std::string_view key, uint64_t value);
+  Result<PageId> FindLeaf(std::string_view key) const;
+
+  BufferPool* pool_ = nullptr;
+  PageId root_ = kInvalidPage;
+  uint64_t size_ = 0;
+  size_t height_ = 1;
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_INDEX_BTREE_H_

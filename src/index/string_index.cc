@@ -1,0 +1,103 @@
+#include "index/string_index.h"
+
+#include <algorithm>
+
+namespace ndq {
+
+Trie::Trie() : root_(std::make_unique<Node>()) {}
+
+void Trie::Insert(std::string_view value, uint64_t id) {
+  Node* node = root_.get();
+  for (char c : value) {
+    std::unique_ptr<Node>& child = node->children[c];
+    if (child == nullptr) {
+      child = std::make_unique<Node>();
+      ++num_nodes_;
+    }
+    node = child.get();
+  }
+  node->ids.push_back(id);
+  ++num_values_;
+}
+
+std::vector<uint64_t> Trie::Lookup(std::string_view value) const {
+  const Node* node = root_.get();
+  for (char c : value) {
+    auto it = node->children.find(c);
+    if (it == node->children.end()) return {};
+    node = it->second.get();
+  }
+  std::vector<uint64_t> out = node->ids;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void Trie::Collect(const Node& node, std::vector<uint64_t>* out) {
+  out->insert(out->end(), node.ids.begin(), node.ids.end());
+  for (const auto& [c, child] : node.children) {
+    (void)c;
+    Collect(*child, out);
+  }
+}
+
+std::vector<uint64_t> Trie::PrefixSearch(std::string_view prefix) const {
+  const Node* node = root_.get();
+  for (char c : prefix) {
+    auto it = node->children.find(c);
+    if (it == node->children.end()) return {};
+    node = it->second.get();
+  }
+  std::vector<uint64_t> out;
+  Collect(*node, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void SuffixIndex::Add(std::string_view value, uint64_t id) {
+  docs_.push_back(Doc{std::string(value), id});
+  built_ = false;
+}
+
+void SuffixIndex::Build() {
+  suffixes_.clear();
+  for (uint32_t d = 0; d < docs_.size(); ++d) {
+    for (uint32_t off = 0; off < docs_[d].text.size(); ++off) {
+      suffixes_.push_back(Suffix{d, off});
+    }
+  }
+  std::sort(suffixes_.begin(), suffixes_.end(),
+            [this](const Suffix& a, const Suffix& b) {
+              return SuffixText(a) < SuffixText(b);
+            });
+  built_ = true;
+}
+
+Result<std::vector<uint64_t>> SuffixIndex::Search(
+    std::string_view needle) const {
+  if (!built_) return Status::Internal("SuffixIndex::Build not called");
+  if (needle.empty()) {
+    std::vector<uint64_t> out;
+    for (const Doc& d : docs_) out.push_back(d.id);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+  // Binary search the band of suffixes starting with `needle`.
+  auto lo = std::lower_bound(suffixes_.begin(), suffixes_.end(), needle,
+                             [this](const Suffix& s, std::string_view n) {
+                               return SuffixText(s) < n;
+                             });
+  std::vector<uint64_t> out;
+  for (auto it = lo; it != suffixes_.end(); ++it) {
+    std::string_view text = SuffixText(*it);
+    if (text.substr(0, needle.size()) != needle) break;
+    out.push_back(docs_[it->doc].id);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace ndq

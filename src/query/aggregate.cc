@@ -1,0 +1,342 @@
+#include "query/aggregate.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace ndq {
+
+const char* AggFnToString(AggFn fn) {
+  switch (fn) {
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kAvg:
+      return "average";
+  }
+  return "?";
+}
+
+Result<AggFn> AggFnFromString(const std::string& name) {
+  if (name == "min") return AggFn::kMin;
+  if (name == "max") return AggFn::kMax;
+  if (name == "sum") return AggFn::kSum;
+  if (name == "count") return AggFn::kCount;
+  if (name == "average" || name == "avg") return AggFn::kAvg;
+  return Status::InvalidArgument("unknown aggregate function: " + name);
+}
+
+std::string EntryAgg::ToString() const {
+  switch (target) {
+    case AggTarget::kSelfAttr:
+      return std::string(AggFnToString(fn)) + "($1." + attr + ")";
+    case AggTarget::kWitnessAttr:
+      return std::string(AggFnToString(fn)) + "($2." + attr + ")";
+    case AggTarget::kWitnessCount:
+      return "count($2)";
+  }
+  return "?";
+}
+
+AggAttr AggAttr::Const(int64_t c) {
+  AggAttr a;
+  a.kind = Kind::kConst;
+  a.constant = c;
+  return a;
+}
+
+AggAttr AggAttr::Entry(EntryAgg ea) {
+  AggAttr a;
+  a.kind = Kind::kEntry;
+  a.entry = std::move(ea);
+  return a;
+}
+
+AggAttr AggAttr::EntrySet(AggFn outer, EntryAgg inner) {
+  AggAttr a;
+  a.kind = Kind::kEntrySet;
+  a.set_form = SetForm::kAggOfEntry;
+  a.outer_fn = outer;
+  a.entry = std::move(inner);
+  return a;
+}
+
+AggAttr AggAttr::CountSet(bool dollar_dollar) {
+  AggAttr a;
+  a.kind = Kind::kEntrySet;
+  a.set_form = SetForm::kCountSet;
+  a.spelled_dollar_dollar = dollar_dollar;
+  return a;
+}
+
+std::string AggAttr::ToString() const {
+  switch (kind) {
+    case Kind::kConst:
+      return std::to_string(constant);
+    case Kind::kEntry:
+      return entry.ToString();
+    case Kind::kEntrySet:
+      if (set_form == SetForm::kCountSet) {
+        return spelled_dollar_dollar ? "count($$)" : "count($1)";
+      }
+      return std::string(AggFnToString(outer_fn)) + "(" + entry.ToString() +
+             ")";
+  }
+  return "?";
+}
+
+std::string AggSelFilter::ToString() const {
+  return lhs.ToString() + CompareOpToString(op) + rhs.ToString();
+}
+
+bool CompareAgg(std::optional<int64_t> lhs, CompareOp op,
+                std::optional<int64_t> rhs) {
+  if (!lhs.has_value() || !rhs.has_value()) return false;
+  int64_t a = *lhs;
+  int64_t b = *rhs;
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+namespace {
+
+// Recursive-descent parser over AggSelFilter text.
+class AggParser {
+ public:
+  explicit AggParser(std::string_view text) : text_(text) {}
+
+  Result<AggSelFilter> Parse() {
+    AggSelFilter f;
+    NDQ_ASSIGN_OR_RETURN(f.lhs, ParseAttr());
+    NDQ_ASSIGN_OR_RETURN(f.op, ParseOp());
+    NDQ_ASSIGN_OR_RETURN(f.rhs, ParseAttr());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument(
+          "trailing characters in aggregate filter: " +
+          std::string(text_.substr(pos_)));
+    }
+    return f;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && text_[pos_] == ' ') ++pos_;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  Result<CompareOp> ParseOp() {
+    SkipSpace();
+    char c = Peek();
+    if (c == '=') {
+      ++pos_;
+      return CompareOp::kEq;
+    }
+    if (c == '!' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+      pos_ += 2;
+      return CompareOp::kNe;
+    }
+    if (c == '<' || c == '>') {
+      ++pos_;
+      bool eq = Peek() == '=';
+      if (eq) ++pos_;
+      if (c == '<') return eq ? CompareOp::kLe : CompareOp::kLt;
+      return eq ? CompareOp::kGe : CompareOp::kGt;
+    }
+    return Status::InvalidArgument("expected comparison operator in "
+                                   "aggregate filter");
+  }
+
+  // Parses IntConstant | Fn(...) | count($1) | count($2) | count($$).
+  Result<AggAttr> ParseAttr() {
+    SkipSpace();
+    char c = Peek();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseConst();
+    }
+    NDQ_ASSIGN_OR_RETURN(std::string word, ParseWord());
+    NDQ_ASSIGN_OR_RETURN(AggFn fn, AggFnFromString(word));
+    if (Peek() != '(') {
+      return Status::InvalidArgument("expected '(' after aggregate " + word);
+    }
+    ++pos_;
+    SkipSpace();
+    // What is inside the parens?
+    if (Peek() == '$') {
+      NDQ_ASSIGN_OR_RETURN(std::string dollar, ParseDollar());
+      if (dollar == "$$" || (dollar == "$1" && Peek() == ')')) {
+        if (Peek() != ')') return Status::InvalidArgument("expected ')'");
+        ++pos_;
+        if (fn != AggFn::kCount) {
+          return Status::InvalidArgument(
+              "only count may be applied to " + dollar);
+        }
+        return AggAttr::CountSet(dollar == "$$");
+      }
+      if (dollar == "$1") {
+        if (Peek() != '.') {
+          return Status::InvalidArgument("malformed $1 reference");
+        }
+        ++pos_;
+        NDQ_ASSIGN_OR_RETURN(std::string attr, ParseWord());
+        if (Peek() != ')') return Status::InvalidArgument("expected ')'");
+        ++pos_;
+        EntryAgg ea;
+        ea.fn = fn;
+        ea.target = AggTarget::kSelfAttr;
+        ea.attr = std::move(attr);
+        return AggAttr::Entry(std::move(ea));
+      }
+      if (dollar == "$2") {
+        SkipSpace();
+        if (Peek() == ')') {
+          ++pos_;
+          if (fn != AggFn::kCount) {
+            return Status::InvalidArgument("only count($2) is allowed; use "
+                                           "agg($2.attr) for values");
+          }
+          EntryAgg ea;
+          ea.fn = AggFn::kCount;
+          ea.target = AggTarget::kWitnessCount;
+          return AggAttr::Entry(std::move(ea));
+        }
+        if (Peek() == '.') {
+          ++pos_;
+          NDQ_ASSIGN_OR_RETURN(std::string attr, ParseWord());
+          if (Peek() != ')') return Status::InvalidArgument("expected ')'");
+          ++pos_;
+          EntryAgg ea;
+          ea.fn = fn;
+          ea.target = AggTarget::kWitnessAttr;
+          ea.attr = std::move(attr);
+          return AggAttr::Entry(std::move(ea));
+        }
+        return Status::InvalidArgument("malformed $2 reference");
+      }
+      return Status::InvalidArgument("unknown placeholder " + dollar);
+    }
+    // Either a nested aggregate (entry-set) or a ModAttrName.
+    size_t save = pos_;
+    Result<std::string> inner_word = ParseWord();
+    if (inner_word.ok() && Peek() == '(') {
+      // Nested: fn( innerFn( ... ) ) — an entry-set aggregate.
+      NDQ_ASSIGN_OR_RETURN(AggFn inner_fn, AggFnFromString(*inner_word));
+      ++pos_;  // '('
+      SkipSpace();
+      EntryAgg inner;
+      inner.fn = inner_fn;
+      if (Peek() == '$') {
+        NDQ_ASSIGN_OR_RETURN(std::string dollar, ParseDollar());
+        if (dollar == "$2" && Peek() == ')') {
+          if (inner_fn != AggFn::kCount) {
+            return Status::InvalidArgument("expected count($2)");
+          }
+          inner.target = AggTarget::kWitnessCount;
+        } else if (dollar == "$2" && Peek() == '.') {
+          ++pos_;
+          NDQ_ASSIGN_OR_RETURN(inner.attr, ParseWord());
+          inner.target = AggTarget::kWitnessAttr;
+        } else if (dollar == "$1" && Peek() == '.') {
+          ++pos_;
+          NDQ_ASSIGN_OR_RETURN(inner.attr, ParseWord());
+          inner.target = AggTarget::kSelfAttr;
+        } else {
+          return Status::InvalidArgument("malformed inner aggregate");
+        }
+      } else {
+        NDQ_ASSIGN_OR_RETURN(inner.attr, ParseWord());
+        inner.target = AggTarget::kSelfAttr;
+      }
+      if (Peek() != ')') return Status::InvalidArgument("expected ')'");
+      ++pos_;
+      SkipSpace();
+      if (Peek() != ')') return Status::InvalidArgument("expected ')'");
+      ++pos_;
+      return AggAttr::EntrySet(fn, std::move(inner));
+    }
+    // Plain ModAttrName (possibly $1.attr handled above).
+    pos_ = save;
+    NDQ_ASSIGN_OR_RETURN(std::string attr, ParseWord());
+    if (Peek() != ')') return Status::InvalidArgument("expected ')'");
+    ++pos_;
+    EntryAgg ea;
+    ea.fn = fn;
+    ea.target = AggTarget::kSelfAttr;
+    ea.attr = std::move(attr);
+    return AggAttr::Entry(std::move(ea));
+  }
+
+  Result<AggAttr> ParseConst() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1)) {
+      return Status::InvalidArgument("expected integer constant");
+    }
+    std::string literal(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(literal.c_str(), &end, 10);
+    if (errno != 0 || end != literal.c_str() + literal.size()) {
+      return Status::InvalidArgument("integer constant out of range: " +
+                                     literal);
+    }
+    return AggAttr::Const(v);
+  }
+
+  Result<std::string> ParseWord() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::InvalidArgument("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseDollar() {
+    size_t start = pos_;
+    ++pos_;  // '$'
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '1' || text_[pos_] == '2' || text_[pos_] == '$')) {
+      ++pos_;
+      return std::string(text_.substr(start, pos_ - start));
+    }
+    return Status::InvalidArgument("malformed $ placeholder");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<AggSelFilter> ParseAggSelFilter(std::string_view text) {
+  return AggParser(text).Parse();
+}
+
+}  // namespace ndq

@@ -1,0 +1,253 @@
+#include "query/ast.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ndq {
+
+const char* LanguageToString(Language lang) {
+  switch (lang) {
+    case Language::kLdap:
+      return "LDAP";
+    case Language::kL0:
+      return "L0";
+    case Language::kL1:
+      return "L1";
+    case Language::kL2:
+      return "L2";
+    case Language::kL3:
+      return "L3";
+  }
+  return "?";
+}
+
+const char* QueryOpToString(QueryOp op) {
+  switch (op) {
+    case QueryOp::kAtomic:
+      return "atomic";
+    case QueryOp::kLdap:
+      return "ldap";
+    case QueryOp::kAnd:
+      return "&";
+    case QueryOp::kOr:
+      return "|";
+    case QueryOp::kDiff:
+      return "-";
+    case QueryOp::kParents:
+      return "p";
+    case QueryOp::kChildren:
+      return "c";
+    case QueryOp::kAncestors:
+      return "a";
+    case QueryOp::kDescendants:
+      return "d";
+    case QueryOp::kCoAncestors:
+      return "ac";
+    case QueryOp::kCoDescendants:
+      return "dc";
+    case QueryOp::kSimpleAgg:
+      return "g";
+    case QueryOp::kValueDn:
+      return "vd";
+    case QueryOp::kDnValue:
+      return "dv";
+  }
+  return "?";
+}
+
+std::shared_ptr<Query> Query::NewNode() {
+  return std::shared_ptr<Query>(new Query());
+}
+
+QueryPtr Query::Atomic(Dn base, Scope scope, AtomicFilter filter) {
+  auto q = NewNode();
+  q->op_ = QueryOp::kAtomic;
+  q->base_ = std::move(base);
+  q->scope_ = scope;
+  q->filter_ = std::move(filter);
+  return q;
+}
+
+QueryPtr Query::Ldap(Dn base, Scope scope, LdapFilterPtr filter) {
+  auto q = NewNode();
+  q->op_ = QueryOp::kLdap;
+  q->base_ = std::move(base);
+  q->scope_ = scope;
+  q->ldap_filter_ = std::move(filter);
+  return q;
+}
+
+QueryPtr Query::And(QueryPtr q1, QueryPtr q2) {
+  auto q = NewNode();
+  q->op_ = QueryOp::kAnd;
+  q->q1_ = std::move(q1);
+  q->q2_ = std::move(q2);
+  return q;
+}
+
+QueryPtr Query::Or(QueryPtr q1, QueryPtr q2) {
+  auto q = NewNode();
+  q->op_ = QueryOp::kOr;
+  q->q1_ = std::move(q1);
+  q->q2_ = std::move(q2);
+  return q;
+}
+
+QueryPtr Query::Diff(QueryPtr q1, QueryPtr q2) {
+  auto q = NewNode();
+  q->op_ = QueryOp::kDiff;
+  q->q1_ = std::move(q1);
+  q->q2_ = std::move(q2);
+  return q;
+}
+
+QueryPtr Query::Hierarchy(QueryOp op, QueryPtr q1, QueryPtr q2,
+                          std::optional<AggSelFilter> agg) {
+  assert(op == QueryOp::kParents || op == QueryOp::kChildren ||
+         op == QueryOp::kAncestors || op == QueryOp::kDescendants);
+  auto q = NewNode();
+  q->op_ = op;
+  q->q1_ = std::move(q1);
+  q->q2_ = std::move(q2);
+  q->agg_ = std::move(agg);
+  return q;
+}
+
+QueryPtr Query::HierarchyConstrained(QueryOp op, QueryPtr q1, QueryPtr q2,
+                                     QueryPtr q3,
+                                     std::optional<AggSelFilter> agg) {
+  assert(op == QueryOp::kCoAncestors || op == QueryOp::kCoDescendants);
+  auto q = NewNode();
+  q->op_ = op;
+  q->q1_ = std::move(q1);
+  q->q2_ = std::move(q2);
+  q->q3_ = std::move(q3);
+  q->agg_ = std::move(agg);
+  return q;
+}
+
+QueryPtr Query::SimpleAgg(QueryPtr q1, AggSelFilter agg) {
+  auto q = NewNode();
+  q->op_ = QueryOp::kSimpleAgg;
+  q->q1_ = std::move(q1);
+  q->agg_ = std::move(agg);
+  return q;
+}
+
+QueryPtr Query::EmbeddedRef(QueryOp op, QueryPtr q1, QueryPtr q2,
+                            std::string attr,
+                            std::optional<AggSelFilter> agg) {
+  assert(op == QueryOp::kValueDn || op == QueryOp::kDnValue);
+  auto q = NewNode();
+  q->op_ = op;
+  q->q1_ = std::move(q1);
+  q->q2_ = std::move(q2);
+  q->ref_attr_ = std::move(attr);
+  q->agg_ = std::move(agg);
+  return q;
+}
+
+Language Query::MinimalLanguage() const {
+  Language lang = Language::kLdap;
+  auto bump = [&lang](Language l) {
+    if (static_cast<int>(l) > static_cast<int>(lang)) lang = l;
+  };
+  switch (op_) {
+    case QueryOp::kAtomic:
+    case QueryOp::kLdap:
+      return Language::kLdap;
+    case QueryOp::kAnd:
+    case QueryOp::kOr:
+    case QueryOp::kDiff:
+      bump(Language::kL0);
+      break;
+    case QueryOp::kParents:
+    case QueryOp::kChildren:
+    case QueryOp::kAncestors:
+    case QueryOp::kDescendants:
+    case QueryOp::kCoAncestors:
+    case QueryOp::kCoDescendants:
+      bump(agg_.has_value() ? Language::kL2 : Language::kL1);
+      break;
+    case QueryOp::kSimpleAgg:
+      bump(Language::kL2);
+      break;
+    case QueryOp::kValueDn:
+    case QueryOp::kDnValue:
+      bump(Language::kL3);
+      break;
+  }
+  for (const QueryPtr& c : {q1_, q2_, q3_}) {
+    if (c != nullptr) bump(c->MinimalLanguage());
+  }
+  return lang;
+}
+
+size_t Query::NodeCount() const {
+  size_t n = 1;
+  for (const QueryPtr& c : {q1_, q2_, q3_}) {
+    if (c != nullptr) n += c->NodeCount();
+  }
+  return n;
+}
+
+std::vector<const Query*> Query::Leaves() const {
+  std::vector<const Query*> out;
+  if (op_ == QueryOp::kAtomic || op_ == QueryOp::kLdap) {
+    out.push_back(this);
+    return out;
+  }
+  for (const QueryPtr& c : {q1_, q2_, q3_}) {
+    if (c != nullptr) {
+      std::vector<const Query*> sub = c->Leaves();
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+  }
+  return out;
+}
+
+std::string Query::ToString() const {
+  switch (op_) {
+    case QueryOp::kAtomic:
+      return "(" + base_.ToString() + " ? " + ScopeToString(scope_) + " ? " +
+             filter_.ToString() + ")";
+    case QueryOp::kLdap:
+      return "(ldap " + base_.ToString() + " ? " + ScopeToString(scope_) +
+             " ? " + ldap_filter_->ToString() + ")";
+    case QueryOp::kAnd:
+    case QueryOp::kOr:
+    case QueryOp::kDiff:
+      return std::string("(") + QueryOpToString(op_) + " " + q1_->ToString() +
+             " " + q2_->ToString() + ")";
+    case QueryOp::kParents:
+    case QueryOp::kChildren:
+    case QueryOp::kAncestors:
+    case QueryOp::kDescendants: {
+      std::string out = std::string("(") + QueryOpToString(op_) + " " +
+                        q1_->ToString() + " " + q2_->ToString();
+      if (agg_.has_value()) out += " " + agg_->ToString();
+      return out + ")";
+    }
+    case QueryOp::kCoAncestors:
+    case QueryOp::kCoDescendants: {
+      std::string out = std::string("(") + QueryOpToString(op_) + " " +
+                        q1_->ToString() + " " + q2_->ToString() + " " +
+                        q3_->ToString();
+      if (agg_.has_value()) out += " " + agg_->ToString();
+      return out + ")";
+    }
+    case QueryOp::kSimpleAgg:
+      return "(g " + q1_->ToString() + " " + agg_->ToString() + ")";
+    case QueryOp::kValueDn:
+    case QueryOp::kDnValue: {
+      std::string out = std::string("(") + QueryOpToString(op_) + " " +
+                        q1_->ToString() + " " + q2_->ToString() + " " +
+                        ref_attr_;
+      if (agg_.has_value()) out += " " + agg_->ToString();
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace ndq

@@ -1,0 +1,125 @@
+// The query AST for LDAP and L0 - L3 (grammars of Figs. 7-10).
+//
+// A query is a function from directory instances to sub-instances: it
+// selects a subset of the input's entries (Sec. 4.1), which gives the
+// languages their closure property. Each node is one grammar production;
+// the optional AggSelFilter on hierarchy/embedded-reference nodes is what
+// lifts an L1/L3 operator into its L2-style aggregate-selection variant.
+
+#ifndef NDQ_QUERY_AST_H_
+#define NDQ_QUERY_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dn.h"
+#include "core/scope.h"
+#include "filter/atomic_filter.h"
+#include "filter/ldap_filter.h"
+#include "query/aggregate.h"
+
+namespace ndq {
+
+/// Query language levels, ordered by expressive power (Theorem 8.1).
+enum class Language { kLdap = 0, kL0 = 1, kL1 = 2, kL2 = 3, kL3 = 4 };
+
+const char* LanguageToString(Language lang);
+
+/// AST node kinds.
+enum class QueryOp {
+  // Leaves.
+  kAtomic,  ///< (base ? scope ? filter)
+  kLdap,    ///< baseline: base + scope + boolean LdapFilter
+  // L0 boolean operators.
+  kAnd,
+  kOr,
+  kDiff,
+  // L1/L2 hierarchical selection (aggsel optional; Fig. 8/9).
+  kParents,        ///< (p Q1 Q2 [AS])
+  kChildren,       ///< (c Q1 Q2 [AS])
+  kAncestors,      ///< (a Q1 Q2 [AS])
+  kDescendants,    ///< (d Q1 Q2 [AS])
+  kCoAncestors,    ///< (ac Q1 Q2 Q3 [AS]) — path-constrained ancestors
+  kCoDescendants,  ///< (dc Q1 Q2 Q3 [AS])
+  // L2 simple aggregate selection.
+  kSimpleAgg,  ///< (g Q AS)
+  // L3 embedded references.
+  kValueDn,  ///< (vd Q1 Q2 attr [AS])
+  kDnValue,  ///< (dv Q1 Q2 attr [AS])
+};
+
+const char* QueryOpToString(QueryOp op);
+
+class Query;
+using QueryPtr = std::shared_ptr<const Query>;
+
+/// \brief One node of a query tree. Immutable after construction; share
+/// sub-queries freely.
+class Query {
+ public:
+  // -- Factories (one per grammar production) ------------------------------
+  static QueryPtr Atomic(Dn base, Scope scope, AtomicFilter filter);
+  static QueryPtr Ldap(Dn base, Scope scope, LdapFilterPtr filter);
+  static QueryPtr And(QueryPtr q1, QueryPtr q2);
+  static QueryPtr Or(QueryPtr q1, QueryPtr q2);
+  static QueryPtr Diff(QueryPtr q1, QueryPtr q2);
+  static QueryPtr Hierarchy(QueryOp op, QueryPtr q1, QueryPtr q2,
+                            std::optional<AggSelFilter> agg = std::nullopt);
+  static QueryPtr HierarchyConstrained(
+      QueryOp op, QueryPtr q1, QueryPtr q2, QueryPtr q3,
+      std::optional<AggSelFilter> agg = std::nullopt);
+  static QueryPtr SimpleAgg(QueryPtr q, AggSelFilter agg);
+  static QueryPtr EmbeddedRef(QueryOp op, QueryPtr q1, QueryPtr q2,
+                              std::string attr,
+                              std::optional<AggSelFilter> agg = std::nullopt);
+
+  // -- Accessors ------------------------------------------------------------
+  QueryOp op() const { return op_; }
+  bool is_atomic() const { return op_ == QueryOp::kAtomic; }
+
+  // Leaf fields.
+  const Dn& base() const { return base_; }
+  Scope scope() const { return scope_; }
+  const AtomicFilter& filter() const { return filter_; }
+  const LdapFilterPtr& ldap_filter() const { return ldap_filter_; }
+
+  // Operands (null when not applicable).
+  const QueryPtr& q1() const { return q1_; }
+  const QueryPtr& q2() const { return q2_; }
+  const QueryPtr& q3() const { return q3_; }
+
+  const std::string& ref_attr() const { return ref_attr_; }
+  const std::optional<AggSelFilter>& agg() const { return agg_; }
+
+  /// The least expressive language containing this query (Sec. 8.1).
+  Language MinimalLanguage() const;
+
+  /// Number of nodes in the query tree (|Q| of Theorem 8.3).
+  size_t NodeCount() const;
+
+  /// All atomic/LDAP leaves, left to right.
+  std::vector<const Query*> Leaves() const;
+
+  /// Paper-style s-expression rendering, parseable by ParseQuery.
+  std::string ToString() const;
+
+ private:
+  Query() = default;
+
+  static std::shared_ptr<Query> NewNode();
+
+  QueryOp op_ = QueryOp::kAtomic;
+  Dn base_;
+  Scope scope_ = Scope::kSub;
+  AtomicFilter filter_ = AtomicFilter::True();
+  LdapFilterPtr ldap_filter_;
+  QueryPtr q1_, q2_, q3_;
+  std::string ref_attr_;
+  std::optional<AggSelFilter> agg_;
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_QUERY_AST_H_

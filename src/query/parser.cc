@@ -1,0 +1,245 @@
+#include "query/parser.h"
+
+#include <cctype>
+
+namespace ndq {
+namespace {
+
+bool IsOpWord(const std::string& w) {
+  return w == "&" || w == "|" || w == "-" || w == "p" || w == "c" ||
+         w == "a" || w == "d" || w == "ac" || w == "dc" || w == "g" ||
+         w == "vd" || w == "dv" || w == "ldap";
+}
+
+class QueryParser {
+ public:
+  explicit QueryParser(std::string_view text) : text_(text) {}
+
+  Result<QueryPtr> Parse() {
+    SkipWs();
+    NDQ_ASSIGN_OR_RETURN(QueryPtr q, ParseNode());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after query: '" +
+                                     std::string(text_.substr(pos_)) + "'");
+    }
+    return q;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  Result<QueryPtr> ParseNode() {
+    SkipWs();
+    if (Peek() != '(') {
+      return Status::InvalidArgument("expected '(' at position " +
+                                     std::to_string(pos_));
+    }
+    ++pos_;
+    SkipWs();
+    // Look ahead for an operator word: a token of non-space/paren chars
+    // followed by whitespace and then '(' — or, for "g/vd/dv/ldap", any
+    // operator word. An atomic query's base never matches because it is
+    // followed by more DN text or '?', and the word itself ("dc=att,")
+    // contains '=' / ',' making it a non-operator.
+    size_t save = pos_;
+    std::string word = ReadWord();
+    if (IsOpWord(word)) {
+      return ParseOperator(word);
+    }
+    pos_ = save;
+    return ParseAtomic();
+  }
+
+  std::string ReadWord() {
+    size_t start = pos_;
+    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(
+                                      text_[pos_])) &&
+           text_[pos_] != '(' && text_[pos_] != ')') {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  // Parses "<base> ? <scope> ? <filter>)" — the '(' is already consumed.
+  Result<QueryPtr> ParseAtomic() {
+    size_t q1 = text_.find('?', pos_);
+    if (q1 == std::string_view::npos) {
+      return Status::InvalidArgument("atomic query missing '?'");
+    }
+    std::string base_text(Trim(text_.substr(pos_, q1 - pos_)));
+    if (base_text == "null-dn") base_text.clear();
+    NDQ_ASSIGN_OR_RETURN(Dn base, Dn::Parse(base_text));
+    pos_ = q1 + 1;
+    size_t q2 = text_.find('?', pos_);
+    if (q2 == std::string_view::npos) {
+      return Status::InvalidArgument("atomic query missing second '?'");
+    }
+    NDQ_ASSIGN_OR_RETURN(Scope scope, ScopeFromString(std::string(
+                                          Trim(text_.substr(pos_, q2 - pos_)))));
+    pos_ = q2 + 1;
+    NDQ_ASSIGN_OR_RETURN(std::string filter_text, ReadBalancedUntilClose());
+    NDQ_ASSIGN_OR_RETURN(AtomicFilter filter,
+                         AtomicFilter::Parse(Trim(filter_text)));
+    return Query::Atomic(std::move(base), scope, std::move(filter));
+  }
+
+  // Parses an operator node; the '(' and op word are consumed.
+  Result<QueryPtr> ParseOperator(const std::string& op) {
+    if (op == "ldap") {
+      size_t q1 = text_.find('?', pos_);
+      if (q1 == std::string_view::npos) {
+        return Status::InvalidArgument("ldap query missing '?'");
+      }
+      std::string base_text(Trim(text_.substr(pos_, q1 - pos_)));
+      if (base_text == "null-dn") base_text.clear();
+      NDQ_ASSIGN_OR_RETURN(Dn base, Dn::Parse(base_text));
+      pos_ = q1 + 1;
+      size_t q2 = text_.find('?', pos_);
+      if (q2 == std::string_view::npos) {
+        return Status::InvalidArgument("ldap query missing second '?'");
+      }
+      NDQ_ASSIGN_OR_RETURN(
+          Scope scope,
+          ScopeFromString(std::string(Trim(text_.substr(pos_, q2 - pos_)))));
+      pos_ = q2 + 1;
+      NDQ_ASSIGN_OR_RETURN(std::string filter_text, ReadBalancedUntilClose());
+      NDQ_ASSIGN_OR_RETURN(LdapFilterPtr filter,
+                           LdapFilter::Parse(Trim(filter_text)));
+      return Query::Ldap(std::move(base), scope, std::move(filter));
+    }
+
+    if (op == "&" || op == "|" || op == "-") {
+      NDQ_ASSIGN_OR_RETURN(QueryPtr a, ParseNode());
+      NDQ_ASSIGN_OR_RETURN(QueryPtr b, ParseNode());
+      NDQ_RETURN_IF_ERROR(ExpectClose());
+      if (op == "&") return Query::And(std::move(a), std::move(b));
+      if (op == "|") return Query::Or(std::move(a), std::move(b));
+      return Query::Diff(std::move(a), std::move(b));
+    }
+
+    if (op == "g") {
+      NDQ_ASSIGN_OR_RETURN(QueryPtr a, ParseNode());
+      NDQ_ASSIGN_OR_RETURN(std::string agg_text, ReadBalancedUntilClose());
+      NDQ_ASSIGN_OR_RETURN(AggSelFilter agg,
+                           ParseAggSelFilter(Trim(agg_text)));
+      return Query::SimpleAgg(std::move(a), std::move(agg));
+    }
+
+    if (op == "vd" || op == "dv") {
+      NDQ_ASSIGN_OR_RETURN(QueryPtr a, ParseNode());
+      NDQ_ASSIGN_OR_RETURN(QueryPtr b, ParseNode());
+      SkipWs();
+      std::string attr = ReadWord();
+      if (attr.empty()) {
+        return Status::InvalidArgument(op + " missing attribute name");
+      }
+      NDQ_ASSIGN_OR_RETURN(std::optional<AggSelFilter> agg,
+                           ParseOptionalAggThenClose());
+      QueryOp qop = op == "vd" ? QueryOp::kValueDn : QueryOp::kDnValue;
+      return Query::EmbeddedRef(qop, std::move(a), std::move(b),
+                                std::move(attr), std::move(agg));
+    }
+
+    // Hierarchy operators.
+    NDQ_ASSIGN_OR_RETURN(QueryPtr a, ParseNode());
+    NDQ_ASSIGN_OR_RETURN(QueryPtr b, ParseNode());
+    if (op == "ac" || op == "dc") {
+      NDQ_ASSIGN_OR_RETURN(QueryPtr c, ParseNode());
+      NDQ_ASSIGN_OR_RETURN(std::optional<AggSelFilter> agg,
+                           ParseOptionalAggThenClose());
+      QueryOp qop =
+          op == "ac" ? QueryOp::kCoAncestors : QueryOp::kCoDescendants;
+      return Query::HierarchyConstrained(qop, std::move(a), std::move(b),
+                                         std::move(c), std::move(agg));
+    }
+    NDQ_ASSIGN_OR_RETURN(std::optional<AggSelFilter> agg,
+                         ParseOptionalAggThenClose());
+    QueryOp qop;
+    if (op == "p") {
+      qop = QueryOp::kParents;
+    } else if (op == "c") {
+      qop = QueryOp::kChildren;
+    } else if (op == "a") {
+      qop = QueryOp::kAncestors;
+    } else {
+      qop = QueryOp::kDescendants;
+    }
+    return Query::Hierarchy(qop, std::move(a), std::move(b), std::move(agg));
+  }
+
+  // After the operands of an operator node: either ')' immediately, or an
+  // aggregate selection filter followed by ')'.
+  Result<std::optional<AggSelFilter>> ParseOptionalAggThenClose() {
+    SkipWs();
+    if (Peek() == ')') {
+      ++pos_;
+      return std::optional<AggSelFilter>();
+    }
+    NDQ_ASSIGN_OR_RETURN(std::string agg_text, ReadBalancedUntilClose());
+    NDQ_ASSIGN_OR_RETURN(AggSelFilter agg, ParseAggSelFilter(Trim(agg_text)));
+    return std::optional<AggSelFilter>(std::move(agg));
+  }
+
+  Status ExpectClose() {
+    SkipWs();
+    if (Peek() != ')') {
+      return Status::InvalidArgument("expected ')' at position " +
+                                     std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  // Reads text up to (and consuming) the ')' that closes the current node,
+  // balancing any nested parentheses inside (aggregates, LDAP filters).
+  Result<std::string> ReadBalancedUntilClose() {
+    size_t start = pos_;
+    int depth = 0;
+    while (pos_ < text_.size()) {
+      char ch = text_[pos_];
+      if (ch == '(') {
+        ++depth;
+      } else if (ch == ')') {
+        if (depth == 0) {
+          std::string out(text_.substr(start, pos_ - start));
+          ++pos_;  // consume the close
+          return out;
+        }
+        --depth;
+      }
+      ++pos_;
+    }
+    return Status::InvalidArgument("unbalanced parentheses in query");
+  }
+
+  static std::string_view Trim(std::string_view s) {
+    size_t b = 0;
+    while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) {
+      ++b;
+    }
+    size_t e = s.size();
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+      --e;
+    }
+    return s.substr(b, e - b);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QueryPtr> ParseQuery(std::string_view text) {
+  return QueryParser(text).Parse();
+}
+
+}  // namespace ndq

@@ -1,0 +1,31 @@
+// Parser for the paper's query syntax (grammars of Figs. 7-10).
+//
+// Examples accepted verbatim from the paper:
+//   (- (dc=att, dc=com ? sub ? surName=jagadish)
+//      (dc=research, dc=att, dc=com ? sub ? surName=jagadish))
+//   (c (dc=att, dc=com ? sub ? objectClass=organizationalUnit)
+//      (dc=att, dc=com ? sub ? surName=jagadish))
+//   (g (dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)
+//      count(SLAPVPRef) > 1)
+//   (vd (...) (...) SLATPRef min(SLARulePriority)=min(min(SLARulePriority)))
+//
+// Extensions beyond the paper's figures:
+//   * "(ldap <base> ? <scope> ? <rfc2254-filter>)" for the baseline LDAP
+//     language (single base+scope, boolean *filter*);
+//   * an empty base (or the literal "null-dn") denotes the null dn.
+
+#ifndef NDQ_QUERY_PARSER_H_
+#define NDQ_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/ast.h"
+
+namespace ndq {
+
+/// Parses one query expression; the entire input must be consumed.
+Result<QueryPtr> ParseQuery(std::string_view text);
+
+}  // namespace ndq
+
+#endif  // NDQ_QUERY_PARSER_H_

@@ -1,0 +1,33 @@
+// The reference evaluator: a direct, in-memory implementation of the
+// denotational semantics (Defs. 4.1, 5.1, 6.1, 6.2, 7.1).
+//
+// It makes no attempt to be fast (witness tests are nested loops) — it
+// exists to be *obviously correct*, serving as the oracle against which
+// the external-memory engine (src/exec) is property-tested, and as the
+// executable form of the paper's definitions.
+
+#ifndef NDQ_QUERY_REFERENCE_H_
+#define NDQ_QUERY_REFERENCE_H_
+
+#include <vector>
+
+#include "core/instance.h"
+#include "query/ast.h"
+
+namespace ndq {
+
+/// Evaluates M(Q) over `instance`. The result lists entries of the
+/// instance in HierKey (reverse-DN) order — queries map instances to
+/// sub-instances, so the result is just a set of existing entries.
+Result<std::vector<const Entry*>> EvaluateReference(
+    const Query& query, const DirectoryInstance& instance);
+
+/// The op-witness set ws_Q(r1) within M(Q2) (and M(Q3) for constrained
+/// ops) per Sec. 6.2 / 7.1. Exposed for tests.
+std::vector<const Entry*> WitnessSet(
+    QueryOp op, const Entry& r1, const std::vector<const Entry*>& m2,
+    const std::vector<const Entry*>& m3, const std::string& ref_attr);
+
+}  // namespace ndq
+
+#endif  // NDQ_QUERY_REFERENCE_H_

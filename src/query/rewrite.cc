@@ -1,0 +1,202 @@
+#include "query/rewrite.h"
+
+namespace ndq {
+
+namespace {
+
+// Syntactic equality via the canonical printer (queries are immutable
+// trees; the printer is injective on ASTs).
+bool SameQuery(const QueryPtr& a, const QueryPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return a->ToString() == b->ToString();
+}
+
+// Converts an AtomicFilter into an LdapFilter leaf.
+LdapFilterPtr AsLdapFilter(const Query& atomic) {
+  if (atomic.op() == QueryOp::kLdap) return atomic.ldap_filter();
+  return LdapFilter::Atomic(atomic.filter());
+}
+
+bool IsLeafScan(const Query& q) {
+  return q.op() == QueryOp::kAtomic || q.op() == QueryOp::kLdap;
+}
+
+QueryPtr RewriteNode(const QueryPtr& node, RewriteStats* stats);
+
+QueryPtr RewriteChildren(const QueryPtr& node, RewriteStats* stats) {
+  QueryPtr q1 = node->q1() ? RewriteNode(node->q1(), stats) : nullptr;
+  QueryPtr q2 = node->q2() ? RewriteNode(node->q2(), stats) : nullptr;
+  QueryPtr q3 = node->q3() ? RewriteNode(node->q3(), stats) : nullptr;
+  switch (node->op()) {
+    case QueryOp::kAtomic:
+    case QueryOp::kLdap:
+      return node;
+    case QueryOp::kAnd:
+      return Query::And(q1, q2);
+    case QueryOp::kOr:
+      return Query::Or(q1, q2);
+    case QueryOp::kDiff:
+      return Query::Diff(q1, q2);
+    case QueryOp::kSimpleAgg:
+      return Query::SimpleAgg(q1, *node->agg());
+    case QueryOp::kParents:
+    case QueryOp::kChildren:
+    case QueryOp::kAncestors:
+    case QueryOp::kDescendants:
+      return Query::Hierarchy(node->op(), q1, q2, node->agg());
+    case QueryOp::kCoAncestors:
+    case QueryOp::kCoDescendants:
+      return Query::HierarchyConstrained(node->op(), q1, q2, q3,
+                                         node->agg());
+    case QueryOp::kValueDn:
+    case QueryOp::kDnValue:
+      return Query::EmbeddedRef(node->op(), q1, q2, node->ref_attr(),
+                                node->agg());
+  }
+  return node;
+}
+
+// Whether `agg` spells the default existential semantics count($2) > 0.
+bool IsExistentialAgg(const AggSelFilter& agg) {
+  return agg.lhs.kind == AggAttr::Kind::kEntry &&
+         agg.lhs.entry.target == AggTarget::kWitnessCount &&
+         agg.op == CompareOp::kGt &&
+         agg.rhs.kind == AggAttr::Kind::kConst && agg.rhs.constant == 0;
+}
+
+QueryPtr RewriteNode(const QueryPtr& node, RewriteStats* stats) {
+  QueryPtr q = RewriteChildren(node, stats);
+
+  switch (q->op()) {
+    case QueryOp::kAnd:
+    case QueryOp::kOr: {
+      if (SameQuery(q->q1(), q->q2())) {
+        if (stats != nullptr) ++stats->collapsed_idempotent;
+        return q->q1();
+      }
+      // Merge two leaf scans with identical base+scope into one LDAP scan
+      // whose filter is the boolean combination.
+      const Query& a = *q->q1();
+      const Query& b = *q->q2();
+      if (IsLeafScan(a) && IsLeafScan(b) && a.base() == b.base() &&
+          a.scope() == b.scope()) {
+        std::vector<LdapFilterPtr> parts = {AsLdapFilter(a),
+                                            AsLdapFilter(b)};
+        LdapFilterPtr merged = q->op() == QueryOp::kAnd
+                                   ? LdapFilter::And(std::move(parts))
+                                   : LdapFilter::Or(std::move(parts));
+        if (stats != nullptr) ++stats->merged_boolean_scans;
+        return Query::Ldap(a.base(), a.scope(), std::move(merged));
+      }
+      return q;
+    }
+    case QueryOp::kCoAncestors:
+    case QueryOp::kCoDescendants: {
+      if (IsMatchEverything(*q->q3())) {
+        // (ac Q1 Q2 <everything>) selects r1 with an ancestor r2 in Q2
+        // having no entry strictly between — i.e. the closest existing
+        // ancestor — which over a *prefix-closed* namespace is the
+        // parent. The equivalence used by Thm 8.2(d) is exact when every
+        // intermediate entry exists (LDAP requires it); we only contract
+        // the expansion we ourselves generate.
+        QueryOp op = q->op() == QueryOp::kCoAncestors ? QueryOp::kParents
+                                                      : QueryOp::kChildren;
+        if (stats != nullptr) ++stats->contracted_constrained;
+        return Query::Hierarchy(op, q->q1(), q->q2(), q->agg());
+      }
+      if (q->agg().has_value() && IsExistentialAgg(*q->agg())) {
+        if (stats != nullptr) ++stats->dropped_existential_aggs;
+        return Query::HierarchyConstrained(q->op(), q->q1(), q->q2(),
+                                           q->q3(), std::nullopt);
+      }
+      return q;
+    }
+    case QueryOp::kParents:
+    case QueryOp::kChildren:
+    case QueryOp::kAncestors:
+    case QueryOp::kDescendants:
+    case QueryOp::kValueDn:
+    case QueryOp::kDnValue: {
+      if (q->agg().has_value() && IsExistentialAgg(*q->agg())) {
+        if (stats != nullptr) ++stats->dropped_existential_aggs;
+        if (q->op() == QueryOp::kValueDn || q->op() == QueryOp::kDnValue) {
+          return Query::EmbeddedRef(q->op(), q->q1(), q->q2(),
+                                    q->ref_attr(), std::nullopt);
+        }
+        return Query::Hierarchy(q->op(), q->q1(), q->q2(), std::nullopt);
+      }
+      return q;
+    }
+    default:
+      return q;
+  }
+}
+
+}  // namespace
+
+bool IsMatchEverything(const Query& query) {
+  return query.op() == QueryOp::kAtomic && query.base().IsNull() &&
+         query.scope() == Scope::kSub &&
+         query.filter().kind() == AtomicFilter::Kind::kTrue;
+}
+
+QueryPtr RewriteQuery(const QueryPtr& query, RewriteStats* stats) {
+  QueryPtr cur = query;
+  // Each pass is bottom-up; iterate to a (cheap) fixpoint.
+  for (int i = 0; i < 8; ++i) {
+    RewriteStats pass;
+    QueryPtr next = RewriteNode(cur, &pass);
+    if (stats != nullptr) {
+      stats->merged_boolean_scans += pass.merged_boolean_scans;
+      stats->contracted_constrained += pass.contracted_constrained;
+      stats->dropped_existential_aggs += pass.dropped_existential_aggs;
+      stats->collapsed_idempotent += pass.collapsed_idempotent;
+    }
+    if (pass.Total() == 0) return next;
+    cur = next;
+  }
+  return cur;
+}
+
+QueryPtr ExpandParentsChildren(const QueryPtr& query) {
+  QueryPtr q1 = query->q1() ? ExpandParentsChildren(query->q1()) : nullptr;
+  QueryPtr q2 = query->q2() ? ExpandParentsChildren(query->q2()) : nullptr;
+  QueryPtr q3 = query->q3() ? ExpandParentsChildren(query->q3()) : nullptr;
+  auto everything = [] {
+    return Query::Atomic(Dn(), Scope::kSub, AtomicFilter::True());
+  };
+  switch (query->op()) {
+    case QueryOp::kParents:
+      return Query::HierarchyConstrained(QueryOp::kCoAncestors, q1, q2,
+                                         everything(), query->agg());
+    case QueryOp::kChildren:
+      return Query::HierarchyConstrained(QueryOp::kCoDescendants, q1, q2,
+                                         everything(), query->agg());
+    case QueryOp::kAtomic:
+    case QueryOp::kLdap:
+      return query;
+    case QueryOp::kAnd:
+      return Query::And(q1, q2);
+    case QueryOp::kOr:
+      return Query::Or(q1, q2);
+    case QueryOp::kDiff:
+      return Query::Diff(q1, q2);
+    case QueryOp::kSimpleAgg:
+      return Query::SimpleAgg(q1, *query->agg());
+    case QueryOp::kAncestors:
+    case QueryOp::kDescendants:
+      return Query::Hierarchy(query->op(), q1, q2, query->agg());
+    case QueryOp::kCoAncestors:
+    case QueryOp::kCoDescendants:
+      return Query::HierarchyConstrained(query->op(), q1, q2, q3,
+                                         query->agg());
+    case QueryOp::kValueDn:
+    case QueryOp::kDnValue:
+      return Query::EmbeddedRef(query->op(), q1, q2, query->ref_attr(),
+                                query->agg());
+  }
+  return query;
+}
+
+}  // namespace ndq

@@ -1,0 +1,62 @@
+// Semantics-preserving query rewrites.
+//
+// Section 8.1 discusses equivalences among the languages — notably that
+// L0 + {ac, dc} can express all of {a, d, c, p}, but that the expansion
+// "(p Q1 Q2) = (ac Q1 Q2 (null-dn ? sub ? objectClass=*))" would be "very
+// expensive ... since our algorithms have I/O complexity that is linear in
+// the size of the inputs". This module provides that expansion (for the
+// expressiveness demonstrations) and the optimizer direction: rewrites
+// that *reduce* evaluated input sizes while preserving M(Q) on every
+// instance:
+//
+//   * ContractConstrained: (ac Q1 Q2 <match-everything>) -> (p Q1 Q2),
+//     and (dc ...) -> (c ...): undoes the Thm 8.2(d) expansion. Exact on
+//     prefix-closed namespaces (every entry's parent exists), which LDAP
+//     servers guarantee and DirectoryStore maintains; the closest
+//     *existing* ancestor is then the parent.
+//   * MergeSameScopeBooleans: (& (B?s?F1) (B?s?F2)) -> one LDAP scan with
+//     filter (&(F1)(F2)) — same for | — halving leaf scans.
+//   * DropExistentialAgg: an explicit "count($2) > 0" aggregate filter is
+//     the operator's default existential semantics (Sec. 6.2); drop it.
+//   * CollapseIdempotent: (& Q Q) -> Q, (| Q Q) -> Q for syntactically
+//     identical operands.
+//
+// All rewrites are proved against the reference evaluator in
+// tests/query/rewrite_test.cc.
+
+#ifndef NDQ_QUERY_REWRITE_H_
+#define NDQ_QUERY_REWRITE_H_
+
+#include "query/ast.h"
+
+namespace ndq {
+
+/// Statistics about one rewrite pass.
+struct RewriteStats {
+  size_t merged_boolean_scans = 0;
+  size_t contracted_constrained = 0;
+  size_t dropped_existential_aggs = 0;
+  size_t collapsed_idempotent = 0;
+
+  size_t Total() const {
+    return merged_boolean_scans + contracted_constrained +
+           dropped_existential_aggs + collapsed_idempotent;
+  }
+};
+
+/// Applies all optimizer rewrites bottom-up until fixpoint. The returned
+/// query satisfies M(Q') = M(Q) on every instance.
+QueryPtr RewriteQuery(const QueryPtr& query, RewriteStats* stats = nullptr);
+
+/// The Theorem 8.2(d) *expansion*: rewrites every p into ac and every c
+/// into dc with a match-everything third operand. Semantics-preserving but
+/// deliberately expensive — used by the expressiveness demonstrations.
+QueryPtr ExpandParentsChildren(const QueryPtr& query);
+
+/// True iff `query` syntactically matches every entry of any instance:
+/// "(null-dn ? sub ? objectClass=*)" up to base spelling.
+bool IsMatchEverything(const Query& query);
+
+}  // namespace ndq
+
+#endif  // NDQ_QUERY_REWRITE_H_

@@ -1,0 +1,162 @@
+#include "query/validate.h"
+
+namespace ndq {
+
+namespace {
+
+class Validator {
+ public:
+  explicit Validator(const Schema& schema) : schema_(schema) {}
+
+  std::vector<QueryIssue> Run(const Query& query) {
+    Visit(query);
+    return std::move(issues_);
+  }
+
+ private:
+  void Error(std::string msg) {
+    issues_.push_back({QueryIssue::Severity::kError, std::move(msg)});
+  }
+  void Warn(std::string msg) {
+    issues_.push_back({QueryIssue::Severity::kWarning, std::move(msg)});
+  }
+
+  // Returns false (and warns) if the attribute is undeclared.
+  bool CheckDeclared(const std::string& attr, const char* context) {
+    if (attr.empty() || schema_.HasAttribute(attr)) return true;
+    Warn(std::string("attribute '") + attr + "' in " + context +
+         " is not declared in the schema");
+    return false;
+  }
+
+  void CheckIntTyped(const std::string& attr, const char* context) {
+    if (!CheckDeclared(attr, context)) return;
+    Result<TypeKind> t = schema_.AttributeType(attr);
+    if (t.ok() && *t != TypeKind::kInt) {
+      Error(std::string("attribute '") + attr + "' in " + context +
+            " has type " + TypeKindToString(*t) +
+            "; the integer comparison can never match");
+    }
+  }
+
+  void VisitAtomicFilter(const AtomicFilter& f) {
+    switch (f.kind()) {
+      case AtomicFilter::Kind::kTrue:
+        return;
+      case AtomicFilter::Kind::kPresence:
+        CheckDeclared(f.attr(), "presence filter");
+        return;
+      case AtomicFilter::Kind::kIntCmp:
+        CheckIntTyped(f.attr(), "comparison filter");
+        return;
+      case AtomicFilter::Kind::kEquals: {
+        if (!CheckDeclared(f.attr(), "equality filter")) return;
+        if (f.attr() == kObjectClassAttr && f.equals_rhs().is_string() &&
+            !schema_.HasClass(f.equals_rhs().AsString())) {
+          Error("objectClass value '" + f.equals_rhs().AsString() +
+                "' names no declared class");
+        }
+        return;
+      }
+      case AtomicFilter::Kind::kSubstring: {
+        if (!CheckDeclared(f.attr(), "substring filter")) return;
+        Result<TypeKind> t = schema_.AttributeType(f.attr());
+        if (t.ok() && *t == TypeKind::kInt) {
+          Error("substring pattern on int-typed attribute '" + f.attr() +
+                "' can never match");
+        }
+        return;
+      }
+    }
+  }
+
+  void VisitLdapFilter(const LdapFilter& f) {
+    if (f.op() == LdapFilter::Op::kAtomic) {
+      VisitAtomicFilter(f.atomic());
+      return;
+    }
+    for (const LdapFilterPtr& child : f.children()) {
+      VisitLdapFilter(*child);
+    }
+  }
+
+  void VisitEntryAgg(const EntryAgg& ea, const char* context) {
+    if (ea.target == AggTarget::kWitnessCount) return;
+    if (!CheckDeclared(ea.attr, context)) return;
+    if (ea.fn == AggFn::kCount) return;  // count works on any type
+    Result<TypeKind> t = schema_.AttributeType(ea.attr);
+    if (t.ok() && *t != TypeKind::kInt) {
+      Error(std::string(AggFnToString(ea.fn)) + "(" + ea.attr + ") in " +
+            context + " aggregates a " + TypeKindToString(*t) +
+            "-typed attribute; the aggregate is always undefined");
+    }
+  }
+
+  void VisitAggAttr(const AggAttr& aa, const char* context) {
+    switch (aa.kind) {
+      case AggAttr::Kind::kConst:
+        return;
+      case AggAttr::Kind::kEntry:
+      case AggAttr::Kind::kEntrySet:
+        if (aa.kind == AggAttr::Kind::kEntrySet &&
+            aa.set_form == AggAttr::SetForm::kCountSet) {
+          return;
+        }
+        VisitEntryAgg(aa.entry, context);
+        return;
+    }
+  }
+
+  void Visit(const Query& q) {
+    switch (q.op()) {
+      case QueryOp::kAtomic:
+        VisitAtomicFilter(q.filter());
+        break;
+      case QueryOp::kLdap:
+        VisitLdapFilter(*q.ldap_filter());
+        break;
+      case QueryOp::kValueDn:
+      case QueryOp::kDnValue: {
+        const std::string& attr = q.ref_attr();
+        if (CheckDeclared(attr, "embedded-reference operator")) {
+          Result<TypeKind> t = schema_.AttributeType(attr);
+          if (t.ok() && *t != TypeKind::kDn) {
+            Error("reference attribute '" + attr + "' of " +
+                  QueryOpToString(q.op()) + " has type " +
+                  TypeKindToString(*t) +
+                  "; it can never hold distinguished names");
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    if (q.agg().has_value()) {
+      VisitAggAttr(q.agg()->lhs, "aggregate selection");
+      VisitAggAttr(q.agg()->rhs, "aggregate selection");
+    }
+    for (const QueryPtr& child : {q.q1(), q.q2(), q.q3()}) {
+      if (child != nullptr) Visit(*child);
+    }
+  }
+
+  const Schema& schema_;
+  std::vector<QueryIssue> issues_;
+};
+
+}  // namespace
+
+std::vector<QueryIssue> ValidateQuery(const Schema& schema,
+                                      const Query& query) {
+  return Validator(schema).Run(query);
+}
+
+bool QueryIsValid(const Schema& schema, const Query& query) {
+  for (const QueryIssue& issue : ValidateQuery(schema, query)) {
+    if (issue.severity == QueryIssue::Severity::kError) return false;
+  }
+  return true;
+}
+
+}  // namespace ndq

@@ -1,0 +1,48 @@
+// Schema-aware query validation.
+//
+// The formal model types every attribute globally (tau, Def. 3.1), so a
+// query can be checked before touching any data: an integer comparison on
+// a string-typed attribute can never match (Sec. 4.1's filter semantics
+// require tau(a) = int), a vd/dv over a non-DN attribute can never produce
+// witnesses, and an unknown attribute name is almost always a typo. A
+// production server surfaces these as diagnostics instead of silently
+// returning empty results.
+
+#ifndef NDQ_QUERY_VALIDATE_H_
+#define NDQ_QUERY_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "query/ast.h"
+
+namespace ndq {
+
+/// One validation finding.
+struct QueryIssue {
+  enum class Severity {
+    kError,    ///< the construct can never match / is ill-typed
+    kWarning,  ///< suspicious but satisfiable
+  };
+  Severity severity = Severity::kWarning;
+  std::string message;
+};
+
+/// Checks `query` against `schema`; returns all findings (empty = clean).
+/// Errors reported:
+///   * integer comparison / aggregation over a non-int attribute,
+///   * vd/dv via an attribute that is not distinguishedName-typed,
+///   * equality with an objectClass value that names no declared class.
+/// Warnings reported:
+///   * attributes (in filters, aggregates or reference positions) that the
+///     schema does not declare.
+std::vector<QueryIssue> ValidateQuery(const Schema& schema,
+                                      const Query& query);
+
+/// True iff no kError findings.
+bool QueryIsValid(const Schema& schema, const Query& query);
+
+}  // namespace ndq
+
+#endif  // NDQ_QUERY_VALIDATE_H_

@@ -1,0 +1,135 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace ndq {
+
+PageHandle::PageHandle(BufferPool* pool, PageId id, uint8_t* data)
+    : pool_(pool), id_(id), data_(data) {}
+
+PageHandle::~PageHandle() { Release(); }
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    data_ = other.data_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+    other.id_ = kInvalidPage;
+    other.dirty_ = false;
+  }
+  return *this;
+}
+
+void PageHandle::MarkDirty() { dirty_ = true; }
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_, dirty_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    dirty_ = false;
+  }
+}
+
+BufferPool::BufferPool(SimDisk* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity == 0 ? 1 : capacity) {}
+
+BufferPool::~BufferPool() { FlushAll().ok(); }
+
+Result<PageHandle> BufferPool::Pin(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    Frame& f = it->second;
+    if (f.in_lru) {
+      lru_.erase(f.lru_it);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    return PageHandle(this, id, f.data.get());
+  }
+  ++stats_.misses;
+  if (frames_.size() >= capacity_) NDQ_RETURN_IF_ERROR(EvictOne());
+  Frame f;
+  f.data = std::make_unique<uint8_t[]>(disk_->page_size());
+  NDQ_RETURN_IF_ERROR(disk_->ReadPage(id, f.data.get()));
+  f.pin_count = 1;
+  auto [fit, inserted] = frames_.emplace(id, std::move(f));
+  assert(inserted);
+  (void)inserted;
+  return PageHandle(this, id, fit->second.data.get());
+}
+
+Result<PageHandle> BufferPool::New() {
+  if (frames_.size() >= capacity_) NDQ_RETURN_IF_ERROR(EvictOne());
+  PageId id = disk_->Allocate();
+  Frame f;
+  f.data = std::make_unique<uint8_t[]>(disk_->page_size());
+  std::memset(f.data.get(), 0, disk_->page_size());
+  f.pin_count = 1;
+  f.dirty = true;
+  auto [fit, inserted] = frames_.emplace(id, std::move(f));
+  assert(inserted);
+  (void)inserted;
+  return PageHandle(this, id, fit->second.data.get());
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;
+  Frame& f = it->second;
+  if (dirty) f.dirty = true;
+  if (f.pin_count > 0) --f.pin_count;
+  if (f.pin_count == 0 && !f.in_lru) {
+    lru_.push_back(id);
+    f.lru_it = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::EvictOne() {
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("buffer pool: all frames pinned");
+  }
+  PageId victim = lru_.front();
+  lru_.pop_front();
+  auto it = frames_.find(victim);
+  assert(it != frames_.end());
+  if (it->second.dirty) {
+    NDQ_RETURN_IF_ERROR(disk_->WritePage(victim, it->second.data.get()));
+    ++stats_.dirty_writebacks;
+  }
+  frames_.erase(it);
+  ++stats_.evictions;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, f] : frames_) {
+    if (f.dirty) {
+      NDQ_RETURN_IF_ERROR(disk_->WritePage(id, f.data.get()));
+      f.dirty = false;
+      ++stats_.dirty_writebacks;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FreePage(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    if (it->second.pin_count > 0) {
+      return Status::InvalidArgument("freeing pinned page");
+    }
+    if (it->second.in_lru) lru_.erase(it->second.lru_it);
+    frames_.erase(it);
+  }
+  return disk_->Free(id);
+}
+
+}  // namespace ndq

@@ -1,0 +1,143 @@
+#include "storage/disk.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ndq {
+
+namespace {
+constexpr char kDiskMagic[8] = {'n', 'd', 'q', 'd', 'i', 's', 'k', '1'};
+}  // namespace
+
+Status SimDisk::SaveToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open for write: " + path);
+  }
+  auto fail = [&](const char* what) {
+    std::fclose(f);
+    return Status::Internal(std::string("disk save: ") + what + ": " + path);
+  };
+  uint64_t page_size = page_size_;
+  uint64_t num_slots = pages_.size();
+  if (std::fwrite(kDiskMagic, 1, 8, f) != 8 ||
+      std::fwrite(&page_size, sizeof page_size, 1, f) != 1 ||
+      std::fwrite(&num_slots, sizeof num_slots, 1, f) != 1) {
+    return fail("header write failed");
+  }
+  for (const PageSlot& slot : pages_) {
+    uint8_t live = slot.live ? 1 : 0;
+    if (std::fwrite(&live, 1, 1, f) != 1) return fail("slot flag");
+    if (slot.live &&
+        std::fwrite(slot.data.get(), 1, page_size_, f) != page_size_) {
+      return fail("page payload");
+    }
+  }
+  if (std::fclose(f) != 0) {
+    return Status::Internal("disk save: close failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status SimDisk::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for read: " + path);
+  }
+  auto fail = [&](const char* what) {
+    std::fclose(f);
+    return Status::Corruption(std::string("disk load: ") + what + ": " +
+                              path);
+  };
+  char magic[8];
+  uint64_t page_size = 0, num_slots = 0;
+  if (std::fread(magic, 1, 8, f) != 8 ||
+      std::memcmp(magic, kDiskMagic, 8) != 0) {
+    return fail("bad magic");
+  }
+  if (std::fread(&page_size, sizeof page_size, 1, f) != 1 ||
+      std::fread(&num_slots, sizeof num_slots, 1, f) != 1) {
+    return fail("short header");
+  }
+  if (page_size != page_size_) {
+    std::fclose(f);
+    return Status::InvalidArgument(
+        "disk image page size " + std::to_string(page_size) +
+        " does not match device page size " + std::to_string(page_size_));
+  }
+  std::vector<PageSlot> slots(num_slots);
+  std::vector<PageId> free_list;
+  size_t live = 0;
+  for (uint64_t i = 0; i < num_slots; ++i) {
+    uint8_t flag = 0;
+    if (std::fread(&flag, 1, 1, f) != 1) return fail("short slot flag");
+    slots[i].data = std::make_unique<uint8_t[]>(page_size_);
+    if (flag != 0) {
+      if (std::fread(slots[i].data.get(), 1, page_size_, f) != page_size_) {
+        return fail("short page payload");
+      }
+      slots[i].live = true;
+      ++live;
+    } else {
+      std::memset(slots[i].data.get(), 0, page_size_);
+      free_list.push_back(static_cast<PageId>(i));
+    }
+  }
+  std::fclose(f);
+  pages_ = std::move(slots);
+  free_list_ = std::move(free_list);
+  live_pages_ = live;
+  return Status::OK();
+}
+
+PageId SimDisk::Allocate() {
+  ++stats_.pages_allocated;
+  ++live_pages_;
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    PageSlot& slot = pages_[id];
+    slot.live = true;
+    std::memset(slot.data.get(), 0, page_size_);
+    return id;
+  }
+  PageId id = static_cast<PageId>(pages_.size());
+  PageSlot slot;
+  slot.data = std::make_unique<uint8_t[]>(page_size_);
+  std::memset(slot.data.get(), 0, page_size_);
+  slot.live = true;
+  pages_.push_back(std::move(slot));
+  return id;
+}
+
+Status SimDisk::Free(PageId id) {
+  if (id >= pages_.size() || !pages_[id].live) {
+    return Status::InvalidArgument("freeing invalid page " +
+                                   std::to_string(id));
+  }
+  pages_[id].live = false;
+  free_list_.push_back(id);
+  ++stats_.pages_freed;
+  --live_pages_;
+  return Status::OK();
+}
+
+Status SimDisk::ReadPage(PageId id, uint8_t* buf) {
+  if (id >= pages_.size() || !pages_[id].live) {
+    return Status::OutOfRange("reading invalid page " + std::to_string(id));
+  }
+  std::memcpy(buf, pages_[id].data.get(), page_size_);
+  ++stats_.page_reads;
+  return Status::OK();
+}
+
+Status SimDisk::WritePage(PageId id, const uint8_t* buf) {
+  if (id >= pages_.size() || !pages_[id].live) {
+    return Status::OutOfRange("writing invalid page " + std::to_string(id));
+  }
+  std::memcpy(pages_[id].data.get(), buf, page_size_);
+  ++stats_.page_writes;
+  return Status::OK();
+}
+
+}  // namespace ndq

@@ -1,0 +1,80 @@
+// A simulated page-granular block device.
+//
+// SimDisk stands in for the directory server's disk: all persistent state
+// (the entry store, indexes, intermediate operator runs, spilled stacks)
+// lives in its pages, and every transfer is counted in IoStats. Keeping the
+// device in memory makes benchmark runs deterministic and fast while
+// preserving exactly the quantity the paper's theorems are about.
+
+#ifndef NDQ_STORAGE_DISK_H_
+#define NDQ_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "storage/io_stats.h"
+
+namespace ndq {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = static_cast<PageId>(-1);
+
+/// Default page size. 4 KiB holds a few dozen typical directory entries,
+/// i.e. a blocking factor B in the tens, matching the paper's setting.
+inline constexpr size_t kDefaultPageSize = 4096;
+
+class SimDisk {
+ public:
+  explicit SimDisk(size_t page_size = kDefaultPageSize)
+      : page_size_(page_size) {}
+
+  SimDisk(const SimDisk&) = delete;
+  SimDisk& operator=(const SimDisk&) = delete;
+
+  size_t page_size() const { return page_size_; }
+
+  /// Allocates a zeroed page and returns its id.
+  PageId Allocate();
+
+  /// Returns a page to the free list. Reading a freed page is an error.
+  Status Free(PageId id);
+
+  /// Copies the page into `buf` (page_size() bytes).
+  Status ReadPage(PageId id, uint8_t* buf);
+
+  /// Copies `buf` (page_size() bytes) into the page.
+  Status WritePage(PageId id, const uint8_t* buf);
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  /// Number of live (allocated, not freed) pages.
+  size_t live_pages() const { return live_pages_; }
+
+  /// Writes the device image (page size, live pages, contents) to a file.
+  /// Freed slots are preserved so PageIds remain stable across reload.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Reads a device image previously written by SaveToFile. Replaces this
+  /// disk's contents; the page size must match the image's.
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  struct PageSlot {
+    std::unique_ptr<uint8_t[]> data;
+    bool live = false;
+  };
+
+  size_t page_size_;
+  std::vector<PageSlot> pages_;
+  std::vector<PageId> free_list_;
+  size_t live_pages_ = 0;
+  IoStats stats_;
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_STORAGE_DISK_H_

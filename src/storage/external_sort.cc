@@ -1,0 +1,127 @@
+#include "storage/external_sort.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+
+namespace ndq {
+namespace {
+
+struct HeapItem {
+  std::string record;
+  std::string key;
+  size_t source;
+};
+
+struct HeapCmp {
+  bool operator()(const HeapItem& a, const HeapItem& b) const {
+    return a.key > b.key;  // min-heap
+  }
+};
+
+// k-way merges one group of sorted runs into a fresh run (inputs untouched).
+Result<Run> MergeGroup(SimDisk* disk, const RecordKeyFn& key_fn,
+                       const Run* runs, size_t count) {
+  std::vector<std::unique_ptr<RunReader>> readers;
+  readers.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    readers.push_back(std::make_unique<RunReader>(disk, runs[i]));
+  }
+  std::priority_queue<HeapItem, std::vector<HeapItem>, HeapCmp> heap;
+  auto refill = [&](size_t src) -> Status {
+    std::string rec;
+    NDQ_ASSIGN_OR_RETURN(bool more, readers[src]->Next(&rec));
+    if (more) {
+      std::string key(key_fn(rec));
+      heap.push(HeapItem{std::move(rec), std::move(key), src});
+    }
+    return Status::OK();
+  };
+  for (size_t i = 0; i < readers.size(); ++i) NDQ_RETURN_IF_ERROR(refill(i));
+
+  RunWriter writer(disk);
+  while (!heap.empty()) {
+    HeapItem top = heap.top();
+    heap.pop();
+    NDQ_RETURN_IF_ERROR(writer.Add(top.record));
+    NDQ_RETURN_IF_ERROR(refill(top.source));
+  }
+  return writer.Finish();
+}
+
+// Repeatedly merges `runs` fan_in at a time until one remains; consumes the
+// inputs. Increments *passes per merge pass if non-null.
+Result<Run> MergeToOne(SimDisk* disk, const RecordKeyFn& key_fn,
+                       std::vector<Run> runs, size_t fan_in,
+                       size_t* passes) {
+  if (runs.empty()) {
+    RunWriter w(disk);
+    return w.Finish();
+  }
+  while (runs.size() > 1) {
+    if (passes != nullptr) ++*passes;
+    std::vector<Run> next;
+    for (size_t i = 0; i < runs.size(); i += fan_in) {
+      size_t n = std::min(fan_in, runs.size() - i);
+      NDQ_ASSIGN_OR_RETURN(Run merged,
+                           MergeGroup(disk, key_fn, &runs[i], n));
+      for (size_t j = i; j < i + n; ++j) {
+        NDQ_RETURN_IF_ERROR(FreeRun(disk, &runs[j]));
+      }
+      next.push_back(std::move(merged));
+    }
+    runs = std::move(next);
+  }
+  return std::move(runs[0]);
+}
+
+}  // namespace
+
+ExternalSorter::ExternalSorter(SimDisk* disk, RecordKeyFn key_fn,
+                               ExternalSortOptions options)
+    : disk_(disk), key_fn_(std::move(key_fn)), options_(options) {}
+
+Status ExternalSorter::Add(std::string_view record) {
+  if (finished_) return Status::Internal("Add after Finish");
+  buffer_.emplace_back(record);
+  buffered_bytes_ += record.size();
+  if (buffered_bytes_ >= options_.memory_budget) {
+    NDQ_RETURN_IF_ERROR(SpillBuffer());
+  }
+  return Status::OK();
+}
+
+Status ExternalSorter::SpillBuffer() {
+  if (buffer_.empty()) return Status::OK();
+  std::sort(buffer_.begin(), buffer_.end(),
+            [this](const std::string& a, const std::string& b) {
+              return key_fn_(a) < key_fn_(b);
+            });
+  RunWriter writer(disk_);
+  for (const std::string& rec : buffer_) {
+    NDQ_RETURN_IF_ERROR(writer.Add(rec));
+  }
+  NDQ_ASSIGN_OR_RETURN(Run run, writer.Finish());
+  runs_.push_back(std::move(run));
+  buffer_.clear();
+  buffered_bytes_ = 0;
+  return Status::OK();
+}
+
+Result<Run> ExternalSorter::Finish() {
+  if (finished_) return Status::Internal("double Finish");
+  finished_ = true;
+  merge_passes_ = 0;
+  NDQ_RETURN_IF_ERROR(SpillBuffer());
+  std::vector<Run> runs = std::move(runs_);
+  runs_.clear();
+  return MergeToOne(disk_, key_fn_, std::move(runs), options_.fan_in,
+                    &merge_passes_);
+}
+
+Result<Run> MergeSortedRuns(SimDisk* disk, RecordKeyFn key_fn,
+                            std::vector<Run> runs, size_t fan_in) {
+  return MergeToOne(disk, key_fn, std::move(runs), fan_in, nullptr);
+}
+
+}  // namespace ndq

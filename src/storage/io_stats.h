@@ -1,0 +1,46 @@
+// Page-level I/O accounting.
+//
+// Every theorem in the paper bounds *I/O complexity*: the number of page
+// transfers performed, in units of the blocking factor B. IoStats is the
+// measured counterpart: the simulated disk bumps these counters on every
+// page transfer, and the benchmark harnesses in /bench validate the
+// theorems against them (not against wall time).
+
+#ifndef NDQ_STORAGE_IO_STATS_H_
+#define NDQ_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ndq {
+
+struct IoStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t pages_allocated = 0;
+  uint64_t pages_freed = 0;
+
+  uint64_t TotalTransfers() const { return page_reads + page_writes; }
+
+  void Reset() { *this = IoStats(); }
+
+  IoStats operator-(const IoStats& other) const {
+    IoStats d;
+    d.page_reads = page_reads - other.page_reads;
+    d.page_writes = page_writes - other.page_writes;
+    d.pages_allocated = pages_allocated - other.pages_allocated;
+    d.pages_freed = pages_freed - other.pages_freed;
+    return d;
+  }
+
+  std::string ToString() const {
+    return "reads=" + std::to_string(page_reads) +
+           " writes=" + std::to_string(page_writes) +
+           " alloc=" + std::to_string(pages_allocated) +
+           " freed=" + std::to_string(pages_freed);
+  }
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_STORAGE_IO_STATS_H_

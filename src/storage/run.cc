@@ -1,0 +1,171 @@
+#include "storage/run.h"
+
+#include "storage/serde.h"
+
+namespace ndq {
+
+Status FreeRun(SimDisk* disk, Run* run) {
+  for (PageId p : run->pages) NDQ_RETURN_IF_ERROR(disk->Free(p));
+  run->pages.clear();
+  run->num_records = 0;
+  run->payload_bytes = 0;
+  return Status::OK();
+}
+
+Result<Run> ReverseRun(SimDisk* disk, Run run) {
+  // Spill forward-order records in ~2-page batches, then replay the
+  // batches last-to-first, reversing each batch in memory.
+  const size_t batch_budget = 2 * disk->page_size();
+  std::vector<Run> batches;
+  std::vector<std::string> buffer;
+  size_t buffered = 0;
+  auto flush = [&]() -> Status {
+    if (buffer.empty()) return Status::OK();
+    RunWriter w(disk);
+    for (const std::string& rec : buffer) NDQ_RETURN_IF_ERROR(w.Add(rec));
+    NDQ_ASSIGN_OR_RETURN(Run batch, w.Finish());
+    batches.push_back(std::move(batch));
+    buffer.clear();
+    buffered = 0;
+    return Status::OK();
+  };
+  {
+    RunReader reader(disk, run);
+    std::string rec;
+    while (true) {
+      NDQ_ASSIGN_OR_RETURN(bool more, reader.Next(&rec));
+      if (!more) break;
+      buffered += rec.size();
+      buffer.push_back(std::move(rec));
+      if (buffered >= batch_budget) NDQ_RETURN_IF_ERROR(flush());
+    }
+    NDQ_RETURN_IF_ERROR(flush());
+  }
+  NDQ_RETURN_IF_ERROR(FreeRun(disk, &run));
+  RunWriter out(disk);
+  std::string rec;
+  for (auto bit = batches.rbegin(); bit != batches.rend(); ++bit) {
+    std::vector<std::string> recs;
+    RunReader reader(disk, *bit);
+    while (true) {
+      NDQ_ASSIGN_OR_RETURN(bool more, reader.Next(&rec));
+      if (!more) break;
+      recs.push_back(std::move(rec));
+    }
+    for (auto rit = recs.rbegin(); rit != recs.rend(); ++rit) {
+      NDQ_RETURN_IF_ERROR(out.Add(*rit));
+    }
+    NDQ_RETURN_IF_ERROR(FreeRun(disk, &*bit));
+  }
+  return out.Finish();
+}
+
+RunWriter::RunWriter(SimDisk* disk) : disk_(disk) {
+  buf_.reserve(disk_->page_size());
+}
+
+Status RunWriter::FlushPage() {
+  if (buf_.empty()) return Status::OK();
+  buf_.resize(disk_->page_size(), '\0');
+  PageId id = disk_->Allocate();
+  NDQ_RETURN_IF_ERROR(
+      disk_->WritePage(id, reinterpret_cast<const uint8_t*>(buf_.data())));
+  run_.pages.push_back(id);
+  buf_.clear();
+  return Status::OK();
+}
+
+Status RunWriter::Add(std::string_view record) {
+  if (finished_) return Status::Internal("Add after Finish");
+  std::string framed;
+  ByteWriter w(&framed);
+  w.PutVarint(record.size());
+  framed.append(record.data(), record.size());
+
+  size_t off = 0;
+  while (off < framed.size()) {
+    size_t room = disk_->page_size() - buf_.size();
+    size_t take = std::min(room, framed.size() - off);
+    buf_.append(framed, off, take);
+    off += take;
+    if (buf_.size() == disk_->page_size()) NDQ_RETURN_IF_ERROR(FlushPage());
+  }
+  ++run_.num_records;
+  run_.payload_bytes += framed.size();
+  return Status::OK();
+}
+
+Result<Run> RunWriter::Finish() {
+  if (finished_) return Status::Internal("double Finish");
+  finished_ = true;
+  NDQ_RETURN_IF_ERROR(FlushPage());
+  return run_;
+}
+
+RunReader::RunReader(SimDisk* disk, const Run& run) : disk_(disk), run_(&run) {}
+
+Status RunReader::LoadPage(size_t idx) {
+  buf_.resize(disk_->page_size());
+  NDQ_RETURN_IF_ERROR(disk_->ReadPage(
+      run_->pages[idx], reinterpret_cast<uint8_t*>(buf_.data())));
+  buf_pos_ = 0;
+  page_idx_ = idx + 1;
+  return Status::OK();
+}
+
+Status RunReader::ReadBytes(size_t n, std::string* out) {
+  while (n > 0) {
+    if (buf_pos_ >= buf_.size()) {
+      if (page_idx_ >= run_->pages.size()) {
+        return Status::Corruption("run truncated");
+      }
+      NDQ_RETURN_IF_ERROR(LoadPage(page_idx_));
+    }
+    size_t take = std::min(n, buf_.size() - buf_pos_);
+    out->append(buf_, buf_pos_, take);
+    buf_pos_ += take;
+    n -= take;
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> RunReader::ReadVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (buf_pos_ >= buf_.size()) {
+      if (page_idx_ >= run_->pages.size()) {
+        return Status::Corruption("run truncated in varint");
+      }
+      NDQ_RETURN_IF_ERROR(LoadPage(page_idx_));
+    }
+    uint8_t b = static_cast<uint8_t>(buf_[buf_pos_++]);
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) return Status::Corruption("varint too long in run");
+  }
+  return v;
+}
+
+Status RunReader::SeekTo(size_t page_idx, size_t byte_offset,
+                         uint64_t record_index) {
+  if (page_idx >= run_->pages.size()) {
+    return Status::OutOfRange("seek past end of run");
+  }
+  NDQ_RETURN_IF_ERROR(LoadPage(page_idx));
+  buf_pos_ = byte_offset;
+  records_read_ = record_index;
+  return Status::OK();
+}
+
+Result<bool> RunReader::Next(std::string* record) {
+  if (records_read_ >= run_->num_records) return false;
+  NDQ_ASSIGN_OR_RETURN(uint64_t len, ReadVarint());
+  record->clear();
+  NDQ_RETURN_IF_ERROR(ReadBytes(len, record));
+  ++records_read_;
+  return true;
+}
+
+}  // namespace ndq

@@ -1,0 +1,93 @@
+// Sequential record runs on the simulated disk.
+//
+// A Run is the unit of inter-operator data flow in the evaluation engine:
+// a chain of pages holding length-prefixed records. Writers and readers
+// each buffer exactly ONE page, so a whole operator pipeline runs in
+// constant main memory — the property Theorems 8.3/8.4 assume. The page
+// list itself is kept as in-memory metadata (the analogue of a file's
+// extent table).
+
+#ifndef NDQ_STORAGE_RUN_H_
+#define NDQ_STORAGE_RUN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/disk.h"
+
+namespace ndq {
+
+/// Metadata for a run of records stored on disk pages.
+struct Run {
+  std::vector<PageId> pages;
+  uint64_t num_records = 0;
+  uint64_t payload_bytes = 0;
+
+  bool empty() const { return num_records == 0; }
+};
+
+/// Releases a run's pages back to the disk.
+Status FreeRun(SimDisk* disk, Run* run);
+
+/// Produces a new run holding `run`'s records in reverse order, consuming
+/// (freeing) the input. Costs O(pages) I/O: records are spilled in
+/// page-sized batches and the batches replayed last-to-first. Used by the
+/// descendant-direction hierarchy operators, which scan their input in
+/// descending key order (see exec/hierarchy.h).
+Result<Run> ReverseRun(SimDisk* disk, Run run);
+
+/// Appends records to a new run, one page of buffering.
+class RunWriter {
+ public:
+  explicit RunWriter(SimDisk* disk);
+
+  /// Appends one record (length-prefixed; may span pages).
+  Status Add(std::string_view record);
+
+  /// Flushes the tail page and returns the finished run.
+  Result<Run> Finish();
+
+  uint64_t num_records() const { return run_.num_records; }
+
+ private:
+  Status FlushPage();
+
+  SimDisk* disk_;
+  Run run_;
+  std::string buf_;  // current page payload
+  bool finished_ = false;
+};
+
+/// Reads a run sequentially, one page of buffering.
+class RunReader {
+ public:
+  RunReader(SimDisk* disk, const Run& run);
+
+  /// Reads the next record into `record`. Returns false at end-of-run.
+  Result<bool> Next(std::string* record);
+
+  /// Positions the reader at `byte_offset` within page `page_idx`, which
+  /// must be the start of record number `record_index`. Used by indexed
+  /// range scans (store/entry_store.h).
+  Status SeekTo(size_t page_idx, size_t byte_offset, uint64_t record_index);
+
+  uint64_t records_read() const { return records_read_; }
+
+ private:
+  Status LoadPage(size_t idx);
+  /// Pulls `n` raw bytes across page boundaries.
+  Status ReadBytes(size_t n, std::string* out);
+  Result<uint64_t> ReadVarint();
+
+  SimDisk* disk_;
+  const Run* run_;
+  std::string buf_;
+  size_t page_idx_ = 0;   // next page to load
+  size_t buf_pos_ = 0;
+  uint64_t records_read_ = 0;
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_STORAGE_RUN_H_

@@ -1,0 +1,112 @@
+// Byte-level record serialization used by runs, the entry store, indexes
+// and the spillable stack: varints, length-prefixed strings, and the
+// canonical Entry wire format.
+
+#ifndef NDQ_STORAGE_SERDE_H_
+#define NDQ_STORAGE_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/entry.h"
+#include "core/status.h"
+
+namespace ndq {
+
+/// Appends serialized primitives to a std::string buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+
+  /// LEB128 unsigned varint.
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      out_->push_back(static_cast<char>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    out_->push_back(static_cast<char>(v));
+  }
+
+  /// Zig-zag encoded signed varint.
+  void PutSigned(int64_t v) {
+    PutVarint((static_cast<uint64_t>(v) << 1) ^
+              static_cast<uint64_t>(v >> 63));
+  }
+
+  /// Length-prefixed byte string.
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    out_->append(s.data(), s.size());
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Reads serialized primitives from a byte buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t position() const { return pos_; }
+
+  Result<uint8_t> GetU8() {
+    if (pos_ >= data_.size()) return Status::Corruption("u8 past end");
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint64_t> GetVarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= data_.size()) return Status::Corruption("varint past end");
+      uint8_t b = static_cast<uint8_t>(data_[pos_++]);
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+      if (shift > 63) return Status::Corruption("varint too long");
+    }
+    return v;
+  }
+
+  Result<int64_t> GetSigned() {
+    NDQ_ASSIGN_OR_RETURN(uint64_t u, GetVarint());
+    return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  }
+
+  Result<std::string_view> GetString() {
+    NDQ_ASSIGN_OR_RETURN(uint64_t len, GetVarint());
+    if (pos_ + len > data_.size()) {
+      return Status::Corruption("string past end");
+    }
+    std::string_view s = data_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Appends the wire form of `value` to `out`.
+void SerializeValue(const Value& value, std::string* out);
+/// Reads one Value.
+Result<Value> DeserializeValue(ByteReader* reader);
+
+/// Appends the wire form of `entry` (HierKey + attribute map) to `out`.
+void SerializeEntry(const Entry& entry, std::string* out);
+/// Parses an Entry from its wire form.
+Result<Entry> DeserializeEntry(std::string_view record);
+
+/// Reads just the HierKey prefix of a serialized entry — the sort key —
+/// without materializing the rest.
+Result<std::string_view> PeekEntryKey(std::string_view record);
+
+}  // namespace ndq
+
+#endif  // NDQ_STORAGE_SERDE_H_

@@ -1,0 +1,275 @@
+#include "store/directory_store.h"
+
+#include <iterator>
+
+#include "storage/serde.h"
+
+namespace ndq {
+
+namespace {
+
+// Tombstone wire format: the key followed by a marker varint that no
+// serialized entry can produce (attribute counts never reach 2^62).
+constexpr uint64_t kTombstoneMarker = ~uint64_t{0} >> 2;
+
+std::string MakeTombstone(const std::string& key) {
+  std::string out;
+  ByteWriter w(&out);
+  w.PutString(key);
+  w.PutVarint(kTombstoneMarker);
+  return out;
+}
+
+bool IsTombstone(std::string_view record) {
+  ByteReader r(record);
+  Result<std::string_view> key = r.GetString();
+  if (!key.ok()) return false;
+  Result<uint64_t> marker = r.GetVarint();
+  return marker.ok() && *marker == kTombstoneMarker;
+}
+
+// Newest-wins pull merge across the memtable and all segments.
+class MergedCursor {
+ public:
+  MergedCursor(const std::map<std::string, std::string>& memtable,
+               const std::vector<std::unique_ptr<EntryStore>>& segments,
+               std::string_view start_key)
+      : mem_it_(memtable.lower_bound(std::string(start_key))),
+        mem_end_(memtable.end()) {
+    // Higher priority first: memtable, then segments newest to oldest.
+    for (auto it = segments.rbegin(); it != segments.rend(); ++it) {
+      cursors_.emplace_back(it->get(), start_key);
+      primed_.push_back(false);
+      done_.push_back(false);
+    }
+  }
+
+  /// Advances to the next live (non-tombstone, non-shadowed) record.
+  /// Returns false at end. record() valid after true.
+  Result<bool> Next(bool include_tombstones = false) {
+    while (true) {
+      NDQ_ASSIGN_OR_RETURN(bool any, Step());
+      if (!any) return false;
+      if (!include_tombstones && IsTombstone(record_)) continue;
+      return true;
+    }
+  }
+
+  const std::string& record() const { return record_; }
+  std::string_view key() const { return key_; }
+
+ private:
+  // One newest-wins step over the raw version streams.
+  Result<bool> Step() {
+    for (size_t i = 0; i < cursors_.size(); ++i) {
+      if (!primed_[i]) {
+        NDQ_ASSIGN_OR_RETURN(bool more, cursors_[i].Next());
+        done_[i] = !more;
+        primed_[i] = true;
+      }
+    }
+    // Minimum key across sources.
+    const std::string* min_key = nullptr;
+    std::string mem_key;
+    if (mem_it_ != mem_end_) {
+      mem_key = mem_it_->first;
+      min_key = &mem_key;
+    }
+    std::string cursor_key;
+    for (size_t i = 0; i < cursors_.size(); ++i) {
+      if (done_[i]) continue;
+      if (min_key == nullptr || std::string_view(cursors_[i].key()) <
+                                    std::string_view(*min_key)) {
+        cursor_key = std::string(cursors_[i].key());
+        min_key = &cursor_key;
+      }
+    }
+    if (min_key == nullptr) return false;
+    std::string key = *min_key;
+
+    // Pick the highest-priority version; advance every source at key.
+    bool picked = false;
+    if (mem_it_ != mem_end_ && mem_it_->first == key) {
+      record_ = mem_it_->second.empty() ? MakeTombstone(key)
+                                        : mem_it_->second;
+      picked = true;
+      ++mem_it_;
+    }
+    for (size_t i = 0; i < cursors_.size(); ++i) {
+      if (done_[i] || cursors_[i].key() != key) continue;
+      if (!picked) {
+        record_ = cursors_[i].record();
+        picked = true;
+      }
+      NDQ_ASSIGN_OR_RETURN(bool more, cursors_[i].Next());
+      done_[i] = !more;
+    }
+    key_ = key;
+    return picked;
+  }
+
+  std::map<std::string, std::string>::const_iterator mem_it_, mem_end_;
+  std::vector<EntryStore::Cursor> cursors_;
+  std::vector<bool> primed_, done_;
+  std::string record_;
+  std::string key_;
+};
+
+}  // namespace
+
+DirectoryStore::DirectoryStore(SimDisk* disk, Schema schema,
+                               DirectoryStoreOptions options)
+    : disk_(disk), schema_(std::move(schema)), options_(options) {}
+
+Result<std::optional<Entry>> DirectoryStore::Get(const Dn& dn) const {
+  const std::string& key = dn.HierKey();
+  auto mit = memtable_.find(key);
+  if (mit != memtable_.end()) {
+    if (mit->second.empty()) return std::optional<Entry>();  // tombstone
+    NDQ_ASSIGN_OR_RETURN(Entry e, DeserializeEntry(mit->second));
+    return std::optional<Entry>(std::move(e));
+  }
+  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+    std::string end = key + '\x01';
+    std::optional<Entry> found;
+    bool tombstoned = false;
+    Status s = (*it)->ScanRange(
+        key, end, [&](std::string_view record) -> Status {
+          if (IsTombstone(record)) {
+            tombstoned = true;
+            return Status::OK();
+          }
+          NDQ_ASSIGN_OR_RETURN(Entry e, DeserializeEntry(record));
+          found = std::move(e);
+          return Status::OK();
+        });
+    NDQ_RETURN_IF_ERROR(s);
+    if (tombstoned) return std::optional<Entry>();
+    if (found.has_value()) return found;
+  }
+  return std::optional<Entry>();
+}
+
+Status DirectoryStore::Add(Entry entry) {
+  NDQ_ASSIGN_OR_RETURN(std::optional<Entry> existing, Get(entry.dn()));
+  if (existing.has_value()) {
+    return Status::AlreadyExists("dn already bound: " +
+                                 entry.dn().ToString());
+  }
+  return Put(std::move(entry));
+}
+
+Status DirectoryStore::Put(Entry entry) {
+  if (entry.dn().IsNull()) {
+    return Status::InvalidArgument("cannot put entry with null dn");
+  }
+  if (options_.validate) NDQ_RETURN_IF_ERROR(schema_.ValidateEntry(entry));
+  NDQ_ASSIGN_OR_RETURN(std::optional<Entry> existing, Get(entry.dn()));
+  std::string record;
+  SerializeEntry(entry, &record);
+  memtable_[entry.HierKey()] = std::move(record);
+  if (!existing.has_value()) ++live_entries_;
+  if (memtable_.size() >= options_.memtable_limit) {
+    NDQ_RETURN_IF_ERROR(Flush());
+  }
+  return Status::OK();
+}
+
+Result<bool> DirectoryStore::HasDescendants(const std::string& key) const {
+  MergedCursor cursor(memtable_, segments_, key + kHierKeySep);
+  NDQ_ASSIGN_OR_RETURN(bool more, cursor.Next());
+  if (!more) return false;
+  return KeyIsAncestor(key, cursor.key());
+}
+
+Status DirectoryStore::Remove(const Dn& dn) {
+  NDQ_ASSIGN_OR_RETURN(std::optional<Entry> existing, Get(dn));
+  if (!existing.has_value()) {
+    return Status::NotFound("no entry named " + dn.ToString());
+  }
+  NDQ_ASSIGN_OR_RETURN(bool kids, HasDescendants(dn.HierKey()));
+  if (kids) {
+    return Status::InvalidArgument("entry " + dn.ToString() +
+                                   " has descendants; remove them first");
+  }
+  memtable_[dn.HierKey()] = std::string();  // tombstone
+  --live_entries_;
+  if (memtable_.size() >= options_.memtable_limit) {
+    NDQ_RETURN_IF_ERROR(Flush());
+  }
+  return Status::OK();
+}
+
+Status DirectoryStore::ScanRange(
+    std::string_view start_key, std::string_view end_key,
+    const std::function<Status(std::string_view record)>& fn) const {
+  MergedCursor cursor(memtable_, segments_, start_key);
+  while (true) {
+    NDQ_ASSIGN_OR_RETURN(bool more, cursor.Next());
+    if (!more) break;
+    if (!end_key.empty() && cursor.key() >= end_key) break;
+    NDQ_RETURN_IF_ERROR(fn(cursor.record()));
+  }
+  return Status::OK();
+}
+
+uint64_t DirectoryStore::EstimateRangeRecords(
+    std::string_view start_key, std::string_view end_key) const {
+  uint64_t total = 0;
+  for (const auto& seg : segments_) {
+    total += seg->EstimateRangeRecords(start_key, end_key);
+  }
+  auto lo = memtable_.lower_bound(std::string(start_key));
+  auto hi = end_key.empty() ? memtable_.end()
+                            : memtable_.lower_bound(std::string(end_key));
+  total += static_cast<uint64_t>(std::distance(lo, hi));
+  return total;
+}
+
+uint64_t DirectoryStore::EstimateRangePages(std::string_view start_key,
+                                            std::string_view end_key) const {
+  uint64_t total = 0;
+  for (const auto& seg : segments_) {
+    total += seg->EstimateRangePages(start_key, end_key);
+  }
+  return total + 1;  // + the memtable (memory-resident)
+}
+
+Status DirectoryStore::Flush() {
+  if (memtable_.empty()) return Status::OK();
+  auto it = memtable_.begin();
+  auto next = [&](std::string* record) -> Result<bool> {
+    if (it == memtable_.end()) return false;
+    *record = it->second.empty() ? MakeTombstone(it->first) : it->second;
+    ++it;
+    return true;
+  };
+  NDQ_ASSIGN_OR_RETURN(EntryStore segment,
+                       EntryStore::FromStream(disk_, next));
+  segments_.push_back(std::make_unique<EntryStore>(std::move(segment)));
+  memtable_.clear();
+  if (segments_.size() >= options_.max_segments) {
+    NDQ_RETURN_IF_ERROR(Compact());
+  }
+  return Status::OK();
+}
+
+Status DirectoryStore::Compact() {
+  NDQ_RETURN_IF_ERROR(Flush());
+  if (segments_.size() <= 1) return Status::OK();
+  MergedCursor cursor(memtable_, segments_, "");
+  auto next = [&](std::string* record) -> Result<bool> {
+    NDQ_ASSIGN_OR_RETURN(bool more, cursor.Next());
+    if (!more) return false;
+    *record = cursor.record();
+    return true;
+  };
+  NDQ_ASSIGN_OR_RETURN(EntryStore merged,
+                       EntryStore::FromStream(disk_, next));
+  for (auto& s : segments_) NDQ_RETURN_IF_ERROR(s->Destroy());
+  segments_.clear();
+  segments_.push_back(std::make_unique<EntryStore>(std::move(merged)));
+  return Status::OK();
+}
+
+}  // namespace ndq

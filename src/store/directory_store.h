@@ -1,0 +1,99 @@
+// The mutable directory store: a small LSM over EntryStore segments.
+//
+// TOPS subscriber policies "can be created and modified dynamically"
+// (Sec. 2.2), so a directory server needs an update path. DirectoryStore
+// keeps a sorted in-memory memtable of recent Put/Remove operations
+// (removals as tombstones) over a stack of immutable sorted segments; the
+// memtable flushes to a new segment when full, and Compact() merges all
+// segments into one. Reads are a newest-wins merge across memtable and
+// segments — still in HierKey order, so the evaluation engine runs over a
+// DirectoryStore exactly as over one segment (both implement EntrySource).
+
+#ifndef NDQ_STORE_DIRECTORY_STORE_H_
+#define NDQ_STORE_DIRECTORY_STORE_H_
+
+#include <map>
+#include <memory>
+
+#include "core/ldif_update.h"
+#include "store/entry_store.h"
+
+namespace ndq {
+
+struct DirectoryStoreOptions {
+  /// Memtable flush threshold (entries + tombstones).
+  size_t memtable_limit = 1024;
+  /// Validate entries against the schema on write.
+  bool validate = true;
+  /// Compact automatically when the segment stack reaches this depth.
+  size_t max_segments = 8;
+};
+
+class DirectoryStore : public EntrySource, public UpdateTarget {
+ public:
+  DirectoryStore(SimDisk* disk, Schema schema,
+                 DirectoryStoreOptions options = {});
+
+  /// Adds a new entry; fails with AlreadyExists if the dn is bound.
+  Status Add(Entry entry);
+
+  /// Adds or replaces.
+  Status Put(Entry entry);
+
+  /// Removes the entry; fails with NotFound if absent and with
+  /// InvalidArgument if the entry has descendants (namespaces stay
+  /// prefix-closed, as in LDAP).
+  Status Remove(const Dn& dn);
+
+  /// Point lookup (memtable-over-segments, newest wins).
+  Result<std::optional<Entry>> Get(const Dn& dn) const;
+
+  // UpdateTarget (drives core/ldif_update.h change streams).
+  Status AddEntry(Entry entry) override { return Add(std::move(entry)); }
+  Status DeleteEntry(const Dn& dn) override { return Remove(dn); }
+  Result<std::optional<Entry>> GetEntry(const Dn& dn) override {
+    return Get(dn);
+  }
+  Status ReplaceEntry(Entry entry) override { return Put(std::move(entry)); }
+
+  /// Merged key-ordered scan (EntrySource).
+  Status ScanRange(std::string_view start_key, std::string_view end_key,
+                   const std::function<Status(std::string_view record)>& fn)
+      const override;
+
+  uint64_t num_entries() const override { return live_entries_; }
+
+  /// Cost-model hooks: summed over segments (sparse indexes) plus the
+  /// memtable span. Slight over-counts where versions shadow each other.
+  uint64_t EstimateRangeRecords(std::string_view start_key,
+                                std::string_view end_key) const override;
+  uint64_t EstimateRangePages(std::string_view start_key,
+                              std::string_view end_key) const override;
+
+  /// Writes the memtable out as a new segment.
+  Status Flush();
+
+  /// Merges everything into a single segment, dropping shadowed versions
+  /// and tombstones.
+  Status Compact();
+
+  size_t num_segments() const { return segments_.size(); }
+  size_t memtable_size() const { return memtable_.size(); }
+  const Schema& schema() const { return schema_; }
+
+ private:
+  /// True iff any live entry lies strictly below `key`.
+  Result<bool> HasDescendants(const std::string& key) const;
+
+  SimDisk* disk_;
+  Schema schema_;
+  DirectoryStoreOptions options_;
+  // Key -> serialized entry, or empty string = tombstone.
+  std::map<std::string, std::string> memtable_;
+  std::vector<std::unique_ptr<EntryStore>> segments_;  // oldest first
+  uint64_t live_entries_ = 0;
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_STORE_DIRECTORY_STORE_H_

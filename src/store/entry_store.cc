@@ -1,0 +1,313 @@
+#include "store/entry_store.h"
+
+#include <algorithm>
+
+#include "storage/serde.h"
+
+namespace ndq {
+
+Status EntryStore::BuildFrom(
+    SimDisk* disk, const std::function<Result<bool>(std::string*)>& next) {
+  disk_ = disk;
+  const size_t page_size = disk->page_size();
+  std::string buf;
+  buf.reserve(page_size);
+  auto flush_page = [&]() -> Status {
+    if (buf.empty()) return Status::OK();
+    buf.resize(page_size, '\0');
+    PageId id = disk->Allocate();
+    NDQ_RETURN_IF_ERROR(
+        disk->WritePage(id, reinterpret_cast<const uint8_t*>(buf.data())));
+    run_.pages.push_back(id);
+    buf.clear();
+    return Status::OK();
+  };
+
+  std::string record;
+  std::string prev_key;
+  // Pending sparse-index entries for pages not yet flushed are appended as
+  // pages fill; a page with no record start inherits a sentinel.
+  auto note_record_start = [&](std::string_view key) {
+    size_t page_idx = run_.pages.size();  // current page being built
+    while (first_keys_.size() <= page_idx) {
+      first_keys_.emplace_back();
+      first_offsets_.push_back(static_cast<uint32_t>(page_size));
+      first_record_index_.push_back(run_.num_records);
+    }
+    if (first_offsets_[page_idx] == page_size) {
+      first_keys_[page_idx] = std::string(key);
+      first_offsets_[page_idx] = static_cast<uint32_t>(buf.size());
+      first_record_index_[page_idx] = run_.num_records;
+    }
+  };
+
+  while (true) {
+    NDQ_ASSIGN_OR_RETURN(bool more, next(&record));
+    if (!more) break;
+    NDQ_ASSIGN_OR_RETURN(std::string_view key, PeekEntryKey(record));
+    if (run_.num_records > 0 && !(prev_key < key)) {
+      return Status::InvalidArgument(
+          "entry records not in strictly increasing key order");
+    }
+    prev_key = std::string(key);
+    note_record_start(key);
+
+    std::string framed;
+    ByteWriter w(&framed);
+    w.PutVarint(record.size());
+    framed += record;
+    size_t off = 0;
+    while (off < framed.size()) {
+      size_t take = std::min(page_size - buf.size(), framed.size() - off);
+      buf.append(framed, off, take);
+      off += take;
+      if (buf.size() == page_size) NDQ_RETURN_IF_ERROR(flush_page());
+    }
+    ++run_.num_records;
+    run_.payload_bytes += framed.size();
+  }
+  NDQ_RETURN_IF_ERROR(flush_page());
+  // Fill index slots for trailing pages with no record start, and for
+  // pages fully occupied by spanning records.
+  while (first_keys_.size() < run_.pages.size()) {
+    first_keys_.emplace_back();
+    first_offsets_.push_back(static_cast<uint32_t>(page_size));
+    first_record_index_.push_back(run_.num_records);
+  }
+  // Propagate keys forward so binary search sees a monotone sequence:
+  // a page without a record start behaves like its successor... instead,
+  // mark such pages with the previous page's key so lower_bound lands
+  // before them.
+  for (size_t i = 1; i < first_keys_.size(); ++i) {
+    if (first_offsets_[i] == page_size) {
+      first_keys_[i] = first_keys_[i - 1];
+    }
+  }
+  return Status::OK();
+}
+
+Result<EntryStore> EntryStore::BulkLoad(SimDisk* disk,
+                                        const DirectoryInstance& instance) {
+  EntryStore store;
+  auto it = instance.begin();
+  auto next = [&](std::string* record) -> Result<bool> {
+    if (it == instance.end()) return false;
+    record->clear();
+    SerializeEntry(it->second, record);
+    ++it;
+    return true;
+  };
+  NDQ_RETURN_IF_ERROR(store.BuildFrom(disk, next));
+  return store;
+}
+
+Result<EntryStore> EntryStore::FromStream(
+    SimDisk* disk, const std::function<Result<bool>(std::string*)>& next) {
+  EntryStore store;
+  NDQ_RETURN_IF_ERROR(store.BuildFrom(disk, next));
+  return store;
+}
+
+Result<EntryStore> EntryStore::FromSortedRecords(
+    SimDisk* disk, const std::vector<std::string>& records) {
+  EntryStore store;
+  size_t i = 0;
+  auto next = [&](std::string* record) -> Result<bool> {
+    if (i >= records.size()) return false;
+    *record = records[i++];
+    return true;
+  };
+  NDQ_RETURN_IF_ERROR(store.BuildFrom(disk, next));
+  return store;
+}
+
+Result<std::unique_ptr<RunReader>> EntryStore::SeekReader(
+    std::string_view start_key) const {
+  if (run_.num_records == 0) return std::unique_ptr<RunReader>();
+  // Find the first page whose first-starting record could be >= start_key:
+  // binary search for the last page with first_key <= start_key; the
+  // target record starts there or later.
+  size_t lo = 0;
+  {
+    size_t a = 0, b = first_keys_.size();
+    while (a < b) {
+      size_t mid = (a + b) / 2;
+      if (first_keys_[mid] <= start_key) {
+        a = mid + 1;
+      } else {
+        b = mid;
+      }
+    }
+    lo = (a == 0) ? 0 : a - 1;
+  }
+  // A page without a record start is covered by a record that began
+  // earlier; back up to the page where that record starts.
+  while (lo > 0 &&
+         first_offsets_[lo] == static_cast<uint32_t>(disk_->page_size())) {
+    --lo;
+  }
+  if (first_offsets_[lo] == static_cast<uint32_t>(disk_->page_size())) {
+    return std::unique_ptr<RunReader>();  // no record starts at all
+  }
+  auto reader = std::make_unique<RunReader>(disk_, run_);
+  NDQ_RETURN_IF_ERROR(
+      reader->SeekTo(lo, first_offsets_[lo], first_record_index_[lo]));
+  return reader;
+}
+
+Status EntryStore::ScanRange(
+    std::string_view start_key, std::string_view end_key,
+    const std::function<Status(std::string_view record)>& fn) const {
+  NDQ_ASSIGN_OR_RETURN(std::unique_ptr<RunReader> reader,
+                       SeekReader(start_key));
+  if (reader == nullptr) return Status::OK();
+  std::string record;
+  while (true) {
+    NDQ_ASSIGN_OR_RETURN(bool more, reader->Next(&record));
+    if (!more) break;
+    NDQ_ASSIGN_OR_RETURN(std::string_view key, PeekEntryKey(record));
+    if (key < start_key) continue;
+    if (!end_key.empty() && key >= end_key) break;
+    NDQ_RETURN_IF_ERROR(fn(record));
+  }
+  return Status::OK();
+}
+
+EntryStore::Cursor::Cursor(const EntryStore* store,
+                           std::string_view start_key)
+    : store_(store), start_key_(start_key) {}
+
+Result<bool> EntryStore::Cursor::Next() {
+  if (store_ == nullptr) return false;
+  if (!primed_) {
+    primed_ = true;
+    NDQ_ASSIGN_OR_RETURN(reader_, store_->SeekReader(start_key_));
+  }
+  if (reader_ == nullptr) return false;
+  while (true) {
+    NDQ_ASSIGN_OR_RETURN(bool more, reader_->Next(&record_));
+    if (!more) {
+      reader_.reset();
+      return false;
+    }
+    NDQ_ASSIGN_OR_RETURN(key_, PeekEntryKey(record_));
+    if (key_ >= start_key_) return true;
+  }
+}
+
+namespace {
+
+// Index of the last page whose first-starting key is <= key (0 if none).
+size_t PageLowerBound(const std::vector<std::string>& first_keys,
+                      std::string_view key) {
+  size_t a = 0, b = first_keys.size();
+  while (a < b) {
+    size_t mid = (a + b) / 2;
+    if (first_keys[mid] <= key) {
+      a = mid + 1;
+    } else {
+      b = mid;
+    }
+  }
+  return a == 0 ? 0 : a - 1;
+}
+
+}  // namespace
+
+uint64_t EntryStore::EstimateRangePages(std::string_view start_key,
+                                        std::string_view end_key) const {
+  if (run_.num_records == 0) return 0;
+  size_t lo = PageLowerBound(first_keys_, start_key);
+  size_t hi = end_key.empty() ? run_.pages.size()
+                              : PageLowerBound(first_keys_, end_key) + 1;
+  if (hi <= lo) return 1;
+  return hi - lo;
+}
+
+uint64_t EntryStore::EstimateRangeRecords(std::string_view start_key,
+                                          std::string_view end_key) const {
+  if (run_.num_records == 0) return 0;
+  size_t lo = PageLowerBound(first_keys_, start_key);
+  uint64_t lo_rec = first_record_index_[lo];
+  uint64_t hi_rec = run_.num_records;
+  if (!end_key.empty()) {
+    size_t hi = PageLowerBound(first_keys_, end_key);
+    hi_rec = (hi + 1 < first_record_index_.size())
+                 ? first_record_index_[hi + 1]
+                 : run_.num_records;
+  }
+  return hi_rec > lo_rec ? hi_rec - lo_rec : 1;
+}
+
+Result<std::optional<Entry>> EntryStore::Get(std::string_view hier_key) const {
+  std::optional<Entry> found;
+  std::string end(hier_key);
+  end += '\x01';
+  Status s = ScanRange(hier_key, end, [&](std::string_view record) -> Status {
+    NDQ_ASSIGN_OR_RETURN(Entry e, DeserializeEntry(record));
+    found = std::move(e);
+    return Status::OK();
+  });
+  NDQ_RETURN_IF_ERROR(s);
+  return found;
+}
+
+std::string EntryStore::SerializeManifest() const {
+  std::string out;
+  ByteWriter w(&out);
+  w.PutString("ndqseg1");
+  w.PutVarint(run_.num_records);
+  w.PutVarint(run_.payload_bytes);
+  w.PutVarint(run_.pages.size());
+  for (PageId p : run_.pages) w.PutVarint(p);
+  w.PutVarint(first_keys_.size());
+  for (size_t i = 0; i < first_keys_.size(); ++i) {
+    w.PutString(first_keys_[i]);
+    w.PutVarint(first_offsets_[i]);
+    w.PutVarint(first_record_index_[i]);
+  }
+  return out;
+}
+
+Result<EntryStore> EntryStore::FromManifest(SimDisk* disk,
+                                            std::string_view manifest) {
+  ByteReader r(manifest);
+  NDQ_ASSIGN_OR_RETURN(std::string_view magic, r.GetString());
+  if (magic != "ndqseg1") {
+    return Status::Corruption("bad entry-store manifest magic");
+  }
+  EntryStore store;
+  store.disk_ = disk;
+  NDQ_ASSIGN_OR_RETURN(store.run_.num_records, r.GetVarint());
+  NDQ_ASSIGN_OR_RETURN(store.run_.payload_bytes, r.GetVarint());
+  NDQ_ASSIGN_OR_RETURN(uint64_t npages, r.GetVarint());
+  store.run_.pages.reserve(npages);
+  for (uint64_t i = 0; i < npages; ++i) {
+    NDQ_ASSIGN_OR_RETURN(uint64_t p, r.GetVarint());
+    store.run_.pages.push_back(static_cast<PageId>(p));
+  }
+  NDQ_ASSIGN_OR_RETURN(uint64_t nidx, r.GetVarint());
+  if (nidx != npages) {
+    return Status::Corruption("entry-store manifest index/page mismatch");
+  }
+  for (uint64_t i = 0; i < nidx; ++i) {
+    NDQ_ASSIGN_OR_RETURN(std::string_view key, r.GetString());
+    NDQ_ASSIGN_OR_RETURN(uint64_t off, r.GetVarint());
+    NDQ_ASSIGN_OR_RETURN(uint64_t rec, r.GetVarint());
+    store.first_keys_.emplace_back(key);
+    store.first_offsets_.push_back(static_cast<uint32_t>(off));
+    store.first_record_index_.push_back(rec);
+  }
+  return store;
+}
+
+Status EntryStore::Destroy() {
+  if (disk_ == nullptr) return Status::OK();
+  NDQ_RETURN_IF_ERROR(FreeRun(disk_, &run_));
+  first_keys_.clear();
+  first_offsets_.clear();
+  first_record_index_.clear();
+  return Status::OK();
+}
+
+}  // namespace ndq

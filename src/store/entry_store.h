@@ -1,0 +1,168 @@
+// The disk-resident directory entry table.
+//
+// Entries are serialized in HierKey (reverse-DN) order into pages of the
+// simulated disk, with an in-memory sparse index (first key of each page),
+// like one SSTable/segment of an LSM tree. Because the table is in the
+// paper's global sort order, every atomic query scope is a key *range*:
+//   base  -> the single key,
+//   one   -> the subtree range, filtered to depth+1 (children),
+//   sub   -> the subtree range,
+// so atomic evaluation costs O(range pages) reads — the "atomic queries
+// can be evaluated efficiently" assumption of Sec. 4.1.
+//
+// The mutable store (memtable + segments + compaction) lives in
+// store/directory_store.h; EntryStore is the immutable segment format.
+
+#ifndef NDQ_STORE_ENTRY_STORE_H_
+#define NDQ_STORE_ENTRY_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/entry.h"
+#include "core/instance.h"
+#include "storage/disk.h"
+#include "storage/run.h"
+
+namespace ndq {
+
+/// \brief Anything that can stream serialized entries in key order.
+///
+/// Implemented by the immutable EntryStore segment and by the mutable
+/// DirectoryStore (memtable + segments); the evaluation engine's atomic
+/// operator works against this interface.
+class EntrySource {
+ public:
+  virtual ~EntrySource() = default;
+
+  /// Calls `fn` for every record with start_key <= key < end_key (end_key
+  /// empty = unbounded), in key order.
+  virtual Status ScanRange(
+      std::string_view start_key, std::string_view end_key,
+      const std::function<Status(std::string_view record)>& fn) const = 0;
+
+  virtual uint64_t num_entries() const = 0;
+
+  /// Cost-model hooks (no I/O). The defaults are deliberately coarse —
+  /// the whole store; implementations refine them from their indexes.
+  virtual uint64_t EstimateRangeRecords(std::string_view start_key,
+                                        std::string_view end_key) const {
+    (void)start_key;
+    (void)end_key;
+    return num_entries();
+  }
+  virtual uint64_t EstimateRangePages(std::string_view start_key,
+                                      std::string_view end_key) const {
+    // Assume ~40 entries per page when nothing better is known.
+    return EstimateRangeRecords(start_key, end_key) / 40 + 1;
+  }
+};
+
+/// \brief One immutable sorted segment of serialized entries.
+class EntryStore : public EntrySource {
+ public:
+  EntryStore() = default;
+
+  /// Serializes all entries of `instance` (already in key order).
+  static Result<EntryStore> BulkLoad(SimDisk* disk,
+                                     const DirectoryInstance& instance);
+
+  /// Builds a segment from serialized entry records, which must arrive in
+  /// strictly increasing key order.
+  static Result<EntryStore> FromSortedRecords(
+      SimDisk* disk, const std::vector<std::string>& records);
+
+  /// Streaming variant: `next` yields records in strictly increasing key
+  /// order and returns false at end.
+  static Result<EntryStore> FromStream(
+      SimDisk* disk, const std::function<Result<bool>(std::string*)>& next);
+
+  /// Calls `fn` for every record with start_key <= key < end_key (end_key
+  /// empty = unbounded), in key order. Only pages overlapping the range
+  /// are read.
+  Status ScanRange(std::string_view start_key, std::string_view end_key,
+                   const std::function<Status(std::string_view record)>& fn)
+      const override;
+
+  /// Point lookup.
+  Result<std::optional<Entry>> Get(std::string_view hier_key) const;
+
+  /// Estimated number of pages a ScanRange(start, end) would read, from
+  /// the in-memory sparse index alone (no I/O). Exact up to records that
+  /// span page boundaries. Used by the cost model (exec/cost.h).
+  uint64_t EstimateRangePages(std::string_view start_key,
+                              std::string_view end_key) const override;
+
+  /// Estimated number of records in [start_key, end_key), interpolated
+  /// from per-page record ordinals (no I/O).
+  uint64_t EstimateRangeRecords(std::string_view start_key,
+                                std::string_view end_key) const override;
+
+  /// \brief Pull-style cursor over a key range (used by the LSM merge).
+  class Cursor {
+   public:
+    Cursor() = default;
+    /// Positions before the first record with key >= start_key.
+    Cursor(const EntryStore* store, std::string_view start_key);
+
+    /// Advances; returns false at end-of-store. After true, record()/key()
+    /// are valid.
+    Result<bool> Next();
+    const std::string& record() const { return record_; }
+    std::string_view key() const { return key_; }
+
+   private:
+    const EntryStore* store_ = nullptr;
+    std::unique_ptr<RunReader> reader_;
+    std::string start_key_;
+    std::string record_;
+    std::string_view key_;
+    bool primed_ = false;
+  };
+
+  uint64_t num_entries() const override { return run_.num_records; }
+  uint64_t num_pages() const { return run_.pages.size(); }
+  const Run& run() const { return run_; }
+  SimDisk* disk() const { return disk_; }
+
+  /// Frees the segment's pages.
+  Status Destroy();
+
+  /// Serializes the segment's metadata (page list + sparse index). Pair
+  /// with SimDisk::SaveToFile to persist a store across processes.
+  std::string SerializeManifest() const;
+
+  /// Re-attaches a segment to `disk` from a manifest produced by
+  /// SerializeManifest (the disk must hold the corresponding image).
+  static Result<EntryStore> FromManifest(SimDisk* disk,
+                                         std::string_view manifest);
+
+ private:
+  SimDisk* disk_ = nullptr;
+  Run run_;
+  // Sparse index: first_keys_[i] is the key of the first record *starting*
+  // in page i of run_.pages (records may span pages; a page with no record
+  // start repeats the previous key).
+  std::vector<std::string> first_keys_;
+  // Record index: for each page, the byte offset within the page of the
+  // first record starting there (page_size if none).
+  std::vector<uint32_t> first_offsets_;
+  // Ordinal of the first record starting in each page.
+  std::vector<uint64_t> first_record_index_;
+
+  Status BuildFrom(SimDisk* disk,
+                   const std::function<Result<bool>(std::string*)>& next);
+
+  /// Returns a reader positioned at the first record that *starts* in the
+  /// page containing start_key's position (records before start_key must
+  /// be skipped by the caller); nullptr if the store is empty.
+  Result<std::unique_ptr<RunReader>> SeekReader(
+      std::string_view start_key) const;
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_STORE_ENTRY_STORE_H_

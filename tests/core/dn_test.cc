@@ -1,0 +1,237 @@
+#include "core/dn.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ndq {
+namespace {
+
+Dn MustParse(const std::string& text) {
+  Result<Dn> r = Dn::Parse(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.TakeValue();
+}
+
+TEST(DnTest, ParseSimple) {
+  Dn dn = MustParse("dc=att, dc=com");
+  EXPECT_EQ(dn.depth(), 2u);
+  EXPECT_EQ(dn.ToString(), "dc=att, dc=com");
+  EXPECT_EQ(dn.rdn().pairs().size(), 1u);
+  EXPECT_EQ(dn.rdn().pairs()[0].first, "dc");
+  EXPECT_EQ(dn.rdn().pairs()[0].second, "att");
+}
+
+TEST(DnTest, ParseDeep) {
+  Dn dn = MustParse(
+      "CANumber=9733608751, QHPName=workinghours, uid=jag, "
+      "ou=userProfiles, dc=research, dc=att, dc=com");
+  EXPECT_EQ(dn.depth(), 7u);
+  EXPECT_EQ(dn.Parent().ToString(),
+            "QHPName=workinghours, uid=jag, ou=userProfiles, dc=research, "
+            "dc=att, dc=com");
+}
+
+TEST(DnTest, NullDn) {
+  Dn dn = MustParse("");
+  EXPECT_TRUE(dn.IsNull());
+  EXPECT_EQ(dn.depth(), 0u);
+  EXPECT_EQ(dn.HierKey(), "");
+  EXPECT_EQ(dn.ToString(), "");
+}
+
+TEST(DnTest, WhitespaceInsensitive) {
+  EXPECT_EQ(MustParse("dc=att,dc=com"), MustParse("dc=att , dc=com"));
+  EXPECT_EQ(MustParse("  dc=att, dc=com  "), MustParse("dc=att,dc=com"));
+}
+
+TEST(DnTest, MultiValuedRdnIsASet) {
+  // A multi-valued RDN is a *set* of pairs: order does not matter.
+  Dn a = MustParse("cn=x+sn=y, dc=com");
+  Dn b = MustParse("sn=y+cn=x, dc=com");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.HierKey(), b.HierKey());
+  EXPECT_EQ(a.rdn().pairs().size(), 2u);
+}
+
+TEST(DnTest, EscapedSpecialCharacters) {
+  Dn dn = MustParse(R"(cn=doe\, john, dc=com)");
+  EXPECT_EQ(dn.depth(), 2u);
+  EXPECT_EQ(dn.rdn().pairs()[0].second, "doe, john");
+  // Round-trips through ToString/Parse.
+  EXPECT_EQ(MustParse(dn.ToString()), dn);
+
+  Dn plus = MustParse(R"(cn=a\+b, dc=com)");
+  EXPECT_EQ(plus.rdn().pairs()[0].second, "a+b");
+  EXPECT_EQ(MustParse(plus.ToString()), plus);
+}
+
+TEST(DnTest, ParseErrors) {
+  EXPECT_FALSE(Dn::Parse("dc").ok());             // missing '='
+  EXPECT_FALSE(Dn::Parse("dc=,dc=com").ok());     // empty value
+  EXPECT_FALSE(Dn::Parse("=x, dc=com").ok());     // empty attribute
+  EXPECT_FALSE(Dn::Parse("1dc=x").ok());          // attr starts with digit
+  EXPECT_FALSE(Dn::Parse("dc=x\\").ok());         // dangling backslash
+  EXPECT_FALSE(Dn::Parse("dc=a\x01").ok());       // control byte
+}
+
+TEST(DnTest, ParentChildNavigation) {
+  Dn com = MustParse("dc=com");
+  Dn att = MustParse("dc=att, dc=com");
+  Dn research = MustParse("dc=research, dc=att, dc=com");
+
+  EXPECT_EQ(att.Parent(), com);
+  EXPECT_TRUE(com.Parent().IsNull());
+  EXPECT_EQ(com.Child(Rdn::Single("dc", "att").TakeValue()), att);
+
+  EXPECT_TRUE(com.IsParentOf(att));
+  EXPECT_TRUE(com.IsAncestorOf(att));
+  EXPECT_TRUE(com.IsAncestorOf(research));
+  EXPECT_FALSE(com.IsParentOf(research));
+  EXPECT_TRUE(research.IsDescendantOf(com));
+  EXPECT_TRUE(att.IsChildOf(com));
+  EXPECT_FALSE(att.IsAncestorOf(att));  // ancestry is proper
+  EXPECT_FALSE(att.IsAncestorOf(com));
+}
+
+TEST(DnTest, HierKeyParentIsPrefixOfChild) {
+  // The property everything else rests on (Sec. 4.2): under the reverse-DN
+  // key, a parent's key + separator is a prefix of each descendant's key.
+  Dn parent = MustParse("dc=att, dc=com");
+  Dn child = MustParse("ou=people, dc=att, dc=com");
+  const std::string& pk = parent.HierKey();
+  const std::string& ck = child.HierKey();
+  ASSERT_LT(pk.size(), ck.size());
+  EXPECT_EQ(ck.substr(0, pk.size()), pk);
+  EXPECT_EQ(ck[pk.size()], kHierKeySep);
+}
+
+TEST(DnTest, HierKeyOrderGroupsSubtrees) {
+  // In key order, a subtree is a contiguous run beginning at its root.
+  std::vector<Dn> dns = {
+      MustParse("dc=com"),
+      MustParse("dc=att, dc=com"),
+      MustParse("dc=research, dc=att, dc=com"),
+      MustParse("ou=people, dc=research, dc=att, dc=com"),
+      MustParse("dc=zorg, dc=com"),
+      MustParse("dc=att-labs, dc=com"),
+  };
+  std::sort(dns.begin(), dns.end());
+  // dc=att subtree must be contiguous: att, research, people in a row.
+  auto pos = [&](const std::string& s) {
+    for (size_t i = 0; i < dns.size(); ++i) {
+      if (dns[i].ToString() == s) return i;
+    }
+    return size_t(-1);
+  };
+  size_t att = pos("dc=att, dc=com");
+  size_t research = pos("dc=research, dc=att, dc=com");
+  size_t people = pos("ou=people, dc=research, dc=att, dc=com");
+  EXPECT_EQ(research, att + 1);
+  EXPECT_EQ(people, research + 1);
+  // "dc=att-labs" must NOT fall inside the dc=att subtree even though
+  // "att" is a string prefix of "att-labs".
+  size_t attlabs = pos("dc=att-labs, dc=com");
+  EXPECT_TRUE(attlabs < att || attlabs > people);
+}
+
+TEST(DnTest, FromHierKeyRoundTrip) {
+  for (const char* text : {
+           "dc=com",
+           "dc=att, dc=com",
+           "cn=x+sn=y, ou=p, dc=com",
+           "CANumber=9733608751, QHPName=workinghours, uid=jag, "
+           "ou=userProfiles, dc=research, dc=att, dc=com",
+       }) {
+    Dn dn = MustParse(text);
+    Result<Dn> back = Dn::FromHierKey(dn.HierKey());
+    ASSERT_TRUE(back.ok()) << text;
+    EXPECT_EQ(*back, dn) << text;
+  }
+  Result<Dn> null = Dn::FromHierKey("");
+  ASSERT_TRUE(null.ok());
+  EXPECT_TRUE(null->IsNull());
+}
+
+TEST(DnTest, KeyHelpers) {
+  Dn com = MustParse("dc=com");
+  Dn att = MustParse("dc=att, dc=com");
+  Dn research = MustParse("dc=research, dc=att, dc=com");
+
+  EXPECT_TRUE(KeyIsAncestor(com.HierKey(), research.HierKey()));
+  EXPECT_TRUE(KeyIsParent(att.HierKey(), research.HierKey()));
+  EXPECT_FALSE(KeyIsParent(com.HierKey(), research.HierKey()));
+  EXPECT_TRUE(KeyIsAncestor("", att.HierKey()));  // virtual root
+  EXPECT_FALSE(KeyIsAncestor(att.HierKey(), att.HierKey()));
+
+  EXPECT_EQ(KeyDepth(""), 0u);
+  EXPECT_EQ(KeyDepth(com.HierKey()), 1u);
+  EXPECT_EQ(KeyDepth(research.HierKey()), 3u);
+
+  EXPECT_EQ(KeyParent(research.HierKey()), att.HierKey());
+  EXPECT_EQ(KeyParent(com.HierKey()), "");
+}
+
+TEST(DnTest, KeySubtreeEndBoundsExactlyTheSubtree) {
+  Dn att = MustParse("dc=att, dc=com");
+  std::string end = KeySubtreeEnd(att.HierKey());
+  // Members of the subtree.
+  EXPECT_LE(att.HierKey(), att.HierKey());
+  EXPECT_LT(att.HierKey(), end);
+  Dn desc = MustParse("ou=x, dc=research, dc=att, dc=com");
+  EXPECT_LT(desc.HierKey(), end);
+  EXPECT_GE(desc.HierKey(), att.HierKey());
+  // Non-members: a sibling whose value extends "att" as a string.
+  Dn attlabs = MustParse("dc=att-labs, dc=com");
+  EXPECT_TRUE(attlabs.HierKey() >= end || attlabs.HierKey() < att.HierKey());
+  // Null key is unbounded.
+  EXPECT_EQ(KeySubtreeEnd(""), "");
+}
+
+// Property test: random DNs obey the prefix/ordering invariants.
+class DnPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DnPropertyTest, RandomForestInvariants) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> depth_dist(1, 6);
+  std::uniform_int_distribution<int> val_dist(0, 30);
+  const char* attrs[] = {"dc", "ou", "cn", "uid"};
+  std::vector<Dn> dns;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<Rdn> rdns;
+    int depth = depth_dist(rng);
+    for (int d = 0; d < depth; ++d) {
+      rdns.push_back(Rdn::Single(attrs[val_dist(rng) % 4],
+                                 "v" + std::to_string(val_dist(rng)))
+                         .TakeValue());
+    }
+    dns.push_back(Dn::Make(std::move(rdns)).TakeValue());
+  }
+  for (const Dn& a : dns) {
+    // Round-trip invariants.
+    ASSERT_EQ(Dn::Parse(a.ToString()).TakeValue(), a);
+    ASSERT_EQ(Dn::FromHierKey(a.HierKey()).TakeValue(), a);
+    ASSERT_EQ(KeyDepth(a.HierKey()), a.depth());
+    if (a.depth() > 1) {
+      ASSERT_TRUE(a.Parent().IsParentOf(a));
+      ASSERT_EQ(KeyParent(a.HierKey()), a.Parent().HierKey());
+    }
+    for (const Dn& b : dns) {
+      // Key predicates agree with DN-level predicates.
+      ASSERT_EQ(KeyIsAncestor(a.HierKey(), b.HierKey()), a.IsAncestorOf(b));
+      ASSERT_EQ(KeyIsParent(a.HierKey(), b.HierKey()), a.IsParentOf(b));
+      if (a.IsAncestorOf(b)) {
+        // Ancestors sort before descendants and bound their subtrees.
+        ASSERT_LT(a.HierKey(), b.HierKey());
+        ASSERT_LT(b.HierKey(), KeySubtreeEnd(a.HierKey()));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnPropertyTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace ndq

@@ -1,0 +1,115 @@
+#include "core/entry.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_fixture.h"
+
+namespace ndq {
+namespace {
+
+using testing::D;
+
+TEST(EntryTest, AddAndQueryValues) {
+  Entry e(D("uid=jag, dc=com"));
+  e.AddString("uid", "jag");
+  e.AddInt("priority", 2);
+  EXPECT_TRUE(e.HasAttribute("uid"));
+  EXPECT_TRUE(e.HasPair("priority", Value::Int(2)));
+  EXPECT_FALSE(e.HasPair("priority", Value::Int(3)));
+  EXPECT_FALSE(e.HasAttribute("missing"));
+  EXPECT_EQ(e.Values("missing"), nullptr);
+}
+
+TEST(EntryTest, MultiValuedAttributes) {
+  // Sec. 3.5: an attribute may have multiple values.
+  Entry e(D("PVPName=w, dc=com"));
+  e.AddInt("PVDayOfWeek", 6);
+  e.AddInt("PVDayOfWeek", 7);
+  const std::vector<Value>* vals = e.Values("PVDayOfWeek");
+  ASSERT_NE(vals, nullptr);
+  EXPECT_EQ(vals->size(), 2u);
+  EXPECT_EQ((*vals)[0], Value::Int(6));
+  EXPECT_EQ((*vals)[1], Value::Int(7));
+}
+
+TEST(EntryTest, ValuesAreASet) {
+  // val(r) is a set of pairs: duplicates collapse.
+  Entry e(D("uid=x, dc=com"));
+  e.AddInt("priority", 1);
+  e.AddInt("priority", 1);
+  EXPECT_EQ(e.Values("priority")->size(), 1u);
+  EXPECT_EQ(e.NumPairs(), 1u);
+}
+
+TEST(EntryTest, ValuesKeptSorted) {
+  Entry e(D("uid=x, dc=com"));
+  e.AddInt("p", 5);
+  e.AddInt("p", 1);
+  e.AddInt("p", 3);
+  const std::vector<Value>& v = *e.Values("p");
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(),
+                             [](const Value& a, const Value& b) {
+                               return a < b;
+                             }));
+}
+
+TEST(EntryTest, Classes) {
+  Entry e(D("uid=x, dc=com"));
+  e.AddClass("inetOrgPerson");
+  e.AddClass("TOPSSubscriber");
+  std::vector<std::string> classes = e.Classes();
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_TRUE(e.HasClass("inetOrgPerson"));
+  EXPECT_TRUE(e.HasClass("TOPSSubscriber"));
+  EXPECT_FALSE(e.HasClass("QHP"));
+}
+
+TEST(EntryTest, RemoveValueAndAttribute) {
+  Entry e(D("uid=x, dc=com"));
+  e.AddInt("p", 1);
+  e.AddInt("p", 2);
+  EXPECT_TRUE(e.RemoveValue("p", Value::Int(1)));
+  EXPECT_FALSE(e.RemoveValue("p", Value::Int(1)));
+  EXPECT_EQ(e.Values("p")->size(), 1u);
+  EXPECT_EQ(e.RemoveAttribute("p"), 1u);
+  EXPECT_FALSE(e.HasAttribute("p"));
+  EXPECT_EQ(e.RemoveAttribute("p"), 0u);
+}
+
+TEST(EntryTest, RemovingLastValueDropsAttribute) {
+  Entry e(D("uid=x, dc=com"));
+  e.AddInt("p", 1);
+  EXPECT_TRUE(e.RemoveValue("p", Value::Int(1)));
+  EXPECT_FALSE(e.HasAttribute("p"));
+}
+
+TEST(EntryTest, DnRefValuesAreNormalized) {
+  Entry e(D("SLAPolicyName=p, dc=com"));
+  e.AddDnRef("SLATPRef", D("TPName=t,dc=att,dc=com"));
+  const std::vector<Value>& vals = *e.Values("SLATPRef");
+  EXPECT_EQ(vals[0].AsString(), "TPName=t, dc=att, dc=com");
+}
+
+TEST(EntryTest, ToStringMatchesFigureStyle) {
+  Entry e(D("QHPName=weekend, uid=jag, dc=com"));
+  e.AddClass("QHP");
+  e.AddString("QHPName", "weekend");
+  e.AddInt("priority", 1);
+  std::string s = e.ToString();
+  EXPECT_NE(s.find("dn: QHPName=weekend, uid=jag, dc=com"), std::string::npos);
+  EXPECT_NE(s.find("priority: 1"), std::string::npos);
+  EXPECT_NE(s.find("objectClass: QHP"), std::string::npos);
+}
+
+TEST(EntryTest, EqualityComparesDnAndValues) {
+  Entry a(D("uid=x, dc=com"));
+  a.AddInt("p", 1);
+  Entry b(D("uid=x, dc=com"));
+  b.AddInt("p", 1);
+  EXPECT_EQ(a, b);
+  b.AddInt("p", 2);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace ndq

@@ -1,0 +1,135 @@
+#include "core/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_fixture.h"
+
+namespace ndq {
+namespace {
+
+using testing::D;
+using testing::PaperInstance;
+
+TEST(InstanceTest, PaperFixtureLoads) {
+  DirectoryInstance inst = PaperInstance();
+  EXPECT_EQ(inst.size(), 23u);
+  EXPECT_NE(inst.Find(D("dc=att, dc=com")), nullptr);
+  EXPECT_EQ(inst.Find(D("dc=nonexistent, dc=com")), nullptr);
+}
+
+TEST(InstanceTest, DnIsAKey) {
+  DirectoryInstance inst = PaperInstance();
+  Entry dup(D("dc=com"));
+  dup.AddClass("dcObject");
+  dup.AddString("dc", "com");
+  Status s = inst.Add(std::move(dup));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(InstanceTest, IterationIsInHierKeyOrder) {
+  DirectoryInstance inst = PaperInstance();
+  std::string prev;
+  bool first = true;
+  for (const auto& [key, entry] : inst) {
+    (void)entry;
+    if (!first) {
+      EXPECT_LT(prev, key);
+    }
+    prev = key;
+    first = false;
+  }
+}
+
+TEST(InstanceTest, ScopeBase) {
+  DirectoryInstance inst = PaperInstance();
+  auto r = inst.EntriesInScope(D("dc=att, dc=com"), Scope::kBase);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0]->dn(), D("dc=att, dc=com"));
+  EXPECT_TRUE(inst.EntriesInScope(D("dc=no, dc=com"), Scope::kBase).empty());
+}
+
+TEST(InstanceTest, ScopeOneIncludesBaseAndChildren) {
+  // Def. 4.1: one = base entry + its children.
+  DirectoryInstance inst = PaperInstance();
+  auto r = inst.EntriesInScope(D("dc=research, dc=att, dc=com"), Scope::kOne);
+  // base + corona + userProfiles + networkPolicies
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r[0]->dn(), D("dc=research, dc=att, dc=com"));
+}
+
+TEST(InstanceTest, ScopeSubIsWholeSubtree) {
+  DirectoryInstance inst = PaperInstance();
+  auto r = inst.EntriesInScope(D("ou=networkPolicies, dc=research, dc=att, "
+                                 "dc=com"),
+                               Scope::kSub);
+  EXPECT_EQ(r.size(), 13u);  // the whole QoS fragment
+  auto all = inst.EntriesInScope(Dn(), Scope::kSub);
+  EXPECT_EQ(all.size(), inst.size());  // null base = whole forest
+}
+
+TEST(InstanceTest, HierarchyNavigation) {
+  DirectoryInstance inst = PaperInstance();
+  const Entry* jag =
+      inst.Find(D("uid=jag, ou=userProfiles, dc=research, dc=att, dc=com"));
+  ASSERT_NE(jag, nullptr);
+  const Entry* parent = inst.ParentOf(*jag);
+  ASSERT_NE(parent, nullptr);
+  EXPECT_EQ(parent->dn(), D("ou=userProfiles, dc=research, dc=att, dc=com"));
+
+  auto children = inst.ChildrenOf(*jag);
+  ASSERT_EQ(children.size(), 2u);  // weekend + workinghours QHPs
+
+  auto ancestors = inst.AncestorsOf(*jag);
+  EXPECT_EQ(ancestors.size(), 4u);  // userProfiles, research, att, com
+
+  auto descendants = inst.DescendantsOf(*jag);
+  EXPECT_EQ(descendants.size(), 4u);  // 2 QHPs + 2 call appearances
+}
+
+TEST(InstanceTest, RemoveLeafOnly) {
+  DirectoryInstance inst = PaperInstance();
+  // Removing an entry with descendants is rejected.
+  Status s = inst.Remove(
+      D("uid=jag, ou=userProfiles, dc=research, dc=att, dc=com"));
+  EXPECT_FALSE(s.ok());
+  // Removing a leaf works.
+  Dn leaf = D(
+      "CANumber=9733608750, QHPName=workinghours, uid=jag, ou=userProfiles, "
+      "dc=research, dc=att, dc=com");
+  EXPECT_TRUE(inst.Remove(leaf).ok());
+  EXPECT_EQ(inst.Find(leaf), nullptr);
+  EXPECT_EQ(inst.Remove(leaf).code(), StatusCode::kNotFound);
+}
+
+TEST(InstanceTest, PutReplaces) {
+  DirectoryInstance inst = PaperInstance();
+  Dn dn = D("dc=corona, dc=research, dc=att, dc=com");
+  Entry e(dn);
+  e.AddClass("dcObject");
+  e.AddString("dc", "corona");
+  e.AddString("description", "updated");
+  // description not allowed for dcObject -> validation failure via Put.
+  EXPECT_FALSE(inst.Put(e).ok());
+  e.RemoveAttribute("description");
+  EXPECT_TRUE(inst.Put(e).ok());
+  EXPECT_EQ(inst.size(), 23u);  // replaced, not added
+}
+
+TEST(InstanceTest, ValidationCanBeDisabled) {
+  DirectoryInstance inst(Schema(), /*validate=*/false);
+  Entry e(D("x=1"));
+  EXPECT_TRUE(inst.Add(std::move(e)).ok());  // no objectClass, no schema
+  EXPECT_EQ(inst.size(), 1u);
+}
+
+TEST(InstanceTest, ForestAllowsMultipleRoots) {
+  // Sec. 3.2 footnote 3: the model is a forest, not a tree.
+  DirectoryInstance inst(Schema(), /*validate=*/false);
+  ASSERT_TRUE(inst.Add(Entry(D("dc=com"))).ok());
+  ASSERT_TRUE(inst.Add(Entry(D("dc=org"))).ok());
+  ASSERT_TRUE(inst.Add(Entry(D("dc=net, dc=org"))).ok());
+  EXPECT_EQ(inst.EntriesInScope(Dn(), Scope::kSub).size(), 3u);
+}
+
+}  // namespace
+}  // namespace ndq

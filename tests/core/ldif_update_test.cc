@@ -1,0 +1,188 @@
+#include "core/ldif_update.h"
+
+#include <gtest/gtest.h>
+
+#include "store/directory_store.h"
+#include "testing/paper_fixture.h"
+
+namespace ndq {
+namespace {
+
+using testing::D;
+using testing::PaperInstance;
+using testing::PaperSchema;
+
+struct StoreFixture {
+  SimDisk disk{512};
+  DirectoryStore store{&disk, PaperSchema()};
+  StoreFixture() {
+    DirectoryInstance inst = PaperInstance();
+    for (const auto& [key, entry] : inst) {
+      (void)key;
+      EXPECT_TRUE(store.Add(entry).ok());
+    }
+  }
+};
+
+TEST(LdifUpdateTest, AddRecord) {
+  StoreFixture f;
+  const char* text =
+      "dn: QHPName=dnd, uid=jag, ou=userProfiles, dc=research, dc=att, "
+      "dc=com\n"
+      "changetype: add\n"
+      "objectClass: QHP\n"
+      "QHPName: dnd\n"
+      "priority: 0\n";
+  Result<size_t> n = ApplyLdifChanges(PaperSchema(), text, &f.store);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 1u);
+  std::optional<Entry> e =
+      f.store
+          .Get(D("QHPName=dnd, uid=jag, ou=userProfiles, dc=research, "
+                 "dc=att, dc=com"))
+          .TakeValue();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(e->HasPair("priority", Value::Int(0)));
+}
+
+TEST(LdifUpdateTest, ImplicitAddWithoutChangetype) {
+  StoreFixture f;
+  const char* text =
+      "dn: uid=milo, ou=userProfiles, dc=research, dc=att, dc=com\n"
+      "objectClass: TOPSSubscriber\n"
+      "uid: milo\n";
+  ASSERT_TRUE(ApplyLdifChanges(PaperSchema(), text, &f.store).ok());
+  EXPECT_TRUE(f.store
+                  .Get(D("uid=milo, ou=userProfiles, dc=research, dc=att, "
+                         "dc=com"))
+                  .TakeValue()
+                  .has_value());
+}
+
+TEST(LdifUpdateTest, DeleteRecord) {
+  StoreFixture f;
+  const char* text =
+      "dn: CANumber=9733608750, QHPName=workinghours, uid=jag, "
+      "ou=userProfiles, dc=research, dc=att, dc=com\n"
+      "changetype: delete\n";
+  ASSERT_TRUE(ApplyLdifChanges(PaperSchema(), text, &f.store).ok());
+  EXPECT_FALSE(
+      f.store
+          .Get(D("CANumber=9733608750, QHPName=workinghours, uid=jag, "
+                 "ou=userProfiles, dc=research, dc=att, dc=com"))
+          .TakeValue()
+          .has_value());
+}
+
+TEST(LdifUpdateTest, ModifyReplaceAddDelete) {
+  StoreFixture f;
+  Dn qhp = D("QHPName=weekend, uid=jag, ou=userProfiles, dc=research, "
+             "dc=att, dc=com");
+  const char* text =
+      "dn: QHPName=weekend, uid=jag, ou=userProfiles, dc=research, "
+      "dc=att, dc=com\n"
+      "changetype: modify\n"
+      "replace: priority\n"
+      "priority: 7\n"
+      "-\n"
+      "add: daysOfWeek\n"
+      "daysOfWeek: 5\n"
+      "-\n"
+      "delete: daysOfWeek\n"
+      "daysOfWeek: 6\n"
+      "-\n";
+  Result<size_t> n = ApplyLdifChanges(PaperSchema(), text, &f.store);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  std::optional<Entry> e = f.store.Get(qhp).TakeValue();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(e->HasPair("priority", Value::Int(7)));
+  EXPECT_FALSE(e->HasPair("priority", Value::Int(1)));
+  EXPECT_TRUE(e->HasPair("daysOfWeek", Value::Int(5)));
+  EXPECT_FALSE(e->HasPair("daysOfWeek", Value::Int(6)));
+  EXPECT_TRUE(e->HasPair("daysOfWeek", Value::Int(7)));
+}
+
+TEST(LdifUpdateTest, ModifyDeleteWholeAttribute) {
+  StoreFixture f;
+  const char* text =
+      "dn: QHPName=workinghours, uid=jag, ou=userProfiles, dc=research, "
+      "dc=att, dc=com\n"
+      "changetype: modify\n"
+      "delete: startTime\n"
+      "-\n";
+  ASSERT_TRUE(ApplyLdifChanges(PaperSchema(), text, &f.store).ok());
+  std::optional<Entry> e =
+      f.store
+          .Get(D("QHPName=workinghours, uid=jag, ou=userProfiles, "
+                 "dc=research, dc=att, dc=com"))
+          .TakeValue();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_FALSE(e->HasAttribute("startTime"));
+}
+
+TEST(LdifUpdateTest, MultipleRecordsApplyInOrder) {
+  StoreFixture f;
+  Dn base = D("uid=jag, ou=userProfiles, dc=research, dc=att, dc=com");
+  std::string text =
+      "dn: QHPName=tmp, uid=jag, ou=userProfiles, dc=research, dc=att, "
+      "dc=com\n"
+      "changetype: add\n"
+      "objectClass: QHP\n"
+      "QHPName: tmp\n"
+      "\n"
+      "dn: QHPName=tmp, uid=jag, ou=userProfiles, dc=research, dc=att, "
+      "dc=com\n"
+      "changetype: modify\n"
+      "replace: priority\n"
+      "priority: 4\n"
+      "-\n"
+      "\n"
+      "dn: QHPName=tmp, uid=jag, ou=userProfiles, dc=research, dc=att, "
+      "dc=com\n"
+      "changetype: delete\n";
+  Result<size_t> n = ApplyLdifChanges(PaperSchema(), text, &f.store);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 3u);
+  EXPECT_FALSE(f.store.Get(base.Child(Rdn::Single("QHPName", "tmp")
+                                          .TakeValue()))
+                   .TakeValue()
+                   .has_value());
+}
+
+TEST(LdifUpdateTest, FailureReportsRecordIndex) {
+  StoreFixture f;
+  std::string text =
+      "dn: dc=newroot\n"
+      "changetype: add\n"
+      "objectClass: dcObject\n"
+      "dc: newroot\n"
+      "\n"
+      "dn: dc=missing, dc=void\n"
+      "changetype: delete\n";
+  Result<size_t> n = ApplyLdifChanges(PaperSchema(), text, &f.store);
+  ASSERT_FALSE(n.ok());
+  EXPECT_NE(n.status().message().find("change record 2"),
+            std::string::npos);
+  // The first record still applied (stream semantics).
+  EXPECT_TRUE(f.store.Get(D("dc=newroot")).TakeValue().has_value());
+}
+
+TEST(LdifUpdateTest, ParseErrors) {
+  Schema s = PaperSchema();
+  EXPECT_FALSE(ParseLdifChanges(s, "changetype: add\n").ok());
+  EXPECT_FALSE(
+      ParseLdifChanges(s, "dn: dc=com\nchangetype: rename\n").ok());
+  EXPECT_FALSE(
+      ParseLdifChanges(s, "dn: dc=com\nchangetype: modify\n").ok());
+  EXPECT_FALSE(ParseLdifChanges(
+                   s,
+                   "dn: dc=com\nchangetype: modify\nreplace: priority\n"
+                   "daysOfWeek: 3\n-\n")
+                   .ok());  // value attr mismatch
+  EXPECT_FALSE(ParseLdifChanges(
+                   s, "dn: dc=com\nchangetype: delete\nextra: line\n")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace ndq

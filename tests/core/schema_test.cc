@@ -1,0 +1,137 @@
+#include "core/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "core/entry.h"
+#include "testing/paper_fixture.h"
+
+namespace ndq {
+namespace {
+
+using testing::D;
+using testing::PaperSchema;
+
+TEST(SchemaTest, ObjectClassAlwaysPresent) {
+  Schema s;
+  EXPECT_TRUE(s.HasAttribute(kObjectClassAttr));
+  EXPECT_EQ(s.AttributeType(kObjectClassAttr).ValueOrDie(),
+            TypeKind::kString);
+}
+
+TEST(SchemaTest, AddAttributeIdempotentSameType) {
+  Schema s;
+  EXPECT_TRUE(s.AddAttribute("priority", TypeKind::kInt).ok());
+  EXPECT_TRUE(s.AddAttribute("priority", TypeKind::kInt).ok());
+  EXPECT_FALSE(s.AddAttribute("priority", TypeKind::kString).ok());
+}
+
+TEST(SchemaTest, SharedAttributeTypeAcrossClasses) {
+  // Sec. 3.1: occurrences of the same attribute in multiple classes all
+  // share the same type — by construction, tau is per-attribute.
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute("priority", TypeKind::kInt).ok());
+  ASSERT_TRUE(s.AddClass("QHP", {"priority"}).ok());
+  ASSERT_TRUE(s.AddClass("callAppearance", {"priority"}).ok());
+  EXPECT_EQ(s.AttributeType("priority").ValueOrDie(), TypeKind::kInt);
+}
+
+TEST(SchemaTest, ClassRequiresDeclaredAttributes) {
+  Schema s;
+  EXPECT_FALSE(s.AddClass("c", {"undeclared"}).ok());
+}
+
+TEST(SchemaTest, AllowedAttributesIncludeObjectClass) {
+  Schema s;
+  ASSERT_TRUE(s.AddClass("empty", {}).ok());
+  auto attrs = s.AllowedAttributes("empty").ValueOrDie();
+  EXPECT_EQ(attrs.count(kObjectClassAttr), 1u);
+}
+
+TEST(SchemaTest, AttributeAllowedForAnyClass) {
+  Schema s = PaperSchema();
+  EXPECT_TRUE(s.AttributeAllowedForAny("uid", {"TOPSSubscriber"}));
+  EXPECT_TRUE(s.AttributeAllowedForAny("uid",
+                                       {"inetOrgPerson", "TOPSSubscriber"}));
+  EXPECT_FALSE(s.AttributeAllowedForAny("SLARulePriority", {"QHP"}));
+  EXPECT_TRUE(s.AttributeAllowedForAny(kObjectClassAttr, {"QHP"}));
+}
+
+TEST(SchemaValidateTest, AcceptsWellFormedEntry) {
+  Schema s = PaperSchema();
+  Entry e(D("uid=jag, dc=com"));
+  e.AddClass("TOPSSubscriber");
+  e.AddString("uid", "jag");
+  e.AddString("surName", "jagadish");
+  EXPECT_TRUE(s.ValidateEntry(e).ok()) << s.ValidateEntry(e).ToString();
+}
+
+TEST(SchemaValidateTest, MultiClassEntryMayMixAttributes) {
+  // Sec. 3.5: an entry can specify attributes from any of its classes
+  // without a single class containing the union.
+  Schema s = PaperSchema();
+  Entry e(D("uid=jag, dc=com"));
+  e.AddClass("inetOrgPerson");
+  e.AddClass("TOPSSubscriber");
+  e.AddString("uid", "jag");
+  e.AddString("telephoneNumber", "555-1234");  // only in inetOrgPerson
+  EXPECT_TRUE(s.ValidateEntry(e).ok());
+}
+
+TEST(SchemaValidateTest, RejectsEntryWithoutClass) {
+  Schema s = PaperSchema();
+  Entry e(D("uid=jag, dc=com"));
+  e.AddString("uid", "jag");
+  EXPECT_FALSE(s.ValidateEntry(e).ok());
+}
+
+TEST(SchemaValidateTest, RejectsUndeclaredClass) {
+  Schema s = PaperSchema();
+  Entry e(D("uid=jag, dc=com"));
+  e.AddClass("martian");
+  e.AddString("uid", "jag");
+  EXPECT_FALSE(s.ValidateEntry(e).ok());
+}
+
+TEST(SchemaValidateTest, RejectsDisallowedAttribute) {
+  Schema s = PaperSchema();
+  Entry e(D("uid=jag, dc=com"));
+  e.AddClass("TOPSSubscriber");
+  e.AddString("uid", "jag");
+  e.AddInt("SLARulePriority", 1);  // not allowed for TOPSSubscriber
+  EXPECT_FALSE(s.ValidateEntry(e).ok());
+}
+
+TEST(SchemaValidateTest, RejectsWrongType) {
+  Schema s = PaperSchema();
+  Entry e(D("uid=jag, dc=com"));
+  e.AddClass("QHP");
+  e.AddValue("QHPName", Value::String("jag"));
+  // uid=jag rdn not in val — but first: priority must be int.
+  e.AddValue("priority", Value::String("high"));
+  EXPECT_FALSE(s.ValidateEntry(e).ok());
+}
+
+TEST(SchemaValidateTest, EnforcesRdnSubsetOfVal) {
+  // Def. 3.2(d)(ii): rdn(r) must be contained in val(r).
+  Schema s = PaperSchema();
+  Entry e(D("uid=jag, dc=com"));
+  e.AddClass("TOPSSubscriber");
+  // No (uid, jag) pair in val(r):
+  EXPECT_FALSE(s.ValidateEntry(e).ok());
+  e.AddString("uid", "jag");
+  EXPECT_TRUE(s.ValidateEntry(e).ok());
+}
+
+TEST(SchemaValidateTest, RdnSubsetWithTypedRdnValue) {
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute("priority", TypeKind::kInt).ok());
+  ASSERT_TRUE(s.AddClass("QHP", {"priority"}).ok());
+  Entry e(D("priority=3, priority=1"));  // int-typed rdn attribute
+  e.AddClass("QHP");
+  EXPECT_FALSE(s.ValidateEntry(e).ok());
+  e.AddInt("priority", 3);
+  EXPECT_TRUE(s.ValidateEntry(e).ok()) << s.ValidateEntry(e).ToString();
+}
+
+}  // namespace
+}  // namespace ndq

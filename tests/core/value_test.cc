@@ -1,0 +1,65 @@
+#include "core/value.h"
+
+#include <gtest/gtest.h>
+
+#include "core/schema.h"
+
+namespace ndq {
+namespace {
+
+TEST(ValueTest, Kinds) {
+  EXPECT_TRUE(Value::Int(5).is_int());
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_TRUE(Value::DnRef("dc=com").is_dn());
+  EXPECT_EQ(Value::Int(-3).AsInt(), -3);
+  EXPECT_EQ(Value::String("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Int(-5), Value::Int(0));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  // Cross-kind ordering is by kind, deterministic.
+  EXPECT_LT(Value::Int(999), Value::String("a"));
+  EXPECT_LT(Value::String("zzz"), Value::DnRef("a=b"));
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Int(7), Value::Int(7));
+  EXPECT_NE(Value::Int(7), Value::Int(8));
+  EXPECT_NE(Value::Int(7), Value::String("7"));
+  EXPECT_NE(Value::String("x"), Value::DnRef("x"));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Int(-1).ToString(), "-1");
+  EXPECT_EQ(Value::String("hello").ToString(), "hello");
+  EXPECT_EQ(Value::DnRef("dc=att, dc=com").ToString(), "dc=att, dc=com");
+}
+
+TEST(ValueTest, TypeKindNames) {
+  EXPECT_STREQ(TypeKindToString(TypeKind::kInt), "int");
+  EXPECT_STREQ(TypeKindToString(TypeKind::kString), "string");
+  EXPECT_STREQ(TypeKindToString(TypeKind::kDn), "dn");
+  EXPECT_EQ(TypeKindFromString("int").ValueOrDie(), TypeKind::kInt);
+  EXPECT_EQ(TypeKindFromString("distinguishedName").ValueOrDie(),
+            TypeKind::kDn);
+  EXPECT_FALSE(TypeKindFromString("float").ok());
+}
+
+TEST(ValueTest, ParseValueAs) {
+  EXPECT_EQ(ParseValueAs(TypeKind::kInt, "123").ValueOrDie(), Value::Int(123));
+  EXPECT_EQ(ParseValueAs(TypeKind::kInt, "-9").ValueOrDie(), Value::Int(-9));
+  EXPECT_FALSE(ParseValueAs(TypeKind::kInt, "12x").ok());
+  EXPECT_FALSE(ParseValueAs(TypeKind::kInt, "").ok());
+  EXPECT_EQ(ParseValueAs(TypeKind::kString, "ab c").ValueOrDie(),
+            Value::String("ab c"));
+  // DN values are normalized: whitespace canonicalized.
+  EXPECT_EQ(ParseValueAs(TypeKind::kDn, "dc=att,dc=com").ValueOrDie(),
+            Value::DnRef("dc=att, dc=com"));
+  EXPECT_FALSE(ParseValueAs(TypeKind::kDn, "notadn").ok());
+}
+
+}  // namespace
+}  // namespace ndq

@@ -1,0 +1,111 @@
+// Property test: distributed evaluation over an arbitrarily delegated
+// fleet agrees with the centralized oracle for random queries in every
+// language level.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "dist/distributed.h"
+#include "gen/random_forest.h"
+#include "gen/random_query.h"
+#include "query/reference.h"
+
+namespace ndq {
+namespace {
+
+class DistPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistPropertyTest, RandomQueriesAgreeAcrossRandomDelegations) {
+  std::mt19937 rng(GetParam());
+  gen::RandomForestOptions fopt;
+  fopt.seed = static_cast<uint32_t>(GetParam());
+  fopt.num_entries = 150;
+  fopt.num_roots = 4;
+  DirectoryInstance global = gen::RandomForest(fopt);
+
+  // Contexts: every root covered, plus random deeper delegations.
+  std::vector<std::pair<std::string, std::string>> contexts;
+  int server_id = 0;
+  std::vector<const Entry*> candidates;
+  for (const auto& [key, entry] : global) {
+    (void)key;
+    if (entry.dn().depth() == 1) {
+      contexts.push_back({entry.dn().ToString(),
+                          "root" + std::to_string(server_id++)});
+    } else if (entry.dn().depth() <= 3) {
+      candidates.push_back(&entry);
+    }
+  }
+  for (int i = 0; i < 4 && !candidates.empty(); ++i) {
+    const Entry* e = candidates[rng() % candidates.size()];
+    contexts.push_back(
+        {e->dn().ToString(), "delegate" + std::to_string(server_id++)});
+  }
+
+  DistributedDirectory fleet =
+      DistributedDirectory::Build(global, contexts).TakeValue();
+  size_t total = 0;
+  for (const auto& s : fleet.servers()) total += s->num_entries();
+  ASSERT_EQ(total, global.size());
+
+  gen::RandomQueryOptions qopt;
+  qopt.max_language = Language::kL3;
+  for (int i = 0; i < 25; ++i) {
+    QueryPtr q = gen::RandomQuery(&rng, global, qopt);
+    SCOPED_TRACE(q->ToString());
+    Result<std::vector<Entry>> dist_r = fleet.Evaluate(*q);
+    Result<std::vector<const Entry*>> ref_r =
+        EvaluateReference(*q, global);
+    ASSERT_EQ(dist_r.ok(), ref_r.ok());
+    if (!dist_r.ok()) continue;
+    ASSERT_EQ(dist_r->size(), ref_r->size());
+    for (size_t j = 0; j < dist_r->size(); ++j) {
+      EXPECT_EQ((*dist_r)[j], *(*ref_r)[j]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistPropertyTest,
+                         ::testing::Values(2, 7, 19));
+
+TEST(DistPropertyTest, ShippedRecordsNeverExceedAtomicResults) {
+  // The Sec. 8.3 design property: the network carries atomic RESULTS.
+  std::mt19937 rng(5);
+  gen::RandomForestOptions fopt;
+  fopt.seed = 5;
+  fopt.num_entries = 200;
+  DirectoryInstance global = gen::RandomForest(fopt);
+  std::vector<std::pair<std::string, std::string>> contexts;
+  int sid = 0;
+  for (const auto& [key, entry] : global) {
+    (void)key;
+    if (entry.dn().depth() == 1) {
+      contexts.push_back({entry.dn().ToString(), "s" + std::to_string(sid++)});
+    }
+  }
+  DistributedDirectory fleet =
+      DistributedDirectory::Build(global, contexts).TakeValue();
+
+  gen::RandomQueryOptions qopt;
+  qopt.max_language = Language::kL2;
+  for (int i = 0; i < 20; ++i) {
+    QueryPtr q = gen::RandomQuery(&rng, global, qopt);
+    fleet.ResetStats();
+    Result<std::vector<Entry>> r = fleet.Evaluate(*q);
+    if (!r.ok()) continue;
+    // Upper bound: sum of atomic sub-query results over the whole forest.
+    uint64_t atomic_total = 0;
+    for (const Query* leaf : q->Leaves()) {
+      Result<std::vector<const Entry*>> lr =
+          EvaluateReference(*leaf, global);
+      ASSERT_TRUE(lr.ok());
+      atomic_total += lr->size();
+    }
+    EXPECT_LE(fleet.net_stats().records_shipped, atomic_total)
+        << q->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ndq

@@ -1,0 +1,134 @@
+#include "filter/atomic_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_fixture.h"
+
+namespace ndq {
+namespace {
+
+using testing::D;
+
+Entry Person() {
+  Entry e(D("uid=jag, dc=com"));
+  e.AddClass("inetOrgPerson");
+  e.AddString("uid", "jag");
+  e.AddString("commonName", "h jagadish");
+  e.AddString("surName", "jagadish");
+  e.AddInt("priority", 2);
+  e.AddInt("priority", 5);
+  return e;
+}
+
+AtomicFilter F(const std::string& text) {
+  Result<AtomicFilter> r = AtomicFilter::Parse(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.TakeValue();
+}
+
+TEST(AtomicFilterTest, Presence) {
+  Entry e = Person();
+  EXPECT_TRUE(F("uid=*").Matches(e));
+  EXPECT_TRUE(F("priority=*").Matches(e));
+  EXPECT_FALSE(F("telephoneNumber=*").Matches(e));
+}
+
+TEST(AtomicFilterTest, ObjectClassStarIsTrue) {
+  AtomicFilter f = F("objectClass=*");
+  EXPECT_EQ(f.kind(), AtomicFilter::Kind::kTrue);
+  Entry bare(D("x=1"));  // even an entry with no attributes matches
+  EXPECT_TRUE(f.Matches(bare));
+}
+
+TEST(AtomicFilterTest, StringEquality) {
+  Entry e = Person();
+  EXPECT_TRUE(F("surName=jagadish").Matches(e));
+  EXPECT_FALSE(F("surName=milo").Matches(e));
+  EXPECT_FALSE(F("surName=jaga").Matches(e));  // no implicit prefix match
+}
+
+TEST(AtomicFilterTest, IntEqualityMatchesAnyValue) {
+  // r |= F iff SOME value satisfies F (multi-valued semantics).
+  Entry e = Person();
+  EXPECT_TRUE(F("priority=2").Matches(e));
+  EXPECT_TRUE(F("priority=5").Matches(e));
+  EXPECT_FALSE(F("priority=3").Matches(e));
+}
+
+TEST(AtomicFilterTest, IntComparisons) {
+  Entry e = Person();  // priority in {2, 5}
+  EXPECT_TRUE(F("priority<3").Matches(e));
+  EXPECT_TRUE(F("priority<=2").Matches(e));
+  EXPECT_FALSE(F("priority<2").Matches(e));
+  EXPECT_TRUE(F("priority>4").Matches(e));
+  EXPECT_TRUE(F("priority>=5").Matches(e));
+  EXPECT_FALSE(F("priority>5").Matches(e));
+  EXPECT_TRUE(F("priority!=3").Matches(e));
+  EXPECT_TRUE(F("priority!=2").Matches(e));  // witnessed by value 5
+}
+
+TEST(AtomicFilterTest, IntComparisonIgnoresStringValues) {
+  Entry e(D("x=1"));
+  e.AddString("level", "9");
+  EXPECT_FALSE(F("level<10").Matches(e));  // tau(level) is not int here
+}
+
+TEST(AtomicFilterTest, SubstringPatterns) {
+  Entry e = Person();
+  EXPECT_TRUE(F("commonName=*jag*").Matches(e));     // paper's example
+  EXPECT_TRUE(F("commonName=h*").Matches(e));        // prefix
+  EXPECT_TRUE(F("commonName=*dish").Matches(e));     // suffix
+  EXPECT_TRUE(F("commonName=h*dish").Matches(e));    // both ends anchored
+  EXPECT_TRUE(F("commonName=*h*jag*ish*").Matches(e));
+  EXPECT_FALSE(F("commonName=*xyz*").Matches(e));
+  EXPECT_FALSE(F("commonName=jag*").Matches(e));     // wrong anchor
+}
+
+TEST(AtomicFilterTest, SubstringOnIpAddresses) {
+  // From Fig. 12: SourceAddress: 204.178.16.*
+  Entry e(D("TPName=t, dc=com"));
+  e.AddString("SourceAddress", "204.178.16.5");
+  EXPECT_TRUE(F("SourceAddress=204.178.16.*").Matches(e));
+  EXPECT_FALSE(F("SourceAddress=204.178.17.*").Matches(e));
+}
+
+TEST(AtomicFilterTest, WildcardMatchEdgeCases) {
+  std::vector<std::string> star = {"", ""};  // pattern "*"
+  EXPECT_TRUE(WildcardMatch(star, ""));
+  EXPECT_TRUE(WildcardMatch(star, "anything"));
+  std::vector<std::string> abab = {"ab", "ab"};  // "ab*ab"
+  EXPECT_TRUE(WildcardMatch(abab, "abab"));
+  EXPECT_TRUE(WildcardMatch(abab, "abxab"));
+  EXPECT_FALSE(WildcardMatch(abab, "ab"));  // can't overlap
+  std::vector<std::string> aa = {"", "aa", ""};  // "*aa*"
+  EXPECT_TRUE(WildcardMatch(aa, "xaax"));
+  EXPECT_FALSE(WildcardMatch(aa, "axa"));
+}
+
+TEST(AtomicFilterTest, EqualsIntLiteralAlsoMatchesStringSpelling) {
+  // Types are unknown at parse time: "dc=5" must match a *string* value
+  // "5" as well as an int value 5.
+  Entry e(D("x=1"));
+  e.AddString("dc", "5");
+  EXPECT_TRUE(F("dc=5").Matches(e));
+}
+
+TEST(AtomicFilterTest, ParseErrors) {
+  EXPECT_FALSE(AtomicFilter::Parse("nooperator").ok());
+  EXPECT_FALSE(AtomicFilter::Parse("=value").ok());
+  EXPECT_FALSE(AtomicFilter::Parse("attr<abc").ok());  // non-int comparison
+}
+
+TEST(AtomicFilterTest, ToStringRoundTrips) {
+  for (const char* text :
+       {"uid=*", "surName=jagadish", "priority<3", "priority<=3",
+        "priority>3", "priority>=3", "priority!=3", "commonName=*jag*",
+        "SourceAddress=204.178.16.*", "objectClass=*"}) {
+    AtomicFilter f = F(text);
+    AtomicFilter again = F(f.ToString());
+    EXPECT_EQ(f, again) << text;
+  }
+}
+
+}  // namespace
+}  // namespace ndq

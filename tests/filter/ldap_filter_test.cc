@@ -1,0 +1,87 @@
+#include "filter/ldap_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_fixture.h"
+
+namespace ndq {
+namespace {
+
+using testing::D;
+
+Entry Qhp() {
+  Entry e(D("QHPName=weekend, uid=jag, dc=com"));
+  e.AddClass("QHP");
+  e.AddString("QHPName", "weekend");
+  e.AddInt("priority", 1);
+  e.AddInt("daysOfWeek", 6);
+  e.AddInt("daysOfWeek", 7);
+  return e;
+}
+
+LdapFilterPtr F(const std::string& text) {
+  Result<LdapFilterPtr> r = LdapFilter::Parse(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? r.TakeValue() : nullptr;
+}
+
+TEST(LdapFilterTest, BareAtomic) {
+  EXPECT_TRUE(F("objectClass=QHP")->Matches(Qhp()));
+  EXPECT_FALSE(F("objectClass=callAppearance")->Matches(Qhp()));
+}
+
+TEST(LdapFilterTest, ParenthesizedAtomic) {
+  EXPECT_TRUE(F("(priority<=1)")->Matches(Qhp()));
+}
+
+TEST(LdapFilterTest, And) {
+  EXPECT_TRUE(F("(&(objectClass=QHP)(priority<=1))")->Matches(Qhp()));
+  EXPECT_FALSE(F("(&(objectClass=QHP)(priority>1))")->Matches(Qhp()));
+}
+
+TEST(LdapFilterTest, Or) {
+  EXPECT_TRUE(F("(|(priority>5)(daysOfWeek=7))")->Matches(Qhp()));
+  EXPECT_FALSE(F("(|(priority>5)(daysOfWeek=3))")->Matches(Qhp()));
+}
+
+TEST(LdapFilterTest, Not) {
+  EXPECT_TRUE(F("(!(priority>1))")->Matches(Qhp()));
+  EXPECT_FALSE(F("(!(objectClass=QHP))")->Matches(Qhp()));
+}
+
+TEST(LdapFilterTest, NestedBoolean) {
+  LdapFilterPtr f =
+      F("(&(objectClass=QHP)(|(daysOfWeek=6)(daysOfWeek=1))(!(priority>3)))");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->Matches(Qhp()));
+}
+
+TEST(LdapFilterTest, AndOrAreNary) {
+  LdapFilterPtr f = F("(&(priority=1)(daysOfWeek=6)(daysOfWeek=7))");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->children().size(), 3u);
+  EXPECT_TRUE(f->Matches(Qhp()));
+}
+
+TEST(LdapFilterTest, ParseErrors) {
+  EXPECT_FALSE(LdapFilter::Parse("(&)").ok());           // no operands
+  EXPECT_FALSE(LdapFilter::Parse("(&(a=1)").ok());       // missing ')'
+  EXPECT_FALSE(LdapFilter::Parse("(a=1))").ok());        // trailing
+  EXPECT_FALSE(LdapFilter::Parse("(!(a=1)(b=2))").ok()); // not is unary
+}
+
+TEST(LdapFilterTest, ToStringRoundTrips) {
+  for (const char* text :
+       {"(priority<=1)", "(&(objectClass=QHP)(priority<=1))",
+        "(|(a=1)(b=2)(c=3))", "(!(x=*))",
+        "(&(|(a=1)(b=2))(!(c=3)))"}) {
+    LdapFilterPtr f = F(text);
+    ASSERT_NE(f, nullptr);
+    LdapFilterPtr again = F(f->ToString());
+    ASSERT_NE(again, nullptr);
+    EXPECT_EQ(f->ToString(), again->ToString()) << text;
+  }
+}
+
+}  // namespace
+}  // namespace ndq

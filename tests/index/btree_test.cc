@@ -1,0 +1,165 @@
+#include "index/btree.h"
+
+#include <map>
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace ndq {
+namespace {
+
+struct TreeFixture {
+  SimDisk disk{256};  // small pages force deep trees
+  BufferPool pool{&disk, 64};
+  BPlusTree tree = BPlusTree::Create(&pool).TakeValue();
+};
+
+std::vector<std::pair<std::string, uint64_t>> ScanAll(const BPlusTree& t) {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  Status s = t.ScanRange("", "", [&](std::string_view k, uint64_t v) {
+    out.emplace_back(std::string(k), v);
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  return out;
+}
+
+TEST(IntKeyTest, OrderPreserving) {
+  const int64_t vals[] = {INT64_MIN, -1000000, -1, 0, 1, 42, 1000000,
+                          INT64_MAX};
+  for (size_t i = 0; i + 1 < std::size(vals); ++i) {
+    EXPECT_LT(EncodeIntKey(vals[i]), EncodeIntKey(vals[i + 1]));
+    EXPECT_EQ(DecodeIntKey(EncodeIntKey(vals[i])), vals[i]);
+  }
+  EXPECT_EQ(DecodeIntKey(EncodeIntKey(INT64_MAX)), INT64_MAX);
+}
+
+TEST(BPlusTreeTest, InsertAndScan) {
+  TreeFixture f;
+  ASSERT_TRUE(f.tree.Insert("b", 2).ok());
+  ASSERT_TRUE(f.tree.Insert("a", 1).ok());
+  ASSERT_TRUE(f.tree.Insert("c", 3).ok());
+  EXPECT_EQ(f.tree.size(), 3u);
+  auto all = ScanAll(f.tree);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].first, "a");
+  EXPECT_EQ(all[2].second, 3u);
+}
+
+TEST(BPlusTreeTest, DuplicateKeysAllowedDuplicatePairsIgnored) {
+  TreeFixture f;
+  ASSERT_TRUE(f.tree.Insert("k", 1).ok());
+  ASSERT_TRUE(f.tree.Insert("k", 2).ok());
+  ASSERT_TRUE(f.tree.Insert("k", 1).ok());  // duplicate pair: no-op
+  EXPECT_EQ(f.tree.size(), 2u);
+  std::vector<uint64_t> vals;
+  ASSERT_TRUE(f.tree.ScanEqual("k", [&](uint64_t v) {
+                       vals.push_back(v);
+                       return Status::OK();
+                     }).ok());
+  EXPECT_EQ(vals, (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(BPlusTreeTest, SplitsGrowHeight) {
+  TreeFixture f;
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = "key" + std::to_string(100000 + i);
+    ASSERT_TRUE(f.tree.Insert(key, static_cast<uint64_t>(i)).ok());
+  }
+  EXPECT_EQ(f.tree.size(), 2000u);
+  EXPECT_GT(f.tree.height(), 2u);
+  auto all = ScanAll(f.tree);
+  ASSERT_EQ(all.size(), 2000u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].first, all[i].first);
+  }
+}
+
+TEST(BPlusTreeTest, RangeScanBounds) {
+  TreeFixture f;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        f.tree.Insert(EncodeIntKey(i), static_cast<uint64_t>(i)).ok());
+  }
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(f.tree.ScanRange(EncodeIntKey(10), EncodeIntKey(20),
+                               [&](std::string_view, uint64_t v) {
+                                 got.push_back(v);
+                                 return Status::OK();
+                               })
+                  .ok());
+  ASSERT_EQ(got.size(), 10u);
+  EXPECT_EQ(got.front(), 10u);
+  EXPECT_EQ(got.back(), 19u);
+}
+
+TEST(BPlusTreeTest, Remove) {
+  TreeFixture f;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        f.tree.Insert(EncodeIntKey(i % 50), static_cast<uint64_t>(i)).ok());
+  }
+  EXPECT_EQ(f.tree.size(), 500u);
+  EXPECT_TRUE(f.tree.Remove(EncodeIntKey(7), 7).ValueOrDie());
+  EXPECT_FALSE(f.tree.Remove(EncodeIntKey(7), 7).ValueOrDie());  // gone
+  EXPECT_FALSE(f.tree.Remove(EncodeIntKey(999), 1).ValueOrDie());
+  EXPECT_EQ(f.tree.size(), 499u);
+}
+
+TEST(BPlusTreeTest, RandomAgainstStdMultimap) {
+  std::mt19937 rng(19);
+  TreeFixture f;
+  std::set<std::pair<std::string, uint64_t>> model;
+  for (int step = 0; step < 5000; ++step) {
+    std::string key = "k" + std::to_string(rng() % 500);
+    uint64_t val = rng() % 20;
+    if (rng() % 4 != 0) {
+      ASSERT_TRUE(f.tree.Insert(key, val).ok());
+      model.insert({key, val});
+    } else {
+      bool removed = f.tree.Remove(key, val).ValueOrDie();
+      EXPECT_EQ(removed, model.erase({key, val}) > 0);
+    }
+    ASSERT_EQ(f.tree.size(), model.size());
+  }
+  auto all = ScanAll(f.tree);
+  ASSERT_EQ(all.size(), model.size());
+  // Keys arrive in order; among equal keys the payload order is
+  // unspecified, so compare as sorted pair sets.
+  std::sort(all.begin(), all.end());
+  size_t i = 0;
+  for (const auto& [key, val] : model) {
+    EXPECT_EQ(all[i].first, key);
+    EXPECT_EQ(all[i].second, val);
+    ++i;
+  }
+}
+
+TEST(BPlusTreeTest, LookupCostIsHeightNotSize) {
+  TreeFixture f;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(
+        f.tree.Insert(EncodeIntKey(i), static_cast<uint64_t>(i)).ok());
+  }
+  ASSERT_TRUE(f.pool.FlushAll().ok());
+  f.disk.ResetStats();
+  // A point lookup pins height() pages (some maybe cached); even with a
+  // cold-ish pool the reads are far below the tree's total pages.
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(f.tree.ScanEqual(EncodeIntKey(4321), [&](uint64_t v) {
+                       got.push_back(v);
+                       return Status::OK();
+                     }).ok());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_LE(f.disk.stats().page_reads, f.tree.height() + 2);
+}
+
+TEST(BPlusTreeTest, KeyTooLongRejected) {
+  TreeFixture f;
+  std::string huge(1000, 'x');  // > page_size/4 for 256-byte pages
+  EXPECT_FALSE(f.tree.Insert(huge, 1).ok());
+}
+
+}  // namespace
+}  // namespace ndq

@@ -1,0 +1,80 @@
+#include "index/string_index.h"
+
+#include <gtest/gtest.h>
+
+namespace ndq {
+namespace {
+
+TEST(TrieTest, ExactLookup) {
+  Trie t;
+  t.Insert("jagadish", 1);
+  t.Insert("jag", 2);
+  t.Insert("jagadish", 3);
+  EXPECT_EQ(t.Lookup("jagadish"), (std::vector<uint64_t>{1, 3}));
+  EXPECT_EQ(t.Lookup("jag"), (std::vector<uint64_t>{2}));
+  EXPECT_TRUE(t.Lookup("jaga").empty());
+  EXPECT_TRUE(t.Lookup("").empty());
+  EXPECT_EQ(t.num_values(), 3u);
+}
+
+TEST(TrieTest, PrefixSearch) {
+  Trie t;
+  t.Insert("jagadish", 1);
+  t.Insert("jag", 2);
+  t.Insert("milo", 3);
+  t.Insert("jagger", 4);
+  EXPECT_EQ(t.PrefixSearch("jag"), (std::vector<uint64_t>{1, 2, 4}));
+  EXPECT_EQ(t.PrefixSearch(""), (std::vector<uint64_t>{1, 2, 3, 4}));
+  EXPECT_TRUE(t.PrefixSearch("z").empty());
+}
+
+TEST(TrieTest, DuplicateIdsDeduplicated) {
+  Trie t;
+  t.Insert("aa", 7);
+  t.Insert("ab", 7);
+  EXPECT_EQ(t.PrefixSearch("a"), (std::vector<uint64_t>{7}));
+}
+
+TEST(SuffixIndexTest, SubstringSearch) {
+  SuffixIndex s;
+  s.Add("h jagadish", 1);
+  s.Add("tova milo", 2);
+  s.Add("divesh srivastava", 3);
+  s.Build();
+  EXPECT_EQ(s.Search("jag").ValueOrDie(), (std::vector<uint64_t>{1}));
+  EXPECT_EQ(s.Search("va").ValueOrDie(), (std::vector<uint64_t>{2, 3}));
+  EXPECT_EQ(s.Search("i").ValueOrDie(), (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(s.Search("xyz").ValueOrDie().empty());
+  // Full-string and suffix needles.
+  EXPECT_EQ(s.Search("tova milo").ValueOrDie(), (std::vector<uint64_t>{2}));
+  EXPECT_EQ(s.Search("dish").ValueOrDie(), (std::vector<uint64_t>{1}));
+}
+
+TEST(SuffixIndexTest, EmptyNeedleMatchesAll) {
+  SuffixIndex s;
+  s.Add("a", 1);
+  s.Add("b", 2);
+  s.Build();
+  EXPECT_EQ(s.Search("").ValueOrDie(), (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(SuffixIndexTest, SearchBeforeBuildIsError) {
+  SuffixIndex s;
+  s.Add("a", 1);
+  EXPECT_FALSE(s.Search("a").ok());
+}
+
+TEST(SuffixIndexTest, IpAddressPatterns) {
+  SuffixIndex s;
+  s.Add("204.178.16.5", 1);
+  s.Add("207.140.3.9", 2);
+  s.Add("204.178.17.5", 3);
+  s.Build();
+  EXPECT_EQ(s.Search("204.178.16.").ValueOrDie(),
+            (std::vector<uint64_t>{1}));
+  EXPECT_EQ(s.Search("204.178.").ValueOrDie(),
+            (std::vector<uint64_t>{1, 3}));
+}
+
+}  // namespace
+}  // namespace ndq

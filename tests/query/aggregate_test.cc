@@ -1,0 +1,148 @@
+#include "query/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace ndq {
+namespace {
+
+TEST(AggAccumulatorTest, Count) {
+  AggAccumulator acc(AggFn::kCount);
+  EXPECT_EQ(acc.Finish().value(), 0);  // count of empty set is 0
+  acc.AddValue(Value::Int(5));
+  acc.AddValue(Value::String("x"));  // count counts all kinds
+  acc.AddUnit();
+  EXPECT_EQ(acc.Finish().value(), 3);
+}
+
+TEST(AggAccumulatorTest, MinMaxSum) {
+  AggAccumulator mn(AggFn::kMin), mx(AggFn::kMax), sm(AggFn::kSum);
+  for (int64_t v : {3, -1, 7, 0}) {
+    mn.AddInt(v);
+    mx.AddInt(v);
+    sm.AddInt(v);
+  }
+  EXPECT_EQ(mn.Finish().value(), -1);
+  EXPECT_EQ(mx.Finish().value(), 7);
+  EXPECT_EQ(sm.Finish().value(), 9);
+}
+
+TEST(AggAccumulatorTest, EmptyMinIsUndefined) {
+  AggAccumulator mn(AggFn::kMin);
+  EXPECT_FALSE(mn.Finish().has_value());
+  // Non-int values don't make min defined.
+  mn.AddValue(Value::String("zzz"));
+  EXPECT_FALSE(mn.Finish().has_value());
+}
+
+TEST(AggAccumulatorTest, AverageIsIntegerDivision) {
+  AggAccumulator avg(AggFn::kAvg);
+  avg.AddInt(1);
+  avg.AddInt(2);
+  avg.AddInt(4);
+  EXPECT_EQ(avg.Finish().value(), 2);  // 7/3
+}
+
+TEST(AggAccumulatorTest, MergeIsDistributive) {
+  AggAccumulator a(AggFn::kMin), b(AggFn::kMin), whole(AggFn::kMin);
+  for (int64_t v : {5, 9}) {
+    a.AddInt(v);
+    whole.AddInt(v);
+  }
+  for (int64_t v : {2, 11}) {
+    b.AddInt(v);
+    whole.AddInt(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Finish(), whole.Finish());
+
+  AggAccumulator empty(AggFn::kMin);
+  empty.Merge(AggAccumulator(AggFn::kMin));
+  EXPECT_FALSE(empty.Finish().has_value());
+}
+
+TEST(CompareAggTest, UndefinedIsFalse) {
+  EXPECT_FALSE(CompareAgg(std::nullopt, CompareOp::kEq, 1));
+  EXPECT_FALSE(CompareAgg(1, CompareOp::kEq, std::nullopt));
+  EXPECT_FALSE(CompareAgg(std::nullopt, CompareOp::kNe, std::nullopt));
+  EXPECT_TRUE(CompareAgg(2, CompareOp::kGt, 1));
+  EXPECT_TRUE(CompareAgg(1, CompareOp::kLe, 1));
+  EXPECT_TRUE(CompareAgg(1, CompareOp::kNe, 2));
+}
+
+TEST(ParseAggSelTest, PaperExamples) {
+  // Example 6.1: count(SLAPVPRef) > 1
+  AggSelFilter f = ParseAggSelFilter("count(SLAPVPRef) > 1").ValueOrDie();
+  EXPECT_EQ(f.lhs.kind, AggAttr::Kind::kEntry);
+  EXPECT_EQ(f.lhs.entry.fn, AggFn::kCount);
+  EXPECT_EQ(f.lhs.entry.target, AggTarget::kSelfAttr);
+  EXPECT_EQ(f.lhs.entry.attr, "SLAPVPRef");
+  EXPECT_EQ(f.op, CompareOp::kGt);
+  EXPECT_EQ(f.rhs.kind, AggAttr::Kind::kConst);
+  EXPECT_EQ(f.rhs.constant, 1);
+
+  // Example 6.2: count($2) > 10
+  f = ParseAggSelFilter("count($2) > 10").ValueOrDie();
+  EXPECT_EQ(f.lhs.entry.target, AggTarget::kWitnessCount);
+  EXPECT_FALSE(f.NeedsSetAggregates());
+
+  // Section 7 example: min(SLARulePriority)=min(min(SLARulePriority))
+  f = ParseAggSelFilter("min(SLARulePriority)=min(min(SLARulePriority))")
+          .ValueOrDie();
+  EXPECT_EQ(f.lhs.kind, AggAttr::Kind::kEntry);
+  EXPECT_EQ(f.lhs.entry.fn, AggFn::kMin);
+  EXPECT_EQ(f.rhs.kind, AggAttr::Kind::kEntrySet);
+  EXPECT_EQ(f.rhs.outer_fn, AggFn::kMin);
+  EXPECT_EQ(f.rhs.entry.fn, AggFn::kMin);
+  EXPECT_EQ(f.rhs.entry.attr, "SLARulePriority");
+  EXPECT_TRUE(f.NeedsSetAggregates());
+
+  // Fig. 6: count($2)=max(count($2))
+  f = ParseAggSelFilter("count($2)=max(count($2))").ValueOrDie();
+  EXPECT_EQ(f.lhs.entry.target, AggTarget::kWitnessCount);
+  EXPECT_EQ(f.rhs.kind, AggAttr::Kind::kEntrySet);
+  EXPECT_EQ(f.rhs.outer_fn, AggFn::kMax);
+  EXPECT_EQ(f.rhs.entry.target, AggTarget::kWitnessCount);
+}
+
+TEST(ParseAggSelTest, DollarForms) {
+  AggSelFilter f = ParseAggSelFilter("count($$) >= 5").ValueOrDie();
+  EXPECT_EQ(f.lhs.kind, AggAttr::Kind::kEntrySet);
+  EXPECT_EQ(f.lhs.set_form, AggAttr::SetForm::kCountSet);
+
+  f = ParseAggSelFilter("count($1) != 0").ValueOrDie();
+  EXPECT_EQ(f.lhs.set_form, AggAttr::SetForm::kCountSet);
+
+  f = ParseAggSelFilter("min($1.priority) < max($2.priority)").ValueOrDie();
+  EXPECT_EQ(f.lhs.entry.target, AggTarget::kSelfAttr);
+  EXPECT_EQ(f.lhs.entry.attr, "priority");
+  EXPECT_EQ(f.rhs.entry.target, AggTarget::kWitnessAttr);
+  EXPECT_EQ(f.rhs.entry.attr, "priority");
+
+  f = ParseAggSelFilter("sum($2.timeOut) <= 100").ValueOrDie();
+  EXPECT_EQ(f.lhs.entry.fn, AggFn::kSum);
+}
+
+TEST(ParseAggSelTest, Errors) {
+  EXPECT_FALSE(ParseAggSelFilter("count(") .ok());
+  EXPECT_FALSE(ParseAggSelFilter("count(x)").ok());        // missing op+rhs
+  EXPECT_FALSE(ParseAggSelFilter("min($$) > 1").ok());     // only count($$)
+  EXPECT_FALSE(ParseAggSelFilter("min($2) > 1").ok());     // only count($2)
+  EXPECT_FALSE(ParseAggSelFilter("bogus(x) = 1").ok());
+  EXPECT_FALSE(ParseAggSelFilter("count(x) = 1 trailing").ok());
+  EXPECT_FALSE(ParseAggSelFilter("count($3) = 1").ok());
+}
+
+TEST(ParseAggSelTest, ToStringRoundTrips) {
+  for (const char* text :
+       {"count(SLAPVPRef)>1", "count($2)>10", "count($$)>=5", "count($1)=0",
+        "min(SLARulePriority)=min(min(SLARulePriority))",
+        "count($2)=max(count($2))", "min($1.priority)<max($2.priority)",
+        "average($2.timeOut)<=25", "sum(x)!=7"}) {
+    AggSelFilter f = ParseAggSelFilter(text).ValueOrDie();
+    AggSelFilter again = ParseAggSelFilter(f.ToString()).ValueOrDie();
+    EXPECT_EQ(f, again) << text << " -> " << f.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ndq

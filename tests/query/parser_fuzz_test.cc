@@ -1,0 +1,100 @@
+// Robustness: the parsers must never crash and must fail gracefully (a
+// Status, not UB) on arbitrary byte soup, truncations and mutations of
+// valid inputs.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/dn.h"
+#include "filter/ldap_filter.h"
+#include "query/aggregate.h"
+#include "query/parser.h"
+
+namespace ndq {
+namespace {
+
+const char* kSeeds[] = {
+    "(dc=att, dc=com ? sub ? surName=jagadish)",
+    "(- (a=1 ? sub ? x=*) (b=2 ? base ? y=1))",
+    "(c (dc=com ? sub ? objectClass=organizationalUnit) "
+    "(dc=com ? sub ? surName=jagadish))",
+    "(dc (a=1 ? sub ? x=*) (& (a=1 ? sub ? y=2) (a=1 ? one ? z=*)) "
+    "(a=1 ? sub ? w=*))",
+    "(g (a=1 ? sub ? x=*) count(SLAPVPRef) > 1)",
+    "(vd (a=1 ? sub ? x=*) (a=1 ? sub ? y=*) ref "
+    "min(p)=min(min(p)))",
+    "(ldap dc=com ? sub ? (&(a=1)(|(b=2)(!(c=3)))))",
+};
+
+// Every outcome is acceptable except crashing; parse results, when OK,
+// must round-trip through their printers.
+void Probe(const std::string& text) {
+  Result<QueryPtr> q = ParseQuery(text);
+  if (q.ok()) {
+    Result<QueryPtr> again = ParseQuery((*q)->ToString());
+    ASSERT_TRUE(again.ok()) << text;
+    EXPECT_EQ((*again)->ToString(), (*q)->ToString());
+  }
+  (void)Dn::Parse(text);
+  (void)AtomicFilter::Parse(text);
+  (void)LdapFilter::Parse(text);
+  (void)ParseAggSelFilter(text);
+}
+
+TEST(ParserFuzzTest, Truncations) {
+  for (const char* seed : kSeeds) {
+    std::string s(seed);
+    for (size_t len = 0; len <= s.size(); ++len) {
+      Probe(s.substr(0, len));
+    }
+  }
+}
+
+TEST(ParserFuzzTest, SingleByteMutations) {
+  std::mt19937 rng(99);
+  const char alphabet[] = "()?*&|-!$=,.<>0azZ \t\x01\x7f";
+  for (const char* seed : kSeeds) {
+    std::string s(seed);
+    for (int trial = 0; trial < 200; ++trial) {
+      std::string mutated = s;
+      mutated[rng() % mutated.size()] =
+          alphabet[rng() % (sizeof(alphabet) - 1)];
+      Probe(mutated);
+    }
+  }
+}
+
+TEST(ParserFuzzTest, RandomByteSoup) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t len = rng() % 80;
+    std::string s;
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>(rng() % 96 + 32));
+    }
+    Probe(s);
+  }
+}
+
+TEST(ParserFuzzTest, DeepNestingDoesNotOverflow) {
+  // 2000 levels of (& ... nesting: must fail or succeed, not crash.
+  std::string deep;
+  for (int i = 0; i < 2000; ++i) deep += "(& (a=1 ? sub ? x=*) ";
+  deep += "(a=1 ? sub ? x=*)";
+  for (int i = 0; i < 2000; ++i) deep += ")";
+  Result<QueryPtr> q = ParseQuery(deep);
+  if (q.ok()) {
+    EXPECT_EQ((*q)->NodeCount(), 4001u);
+  }
+}
+
+TEST(ParserFuzzTest, HugeTokens) {
+  std::string huge_attr(10000, 'a');
+  Probe("(" + huge_attr + "=1 ? sub ? x=*)");
+  Probe("(a=1 ? sub ? " + huge_attr + "=*)");
+  Probe("(g (a=1 ? sub ? x=*) count(" + huge_attr + ")>1)");
+}
+
+}  // namespace
+}  // namespace ndq

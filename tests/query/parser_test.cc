@@ -1,0 +1,186 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace ndq {
+namespace {
+
+QueryPtr P(const std::string& text) {
+  Result<QueryPtr> r = ParseQuery(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? r.TakeValue() : nullptr;
+}
+
+TEST(QueryParserTest, AtomicQuery) {
+  QueryPtr q = P("(dc=att, dc=com ? sub ? surName=jagadish)");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->op(), QueryOp::kAtomic);
+  EXPECT_EQ(q->base().ToString(), "dc=att, dc=com");
+  EXPECT_EQ(q->scope(), Scope::kSub);
+  EXPECT_EQ(q->filter().ToString(), "surName=jagadish");
+  EXPECT_EQ(q->MinimalLanguage(), Language::kLdap);
+}
+
+TEST(QueryParserTest, AtomicScopes) {
+  EXPECT_EQ(P("(dc=com ? base ? objectClass=*)")->scope(), Scope::kBase);
+  EXPECT_EQ(P("(dc=com ? one ? objectClass=*)")->scope(), Scope::kOne);
+  EXPECT_EQ(P("(dc=com ? sub ? objectClass=*)")->scope(), Scope::kSub);
+}
+
+TEST(QueryParserTest, NullDnBase) {
+  QueryPtr q1 = P("(null-dn ? sub ? objectClass=*)");
+  ASSERT_NE(q1, nullptr);
+  EXPECT_TRUE(q1->base().IsNull());
+  QueryPtr q2 = P("( ? sub ? objectClass=*)");
+  ASSERT_NE(q2, nullptr);
+  EXPECT_TRUE(q2->base().IsNull());
+}
+
+TEST(QueryParserTest, PaperExample41Difference) {
+  // Example 4.1 verbatim.
+  QueryPtr q = P(
+      "(- (dc=att, dc=com ? sub ? surName=jagadish)\n"
+      "   (dc=research, dc=att, dc=com ? sub ? surName=jagadish))");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->op(), QueryOp::kDiff);
+  EXPECT_EQ(q->MinimalLanguage(), Language::kL0);
+  EXPECT_EQ(q->NodeCount(), 3u);
+  EXPECT_EQ(q->Leaves().size(), 2u);
+}
+
+TEST(QueryParserTest, PaperExample51Children) {
+  QueryPtr q = P(
+      "(c (dc=att, dc=com ? sub ? objectClass=organizationalUnit)\n"
+      "   (dc=att, dc=com ? sub ? surName=jagadish))");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->op(), QueryOp::kChildren);
+  EXPECT_FALSE(q->agg().has_value());
+  EXPECT_EQ(q->MinimalLanguage(), Language::kL1);
+}
+
+TEST(QueryParserTest, PaperExample53CoDescendants) {
+  // Example 5.3 with nested boolean operand.
+  QueryPtr q = P(
+      "(dc (dc=att, dc=com ? sub ? objectClass=dcObject)\n"
+      "    (& (dc=att, dc=com ? sub ? sourcePort=25)\n"
+      "       (dc=att, dc=com ? sub ? objectClass=trafficProfile))\n"
+      "    (dc=att, dc=com ? sub ? objectClass=dcObject))");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->op(), QueryOp::kCoDescendants);
+  ASSERT_NE(q->q3(), nullptr);
+  EXPECT_EQ(q->q2()->op(), QueryOp::kAnd);
+  EXPECT_EQ(q->MinimalLanguage(), Language::kL1);
+  EXPECT_EQ(q->NodeCount(), 6u);
+}
+
+TEST(QueryParserTest, PaperExample61SimpleAgg) {
+  QueryPtr q = P(
+      "(g (dc=research, dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)\n"
+      "   count(SLAPVPRef) > 1)");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->op(), QueryOp::kSimpleAgg);
+  ASSERT_TRUE(q->agg().has_value());
+  EXPECT_EQ(q->agg()->op, CompareOp::kGt);
+  EXPECT_EQ(q->MinimalLanguage(), Language::kL2);
+}
+
+TEST(QueryParserTest, PaperExample62StructuralAgg) {
+  QueryPtr q = P(
+      "(c (dc=att, dc=com ? sub ? objectClass=TOPSSubscriber)\n"
+      "   (dc=att, dc=com ? sub ? objectClass=QHP)\n"
+      "   count($2) > 10)");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->op(), QueryOp::kChildren);
+  ASSERT_TRUE(q->agg().has_value());
+  EXPECT_EQ(q->MinimalLanguage(), Language::kL2);
+}
+
+TEST(QueryParserTest, PaperSection7ValueDn) {
+  QueryPtr q = P(
+      "(vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)\n"
+      "    (& (dc=att, dc=com ? sub ? sourcePort=25)\n"
+      "       (dc=att, dc=com ? sub ? objectClass=trafficProfile))\n"
+      "    SLATPRef)");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->op(), QueryOp::kValueDn);
+  EXPECT_EQ(q->ref_attr(), "SLATPRef");
+  EXPECT_FALSE(q->agg().has_value());
+  EXPECT_EQ(q->MinimalLanguage(), Language::kL3);
+}
+
+TEST(QueryParserTest, PaperSection7FullDnValueQuery) {
+  // The flagship L3 example: action of the highest-priority SMTP policy.
+  QueryPtr q = P(
+      "(dv (dc=att, dc=com ? sub ? objectClass=SLADSAction)\n"
+      "    (g (vd (dc=att, dc=com ? sub ? objectClass=SLAPolicyRules)\n"
+      "           (& (dc=att, dc=com ? sub ? sourcePort=25)\n"
+      "              (dc=att, dc=com ? sub ? objectClass=trafficProfile))\n"
+      "           SLATPRef)\n"
+      "       min(SLARulePriority)=min(min(SLARulePriority)))\n"
+      "    SLADSActRef)");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->op(), QueryOp::kDnValue);
+  EXPECT_EQ(q->ref_attr(), "SLADSActRef");
+  EXPECT_EQ(q->q2()->op(), QueryOp::kSimpleAgg);
+  EXPECT_EQ(q->q2()->q1()->op(), QueryOp::kValueDn);
+  EXPECT_EQ(q->MinimalLanguage(), Language::kL3);
+  EXPECT_EQ(q->NodeCount(), 8u);
+}
+
+TEST(QueryParserTest, LdapBaselineQuery) {
+  QueryPtr q = P(
+      "(ldap dc=att, dc=com ? sub ? (&(objectClass=QHP)(priority<=2)))");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->op(), QueryOp::kLdap);
+  EXPECT_EQ(q->MinimalLanguage(), Language::kLdap);
+  EXPECT_NE(q->ldap_filter(), nullptr);
+}
+
+TEST(QueryParserTest, StructuralAggOnConstrainedOp) {
+  QueryPtr q = P(
+      "(ac (dc=com ? sub ? uid=*) (dc=com ? sub ? ou=*)\n"
+      "    (dc=com ? sub ? dc=*) count($2)=max(count($2)))");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->op(), QueryOp::kCoAncestors);
+  ASSERT_TRUE(q->agg().has_value());
+  EXPECT_EQ(q->MinimalLanguage(), Language::kL2);
+}
+
+TEST(QueryParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("dc=com ? sub ? x=*").ok());        // no parens
+  EXPECT_FALSE(ParseQuery("(dc=com ? sub)").ok());            // one '?'
+  EXPECT_FALSE(ParseQuery("(& (dc=com ? sub ? x=*))").ok());  // 1 operand
+  EXPECT_FALSE(ParseQuery("(dc=com ? subb ? x=*)").ok());     // bad scope
+  EXPECT_FALSE(
+      ParseQuery("(p (dc=com ? sub ? x=*) (dc=com ? sub ? x=*)) junk").ok());
+  EXPECT_FALSE(ParseQuery("(vd (dc=com ? sub ? x=*) (dc=com ? sub ? x=*))")
+                   .ok());  // missing attr
+}
+
+TEST(QueryParserTest, ToStringRoundTrips) {
+  for (const char* text : {
+           "(dc=att, dc=com ? sub ? surName=jagadish)",
+           "(- (dc=com ? sub ? a=*) (dc=com ? base ? b=*))",
+           "(& (dc=com ? sub ? a=*) (| (dc=com ? one ? b=*) "
+           "(dc=com ? sub ? c=1)))",
+           "(p (dc=com ? sub ? a=*) (dc=com ? sub ? b=*))",
+           "(ac (dc=com ? sub ? a=*) (dc=com ? sub ? b=*) "
+           "(dc=com ? sub ? c=*))",
+           "(g (dc=com ? sub ? a=*) count(x)>1)",
+           "(d (dc=com ? sub ? a=*) (dc=com ? sub ? b=*) count($2)>=3)",
+           "(vd (dc=com ? sub ? a=*) (dc=com ? sub ? b=*) ref)",
+           "(dv (dc=com ? sub ? a=*) (dc=com ? sub ? b=*) ref "
+           "count($2)=max(count($2)))",
+           "(ldap dc=com ? sub ? (&(a=1)(!(b=2))))",
+       }) {
+    QueryPtr q = P(text);
+    ASSERT_NE(q, nullptr) << text;
+    QueryPtr again = P(q->ToString());
+    ASSERT_NE(again, nullptr) << q->ToString();
+    EXPECT_EQ(q->ToString(), again->ToString()) << text;
+  }
+}
+
+}  // namespace
+}  // namespace ndq

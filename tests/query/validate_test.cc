@@ -1,0 +1,113 @@
+#include "query/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "testing/paper_fixture.h"
+
+namespace ndq {
+namespace {
+
+using testing::PaperSchema;
+
+std::vector<QueryIssue> Check(const std::string& text) {
+  Schema s = PaperSchema();
+  QueryPtr q = ParseQuery(text).TakeValue();
+  return ValidateQuery(s, *q);
+}
+
+size_t Errors(const std::vector<QueryIssue>& issues) {
+  size_t n = 0;
+  for (const QueryIssue& i : issues) {
+    if (i.severity == QueryIssue::Severity::kError) ++n;
+  }
+  return n;
+}
+
+TEST(ValidateTest, CleanQueriesPass) {
+  for (const char* text : {
+           "(dc=att, dc=com ? sub ? surName=jagadish)",
+           "(dc=com ? sub ? priority<=2)",
+           "(g (dc=com ? sub ? objectClass=SLAPolicyRules) "
+           "count(SLAPVPRef)>1)",
+           "(vd (dc=com ? sub ? objectClass=SLAPolicyRules)"
+           " (dc=com ? sub ? objectClass=trafficProfile) SLATPRef)",
+           "(c (dc=com ? sub ? objectClass=TOPSSubscriber)"
+           " (dc=com ? sub ? objectClass=QHP) min($2.priority)=1)",
+           "(ldap dc=com ? sub ? (&(objectClass=QHP)(priority<=2)))",
+       }) {
+    SCOPED_TRACE(text);
+    std::vector<QueryIssue> issues = Check(text);
+    EXPECT_TRUE(issues.empty()) << issues.size() << " issue(s), first: "
+                                << (issues.empty() ? ""
+                                                   : issues[0].message);
+  }
+}
+
+TEST(ValidateTest, IntComparisonOnStringAttributeIsError) {
+  std::vector<QueryIssue> issues = Check("(dc=com ? sub ? surName<5)");
+  ASSERT_EQ(Errors(issues), 1u);
+  EXPECT_NE(issues[0].message.find("surName"), std::string::npos);
+}
+
+TEST(ValidateTest, SubstringOnIntAttributeIsError) {
+  EXPECT_EQ(Errors(Check("(dc=com ? sub ? priority=*1*)")), 1u);
+  // ...but substring on strings is fine.
+  EXPECT_EQ(Errors(Check("(dc=com ? sub ? commonName=*jag*)")), 0u);
+}
+
+TEST(ValidateTest, UnknownAttributeIsWarning) {
+  std::vector<QueryIssue> issues = Check("(dc=com ? sub ? wtfAttr=x)");
+  EXPECT_EQ(Errors(issues), 0u);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].severity, QueryIssue::Severity::kWarning);
+}
+
+TEST(ValidateTest, UnknownObjectClassIsError) {
+  EXPECT_EQ(Errors(Check("(dc=com ? sub ? objectClass=Martian)")), 1u);
+  EXPECT_EQ(Errors(Check("(dc=com ? sub ? objectClass=QHP)")), 0u);
+}
+
+TEST(ValidateTest, EmbeddedRefNeedsDnTypedAttribute) {
+  EXPECT_EQ(Errors(Check(
+                "(vd (dc=com ? sub ? objectClass=SLAPolicyRules)"
+                " (dc=com ? sub ? objectClass=trafficProfile) surName)")),
+            1u);
+  EXPECT_EQ(Errors(Check(
+                "(dv (dc=com ? sub ? objectClass=SLADSAction)"
+                " (dc=com ? sub ? objectClass=SLAPolicyRules) "
+                "SLADSActRef)")),
+            0u);
+}
+
+TEST(ValidateTest, AggregatingNonIntAttributeIsError) {
+  EXPECT_EQ(Errors(Check("(g (dc=com ? sub ? objectClass=QHP) "
+                         "min(QHPName)>1)")),
+            1u);
+  // count over anything is fine.
+  EXPECT_EQ(Errors(Check("(g (dc=com ? sub ? objectClass=QHP) "
+                         "count(QHPName)>1)")),
+            0u);
+  // Witness-side aggregates are checked too.
+  EXPECT_EQ(Errors(Check("(c (dc=com ? sub ? objectClass=TOPSSubscriber)"
+                         " (dc=com ? sub ? objectClass=QHP) "
+                         "sum($2.QHPName)>1)")),
+            1u);
+}
+
+TEST(ValidateTest, LdapFilterTreeIsWalked) {
+  std::vector<QueryIssue> issues =
+      Check("(ldap dc=com ? sub ? (&(objectClass=QHP)(!(surName<3))))");
+  EXPECT_EQ(Errors(issues), 1u);
+}
+
+TEST(ValidateTest, QueryIsValidConvenience) {
+  Schema s = PaperSchema();
+  QueryPtr good = ParseQuery("(dc=com ? sub ? priority<=2)").TakeValue();
+  QueryPtr bad = ParseQuery("(dc=com ? sub ? surName<5)").TakeValue();
+  EXPECT_TRUE(QueryIsValid(s, *good));
+  EXPECT_FALSE(QueryIsValid(s, *bad));
+}
+
+}  // namespace
+}  // namespace ndq

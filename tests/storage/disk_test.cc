@@ -1,0 +1,82 @@
+#include "storage/disk.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ndq {
+namespace {
+
+TEST(SimDiskTest, AllocateWriteRead) {
+  SimDisk disk(256);
+  PageId p = disk.Allocate();
+  std::vector<uint8_t> out(256, 0xAA);
+  ASSERT_TRUE(disk.ReadPage(p, out.data()).ok());
+  for (uint8_t b : out) EXPECT_EQ(b, 0);  // fresh pages are zeroed
+
+  std::vector<uint8_t> in(256);
+  for (size_t i = 0; i < in.size(); ++i) in[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE(disk.WritePage(p, in.data()).ok());
+  ASSERT_TRUE(disk.ReadPage(p, out.data()).ok());
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), 256), 0);
+}
+
+TEST(SimDiskTest, StatsCountTransfers) {
+  SimDisk disk(128);
+  PageId p = disk.Allocate();
+  std::vector<uint8_t> buf(128, 1);
+  ASSERT_TRUE(disk.WritePage(p, buf.data()).ok());
+  ASSERT_TRUE(disk.WritePage(p, buf.data()).ok());
+  ASSERT_TRUE(disk.ReadPage(p, buf.data()).ok());
+  EXPECT_EQ(disk.stats().page_writes, 2u);
+  EXPECT_EQ(disk.stats().page_reads, 1u);
+  EXPECT_EQ(disk.stats().pages_allocated, 1u);
+  EXPECT_EQ(disk.stats().TotalTransfers(), 3u);
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().TotalTransfers(), 0u);
+}
+
+TEST(SimDiskTest, FreeAndReuse) {
+  SimDisk disk(64);
+  PageId a = disk.Allocate();
+  PageId b = disk.Allocate();
+  EXPECT_EQ(disk.live_pages(), 2u);
+  ASSERT_TRUE(disk.Free(a).ok());
+  EXPECT_EQ(disk.live_pages(), 1u);
+  PageId c = disk.Allocate();  // reuses a's slot
+  EXPECT_EQ(c, a);
+  // Reused pages come back zeroed.
+  std::vector<uint8_t> buf(64, 0xFF);
+  ASSERT_TRUE(disk.ReadPage(c, buf.data()).ok());
+  for (uint8_t v : buf) EXPECT_EQ(v, 0);
+  (void)b;
+}
+
+TEST(SimDiskTest, InvalidAccessRejected) {
+  SimDisk disk(64);
+  std::vector<uint8_t> buf(64);
+  EXPECT_FALSE(disk.ReadPage(99, buf.data()).ok());
+  EXPECT_FALSE(disk.WritePage(99, buf.data()).ok());
+  EXPECT_FALSE(disk.Free(99).ok());
+  PageId p = disk.Allocate();
+  ASSERT_TRUE(disk.Free(p).ok());
+  EXPECT_FALSE(disk.Free(p).ok());           // double free
+  EXPECT_FALSE(disk.ReadPage(p, buf.data()).ok());  // use after free
+}
+
+TEST(IoStatsTest, Difference) {
+  IoStats a;
+  a.page_reads = 10;
+  a.page_writes = 4;
+  IoStats b;
+  b.page_reads = 3;
+  b.page_writes = 1;
+  IoStats d = a - b;
+  EXPECT_EQ(d.page_reads, 7u);
+  EXPECT_EQ(d.page_writes, 3u);
+  EXPECT_NE(d.ToString().find("reads=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ndq

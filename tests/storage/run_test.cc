@@ -1,0 +1,116 @@
+#include "storage/run.h"
+
+#include <gtest/gtest.h>
+
+namespace ndq {
+namespace {
+
+TEST(RunTest, WriteReadSmallRecords) {
+  SimDisk disk(128);
+  RunWriter w(&disk);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(w.Add("record-" + std::to_string(i)).ok());
+  }
+  ndq::Run run = w.Finish().ValueOrDie();
+  EXPECT_EQ(run.num_records, 100u);
+
+  RunReader r(&disk, run);
+  std::string rec;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(r.Next(&rec).ValueOrDie());
+    EXPECT_EQ(rec, "record-" + std::to_string(i));
+  }
+  EXPECT_FALSE(r.Next(&rec).ValueOrDie());
+  EXPECT_FALSE(r.Next(&rec).ValueOrDie());  // stable at end
+}
+
+TEST(RunTest, RecordsSpanPages) {
+  SimDisk disk(64);
+  RunWriter w(&disk);
+  std::string big(1000, 'z');
+  ASSERT_TRUE(w.Add(big).ok());
+  ASSERT_TRUE(w.Add("tail").ok());
+  ndq::Run run = w.Finish().ValueOrDie();
+  EXPECT_GT(run.pages.size(), 10u);  // 1000 bytes over 64-byte pages
+
+  RunReader r(&disk, run);
+  std::string rec;
+  ASSERT_TRUE(r.Next(&rec).ValueOrDie());
+  EXPECT_EQ(rec, big);
+  ASSERT_TRUE(r.Next(&rec).ValueOrDie());
+  EXPECT_EQ(rec, "tail");
+}
+
+TEST(RunTest, EmptyRun) {
+  SimDisk disk(64);
+  RunWriter w(&disk);
+  ndq::Run run = w.Finish().ValueOrDie();
+  EXPECT_TRUE(run.empty());
+  EXPECT_TRUE(run.pages.empty());
+  RunReader r(&disk, run);
+  std::string rec;
+  EXPECT_FALSE(r.Next(&rec).ValueOrDie());
+}
+
+TEST(RunTest, EmptyRecordsAllowed) {
+  SimDisk disk(64);
+  RunWriter w(&disk);
+  ASSERT_TRUE(w.Add("").ok());
+  ASSERT_TRUE(w.Add("x").ok());
+  ASSERT_TRUE(w.Add("").ok());
+  ndq::Run run = w.Finish().ValueOrDie();
+  RunReader r(&disk, run);
+  std::string rec;
+  ASSERT_TRUE(r.Next(&rec).ValueOrDie());
+  EXPECT_EQ(rec, "");
+  ASSERT_TRUE(r.Next(&rec).ValueOrDie());
+  EXPECT_EQ(rec, "x");
+  ASSERT_TRUE(r.Next(&rec).ValueOrDie());
+  EXPECT_EQ(rec, "");
+}
+
+TEST(RunTest, IoIsLinearInPayload) {
+  // Writing N records costs ceil(bytes/page) writes; reading them back the
+  // same number of reads: the linear-I/O building block of every theorem.
+  SimDisk disk(4096);
+  RunWriter w(&disk);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(w.Add("payload-payload-payload-" + std::to_string(i)).ok());
+  }
+  ndq::Run run = w.Finish().ValueOrDie();
+  uint64_t expected_pages =
+      (run.payload_bytes + disk.page_size() - 1) / disk.page_size();
+  EXPECT_EQ(run.pages.size(), expected_pages);
+  EXPECT_EQ(disk.stats().page_writes, expected_pages);
+
+  disk.ResetStats();
+  RunReader r(&disk, run);
+  std::string rec;
+  while (r.Next(&rec).ValueOrDie()) {
+  }
+  EXPECT_EQ(disk.stats().page_reads, expected_pages);
+  EXPECT_EQ(r.records_read(), static_cast<uint64_t>(n));
+}
+
+TEST(RunTest, FreeRunReleasesPages) {
+  SimDisk disk(64);
+  RunWriter w(&disk);
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(w.Add("some record").ok());
+  ndq::Run run = w.Finish().ValueOrDie();
+  EXPECT_GT(disk.live_pages(), 0u);
+  ASSERT_TRUE(FreeRun(&disk, &run).ok());
+  EXPECT_EQ(disk.live_pages(), 0u);
+  EXPECT_TRUE(run.empty());
+}
+
+TEST(RunTest, AddAfterFinishRejected) {
+  SimDisk disk(64);
+  RunWriter w(&disk);
+  ASSERT_TRUE(w.Add("x").ok());
+  ASSERT_TRUE(w.Finish().ok());
+  EXPECT_FALSE(w.Add("y").ok());
+}
+
+}  // namespace
+}  // namespace ndq

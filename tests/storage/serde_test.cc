@@ -1,0 +1,98 @@
+#include "storage/serde.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_fixture.h"
+
+namespace ndq {
+namespace {
+
+using testing::D;
+using testing::PaperInstance;
+
+TEST(SerdeTest, VarintRoundTrip) {
+  std::string buf;
+  ByteWriter w(&buf);
+  const uint64_t values[] = {0, 1, 127, 128, 300, 1u << 20, (1ull << 62)};
+  for (uint64_t v : values) w.PutVarint(v);
+  ByteReader r(buf);
+  for (uint64_t v : values) {
+    EXPECT_EQ(r.GetVarint().ValueOrDie(), v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, SignedRoundTrip) {
+  std::string buf;
+  ByteWriter w(&buf);
+  const int64_t values[] = {0, -1, 1, -64, 63, -1000000, 1000000,
+                            INT64_MIN, INT64_MAX};
+  for (int64_t v : values) w.PutSigned(v);
+  ByteReader r(buf);
+  for (int64_t v : values) {
+    EXPECT_EQ(r.GetSigned().ValueOrDie(), v);
+  }
+}
+
+TEST(SerdeTest, StringRoundTrip) {
+  std::string buf;
+  ByteWriter w(&buf);
+  w.PutString("hello");
+  w.PutString("");
+  w.PutString(std::string(1000, 'x'));
+  ByteReader r(buf);
+  EXPECT_EQ(r.GetString().ValueOrDie(), "hello");
+  EXPECT_EQ(r.GetString().ValueOrDie(), "");
+  EXPECT_EQ(r.GetString().ValueOrDie().size(), 1000u);
+}
+
+TEST(SerdeTest, TruncationDetected) {
+  std::string buf;
+  ByteWriter w(&buf);
+  w.PutString("hello world");
+  ByteReader r(buf.substr(0, 4));
+  EXPECT_FALSE(r.GetString().ok());
+  ByteReader r2("");
+  EXPECT_FALSE(r2.GetVarint().ok());
+  EXPECT_FALSE(r2.GetU8().ok());
+}
+
+TEST(SerdeTest, ValueRoundTrip) {
+  for (const Value& v :
+       {Value::Int(42), Value::Int(-7), Value::String("abc"),
+        Value::String(""), Value::DnRef("dc=att, dc=com")}) {
+    std::string buf;
+    SerializeValue(v, &buf);
+    ByteReader r(buf);
+    Result<Value> back = DeserializeValue(&r);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(SerdeTest, EntryRoundTripWholeFixture) {
+  DirectoryInstance inst = PaperInstance();
+  for (const auto& [key, entry] : inst) {
+    std::string buf;
+    SerializeEntry(entry, &buf);
+    // The sort key is peekable without full deserialization.
+    EXPECT_EQ(PeekEntryKey(buf).ValueOrDie(), key);
+    Result<Entry> back = DeserializeEntry(buf);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, entry) << entry.dn().ToString();
+  }
+}
+
+TEST(SerdeTest, CorruptEntryRejected) {
+  Entry e(D("uid=x, dc=com"));
+  e.AddInt("p", 1);
+  std::string buf;
+  SerializeEntry(e, &buf);
+  EXPECT_FALSE(DeserializeEntry(buf.substr(0, buf.size() - 1)).ok());
+  std::string bad = buf;
+  bad[0] = '\x7f';  // nonsense key length
+  EXPECT_FALSE(DeserializeEntry(bad).ok());
+}
+
+}  // namespace
+}  // namespace ndq

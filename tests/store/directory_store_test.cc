@@ -1,0 +1,220 @@
+#include "store/directory_store.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "query/parser.h"
+#include "query/reference.h"
+#include "storage/serde.h"
+#include "testing/paper_fixture.h"
+
+namespace ndq {
+namespace {
+
+using testing::D;
+using testing::PaperInstance;
+using testing::PaperSchema;
+
+DirectoryStoreOptions SmallOptions() {
+  DirectoryStoreOptions opt;
+  opt.memtable_limit = 8;  // force frequent flushes
+  opt.max_segments = 4;    // and compactions
+  return opt;
+}
+
+Status LoadPaper(DirectoryStore* store) {
+  DirectoryInstance inst = PaperInstance();
+  for (const auto& [key, entry] : inst) {
+    (void)key;
+    NDQ_RETURN_IF_ERROR(store->Add(entry));
+  }
+  return Status::OK();
+}
+
+TEST(DirectoryStoreTest, AddGetRemove) {
+  SimDisk disk(512);
+  DirectoryStore store(&disk, PaperSchema(), SmallOptions());
+  ASSERT_TRUE(LoadPaper(&store).ok());
+  EXPECT_EQ(store.num_entries(), 23u);
+
+  Dn jag = D("uid=jag, ou=userProfiles, dc=research, dc=att, dc=com");
+  std::optional<Entry> e = store.Get(jag).TakeValue();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(e->HasClass("TOPSSubscriber"));
+
+  // Duplicate add rejected.
+  Entry dup(D("dc=com"));
+  dup.AddClass("dcObject");
+  dup.AddString("dc", "com");
+  EXPECT_EQ(store.Add(dup).code(), StatusCode::kAlreadyExists);
+
+  // Remove with descendants rejected; leaf removal works.
+  EXPECT_FALSE(store.Remove(jag).ok());
+  Dn leaf = D(
+      "CANumber=9733608750, QHPName=workinghours, uid=jag, ou=userProfiles, "
+      "dc=research, dc=att, dc=com");
+  EXPECT_TRUE(store.Remove(leaf).ok());
+  EXPECT_FALSE(store.Get(leaf).TakeValue().has_value());
+  EXPECT_EQ(store.Remove(leaf).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.num_entries(), 22u);
+}
+
+TEST(DirectoryStoreTest, PutReplacesAcrossSegments) {
+  SimDisk disk(512);
+  DirectoryStore store(&disk, PaperSchema(), SmallOptions());
+  ASSERT_TRUE(LoadPaper(&store).ok());
+  ASSERT_TRUE(store.Flush().ok());
+
+  Dn qhp = D("QHPName=weekend, uid=jag, ou=userProfiles, dc=research, "
+             "dc=att, dc=com");
+  Entry updated(qhp);
+  updated.AddClass("QHP");
+  updated.AddString("QHPName", "weekend");
+  updated.AddInt("priority", 9);  // demoted
+  ASSERT_TRUE(store.Put(updated).ok());
+  std::optional<Entry> e = store.Get(qhp).TakeValue();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(e->HasPair("priority", Value::Int(9)));
+  EXPECT_FALSE(e->HasPair("priority", Value::Int(1)));
+  EXPECT_EQ(store.num_entries(), 23u);  // replaced, not added
+}
+
+TEST(DirectoryStoreTest, ScanHidesTombstonesAndShadows) {
+  SimDisk disk(512);
+  DirectoryStore store(&disk, PaperSchema(), SmallOptions());
+  ASSERT_TRUE(LoadPaper(&store).ok());
+  ASSERT_TRUE(store.Flush().ok());
+  Dn leaf = D(
+      "CANumber=9733608751, QHPName=workinghours, uid=jag, ou=userProfiles, "
+      "dc=research, dc=att, dc=com");
+  ASSERT_TRUE(store.Remove(leaf).ok());
+
+  size_t count = 0;
+  std::string prev;
+  ASSERT_TRUE(store
+                  .ScanRange("", "",
+                             [&](std::string_view rec) -> Status {
+                               std::string key(
+                                   PeekEntryKey(rec).ValueOrDie());
+                               EXPECT_LT(prev, key);  // ordered, no dups
+                               prev = key;
+                               ++count;
+                               return Status::OK();
+                             })
+                  .ok());
+  EXPECT_EQ(count, 22u);
+}
+
+TEST(DirectoryStoreTest, CompactionPreservesContent) {
+  SimDisk disk(512);
+  DirectoryStore store(&disk, PaperSchema(), SmallOptions());
+  ASSERT_TRUE(LoadPaper(&store).ok());
+  // Many flushes happened (memtable_limit=8). Compact everything.
+  ASSERT_TRUE(store.Compact().ok());
+  EXPECT_LE(store.num_segments(), 1u);
+  DirectoryInstance inst = PaperInstance();
+  for (const auto& [key, entry] : inst) {
+    (void)key;
+    std::optional<Entry> got = store.Get(entry.dn()).TakeValue();
+    ASSERT_TRUE(got.has_value()) << entry.dn().ToString();
+    EXPECT_EQ(*got, entry);
+  }
+}
+
+TEST(DirectoryStoreTest, QueriesRunOverMutableStore) {
+  // The evaluation engine works over the LSM exactly as over a bulk-loaded
+  // segment: run a paper query after updates.
+  SimDisk disk(512);
+  DirectoryStore store(&disk, PaperSchema(), SmallOptions());
+  ASSERT_TRUE(LoadPaper(&store).ok());
+
+  // Add a new subscriber with 3 QHPs dynamically.
+  Dn base = D("ou=userProfiles, dc=research, dc=att, dc=com");
+  Dn milo = base.Child(Rdn::Single("uid", "milo").TakeValue());
+  Entry sub(milo);
+  sub.AddClass("TOPSSubscriber");
+  sub.AddString("uid", "milo");
+  ASSERT_TRUE(store.Add(sub).ok());
+  for (int i = 0; i < 3; ++i) {
+    Dn qdn = milo.Child(Rdn::Single("QHPName", "q" + std::to_string(i))
+                            .TakeValue());
+    Entry q(qdn);
+    q.AddClass("QHP");
+    q.AddString("QHPName", "q" + std::to_string(i));
+    q.AddInt("priority", i + 1);
+    ASSERT_TRUE(store.Add(q).ok());
+  }
+
+  SimDisk scratch(512);
+  Evaluator evaluator(&scratch, &store);
+  QueryPtr q = ParseQuery(
+                   "(c (dc=att, dc=com ? sub ? objectClass=TOPSSubscriber)"
+                   "   (dc=att, dc=com ? sub ? objectClass=QHP)"
+                   "   count($2) > 2)")
+                   .TakeValue();
+  std::vector<Entry> result = evaluator.EvaluateToEntries(*q).TakeValue();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].dn(), milo);
+}
+
+TEST(DirectoryStoreTest, RandomOperationsMatchModel) {
+  std::mt19937 rng(77);
+  SimDisk disk(512);
+  DirectoryStore store(&disk, Schema(), [] {
+    DirectoryStoreOptions o;
+    o.memtable_limit = 16;
+    o.max_segments = 3;
+    o.validate = false;
+    return o;
+  }());
+  std::map<std::string, Entry> model;
+
+  for (int step = 0; step < 600; ++step) {
+    int uid = rng() % 60;
+    Dn dn = D("uid=u" + std::to_string(uid) + ", dc=com");
+    int action = rng() % 3;
+    if (action == 0) {  // put
+      Entry e(dn);
+      e.AddInt("x", static_cast<int64_t>(rng() % 100));
+      ASSERT_TRUE(store.Put(e).ok());
+      model[dn.HierKey()] = e;
+    } else if (action == 1) {  // remove
+      Status s = store.Remove(dn);
+      if (model.count(dn.HierKey()) > 0) {
+        ASSERT_TRUE(s.ok());
+        model.erase(dn.HierKey());
+      } else {
+        ASSERT_EQ(s.code(), StatusCode::kNotFound);
+      }
+    } else {  // get
+      std::optional<Entry> got = store.Get(dn).TakeValue();
+      auto it = model.find(dn.HierKey());
+      ASSERT_EQ(got.has_value(), it != model.end());
+      if (got.has_value()) {
+        ASSERT_EQ(*got, it->second);
+      }
+    }
+    ASSERT_EQ(store.num_entries(), model.size());
+  }
+  // Final full scan matches the model exactly.
+  std::vector<std::string> keys;
+  ASSERT_TRUE(store
+                  .ScanRange("", "",
+                             [&](std::string_view rec) -> Status {
+                               keys.emplace_back(
+                                   PeekEntryKey(rec).ValueOrDie());
+                               return Status::OK();
+                             })
+                  .ok());
+  ASSERT_EQ(keys.size(), model.size());
+  size_t i = 0;
+  for (const auto& [key, entry] : model) {
+    (void)entry;
+    EXPECT_EQ(keys[i++], key);
+  }
+}
+
+}  // namespace
+}  // namespace ndq

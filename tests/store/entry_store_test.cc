@@ -1,0 +1,155 @@
+#include "store/entry_store.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "storage/serde.h"
+#include "testing/paper_fixture.h"
+
+namespace ndq {
+namespace {
+
+using testing::D;
+using testing::PaperInstance;
+
+std::vector<std::string> ScanKeys(const EntryStore& store,
+                                  std::string_view start,
+                                  std::string_view end) {
+  std::vector<std::string> keys;
+  Status s = store.ScanRange(start, end, [&](std::string_view rec) -> Status {
+    keys.emplace_back(PeekEntryKey(rec).ValueOrDie());
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return keys;
+}
+
+TEST(EntryStoreTest, BulkLoadAndFullScan) {
+  SimDisk disk(512);
+  DirectoryInstance inst = PaperInstance();
+  EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+  EXPECT_EQ(store.num_entries(), inst.size());
+  std::vector<std::string> keys = ScanKeys(store, "", "");
+  ASSERT_EQ(keys.size(), inst.size());
+  size_t i = 0;
+  for (const auto& [key, entry] : inst) {
+    (void)entry;
+    EXPECT_EQ(keys[i++], key);
+  }
+}
+
+TEST(EntryStoreTest, SubtreeRangeScan) {
+  SimDisk disk(512);
+  DirectoryInstance inst = PaperInstance();
+  EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+  Dn base = D("ou=networkPolicies, dc=research, dc=att, dc=com");
+  std::vector<std::string> keys =
+      ScanKeys(store, base.HierKey(), KeySubtreeEnd(base.HierKey()));
+  EXPECT_EQ(keys.size(), 13u);
+  EXPECT_EQ(keys[0], base.HierKey());
+}
+
+TEST(EntryStoreTest, RangeScanReadsOnlyNeededPages) {
+  SimDisk disk(256);  // small pages -> many pages
+  DirectoryInstance inst = PaperInstance();
+  EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+  ASSERT_GT(store.num_pages(), 4u);
+  disk.ResetStats();
+  Dn base = D("uid=jag, ou=userProfiles, dc=research, dc=att, dc=com");
+  ScanKeys(store, base.HierKey(), KeySubtreeEnd(base.HierKey()));
+  // Far fewer reads than the whole segment.
+  EXPECT_LT(disk.stats().page_reads, store.num_pages());
+}
+
+TEST(EntryStoreTest, GetPointLookup) {
+  SimDisk disk(512);
+  DirectoryInstance inst = PaperInstance();
+  EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+  Dn dn = D("QHPName=weekend, uid=jag, ou=userProfiles, dc=research, "
+            "dc=att, dc=com");
+  std::optional<Entry> e = store.Get(dn.HierKey()).TakeValue();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, *inst.Find(dn));
+  EXPECT_FALSE(store.Get(D("dc=void").HierKey()).TakeValue().has_value());
+}
+
+TEST(EntryStoreTest, RecordsSpanningPagesAreFound) {
+  // Build entries with large attribute payloads so records span pages.
+  SimDisk disk(128);
+  DirectoryInstance inst(Schema(), /*validate=*/false);
+  for (int i = 0; i < 20; ++i) {
+    Entry e(D("uid=u" + std::to_string(i) + ", dc=com"));
+    e.AddString("blob", std::string(300, 'a' + (i % 26)));
+    ASSERT_TRUE(inst.Add(std::move(e)).ok());
+  }
+  EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+  for (const auto& [key, entry] : inst) {
+    std::optional<Entry> got = store.Get(key).TakeValue();
+    ASSERT_TRUE(got.has_value()) << entry.dn().ToString();
+    EXPECT_EQ(*got, entry);
+  }
+}
+
+TEST(EntryStoreTest, FromSortedRecordsRejectsDisorder) {
+  SimDisk disk(256);
+  Entry a(D("dc=aa"));
+  Entry b(D("dc=bb"));
+  std::string ra, rb;
+  SerializeEntry(a, &ra);
+  SerializeEntry(b, &rb);
+  EXPECT_TRUE(EntryStore::FromSortedRecords(&disk, {ra, rb}).ok());
+  EXPECT_FALSE(EntryStore::FromSortedRecords(&disk, {rb, ra}).ok());
+  EXPECT_FALSE(EntryStore::FromSortedRecords(&disk, {ra, ra}).ok());  // dup
+}
+
+TEST(EntryStoreTest, EmptyStore) {
+  SimDisk disk(256);
+  DirectoryInstance inst(Schema(), false);
+  EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+  EXPECT_EQ(store.num_entries(), 0u);
+  EXPECT_TRUE(ScanKeys(store, "", "").empty());
+  EXPECT_FALSE(store.Get("anything").TakeValue().has_value());
+}
+
+TEST(EntryStoreTest, DestroyFreesPages) {
+  SimDisk disk(256);
+  DirectoryInstance inst = PaperInstance();
+  EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+  EXPECT_GT(disk.live_pages(), 0u);
+  ASSERT_TRUE(store.Destroy().ok());
+  EXPECT_EQ(disk.live_pages(), 0u);
+}
+
+TEST(EntryStoreTest, RandomRangeScansMatchInstance) {
+  std::mt19937 rng(3);
+  SimDisk disk(256);
+  DirectoryInstance inst(Schema(), false);
+  std::vector<std::string> all_keys;
+  for (int i = 0; i < 300; ++i) {
+    std::string name = "n" + std::to_string(rng() % 1000);
+    Dn dn = (rng() % 2 == 0)
+                ? D("uid=" + name + ", dc=com")
+                : D("uid=" + name + ", ou=g" + std::to_string(rng() % 10) +
+                    ", dc=com");
+    Entry e(dn);
+    e.AddInt("x", static_cast<int64_t>(rng() % 100));
+    if (inst.Add(std::move(e)).ok()) all_keys.push_back(dn.HierKey());
+  }
+  std::sort(all_keys.begin(), all_keys.end());
+  EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string a = all_keys[rng() % all_keys.size()];
+    std::string b = all_keys[rng() % all_keys.size()];
+    if (b < a) std::swap(a, b);
+    std::vector<std::string> got = ScanKeys(store, a, b);
+    std::vector<std::string> expect;
+    for (const std::string& k : all_keys) {
+      if (k >= a && k < b) expect.push_back(k);
+    }
+    ASSERT_EQ(got, expect) << "range [" << trial << "]";
+  }
+}
+
+}  // namespace
+}  // namespace ndq

@@ -1,0 +1,20 @@
+// Shared test fixture data: the schema and sample directory fragments from
+// the paper's Figures 1 (DNS levels), 11 (TOPS) and 12 (QoS policies).
+// Thin aliases over the reusable fixtures in src/gen/paper_data.h.
+
+#ifndef NDQ_TESTS_TESTING_PAPER_FIXTURE_H_
+#define NDQ_TESTS_TESTING_PAPER_FIXTURE_H_
+
+#include "gen/paper_data.h"
+
+namespace ndq {
+namespace testing {
+
+inline Schema PaperSchema() { return gen::PaperSchema(); }
+inline DirectoryInstance PaperInstance() { return gen::PaperInstance(); }
+inline Dn D(const std::string& text) { return gen::MustDn(text); }
+
+}  // namespace testing
+}  // namespace ndq
+
+#endif  // NDQ_TESTS_TESTING_PAPER_FIXTURE_H_
