@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_aggregate"
+  "../bench/bench_aggregate.pdb"
+  "CMakeFiles/bench_aggregate.dir/bench_aggregate.cpp.o"
+  "CMakeFiles/bench_aggregate.dir/bench_aggregate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

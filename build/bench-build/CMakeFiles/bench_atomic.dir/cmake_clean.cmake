@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_atomic"
+  "../bench/bench_atomic.pdb"
+  "CMakeFiles/bench_atomic.dir/bench_atomic.cpp.o"
+  "CMakeFiles/bench_atomic.dir/bench_atomic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

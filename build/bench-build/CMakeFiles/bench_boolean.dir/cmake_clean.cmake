@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_boolean"
+  "../bench/bench_boolean.pdb"
+  "CMakeFiles/bench_boolean.dir/bench_boolean.cpp.o"
+  "CMakeFiles/bench_boolean.dir/bench_boolean.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_boolean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

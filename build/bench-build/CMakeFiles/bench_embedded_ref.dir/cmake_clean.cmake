@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_embedded_ref"
+  "../bench/bench_embedded_ref.pdb"
+  "CMakeFiles/bench_embedded_ref.dir/bench_embedded_ref.cpp.o"
+  "CMakeFiles/bench_embedded_ref.dir/bench_embedded_ref.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_embedded_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

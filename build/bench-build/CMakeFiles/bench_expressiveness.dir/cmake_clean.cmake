@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_expressiveness"
+  "../bench/bench_expressiveness.pdb"
+  "CMakeFiles/bench_expressiveness.dir/bench_expressiveness.cpp.o"
+  "CMakeFiles/bench_expressiveness.dir/bench_expressiveness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expressiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_operators_gbench"
+  "../bench/bench_operators_gbench.pdb"
+  "CMakeFiles/bench_operators_gbench.dir/bench_operators_gbench.cpp.o"
+  "CMakeFiles/bench_operators_gbench.dir/bench_operators_gbench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_operators_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_directory.dir/distributed_directory.cpp.o"
+  "CMakeFiles/distributed_directory.dir/distributed_directory.cpp.o.d"
+  "distributed_directory"
+  "distributed_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

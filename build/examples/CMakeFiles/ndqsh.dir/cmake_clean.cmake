@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndqsh.dir/ndqsh.cpp.o"
+  "CMakeFiles/ndqsh.dir/ndqsh.cpp.o.d"
+  "ndqsh"
+  "ndqsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndqsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_policy.dir/qos_policy.cpp.o"
+  "CMakeFiles/qos_policy.dir/qos_policy.cpp.o.d"
+  "qos_policy"
+  "qos_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tops_directory.dir/tops_directory.cpp.o"
+  "CMakeFiles/tops_directory.dir/tops_directory.cpp.o.d"
+  "tops_directory"
+  "tops_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tops_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndq_apps.dir/qos.cc.o"
+  "CMakeFiles/ndq_apps.dir/qos.cc.o.d"
+  "CMakeFiles/ndq_apps.dir/tops.cc.o"
+  "CMakeFiles/ndq_apps.dir/tops.cc.o.d"
+  "libndq_apps.a"
+  "libndq_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndq_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

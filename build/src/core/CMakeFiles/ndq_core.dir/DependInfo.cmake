@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dn.cc" "src/core/CMakeFiles/ndq_core.dir/dn.cc.o" "gcc" "src/core/CMakeFiles/ndq_core.dir/dn.cc.o.d"
+  "/root/repo/src/core/entry.cc" "src/core/CMakeFiles/ndq_core.dir/entry.cc.o" "gcc" "src/core/CMakeFiles/ndq_core.dir/entry.cc.o.d"
+  "/root/repo/src/core/instance.cc" "src/core/CMakeFiles/ndq_core.dir/instance.cc.o" "gcc" "src/core/CMakeFiles/ndq_core.dir/instance.cc.o.d"
+  "/root/repo/src/core/ldif.cc" "src/core/CMakeFiles/ndq_core.dir/ldif.cc.o" "gcc" "src/core/CMakeFiles/ndq_core.dir/ldif.cc.o.d"
+  "/root/repo/src/core/ldif_update.cc" "src/core/CMakeFiles/ndq_core.dir/ldif_update.cc.o" "gcc" "src/core/CMakeFiles/ndq_core.dir/ldif_update.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/core/CMakeFiles/ndq_core.dir/schema.cc.o" "gcc" "src/core/CMakeFiles/ndq_core.dir/schema.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/core/CMakeFiles/ndq_core.dir/status.cc.o" "gcc" "src/core/CMakeFiles/ndq_core.dir/status.cc.o.d"
+  "/root/repo/src/core/value.cc" "src/core/CMakeFiles/ndq_core.dir/value.cc.o" "gcc" "src/core/CMakeFiles/ndq_core.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

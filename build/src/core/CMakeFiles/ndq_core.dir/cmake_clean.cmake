@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndq_core.dir/dn.cc.o"
+  "CMakeFiles/ndq_core.dir/dn.cc.o.d"
+  "CMakeFiles/ndq_core.dir/entry.cc.o"
+  "CMakeFiles/ndq_core.dir/entry.cc.o.d"
+  "CMakeFiles/ndq_core.dir/instance.cc.o"
+  "CMakeFiles/ndq_core.dir/instance.cc.o.d"
+  "CMakeFiles/ndq_core.dir/ldif.cc.o"
+  "CMakeFiles/ndq_core.dir/ldif.cc.o.d"
+  "CMakeFiles/ndq_core.dir/ldif_update.cc.o"
+  "CMakeFiles/ndq_core.dir/ldif_update.cc.o.d"
+  "CMakeFiles/ndq_core.dir/schema.cc.o"
+  "CMakeFiles/ndq_core.dir/schema.cc.o.d"
+  "CMakeFiles/ndq_core.dir/status.cc.o"
+  "CMakeFiles/ndq_core.dir/status.cc.o.d"
+  "CMakeFiles/ndq_core.dir/value.cc.o"
+  "CMakeFiles/ndq_core.dir/value.cc.o.d"
+  "libndq_core.a"
+  "libndq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndq_dist.dir/distributed.cc.o"
+  "CMakeFiles/ndq_dist.dir/distributed.cc.o.d"
+  "libndq_dist.a"
+  "libndq_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndq_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

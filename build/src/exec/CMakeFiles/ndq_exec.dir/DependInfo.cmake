@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/atomic.cc" "src/exec/CMakeFiles/ndq_exec.dir/atomic.cc.o" "gcc" "src/exec/CMakeFiles/ndq_exec.dir/atomic.cc.o.d"
+  "/root/repo/src/exec/boolean.cc" "src/exec/CMakeFiles/ndq_exec.dir/boolean.cc.o" "gcc" "src/exec/CMakeFiles/ndq_exec.dir/boolean.cc.o.d"
+  "/root/repo/src/exec/common.cc" "src/exec/CMakeFiles/ndq_exec.dir/common.cc.o" "gcc" "src/exec/CMakeFiles/ndq_exec.dir/common.cc.o.d"
+  "/root/repo/src/exec/cost.cc" "src/exec/CMakeFiles/ndq_exec.dir/cost.cc.o" "gcc" "src/exec/CMakeFiles/ndq_exec.dir/cost.cc.o.d"
+  "/root/repo/src/exec/embedded_ref.cc" "src/exec/CMakeFiles/ndq_exec.dir/embedded_ref.cc.o" "gcc" "src/exec/CMakeFiles/ndq_exec.dir/embedded_ref.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "src/exec/CMakeFiles/ndq_exec.dir/evaluator.cc.o" "gcc" "src/exec/CMakeFiles/ndq_exec.dir/evaluator.cc.o.d"
+  "/root/repo/src/exec/hierarchy.cc" "src/exec/CMakeFiles/ndq_exec.dir/hierarchy.cc.o" "gcc" "src/exec/CMakeFiles/ndq_exec.dir/hierarchy.cc.o.d"
+  "/root/repo/src/exec/naive.cc" "src/exec/CMakeFiles/ndq_exec.dir/naive.cc.o" "gcc" "src/exec/CMakeFiles/ndq_exec.dir/naive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ndq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ndq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ndq_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/ndq_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/ndq_filter.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

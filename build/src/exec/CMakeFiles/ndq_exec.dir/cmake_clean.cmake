@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndq_exec.dir/atomic.cc.o"
+  "CMakeFiles/ndq_exec.dir/atomic.cc.o.d"
+  "CMakeFiles/ndq_exec.dir/boolean.cc.o"
+  "CMakeFiles/ndq_exec.dir/boolean.cc.o.d"
+  "CMakeFiles/ndq_exec.dir/common.cc.o"
+  "CMakeFiles/ndq_exec.dir/common.cc.o.d"
+  "CMakeFiles/ndq_exec.dir/cost.cc.o"
+  "CMakeFiles/ndq_exec.dir/cost.cc.o.d"
+  "CMakeFiles/ndq_exec.dir/embedded_ref.cc.o"
+  "CMakeFiles/ndq_exec.dir/embedded_ref.cc.o.d"
+  "CMakeFiles/ndq_exec.dir/evaluator.cc.o"
+  "CMakeFiles/ndq_exec.dir/evaluator.cc.o.d"
+  "CMakeFiles/ndq_exec.dir/hierarchy.cc.o"
+  "CMakeFiles/ndq_exec.dir/hierarchy.cc.o.d"
+  "CMakeFiles/ndq_exec.dir/naive.cc.o"
+  "CMakeFiles/ndq_exec.dir/naive.cc.o.d"
+  "libndq_exec.a"
+  "libndq_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndq_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filter/atomic_filter.cc" "src/filter/CMakeFiles/ndq_filter.dir/atomic_filter.cc.o" "gcc" "src/filter/CMakeFiles/ndq_filter.dir/atomic_filter.cc.o.d"
+  "/root/repo/src/filter/ldap_filter.cc" "src/filter/CMakeFiles/ndq_filter.dir/ldap_filter.cc.o" "gcc" "src/filter/CMakeFiles/ndq_filter.dir/ldap_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ndq_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndq_filter.dir/atomic_filter.cc.o"
+  "CMakeFiles/ndq_filter.dir/atomic_filter.cc.o.d"
+  "CMakeFiles/ndq_filter.dir/ldap_filter.cc.o"
+  "CMakeFiles/ndq_filter.dir/ldap_filter.cc.o.d"
+  "libndq_filter.a"
+  "libndq_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndq_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

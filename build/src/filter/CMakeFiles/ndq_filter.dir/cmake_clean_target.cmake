@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libndq_filter.a"
+)

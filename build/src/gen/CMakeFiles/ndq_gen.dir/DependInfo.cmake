@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/dif_gen.cc" "src/gen/CMakeFiles/ndq_gen.dir/dif_gen.cc.o" "gcc" "src/gen/CMakeFiles/ndq_gen.dir/dif_gen.cc.o.d"
+  "/root/repo/src/gen/paper_data.cc" "src/gen/CMakeFiles/ndq_gen.dir/paper_data.cc.o" "gcc" "src/gen/CMakeFiles/ndq_gen.dir/paper_data.cc.o.d"
+  "/root/repo/src/gen/random_forest.cc" "src/gen/CMakeFiles/ndq_gen.dir/random_forest.cc.o" "gcc" "src/gen/CMakeFiles/ndq_gen.dir/random_forest.cc.o.d"
+  "/root/repo/src/gen/random_query.cc" "src/gen/CMakeFiles/ndq_gen.dir/random_query.cc.o" "gcc" "src/gen/CMakeFiles/ndq_gen.dir/random_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ndq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ndq_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/ndq_filter.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndq_gen.dir/dif_gen.cc.o"
+  "CMakeFiles/ndq_gen.dir/dif_gen.cc.o.d"
+  "CMakeFiles/ndq_gen.dir/paper_data.cc.o"
+  "CMakeFiles/ndq_gen.dir/paper_data.cc.o.d"
+  "CMakeFiles/ndq_gen.dir/random_forest.cc.o"
+  "CMakeFiles/ndq_gen.dir/random_forest.cc.o.d"
+  "CMakeFiles/ndq_gen.dir/random_query.cc.o"
+  "CMakeFiles/ndq_gen.dir/random_query.cc.o.d"
+  "libndq_gen.a"
+  "libndq_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndq_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/attr_index.cc" "src/index/CMakeFiles/ndq_index.dir/attr_index.cc.o" "gcc" "src/index/CMakeFiles/ndq_index.dir/attr_index.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/index/CMakeFiles/ndq_index.dir/btree.cc.o" "gcc" "src/index/CMakeFiles/ndq_index.dir/btree.cc.o.d"
+  "/root/repo/src/index/string_index.cc" "src/index/CMakeFiles/ndq_index.dir/string_index.cc.o" "gcc" "src/index/CMakeFiles/ndq_index.dir/string_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ndq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ndq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/ndq_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/ndq_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

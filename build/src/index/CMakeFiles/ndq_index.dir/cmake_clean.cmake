@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndq_index.dir/attr_index.cc.o"
+  "CMakeFiles/ndq_index.dir/attr_index.cc.o.d"
+  "CMakeFiles/ndq_index.dir/btree.cc.o"
+  "CMakeFiles/ndq_index.dir/btree.cc.o.d"
+  "CMakeFiles/ndq_index.dir/string_index.cc.o"
+  "CMakeFiles/ndq_index.dir/string_index.cc.o.d"
+  "libndq_index.a"
+  "libndq_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndq_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/aggregate.cc" "src/query/CMakeFiles/ndq_query.dir/aggregate.cc.o" "gcc" "src/query/CMakeFiles/ndq_query.dir/aggregate.cc.o.d"
+  "/root/repo/src/query/ast.cc" "src/query/CMakeFiles/ndq_query.dir/ast.cc.o" "gcc" "src/query/CMakeFiles/ndq_query.dir/ast.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/ndq_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/ndq_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/reference.cc" "src/query/CMakeFiles/ndq_query.dir/reference.cc.o" "gcc" "src/query/CMakeFiles/ndq_query.dir/reference.cc.o.d"
+  "/root/repo/src/query/rewrite.cc" "src/query/CMakeFiles/ndq_query.dir/rewrite.cc.o" "gcc" "src/query/CMakeFiles/ndq_query.dir/rewrite.cc.o.d"
+  "/root/repo/src/query/validate.cc" "src/query/CMakeFiles/ndq_query.dir/validate.cc.o" "gcc" "src/query/CMakeFiles/ndq_query.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ndq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/ndq_filter.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

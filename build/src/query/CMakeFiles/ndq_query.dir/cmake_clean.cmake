@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndq_query.dir/aggregate.cc.o"
+  "CMakeFiles/ndq_query.dir/aggregate.cc.o.d"
+  "CMakeFiles/ndq_query.dir/ast.cc.o"
+  "CMakeFiles/ndq_query.dir/ast.cc.o.d"
+  "CMakeFiles/ndq_query.dir/parser.cc.o"
+  "CMakeFiles/ndq_query.dir/parser.cc.o.d"
+  "CMakeFiles/ndq_query.dir/reference.cc.o"
+  "CMakeFiles/ndq_query.dir/reference.cc.o.d"
+  "CMakeFiles/ndq_query.dir/rewrite.cc.o"
+  "CMakeFiles/ndq_query.dir/rewrite.cc.o.d"
+  "CMakeFiles/ndq_query.dir/validate.cc.o"
+  "CMakeFiles/ndq_query.dir/validate.cc.o.d"
+  "libndq_query.a"
+  "libndq_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndq_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndq_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/ndq_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/ndq_storage.dir/disk.cc.o"
+  "CMakeFiles/ndq_storage.dir/disk.cc.o.d"
+  "CMakeFiles/ndq_storage.dir/external_sort.cc.o"
+  "CMakeFiles/ndq_storage.dir/external_sort.cc.o.d"
+  "CMakeFiles/ndq_storage.dir/run.cc.o"
+  "CMakeFiles/ndq_storage.dir/run.cc.o.d"
+  "CMakeFiles/ndq_storage.dir/serde.cc.o"
+  "CMakeFiles/ndq_storage.dir/serde.cc.o.d"
+  "libndq_storage.a"
+  "libndq_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndq_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndq_store.dir/directory_store.cc.o"
+  "CMakeFiles/ndq_store.dir/directory_store.cc.o.d"
+  "CMakeFiles/ndq_store.dir/entry_store.cc.o"
+  "CMakeFiles/ndq_store.dir/entry_store.cc.o.d"
+  "libndq_store.a"
+  "libndq_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndq_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

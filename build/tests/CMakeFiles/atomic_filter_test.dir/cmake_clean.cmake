@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_filter_test.dir/filter/atomic_filter_test.cc.o"
+  "CMakeFiles/atomic_filter_test.dir/filter/atomic_filter_test.cc.o.d"
+  "atomic_filter_test"
+  "atomic_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attr_index_test.dir/index/attr_index_test.cc.o"
+  "CMakeFiles/attr_index_test.dir/index/attr_index_test.cc.o.d"
+  "attr_index_test"
+  "attr_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attr_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_store_test.dir/store/directory_store_test.cc.o"
+  "CMakeFiles/directory_store_test.dir/store/directory_store_test.cc.o.d"
+  "directory_store_test"
+  "directory_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

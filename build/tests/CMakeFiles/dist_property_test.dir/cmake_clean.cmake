@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_property_test.dir/dist/dist_property_test.cc.o"
+  "CMakeFiles/dist_property_test.dir/dist/dist_property_test.cc.o.d"
+  "dist_property_test"
+  "dist_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entry_store_test.dir/store/entry_store_test.cc.o"
+  "CMakeFiles/entry_store_test.dir/store/entry_store_test.cc.o.d"
+  "entry_store_test"
+  "entry_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entry_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entry_test.dir/core/entry_test.cc.o"
+  "CMakeFiles/entry_test.dir/core/entry_test.cc.o.d"
+  "entry_test"
+  "entry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

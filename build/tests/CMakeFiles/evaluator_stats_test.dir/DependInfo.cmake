@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec/evaluator_stats_test.cc" "tests/CMakeFiles/evaluator_stats_test.dir/exec/evaluator_stats_test.cc.o" "gcc" "tests/CMakeFiles/evaluator_stats_test.dir/exec/evaluator_stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/ndq_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/ndq_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/ndq_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ndq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ndq_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/ndq_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ndq_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_io_test.dir/exec/exec_io_test.cc.o"
+  "CMakeFiles/exec_io_test.dir/exec/exec_io_test.cc.o.d"
+  "exec_io_test"
+  "exec_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_oracle_test.dir/exec/exec_oracle_test.cc.o"
+  "CMakeFiles/exec_oracle_test.dir/exec/exec_oracle_test.cc.o.d"
+  "exec_oracle_test"
+  "exec_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

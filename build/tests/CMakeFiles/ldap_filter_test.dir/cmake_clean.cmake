@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldap_filter_test.dir/filter/ldap_filter_test.cc.o"
+  "CMakeFiles/ldap_filter_test.dir/filter/ldap_filter_test.cc.o.d"
+  "ldap_filter_test"
+  "ldap_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldap_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

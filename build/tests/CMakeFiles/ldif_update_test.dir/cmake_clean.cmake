@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldif_update_test.dir/core/ldif_update_test.cc.o"
+  "CMakeFiles/ldif_update_test.dir/core/ldif_update_test.cc.o.d"
+  "ldif_update_test"
+  "ldif_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldif_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_oracle_test.dir/exec/lsm_oracle_test.cc.o"
+  "CMakeFiles/lsm_oracle_test.dir/exec/lsm_oracle_test.cc.o.d"
+  "lsm_oracle_test"
+  "lsm_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_run_test.dir/storage/reverse_run_test.cc.o"
+  "CMakeFiles/reverse_run_test.dir/storage/reverse_run_test.cc.o.d"
+  "reverse_run_test"
+  "reverse_run_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

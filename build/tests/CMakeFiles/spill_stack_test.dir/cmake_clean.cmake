@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spill_stack_test.dir/storage/spill_stack_test.cc.o"
+  "CMakeFiles/spill_stack_test.dir/storage/spill_stack_test.cc.o.d"
+  "spill_stack_test"
+  "spill_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spill_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

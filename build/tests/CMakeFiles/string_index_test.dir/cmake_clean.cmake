@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_index_test.dir/index/string_index_test.cc.o"
+  "CMakeFiles/string_index_test.dir/index/string_index_test.cc.o.d"
+  "string_index_test"
+  "string_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

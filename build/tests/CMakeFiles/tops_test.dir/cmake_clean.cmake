@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tops_test.dir/apps/tops_test.cc.o"
+  "CMakeFiles/tops_test.dir/apps/tops_test.cc.o.d"
+  "tops_test"
+  "tops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
