@@ -8,6 +8,7 @@
 
 #include "bench_util.h"
 #include "exec/evaluator.h"
+#include "exec/trace.h"
 #include "gen/dif_gen.h"
 #include "gen/paper_data.h"
 #include "query/parser.h"
@@ -43,8 +44,10 @@ void Sweep(const char* label, const char* text) {
   QueryPtr q = ParseQuery(text).TakeValue();
   std::printf("\n%s  [%s, |Q|=%zu nodes]\n", label,
               LanguageToString(q->MinimalLanguage()), q->NodeCount());
-  std::printf("%10s %10s %8s | %10s %10s | %10s\n", "entries", "|L| recs",
-              "results", "io(query)", "io/|L|pgs", "store pgs");
+  std::printf("%10s %10s %8s | %10s %10s | %10s %8s\n", "entries",
+              "|L| recs", "results", "io(query)", "io/|L|pgs", "store pgs",
+              "bounds");
+  size_t violations = 0;
   for (int scale : {1, 2, 4, 8, 16}) {
     gen::DifOptions opt;
     opt.num_orgs = 2 * scale;
@@ -56,16 +59,28 @@ void Sweep(const char* label, const char* text) {
     Evaluator evaluator(&scratch, &store);
     uint64_t before =
         disk.stats().TotalTransfers() + scratch.stats().TotalTransfers();
-    std::vector<Entry> result = evaluator.EvaluateToEntries(*q).TakeValue();
+    OpTrace trace;
+    std::vector<Entry> result =
+        evaluator.EvaluateToEntries(*q, &trace).TakeValue();
     uint64_t io = disk.stats().TotalTransfers() +
                   scratch.stats().TotalTransfers() - before;
+    // Every operator must stay within its paper I/O theorem (exec/trace.h).
+    std::vector<std::string> bad = VerifyTheoremBounds(trace);
+    violations += bad.size();
     // |L| = cumulative atomic sub-query output (Theorem 8.3's input size).
     uint64_t l_records = evaluator.stats().atomic_output_records;
     double l_pages = static_cast<double>(l_records) / 40.0;  // ~40/page
-    std::printf("%10zu %10llu %8zu | %10llu %10.2f | %10llu\n", inst.size(),
-                (unsigned long long)l_records, result.size(),
+    std::printf("%10zu %10llu %8zu | %10llu %10.2f | %10llu %8s\n",
+                inst.size(), (unsigned long long)l_records, result.size(),
                 (unsigned long long)io, l_pages > 0 ? io / l_pages : 0.0,
-                (unsigned long long)store.num_pages());
+                (unsigned long long)store.num_pages(),
+                bad.empty() ? "ok" : "FAIL");
+    for (const std::string& v : bad) {
+      std::printf("    BOUND VIOLATION: %s\n", v.c_str());
+    }
+  }
+  if (violations > 0) {
+    std::printf("  ** %zu theorem-bound violation(s) above **\n", violations);
   }
 }
 

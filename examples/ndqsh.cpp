@@ -109,6 +109,41 @@ struct Shell {
                 ndq::LanguageToString((*q)->MinimalLanguage()));
   }
 
+  void ExplainAnalyze(const std::string& text) {
+    ndq::Result<ndq::QueryPtr> q = ndq::ParseQuery(text);
+    if (!q.ok()) {
+      std::printf("parse error: %s\n", q.status().ToString().c_str());
+      return;
+    }
+    ndq::QueryPtr optimized = ndq::RewriteQuery(*q);
+    ndq::OpTrace trace;
+    ndq::Result<ndq::EntryList> r = evaluator.Evaluate(*optimized, &trace);
+    if (!r.ok()) {
+      std::printf("eval error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    uint64_t result_records = r->num_records;
+    ndq::Status freed = ndq::FreeRun(&scratch, &*r);
+    if (!freed.ok()) {
+      std::printf("free error: %s\n", freed.ToString().c_str());
+    }
+    std::printf("%s",
+                ndq::ExplainAnalyze(store, *optimized, trace).c_str());
+    ndq::CostEstimate est = ndq::EstimateCost(store, *optimized);
+    std::printf(
+        "total: %llu result entr%s; estimated ~%.0f pages, actual %llu "
+        "transfers (%llu reads + %llu writes), %.1f ms\n",
+        (unsigned long long)result_records,
+        result_records == 1 ? "y" : "ies", est.TotalPages(),
+        (unsigned long long)trace.io.TotalTransfers(),
+        (unsigned long long)trace.io.page_reads,
+        (unsigned long long)trace.io.page_writes,
+        trace.wall_micros / 1000.0);
+    for (const std::string& v : ndq::VerifyTheoremBounds(trace)) {
+      std::printf("BOUND VIOLATION: %s\n", v.c_str());
+    }
+  }
+
   void Explain(const std::string& text) {
     ndq::Result<ndq::QueryPtr> q = ndq::ParseQuery(text);
     if (!q.ok()) {
@@ -156,7 +191,10 @@ const char* kHelp =
     "  .apply <file>       apply LDIF change records (changetype:)\n"
     "  .add                read one LDIF record until a blank line\n"
     "  .delete <dn>        remove an entry\n"
-    "  .explain <query>    classify + show optimizer rewrites\n"
+    "  .explain <query>    classify + show optimizer rewrites + cost\n"
+    "  .explain analyze <query>\n"
+    "                      evaluate with per-operator tracing: estimated\n"
+    "                      vs actual pages/cardinality per plan node\n"
     "  .stats              store / I/O counters\n"
     "  .help-examples      sample queries\n"
     "  .quit\n";
@@ -224,9 +262,19 @@ int main(int argc, char** argv) {
       }
       ndq::Status s = shell.store.Remove(*dn);
       std::printf("%s\n", s.ok() ? "deleted" : s.ToString().c_str());
+    } else if (line.rfind(".explain analyze ", 0) == 0) {
+      std::string q = line.substr(17);
+      // Multi-line queries: keep reading while parens are unbalanced.
+      while (std::count(q.begin(), q.end(), '(') >
+             std::count(q.begin(), q.end(), ')')) {
+        std::string more;
+        if (!std::getline(std::cin, more)) break;
+        q += ' ';
+        q += more;
+      }
+      shell.ExplainAnalyze(q);
     } else if (line.rfind(".explain ", 0) == 0) {
       std::string q = line.substr(9);
-      // Multi-line queries: keep reading while parens are unbalanced.
       while (std::count(q.begin(), q.end(), '(') >
              std::count(q.begin(), q.end(), ')')) {
         std::string more;

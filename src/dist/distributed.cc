@@ -1,6 +1,7 @@
 #include "dist/distributed.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "exec/atomic.h"
 #include "exec/boolean.h"
@@ -104,7 +105,7 @@ std::vector<std::string> DistributedDirectory::OwnersFor(const Dn& base,
 }
 
 Result<EntryList> DistributedDirectory::EvaluateAtomicDistributed(
-    const Query& query) {
+    const Query& query, OpTrace* trace) {
   std::vector<std::string> owners = OwnersFor(query.base(), query.scope());
   net_.servers_contacted += owners.size();
   std::vector<Run> shipped;
@@ -112,12 +113,15 @@ Result<EntryList> DistributedDirectory::EvaluateAtomicDistributed(
     DirectoryServer* server = FindServer(name);
     if (server == nullptr) continue;
     net_.messages += 2;  // request + response
+    OpTrace server_trace;
+    OpTrace* st = trace != nullptr ? &server_trace : nullptr;
     Result<EntryList> local =
         query.op() == QueryOp::kLdap
             ? EvalLdap(server->disk(), server->store(), query.base(),
-                       query.scope(), *query.ldap_filter())
+                       query.scope(), *query.ldap_filter(), st)
             : EvalAtomic(server->disk(), server->store(), query.base(),
-                         query.scope(), query.filter());
+                         query.scope(), query.filter(), st);
+    if (trace != nullptr) trace->scanned_records += server_trace.scanned_records;
     NDQ_RETURN_IF_ERROR(local.status());
     // Ship the (sorted) result to the coordinator.
     RunWriter writer(coordinator_disk_.get());
@@ -164,14 +168,14 @@ DirectoryServer* DistributedDirectory::SingleOwner(const Query& query) {
 }
 
 Result<EntryList> DistributedDirectory::ShipWholeQuery(
-    const Query& query, DirectoryServer* server) {
+    const Query& query, DirectoryServer* server, OpTrace* trace) {
   // The server evaluates the whole tree locally (on its own disk and
   // scratch space) and only the final result crosses the network.
   ++net_.queries_shipped;
   net_.messages += 2;
   ++net_.servers_contacted;
   Evaluator remote(server->disk(), &server->store(), options_);
-  NDQ_ASSIGN_OR_RETURN(EntryList local, remote.Evaluate(query));
+  NDQ_ASSIGN_OR_RETURN(EntryList local, remote.Evaluate(query, trace));
   RunWriter writer(coordinator_disk_.get());
   RunReader reader(server->disk(), local);
   std::string rec;
@@ -186,30 +190,79 @@ Result<EntryList> DistributedDirectory::ShipWholeQuery(
   return writer.Finish();
 }
 
-Result<EntryList> DistributedDirectory::EvaluateNode(const Query& query) {
+IoStats DistributedDirectory::FleetIo() const {
+  IoStats total = coordinator_disk_->stats();
+  for (const auto& s : servers_) {
+    const IoStats& d = s->disk_->stats();
+    total.page_reads += d.page_reads;
+    total.page_writes += d.page_writes;
+    total.pages_allocated += d.pages_allocated;
+    total.pages_freed += d.pages_freed;
+  }
+  return total;
+}
+
+Result<EntryList> DistributedDirectory::EvaluateNode(const Query& query,
+                                                     OpTrace* trace) {
+  if (trace == nullptr) return EvaluateNodeImpl(query, nullptr);
+  *trace = OpTrace();
+  const auto start = std::chrono::steady_clock::now();
+  IoStats io_before = FleetIo();
+  uint64_t recs_before = net_.records_shipped;
+  uint64_t bytes_before = net_.bytes_shipped;
+  Result<EntryList> out = EvaluateNodeImpl(query, trace);
+  if (!out.ok()) return out;
+  trace->label = QueryNodeLabel(query);
+  trace->op = query.op();
+  trace->io = FleetIo() - io_before;
+  trace->wall_micros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  trace->output_records = out->num_records;
+  trace->output_pages = out->pages.size();
+  trace->shipped_records = net_.records_shipped - recs_before;
+  trace->shipped_bytes = net_.bytes_shipped - bytes_before;
+  return out;
+}
+
+Result<EntryList> DistributedDirectory::EvaluateNodeImpl(const Query& query,
+                                                         OpTrace* trace) {
   SimDisk* disk = coordinator_disk_.get();
   if (query_shipping_ && !query.is_atomic() &&
       query.op() != QueryOp::kLdap) {
     DirectoryServer* owner = SingleOwner(query);
-    if (owner != nullptr) return ShipWholeQuery(query, owner);
+    if (owner != nullptr) return ShipWholeQuery(query, owner, trace);
+  }
+  OpTrace* t1 = nullptr;
+  OpTrace* t2 = nullptr;
+  OpTrace* t3 = nullptr;
+  if (trace != nullptr) {
+    size_t n = (query.q1() != nullptr ? 1 : 0) +
+               (query.q2() != nullptr ? 1 : 0) +
+               (query.q3() != nullptr ? 1 : 0);
+    trace->children.resize(n);
+    if (n > 0) t1 = &trace->children[0];
+    if (n > 1) t2 = &trace->children[1];
+    if (n > 2) t3 = &trace->children[2];
   }
   switch (query.op()) {
     case QueryOp::kAtomic:
     case QueryOp::kLdap:
-      return EvaluateAtomicDistributed(query);
+      return EvaluateAtomicDistributed(query, trace);
     case QueryOp::kAnd:
     case QueryOp::kOr:
     case QueryOp::kDiff: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1()));
-      NDQ_ASSIGN_OR_RETURN(EntryList l2, EvaluateNode(*query.q2()));
-      Result<EntryList> out = EvalBoolean(disk, query.op(), l1, l2);
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1(), t1));
+      NDQ_ASSIGN_OR_RETURN(EntryList l2, EvaluateNode(*query.q2(), t2));
+      Result<EntryList> out = EvalBoolean(disk, query.op(), l1, l2, trace);
       NDQ_RETURN_IF_ERROR(FreeRun(disk, &l1));
       NDQ_RETURN_IF_ERROR(FreeRun(disk, &l2));
       return out;
     }
     case QueryOp::kSimpleAgg: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1()));
-      Result<EntryList> out = EvalSimpleAgg(disk, l1, *query.agg());
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1(), t1));
+      Result<EntryList> out = EvalSimpleAgg(disk, l1, *query.agg(), trace);
       NDQ_RETURN_IF_ERROR(FreeRun(disk, &l1));
       return out;
     }
@@ -217,21 +270,23 @@ Result<EntryList> DistributedDirectory::EvaluateNode(const Query& query) {
     case QueryOp::kChildren:
     case QueryOp::kAncestors:
     case QueryOp::kDescendants: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1()));
-      NDQ_ASSIGN_OR_RETURN(EntryList l2, EvaluateNode(*query.q2()));
-      Result<EntryList> out = EvalHierarchy(disk, query.op(), l1, l2,
-                                            nullptr, query.agg(), options_);
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1(), t1));
+      NDQ_ASSIGN_OR_RETURN(EntryList l2, EvaluateNode(*query.q2(), t2));
+      Result<EntryList> out =
+          EvalHierarchy(disk, query.op(), l1, l2, nullptr, query.agg(),
+                        options_, trace);
       NDQ_RETURN_IF_ERROR(FreeRun(disk, &l1));
       NDQ_RETURN_IF_ERROR(FreeRun(disk, &l2));
       return out;
     }
     case QueryOp::kCoAncestors:
     case QueryOp::kCoDescendants: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1()));
-      NDQ_ASSIGN_OR_RETURN(EntryList l2, EvaluateNode(*query.q2()));
-      NDQ_ASSIGN_OR_RETURN(EntryList l3, EvaluateNode(*query.q3()));
-      Result<EntryList> out = EvalHierarchy(disk, query.op(), l1, l2, &l3,
-                                            query.agg(), options_);
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1(), t1));
+      NDQ_ASSIGN_OR_RETURN(EntryList l2, EvaluateNode(*query.q2(), t2));
+      NDQ_ASSIGN_OR_RETURN(EntryList l3, EvaluateNode(*query.q3(), t3));
+      Result<EntryList> out =
+          EvalHierarchy(disk, query.op(), l1, l2, &l3, query.agg(),
+                        options_, trace);
       NDQ_RETURN_IF_ERROR(FreeRun(disk, &l1));
       NDQ_RETURN_IF_ERROR(FreeRun(disk, &l2));
       NDQ_RETURN_IF_ERROR(FreeRun(disk, &l3));
@@ -239,11 +294,11 @@ Result<EntryList> DistributedDirectory::EvaluateNode(const Query& query) {
     }
     case QueryOp::kValueDn:
     case QueryOp::kDnValue: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1()));
-      NDQ_ASSIGN_OR_RETURN(EntryList l2, EvaluateNode(*query.q2()));
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1(), t1));
+      NDQ_ASSIGN_OR_RETURN(EntryList l2, EvaluateNode(*query.q2(), t2));
       Result<EntryList> out =
           EvalEmbeddedRef(disk, query.op(), l1, l2, query.ref_attr(),
-                          query.agg(), options_);
+                          query.agg(), options_, trace);
       NDQ_RETURN_IF_ERROR(FreeRun(disk, &l1));
       NDQ_RETURN_IF_ERROR(FreeRun(disk, &l2));
       return out;
@@ -253,8 +308,8 @@ Result<EntryList> DistributedDirectory::EvaluateNode(const Query& query) {
 }
 
 Result<std::vector<Entry>> DistributedDirectory::Evaluate(
-    const Query& query) {
-  NDQ_ASSIGN_OR_RETURN(EntryList out, EvaluateNode(query));
+    const Query& query, OpTrace* trace) {
+  NDQ_ASSIGN_OR_RETURN(EntryList out, EvaluateNode(query, trace));
   Result<std::vector<Entry>> entries =
       ReadEntryList(coordinator_disk_.get(), out);
   NDQ_RETURN_IF_ERROR(FreeRun(coordinator_disk_.get(), &out));

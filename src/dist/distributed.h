@@ -84,8 +84,12 @@ class DistributedDirectory {
   std::vector<std::string> OwnersFor(const Dn& base, Scope scope) const;
 
   /// Distributed bottom-up evaluation; the result materializes at the
-  /// coordinator.
-  Result<std::vector<Entry>> Evaluate(const Query& query);
+  /// coordinator. A non-null `trace` receives the per-operator execution
+  /// trace (exec/trace.h): I/O is summed over every disk in the fleet
+  /// (coordinator + servers), and atomic nodes additionally record the
+  /// records/bytes shipped across the simulated network.
+  Result<std::vector<Entry>> Evaluate(const Query& query,
+                                      OpTrace* trace = nullptr);
 
   /// When enabled (default), a (sub)query whose atomic leaves all fall
   /// within ONE server's exclusive ownership is shipped to that server
@@ -111,11 +115,16 @@ class DistributedDirectory {
  private:
   DistributedDirectory() = default;
 
-  Result<EntryList> EvaluateNode(const Query& query);
-  Result<EntryList> EvaluateAtomicDistributed(const Query& query);
+  Result<EntryList> EvaluateNode(const Query& query, OpTrace* trace);
+  Result<EntryList> EvaluateNodeImpl(const Query& query, OpTrace* trace);
+  Result<EntryList> EvaluateAtomicDistributed(const Query& query,
+                                              OpTrace* trace);
 
   Result<EntryList> ShipWholeQuery(const Query& query,
-                                   DirectoryServer* server);
+                                   DirectoryServer* server, OpTrace* trace);
+
+  /// I/O counters summed across the coordinator and every server.
+  IoStats FleetIo() const;
 
   std::vector<std::unique_ptr<DirectoryServer>> servers_;
   std::unique_ptr<SimDisk> coordinator_disk_;

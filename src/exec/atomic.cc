@@ -7,7 +7,8 @@ namespace {
 template <typename MatchFn>
 Result<EntryList> ScanScope(SimDisk* disk, const EntrySource& store,
                             const Dn& base, Scope scope,
-                            const MatchFn& matches) {
+                            const MatchFn& matches, OpTrace* trace) {
+  uint64_t scanned = 0;
   const std::string& base_key = base.HierKey();
   std::string start = base_key;
   std::string end;
@@ -28,6 +29,7 @@ Result<EntryList> ScanScope(SimDisk* disk, const EntrySource& store,
   RunWriter writer(disk);
   Status s = store.ScanRange(
       start, end, [&](std::string_view record) -> Status {
+        ++scanned;
         NDQ_ASSIGN_OR_RETURN(std::string_view key, PeekEntryKey(record));
         if (scope == Scope::kOne && key != base_key &&
             !KeyIsParent(base_key, key)) {
@@ -38,23 +40,33 @@ Result<EntryList> ScanScope(SimDisk* disk, const EntrySource& store,
         return Status::OK();
       });
   NDQ_RETURN_IF_ERROR(s);
-  return writer.Finish();
+  Result<EntryList> out = writer.Finish();
+  if (trace != nullptr && out.ok()) {
+    trace->scanned_records = scanned;
+    trace->output_records = out->num_records;
+    trace->output_pages = out->pages.size();
+  }
+  return out;
 }
 
 }  // namespace
 
 Result<EntryList> EvalAtomic(SimDisk* disk, const EntrySource& store,
                              const Dn& base, Scope scope,
-                             const AtomicFilter& filter) {
+                             const AtomicFilter& filter, OpTrace* trace) {
+  if (trace != nullptr) trace->op = QueryOp::kAtomic;
   return ScanScope(disk, store, base, scope,
-                   [&](const Entry& e) { return filter.Matches(e); });
+                   [&](const Entry& e) { return filter.Matches(e); },
+                   trace);
 }
 
 Result<EntryList> EvalLdap(SimDisk* disk, const EntrySource& store,
                            const Dn& base, Scope scope,
-                           const LdapFilter& filter) {
+                           const LdapFilter& filter, OpTrace* trace) {
+  if (trace != nullptr) trace->op = QueryOp::kLdap;
   return ScanScope(disk, store, base, scope,
-                   [&](const Entry& e) { return filter.Matches(e); });
+                   [&](const Entry& e) { return filter.Matches(e); },
+                   trace);
 }
 
 }  // namespace ndq

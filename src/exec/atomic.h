@@ -9,20 +9,24 @@
 #define NDQ_EXEC_ATOMIC_H_
 
 #include "exec/common.h"
+#include "exec/trace.h"
 #include "query/ast.h"
 #include "store/entry_store.h"
 
 namespace ndq {
 
-/// Evaluates "(base ? scope ? filter)" over the store.
+/// Evaluates "(base ? scope ? filter)" over the store. A non-null `trace`
+/// receives the leaf's counters (records scanned vs. matched).
 Result<EntryList> EvalAtomic(SimDisk* disk, const EntrySource& store,
                              const Dn& base, Scope scope,
-                             const AtomicFilter& filter);
+                             const AtomicFilter& filter,
+                             OpTrace* trace = nullptr);
 
 /// Evaluates a baseline LDAP query (base + scope + boolean filter).
 Result<EntryList> EvalLdap(SimDisk* disk, const EntrySource& store,
                            const Dn& base, Scope scope,
-                           const LdapFilter& filter);
+                           const LdapFilter& filter,
+                           OpTrace* trace = nullptr);
 
 }  // namespace ndq
 

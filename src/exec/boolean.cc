@@ -3,7 +3,7 @@
 namespace ndq {
 
 Result<EntryList> EvalBoolean(SimDisk* disk, QueryOp op, const EntryList& l1,
-                              const EntryList& l2) {
+                              const EntryList& l2, OpTrace* trace) {
   if (op != QueryOp::kAnd && op != QueryOp::kOr && op != QueryOp::kDiff) {
     return Status::InvalidArgument("EvalBoolean: not a boolean operator");
   }
@@ -31,7 +31,15 @@ Result<EntryList> EvalBoolean(SimDisk* disk, QueryOp op, const EntryList& l1,
     }
     if (keep) NDQ_RETURN_IF_ERROR(writer.Add(rec.entry_record));
   }
-  return writer.Finish();
+  Result<EntryList> out = writer.Finish();
+  if (trace != nullptr && out.ok()) {
+    trace->op = op;
+    trace->input_records = l1.num_records + l2.num_records;
+    trace->input_pages = l1.pages.size() + l2.pages.size();
+    trace->output_records = out->num_records;
+    trace->output_pages = out->pages.size();
+  }
+  return out;
 }
 
 }  // namespace ndq

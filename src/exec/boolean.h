@@ -10,14 +10,16 @@
 #define NDQ_EXEC_BOOLEAN_H_
 
 #include "exec/common.h"
+#include "exec/trace.h"
 #include "query/ast.h"
 
 namespace ndq {
 
 /// Computes (& L1 L2), (| L1 L2) or (- L1 L2); op must be one of kAnd,
-/// kOr, kDiff. Inputs are borrowed, the result is a fresh list.
+/// kOr, kDiff. Inputs are borrowed, the result is a fresh list. A non-null
+/// `trace` receives the merge's input/output counters.
 Result<EntryList> EvalBoolean(SimDisk* disk, QueryOp op, const EntryList& l1,
-                              const EntryList& l2);
+                              const EntryList& l2, OpTrace* trace = nullptr);
 
 }  // namespace ndq
 

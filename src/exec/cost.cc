@@ -115,20 +115,7 @@ void ExplainNode(const EntrySource& store, const Query& q, int depth,
                  std::string* out) {
   CostEstimate est = EstimateNode(store, q);
   out->append(static_cast<size_t>(2 * depth), ' ');
-  if (q.op() == QueryOp::kAtomic) {
-    out->append("atomic base='" + q.base().ToString() + "' scope=" +
-                ScopeToString(q.scope()) + " filter=" +
-                q.filter().ToString());
-  } else if (q.op() == QueryOp::kLdap) {
-    out->append("ldap base='" + q.base().ToString() + "' scope=" +
-                ScopeToString(q.scope()) + " filter=" +
-                q.ldap_filter()->ToString());
-  } else {
-    out->append("op ");
-    out->append(QueryOpToString(q.op()));
-    if (q.agg().has_value()) out->append(" [" + q.agg()->ToString() + "]");
-    if (!q.ref_attr().empty()) out->append(" via " + q.ref_attr());
-  }
+  out->append(QueryNodeLabel(q));
   char buf[128];
   std::snprintf(buf, sizeof(buf),
                 "  {<=%.0f recs, ~%.0f leaf + %.0f op pages}",
@@ -137,6 +124,55 @@ void ExplainNode(const EntrySource& store, const Query& q, int depth,
   out->push_back('\n');
   for (const QueryPtr& child : {q.q1(), q.q2(), q.q3()}) {
     if (child != nullptr) ExplainNode(store, *child, depth + 1, out);
+  }
+}
+
+void AppendIfNonZero(std::string* out, const char* key, uint64_t value) {
+  if (value == 0) return;
+  out->append(" ");
+  out->append(key);
+  out->append("=");
+  out->append(std::to_string(value));
+}
+
+// Walks the query, its estimates and the trace in lockstep (both trees
+// have one child per operand in q1/q2/q3 order).
+void ExplainAnalyzeNode(const EntrySource& store, const Query& q,
+                        const OpTrace& t, int depth, std::string* out) {
+  CostEstimate est = EstimateNode(store, q);
+  out->append(static_cast<size_t>(2 * depth), ' ');
+  out->append(QueryNodeLabel(q));
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "  {est_pages=%.0f act_pages=%llu est_recs=%.0f "
+                "act_recs=%llu",
+                est.TotalPages(),
+                static_cast<unsigned long long>(t.io.TotalTransfers()),
+                est.output_records,
+                static_cast<unsigned long long>(t.output_records));
+  out->append(buf);
+  IoStats self = t.SelfIo();
+  AppendIfNonZero(out, "reads", self.page_reads);
+  AppendIfNonZero(out, "writes", self.page_writes);
+  AppendIfNonZero(out, "scanned", t.scanned_records);
+  AppendIfNonZero(out, "stack_peak", t.peak_stack_items);
+  AppendIfNonZero(out, "spills", t.stack_spills);
+  AppendIfNonZero(out, "sort_passes", t.sort_merge_passes);
+  AppendIfNonZero(out, "shipped_recs", t.shipped_records);
+  AppendIfNonZero(out, "shipped_bytes", t.shipped_bytes);
+  std::snprintf(buf, sizeof(buf), " wall_us=%.0f}", t.wall_micros);
+  out->append(buf);
+  out->push_back('\n');
+  size_t ci = 0;
+  for (const QueryPtr& child : {q.q1(), q.q2(), q.q3()}) {
+    if (child == nullptr) continue;
+    if (ci >= t.children.size()) {
+      out->append(static_cast<size_t>(2 * (depth + 1)), ' ');
+      out->append("<trace missing for operand>\n");
+      continue;
+    }
+    ExplainAnalyzeNode(store, *child, t.children[ci], depth + 1, out);
+    ++ci;
   }
 }
 
@@ -149,6 +185,13 @@ CostEstimate EstimateCost(const EntrySource& store, const Query& query) {
 std::string ExplainPlan(const EntrySource& store, const Query& query) {
   std::string out;
   ExplainNode(store, query, 0, &out);
+  return out;
+}
+
+std::string ExplainAnalyze(const EntrySource& store, const Query& query,
+                           const OpTrace& trace) {
+  std::string out;
+  ExplainAnalyzeNode(store, query, trace, 0, &out);
   return out;
 }
 

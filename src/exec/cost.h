@@ -16,6 +16,7 @@
 
 #include <string>
 
+#include "exec/trace.h"
 #include "query/ast.h"
 #include "store/entry_store.h"
 
@@ -36,6 +37,18 @@ CostEstimate EstimateCost(const EntrySource& store, const Query& query);
 /// Renders the plan tree with per-node cumulative estimates, e.g. for
 /// ndqsh's .explain.
 std::string ExplainPlan(const EntrySource& store, const Query& query);
+
+/// Renders the EXPLAIN ANALYZE report: the plan tree with, per node, the
+/// cost model's prediction next to the measured execution trace —
+/// `est_pages | act_pages | est_recs | act_recs`, plus the node's
+/// self-I/O and operator-specific counters (stack peaks, spills, sort
+/// passes, wall time). `trace` must come from evaluating exactly `query`
+/// (same tree shape); ndqsh's `.explain analyze` is the interactive
+/// front end. Estimated figures are cumulative per subtree, and so are
+/// act_pages / wall_us; reads/writes are node-exclusive. Keys are stable
+/// and machine-parsable; wall_us is always last on the line.
+std::string ExplainAnalyze(const EntrySource& store, const Query& query,
+                           const OpTrace& trace);
 
 }  // namespace ndq
 

@@ -99,7 +99,7 @@ Result<Run> AnnotateByPairs(SimDisk* disk, const EntryList& l1,
 // dv: LP = {(referenced key, contribution of r2)} from L2's attr values.
 Result<Run> BuildDvPairs(SimDisk* disk, const EntryList& l2,
                          const std::string& attr, const AggProgram& prog,
-                         const ExecOptions& options) {
+                         const ExecOptions& options, uint64_t* sort_passes) {
   ExternalSorter sorter(disk, PairKey, options.sort);
   RunReader reader(disk, l2);
   std::string rec;
@@ -120,14 +120,16 @@ Result<Run> BuildDvPairs(SimDisk* disk, const EntryList& l2,
       NDQ_RETURN_IF_ERROR(sorter.Add(pair));
     }
   }
-  return sorter.Finish();
+  Result<Run> sorted = sorter.Finish();
+  *sort_passes += sorter.merge_passes();
+  return sorted;
 }
 
 // vd: two-sort path (see header).
 Result<Run> BuildVdPairs(SimDisk* disk, const EntryList& l1,
                          const EntryList& l2, const std::string& attr,
-                         const AggProgram& prog,
-                         const ExecOptions& options) {
+                         const AggProgram& prog, const ExecOptions& options,
+                         uint64_t* sort_passes) {
   // LP1: (referenced key, r1 key), sorted by referenced key.
   Run lp1;
   {
@@ -151,6 +153,7 @@ Result<Run> BuildVdPairs(SimDisk* disk, const EntryList& l1,
       }
     }
     NDQ_ASSIGN_OR_RETURN(lp1, sorter.Finish());
+    *sort_passes += sorter.merge_passes();
   }
   // Join LP1 with L2 on referenced key; emit (r1 key, contribution(r2)).
   ExternalSorter sorter2(disk, PairKey, options.sort);
@@ -185,7 +188,9 @@ Result<Run> BuildVdPairs(SimDisk* disk, const EntryList& l1,
     }
     NDQ_RETURN_IF_ERROR(FreeRun(disk, &lp1));
   }
-  return sorter2.Finish();
+  Result<Run> sorted = sorter2.Finish();
+  *sort_passes += sorter2.merge_passes();
+  return sorted;
 }
 
 }  // namespace
@@ -194,7 +199,7 @@ Result<EntryList> EvalEmbeddedRef(SimDisk* disk, QueryOp op,
                                   const EntryList& l1, const EntryList& l2,
                                   const std::string& attr,
                                   const std::optional<AggSelFilter>& agg,
-                                  const ExecOptions& options) {
+                                  const ExecOptions& options, OpTrace* trace) {
   if (op != QueryOp::kValueDn && op != QueryOp::kDnValue) {
     return Status::InvalidArgument("EvalEmbeddedRef: not vd/dv");
   }
@@ -203,17 +208,27 @@ Result<EntryList> EvalEmbeddedRef(SimDisk* disk, QueryOp op,
                        AggProgram::Compile(filter, /*structural=*/true));
 
   Run pairs;
+  uint64_t sort_passes = 0;
   if (op == QueryOp::kDnValue) {
-    NDQ_ASSIGN_OR_RETURN(pairs,
-                         BuildDvPairs(disk, l2, attr, prog, options));
+    NDQ_ASSIGN_OR_RETURN(
+        pairs, BuildDvPairs(disk, l2, attr, prog, options, &sort_passes));
   } else {
-    NDQ_ASSIGN_OR_RETURN(pairs,
-                         BuildVdPairs(disk, l1, l2, attr, prog, options));
+    NDQ_ASSIGN_OR_RETURN(
+        pairs, BuildVdPairs(disk, l1, l2, attr, prog, options, &sort_passes));
   }
   NDQ_ASSIGN_OR_RETURN(Run annotated,
                        AnnotateByPairs(disk, l1, pairs, prog));
   NDQ_RETURN_IF_ERROR(FreeRun(disk, &pairs));
-  return FilterAnnotatedList(disk, std::move(annotated), prog);
+  Result<EntryList> out = FilterAnnotatedList(disk, std::move(annotated), prog);
+  if (trace != nullptr && out.ok()) {
+    trace->op = op;
+    trace->input_records = l1.num_records + l2.num_records;
+    trace->input_pages = l1.pages.size() + l2.pages.size();
+    trace->output_records = out->num_records;
+    trace->output_pages = out->pages.size();
+    trace->sort_merge_passes = sort_passes;
+  }
+  return out;
 }
 
 }  // namespace ndq

@@ -18,16 +18,20 @@
 #define NDQ_EXEC_EMBEDDED_REF_H_
 
 #include "exec/common.h"
+#include "exec/trace.h"
 #include "query/ast.h"
 
 namespace ndq {
 
-/// Evaluates (vd L1 L2 attr [agg]) or (dv L1 L2 attr [agg]).
+/// Evaluates (vd L1 L2 attr [agg]) or (dv L1 L2 attr [agg]). A non-null
+/// `trace` receives the operator's counters, including the merge-pass
+/// count of the pair-list sorts (Thm 7.1's log factor).
 Result<EntryList> EvalEmbeddedRef(SimDisk* disk, QueryOp op,
                                   const EntryList& l1, const EntryList& l2,
                                   const std::string& attr,
                                   const std::optional<AggSelFilter>& agg,
-                                  const ExecOptions& options = {});
+                                  const ExecOptions& options = {},
+                                  OpTrace* trace = nullptr);
 
 }  // namespace ndq
 

@@ -1,5 +1,7 @@
 #include "exec/evaluator.h"
 
+#include <chrono>
+
 #include "exec/atomic.h"
 #include "exec/boolean.h"
 #include "exec/embedded_ref.h"
@@ -7,8 +9,48 @@
 
 namespace ndq {
 
+namespace {
+
+// Counters observed by one trace scope: the scratch disk plus, when the
+// store scans a different device (ndqsh's data/scratch split), that
+// device's counters as well. Comparing the IoStats object addresses keeps
+// single-disk setups (store and scratch sharing one SimDisk) from double
+// counting.
+struct IoSnapshot {
+  IoStats scratch;
+  IoStats store;
+  bool has_store = false;
+};
+
+IoSnapshot TakeSnapshot(SimDisk* disk, const EntrySource* store) {
+  IoSnapshot snap;
+  snap.scratch = disk->stats();
+  const IoStats* st = store != nullptr ? store->io_stats() : nullptr;
+  if (st != nullptr && st != &disk->stats()) {
+    snap.store = *st;
+    snap.has_store = true;
+  }
+  return snap;
+}
+
+IoStats SnapshotDelta(const IoSnapshot& snap, SimDisk* disk,
+                      const EntrySource* store) {
+  IoStats delta = disk->stats() - snap.scratch;
+  if (snap.has_store) {
+    const IoStats* st = store->io_stats();
+    IoStats sd = *st - snap.store;
+    delta.page_reads += sd.page_reads;
+    delta.page_writes += sd.page_writes;
+    delta.pages_allocated += sd.pages_allocated;
+    delta.pages_freed += sd.pages_freed;
+  }
+  return delta;
+}
+
+}  // namespace
+
 Result<EntryList> EvalSimpleAgg(SimDisk* disk, const EntryList& l1,
-                                const AggSelFilter& filter) {
+                                const AggSelFilter& filter, OpTrace* trace) {
   NDQ_ASSIGN_OR_RETURN(AggProgram prog,
                        AggProgram::Compile(filter, /*structural=*/false));
   // Annotate with empty witness-value vectors (no $2 references), then run
@@ -25,41 +67,85 @@ Result<EntryList> EvalSimpleAgg(SimDisk* disk, const EntryList& l1,
     NDQ_RETURN_IF_ERROR(writer.Add(buf));
   }
   NDQ_ASSIGN_OR_RETURN(Run annotated, writer.Finish());
-  return FilterAnnotatedList(disk, std::move(annotated), prog);
+  Result<EntryList> out =
+      FilterAnnotatedList(disk, std::move(annotated), prog);
+  if (trace != nullptr && out.ok()) {
+    trace->op = QueryOp::kSimpleAgg;
+    trace->input_records = l1.num_records;
+    trace->input_pages = l1.pages.size();
+    trace->output_records = out->num_records;
+    trace->output_pages = out->pages.size();
+  }
+  return out;
 }
 
-Result<EntryList> Evaluator::Evaluate(const Query& query) {
+Result<EntryList> Evaluator::Evaluate(const Query& query, OpTrace* trace) {
+  if (trace == nullptr) return EvaluateNode(query, nullptr);
+  *trace = OpTrace();
+  const auto start = std::chrono::steady_clock::now();
+  IoSnapshot snap = TakeSnapshot(disk_, store_);
+  Result<EntryList> out = EvaluateNode(query, trace);
+  if (!out.ok()) return out;
+  trace->label = QueryNodeLabel(query);
+  trace->op = query.op();
+  trace->io = SnapshotDelta(snap, disk_, store_);
+  trace->wall_micros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  trace->output_records = out->num_records;
+  trace->output_pages = out->pages.size();
+  return out;
+}
+
+Result<EntryList> Evaluator::EvaluateNode(const Query& query,
+                                          OpTrace* trace) {
   ++stats_.operators_evaluated;
+  // One child trace per operand, allocated up front so the pointers stay
+  // stable while the operands evaluate.
+  OpTrace* t1 = nullptr;
+  OpTrace* t2 = nullptr;
+  OpTrace* t3 = nullptr;
+  if (trace != nullptr) {
+    size_t n = (query.q1() != nullptr ? 1 : 0) +
+               (query.q2() != nullptr ? 1 : 0) +
+               (query.q3() != nullptr ? 1 : 0);
+    trace->children.resize(n);
+    if (n > 0) t1 = &trace->children[0];
+    if (n > 1) t2 = &trace->children[1];
+    if (n > 2) t3 = &trace->children[2];
+  }
   switch (query.op()) {
     case QueryOp::kAtomic: {
       ++stats_.atomic_queries;
       NDQ_ASSIGN_OR_RETURN(
           EntryList out, EvalAtomic(disk_, *store_, query.base(),
-                                    query.scope(), query.filter()));
+                                    query.scope(), query.filter(), trace));
       stats_.atomic_output_records += out.num_records;
       return out;
     }
     case QueryOp::kLdap: {
       ++stats_.atomic_queries;
       NDQ_ASSIGN_OR_RETURN(
-          EntryList out, EvalLdap(disk_, *store_, query.base(),
-                                  query.scope(), *query.ldap_filter()));
+          EntryList out,
+          EvalLdap(disk_, *store_, query.base(), query.scope(),
+                   *query.ldap_filter(), trace));
       stats_.atomic_output_records += out.num_records;
       return out;
     }
     case QueryOp::kAnd:
     case QueryOp::kOr:
     case QueryOp::kDiff: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1()));
-      NDQ_ASSIGN_OR_RETURN(EntryList l2, Evaluate(*query.q2()));
-      Result<EntryList> out = EvalBoolean(disk_, query.op(), l1, l2);
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1(), t1));
+      NDQ_ASSIGN_OR_RETURN(EntryList l2, Evaluate(*query.q2(), t2));
+      Result<EntryList> out = EvalBoolean(disk_, query.op(), l1, l2, trace);
       NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l1));
       NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l2));
       return out;
     }
     case QueryOp::kSimpleAgg: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1()));
-      Result<EntryList> out = EvalSimpleAgg(disk_, l1, *query.agg());
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1(), t1));
+      Result<EntryList> out = EvalSimpleAgg(disk_, l1, *query.agg(), trace);
       NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l1));
       return out;
     }
@@ -67,21 +153,23 @@ Result<EntryList> Evaluator::Evaluate(const Query& query) {
     case QueryOp::kChildren:
     case QueryOp::kAncestors:
     case QueryOp::kDescendants: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1()));
-      NDQ_ASSIGN_OR_RETURN(EntryList l2, Evaluate(*query.q2()));
-      Result<EntryList> out = EvalHierarchy(disk_, query.op(), l1, l2,
-                                            nullptr, query.agg(), options_);
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1(), t1));
+      NDQ_ASSIGN_OR_RETURN(EntryList l2, Evaluate(*query.q2(), t2));
+      Result<EntryList> out =
+          EvalHierarchy(disk_, query.op(), l1, l2, nullptr, query.agg(),
+                        options_, trace);
       NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l1));
       NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l2));
       return out;
     }
     case QueryOp::kCoAncestors:
     case QueryOp::kCoDescendants: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1()));
-      NDQ_ASSIGN_OR_RETURN(EntryList l2, Evaluate(*query.q2()));
-      NDQ_ASSIGN_OR_RETURN(EntryList l3, Evaluate(*query.q3()));
-      Result<EntryList> out = EvalHierarchy(disk_, query.op(), l1, l2, &l3,
-                                            query.agg(), options_);
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1(), t1));
+      NDQ_ASSIGN_OR_RETURN(EntryList l2, Evaluate(*query.q2(), t2));
+      NDQ_ASSIGN_OR_RETURN(EntryList l3, Evaluate(*query.q3(), t3));
+      Result<EntryList> out =
+          EvalHierarchy(disk_, query.op(), l1, l2, &l3, query.agg(),
+                        options_, trace);
       NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l1));
       NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l2));
       NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l3));
@@ -89,11 +177,11 @@ Result<EntryList> Evaluator::Evaluate(const Query& query) {
     }
     case QueryOp::kValueDn:
     case QueryOp::kDnValue: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1()));
-      NDQ_ASSIGN_OR_RETURN(EntryList l2, Evaluate(*query.q2()));
+      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1(), t1));
+      NDQ_ASSIGN_OR_RETURN(EntryList l2, Evaluate(*query.q2(), t2));
       Result<EntryList> out =
           EvalEmbeddedRef(disk_, query.op(), l1, l2, query.ref_attr(),
-                          query.agg(), options_);
+                          query.agg(), options_, trace);
       NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l1));
       NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l2));
       return out;
@@ -102,8 +190,9 @@ Result<EntryList> Evaluator::Evaluate(const Query& query) {
   return Status::Internal("unreachable query op in Evaluate");
 }
 
-Result<std::vector<Entry>> Evaluator::EvaluateToEntries(const Query& query) {
-  NDQ_ASSIGN_OR_RETURN(EntryList list, Evaluate(query));
+Result<std::vector<Entry>> Evaluator::EvaluateToEntries(const Query& query,
+                                                        OpTrace* trace) {
+  NDQ_ASSIGN_OR_RETURN(EntryList list, Evaluate(query, trace));
   Result<std::vector<Entry>> entries = ReadEntryList(disk_, list);
   NDQ_RETURN_IF_ERROR(FreeRun(disk_, &list));
   return entries;

@@ -11,11 +11,17 @@
 // a constant number of page buffers (plus the spillable stacks), so whole-
 // query evaluation runs in constant main memory with the I/O bounds of
 // Theorems 8.3 (L2: linear) and 8.4 (L3: N log N).
+//
+// Passing an OpTrace to Evaluate records a per-operator execution trace
+// (exec/trace.h) — counters, I/O deltas and wall time for every node —
+// which ExplainAnalyze (exec/cost.h) renders against the cost model's
+// predictions.
 
 #ifndef NDQ_EXEC_EVALUATOR_H_
 #define NDQ_EXEC_EVALUATOR_H_
 
 #include "exec/common.h"
+#include "exec/trace.h"
 #include "query/ast.h"
 #include "store/entry_store.h"
 
@@ -37,15 +43,20 @@ class Evaluator {
       : disk_(disk), store_(store), options_(options) {}
 
   /// Evaluates the query; the caller owns (and frees) the returned list.
-  Result<EntryList> Evaluate(const Query& query);
+  /// A non-null `trace` is overwritten with the per-operator execution
+  /// trace of this evaluation (one OpTrace node per plan node).
+  Result<EntryList> Evaluate(const Query& query, OpTrace* trace = nullptr);
 
   /// Convenience: evaluates and deserializes the result entries.
-  Result<std::vector<Entry>> EvaluateToEntries(const Query& query);
+  Result<std::vector<Entry>> EvaluateToEntries(const Query& query,
+                                               OpTrace* trace = nullptr);
 
   const EvalStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EvalStats(); }
 
  private:
+  Result<EntryList> EvaluateNode(const Query& query, OpTrace* trace);
+
   SimDisk* disk_;
   const EntrySource* store_;
   ExecOptions options_;
@@ -55,7 +66,8 @@ class Evaluator {
 /// Simple aggregate selection "(g L1 AggSelFilter)" over a materialized
 /// list (Theorem 6.1: at most two scans + output). Exposed for benches.
 Result<EntryList> EvalSimpleAgg(SimDisk* disk, const EntryList& l1,
-                                const AggSelFilter& filter);
+                                const AggSelFilter& filter,
+                                OpTrace* trace = nullptr);
 
 }  // namespace ndq
 

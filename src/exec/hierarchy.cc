@@ -68,7 +68,8 @@ std::unique_ptr<HSStack> MakeStack(SimDisk* disk, size_t window) {
 // of the lexicographic merge; emits the annotated L1 list in key order.
 Result<Run> AncestorPass(SimDisk* disk, QueryOp op, const EntryList& l1,
                          const EntryList& l2, const EntryList* l3,
-                         const AggProgram& prog, const ExecOptions& options) {
+                         const AggProgram& prog, const ExecOptions& options,
+                         OpTrace* trace) {
   LabeledMerge merge(disk, &l1, &l2, l3);
   auto stack = MakeStack(disk, options.stack_window);
   RunWriter out(disk);
@@ -125,6 +126,10 @@ Result<Run> AncestorPass(SimDisk* disk, QueryOp op, const EntryList& l1,
     }
     NDQ_RETURN_IF_ERROR(stack->Push(std::move(item)));
   }
+  if (trace != nullptr) {
+    trace->peak_stack_items = stack->peak_size();
+    trace->stack_spills = stack->spill_count();
+  }
   return out.Finish();
 }
 
@@ -133,8 +138,8 @@ Result<Run> AncestorPass(SimDisk* disk, QueryOp op, const EntryList& l1,
 // in descending order (the caller reverses it).
 Result<Run> DescendantPass(SimDisk* disk, QueryOp op, const EntryList& l1,
                            const EntryList& l2, const EntryList* l3,
-                           const AggProgram& prog,
-                           const ExecOptions& options) {
+                           const AggProgram& prog, const ExecOptions& options,
+                           OpTrace* trace) {
   NDQ_ASSIGN_OR_RETURN(Run merged,
                        MaterializeLabeledMerge(disk, &l1, &l2, l3));
   NDQ_ASSIGN_OR_RETURN(Run reversed, ReverseRun(disk, std::move(merged)));
@@ -203,6 +208,10 @@ Result<Run> DescendantPass(SimDisk* disk, QueryOp op, const EntryList& l1,
     }
     NDQ_RETURN_IF_ERROR(stack->Push(std::move(item)));
   }
+  if (trace != nullptr) {
+    trace->peak_stack_items = stack->peak_size();
+    trace->stack_spills = stack->spill_count();
+  }
   NDQ_RETURN_IF_ERROR(FreeRun(disk, &reversed));
   return out.Finish();
 }
@@ -213,7 +222,7 @@ Result<EntryList> EvalHierarchy(SimDisk* disk, QueryOp op,
                                 const EntryList& l1, const EntryList& l2,
                                 const EntryList* l3,
                                 const std::optional<AggSelFilter>& agg,
-                                const ExecOptions& options) {
+                                const ExecOptions& options, OpTrace* trace) {
   const bool constrained =
       op == QueryOp::kCoAncestors || op == QueryOp::kCoDescendants;
   if (constrained && l3 == nullptr) {
@@ -231,15 +240,15 @@ Result<EntryList> EvalHierarchy(SimDisk* disk, QueryOp op,
     case QueryOp::kParents:
     case QueryOp::kAncestors:
     case QueryOp::kCoAncestors: {
-      NDQ_ASSIGN_OR_RETURN(annotated,
-                           AncestorPass(disk, op, l1, l2, l3, prog, options));
+      NDQ_ASSIGN_OR_RETURN(
+          annotated, AncestorPass(disk, op, l1, l2, l3, prog, options, trace));
       break;
     }
     case QueryOp::kChildren:
     case QueryOp::kDescendants:
     case QueryOp::kCoDescendants: {
-      NDQ_ASSIGN_OR_RETURN(
-          annotated, DescendantPass(disk, op, l1, l2, l3, prog, options));
+      NDQ_ASSIGN_OR_RETURN(annotated, DescendantPass(disk, op, l1, l2, l3,
+                                                     prog, options, trace));
       NDQ_ASSIGN_OR_RETURN(annotated,
                            ReverseRun(disk, std::move(annotated)));
       break;
@@ -247,7 +256,17 @@ Result<EntryList> EvalHierarchy(SimDisk* disk, QueryOp op,
     default:
       return Status::InvalidArgument("EvalHierarchy: not a hierarchy op");
   }
-  return FilterAnnotatedList(disk, std::move(annotated), prog);
+  Result<EntryList> out = FilterAnnotatedList(disk, std::move(annotated), prog);
+  if (trace != nullptr && out.ok()) {
+    trace->op = op;
+    trace->input_records = l1.num_records + l2.num_records +
+                           (l3 != nullptr ? l3->num_records : 0);
+    trace->input_pages = l1.pages.size() + l2.pages.size() +
+                         (l3 != nullptr ? l3->pages.size() : 0);
+    trace->output_records = out->num_records;
+    trace->output_pages = out->pages.size();
+  }
+  return out;
 }
 
 }  // namespace ndq

@@ -30,6 +30,7 @@
 #define NDQ_EXEC_HIERARCHY_H_
 
 #include "exec/common.h"
+#include "exec/trace.h"
 #include "query/ast.h"
 
 namespace ndq {
@@ -37,12 +38,15 @@ namespace ndq {
 /// Evaluates one of the six hierarchy operators with an (optional)
 /// aggregate selection filter. `l3` must be non-null exactly for the
 /// path-constrained operators (kCoAncestors / kCoDescendants). A missing
-/// `agg` means the existential L1 semantics.
+/// `agg` means the existential L1 semantics. A non-null `trace` receives
+/// the pass's counters, including the spill stack's peak depth and
+/// spill/reload count (the Thm 5.1 amortization at work).
 Result<EntryList> EvalHierarchy(SimDisk* disk, QueryOp op,
                                 const EntryList& l1, const EntryList& l2,
                                 const EntryList* l3,
                                 const std::optional<AggSelFilter>& agg,
-                                const ExecOptions& options = {});
+                                const ExecOptions& options = {},
+                                OpTrace* trace = nullptr);
 
 }  // namespace ndq
 

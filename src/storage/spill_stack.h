@@ -59,6 +59,8 @@ class SpillableStack {
   Status Push(T item) {
     if (window_items_.size() >= window_) NDQ_RETURN_IF_ERROR(SpillBottom());
     window_items_.push_back(std::move(item));
+    ++size_;
+    if (size_ > peak_size_) peak_size_ = size_;
     return Status::OK();
   }
 
@@ -73,6 +75,7 @@ class SpillableStack {
     }
     T item = std::move(window_items_.back());
     window_items_.pop_back();
+    if (size_ > 0) --size_;
     // Keep Top() valid: if the window drained but spilled batches remain,
     // reload eagerly.
     if (window_items_.empty() && !batches_.empty()) {
@@ -83,6 +86,10 @@ class SpillableStack {
 
   /// Number of spill / reload events (for tests).
   size_t spill_count() const { return spill_count_; }
+
+  /// Largest item count ever held (execution tracing: the worst
+  /// root-to-leaf chain the operator encountered).
+  size_t peak_size() const { return peak_size_; }
 
  private:
   struct Batch {
@@ -135,6 +142,8 @@ class SpillableStack {
   std::deque<T> window_items_;  // front = deepest in-memory item
   std::vector<Batch> batches_;  // stack of spilled batches, back = newest
   size_t spill_count_ = 0;
+  size_t size_ = 0;
+  size_t peak_size_ = 0;
 };
 
 }  // namespace ndq

@@ -62,6 +62,9 @@ class DirectoryStore : public EntrySource, public UpdateTarget {
       const override;
 
   uint64_t num_entries() const override { return live_entries_; }
+  const IoStats* io_stats() const override {
+    return disk_ == nullptr ? nullptr : &disk_->stats();
+  }
 
   /// Cost-model hooks: summed over segments (sparse indexes) plus the
   /// memtable span. Slight over-counts where versions shadow each other.

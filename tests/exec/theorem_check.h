@@ -1,0 +1,74 @@
+// GTest helpers over exec/trace.h's theorem checker: assert that a traced
+// execution stayed within the paper's per-operator I/O bounds and that the
+// measured cardinalities respect the cost model's upper bounds. Shared by
+// explain_analyze_test.cc and usable from bench/ smoke checks.
+
+#ifndef NDQ_TESTS_EXEC_THEOREM_CHECK_H_
+#define NDQ_TESTS_EXEC_THEOREM_CHECK_H_
+
+#include <gtest/gtest.h>
+
+#include "exec/cost.h"
+#include "exec/trace.h"
+
+namespace ndq {
+namespace testing {
+
+/// Fails (non-fatally, once per violation) if any operator in `trace`
+/// exceeded its theorem bound.
+inline void ExpectWithinTheoremBounds(const OpTrace& trace) {
+  for (const std::string& v : VerifyTheoremBounds(trace)) {
+    ADD_FAILURE() << "theorem bound violated: " << v;
+  }
+}
+
+/// Walks `query` and `trace` in lockstep (children in q1/q2/q3 order, the
+/// order the evaluator records them) and checks that every node's measured
+/// output cardinality is at most the cost model's upper bound for the same
+/// subtree.
+inline void ExpectCardinalityWithinEstimate(const EntrySource& store,
+                                            const Query& query,
+                                            const OpTrace& trace) {
+  CostEstimate est = EstimateCost(store, query);
+  EXPECT_LE(static_cast<double>(trace.output_records),
+            est.output_records + 0.5)
+      << "node: " << trace.label;
+  const Query* operands[] = {query.q1().get(), query.q2().get(),
+                             query.q3().get()};
+  size_t child = 0;
+  for (const Query* q : operands) {
+    if (q == nullptr) continue;
+    ASSERT_LT(child, trace.children.size())
+        << "trace missing operand " << child << " of " << trace.label;
+    ExpectCardinalityWithinEstimate(store, *q, trace.children[child]);
+    ++child;
+  }
+}
+
+/// Checks the tree's I/O accounting is internally consistent: every
+/// child's cumulative delta nests inside its parent's, and the sum of
+/// node-exclusive deltas telescopes back to the root total.
+inline uint64_t SumSelfTransfers(const OpTrace& trace) {
+  uint64_t total = trace.SelfTransfers();
+  for (const OpTrace& c : trace.children) total += SumSelfTransfers(c);
+  return total;
+}
+
+inline void ExpectIoAccountingConsistent(const OpTrace& trace) {
+  uint64_t children = 0;
+  for (const OpTrace& c : trace.children) {
+    children += c.io.TotalTransfers();
+    ExpectIoAccountingConsistent(c);
+  }
+  EXPECT_LE(children, trace.io.TotalTransfers())
+      << "children transfers exceed parent's cumulative delta at "
+      << trace.label;
+  EXPECT_EQ(SumSelfTransfers(trace), trace.io.TotalTransfers())
+      << "self deltas do not telescope to the subtree total at "
+      << trace.label;
+}
+
+}  // namespace testing
+}  // namespace ndq
+
+#endif  // NDQ_TESTS_EXEC_THEOREM_CHECK_H_
