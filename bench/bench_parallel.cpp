@@ -1,0 +1,238 @@
+// E16 — intra-query parallelism (bench_parallel).
+// Claims: operand subtrees are independent, so with per-page transfer
+// latency on the simulated disk, N threads overlap leaf scans for close to
+// Nx wall-clock speedup on multi-operand plans — while the COUNTED page
+// transfers (the theorems' currency) are unchanged; and a warm sorted-
+// operand cache converts repeated leaf scans (~store pages) into list
+// copies (~output pages) for a further multiplicative win.
+//
+// Emits BENCH_parallel.json (threads x cold/warm sweep) for EXPERIMENTS.md.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "exec/operand_cache.h"
+#include "exec/parallel_evaluator.h"
+#include "exec/trace.h"
+#include "gen/dif_gen.h"
+#include "query/parser.h"
+#include "store/entry_store.h"
+
+using namespace ndq;
+using namespace ndq::bench;
+
+namespace {
+
+constexpr uint32_t kLatencyMicros = 80;
+
+// Multi-operand plans: 3-4 independent leaf subtrees each, the shapes
+// whose operands the parallel evaluator forks. Every leaf is a SELECTIVE
+// full-store scan (base dc=com, subtree scope): the scans dominate the
+// plan's I/O and they are exactly the part that parallelizes, while the
+// operator merges stay small.
+const char* kPlanMix[] = {
+    "(& (| (dc=com ? sub ? objectClass=SLADSAction)"
+    "      (dc=com ? sub ? objectClass=policyValidityPeriod))"
+    "   (- (dc=com ? sub ? objectClass=trafficProfile)"
+    "      (dc=com ? sub ? sourcePort=25)))",
+    "(dc (dc=com ? sub ? objectClass=dcObject)"
+    "    (& (dc=com ? sub ? sourcePort=25)"
+    "       (dc=com ? sub ? objectClass=trafficProfile))"
+    "    (dc=com ? sub ? objectClass=dcObject))",
+    "(- (| (dc=com ? sub ? objectClass=SLAPolicyRules)"
+    "      (dc=com ? sub ? objectClass=SLADSAction))"
+    "   (| (dc=com ? sub ? objectClass=policyValidityPeriod)"
+    "      (dc=com ? sub ? sourcePort=25)))",
+    "(vd (dc=com ? sub ? objectClass=SLAPolicyRules)"
+    "    (& (dc=com ? sub ? sourcePort=25)"
+    "       (dc=com ? sub ? objectClass=trafficProfile))"
+    "    SLATPRef)",
+};
+
+// Repeated-leaf workload: four queries over the SAME small set of leaves.
+// Cold, every query re-scans dc=com (the whole store) per leaf; warm,
+// each leaf is one cached-list copy (~output pages << store pages).
+const char* kRepeatedLeaves[] = {
+    "(& (dc=com ? sub ? objectClass=SLADSAction)"
+    "   (dc=com ? sub ? objectClass=policyValidityPeriod))",
+    "(- (dc=com ? sub ? objectClass=trafficProfile)"
+    "   (dc=com ? sub ? sourcePort=25))",
+    "(| (dc=com ? sub ? objectClass=SLADSAction)"
+    "   (dc=com ? sub ? objectClass=trafficProfile))",
+    "(c (dc=com ? sub ? objectClass=policyValidityPeriod)"
+    "   (dc=com ? sub ? sourcePort=25))",
+};
+
+struct Workload {
+  std::vector<QueryPtr> queries;
+};
+
+// Evaluates every query in `w` once, frees the results, accumulates
+// theorem-bound violations, and returns wall-clock milliseconds.
+double RunOnce(ParallelEvaluator* eval, SimDisk* disk, const Workload& w,
+               uint64_t* violations) {
+  auto start = std::chrono::steady_clock::now();
+  for (const QueryPtr& q : w.queries) {
+    OpTrace trace;
+    Result<EntryList> r = eval->Evaluate(*q, &trace);
+    if (!r.ok()) {
+      std::fprintf(stderr, "eval failed: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+    EntryList list = r.TakeValue();
+    if (!FreeRun(disk, &list).ok()) std::exit(1);
+    *violations += VerifyTheoremBounds(trace).size();
+  }
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+struct Measurement {
+  size_t threads;
+  double cold_ms;
+  double warm_ms;
+  uint64_t transfers_cold;
+};
+
+Measurement Measure(SimDisk* disk, const EntryStore& store,
+                    const Workload& w, size_t threads,
+                    uint64_t* violations) {
+  Measurement m;
+  m.threads = threads;
+  ExecOptions options;
+  options.parallelism = threads;
+
+  {  // Cold: no cache, every leaf re-scans the store.
+    ParallelEvaluator eval(disk, &store, options);
+    uint64_t before = disk->stats().TotalTransfers();
+    m.cold_ms = RunOnce(&eval, disk, w, violations);
+    m.transfers_cold = disk->stats().TotalTransfers() - before;
+  }
+  {  // Warm: one unmeasured pass fills the cache, then measure.
+    OperandCache cache(disk, /*capacity_pages=*/1 << 16);
+    ParallelEvaluator eval(disk, &store, options, &cache);
+    RunOnce(&eval, disk, w, violations);
+    m.warm_ms = RunOnce(&eval, disk, w, violations);
+  }
+  return m;
+}
+
+Workload Parse(const char* const* texts, size_t n) {
+  Workload w;
+  for (size_t i = 0; i < n; ++i) {
+    w.queries.push_back(ParseQuery(texts[i]).TakeValue());
+  }
+  return w;
+}
+
+void PrintSweep(const char* label, const std::vector<Measurement>& ms) {
+  double base = ms.front().cold_ms;
+  std::printf("\n== %s ==\n", label);
+  std::printf("%8s %10s %10s %10s %10s %12s\n", "threads", "cold_ms",
+              "speedup", "warm_ms", "speedup", "cold_pages");
+  for (const Measurement& m : ms) {
+    std::printf("%8zu %10.1f %9.2fx %10.1f %9.2fx %12llu\n", m.threads,
+                m.cold_ms, base / m.cold_ms, m.warm_ms, base / m.warm_ms,
+                static_cast<unsigned long long>(m.transfers_cold));
+  }
+}
+
+void AppendSweepJson(FILE* f, const char* key,
+                     const std::vector<Measurement>& ms) {
+  double base = ms.front().cold_ms;
+  std::fprintf(f, "  \"%s\": [\n", key);
+  for (size_t i = 0; i < ms.size(); ++i) {
+    const Measurement& m = ms[i];
+    std::fprintf(f,
+                 "    {\"threads\": %zu, \"cold_ms\": %.1f, "
+                 "\"cold_speedup\": %.2f, \"warm_ms\": %.1f, "
+                 "\"warm_speedup\": %.2f, \"cold_pages\": %llu}%s\n",
+                 m.threads, m.cold_ms, base / m.cold_ms, m.warm_ms,
+                 base / m.warm_ms,
+                 static_cast<unsigned long long>(m.transfers_cold),
+                 i + 1 < ms.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]");
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E16: intra-query parallelism (bench_parallel)",
+              "threads overlap operand I/O stalls; a warm operand cache "
+              "turns repeated scans into copies; counted pages unchanged");
+
+  gen::DifOptions opt;
+  opt.num_orgs = 6;
+  opt.subdomains_per_org = 3;
+  DirectoryInstance inst = gen::GenerateDif(opt);
+
+  SimDisk disk(1024);
+  EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+  std::printf("directory: %zu entries, %zu store pages, %uus/page\n",
+              inst.size(), disk.live_pages(), kLatencyMicros);
+  // Latency goes on AFTER the bulk load: from here on, every page
+  // transfer stalls the issuing thread (and only that thread).
+  disk.set_transfer_latency_micros(kLatencyMicros);
+
+  uint64_t violations = 0;
+  const size_t sweep[] = {1, 2, 4, 8};
+
+  Workload mix = Parse(kPlanMix, std::size(kPlanMix));
+  std::vector<Measurement> mix_ms;
+  for (size_t threads : sweep) {
+    mix_ms.push_back(Measure(&disk, store, mix, threads, &violations));
+  }
+  PrintSweep("plan mix (independent operand subtrees)", mix_ms);
+
+  Workload repeated = Parse(kRepeatedLeaves, std::size(kRepeatedLeaves));
+  std::vector<Measurement> rep_ms;
+  for (size_t threads : sweep) {
+    rep_ms.push_back(Measure(&disk, store, repeated, threads, &violations));
+  }
+  PrintSweep("repeated leaves (operand cache)", rep_ms);
+
+  // Counted I/O must be schedule-independent: the cold page totals of the
+  // whole sweep agree at every thread count.
+  bool io_stable = true;
+  for (const auto& ms : {mix_ms, rep_ms}) {
+    for (const Measurement& m : ms) {
+      if (m.transfers_cold != ms.front().transfers_cold) io_stable = false;
+    }
+  }
+
+  double mix4 = mix_ms.front().cold_ms / mix_ms[2].cold_ms;
+  double warm4 = rep_ms.front().cold_ms / rep_ms[2].warm_ms;
+  std::printf("\nplan-mix speedup @4 threads: %.2fx (target >= 2x) %s\n",
+              mix4, mix4 >= 2.0 ? "PASS" : "FAIL");
+  std::printf("repeated-leaf warm speedup @4 threads: %.2fx (target >= 5x) "
+              "%s\n",
+              warm4, warm4 >= 5.0 ? "PASS" : "FAIL");
+  std::printf("theorem-bound violations: %llu %s\n",
+              static_cast<unsigned long long>(violations),
+              violations == 0 ? "PASS" : "FAIL");
+  std::printf("counted pages stable across thread counts: %s\n",
+              io_stable ? "PASS" : "FAIL");
+
+  FILE* f = std::fopen("BENCH_parallel.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"experiment\": \"bench_parallel\",\n");
+    std::fprintf(f, "  \"entries\": %zu,\n", inst.size());
+    std::fprintf(f, "  \"page_latency_us\": %u,\n", kLatencyMicros);
+    AppendSweepJson(f, "plan_mix", mix_ms);
+    std::fprintf(f, ",\n");
+    AppendSweepJson(f, "repeated_leaf", rep_ms);
+    std::fprintf(f, ",\n");
+    std::fprintf(f, "  \"theorem_violations\": %llu,\n",
+                 static_cast<unsigned long long>(violations));
+    std::fprintf(f, "  \"counted_pages_stable\": %s\n",
+                 io_stable ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_parallel.json\n");
+  }
+  return 0;
+}

@@ -16,8 +16,10 @@
 //   .help / .quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -25,6 +27,7 @@
 #include "core/ldif_update.h"
 #include "exec/cost.h"
 #include "exec/evaluator.h"
+#include "exec/parallel_evaluator.h"
 #include "gen/paper_data.h"
 #include "query/parser.h"
 #include "query/rewrite.h"
@@ -38,6 +41,27 @@ struct Shell {
   ndq::SimDisk scratch;
   ndq::DirectoryStore store{&disk, ndq::gen::PaperSchema()};
   ndq::Evaluator evaluator{&scratch, &store};
+  // Sorted-operand cache + parallel evaluator, engaged by
+  // `.set parallelism <n>` (null until then; the sequential evaluator
+  // above stays the default).
+  ndq::OperandCache cache{&scratch, /*capacity_pages=*/4096};
+  std::unique_ptr<ndq::ParallelEvaluator> parallel;
+
+  void SetParallelism(size_t n) {
+    if (n == 0) n = 1;
+    ndq::ExecOptions options;
+    options.parallelism = n;
+    parallel = std::make_unique<ndq::ParallelEvaluator>(&scratch, &store,
+                                                        options, &cache);
+    std::printf(
+        "parallelism set to %zu (operand cache: %zu pages, cleared on "
+        "store updates)\n",
+        n, cache.capacity_pages());
+  }
+
+  // Cached operand lists are snapshots of the store; drop them whenever
+  // it mutates (.load/.apply/.add/.delete).
+  void InvalidateCache() { cache.Clear(); }
 
   int LoadLdifText(const std::string& text) {
     ndq::Result<std::vector<ndq::Entry>> entries =
@@ -55,6 +79,7 @@ struct Shell {
       }
       ++n;
     }
+    if (n > 0) InvalidateCache();
     return n;
   }
 
@@ -72,6 +97,7 @@ struct Shell {
       std::printf("apply error: %s\n", n.status().ToString().c_str());
       return;
     }
+    if (*n > 0) InvalidateCache();
     std::printf("applied %zu change record(s)\n", *n);
   }
 
@@ -95,7 +121,8 @@ struct Shell {
     }
     ndq::QueryPtr optimized = ndq::RewriteQuery(*q);
     ndq::Result<std::vector<ndq::Entry>> r =
-        evaluator.EvaluateToEntries(*optimized);
+        parallel != nullptr ? parallel->EvaluateToEntries(*optimized)
+                            : evaluator.EvaluateToEntries(*optimized);
     if (!r.ok()) {
       std::printf("eval error: %s\n", r.status().ToString().c_str());
       return;
@@ -117,7 +144,9 @@ struct Shell {
     }
     ndq::QueryPtr optimized = ndq::RewriteQuery(*q);
     ndq::OpTrace trace;
-    ndq::Result<ndq::EntryList> r = evaluator.Evaluate(*optimized, &trace);
+    ndq::Result<ndq::EntryList> r =
+        parallel != nullptr ? parallel->Evaluate(*optimized, &trace)
+                            : evaluator.Evaluate(*optimized, &trace);
     if (!r.ok()) {
       std::printf("eval error: %s\n", r.status().ToString().c_str());
       return;
@@ -181,6 +210,16 @@ struct Shell {
                 store.num_segments(), store.memtable_size());
     std::printf("data disk:    %s\n", disk.stats().ToString().c_str());
     std::printf("scratch disk: %s\n", scratch.stats().ToString().c_str());
+    ndq::OperandCacheStats cs = cache.stats();
+    std::printf(
+        "operand cache: %llu hit(s), %llu miss(es), %llu/%zu pages "
+        "(%llu entr%s), %llu eviction(s); parallelism %zu\n",
+        (unsigned long long)cs.hits, (unsigned long long)cs.misses,
+        (unsigned long long)cs.resident_pages, cache.capacity_pages(),
+        (unsigned long long)cs.resident_entries,
+        cs.resident_entries == 1 ? "y" : "ies",
+        (unsigned long long)cs.evictions,
+        parallel != nullptr ? parallel->parallelism() : size_t{1});
   }
 };
 
@@ -195,7 +234,11 @@ const char* kHelp =
     "  .explain analyze <query>\n"
     "                      evaluate with per-operator tracing: estimated\n"
     "                      vs actual pages/cardinality per plan node\n"
-    "  .stats              store / I/O counters\n"
+    "  .set parallelism <n>\n"
+    "                      evaluate independent operand subtrees on up to\n"
+    "                      n threads, with a sorted-operand cache for\n"
+    "                      repeated atomic sub-queries (1 = sequential)\n"
+    "  .stats              store / I/O / operand-cache counters\n"
     "  .help-examples      sample queries\n"
     "  .quit\n";
 
@@ -261,7 +304,16 @@ int main(int argc, char** argv) {
         continue;
       }
       ndq::Status s = shell.store.Remove(*dn);
+      if (s.ok()) shell.InvalidateCache();
       std::printf("%s\n", s.ok() ? "deleted" : s.ToString().c_str());
+    } else if (line.rfind(".set parallelism ", 0) == 0) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(line.c_str() + 17, &end, 10);
+      if (end == line.c_str() + 17 || (end != nullptr && *end != '\0')) {
+        std::printf("usage: .set parallelism <n>\n");
+        continue;
+      }
+      shell.SetParallelism(static_cast<size_t>(n));
     } else if (line.rfind(".explain analyze ", 0) == 0) {
       std::string q = line.substr(17);
       // Multi-line queries: keep reading while parens are unbalanced.

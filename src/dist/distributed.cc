@@ -108,11 +108,32 @@ Result<EntryList> DistributedDirectory::EvaluateAtomicDistributed(
     const Query& query, OpTrace* trace) {
   std::vector<std::string> owners = OwnersFor(query.base(), query.scope());
   net_.servers_contacted += owners.size();
-  std::vector<Run> shipped;
-  for (const std::string& name : owners) {
-    DirectoryServer* server = FindServer(name);
-    if (server == nullptr) continue;
+
+  // Issue the atomic query to every owning server; with a pool the
+  // servers work concurrently (slot `i` keeps the results in owner order,
+  // so the merge below — and therefore the output — is deterministic).
+  // Each task locks its server, evaluates there, and ships the sorted
+  // result to the coordinator disk.
+  struct PerOwner {
+    Status status;
+    Run run;
+    IoStats io;
+    uint64_t scanned_records = 0;
+    uint64_t shipped_records = 0;
+    uint64_t shipped_bytes = 0;
+    bool present = false;
+  };
+  std::vector<PerOwner> results(owners.size());
+  auto fetch_one = [&](size_t i) {
+    PerOwner& r = results[i];
+    // Scope the task's I/O (server scan + coordinator ship) so it reaches
+    // this leaf's trace even when the task ran on a pool worker.
+    IoScope scope(nullptr, &r.io);
+    DirectoryServer* server = FindServer(owners[i]);
+    if (server == nullptr) return;
+    r.present = true;
     net_.messages += 2;  // request + response
+    std::lock_guard<std::mutex> server_lock(server->mu_);
     OpTrace server_trace;
     OpTrace* st = trace != nullptr ? &server_trace : nullptr;
     Result<EntryList> local =
@@ -121,22 +142,67 @@ Result<EntryList> DistributedDirectory::EvaluateAtomicDistributed(
                        query.scope(), *query.ldap_filter(), st)
             : EvalAtomic(server->disk(), server->store(), query.base(),
                          query.scope(), query.filter(), st);
-    if (trace != nullptr) trace->scanned_records += server_trace.scanned_records;
-    NDQ_RETURN_IF_ERROR(local.status());
-    // Ship the (sorted) result to the coordinator.
+    r.scanned_records = server_trace.scanned_records;
+    if (!local.ok()) {
+      r.status = local.status();
+      return;
+    }
+    ScopedRun local_guard(server->disk(), local.TakeValue());
     RunWriter writer(coordinator_disk_.get());
-    RunReader reader(server->disk(), *local);
+    RunReader reader(server->disk(), local_guard.get());
     std::string rec;
     while (true) {
-      NDQ_ASSIGN_OR_RETURN(bool more, reader.Next(&rec));
-      if (!more) break;
-      net_.bytes_shipped += rec.size();
-      ++net_.records_shipped;
-      NDQ_RETURN_IF_ERROR(writer.Add(rec));
+      Result<bool> more = reader.Next(&rec);
+      if (!more.ok()) {
+        r.status = more.status();
+        return;
+      }
+      if (!*more) break;
+      r.shipped_bytes += rec.size();
+      ++r.shipped_records;
+      Status add = writer.Add(rec);
+      if (!add.ok()) {
+        r.status = add;
+        return;
+      }
     }
-    NDQ_RETURN_IF_ERROR(FreeRun(server->disk(), &*local));
-    NDQ_ASSIGN_OR_RETURN(Run run, writer.Finish());
-    shipped.push_back(std::move(run));
+    r.status = local_guard.Free();
+    if (!r.status.ok()) return;
+    Result<Run> run = writer.Finish();
+    if (!run.ok()) {
+      r.status = run.status();
+      return;
+    }
+    r.run = run.TakeValue();
+  };
+  {
+    ThreadPool::TaskGroup group(pool_.get());
+    for (size_t i = 0; i < owners.size(); ++i) {
+      group.Run([&fetch_one, i] { fetch_one(i); });
+    }
+  }
+
+  std::vector<Run> shipped;
+  Status failed;
+  for (PerOwner& r : results) {
+    if (!r.present) continue;
+    net_.bytes_shipped += r.shipped_bytes;
+    net_.records_shipped += r.shipped_records;
+    if (trace != nullptr) {
+      trace->scanned_records += r.scanned_records;
+      trace->shipped_records += r.shipped_records;
+      trace->shipped_bytes += r.shipped_bytes;
+      trace->io += r.io;
+    }
+    if (!r.status.ok()) {
+      if (failed.ok()) failed = r.status;
+      continue;
+    }
+    shipped.push_back(std::move(r.run));
+  }
+  if (!failed.ok()) {
+    for (Run& run : shipped) FreeRun(coordinator_disk_.get(), &run).ok();
+    return failed;
   }
   if (shipped.empty()) {
     RunWriter writer(coordinator_disk_.get());
@@ -174,19 +240,31 @@ Result<EntryList> DistributedDirectory::ShipWholeQuery(
   ++net_.queries_shipped;
   net_.messages += 2;
   ++net_.servers_contacted;
+  std::lock_guard<std::mutex> server_lock(server->mu_);
   Evaluator remote(server->disk(), &server->store(), options_);
   NDQ_ASSIGN_OR_RETURN(EntryList local, remote.Evaluate(query, trace));
+  ScopedRun local_guard(server->disk(), std::move(local));
   RunWriter writer(coordinator_disk_.get());
-  RunReader reader(server->disk(), local);
+  RunReader reader(server->disk(), local_guard.get());
   std::string rec;
+  uint64_t recs = 0, bytes = 0;
   while (true) {
     NDQ_ASSIGN_OR_RETURN(bool more, reader.Next(&rec));
     if (!more) break;
-    net_.bytes_shipped += rec.size();
-    ++net_.records_shipped;
+    bytes += rec.size();
+    ++recs;
     NDQ_RETURN_IF_ERROR(writer.Add(rec));
   }
-  NDQ_RETURN_IF_ERROR(FreeRun(server->disk(), &local));
+  net_.bytes_shipped += bytes;
+  net_.records_shipped += recs;
+  if (trace != nullptr) {
+    // The remote evaluator filled `trace` (children included); record the
+    // final-result shipment here — under parallelism there is no stable
+    // global counter window to recover it from.
+    trace->shipped_records = recs;
+    trace->shipped_bytes = bytes;
+  }
+  NDQ_RETURN_IF_ERROR(local_guard.Free());
   return writer.Finish();
 }
 
@@ -202,37 +280,72 @@ IoStats DistributedDirectory::FleetIo() const {
   return total;
 }
 
+namespace {
+
+// Shipped subtrees are traced by the remote (sequential) evaluator, which
+// does not know pool worker ids; stamp the subtree with the thread that
+// drove the shipment so SubtreeWorkers() stays meaningful.
+void StampWorker(OpTrace* t, uint32_t worker) {
+  t->worker = worker;
+  for (OpTrace& child : t->children) StampWorker(&child, worker);
+}
+
+}  // namespace
+
 Result<EntryList> DistributedDirectory::EvaluateNode(const Query& query,
                                                      OpTrace* trace) {
-  if (trace == nullptr) return EvaluateNodeImpl(query, nullptr);
+  if (trace == nullptr) return EvaluateNodeImpl(query, nullptr, nullptr);
   *trace = OpTrace();
   const auto start = std::chrono::steady_clock::now();
-  IoStats io_before = FleetIo();
-  uint64_t recs_before = net_.records_shipped;
-  uint64_t bytes_before = net_.bytes_shipped;
-  Result<EntryList> out = EvaluateNodeImpl(query, trace);
+  // Attribution via this thread's IoScope, not fleet-wide counter
+  // snapshots: under set_parallelism a sibling subtree's concurrent I/O
+  // would land inside this node's snapshot window.
+  bool shipped_whole = false;
+  IoStats self;
+  Result<EntryList> out = [&] {
+    IoScope scope(nullptr, &self);
+    return EvaluateNodeImpl(query, trace, &shipped_whole);
+  }();
   if (!out.ok()) return out;
   trace->label = QueryNodeLabel(query);
   trace->op = query.op();
-  trace->io = FleetIo() - io_before;
+  if (shipped_whole) {
+    // The remote evaluation + shipping all ran on this thread, so `self`
+    // already covers the whole subtree; the children keep the remote
+    // evaluator's per-node attribution.
+    trace->io = self;
+    StampWorker(trace, ThreadPool::current_worker_id());
+  } else {
+    // trace->io may hold pre-attributed worker-side I/O (atomic fan-out);
+    // add this thread's own traffic and the children's subtrees. Shipping
+    // counters are cumulative like io, so roll the children's up too.
+    trace->io += self;
+    for (const OpTrace& child : trace->children) {
+      trace->io += child.io;
+      trace->shipped_records += child.shipped_records;
+      trace->shipped_bytes += child.shipped_bytes;
+    }
+    trace->worker = ThreadPool::current_worker_id();
+  }
   trace->wall_micros =
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - start)
           .count();
   trace->output_records = out->num_records;
   trace->output_pages = out->pages.size();
-  trace->shipped_records = net_.records_shipped - recs_before;
-  trace->shipped_bytes = net_.bytes_shipped - bytes_before;
   return out;
 }
 
-Result<EntryList> DistributedDirectory::EvaluateNodeImpl(const Query& query,
-                                                         OpTrace* trace) {
+Result<EntryList> DistributedDirectory::EvaluateNodeImpl(
+    const Query& query, OpTrace* trace, bool* shipped_whole) {
   SimDisk* disk = coordinator_disk_.get();
   if (query_shipping_ && !query.is_atomic() &&
       query.op() != QueryOp::kLdap) {
     DirectoryServer* owner = SingleOwner(query);
-    if (owner != nullptr) return ShipWholeQuery(query, owner, trace);
+    if (owner != nullptr) {
+      if (shipped_whole != nullptr) *shipped_whole = true;
+      return ShipWholeQuery(query, owner, trace);
+    }
   }
   OpTrace* t1 = nullptr;
   OpTrace* t2 = nullptr;
@@ -250,61 +363,75 @@ Result<EntryList> DistributedDirectory::EvaluateNodeImpl(const Query& query,
     case QueryOp::kAtomic:
     case QueryOp::kLdap:
       return EvaluateAtomicDistributed(query, trace);
+    case QueryOp::kSimpleAgg: {
+      NDQ_ASSIGN_OR_RETURN(EntryList r1, EvaluateNode(*query.q1(), t1));
+      ScopedRun l1(disk, std::move(r1));
+      Result<EntryList> out =
+          EvalSimpleAgg(disk, l1.get(), *query.agg(), trace);
+      NDQ_RETURN_IF_ERROR(l1.Free());
+      return out;
+    }
+    default:
+      break;
+  }
+
+  // Multi-operand operators: evaluate the operand sub-plans concurrently
+  // (coordinator-side fork/join; each sub-plan ships from its servers
+  // independently), join, then run the operator on this thread.
+  ScopedRun l1, l2, l3;
+  Status s1, s2, s3;
+  auto eval_into = [this](const Query& q, OpTrace* t, ScopedRun* out,
+                          Status* status) {
+    Result<EntryList> r = EvaluateNode(q, t);
+    if (!r.ok()) {
+      *status = r.status();
+      return;
+    }
+    *out = ScopedRun(coordinator_disk_.get(), r.TakeValue());
+  };
+  {
+    ThreadPool::TaskGroup group(pool_.get());
+    group.Run([&] { eval_into(*query.q1(), t1, &l1, &s1); });
+    group.Run([&] { eval_into(*query.q2(), t2, &l2, &s2); });
+    if (query.q3() != nullptr) {
+      group.Run([&] { eval_into(*query.q3(), t3, &l3, &s3); });
+    }
+  }
+  NDQ_RETURN_IF_ERROR(s1);
+  NDQ_RETURN_IF_ERROR(s2);
+  NDQ_RETURN_IF_ERROR(s3);
+
+  Result<EntryList> out = Status::Internal("unreachable");
+  switch (query.op()) {
     case QueryOp::kAnd:
     case QueryOp::kOr:
-    case QueryOp::kDiff: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1(), t1));
-      NDQ_ASSIGN_OR_RETURN(EntryList l2, EvaluateNode(*query.q2(), t2));
-      Result<EntryList> out = EvalBoolean(disk, query.op(), l1, l2, trace);
-      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l1));
-      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l2));
-      return out;
-    }
-    case QueryOp::kSimpleAgg: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1(), t1));
-      Result<EntryList> out = EvalSimpleAgg(disk, l1, *query.agg(), trace);
-      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l1));
-      return out;
-    }
+    case QueryOp::kDiff:
+      out = EvalBoolean(disk, query.op(), l1.get(), l2.get(), trace);
+      break;
     case QueryOp::kParents:
     case QueryOp::kChildren:
     case QueryOp::kAncestors:
-    case QueryOp::kDescendants: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1(), t1));
-      NDQ_ASSIGN_OR_RETURN(EntryList l2, EvaluateNode(*query.q2(), t2));
-      Result<EntryList> out =
-          EvalHierarchy(disk, query.op(), l1, l2, nullptr, query.agg(),
-                        options_, trace);
-      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l1));
-      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l2));
-      return out;
-    }
-    case QueryOp::kCoAncestors:
-    case QueryOp::kCoDescendants: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1(), t1));
-      NDQ_ASSIGN_OR_RETURN(EntryList l2, EvaluateNode(*query.q2(), t2));
-      NDQ_ASSIGN_OR_RETURN(EntryList l3, EvaluateNode(*query.q3(), t3));
-      Result<EntryList> out =
-          EvalHierarchy(disk, query.op(), l1, l2, &l3, query.agg(),
-                        options_, trace);
-      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l1));
-      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l2));
-      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l3));
-      return out;
-    }
-    case QueryOp::kValueDn:
-    case QueryOp::kDnValue: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, EvaluateNode(*query.q1(), t1));
-      NDQ_ASSIGN_OR_RETURN(EntryList l2, EvaluateNode(*query.q2(), t2));
-      Result<EntryList> out =
-          EvalEmbeddedRef(disk, query.op(), l1, l2, query.ref_attr(),
+    case QueryOp::kDescendants:
+      out = EvalHierarchy(disk, query.op(), l1.get(), l2.get(), nullptr,
                           query.agg(), options_, trace);
-      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l1));
-      NDQ_RETURN_IF_ERROR(FreeRun(disk, &l2));
-      return out;
-    }
+      break;
+    case QueryOp::kCoAncestors:
+    case QueryOp::kCoDescendants:
+      out = EvalHierarchy(disk, query.op(), l1.get(), l2.get(), &l3.get(),
+                          query.agg(), options_, trace);
+      break;
+    case QueryOp::kValueDn:
+    case QueryOp::kDnValue:
+      out = EvalEmbeddedRef(disk, query.op(), l1.get(), l2.get(),
+                            query.ref_attr(), query.agg(), options_, trace);
+      break;
+    default:
+      return Status::Internal("unreachable query op in distributed eval");
   }
-  return Status::Internal("unreachable query op in distributed eval");
+  NDQ_RETURN_IF_ERROR(l1.Free());
+  NDQ_RETURN_IF_ERROR(l2.Free());
+  NDQ_RETURN_IF_ERROR(l3.Free());
+  return out;
 }
 
 Result<std::vector<Entry>> DistributedDirectory::Evaluate(
@@ -314,6 +441,14 @@ Result<std::vector<Entry>> DistributedDirectory::Evaluate(
       ReadEntryList(coordinator_disk_.get(), out);
   NDQ_RETURN_IF_ERROR(FreeRun(coordinator_disk_.get(), &out));
   return entries;
+}
+
+void DistributedDirectory::set_parallelism(size_t n) {
+  if (n <= 1) {
+    pool_.reset();
+    return;
+  }
+  pool_ = std::make_unique<ThreadPool>(n);
 }
 
 void DistributedDirectory::ResetStats() {

@@ -25,23 +25,28 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "exec/evaluator.h"
+#include "exec/thread_pool.h"
 #include "query/ast.h"
 
 namespace ndq {
 
-/// Network accounting for one distributed evaluation.
+/// Network accounting for one distributed evaluation. Counters are
+/// relaxed atomics so concurrent sub-plan shipping (set_parallelism)
+/// keeps the accounting exact.
 struct NetStats {
-  uint64_t messages = 0;        ///< request/response round trips
-  uint64_t bytes_shipped = 0;   ///< result payload bytes moved to the
-                                ///< coordinator
-  uint64_t records_shipped = 0;
-  uint64_t servers_contacted = 0;  ///< distinct servers per atomic query,
-                                   ///< summed over atomic queries
-  uint64_t queries_shipped = 0;  ///< whole (sub)queries pushed to a server
+  RelaxedCounter messages = 0;  ///< request/response round trips
+  RelaxedCounter bytes_shipped = 0;  ///< result payload bytes moved to
+                                     ///< the coordinator
+  RelaxedCounter records_shipped = 0;
+  RelaxedCounter servers_contacted = 0;  ///< distinct servers per atomic
+                                         ///< query, summed over atomics
+  RelaxedCounter queries_shipped = 0;  ///< whole (sub)queries pushed to a
+                                       ///< server
 
   void Reset() { *this = NetStats(); }
 };
@@ -64,6 +69,11 @@ class DirectoryServer {
   Dn context_;
   std::unique_ptr<SimDisk> disk_;
   EntryStore store_;
+  /// One outstanding shipped query/scan per server: parallelism in the
+  /// coordinator comes from fanning out ACROSS servers, while each
+  /// server's own evaluation stays sequential (so the remote evaluator's
+  /// snapshot-based tracing on the server disk stays exact).
+  std::mutex mu_;
 };
 
 /// \brief A fleet of directory servers plus a coordinator.
@@ -103,6 +113,15 @@ class DistributedDirectory {
   /// nullptr if the query spans servers. Exposed for tests.
   DirectoryServer* SingleOwner(const Query& query);
 
+  /// Evaluates independent sub-plans (operand subtrees, per-server atomic
+  /// fan-out) on up to `n` threads (1 = sequential, the default). Results
+  /// are identical to sequential evaluation; only scheduling changes. Not
+  /// thread-safe against a concurrent Evaluate.
+  void set_parallelism(size_t n);
+  size_t parallelism() const {
+    return pool_ != nullptr ? pool_->parallelism() : 1;
+  }
+
   const NetStats& net_stats() const { return net_; }
   void ResetStats();
 
@@ -116,7 +135,11 @@ class DistributedDirectory {
   DistributedDirectory() = default;
 
   Result<EntryList> EvaluateNode(const Query& query, OpTrace* trace);
-  Result<EntryList> EvaluateNodeImpl(const Query& query, OpTrace* trace);
+  /// `shipped_whole` (may be null) is set when the node was pushed to one
+  /// server whole — its children's trace I/O then came from the remote
+  /// evaluator and is already inside this node's own IoScope.
+  Result<EntryList> EvaluateNodeImpl(const Query& query, OpTrace* trace,
+                                     bool* shipped_whole);
   Result<EntryList> EvaluateAtomicDistributed(const Query& query,
                                               OpTrace* trace);
 
@@ -131,6 +154,7 @@ class DistributedDirectory {
   ExecOptions options_;
   NetStats net_;
   bool query_shipping_ = true;
+  std::unique_ptr<ThreadPool> pool_;  // null = sequential
 };
 
 }  // namespace ndq

@@ -13,7 +13,6 @@ LabeledMerge::LabeledMerge(SimDisk* disk, const EntryList* l1,
     in.label = labels[i];
     inputs_.push_back(std::move(in));
   }
-  for (Input& in : inputs_) Refill(&in).ok();
 }
 
 Status LabeledMerge::Refill(Input* in) {
@@ -27,6 +26,10 @@ Status LabeledMerge::Refill(Input* in) {
 }
 
 Result<bool> LabeledMerge::Next(LabeledRecord* out) {
+  if (!primed_) {
+    primed_ = true;
+    for (Input& in : inputs_) NDQ_RETURN_IF_ERROR(Refill(&in));
+  }
   const std::string* min_key = nullptr;
   for (Input& in : inputs_) {
     if (in.has && (min_key == nullptr || in.key < *min_key)) {

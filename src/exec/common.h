@@ -37,6 +37,65 @@ struct ExecOptions {
   /// External sort configuration (used by the embedded-reference
   /// operators, the only place the engine sorts).
   ExternalSortOptions sort;
+  /// Number of threads an evaluator may use for independent operand
+  /// subtrees (1 = sequential). Only ParallelEvaluator and the
+  /// distributed evaluator honor it; the plain Evaluator ignores it.
+  size_t parallelism = 1;
+};
+
+/// \brief Owns an operand run's pages until released.
+///
+/// Operators consume two or three operand lists; if evaluating a later
+/// operand fails, the earlier ones' pages must still be returned to the
+/// disk. ScopedRun frees the run on destruction unless Release() has
+/// transferred ownership (to an operator that consumes it, or to the
+/// caller on success).
+class ScopedRun {
+ public:
+  ScopedRun() = default;
+  ScopedRun(SimDisk* disk, Run run) : disk_(disk), run_(run) {}
+  ~ScopedRun() { Reset(); }
+
+  ScopedRun(ScopedRun&& other) noexcept { *this = std::move(other); }
+  ScopedRun& operator=(ScopedRun&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      disk_ = other.disk_;
+      run_ = other.run_;
+      other.disk_ = nullptr;
+      other.run_ = Run{};
+    }
+    return *this;
+  }
+  ScopedRun(const ScopedRun&) = delete;
+  ScopedRun& operator=(const ScopedRun&) = delete;
+
+  const Run& get() const { return run_; }
+  const Run* operator->() const { return &run_; }
+
+  /// Transfers ownership out; the guard no longer frees anything.
+  Run Release() {
+    disk_ = nullptr;
+    Run r = run_;
+    run_ = Run{};
+    return r;
+  }
+
+  /// Frees the held run now and reports the free's status (success paths
+  /// call this so free errors still surface; the destructor ignores them,
+  /// since it runs on paths that already carry a primary error).
+  Status Free() {
+    if (disk_ == nullptr) return Status::OK();
+    SimDisk* d = disk_;
+    disk_ = nullptr;
+    return FreeRun(d, &run_);
+  }
+
+  void Reset() { Free().ok(); }
+
+ private:
+  SimDisk* disk_ = nullptr;
+  Run run_;
 };
 
 /// Membership labels in the merged stream (Figs. 2/4/5: label(r) = {i |
@@ -58,7 +117,10 @@ struct LabeledRecord {
 /// contain it, in ascending key order. Holds one page buffer per input.
 class LabeledMerge {
  public:
-  /// Any list pointer may be null (treated as empty).
+  /// Any list pointer may be null (treated as empty). The constructor does
+  /// no I/O; the first Next() call primes the inputs, so read errors from
+  /// the initial page fetches surface through Next()'s Status instead of
+  /// being lost in a constructor.
   LabeledMerge(SimDisk* disk, const EntryList* l1, const EntryList* l2,
                const EntryList* l3);
 
@@ -77,6 +139,7 @@ class LabeledMerge {
   Status Refill(Input* in);
 
   std::vector<Input> inputs_;
+  bool primed_ = false;
 };
 
 /// Materializes a labeled merge into a run of [u8 labels][entry] records.

@@ -160,6 +160,13 @@ void ExplainAnalyzeNode(const EntrySource& store, const Query& q,
   AppendIfNonZero(out, "sort_passes", t.sort_merge_passes);
   AppendIfNonZero(out, "shipped_recs", t.shipped_records);
   AppendIfNonZero(out, "shipped_bytes", t.shipped_bytes);
+  AppendIfNonZero(out, "cache_hits", t.cache_hits);
+  AppendIfNonZero(out, "cache_misses", t.cache_misses);
+  AppendIfNonZero(out, "worker", t.worker);
+  // Thread occupancy of the subtree; elide the trivial 1 so sequential
+  // output is unchanged.
+  size_t workers = t.SubtreeWorkers();
+  if (workers > 1) AppendIfNonZero(out, "workers", workers);
   std::snprintf(buf, sizeof(buf), " wall_us=%.0f}", t.wall_micros);
   out->append(buf);
   out->push_back('\n');

@@ -136,54 +136,69 @@ Result<EntryList> Evaluator::EvaluateNode(const Query& query,
     case QueryOp::kAnd:
     case QueryOp::kOr:
     case QueryOp::kDiff: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1(), t1));
-      NDQ_ASSIGN_OR_RETURN(EntryList l2, Evaluate(*query.q2(), t2));
-      Result<EntryList> out = EvalBoolean(disk_, query.op(), l1, l2, trace);
-      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l1));
-      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l2));
+      // ScopedRun guards return the operand pages to the disk on EVERY
+      // exit, including a failure while evaluating a later operand (l1
+      // used to leak if Evaluate(q2) failed).
+      NDQ_ASSIGN_OR_RETURN(EntryList r1, Evaluate(*query.q1(), t1));
+      ScopedRun l1(disk_, std::move(r1));
+      NDQ_ASSIGN_OR_RETURN(EntryList r2, Evaluate(*query.q2(), t2));
+      ScopedRun l2(disk_, std::move(r2));
+      Result<EntryList> out =
+          EvalBoolean(disk_, query.op(), l1.get(), l2.get(), trace);
+      NDQ_RETURN_IF_ERROR(l1.Free());
+      NDQ_RETURN_IF_ERROR(l2.Free());
       return out;
     }
     case QueryOp::kSimpleAgg: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1(), t1));
-      Result<EntryList> out = EvalSimpleAgg(disk_, l1, *query.agg(), trace);
-      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l1));
+      NDQ_ASSIGN_OR_RETURN(EntryList r1, Evaluate(*query.q1(), t1));
+      ScopedRun l1(disk_, std::move(r1));
+      Result<EntryList> out =
+          EvalSimpleAgg(disk_, l1.get(), *query.agg(), trace);
+      NDQ_RETURN_IF_ERROR(l1.Free());
       return out;
     }
     case QueryOp::kParents:
     case QueryOp::kChildren:
     case QueryOp::kAncestors:
     case QueryOp::kDescendants: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1(), t1));
-      NDQ_ASSIGN_OR_RETURN(EntryList l2, Evaluate(*query.q2(), t2));
+      NDQ_ASSIGN_OR_RETURN(EntryList r1, Evaluate(*query.q1(), t1));
+      ScopedRun l1(disk_, std::move(r1));
+      NDQ_ASSIGN_OR_RETURN(EntryList r2, Evaluate(*query.q2(), t2));
+      ScopedRun l2(disk_, std::move(r2));
       Result<EntryList> out =
-          EvalHierarchy(disk_, query.op(), l1, l2, nullptr, query.agg(),
-                        options_, trace);
-      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l1));
-      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l2));
+          EvalHierarchy(disk_, query.op(), l1.get(), l2.get(), nullptr,
+                        query.agg(), options_, trace);
+      NDQ_RETURN_IF_ERROR(l1.Free());
+      NDQ_RETURN_IF_ERROR(l2.Free());
       return out;
     }
     case QueryOp::kCoAncestors:
     case QueryOp::kCoDescendants: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1(), t1));
-      NDQ_ASSIGN_OR_RETURN(EntryList l2, Evaluate(*query.q2(), t2));
-      NDQ_ASSIGN_OR_RETURN(EntryList l3, Evaluate(*query.q3(), t3));
+      NDQ_ASSIGN_OR_RETURN(EntryList r1, Evaluate(*query.q1(), t1));
+      ScopedRun l1(disk_, std::move(r1));
+      NDQ_ASSIGN_OR_RETURN(EntryList r2, Evaluate(*query.q2(), t2));
+      ScopedRun l2(disk_, std::move(r2));
+      NDQ_ASSIGN_OR_RETURN(EntryList r3, Evaluate(*query.q3(), t3));
+      ScopedRun l3(disk_, std::move(r3));
       Result<EntryList> out =
-          EvalHierarchy(disk_, query.op(), l1, l2, &l3, query.agg(),
-                        options_, trace);
-      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l1));
-      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l2));
-      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l3));
+          EvalHierarchy(disk_, query.op(), l1.get(), l2.get(), &l3.get(),
+                        query.agg(), options_, trace);
+      NDQ_RETURN_IF_ERROR(l1.Free());
+      NDQ_RETURN_IF_ERROR(l2.Free());
+      NDQ_RETURN_IF_ERROR(l3.Free());
       return out;
     }
     case QueryOp::kValueDn:
     case QueryOp::kDnValue: {
-      NDQ_ASSIGN_OR_RETURN(EntryList l1, Evaluate(*query.q1(), t1));
-      NDQ_ASSIGN_OR_RETURN(EntryList l2, Evaluate(*query.q2(), t2));
+      NDQ_ASSIGN_OR_RETURN(EntryList r1, Evaluate(*query.q1(), t1));
+      ScopedRun l1(disk_, std::move(r1));
+      NDQ_ASSIGN_OR_RETURN(EntryList r2, Evaluate(*query.q2(), t2));
+      ScopedRun l2(disk_, std::move(r2));
       Result<EntryList> out =
-          EvalEmbeddedRef(disk_, query.op(), l1, l2, query.ref_attr(),
-                          query.agg(), options_, trace);
-      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l1));
-      NDQ_RETURN_IF_ERROR(FreeRun(disk_, &l2));
+          EvalEmbeddedRef(disk_, query.op(), l1.get(), l2.get(),
+                          query.ref_attr(), query.agg(), options_, trace);
+      NDQ_RETURN_IF_ERROR(l1.Free());
+      NDQ_RETURN_IF_ERROR(l2.Free());
       return out;
     }
   }

@@ -1,0 +1,109 @@
+// A bounded LRU cache of finished sorted operand lists.
+//
+// Atomic sub-queries recur — within one query (the same leaf under several
+// operators) and across a workload batch (every query anchored at the same
+// base/scope/filter). Their outputs are immutable sorted EntryLists, so the
+// cache can hand back a copy for the cost of re-reading it (~out pages)
+// instead of re-scanning the store (scan >> out for selective filters).
+//
+// Keys are the canonical leaf rendering (QueryNodeLabel), so two
+// syntactically different but identically-canonicalized leaves share an
+// entry. The cache owns PRIVATE copies of the runs it stores: Insert
+// copies the caller's list in, Lookup copies the cached list out into a
+// fresh run the caller owns. Nothing the caller later frees can invalidate
+// a cached entry, and concurrent hits on one entry are plain concurrent
+// page reads.
+//
+// Thread safety: one mutex guards the map, the LRU order and the stats;
+// page copying happens OUTSIDE the lock under a per-entry pin count, so
+// one thread copying a large list out does not stall other lookups. A
+// pinned entry cannot be evicted; eviction skips past pinned entries to
+// the next least-recently-used one.
+
+#ifndef NDQ_EXEC_OPERAND_CACHE_H_
+#define NDQ_EXEC_OPERAND_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "exec/common.h"
+
+namespace ndq {
+
+struct OperandCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  /// Inserts rejected because the list alone exceeds the capacity.
+  uint64_t oversize_rejects = 0;
+  uint64_t resident_pages = 0;
+  uint64_t resident_entries = 0;
+};
+
+class OperandCache {
+ public:
+  /// `capacity_pages` bounds the total pages of cached runs (on `disk`).
+  OperandCache(SimDisk* disk, size_t capacity_pages);
+  ~OperandCache();
+
+  OperandCache(const OperandCache&) = delete;
+  OperandCache& operator=(const OperandCache&) = delete;
+
+  SimDisk* disk() const { return disk_; }
+  size_t capacity_pages() const { return capacity_pages_; }
+
+  /// On a hit, copies the cached list into a fresh run owned by the caller
+  /// and returns true (counting a hit); on a miss returns false (counting
+  /// a miss). `out` is written only on a hit.
+  Result<bool> Lookup(const std::string& key, EntryList* out);
+
+  /// Copies `list` into the cache under `key` (the caller keeps ownership
+  /// of `list` itself). No-op if the key is already cached or the list
+  /// alone exceeds the capacity; otherwise evicts least-recently-used
+  /// unpinned entries until the copy fits.
+  Status Insert(const std::string& key, const EntryList& list);
+
+  /// Drops every entry (pinned entries are doomed and freed when their
+  /// in-flight copies finish). Call when the underlying store mutates:
+  /// cached lists reflect a snapshot of it.
+  void Clear();
+
+  OperandCacheStats stats() const;
+
+ private:
+  // Entries are shared_ptr-held so a copy-out can keep its entry's
+  // storage alive across an unlock even if the entry is evicted meanwhile
+  // (the eviction dooms it; the last unpin frees the run).
+  struct Entry {
+    EntryList list;           // cache-private copy
+    uint64_t pins = 0;        // in-flight copy-outs
+    bool doomed = false;      // evicted/cleared while pinned
+    std::list<std::string>::iterator lru_it;
+  };
+
+  /// Copies `src` into a new run on disk_. Record-level copy via
+  /// RunReader/RunWriter: ~src.pages reads + writes.
+  Result<EntryList> CopyList(const EntryList& src);
+
+  /// Caller holds mu_. Frees `it`'s run (or dooms it if pinned) and
+  /// removes it from the map.
+  void EvictLocked(
+      std::unordered_map<std::string, std::shared_ptr<Entry>>::iterator it);
+
+  SimDisk* const disk_;
+  const size_t capacity_pages_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  std::list<std::string> lru_;  // front = least recently used
+  size_t resident_pages_ = 0;   // over non-doomed entries
+  OperandCacheStats stats_;
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_EXEC_OPERAND_CACHE_H_

@@ -1,0 +1,206 @@
+#include "exec/parallel_evaluator.h"
+
+#include <chrono>
+
+#include "exec/atomic.h"
+#include "exec/boolean.h"
+#include "exec/embedded_ref.h"
+#include "exec/hierarchy.h"
+
+namespace ndq {
+
+ParallelEvaluator::ParallelEvaluator(SimDisk* disk, const EntrySource* store,
+                                     ExecOptions options, OperandCache* cache)
+    : disk_(disk),
+      store_(store),
+      options_(options),
+      cache_(cache),
+      pool_(std::make_unique<ThreadPool>(
+          options.parallelism == 0 ? 1 : options.parallelism)) {}
+
+ParallelEvaluator::~ParallelEvaluator() = default;
+
+EvalStats ParallelEvaluator::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void ParallelEvaluator::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = EvalStats();
+}
+
+Result<EntryList> ParallelEvaluator::Evaluate(const Query& query,
+                                              OpTrace* trace) {
+  if (cache_ != nullptr && cache_->disk() != disk_) {
+    return Status::InvalidArgument(
+        "operand cache is backed by a different disk than the evaluator");
+  }
+  return EvaluateTraced(query, trace);
+}
+
+Result<std::vector<Entry>> ParallelEvaluator::EvaluateToEntries(
+    const Query& query, OpTrace* trace) {
+  NDQ_ASSIGN_OR_RETURN(EntryList list, Evaluate(query, trace));
+  ScopedRun guard(disk_, std::move(list));
+  Result<std::vector<Entry>> entries = ReadEntryList(disk_, guard.get());
+  NDQ_RETURN_IF_ERROR(guard.Free());
+  return entries;
+}
+
+Result<EntryList> ParallelEvaluator::EvaluateTraced(const Query& query,
+                                                    OpTrace* trace) {
+  if (trace == nullptr) return EvaluateNode(query, nullptr);
+  *trace = OpTrace();
+  trace->label = QueryNodeLabel(query);
+  trace->op = query.op();
+  trace->worker = ThreadPool::current_worker_id();
+  const auto start = std::chrono::steady_clock::now();
+  IoStats self;
+  Result<EntryList> out = [&] {
+    // nullptr disk: count this thread's traffic on every device (scratch
+    // plus store, when split), like the sequential evaluator's snapshots.
+    // Child scopes on this thread nest inside and claim their own I/O;
+    // children on other threads never touch this scope. Either way `self`
+    // is exactly this node's own traffic.
+    IoScope scope(nullptr, &self);
+    return EvaluateNode(query, trace);
+  }();
+  if (!out.ok()) return out;
+  trace->io = self;
+  for (const OpTrace& child : trace->children) trace->io += child.io;
+  trace->wall_micros = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  trace->output_records = out->num_records;
+  trace->output_pages = out->pages.size();
+  return out;
+}
+
+Status ParallelEvaluator::EvalOperandInto(const Query& query, OpTrace* trace,
+                                          ScopedRun* out) {
+  Result<EntryList> r = EvaluateTraced(query, trace);
+  if (!r.ok()) return r.status();
+  *out = ScopedRun(disk_, r.TakeValue());
+  return Status::OK();
+}
+
+Result<EntryList> ParallelEvaluator::EvalLeaf(const Query& query,
+                                              OpTrace* trace) {
+  std::string key;
+  if (cache_ != nullptr) {
+    key = QueryNodeLabel(query);
+    EntryList cached;
+    NDQ_ASSIGN_OR_RETURN(bool hit, cache_->Lookup(key, &cached));
+    if (hit) {
+      if (trace != nullptr) trace->cache_hits = 1;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.atomic_queries;
+      stats_.atomic_output_records += cached.num_records;
+      return cached;
+    }
+  }
+  Result<EntryList> out =
+      query.op() == QueryOp::kAtomic
+          ? EvalAtomic(disk_, *store_, query.base(), query.scope(),
+                       query.filter(), trace)
+          : EvalLdap(disk_, *store_, query.base(), query.scope(),
+                     *query.ldap_filter(), trace);
+  if (!out.ok()) return out;
+  if (cache_ != nullptr) {
+    NDQ_RETURN_IF_ERROR(cache_->Insert(key, *out));
+    if (trace != nullptr) trace->cache_misses = 1;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.atomic_queries;
+  stats_.atomic_output_records += out->num_records;
+  return out;
+}
+
+Result<EntryList> ParallelEvaluator::EvaluateNode(const Query& query,
+                                                  OpTrace* trace) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.operators_evaluated;
+  }
+  OpTrace* t1 = nullptr;
+  OpTrace* t2 = nullptr;
+  OpTrace* t3 = nullptr;
+  if (trace != nullptr) {
+    size_t n = (query.q1() != nullptr ? 1 : 0) +
+               (query.q2() != nullptr ? 1 : 0) +
+               (query.q3() != nullptr ? 1 : 0);
+    trace->children.resize(n);
+    if (n > 0) t1 = &trace->children[0];
+    if (n > 1) t2 = &trace->children[1];
+    if (n > 2) t3 = &trace->children[2];
+  }
+
+  switch (query.op()) {
+    case QueryOp::kAtomic:
+    case QueryOp::kLdap:
+      return EvalLeaf(query, trace);
+    case QueryOp::kSimpleAgg: {
+      // One operand: nothing to fork.
+      ScopedRun l1;
+      NDQ_RETURN_IF_ERROR(EvalOperandInto(*query.q1(), t1, &l1));
+      Result<EntryList> out =
+          EvalSimpleAgg(disk_, l1.get(), *query.agg(), trace);
+      NDQ_RETURN_IF_ERROR(l1.Free());
+      return out;
+    }
+    default:
+      break;
+  }
+
+  // Multi-operand operators: fork the operand subtrees, join, then run
+  // the operator on this thread. ScopedRun guards free whatever operands
+  // did materialize when any operand fails.
+  ScopedRun l1, l2, l3;
+  Status s1, s2, s3;
+  {
+    ThreadPool::TaskGroup group(pool_.get());
+    group.Run([&] { s1 = EvalOperandInto(*query.q1(), t1, &l1); });
+    group.Run([&] { s2 = EvalOperandInto(*query.q2(), t2, &l2); });
+    if (query.q3() != nullptr) {
+      group.Run([&] { s3 = EvalOperandInto(*query.q3(), t3, &l3); });
+    }
+  }
+  NDQ_RETURN_IF_ERROR(s1);
+  NDQ_RETURN_IF_ERROR(s2);
+  NDQ_RETURN_IF_ERROR(s3);
+
+  Result<EntryList> out = Status::Internal("unreachable");
+  switch (query.op()) {
+    case QueryOp::kAnd:
+    case QueryOp::kOr:
+    case QueryOp::kDiff:
+      out = EvalBoolean(disk_, query.op(), l1.get(), l2.get(), trace);
+      break;
+    case QueryOp::kParents:
+    case QueryOp::kChildren:
+    case QueryOp::kAncestors:
+    case QueryOp::kDescendants:
+      out = EvalHierarchy(disk_, query.op(), l1.get(), l2.get(), nullptr,
+                          query.agg(), options_, trace);
+      break;
+    case QueryOp::kCoAncestors:
+    case QueryOp::kCoDescendants:
+      out = EvalHierarchy(disk_, query.op(), l1.get(), l2.get(), &l3.get(),
+                          query.agg(), options_, trace);
+      break;
+    case QueryOp::kValueDn:
+    case QueryOp::kDnValue:
+      out = EvalEmbeddedRef(disk_, query.op(), l1.get(), l2.get(),
+                            query.ref_attr(), query.agg(), options_, trace);
+      break;
+    default:
+      return Status::Internal("unreachable query op in ParallelEvaluator");
+  }
+  NDQ_RETURN_IF_ERROR(l1.Free());
+  NDQ_RETURN_IF_ERROR(l2.Free());
+  NDQ_RETURN_IF_ERROR(l3.Free());
+  return out;
+}
+
+}  // namespace ndq

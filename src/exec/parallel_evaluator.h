@@ -1,0 +1,88 @@
+// The intra-query parallel evaluator.
+//
+// The bottom-up plans of Sec. 8.2 have natural task parallelism: an
+// operator's operands (q1/q2[/q3]) touch disjoint intermediate lists, so
+// their subtrees can evaluate concurrently and join at the operator. On a
+// simulated disk with transfer latency this overlaps I/O stalls exactly
+// the way a real server overlaps seeks across query streams; the page
+// counts themselves (the theorems' currency) are unchanged — parallelism
+// reorders transfers, it does not add any.
+//
+// ParallelEvaluator produces byte-identical EntryLists to Evaluator for
+// every query: each operator still consumes fully-materialized sorted
+// operands, so the merge order — and therefore every record of every
+// intermediate and final list — does not depend on scheduling.
+//
+// Tracing under concurrency uses IoScope (storage/disk.h) instead of the
+// sequential evaluator's counter snapshots, which would attribute a
+// sibling's concurrent I/O to whichever node's window it landed in. Each
+// node's scope captures only the I/O its own thread does for that node;
+// cumulative subtree I/O is reassembled as self + sum of children, so
+// EXPLAIN ANALYZE and VerifyTheoremBounds keep working unchanged.
+//
+// An optional OperandCache short-circuits repeated atomic leaves (see
+// exec/operand_cache.h); hits and misses land in the leaf's OpTrace.
+
+#ifndef NDQ_EXEC_PARALLEL_EVALUATOR_H_
+#define NDQ_EXEC_PARALLEL_EVALUATOR_H_
+
+#include <memory>
+#include <mutex>
+
+#include "exec/evaluator.h"
+#include "exec/operand_cache.h"
+#include "exec/thread_pool.h"
+
+namespace ndq {
+
+class ParallelEvaluator {
+ public:
+  /// `options.parallelism` threads evaluate independent operand subtrees
+  /// (1 = sequential schedule, same code path). A non-null `cache` must be
+  /// backed by the same scratch disk as the evaluator; it is consulted for
+  /// every atomic leaf and must be Clear()ed by the owner whenever the
+  /// store mutates.
+  ParallelEvaluator(SimDisk* disk, const EntrySource* store,
+                    ExecOptions options = {}, OperandCache* cache = nullptr);
+  ~ParallelEvaluator();
+
+  ParallelEvaluator(const ParallelEvaluator&) = delete;
+  ParallelEvaluator& operator=(const ParallelEvaluator&) = delete;
+
+  /// Evaluates the query; the caller owns (and frees) the returned list.
+  /// Identical records, in identical order, to Evaluator::Evaluate. A
+  /// non-null `trace` receives the per-operator execution trace,
+  /// including which worker ran each node and the leaf cache traffic.
+  Result<EntryList> Evaluate(const Query& query, OpTrace* trace = nullptr);
+
+  /// Convenience: evaluates and deserializes the result entries.
+  Result<std::vector<Entry>> EvaluateToEntries(const Query& query,
+                                               OpTrace* trace = nullptr);
+
+  size_t parallelism() const { return pool_->parallelism(); }
+  OperandCache* cache() const { return cache_; }
+
+  EvalStats stats() const;
+  void ResetStats();
+
+ private:
+  /// Trace-wrapping recursion step: opens this node's IoScope, times it,
+  /// and reassembles cumulative io as self + sum of children.
+  Result<EntryList> EvaluateTraced(const Query& query, OpTrace* trace);
+  Result<EntryList> EvaluateNode(const Query& query, OpTrace* trace);
+  Result<EntryList> EvalLeaf(const Query& query, OpTrace* trace);
+  /// Evaluates one operand subtree into a ScopedRun (fork target).
+  Status EvalOperandInto(const Query& query, OpTrace* trace, ScopedRun* out);
+
+  SimDisk* disk_;
+  const EntrySource* store_;
+  ExecOptions options_;
+  OperandCache* cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  mutable std::mutex stats_mu_;
+  EvalStats stats_;
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_EXEC_PARALLEL_EVALUATOR_H_

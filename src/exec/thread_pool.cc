@@ -1,0 +1,92 @@
+#include "exec/thread_pool.h"
+
+namespace ndq {
+
+namespace {
+// 0 on any thread that is not a pool worker (in particular the thread
+// that owns the query); workers get 1..N at spawn.
+thread_local uint32_t g_worker_id = 0;
+}  // namespace
+
+uint32_t ThreadPool::current_worker_id() { return g_worker_id; }
+
+ThreadPool::ThreadPool(size_t parallelism) {
+  size_t workers = parallelism > 1 ? parallelism - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back(
+        [this, id = static_cast<uint32_t>(i + 1)] { WorkerLoop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  // Any tasks still queued belong to TaskGroups that have not been waited
+  // on; groups must not outlive the pool, so the queue is empty here.
+}
+
+void ThreadPool::RunTask(Task task, std::unique_lock<std::mutex>* lock) {
+  lock->unlock();
+  task.fn();
+  lock->lock();
+  if (--task.group->pending_ == 0) done_cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop(uint32_t id) {
+  g_worker_id = id;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_ && queue_.empty()) return;
+    if (queue_.empty()) continue;
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    RunTask(std::move(task), &lock);
+  }
+}
+
+ThreadPool::TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {
+  if (pool_ != nullptr && pool_->workers_.empty()) pool_ = nullptr;
+}
+
+ThreadPool::TaskGroup::~TaskGroup() { Wait(); }
+
+void ThreadPool::TaskGroup::Run(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    fn();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(pool_->mu_);
+    ++pending_;
+    pool_->queue_.push_back(Task{std::move(fn), this});
+  }
+  pool_->work_cv_.notify_one();
+}
+
+void ThreadPool::TaskGroup::Wait() {
+  if (pool_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(pool_->mu_);
+  while (pending_ > 0) {
+    // Help: run a task of THIS group if one is still queued. Helping only
+    // our own group keeps Wait() latency bounded by our own children, and
+    // together with workers draining the shared queue it guarantees that
+    // whatever we wait on is either runnable by us or already running.
+    auto it = pool_->queue_.begin();
+    while (it != pool_->queue_.end() && it->group != this) ++it;
+    if (it != pool_->queue_.end()) {
+      Task task = std::move(*it);
+      pool_->queue_.erase(it);
+      pool_->RunTask(std::move(task), &lock);
+      continue;
+    }
+    pool_->done_cv_.wait(lock);
+  }
+}
+
+}  // namespace ndq

@@ -46,6 +46,9 @@ void RenderNode(const OpTrace& t, int depth, std::string* out) {
   AppendCounter(out, "sort_passes", t.sort_merge_passes, /*always=*/false);
   AppendCounter(out, "shipped_recs", t.shipped_records, /*always=*/false);
   AppendCounter(out, "shipped_bytes", t.shipped_bytes, /*always=*/false);
+  AppendCounter(out, "cache_hits", t.cache_hits, /*always=*/false);
+  AppendCounter(out, "cache_misses", t.cache_misses, /*always=*/false);
+  AppendCounter(out, "worker", t.worker, /*always=*/false);
   char buf[48];
   std::snprintf(buf, sizeof(buf), " wall_us=%.0f", t.wall_micros);
   out->append(buf);
@@ -151,6 +154,26 @@ size_t OpTrace::NodeCount() const {
   size_t n = 1;
   for (const OpTrace& child : children) n += child.NodeCount();
   return n;
+}
+
+namespace {
+void CollectWorkers(const OpTrace& t, std::vector<uint32_t>* ids) {
+  bool seen = false;
+  for (uint32_t id : *ids) {
+    if (id == t.worker) {
+      seen = true;
+      break;
+    }
+  }
+  if (!seen) ids->push_back(t.worker);
+  for (const OpTrace& child : t.children) CollectWorkers(child, ids);
+}
+}  // namespace
+
+size_t OpTrace::SubtreeWorkers() const {
+  std::vector<uint32_t> ids;
+  CollectWorkers(*this, &ids);
+  return ids.size();
 }
 
 std::string OpTrace::ToString() const {

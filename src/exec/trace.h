@@ -61,6 +61,14 @@ struct OpTrace {
   /// Distributed atomic nodes: payload shipped to the coordinator.
   uint64_t shipped_records = 0;
   uint64_t shipped_bytes = 0;
+  /// Operand-cache traffic at this node (parallel evaluator only): a hit
+  /// means the leaf's sorted list was copied out of the cache instead of
+  /// re-scanning the store; a miss means it was evaluated and inserted.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// Thread that evaluated this node: 0 = the query's calling thread,
+  /// 1..N = pool workers (ThreadPool::current_worker_id()).
+  uint32_t worker = 0;
 
   /// Page I/O of the node's subtree, summed over every disk the
   /// evaluation touched (scratch + store, or all servers).
@@ -77,6 +85,11 @@ struct OpTrace {
 
   /// Nodes in this subtree (== Query::NodeCount() of the traced query).
   size_t NodeCount() const;
+
+  /// Number of DISTINCT threads that evaluated nodes of this subtree —
+  /// the thread occupancy EXPLAIN ANALYZE reports per operator. 1 under
+  /// sequential evaluation.
+  size_t SubtreeWorkers() const;
 
   /// Indented tree rendering (measurement side only; ExplainAnalyze in
   /// exec/cost.h renders estimates alongside). One line per node:

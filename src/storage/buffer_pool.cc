@@ -42,6 +42,7 @@ BufferPool::BufferPool(SimDisk* disk, size_t capacity)
 BufferPool::~BufferPool() { FlushAll().ok(); }
 
 Result<PageHandle> BufferPool::Pin(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++stats_.hits;
@@ -66,6 +67,7 @@ Result<PageHandle> BufferPool::Pin(PageId id) {
 }
 
 Result<PageHandle> BufferPool::New() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (frames_.size() >= capacity_) NDQ_RETURN_IF_ERROR(EvictOne());
   PageId id = disk_->Allocate();
   Frame f;
@@ -80,6 +82,7 @@ Result<PageHandle> BufferPool::New() {
 }
 
 void BufferPool::Unpin(PageId id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(id);
   if (it == frames_.end()) return;
   Frame& f = it->second;
@@ -110,6 +113,7 @@ Status BufferPool::EvictOne() {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [id, f] : frames_) {
     if (f.dirty) {
       NDQ_RETURN_IF_ERROR(disk_->WritePage(id, f.data.get()));
@@ -121,13 +125,16 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::FreePage(PageId id) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    if (it->second.pin_count > 0) {
-      return Status::InvalidArgument("freeing pinned page");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = frames_.find(id);
+    if (it != frames_.end()) {
+      if (it->second.pin_count > 0) {
+        return Status::InvalidArgument("freeing pinned page");
+      }
+      if (it->second.in_lru) lru_.erase(it->second.lru_it);
+      frames_.erase(it);
     }
-    if (it->second.in_lru) lru_.erase(it->second.lru_it);
-    frames_.erase(it);
   }
   return disk_->Free(id);
 }

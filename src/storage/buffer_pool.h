@@ -4,6 +4,12 @@
 // directory) go through the pool; sequential runs deliberately bypass it
 // with single-page buffers. Pool hits cost no disk I/O, so index lookups
 // on hot paths show realistic cost structure in the benchmarks.
+//
+// The pool is safe for concurrent use: one mutex guards the frame map and
+// LRU list (frame payloads are heap blocks with stable addresses, so a
+// pinned handle's data() stays valid without the lock). Two threads may
+// pin the same page; coordinating writes to shared frame BYTES is the
+// caller's job, as it always was single-threaded.
 
 #ifndef NDQ_STORAGE_BUFFER_POOL_H_
 #define NDQ_STORAGE_BUFFER_POOL_H_
@@ -11,6 +17,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "storage/disk.h"
@@ -49,10 +56,10 @@ class PageHandle {
 };
 
 struct BufferPoolStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-  uint64_t dirty_writebacks = 0;
+  RelaxedCounter hits = 0;
+  RelaxedCounter misses = 0;
+  RelaxedCounter evictions = 0;
+  RelaxedCounter dirty_writebacks = 0;
 };
 
 class BufferPool {
@@ -83,7 +90,10 @@ class BufferPool {
   SimDisk* disk() { return disk_; }
 
   /// Current number of resident frames (for memory accounting in tests).
-  size_t resident() const { return frames_.size(); }
+  size_t resident() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_.size();
+  }
 
  private:
   friend class PageHandle;
@@ -97,10 +107,11 @@ class BufferPool {
   };
 
   void Unpin(PageId id, bool dirty);
-  Status EvictOne();
+  Status EvictOne();  // caller holds mu_
 
   SimDisk* disk_;
   size_t capacity_;
+  mutable std::mutex mu_;
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // front = least recently used
   BufferPoolStats stats_;

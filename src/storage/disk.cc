@@ -1,13 +1,66 @@
 #include "storage/disk.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 namespace ndq {
 
 namespace {
+
 constexpr char kDiskMagic[8] = {'n', 'd', 'q', 'd', 'i', 's', 'k', '1'};
+
+// Per-thread stack of attribution scopes (see IoScope in disk.h). Only
+// this thread pushes/pops or reads its own stack, so no locking is
+// needed; the innermost matching entry receives each operation.
+struct ScopeEntry {
+  const SimDisk* disk;  // nullptr = any disk
+  IoStats* acc;
+};
+thread_local std::vector<ScopeEntry> g_io_scopes;
+
+void BumpScoped(const SimDisk* disk, RelaxedCounter IoStats::* field) {
+  for (auto it = g_io_scopes.rbegin(); it != g_io_scopes.rend(); ++it) {
+    if (it->disk == nullptr || it->disk == disk) {
+      ++(it->acc->*field);
+      return;
+    }
+  }
+}
+
 }  // namespace
+
+IoScope::IoScope(const SimDisk* disk, IoStats* acc) {
+  g_io_scopes.push_back(ScopeEntry{disk, acc});
+}
+
+IoScope::~IoScope() { g_io_scopes.pop_back(); }
+
+SimDisk::~SimDisk() { FreeAllChunks(); }
+
+void SimDisk::FreeAllChunks() {
+  for (auto& chunk : chunks_) {
+    PageSlot* p = chunk.load(std::memory_order_relaxed);
+    if (p != nullptr) delete[] p;
+    chunk.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+SimDisk::PageSlot* SimDisk::SlotFor(PageId id) const {
+  if (id >= num_slots_.load(std::memory_order_acquire)) return nullptr;
+  PageSlot* chunk = chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+  if (chunk == nullptr) return nullptr;
+  return &chunk[id & (kChunkSize - 1)];
+}
+
+void SimDisk::SimulateLatency() const {
+  uint32_t us = latency_micros_.load(std::memory_order_relaxed);
+  if (us == 0) return;
+  // sleep_for (not a spin) so concurrent transfers overlap even on a
+  // single core — the point of the simulation.
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
 
 Status SimDisk::SaveToFile(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -19,17 +72,18 @@ Status SimDisk::SaveToFile(const std::string& path) const {
     return Status::Internal(std::string("disk save: ") + what + ": " + path);
   };
   uint64_t page_size = page_size_;
-  uint64_t num_slots = pages_.size();
+  uint64_t num_slots = num_slots_.load(std::memory_order_acquire);
   if (std::fwrite(kDiskMagic, 1, 8, f) != 8 ||
       std::fwrite(&page_size, sizeof page_size, 1, f) != 1 ||
       std::fwrite(&num_slots, sizeof num_slots, 1, f) != 1) {
     return fail("header write failed");
   }
-  for (const PageSlot& slot : pages_) {
-    uint8_t live = slot.live ? 1 : 0;
+  for (uint64_t i = 0; i < num_slots; ++i) {
+    const PageSlot* slot = SlotFor(static_cast<PageId>(i));
+    uint8_t live = (slot != nullptr && slot->live) ? 1 : 0;
     if (std::fwrite(&live, 1, 1, f) != 1) return fail("slot flag");
-    if (slot.live &&
-        std::fwrite(slot.data.get(), 1, page_size_, f) != page_size_) {
+    if (live &&
+        std::fwrite(slot->data.get(), 1, page_size_, f) != page_size_) {
       return fail("page payload");
     }
   }
@@ -65,78 +119,140 @@ Status SimDisk::LoadFromFile(const std::string& path) {
         "disk image page size " + std::to_string(page_size) +
         " does not match device page size " + std::to_string(page_size_));
   }
-  std::vector<PageSlot> slots(num_slots);
-  std::vector<PageId> free_list;
+  if (num_slots > kMaxChunks * kChunkSize) {
+    return fail("image larger than device capacity");
+  }
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  FreeAllChunks();
+  num_slots_.store(0, std::memory_order_release);
+  free_list_.clear();
   size_t live = 0;
   for (uint64_t i = 0; i < num_slots; ++i) {
     uint8_t flag = 0;
     if (std::fread(&flag, 1, 1, f) != 1) return fail("short slot flag");
-    slots[i].data = std::make_unique<uint8_t[]>(page_size_);
+    size_t chunk_idx = i >> kChunkBits;
+    if (chunks_[chunk_idx].load(std::memory_order_relaxed) == nullptr) {
+      chunks_[chunk_idx].store(new PageSlot[kChunkSize],
+                               std::memory_order_release);
+    }
+    PageSlot& slot =
+        chunks_[chunk_idx].load(std::memory_order_relaxed)[i &
+                                                           (kChunkSize - 1)];
+    slot.data = std::make_unique<uint8_t[]>(page_size_);
     if (flag != 0) {
-      if (std::fread(slots[i].data.get(), 1, page_size_, f) != page_size_) {
+      if (std::fread(slot.data.get(), 1, page_size_, f) != page_size_) {
         return fail("short page payload");
       }
-      slots[i].live = true;
+      slot.live = true;
       ++live;
     } else {
-      std::memset(slots[i].data.get(), 0, page_size_);
-      free_list.push_back(static_cast<PageId>(i));
+      std::memset(slot.data.get(), 0, page_size_);
+      slot.live = false;
+      free_list_.push_back(static_cast<PageId>(i));
     }
   }
   std::fclose(f);
-  pages_ = std::move(slots);
-  free_list_ = std::move(free_list);
-  live_pages_ = live;
+  num_slots_.store(num_slots, std::memory_order_release);
+  live_pages_.store(live, std::memory_order_relaxed);
   return Status::OK();
 }
 
 PageId SimDisk::Allocate() {
-  ++stats_.pages_allocated;
-  ++live_pages_;
-  if (!free_list_.empty()) {
-    PageId id = free_list_.back();
-    free_list_.pop_back();
-    PageSlot& slot = pages_[id];
-    slot.live = true;
-    std::memset(slot.data.get(), 0, page_size_);
-    return id;
+  PageId id;
+  {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      free_list_.pop_back();
+    } else {
+      size_t n = num_slots_.load(std::memory_order_relaxed);
+      if (n >= kMaxChunks * kChunkSize) {
+        // 64 GiB simulated capacity exhausted; treat as fatal, matching
+        // what a real device driver would do on ENOSPC with no caller
+        // error path.
+        std::fprintf(stderr, "SimDisk: page table capacity exhausted\n");
+        std::abort();
+      }
+      size_t chunk_idx = n >> kChunkBits;
+      if (chunks_[chunk_idx].load(std::memory_order_relaxed) == nullptr) {
+        chunks_[chunk_idx].store(new PageSlot[kChunkSize],
+                                 std::memory_order_release);
+      }
+      id = static_cast<PageId>(n);
+      num_slots_.store(n + 1, std::memory_order_release);
+    }
   }
-  PageId id = static_cast<PageId>(pages_.size());
-  PageSlot slot;
-  slot.data = std::make_unique<uint8_t[]>(page_size_);
-  std::memset(slot.data.get(), 0, page_size_);
-  slot.live = true;
-  pages_.push_back(std::move(slot));
+  PageSlot* slot = SlotFor(id);
+  {
+    std::lock_guard<std::mutex> lock(ShardFor(id));
+    if (slot->data == nullptr) {
+      slot->data = std::make_unique<uint8_t[]>(page_size_);
+    }
+    std::memset(slot->data.get(), 0, page_size_);
+    slot->live = true;
+  }
+  ++stats_.pages_allocated;
+  BumpScoped(this, &IoStats::pages_allocated);
+  live_pages_.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
 Status SimDisk::Free(PageId id) {
-  if (id >= pages_.size() || !pages_[id].live) {
+  PageSlot* slot = SlotFor(id);
+  if (slot != nullptr) {
+    std::lock_guard<std::mutex> lock(ShardFor(id));
+    if (!slot->live) slot = nullptr;
+    if (slot != nullptr) slot->live = false;
+  }
+  if (slot == nullptr) {
     return Status::InvalidArgument("freeing invalid page " +
                                    std::to_string(id));
   }
-  pages_[id].live = false;
-  free_list_.push_back(id);
+  {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    free_list_.push_back(id);
+  }
   ++stats_.pages_freed;
-  --live_pages_;
+  BumpScoped(this, &IoStats::pages_freed);
+  live_pages_.fetch_sub(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status SimDisk::ReadPage(PageId id, uint8_t* buf) {
-  if (id >= pages_.size() || !pages_[id].live) {
+  PageSlot* slot = SlotFor(id);
+  bool ok = false;
+  if (slot != nullptr) {
+    std::lock_guard<std::mutex> lock(ShardFor(id));
+    if (slot->live) {
+      std::memcpy(buf, slot->data.get(), page_size_);
+      ok = true;
+    }
+  }
+  if (!ok) {
     return Status::OutOfRange("reading invalid page " + std::to_string(id));
   }
-  std::memcpy(buf, pages_[id].data.get(), page_size_);
   ++stats_.page_reads;
+  BumpScoped(this, &IoStats::page_reads);
+  SimulateLatency();
   return Status::OK();
 }
 
 Status SimDisk::WritePage(PageId id, const uint8_t* buf) {
-  if (id >= pages_.size() || !pages_[id].live) {
+  PageSlot* slot = SlotFor(id);
+  bool ok = false;
+  if (slot != nullptr) {
+    std::lock_guard<std::mutex> lock(ShardFor(id));
+    if (slot->live) {
+      std::memcpy(slot->data.get(), buf, page_size_);
+      ok = true;
+    }
+  }
+  if (!ok) {
     return Status::OutOfRange("writing invalid page " + std::to_string(id));
   }
-  std::memcpy(pages_[id].data.get(), buf, page_size_);
   ++stats_.page_writes;
+  BumpScoped(this, &IoStats::page_writes);
+  SimulateLatency();
   return Status::OK();
 }
 

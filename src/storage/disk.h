@@ -5,12 +5,27 @@
 // lives in its pages, and every transfer is counted in IoStats. Keeping the
 // device in memory makes benchmark runs deterministic and fast while
 // preserving exactly the quantity the paper's theorems are about.
+//
+// The device is safe for concurrent use by the parallel evaluator
+// (exec/parallel_evaluator.h):
+//   * the page table is a chunked array behind atomic chunk pointers, so
+//     it grows without invalidating concurrent readers;
+//   * per-slot state (live flag, page bytes) is guarded by a sharded
+//     mutex keyed on the page id;
+//   * the free list and slot-count growth sit under one allocation mutex;
+//   * IoStats counters are relaxed atomics, so the simulated-I/O
+//     accounting stays exact under any interleaving.
+// SaveToFile/LoadFromFile are NOT safe against concurrent page traffic;
+// quiesce the device first (they are checkpoint/restore paths).
 
 #ifndef NDQ_STORAGE_DISK_H_
 #define NDQ_STORAGE_DISK_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +45,7 @@ class SimDisk {
  public:
   explicit SimDisk(size_t page_size = kDefaultPageSize)
       : page_size_(page_size) {}
+  ~SimDisk();
 
   SimDisk(const SimDisk&) = delete;
   SimDisk& operator=(const SimDisk&) = delete;
@@ -52,7 +68,20 @@ class SimDisk {
   void ResetStats() { stats_.Reset(); }
 
   /// Number of live (allocated, not freed) pages.
-  size_t live_pages() const { return live_pages_; }
+  size_t live_pages() const {
+    return live_pages_.load(std::memory_order_relaxed);
+  }
+
+  /// Simulated device latency added to every page transfer (the calling
+  /// thread sleeps; concurrent transfers overlap, like real disk queue
+  /// depth). 0 (the default) keeps tests instantaneous; bench_parallel
+  /// turns it on to measure how intra-query parallelism hides I/O stalls.
+  void set_transfer_latency_micros(uint32_t us) {
+    latency_micros_.store(us, std::memory_order_relaxed);
+  }
+  uint32_t transfer_latency_micros() const {
+    return latency_micros_.load(std::memory_order_relaxed);
+  }
 
   /// Writes the device image (page size, live pages, contents) to a file.
   /// Freed slots are preserved so PageIds remain stable across reload.
@@ -63,16 +92,57 @@ class SimDisk {
   Status LoadFromFile(const std::string& path);
 
  private:
+  // Page slots live in fixed-size chunks whose addresses never change, so
+  // readers can reach a slot without holding the allocation mutex. The
+  // chunk directory is a fixed array of atomic pointers (published with
+  // release stores, read with acquire loads).
+  static constexpr size_t kChunkBits = 12;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;  // slots
+  static constexpr size_t kMaxChunks = size_t{1} << 12;  // 16M pages max
+  static constexpr size_t kShards = 16;
+
   struct PageSlot {
     std::unique_ptr<uint8_t[]> data;
     bool live = false;
   };
 
+  /// Slot pointer for `id`, or nullptr if the id was never allocated.
+  PageSlot* SlotFor(PageId id) const;
+  std::mutex& ShardFor(PageId id) const {
+    return shard_mu_[id % kShards];
+  }
+  void SimulateLatency() const;
+  void FreeAllChunks();
+
   size_t page_size_;
-  std::vector<PageSlot> pages_;
+  std::array<std::atomic<PageSlot*>, kMaxChunks> chunks_{};
+  std::atomic<size_t> num_slots_{0};
+  mutable std::mutex alloc_mu_;  // free_list_ + chunk growth
+  mutable std::array<std::mutex, kShards> shard_mu_;
   std::vector<PageId> free_list_;
-  size_t live_pages_ = 0;
+  std::atomic<size_t> live_pages_{0};
+  std::atomic<uint32_t> latency_micros_{0};
   IoStats stats_;
+};
+
+/// \brief RAII I/O attribution scope for the current thread.
+///
+/// While alive, every page operation performed BY THIS THREAD on `disk`
+/// (or on any disk, when `disk` is nullptr) is additionally counted into
+/// `*acc`. Scopes nest per thread, and only the INNERMOST matching scope
+/// receives a given operation — so a parent scope measures exactly the
+/// I/O not claimed by a nested child scope. The parallel evaluator opens
+/// one scope per traced plan node; per-node I/O attribution then stays
+/// exact even when sibling subtrees run on other threads (each thread has
+/// its own scope stack), and cumulative subtree I/O is recovered as
+/// self + sum of children.
+class IoScope {
+ public:
+  IoScope(const SimDisk* disk, IoStats* acc);
+  ~IoScope();
+
+  IoScope(const IoScope&) = delete;
+  IoScope& operator=(const IoScope&) = delete;
 };
 
 }  // namespace ndq

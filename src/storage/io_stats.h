@@ -5,20 +5,57 @@
 // measured counterpart: the simulated disk bumps these counters on every
 // page transfer, and the benchmark harnesses in /bench validate the
 // theorems against them (not against wall time).
+//
+// The counters are relaxed atomics so that concurrent evaluation threads
+// (exec/parallel_evaluator.h) keep the accounting EXACT: fetch_add never
+// loses an increment, and no ordering beyond the count itself is needed.
+// RelaxedCounter converts implicitly to uint64_t, so counter reads and
+// arithmetic look exactly like the plain-integer code they replaced.
 
 #ifndef NDQ_STORAGE_IO_STATS_H_
 #define NDQ_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace ndq {
 
+/// A uint64_t counter with atomic (memory_order_relaxed) increments and
+/// loads. Copyable (snapshot semantics), so structs of counters can still
+/// be copied, subtracted and stored in traces like plain structs.
+class RelaxedCounter {
+ public:
+  RelaxedCounter(uint64_t v = 0) : v_(v) {}  // NOLINT(runtime/explicit)
+  RelaxedCounter(const RelaxedCounter& o) : v_(o.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) {
+    v_.store(o.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  operator uint64_t() const { return load(); }
+  uint64_t load() const { return v_.load(std::memory_order_relaxed); }
+
+  uint64_t operator++() {
+    return v_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  uint64_t operator+=(uint64_t d) {
+    return v_.fetch_add(d, std::memory_order_relaxed) + d;
+  }
+
+ private:
+  std::atomic<uint64_t> v_;
+};
+
 struct IoStats {
-  uint64_t page_reads = 0;
-  uint64_t page_writes = 0;
-  uint64_t pages_allocated = 0;
-  uint64_t pages_freed = 0;
+  RelaxedCounter page_reads = 0;
+  RelaxedCounter page_writes = 0;
+  RelaxedCounter pages_allocated = 0;
+  RelaxedCounter pages_freed = 0;
 
   uint64_t TotalTransfers() const { return page_reads + page_writes; }
 
@@ -33,11 +70,19 @@ struct IoStats {
     return d;
   }
 
+  IoStats& operator+=(const IoStats& other) {
+    page_reads += other.page_reads;
+    page_writes += other.page_writes;
+    pages_allocated += other.pages_allocated;
+    pages_freed += other.pages_freed;
+    return *this;
+  }
+
   std::string ToString() const {
-    return "reads=" + std::to_string(page_reads) +
-           " writes=" + std::to_string(page_writes) +
-           " alloc=" + std::to_string(pages_allocated) +
-           " freed=" + std::to_string(pages_freed);
+    return "reads=" + std::to_string(page_reads.load()) +
+           " writes=" + std::to_string(page_writes.load()) +
+           " alloc=" + std::to_string(pages_allocated.load()) +
+           " freed=" + std::to_string(pages_freed.load());
   }
 };
 

@@ -107,5 +107,61 @@ TEST(DistPropertyTest, ShippedRecordsNeverExceedAtomicResults) {
   }
 }
 
+TEST(DistPropertyTest, ParallelEvaluationMatchesSequentialShipping) {
+  // set_parallelism changes scheduling only: results, everything the
+  // network carried, and the trace shape must match the sequential run.
+  std::mt19937 rng(11);
+  gen::RandomForestOptions fopt;
+  fopt.seed = 11;
+  fopt.num_entries = 200;
+  DirectoryInstance global = gen::RandomForest(fopt);
+  std::vector<std::pair<std::string, std::string>> contexts;
+  int sid = 0;
+  for (const auto& [key, entry] : global) {
+    (void)key;
+    if (entry.dn().depth() == 1) {
+      contexts.push_back({entry.dn().ToString(), "s" + std::to_string(sid++)});
+    }
+  }
+  DistributedDirectory fleet =
+      DistributedDirectory::Build(global, contexts).TakeValue();
+
+  gen::RandomQueryOptions qopt;
+  qopt.max_language = Language::kL3;
+  for (int i = 0; i < 20; ++i) {
+    QueryPtr q = gen::RandomQuery(&rng, global, qopt);
+    SCOPED_TRACE(q->ToString());
+
+    fleet.set_parallelism(1);
+    ASSERT_EQ(fleet.parallelism(), 1u);
+    fleet.ResetStats();
+    OpTrace seq_trace;
+    Result<std::vector<Entry>> seq = fleet.Evaluate(*q, &seq_trace);
+    const uint64_t seq_recs = fleet.net_stats().records_shipped;
+    const uint64_t seq_bytes = fleet.net_stats().bytes_shipped;
+    const uint64_t seq_msgs = fleet.net_stats().messages;
+
+    fleet.set_parallelism(4);
+    ASSERT_EQ(fleet.parallelism(), 4u);
+    fleet.ResetStats();
+    OpTrace par_trace;
+    Result<std::vector<Entry>> par = fleet.Evaluate(*q, &par_trace);
+
+    ASSERT_EQ(seq.ok(), par.ok());
+    if (!seq.ok()) continue;
+    ASSERT_EQ(seq->size(), par->size());
+    for (size_t j = 0; j < seq->size(); ++j) {
+      EXPECT_EQ((*seq)[j], (*par)[j]);
+    }
+    EXPECT_EQ(fleet.net_stats().records_shipped, seq_recs);
+    EXPECT_EQ(fleet.net_stats().bytes_shipped, seq_bytes);
+    EXPECT_EQ(fleet.net_stats().messages, seq_msgs);
+    EXPECT_EQ(par_trace.NodeCount(), seq_trace.NodeCount());
+    EXPECT_EQ(par_trace.output_records, seq_trace.output_records);
+    EXPECT_EQ(par_trace.shipped_records, seq_trace.shipped_records);
+  }
+  fleet.set_parallelism(1);
+}
+
 }  // namespace
 }  // namespace ndq

@@ -1,0 +1,234 @@
+// OperandCache unit tests: private-copy semantics, hit/miss/eviction
+// accounting, LRU order, oversize rejection, Clear, and a concurrent
+// hammer that doubles as the ThreadSanitizer target for the cache's
+// pin/doom lifecycle.
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/operand_cache.h"
+#include "exec/thread_pool.h"
+#include "storage/run.h"
+
+namespace ndq {
+namespace {
+
+// Builds a list of `n` ~24-byte records tagged `tag`, so page counts are
+// predictable against a small page size.
+EntryList MakeList(SimDisk* disk, int n, const std::string& tag) {
+  RunWriter writer(disk);
+  for (int i = 0; i < n; ++i) {
+    std::string record = tag + "-record-" + std::to_string(i);
+    record.resize(24, '.');
+    EXPECT_TRUE(writer.Add(record).ok());
+  }
+  Result<Run> run = writer.Finish();
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  return run.TakeValue();
+}
+
+std::vector<std::string> ReadAll(SimDisk* disk, const EntryList& list) {
+  std::vector<std::string> records;
+  RunReader reader(disk, list);
+  std::string record;
+  while (true) {
+    Result<bool> more = reader.Next(&record);
+    EXPECT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.ok() || !*more) break;
+    records.push_back(record);
+  }
+  return records;
+}
+
+TEST(OperandCacheTest, HitReturnsPrivateIdenticalCopy) {
+  SimDisk disk(256);
+  OperandCache cache(&disk, /*capacity_pages=*/64);
+
+  EntryList original = MakeList(&disk, 50, "a");
+  std::vector<std::string> want = ReadAll(&disk, original);
+  ASSERT_TRUE(cache.Insert("a", original).ok());
+  // The cache owns a private copy: freeing the original must not disturb
+  // later hits.
+  ASSERT_TRUE(FreeRun(&disk, &original).ok());
+
+  EntryList copy;
+  Result<bool> hit = cache.Lookup("a", &copy);
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  ASSERT_TRUE(*hit);
+  EXPECT_EQ(ReadAll(&disk, copy), want);
+  ASSERT_TRUE(FreeRun(&disk, &copy).ok());
+
+  // And the copy handed out is itself private: a second hit still works.
+  EntryList copy2;
+  hit = cache.Lookup("a", &copy2);
+  ASSERT_TRUE(hit.ok() && *hit);
+  EXPECT_EQ(ReadAll(&disk, copy2), want);
+  ASSERT_TRUE(FreeRun(&disk, &copy2).ok());
+
+  OperandCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.resident_entries, 1u);
+}
+
+TEST(OperandCacheTest, MissLeavesOutputUntouched) {
+  SimDisk disk(256);
+  OperandCache cache(&disk, /*capacity_pages=*/64);
+  EntryList out;
+  Result<bool> hit = cache.Lookup("absent", &out);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_FALSE(*hit);
+  EXPECT_TRUE(out.pages.empty());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(OperandCacheTest, LruEvictionFollowsRecency) {
+  SimDisk disk(256);
+  EntryList a = MakeList(&disk, 40, "a");
+  EntryList b = MakeList(&disk, 40, "b");
+  EntryList c = MakeList(&disk, 40, "c");
+  ASSERT_GT(a.pages.size(), 1u);
+  // Room for two lists but not three.
+  OperandCache cache(&disk, a.pages.size() + b.pages.size());
+
+  ASSERT_TRUE(cache.Insert("a", a).ok());
+  ASSERT_TRUE(cache.Insert("b", b).ok());
+  // Touch "a" so "b" becomes least recently used.
+  EntryList out;
+  Result<bool> hit = cache.Lookup("a", &out);
+  ASSERT_TRUE(hit.ok() && *hit);
+  ASSERT_TRUE(FreeRun(&disk, &out).ok());
+
+  ASSERT_TRUE(cache.Insert("c", c).ok());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  hit = cache.Lookup("b", &out);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_FALSE(*hit) << "the least recently used entry should be gone";
+  hit = cache.Lookup("a", &out);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(*hit);
+  ASSERT_TRUE(FreeRun(&disk, &out).ok());
+  hit = cache.Lookup("c", &out);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(*hit);
+  ASSERT_TRUE(FreeRun(&disk, &out).ok());
+
+  ASSERT_TRUE(FreeRun(&disk, &a).ok());
+  ASSERT_TRUE(FreeRun(&disk, &b).ok());
+  ASSERT_TRUE(FreeRun(&disk, &c).ok());
+}
+
+TEST(OperandCacheTest, OversizeListsAreRejected) {
+  SimDisk disk(256);
+  EntryList big = MakeList(&disk, 100, "big");
+  OperandCache cache(&disk, /*capacity_pages=*/1);
+  ASSERT_GT(big.pages.size(), 1u);
+
+  ASSERT_TRUE(cache.Insert("big", big).ok());
+  OperandCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.oversize_rejects, 1u);
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.resident_entries, 0u);
+
+  EntryList out;
+  Result<bool> hit = cache.Lookup("big", &out);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_FALSE(*hit);
+  ASSERT_TRUE(FreeRun(&disk, &big).ok());
+}
+
+TEST(OperandCacheTest, DuplicateInsertIsANoOp) {
+  SimDisk disk(256);
+  EntryList a = MakeList(&disk, 30, "a");
+  OperandCache cache(&disk, /*capacity_pages=*/64);
+  ASSERT_TRUE(cache.Insert("a", a).ok());
+  uint64_t resident = cache.stats().resident_pages;
+  ASSERT_TRUE(cache.Insert("a", a).ok());
+  OperandCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.resident_pages, resident);
+  ASSERT_TRUE(FreeRun(&disk, &a).ok());
+}
+
+TEST(OperandCacheTest, ClearReleasesEveryPage) {
+  SimDisk disk(256);
+  size_t baseline = disk.live_pages();
+  EntryList a = MakeList(&disk, 40, "a");
+  EntryList b = MakeList(&disk, 40, "b");
+  {
+    OperandCache cache(&disk, /*capacity_pages=*/256);
+    ASSERT_TRUE(cache.Insert("a", a).ok());
+    ASSERT_TRUE(cache.Insert("b", b).ok());
+    EXPECT_GT(disk.live_pages(),
+              baseline + a.pages.size() + b.pages.size());
+    cache.Clear();
+    OperandCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.resident_entries, 0u);
+    EXPECT_EQ(stats.resident_pages, 0u);
+    EXPECT_EQ(disk.live_pages(),
+              baseline + a.pages.size() + b.pages.size());
+    // Reusable after Clear.
+    ASSERT_TRUE(cache.Insert("a", a).ok());
+  }
+  // Destructor clears too.
+  ASSERT_TRUE(FreeRun(&disk, &a).ok());
+  ASSERT_TRUE(FreeRun(&disk, &b).ok());
+  EXPECT_EQ(disk.live_pages(), baseline);
+}
+
+TEST(OperandCacheTest, ConcurrentHitsInsertsAndClears) {
+  SimDisk disk(256);
+  OperandCache cache(&disk, /*capacity_pages=*/32);
+
+  std::vector<EntryList> lists;
+  std::vector<std::vector<std::string>> contents;
+  for (int i = 0; i < 6; ++i) {
+    lists.push_back(MakeList(&disk, 40, "k" + std::to_string(i)));
+    contents.push_back(ReadAll(&disk, lists.back()));
+  }
+
+  // Hammer the cache from several threads: lookups and inserts on
+  // overlapping keys race with periodic Clear()s. Every hit must still
+  // hand back an exact copy (pinned entries survive eviction).
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 60; ++round) {
+        int i = (t + round) % static_cast<int>(lists.size());
+        std::string key = "k" + std::to_string(i);
+        EntryList out;
+        Result<bool> hit = cache.Lookup(key, &out);
+        ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+        if (*hit) {
+          EXPECT_EQ(ReadAll(&disk, out), contents[static_cast<size_t>(i)]);
+          ASSERT_TRUE(FreeRun(&disk, &out).ok());
+        } else {
+          ASSERT_TRUE(cache.Insert(key, lists[static_cast<size_t>(i)]).ok());
+        }
+        if (t == 0 && round % 20 == 19) cache.Clear();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  OperandCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 4u * 60u);
+
+  cache.Clear();
+  size_t list_pages = 0;
+  for (EntryList& l : lists) {
+    list_pages += l.pages.size();
+    ASSERT_TRUE(FreeRun(&disk, &l).ok());
+  }
+  EXPECT_GT(list_pages, 0u);
+  EXPECT_EQ(disk.live_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace ndq
