@@ -32,6 +32,7 @@
 #include "query/parser.h"
 #include "query/rewrite.h"
 #include "query/validate.h"
+#include "storage/fault_injector.h"
 #include "store/directory_store.h"
 
 namespace {
@@ -46,6 +47,39 @@ struct Shell {
   // above stays the default).
   ndq::OperandCache cache{&scratch, /*capacity_pages=*/4096};
   std::unique_ptr<ndq::ParallelEvaluator> parallel;
+  // Fault-injection policy attached to both disks by `.set faults <spec>`
+  // (null = faults off). Owned here; the disks only hold a raw pointer.
+  std::unique_ptr<ndq::FaultInjector> injector;
+
+  void SetFaults(const std::string& spec) {
+    if (spec == "off") {
+      disk.set_fault_injector(nullptr);
+      scratch.set_fault_injector(nullptr);
+      injector.reset();
+      std::printf("fault injection off\n");
+      return;
+    }
+    ndq::Result<ndq::FaultInjector> parsed =
+        ndq::FaultInjector::Parse(spec);
+    if (!parsed.ok()) {
+      std::printf("bad fault spec: %s\n",
+                  parsed.status().ToString().c_str());
+      std::printf(
+          "syntax: <rule>[;<rule>...], rule = ops[:field...]\n"
+          "  ops:    read|write|alloc|free|any\n"
+          "  fields: n=<k> (fail the k-th op), every=<k>, p=<prob>,\n"
+          "          seed=<s>, page=<id>, sticky\n"
+          "  e.g. .set faults read:n=3   .set faults any:p=0.01:seed=7\n");
+      return;
+    }
+    // Detach from the disks before replacing the old policy.
+    disk.set_fault_injector(nullptr);
+    scratch.set_fault_injector(nullptr);
+    injector = std::make_unique<ndq::FaultInjector>(parsed.TakeValue());
+    disk.set_fault_injector(injector.get());
+    scratch.set_fault_injector(injector.get());
+    std::printf("fault injection on: %s\n", spec.c_str());
+  }
 
   void SetParallelism(size_t n) {
     if (n == 0) n = 1;
@@ -220,6 +254,15 @@ struct Shell {
         cs.resident_entries == 1 ? "y" : "ies",
         (unsigned long long)cs.evictions,
         parallel != nullptr ? parallel->parallelism() : size_t{1});
+    if (cs.copy_failures > 0) {
+      std::printf("operand cache: %llu copy failure(s) absorbed\n",
+                  (unsigned long long)cs.copy_failures);
+    }
+    if (injector != nullptr) {
+      std::printf("fault injection: %llu of %llu eligible op(s) failed\n",
+                  (unsigned long long)injector->faults_fired(),
+                  (unsigned long long)injector->ops_seen());
+    }
   }
 };
 
@@ -238,6 +281,10 @@ const char* kHelp =
     "                      evaluate independent operand subtrees on up to\n"
     "                      n threads, with a sorted-operand cache for\n"
     "                      repeated atomic sub-queries (1 = sequential)\n"
+    "  .set faults <spec>  inject I/O faults on both disks; spec is\n"
+    "                      rule[;rule...], rule = ops[:n=k|:every=k|:p=x\n"
+    "                      |:seed=s|:page=id|:sticky], ops in\n"
+    "                      read|write|alloc|free|any (.set faults off)\n"
     "  .stats              store / I/O / operand-cache counters\n"
     "  .help-examples      sample queries\n"
     "  .quit\n";
@@ -306,6 +353,8 @@ int main(int argc, char** argv) {
       ndq::Status s = shell.store.Remove(*dn);
       if (s.ok()) shell.InvalidateCache();
       std::printf("%s\n", s.ok() ? "deleted" : s.ToString().c_str());
+    } else if (line.rfind(".set faults ", 0) == 0) {
+      shell.SetFaults(line.substr(12));
     } else if (line.rfind(".set parallelism ", 0) == 0) {
       char* end = nullptr;
       unsigned long n = std::strtoul(line.c_str() + 17, &end, 10);

@@ -25,6 +25,7 @@ enum class StatusCode {
   kNotSupported,
   kResourceExhausted,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a StatusCode (e.g. "InvalidArgument").
@@ -64,6 +65,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// A transient failure: the operation may succeed if retried (injected
+  /// I/O faults, unreachable directory servers).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

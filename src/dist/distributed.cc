@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "exec/atomic.h"
 #include "exec/boolean.h"
@@ -121,18 +122,20 @@ Result<EntryList> DistributedDirectory::EvaluateAtomicDistributed(
     uint64_t scanned_records = 0;
     uint64_t shipped_records = 0;
     uint64_t shipped_bytes = 0;
+    uint64_t retries = 0;
     bool present = false;
   };
   std::vector<PerOwner> results(owners.size());
-  auto fetch_one = [&](size_t i) {
-    PerOwner& r = results[i];
-    // Scope the task's I/O (server scan + coordinator ship) so it reaches
-    // this leaf's trace even when the task ran on a pool worker.
-    IoScope scope(nullptr, &r.io);
-    DirectoryServer* server = FindServer(owners[i]);
-    if (server == nullptr) return;
-    r.present = true;
+  // One request/response attempt against `server`. Every early exit is
+  // clean: the ScopedRun guard reclaims the server-side list and the
+  // RunWriter destructor reclaims a partially shipped coordinator run, so
+  // a failed attempt leaves nothing behind for the retry to trip over.
+  auto attempt_one = [&](DirectoryServer* server, PerOwner& r) -> Status {
     net_.messages += 2;  // request + response
+    if (server->is_down()) {
+      return Status::Unavailable("server '" + server->name() + "' is down");
+    }
+    const auto start = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> server_lock(server->mu_);
     OpTrace server_trace;
     OpTrace* st = trace != nullptr ? &server_trace : nullptr;
@@ -143,37 +146,63 @@ Result<EntryList> DistributedDirectory::EvaluateAtomicDistributed(
             : EvalAtomic(server->disk(), server->store(), query.base(),
                          query.scope(), query.filter(), st);
     r.scanned_records = server_trace.scanned_records;
-    if (!local.ok()) {
-      r.status = local.status();
-      return;
-    }
+    if (!local.ok()) return local.status();
     ScopedRun local_guard(server->disk(), local.TakeValue());
     RunWriter writer(coordinator_disk_.get());
     RunReader reader(server->disk(), local_guard.get());
     std::string rec;
+    uint64_t recs = 0, bytes = 0;
     while (true) {
-      Result<bool> more = reader.Next(&rec);
-      if (!more.ok()) {
-        r.status = more.status();
-        return;
-      }
-      if (!*more) break;
-      r.shipped_bytes += rec.size();
-      ++r.shipped_records;
-      Status add = writer.Add(rec);
-      if (!add.ok()) {
-        r.status = add;
-        return;
+      NDQ_ASSIGN_OR_RETURN(bool more, reader.Next(&rec));
+      if (!more) break;
+      bytes += rec.size();
+      ++recs;
+      NDQ_RETURN_IF_ERROR(writer.Add(rec));
+    }
+    NDQ_RETURN_IF_ERROR(local_guard.Free());
+    NDQ_ASSIGN_OR_RETURN(Run run, writer.Finish());
+    if (retry_policy_.timeout_micros > 0) {
+      double elapsed = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      if (elapsed > static_cast<double>(retry_policy_.timeout_micros)) {
+        FreeRun(coordinator_disk_.get(), &run).ok();
+        return Status::Unavailable("server '" + server->name() +
+                                   "' timed out");
       }
     }
-    r.status = local_guard.Free();
-    if (!r.status.ok()) return;
-    Result<Run> run = writer.Finish();
-    if (!run.ok()) {
-      r.status = run.status();
-      return;
+    r.shipped_records = recs;
+    r.shipped_bytes = bytes;
+    r.run = std::move(run);
+    return Status::OK();
+  };
+  auto fetch_one = [&](size_t i) {
+    PerOwner& r = results[i];
+    // Scope the task's I/O (server scan + coordinator ship) so it reaches
+    // this leaf's trace even when the task ran on a pool worker.
+    IoScope scope(nullptr, &r.io);
+    DirectoryServer* server = FindServer(owners[i]);
+    if (server == nullptr) return;
+    r.present = true;
+    // Transient (Unavailable) failures are retried with exponential
+    // backoff; anything else — a corrupted page, a logic error — fails
+    // immediately, because retrying cannot fix it.
+    const int max_attempts = std::max(1, retry_policy_.max_attempts);
+    uint64_t backoff = retry_policy_.backoff_micros;
+    for (int attempt = 1;; ++attempt) {
+      r.status = attempt_one(server, r);
+      if (r.status.ok() ||
+          r.status.code() != StatusCode::kUnavailable ||
+          attempt >= max_attempts) {
+        break;
+      }
+      ++r.retries;
+      ++net_.retries;
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+        backoff *= 2;
+      }
     }
-    r.run = run.TakeValue();
   };
   {
     ThreadPool::TaskGroup group(pool_.get());
@@ -184,7 +213,8 @@ Result<EntryList> DistributedDirectory::EvaluateAtomicDistributed(
 
   std::vector<Run> shipped;
   Status failed;
-  for (PerOwner& r : results) {
+  for (size_t i = 0; i < results.size(); ++i) {
+    PerOwner& r = results[i];
     if (!r.present) continue;
     net_.bytes_shipped += r.shipped_bytes;
     net_.records_shipped += r.shipped_records;
@@ -192,9 +222,21 @@ Result<EntryList> DistributedDirectory::EvaluateAtomicDistributed(
       trace->scanned_records += r.scanned_records;
       trace->shipped_records += r.shipped_records;
       trace->shipped_bytes += r.shipped_bytes;
+      trace->retries += r.retries;
       trace->io += r.io;
     }
     if (!r.status.ok()) {
+      if (allow_degraded_ && r.status.code() == StatusCode::kUnavailable) {
+        // The server stayed unavailable through every retry: degrade.
+        // Its contribution is dropped, the reachable servers' results
+        // still merge, and the caller can see exactly what is missing
+        // via last_warnings().
+        ++net_.degraded_results;
+        if (trace != nullptr) ++trace->degraded_shards;
+        std::lock_guard<std::mutex> lock(warnings_->mu);
+        warnings_->warnings.push_back({owners[i], r.status.message()});
+        continue;
+      }
       if (failed.ok()) failed = r.status;
       continue;
     }
@@ -235,6 +277,9 @@ DirectoryServer* DistributedDirectory::SingleOwner(const Query& query) {
 
 Result<EntryList> DistributedDirectory::ShipWholeQuery(
     const Query& query, DirectoryServer* server, OpTrace* trace) {
+  if (server->is_down()) {
+    return Status::Unavailable("server '" + server->name() + "' is down");
+  }
   // The server evaluates the whole tree locally (on its own disk and
   // scratch space) and only the final result crosses the network.
   ++net_.queries_shipped;
@@ -276,6 +321,7 @@ IoStats DistributedDirectory::FleetIo() const {
     total.page_writes += d.page_writes;
     total.pages_allocated += d.pages_allocated;
     total.pages_freed += d.pages_freed;
+    total.faults_injected += d.faults_injected;
   }
   return total;
 }
@@ -342,9 +388,19 @@ Result<EntryList> DistributedDirectory::EvaluateNodeImpl(
   if (query_shipping_ && !query.is_atomic() &&
       query.op() != QueryOp::kLdap) {
     DirectoryServer* owner = SingleOwner(query);
-    if (owner != nullptr) {
-      if (shipped_whole != nullptr) *shipped_whole = true;
-      return ShipWholeQuery(query, owner, trace);
+    if (owner != nullptr && !owner->is_down()) {
+      Result<EntryList> whole = ShipWholeQuery(query, owner, trace);
+      if (whole.ok() ||
+          whole.status().code() != StatusCode::kUnavailable) {
+        if (shipped_whole != nullptr) *shipped_whole = true;
+        return whole;
+      }
+      // The shipment failed transiently mid-flight: fall back to the
+      // per-atomic path below, which retries each server independently
+      // and can degrade instead of failing. Start the trace over — the
+      // aborted remote evaluation may have partially filled it.
+      ++net_.retries;
+      if (trace != nullptr) *trace = OpTrace();
     }
   }
   OpTrace* t1 = nullptr;
@@ -368,8 +424,10 @@ Result<EntryList> DistributedDirectory::EvaluateNodeImpl(
       ScopedRun l1(disk, std::move(r1));
       Result<EntryList> out =
           EvalSimpleAgg(disk, l1.get(), *query.agg(), trace);
+      if (!out.ok()) return out;  // l1 freed by its destructor
+      ScopedRun out_guard(disk, out.TakeValue());
       NDQ_RETURN_IF_ERROR(l1.Free());
-      return out;
+      return out_guard.Release();
     }
     default:
       break;
@@ -428,19 +486,38 @@ Result<EntryList> DistributedDirectory::EvaluateNodeImpl(
     default:
       return Status::Internal("unreachable query op in distributed eval");
   }
+  // Protect the operator's output while the operand guards free, so a
+  // failed Free cannot leak it; a failed operator frees the operands via
+  // the guards' destructors.
+  if (!out.ok()) return out;
+  ScopedRun out_guard(disk, out.TakeValue());
   NDQ_RETURN_IF_ERROR(l1.Free());
   NDQ_RETURN_IF_ERROR(l2.Free());
   NDQ_RETURN_IF_ERROR(l3.Free());
-  return out;
+  return out_guard.Release();
 }
 
 Result<std::vector<Entry>> DistributedDirectory::Evaluate(
     const Query& query, OpTrace* trace) {
+  {
+    std::lock_guard<std::mutex> lock(warnings_->mu);
+    warnings_->warnings.clear();
+  }
   NDQ_ASSIGN_OR_RETURN(EntryList out, EvaluateNode(query, trace));
   Result<std::vector<Entry>> entries =
       ReadEntryList(coordinator_disk_.get(), out);
-  NDQ_RETURN_IF_ERROR(FreeRun(coordinator_disk_.get(), &out));
+  Status freed = FreeRun(coordinator_disk_.get(), &out);
+  // A read error is the primary failure; a free error only matters when
+  // the read itself succeeded.
+  if (!entries.ok()) return entries;
+  NDQ_RETURN_IF_ERROR(freed);
   return entries;
+}
+
+std::vector<DegradationWarning> DistributedDirectory::last_warnings()
+    const {
+  std::lock_guard<std::mutex> lock(warnings_->mu);
+  return warnings_->warnings;
 }
 
 void DistributedDirectory::set_parallelism(size_t n) {

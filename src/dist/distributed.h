@@ -23,6 +23,7 @@
 #ifndef NDQ_DIST_DISTRIBUTED_H_
 #define NDQ_DIST_DISTRIBUTED_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -47,8 +48,37 @@ struct NetStats {
                                          ///< query, summed over atomics
   RelaxedCounter queries_shipped = 0;  ///< whole (sub)queries pushed to a
                                        ///< server
+  RelaxedCounter retries = 0;  ///< per-server attempts re-issued after a
+                               ///< transient (Unavailable) failure
+  RelaxedCounter degraded_results = 0;  ///< server contributions dropped
+                                        ///< from a result after retries
+                                        ///< were exhausted
 
   void Reset() { *this = NetStats(); }
+};
+
+/// How the coordinator treats a transient (Unavailable) per-server
+/// failure: re-issue the request up to `max_attempts` times total, backing
+/// off `backoff_micros * 2^(attempt-1)` between attempts. A non-positive
+/// `timeout_micros` disables the per-attempt timeout; when set, an attempt
+/// whose wall time exceeds it is treated as a transient failure (the
+/// simulated client gave up waiting).
+struct RetryPolicy {
+  int max_attempts = 3;
+  uint64_t backoff_micros = 100;
+  uint64_t timeout_micros = 0;
+};
+
+/// One structured "this result is partial" note, attached to the
+/// evaluation that degraded (see DistributedDirectory::last_warnings).
+struct DegradationWarning {
+  std::string server;  ///< server whose contribution is missing
+  std::string detail;  ///< last failure, e.g. "server s2 is down"
+
+  std::string ToString() const {
+    return "degraded: missing contribution from server '" + server +
+           "': " + detail;
+  }
 };
 
 /// One directory server: a naming context plus a store over its own disk.
@@ -62,6 +92,12 @@ class DirectoryServer {
   const EntryStore& store() const { return store_; }
   size_t num_entries() const { return store_.num_entries(); }
 
+  /// Simulated outage: a down server refuses every request with
+  /// Unavailable (the coordinator retries and then degrades). Flipping
+  /// the flag back up restores normal service — nothing else changes.
+  void set_down(bool down) { down_.store(down, std::memory_order_release); }
+  bool is_down() const { return down_.load(std::memory_order_acquire); }
+
  private:
   friend class DistributedDirectory;
 
@@ -74,6 +110,7 @@ class DirectoryServer {
   /// server's own evaluation stays sequential (so the remote evaluator's
   /// snapshot-based tracing on the server disk stays exact).
   std::mutex mu_;
+  std::atomic<bool> down_{false};
 };
 
 /// \brief A fleet of directory servers plus a coordinator.
@@ -122,6 +159,22 @@ class DistributedDirectory {
     return pool_ != nullptr ? pool_->parallelism() : 1;
   }
 
+  /// Transient-failure handling knobs (see RetryPolicy).
+  void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// When enabled (the default), an atomic query whose owning server
+  /// stays Unavailable through every retry yields a PARTIAL result — the
+  /// reachable servers' contributions, with one DegradationWarning per
+  /// missing server — instead of failing the whole query. Disable to get
+  /// fail-stop semantics (the Unavailable status propagates).
+  void set_allow_degraded(bool enabled) { allow_degraded_ = enabled; }
+  bool allow_degraded() const { return allow_degraded_; }
+
+  /// Warnings attached to the most recent Evaluate (empty when the result
+  /// was complete). Cleared at the start of each Evaluate.
+  std::vector<DegradationWarning> last_warnings() const;
+
   const NetStats& net_stats() const { return net_; }
   void ResetStats();
 
@@ -154,6 +207,16 @@ class DistributedDirectory {
   ExecOptions options_;
   NetStats net_;
   bool query_shipping_ = true;
+  RetryPolicy retry_policy_;
+  bool allow_degraded_ = true;
+  /// Mutex + warning list behind one shared_ptr so DistributedDirectory
+  /// stays movable (it travels through Result<> out of Build).
+  struct WarningSink {
+    std::mutex mu;
+    std::vector<DegradationWarning> warnings;
+  };
+  std::shared_ptr<WarningSink> warnings_ =
+      std::make_shared<WarningSink>();
   std::unique_ptr<ThreadPool> pool_;  // null = sequential
 };
 

@@ -261,6 +261,9 @@ std::optional<int64_t> InnerValue(
 
 Result<EntryList> FilterAnnotatedList(SimDisk* disk, Run annotated,
                                       const AggProgram& prog) {
+  // This function consumes `annotated` on every path: the guard frees it
+  // if any scan below fails.
+  ScopedRun annotated_guard(disk, annotated);
   AggProgram::Globals globals;
   globals.set_size = annotated.num_records;
 
@@ -312,7 +315,7 @@ Result<EntryList> FilterAnnotatedList(SimDisk* disk, Run annotated,
       NDQ_RETURN_IF_ERROR(writer.Add(entry_bytes));
     }
   }
-  NDQ_RETURN_IF_ERROR(FreeRun(disk, &annotated));
+  NDQ_RETURN_IF_ERROR(annotated_guard.Free());
   return writer.Finish();
 }
 

@@ -162,6 +162,9 @@ void ExplainAnalyzeNode(const EntrySource& store, const Query& q,
   AppendIfNonZero(out, "shipped_bytes", t.shipped_bytes);
   AppendIfNonZero(out, "cache_hits", t.cache_hits);
   AppendIfNonZero(out, "cache_misses", t.cache_misses);
+  AppendIfNonZero(out, "faults", self.faults_injected);
+  AppendIfNonZero(out, "retries", t.retries);
+  AppendIfNonZero(out, "degraded", t.degraded_shards);
   AppendIfNonZero(out, "worker", t.worker);
   // Thread occupancy of the subtree; elide the trivial 1 so sequential
   // output is unchanged.

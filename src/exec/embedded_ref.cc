@@ -130,8 +130,10 @@ Result<Run> BuildVdPairs(SimDisk* disk, const EntryList& l1,
                          const EntryList& l2, const std::string& attr,
                          const AggProgram& prog, const ExecOptions& options,
                          uint64_t* sort_passes) {
-  // LP1: (referenced key, r1 key), sorted by referenced key.
+  // LP1: (referenced key, r1 key), sorted by referenced key. The guard
+  // consumes it even if the join below fails mid-scan.
   Run lp1;
+  ScopedRun lp1_guard;
   {
     ExternalSorter sorter(disk, PairKey, options.sort);
     RunReader reader(disk, l1);
@@ -153,6 +155,7 @@ Result<Run> BuildVdPairs(SimDisk* disk, const EntryList& l1,
       }
     }
     NDQ_ASSIGN_OR_RETURN(lp1, sorter.Finish());
+    lp1_guard = ScopedRun(disk, lp1);
     *sort_passes += sorter.merge_passes();
   }
   // Join LP1 with L2 on referenced key; emit (r1 key, contribution(r2)).
@@ -186,7 +189,7 @@ Result<Run> BuildVdPairs(SimDisk* disk, const EntryList& l1,
         NDQ_RETURN_IF_ERROR(advance_pair());
       }
     }
-    NDQ_RETURN_IF_ERROR(FreeRun(disk, &lp1));
+    NDQ_RETURN_IF_ERROR(lp1_guard.Free());
   }
   Result<Run> sorted = sorter2.Finish();
   *sort_passes += sorter2.merge_passes();
@@ -216,10 +219,13 @@ Result<EntryList> EvalEmbeddedRef(SimDisk* disk, QueryOp op,
     NDQ_ASSIGN_OR_RETURN(
         pairs, BuildVdPairs(disk, l1, l2, attr, prog, options, &sort_passes));
   }
+  ScopedRun pairs_guard(disk, pairs);
   NDQ_ASSIGN_OR_RETURN(Run annotated,
-                       AnnotateByPairs(disk, l1, pairs, prog));
-  NDQ_RETURN_IF_ERROR(FreeRun(disk, &pairs));
-  Result<EntryList> out = FilterAnnotatedList(disk, std::move(annotated), prog);
+                       AnnotateByPairs(disk, l1, pairs_guard.get(), prog));
+  ScopedRun annotated_guard(disk, annotated);
+  NDQ_RETURN_IF_ERROR(pairs_guard.Free());
+  Result<EntryList> out =
+      FilterAnnotatedList(disk, annotated_guard.Release(), prog);
   if (trace != nullptr && out.ok()) {
     trace->op = op;
     trace->input_records = l1.num_records + l2.num_records;

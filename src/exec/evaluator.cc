@@ -1,6 +1,7 @@
 #include "exec/evaluator.h"
 
 #include <chrono>
+#include <initializer_list>
 
 #include "exec/atomic.h"
 #include "exec/boolean.h"
@@ -43,8 +44,20 @@ IoStats SnapshotDelta(const IoSnapshot& snap, SimDisk* disk,
     delta.page_writes += sd.page_writes;
     delta.pages_allocated += sd.pages_allocated;
     delta.pages_freed += sd.pages_freed;
+    delta.faults_injected += sd.faults_injected;
   }
   return delta;
+}
+
+// Finishes an operator step: on success, protects the freshly produced
+// list while the operand guards free, so a failed operand Free cannot
+// leak the output.
+Result<EntryList> FinishStep(SimDisk* disk, Result<EntryList> out,
+                             std::initializer_list<ScopedRun*> operands) {
+  if (!out.ok()) return out;  // operand guards free via their destructors
+  ScopedRun out_guard(disk, out.TakeValue());
+  for (ScopedRun* op : operands) NDQ_RETURN_IF_ERROR(op->Free());
+  return out_guard.Release();
 }
 
 }  // namespace
@@ -145,17 +158,14 @@ Result<EntryList> Evaluator::EvaluateNode(const Query& query,
       ScopedRun l2(disk_, std::move(r2));
       Result<EntryList> out =
           EvalBoolean(disk_, query.op(), l1.get(), l2.get(), trace);
-      NDQ_RETURN_IF_ERROR(l1.Free());
-      NDQ_RETURN_IF_ERROR(l2.Free());
-      return out;
+      return FinishStep(disk_, std::move(out), {&l1, &l2});
     }
     case QueryOp::kSimpleAgg: {
       NDQ_ASSIGN_OR_RETURN(EntryList r1, Evaluate(*query.q1(), t1));
       ScopedRun l1(disk_, std::move(r1));
       Result<EntryList> out =
           EvalSimpleAgg(disk_, l1.get(), *query.agg(), trace);
-      NDQ_RETURN_IF_ERROR(l1.Free());
-      return out;
+      return FinishStep(disk_, std::move(out), {&l1});
     }
     case QueryOp::kParents:
     case QueryOp::kChildren:
@@ -168,9 +178,7 @@ Result<EntryList> Evaluator::EvaluateNode(const Query& query,
       Result<EntryList> out =
           EvalHierarchy(disk_, query.op(), l1.get(), l2.get(), nullptr,
                         query.agg(), options_, trace);
-      NDQ_RETURN_IF_ERROR(l1.Free());
-      NDQ_RETURN_IF_ERROR(l2.Free());
-      return out;
+      return FinishStep(disk_, std::move(out), {&l1, &l2});
     }
     case QueryOp::kCoAncestors:
     case QueryOp::kCoDescendants: {
@@ -183,10 +191,7 @@ Result<EntryList> Evaluator::EvaluateNode(const Query& query,
       Result<EntryList> out =
           EvalHierarchy(disk_, query.op(), l1.get(), l2.get(), &l3.get(),
                         query.agg(), options_, trace);
-      NDQ_RETURN_IF_ERROR(l1.Free());
-      NDQ_RETURN_IF_ERROR(l2.Free());
-      NDQ_RETURN_IF_ERROR(l3.Free());
-      return out;
+      return FinishStep(disk_, std::move(out), {&l1, &l2, &l3});
     }
     case QueryOp::kValueDn:
     case QueryOp::kDnValue: {
@@ -197,9 +202,7 @@ Result<EntryList> Evaluator::EvaluateNode(const Query& query,
       Result<EntryList> out =
           EvalEmbeddedRef(disk_, query.op(), l1.get(), l2.get(),
                           query.ref_attr(), query.agg(), options_, trace);
-      NDQ_RETURN_IF_ERROR(l1.Free());
-      NDQ_RETURN_IF_ERROR(l2.Free());
-      return out;
+      return FinishStep(disk_, std::move(out), {&l1, &l2});
     }
   }
   return Status::Internal("unreachable query op in Evaluate");
@@ -209,7 +212,11 @@ Result<std::vector<Entry>> Evaluator::EvaluateToEntries(const Query& query,
                                                         OpTrace* trace) {
   NDQ_ASSIGN_OR_RETURN(EntryList list, Evaluate(query, trace));
   Result<std::vector<Entry>> entries = ReadEntryList(disk_, list);
-  NDQ_RETURN_IF_ERROR(FreeRun(disk_, &list));
+  Status freed = FreeRun(disk_, &list);
+  // A read error is the primary failure; a free error only matters when
+  // the read itself succeeded.
+  if (!entries.ok()) return entries;
+  NDQ_RETURN_IF_ERROR(freed);
   return entries;
 }
 

@@ -142,11 +142,14 @@ Result<Run> DescendantPass(SimDisk* disk, QueryOp op, const EntryList& l1,
                            OpTrace* trace) {
   NDQ_ASSIGN_OR_RETURN(Run merged,
                        MaterializeLabeledMerge(disk, &l1, &l2, l3));
-  NDQ_ASSIGN_OR_RETURN(Run reversed, ReverseRun(disk, std::move(merged)));
+  NDQ_ASSIGN_OR_RETURN(Run reversed_run, ReverseRun(disk, std::move(merged)));
+  // The reversed merge is consumed by this pass on every path, including
+  // mid-scan errors.
+  ScopedRun reversed(disk, reversed_run);
 
   auto stack = MakeStack(disk, options.stack_window);
   RunWriter out(disk);
-  RunReader reader(disk, reversed);
+  RunReader reader(disk, reversed.get());
   std::string raw;
   std::string buf;
   while (true) {
@@ -212,7 +215,7 @@ Result<Run> DescendantPass(SimDisk* disk, QueryOp op, const EntryList& l1,
     trace->peak_stack_items = stack->peak_size();
     trace->stack_spills = stack->spill_count();
   }
-  NDQ_RETURN_IF_ERROR(FreeRun(disk, &reversed));
+  NDQ_RETURN_IF_ERROR(reversed.Free());
   return out.Finish();
 }
 

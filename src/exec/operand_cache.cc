@@ -36,11 +36,29 @@ Result<bool> OperandCache::Lookup(const std::string& key, EntryList* out) {
   Result<EntryList> copy = CopyList(entry->list);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (--entry->pins == 0 && entry->doomed) {
+    bool last_unpin = --entry->pins == 0;
+    if (!copy.ok()) {
+      // The copy-out failed (e.g. an injected read fault). Evict the
+      // entry — a cache that served an unreadable list once must not
+      // serve it again — and fall through to report a miss so the
+      // caller recomputes. If other copy-outs are still pinning the
+      // entry, eviction dooms it; FreeRun empties the run when it fires,
+      // so the doomed-path free after the last unpin finds an empty run
+      // and never double-frees.
+      ++stats_.copy_failures;
+      --stats_.hits;  // reclassified: this lookup ends up a miss
+      ++stats_.misses;
+      auto it = entries_.find(key);
+      if (it != entries_.end() && it->second == entry) {
+        EvictLocked(it);
+        ++stats_.evictions;
+      }
+    }
+    if (last_unpin && entry->doomed) {
       FreeRun(disk_, &entry->list).ok();
     }
   }
-  if (!copy.ok()) return copy.status();
+  if (!copy.ok()) return false;
   *out = copy.TakeValue();
   return true;
 }
@@ -57,7 +75,15 @@ Status OperandCache::Insert(const std::string& key, const EntryList& list) {
   }
   // Copy outside the lock; a racing insert of the same key can slip in,
   // in which case the loser's copy is freed below.
-  NDQ_ASSIGN_OR_RETURN(EntryList copy, CopyList(list));
+  Result<EntryList> copied = CopyList(list);
+  if (!copied.ok()) {
+    // Partial copy pages were reclaimed by the RunWriter. Nothing is
+    // inserted; the caller's own list is untouched and the query goes on.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.copy_failures;
+    return Status::OK();
+  }
+  EntryList copy = copied.TakeValue();
   std::lock_guard<std::mutex> lock(mu_);
   if (entries_.count(key) != 0) {
     FreeRun(disk_, &copy).ok();

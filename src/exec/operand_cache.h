@@ -41,6 +41,10 @@ struct OperandCacheStats {
   uint64_t evictions = 0;
   /// Inserts rejected because the list alone exceeds the capacity.
   uint64_t oversize_rejects = 0;
+  /// Copy-in or copy-out failures absorbed by the cache (the query
+  /// proceeds without it: a failed copy-in is not cached, a failed
+  /// copy-out reads as a miss and evicts the entry).
+  uint64_t copy_failures = 0;
   uint64_t resident_pages = 0;
   uint64_t resident_entries = 0;
 };
@@ -59,13 +63,18 @@ class OperandCache {
 
   /// On a hit, copies the cached list into a fresh run owned by the caller
   /// and returns true (counting a hit); on a miss returns false (counting
-  /// a miss). `out` is written only on a hit.
+  /// a miss). `out` is written only on a hit. An I/O failure while copying
+  /// out is ABSORBED: the affected entry is evicted (never served again)
+  /// and the lookup reports a miss, so the caller transparently recomputes.
   Result<bool> Lookup(const std::string& key, EntryList* out);
 
   /// Copies `list` into the cache under `key` (the caller keeps ownership
   /// of `list` itself). No-op if the key is already cached or the list
   /// alone exceeds the capacity; otherwise evicts least-recently-used
-  /// unpinned entries until the copy fits.
+  /// unpinned entries until the copy fits. An I/O failure while copying in
+  /// is ABSORBED: nothing (in particular no truncated list) is inserted
+  /// and OK is returned — the cache is an optimization, never a reason to
+  /// fail a query.
   Status Insert(const std::string& key, const EntryList& list);
 
   /// Drops every entry (pinned entries are doomed and freed when their

@@ -1,6 +1,7 @@
 #include "exec/parallel_evaluator.h"
 
 #include <chrono>
+#include <initializer_list>
 
 #include "exec/atomic.h"
 #include "exec/boolean.h"
@@ -8,6 +9,20 @@
 #include "exec/hierarchy.h"
 
 namespace ndq {
+
+namespace {
+
+// On success, protects the freshly produced list while the operand guards
+// free, so a failed operand Free cannot leak the output.
+Result<EntryList> FinishStep(SimDisk* disk, Result<EntryList> out,
+                             std::initializer_list<ScopedRun*> operands) {
+  if (!out.ok()) return out;  // operand guards free via their destructors
+  ScopedRun out_guard(disk, out.TakeValue());
+  for (ScopedRun* op : operands) NDQ_RETURN_IF_ERROR(op->Free());
+  return out_guard.Release();
+}
+
+}  // namespace
 
 ParallelEvaluator::ParallelEvaluator(SimDisk* disk, const EntrySource* store,
                                      ExecOptions options, OperandCache* cache)
@@ -44,7 +59,11 @@ Result<std::vector<Entry>> ParallelEvaluator::EvaluateToEntries(
   NDQ_ASSIGN_OR_RETURN(EntryList list, Evaluate(query, trace));
   ScopedRun guard(disk_, std::move(list));
   Result<std::vector<Entry>> entries = ReadEntryList(disk_, guard.get());
-  NDQ_RETURN_IF_ERROR(guard.Free());
+  Status freed = guard.Free();
+  // A read error is the primary failure; a free error only matters when
+  // the read itself succeeded.
+  if (!entries.ok()) return entries;
+  NDQ_RETURN_IF_ERROR(freed);
   return entries;
 }
 
@@ -108,7 +127,15 @@ Result<EntryList> ParallelEvaluator::EvalLeaf(const Query& query,
                      *query.ldap_filter(), trace);
   if (!out.ok()) return out;
   if (cache_ != nullptr) {
-    NDQ_RETURN_IF_ERROR(cache_->Insert(key, *out));
+    // Insert copies the list; injected faults during the copy are absorbed
+    // by the cache (the entry is simply not cached). Anything else is an
+    // invariant violation — propagate it, but free the computed list
+    // first.
+    Status cs = cache_->Insert(key, *out);
+    if (!cs.ok()) {
+      ScopedRun computed(disk_, out.TakeValue());
+      return cs;
+    }
     if (trace != nullptr) trace->cache_misses = 1;
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
@@ -146,16 +173,20 @@ Result<EntryList> ParallelEvaluator::EvaluateNode(const Query& query,
       NDQ_RETURN_IF_ERROR(EvalOperandInto(*query.q1(), t1, &l1));
       Result<EntryList> out =
           EvalSimpleAgg(disk_, l1.get(), *query.agg(), trace);
-      NDQ_RETURN_IF_ERROR(l1.Free());
-      return out;
+      return FinishStep(disk_, std::move(out), {&l1});
     }
     default:
       break;
   }
 
   // Multi-operand operators: fork the operand subtrees, join, then run
-  // the operator on this thread. ScopedRun guards free whatever operands
-  // did materialize when any operand fails.
+  // the operator on this thread. The TaskGroup destructor joins EVERY
+  // forked subtree before the statuses are read — even when one operand
+  // has already failed — so no task is abandoned mid-flight, and the
+  // ScopedRun guards free whatever operands did materialize. Errors are
+  // then surfaced in operand order (s1, then s2, then s3), which makes
+  // the reported status deterministic regardless of which subtree's
+  // failure raced in first.
   ScopedRun l1, l2, l3;
   Status s1, s2, s3;
   {
@@ -197,10 +228,7 @@ Result<EntryList> ParallelEvaluator::EvaluateNode(const Query& query,
     default:
       return Status::Internal("unreachable query op in ParallelEvaluator");
   }
-  NDQ_RETURN_IF_ERROR(l1.Free());
-  NDQ_RETURN_IF_ERROR(l2.Free());
-  NDQ_RETURN_IF_ERROR(l3.Free());
-  return out;
+  return FinishStep(disk_, std::move(out), {&l1, &l2, &l3});
 }
 
 }  // namespace ndq

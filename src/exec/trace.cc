@@ -17,6 +17,7 @@ IoStats SatDelta(const IoStats& total, const IoStats& used) {
   d.page_writes = SatSub(total.page_writes, used.page_writes);
   d.pages_allocated = SatSub(total.pages_allocated, used.pages_allocated);
   d.pages_freed = SatSub(total.pages_freed, used.pages_freed);
+  d.faults_injected = SatSub(total.faults_injected, used.faults_injected);
   return d;
 }
 
@@ -48,6 +49,9 @@ void RenderNode(const OpTrace& t, int depth, std::string* out) {
   AppendCounter(out, "shipped_bytes", t.shipped_bytes, /*always=*/false);
   AppendCounter(out, "cache_hits", t.cache_hits, /*always=*/false);
   AppendCounter(out, "cache_misses", t.cache_misses, /*always=*/false);
+  AppendCounter(out, "faults", self.faults_injected, /*always=*/false);
+  AppendCounter(out, "retries", t.retries, /*always=*/false);
+  AppendCounter(out, "degraded", t.degraded_shards, /*always=*/false);
   AppendCounter(out, "worker", t.worker, /*always=*/false);
   char buf[48];
   std::snprintf(buf, sizeof(buf), " wall_us=%.0f", t.wall_micros);
@@ -146,6 +150,7 @@ IoStats OpTrace::SelfIo() const {
     used.page_writes += c.page_writes;
     used.pages_allocated += c.pages_allocated;
     used.pages_freed += c.pages_freed;
+    used.faults_injected += c.faults_injected;
   }
   return SatDelta(io, used);
 }

@@ -61,6 +61,13 @@ struct OpTrace {
   /// Distributed atomic nodes: payload shipped to the coordinator.
   uint64_t shipped_records = 0;
   uint64_t shipped_bytes = 0;
+  /// Distributed atomic nodes: transient-failure handling. `retries` is
+  /// the number of re-issued per-server attempts beyond the first;
+  /// `degraded_shards` counts servers whose contribution is MISSING from
+  /// this node's output (unavailable after all retries — the query
+  /// degraded instead of failing; see NetStats::last_warnings).
+  uint64_t retries = 0;
+  uint64_t degraded_shards = 0;
   /// Operand-cache traffic at this node (parallel evaluator only): a hit
   /// means the leaf's sorted list was copied out of the cache instead of
   /// re-scanning the store; a miss means it was evaluated and inserted.

@@ -1,5 +1,12 @@
 // The paper's schema and sample data (Figures 1, 11 and 12), as reusable
 // fixtures for tests, examples and benchmarks.
+//
+// Two flavors per fixture: the Try* functions propagate every failure as
+// a Status/Result (library code and anything that must survive faults
+// should use these), while the legacy assert-style wrappers keep the
+// one-expression convenience for tests and benches — they fail LOUDLY in
+// every build mode (message to stderr + abort), never silently continue
+// with a half-built fixture the way `assert` in an NDEBUG build would.
 
 #ifndef NDQ_GEN_PAPER_DATA_H_
 #define NDQ_GEN_PAPER_DATA_H_
@@ -11,14 +18,21 @@ namespace gen {
 
 /// The combined schema of the paper's examples: DNS-style domain entries,
 /// organizational units, the QoS/SLA classes (after Chaudhury et al. [11])
-/// and the TOPS classes.
-Schema PaperSchema();
+/// and the TOPS classes. Fails only if the schema tables reject a
+/// definition (duplicate attribute/class, unknown attribute in a class).
+Result<Schema> TryPaperSchema();
 
 /// The directory fragments of Figures 1 (DNS levels), 11 (TOPS) and 12
-/// (QoS policies), combined in one instance (23 entries).
+/// (QoS policies), combined in one instance (23 entries). Every DN parse,
+/// value parse and instance Add is checked and propagated.
+Result<DirectoryInstance> TryPaperInstance();
+
+/// Convenience wrappers over the Try* functions: abort with the failure
+/// message on stderr if the fixture cannot be built (all build modes).
+Schema PaperSchema();
 DirectoryInstance PaperInstance();
 
-/// Parses a DN, aborting on failure (test/bench convenience).
+/// Parses a DN, aborting loudly on failure (test/bench convenience).
 Dn MustDn(const std::string& text);
 
 }  // namespace gen

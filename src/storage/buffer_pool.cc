@@ -1,6 +1,5 @@
 #include "storage/buffer_pool.h"
 
-#include <cassert>
 #include <cstring>
 
 namespace ndq {
@@ -61,23 +60,31 @@ Result<PageHandle> BufferPool::Pin(PageId id) {
   NDQ_RETURN_IF_ERROR(disk_->ReadPage(id, f.data.get()));
   f.pin_count = 1;
   auto [fit, inserted] = frames_.emplace(id, std::move(f));
-  assert(inserted);
-  (void)inserted;
+  if (!inserted) {
+    return Status::Internal("buffer pool: frame for page " +
+                            std::to_string(id) +
+                            " appeared during miss handling");
+  }
   return PageHandle(this, id, fit->second.data.get());
 }
 
 Result<PageHandle> BufferPool::New() {
   std::lock_guard<std::mutex> lock(mu_);
   if (frames_.size() >= capacity_) NDQ_RETURN_IF_ERROR(EvictOne());
-  PageId id = disk_->Allocate();
+  NDQ_ASSIGN_OR_RETURN(PageId id, disk_->Allocate());
   Frame f;
   f.data = std::make_unique<uint8_t[]>(disk_->page_size());
   std::memset(f.data.get(), 0, disk_->page_size());
   f.pin_count = 1;
   f.dirty = true;
   auto [fit, inserted] = frames_.emplace(id, std::move(f));
-  assert(inserted);
-  (void)inserted;
+  if (!inserted) {
+    // A frame for a page the disk just handed out means the device and
+    // pool disagree about liveness; give the page back and fail loudly.
+    (void)disk_->Free(id);
+    return Status::Internal("buffer pool: stale frame for fresh page " +
+                            std::to_string(id));
+  }
   return PageHandle(this, id, fit->second.data.get());
 }
 
@@ -100,13 +107,20 @@ Status BufferPool::EvictOne() {
     return Status::ResourceExhausted("buffer pool: all frames pinned");
   }
   PageId victim = lru_.front();
-  lru_.pop_front();
   auto it = frames_.find(victim);
-  assert(it != frames_.end());
+  if (it == frames_.end()) {
+    return Status::Internal("buffer pool: LRU entry for page " +
+                            std::to_string(victim) + " has no frame");
+  }
   if (it->second.dirty) {
+    // Write back BEFORE unlinking: if the writeback fails (e.g. an
+    // injected fault) the victim stays intact in both the map and the
+    // LRU, so the pool remains consistent and the dirty data survives
+    // for a retry.
     NDQ_RETURN_IF_ERROR(disk_->WritePage(victim, it->second.data.get()));
     ++stats_.dirty_writebacks;
   }
+  lru_.pop_front();
   frames_.erase(it);
   ++stats_.evictions;
   return Status::OK();

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <thread>
 
+#include "storage/fault_injector.h"
+
 namespace ndq {
 
 namespace {
@@ -157,7 +159,19 @@ Status SimDisk::LoadFromFile(const std::string& path) {
   return Status::OK();
 }
 
-PageId SimDisk::Allocate() {
+Status SimDisk::CheckFault(FaultOp op, PageId id) {
+  FaultInjector* fi = injector_.load(std::memory_order_acquire);
+  if (fi == nullptr) return Status::OK();
+  Status s = fi->Check(op, id);
+  if (!s.ok()) {
+    ++stats_.faults_injected;
+    BumpScoped(this, &IoStats::faults_injected);
+  }
+  return s;
+}
+
+Result<PageId> SimDisk::Allocate() {
+  NDQ_RETURN_IF_ERROR(CheckFault(FaultOp::kAllocate, kInvalidPage));
   PageId id;
   {
     std::lock_guard<std::mutex> lock(alloc_mu_);
@@ -167,11 +181,9 @@ PageId SimDisk::Allocate() {
     } else {
       size_t n = num_slots_.load(std::memory_order_relaxed);
       if (n >= kMaxChunks * kChunkSize) {
-        // 64 GiB simulated capacity exhausted; treat as fatal, matching
-        // what a real device driver would do on ENOSPC with no caller
-        // error path.
-        std::fprintf(stderr, "SimDisk: page table capacity exhausted\n");
-        std::abort();
+        return Status::ResourceExhausted(
+            "SimDisk: page table capacity exhausted (" + std::to_string(n) +
+            " slots)");
       }
       size_t chunk_idx = n >> kChunkBits;
       if (chunks_[chunk_idx].load(std::memory_order_relaxed) == nullptr) {
@@ -198,6 +210,7 @@ PageId SimDisk::Allocate() {
 }
 
 Status SimDisk::Free(PageId id) {
+  NDQ_RETURN_IF_ERROR(CheckFault(FaultOp::kFree, id));
   PageSlot* slot = SlotFor(id);
   if (slot != nullptr) {
     std::lock_guard<std::mutex> lock(ShardFor(id));
@@ -219,6 +232,7 @@ Status SimDisk::Free(PageId id) {
 }
 
 Status SimDisk::ReadPage(PageId id, uint8_t* buf) {
+  NDQ_RETURN_IF_ERROR(CheckFault(FaultOp::kRead, id));
   PageSlot* slot = SlotFor(id);
   bool ok = false;
   if (slot != nullptr) {
@@ -238,6 +252,7 @@ Status SimDisk::ReadPage(PageId id, uint8_t* buf) {
 }
 
 Status SimDisk::WritePage(PageId id, const uint8_t* buf) {
+  NDQ_RETURN_IF_ERROR(CheckFault(FaultOp::kWrite, id));
   PageSlot* slot = SlotFor(id);
   bool ok = false;
   if (slot != nullptr) {

@@ -34,6 +34,9 @@
 
 namespace ndq {
 
+class FaultInjector;
+enum class FaultOp : uint8_t;
+
 using PageId = uint32_t;
 inline constexpr PageId kInvalidPage = static_cast<PageId>(-1);
 
@@ -52,8 +55,10 @@ class SimDisk {
 
   size_t page_size() const { return page_size_; }
 
-  /// Allocates a zeroed page and returns its id.
-  PageId Allocate();
+  /// Allocates a zeroed page and returns its id. Fails with
+  /// ResourceExhausted when the device is full, or Unavailable when an
+  /// attached FaultInjector refuses the operation.
+  Result<PageId> Allocate();
 
   /// Returns a page to the free list. Reading a freed page is an error.
   Status Free(PageId id);
@@ -81,6 +86,18 @@ class SimDisk {
   }
   uint32_t transfer_latency_micros() const {
     return latency_micros_.load(std::memory_order_relaxed);
+  }
+
+  /// Attaches a fault-injection policy (storage/fault_injector.h): every
+  /// subsequent Read/Write/Allocate/Free first consults it and fails —
+  /// before any side effect — when a rule fires. Pass nullptr to detach.
+  /// The injector is NOT owned and must outlive its attachment. The hook
+  /// is zero-cost when detached (one relaxed atomic load).
+  void set_fault_injector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const {
+    return injector_.load(std::memory_order_acquire);
   }
 
   /// Writes the device image (page size, live pages, contents) to a file.
@@ -113,6 +130,9 @@ class SimDisk {
   }
   void SimulateLatency() const;
   void FreeAllChunks();
+  /// Consults the attached injector (if any); on refusal, counts the
+  /// fault and returns the injected status.
+  Status CheckFault(FaultOp op, PageId id);
 
   size_t page_size_;
   std::array<std::atomic<PageSlot*>, kMaxChunks> chunks_{};
@@ -122,6 +142,7 @@ class SimDisk {
   std::vector<PageId> free_list_;
   std::atomic<size_t> live_pages_{0};
   std::atomic<uint32_t> latency_micros_{0};
+  std::atomic<FaultInjector*> injector_{nullptr};
   IoStats stats_;
 };
 

@@ -50,7 +50,8 @@ Result<Run> MergeGroup(SimDisk* disk, const RecordKeyFn& key_fn,
 }
 
 // Repeatedly merges `runs` fan_in at a time until one remains; consumes the
-// inputs. Increments *passes per merge pass if non-null.
+// inputs. Increments *passes per merge pass if non-null. On error every
+// input and intermediate run is freed before the status propagates.
 Result<Run> MergeToOne(SimDisk* disk, const RecordKeyFn& key_fn,
                        std::vector<Run> runs, size_t fan_in,
                        size_t* passes) {
@@ -58,17 +59,30 @@ Result<Run> MergeToOne(SimDisk* disk, const RecordKeyFn& key_fn,
     RunWriter w(disk);
     return w.Finish();
   }
+  auto free_all = [&](std::vector<Run>* rs) {
+    for (Run& r : *rs) (void)FreeRun(disk, &r);
+  };
   while (runs.size() > 1) {
     if (passes != nullptr) ++*passes;
     std::vector<Run> next;
     for (size_t i = 0; i < runs.size(); i += fan_in) {
       size_t n = std::min(fan_in, runs.size() - i);
-      NDQ_ASSIGN_OR_RETURN(Run merged,
-                           MergeGroup(disk, key_fn, &runs[i], n));
-      for (size_t j = i; j < i + n; ++j) {
-        NDQ_RETURN_IF_ERROR(FreeRun(disk, &runs[j]));
+      Result<Run> merged = MergeGroup(disk, key_fn, &runs[i], n);
+      if (!merged.ok()) {
+        free_all(&runs);
+        free_all(&next);
+        return merged.status();
       }
-      next.push_back(std::move(merged));
+      for (size_t j = i; j < i + n; ++j) {
+        Status s = FreeRun(disk, &runs[j]);
+        if (!s.ok()) {
+          free_all(&runs);
+          free_all(&next);
+          (void)FreeRun(disk, &*merged);
+          return s;
+        }
+      }
+      next.push_back(merged.TakeValue());
     }
     runs = std::move(next);
   }
@@ -80,6 +94,11 @@ Result<Run> MergeToOne(SimDisk* disk, const RecordKeyFn& key_fn,
 ExternalSorter::ExternalSorter(SimDisk* disk, RecordKeyFn key_fn,
                                ExternalSortOptions options)
     : disk_(disk), key_fn_(std::move(key_fn)), options_(options) {}
+
+ExternalSorter::~ExternalSorter() {
+  // Generated runs not yet handed to a (successful) Finish() are ours.
+  for (Run& r : runs_) (void)FreeRun(disk_, &r);
+}
 
 Status ExternalSorter::Add(std::string_view record) {
   if (finished_) return Status::Internal("Add after Finish");

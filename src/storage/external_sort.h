@@ -37,6 +37,12 @@ class ExternalSorter {
  public:
   ExternalSorter(SimDisk* disk, RecordKeyFn key_fn,
                  ExternalSortOptions options = {});
+  /// Frees any generated runs that were never merged (abandoned sorts and
+  /// error paths leak nothing).
+  ~ExternalSorter();
+
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
 
   Status Add(std::string_view record);
 

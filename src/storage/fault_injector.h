@@ -1,0 +1,184 @@
+// Deterministic fault injection for the simulated disk.
+//
+// The paper's algorithms are proven under the assumption that every page
+// transfer succeeds; production directories do not get that luxury. A
+// FaultInjector is a scriptable policy object that SimDisk consults before
+// performing each Read/Write/Allocate/Free: when a rule fires, the device
+// refuses the operation with Status::Unavailable BEFORE any side effect,
+// exactly like a transient device error. Campaign drivers (tests/testing/
+// fault_campaign.h) sweep "fail op #k" for every k to prove that every
+// error path propagates a clean Status and leaks no pages.
+//
+// Rules are deterministic by construction: triggers are expressed against
+// a per-rule count of eligible operations ("the Nth matching op", "every
+// Kth matching op"), optionally filtered by operation kind and page id.
+// A probabilistic mode exists for soak testing and is seeded, so a given
+// (seed, op sequence) pair always yields the same faults.
+//
+// The hook is zero-cost when disabled: SimDisk keeps an atomic pointer
+// that is nullptr in normal operation, so the fast path is one relaxed
+// load and a predictable branch.
+
+#ifndef NDQ_STORAGE_FAULT_INJECTOR_H_
+#define NDQ_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace ndq {
+
+/// The injectable operation kinds, usable as bitmask positions.
+enum class FaultOp : uint8_t { kRead = 0, kWrite = 1, kAllocate = 2, kFree = 3 };
+
+const char* FaultOpName(FaultOp op);
+
+inline constexpr uint32_t FaultOpBit(FaultOp op) {
+  return uint32_t{1} << static_cast<uint8_t>(op);
+}
+inline constexpr uint32_t kFaultAllOps =
+    FaultOpBit(FaultOp::kRead) | FaultOpBit(FaultOp::kWrite) |
+    FaultOpBit(FaultOp::kAllocate) | FaultOpBit(FaultOp::kFree);
+
+/// \brief A seeded, scriptable I/O fault policy.
+///
+/// Holds an ordered list of rules; each eligible operation is offered to
+/// every rule (all matching rules advance their counters) and fails if any
+/// rule fires. Thread-safe: SimDisk may call Check() from many evaluator
+/// threads concurrently.
+class FaultInjector {
+ public:
+  struct Rule {
+    /// Which operations this rule applies to (kFaultAllOps by default).
+    uint32_t ops = kFaultAllOps;
+    /// Fire on the Nth eligible operation (1-based). 0 = not used.
+    uint64_t nth = 0;
+    /// Fire on every Kth eligible operation. 0 = not used.
+    uint64_t every_kth = 0;
+    /// Fire with this probability per eligible op (seeded). 0 = not used.
+    double probability = 0.0;
+    /// Once triggered, keep failing every subsequent eligible op
+    /// (a dead device) instead of firing once (a transient fault).
+    bool sticky = false;
+    /// Restrict the rule to one page id (reads/writes/frees of that page).
+    bool has_page = false;
+    uint32_t page = 0;
+
+    // Internal trigger state.
+    uint64_t seen = 0;
+    bool tripped = false;
+  };
+
+  FaultInjector() = default;
+  explicit FaultInjector(std::vector<Rule> rules, uint64_t seed = 0)
+      : rules_(std::move(rules)), rng_(seed) {}
+
+  // Movable (the mutex is state-free) so it can travel inside Result<>.
+  // Do not move an injector that is still attached to a SimDisk.
+  FaultInjector(FaultInjector&& other) noexcept {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    rules_ = std::move(other.rules_);
+    rng_ = other.rng_;
+    fired_ = other.fired_;
+    seen_ = other.seen_;
+  }
+  FaultInjector& operator=(FaultInjector&& other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lock(mu_, other.mu_);
+      rules_ = std::move(other.rules_);
+      rng_ = other.rng_;
+      fired_ = other.fired_;
+      seen_ = other.seen_;
+    }
+    return *this;
+  }
+
+  /// Convenience: fail the Nth operation matching `ops` (1-based),
+  /// one-shot unless `sticky`.
+  static Rule FailNth(uint64_t n, uint32_t ops = kFaultAllOps,
+                      bool sticky = false) {
+    Rule r;
+    r.ops = ops;
+    r.nth = n;
+    r.sticky = sticky;
+    return r;
+  }
+  /// Convenience: fail every Kth operation matching `ops`.
+  static Rule FailEveryKth(uint64_t k, uint32_t ops = kFaultAllOps) {
+    Rule r;
+    r.ops = ops;
+    r.every_kth = k;
+    return r;
+  }
+  /// Convenience: fail every operation touching `page`.
+  static Rule FailPage(uint32_t page, uint32_t ops = kFaultAllOps) {
+    Rule r;
+    r.ops = ops;
+    r.has_page = true;
+    r.page = page;
+    r.every_kth = 1;
+    return r;
+  }
+
+  void AddRule(Rule rule) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rules_.push_back(rule);
+  }
+
+  /// Parses a scripted policy, e.g. from ndqsh `.set faults <spec>`:
+  ///
+  ///   spec  := rule (';' rule)*
+  ///   rule  := ops (':' field)*
+  ///   ops   := ("read"|"write"|"alloc"|"free"|"any") ('|' ops)?
+  ///   field := "n=" N        -- fire on the Nth eligible op (1-based)
+  ///          | "every=" K    -- fire on every Kth eligible op
+  ///          | "p=" P        -- fire with probability P per eligible op
+  ///          | "seed=" S     -- RNG seed for probabilistic rules
+  ///          | "page=" ID    -- only ops touching page ID
+  ///          | "sticky"      -- keep failing after the first trigger
+  ///
+  /// Examples: "read:n=5", "write:every=3:sticky", "any:p=0.01:seed=42",
+  /// "read:page=12:n=1;alloc:n=2".
+  static Result<FaultInjector> Parse(const std::string& spec);
+
+  /// Offers one operation to the policy. Returns OK to let it proceed or
+  /// Status::Unavailable (before any device side effect) to fail it.
+  Status Check(FaultOp op, uint32_t page);
+
+  /// Total faults this injector has fired.
+  uint64_t faults_fired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fired_;
+  }
+  /// Eligible operations offered to the policy (fired or not).
+  uint64_t ops_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return seen_;
+  }
+
+  /// Resets trigger state (per-rule counters, fired counts); rules stay.
+  void ResetCounters() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Rule& r : rules_) {
+      r.seen = 0;
+      r.tripped = false;
+    }
+    fired_ = 0;
+    seen_ = 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Rule> rules_;
+  std::mt19937_64 rng_{0};
+  uint64_t fired_ = 0;
+  uint64_t seen_ = 0;
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_STORAGE_FAULT_INJECTOR_H_

@@ -56,6 +56,11 @@ struct IoStats {
   RelaxedCounter page_writes = 0;
   RelaxedCounter pages_allocated = 0;
   RelaxedCounter pages_freed = 0;
+  /// Operations refused by an attached FaultInjector (storage/
+  /// fault_injector.h). Injected faults are counted here — NOT in the
+  /// transfer counters above — because the simulated transfer never
+  /// happened; the paper's I/O bounds stay comparable under injection.
+  RelaxedCounter faults_injected = 0;
 
   uint64_t TotalTransfers() const { return page_reads + page_writes; }
 
@@ -67,6 +72,7 @@ struct IoStats {
     d.page_writes = page_writes - other.page_writes;
     d.pages_allocated = pages_allocated - other.pages_allocated;
     d.pages_freed = pages_freed - other.pages_freed;
+    d.faults_injected = faults_injected - other.faults_injected;
     return d;
   }
 
@@ -75,14 +81,19 @@ struct IoStats {
     page_writes += other.page_writes;
     pages_allocated += other.pages_allocated;
     pages_freed += other.pages_freed;
+    faults_injected += other.faults_injected;
     return *this;
   }
 
   std::string ToString() const {
-    return "reads=" + std::to_string(page_reads.load()) +
-           " writes=" + std::to_string(page_writes.load()) +
-           " alloc=" + std::to_string(pages_allocated.load()) +
-           " freed=" + std::to_string(pages_freed.load());
+    std::string out = "reads=" + std::to_string(page_reads.load()) +
+                      " writes=" + std::to_string(page_writes.load()) +
+                      " alloc=" + std::to_string(pages_allocated.load()) +
+                      " freed=" + std::to_string(pages_freed.load());
+    if (faults_injected.load() != 0) {
+      out += " faults=" + std::to_string(faults_injected.load());
+    }
+    return out;
   }
 };
 

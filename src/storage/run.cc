@@ -5,11 +5,19 @@
 namespace ndq {
 
 Status FreeRun(SimDisk* disk, Run* run) {
-  for (PageId p : run->pages) NDQ_RETURN_IF_ERROR(disk->Free(p));
+  // Free every page even if one Free fails: stopping at the first error
+  // would strand the remaining pages in the run with some already freed,
+  // making a retry double-free. The run is always left empty; the first
+  // error (if any) is reported.
+  Status first;
+  for (PageId p : run->pages) {
+    Status s = disk->Free(p);
+    if (!s.ok() && first.ok()) first = s;
+  }
   run->pages.clear();
   run->num_records = 0;
   run->payload_bytes = 0;
-  return Status::OK();
+  return first;
 }
 
 Result<Run> ReverseRun(SimDisk* disk, Run run) {
@@ -17,60 +25,81 @@ Result<Run> ReverseRun(SimDisk* disk, Run run) {
   // batches last-to-first, reversing each batch in memory.
   const size_t batch_budget = 2 * disk->page_size();
   std::vector<Run> batches;
-  std::vector<std::string> buffer;
-  size_t buffered = 0;
-  auto flush = [&]() -> Status {
-    if (buffer.empty()) return Status::OK();
-    RunWriter w(disk);
-    for (const std::string& rec : buffer) NDQ_RETURN_IF_ERROR(w.Add(rec));
-    NDQ_ASSIGN_OR_RETURN(Run batch, w.Finish());
-    batches.push_back(std::move(batch));
-    buffer.clear();
-    buffered = 0;
-    return Status::OK();
-  };
-  {
-    RunReader reader(disk, run);
+  auto impl = [&]() -> Result<Run> {
+    std::vector<std::string> buffer;
+    size_t buffered = 0;
+    auto flush = [&]() -> Status {
+      if (buffer.empty()) return Status::OK();
+      RunWriter w(disk);
+      for (const std::string& rec : buffer) NDQ_RETURN_IF_ERROR(w.Add(rec));
+      NDQ_ASSIGN_OR_RETURN(Run batch, w.Finish());
+      batches.push_back(std::move(batch));
+      buffer.clear();
+      buffered = 0;
+      return Status::OK();
+    };
+    {
+      RunReader reader(disk, run);
+      std::string rec;
+      while (true) {
+        NDQ_ASSIGN_OR_RETURN(bool more, reader.Next(&rec));
+        if (!more) break;
+        buffered += rec.size();
+        buffer.push_back(std::move(rec));
+        if (buffered >= batch_budget) NDQ_RETURN_IF_ERROR(flush());
+      }
+      NDQ_RETURN_IF_ERROR(flush());
+    }
+    NDQ_RETURN_IF_ERROR(FreeRun(disk, &run));
+    RunWriter out(disk);
     std::string rec;
-    while (true) {
-      NDQ_ASSIGN_OR_RETURN(bool more, reader.Next(&rec));
-      if (!more) break;
-      buffered += rec.size();
-      buffer.push_back(std::move(rec));
-      if (buffered >= batch_budget) NDQ_RETURN_IF_ERROR(flush());
+    for (auto bit = batches.rbegin(); bit != batches.rend(); ++bit) {
+      std::vector<std::string> recs;
+      RunReader reader(disk, *bit);
+      while (true) {
+        NDQ_ASSIGN_OR_RETURN(bool more, reader.Next(&rec));
+        if (!more) break;
+        recs.push_back(std::move(rec));
+      }
+      for (auto rit = recs.rbegin(); rit != recs.rend(); ++rit) {
+        NDQ_RETURN_IF_ERROR(out.Add(*rit));
+      }
+      NDQ_RETURN_IF_ERROR(FreeRun(disk, &*bit));
     }
-    NDQ_RETURN_IF_ERROR(flush());
+    return out.Finish();
+  };
+  Result<Run> reversed = impl();
+  if (!reversed.ok()) {
+    // Best-effort cleanup: the input and any surviving spill batches.
+    // FreeRun empties each run, so nothing is ever freed twice.
+    (void)FreeRun(disk, &run);
+    for (Run& b : batches) (void)FreeRun(disk, &b);
   }
-  NDQ_RETURN_IF_ERROR(FreeRun(disk, &run));
-  RunWriter out(disk);
-  std::string rec;
-  for (auto bit = batches.rbegin(); bit != batches.rend(); ++bit) {
-    std::vector<std::string> recs;
-    RunReader reader(disk, *bit);
-    while (true) {
-      NDQ_ASSIGN_OR_RETURN(bool more, reader.Next(&rec));
-      if (!more) break;
-      recs.push_back(std::move(rec));
-    }
-    for (auto rit = recs.rbegin(); rit != recs.rend(); ++rit) {
-      NDQ_RETURN_IF_ERROR(out.Add(*rit));
-    }
-    NDQ_RETURN_IF_ERROR(FreeRun(disk, &*bit));
-  }
-  return out.Finish();
+  return reversed;
 }
 
 RunWriter::RunWriter(SimDisk* disk) : disk_(disk) {
   buf_.reserve(disk_->page_size());
 }
 
+RunWriter::~RunWriter() {
+  // A writer destroyed before a successful Finish() owns a partial run
+  // that no caller can ever free; return its pages (best-effort — the
+  // device may be refusing ops, in which case the campaign's leak check
+  // knows to expect it).
+  if (!finished_) {
+    for (PageId p : run_.pages) (void)disk_->Free(p);
+  }
+}
+
 Status RunWriter::FlushPage() {
   if (buf_.empty()) return Status::OK();
   buf_.resize(disk_->page_size(), '\0');
-  PageId id = disk_->Allocate();
+  NDQ_ASSIGN_OR_RETURN(PageId id, disk_->Allocate());
+  // Track the page before writing it so an abandoned writer frees it too.
+  run_.pages.push_back(id);
   NDQ_RETURN_IF_ERROR(
       disk_->WritePage(id, reinterpret_cast<const uint8_t*>(buf_.data())));
-  run_.pages.push_back(id);
   buf_.clear();
   return Status::OK();
 }
@@ -97,8 +126,10 @@ Status RunWriter::Add(std::string_view record) {
 
 Result<Run> RunWriter::Finish() {
   if (finished_) return Status::Internal("double Finish");
-  finished_ = true;
+  // Mark finished only after the flush succeeds: on error the writer
+  // still owns the partial run, and the destructor reclaims it.
   NDQ_RETURN_IF_ERROR(FlushPage());
+  finished_ = true;
   return run_;
 }
 

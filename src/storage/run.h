@@ -38,14 +38,24 @@ Status FreeRun(SimDisk* disk, Run* run);
 Result<Run> ReverseRun(SimDisk* disk, Run run);
 
 /// Appends records to a new run, one page of buffering.
+///
+/// Error-path ownership: until Finish() succeeds, the writer owns every
+/// page it has allocated, and its destructor frees them. A caller that
+/// hits an error mid-write (or whose Finish() fails) simply drops the
+/// writer — no partial run leaks.
 class RunWriter {
  public:
   explicit RunWriter(SimDisk* disk);
+  ~RunWriter();
+
+  RunWriter(const RunWriter&) = delete;
+  RunWriter& operator=(const RunWriter&) = delete;
 
   /// Appends one record (length-prefixed; may span pages).
   Status Add(std::string_view record);
 
-  /// Flushes the tail page and returns the finished run.
+  /// Flushes the tail page and returns the finished run, transferring
+  /// page ownership to the caller.
   Result<Run> Finish();
 
   uint64_t num_records() const { return run_.num_records; }

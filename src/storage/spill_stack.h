@@ -115,8 +115,12 @@ class SpillableStack {
   }
 
   Status ReloadBatch() {
-    Batch batch = std::move(batches_.back());
-    batches_.pop_back();
+    // Read the batch IN PLACE: the spilled pages stay live (and owned by
+    // batches_) until every item has deserialized and been applied to the
+    // window. A read or deserialize error therefore leaves the stack
+    // exactly as it was — the batch survives for a retry — instead of
+    // losing the remaining items with their pages already freed.
+    Batch& batch = batches_.back();
     RunReader reader(disk_, batch.run);
     std::deque<T> reloaded;
     std::string rec;
@@ -126,13 +130,16 @@ class SpillableStack {
       NDQ_ASSIGN_OR_RETURN(T item, deser_(rec));
       reloaded.push_back(std::move(item));
     }
-    NDQ_RETURN_IF_ERROR(FreeRun(disk_, &batch.run));
     // Reloaded items sit *below* whatever is still in the window.
     for (auto it = reloaded.rbegin(); it != reloaded.rend(); ++it) {
       window_items_.push_front(std::move(*it));
     }
+    Run run = std::move(batch.run);
+    batches_.pop_back();
     ++spill_count_;
-    return Status::OK();
+    // The batch is applied; only now give its pages back. A failed Free
+    // no longer endangers any data, so the error is purely advisory.
+    return FreeRun(disk_, &run);
   }
 
   SimDisk* disk_;

@@ -8,6 +8,20 @@ namespace ndq {
 
 Status EntryStore::BuildFrom(
     SimDisk* disk, const std::function<Result<bool>(std::string*)>& next) {
+  Status s = BuildFromImpl(disk, next);
+  if (!s.ok()) {
+    // A partially built segment is unusable; return its pages so a failed
+    // load leaks nothing.
+    (void)FreeRun(disk, &run_);
+    first_keys_.clear();
+    first_offsets_.clear();
+    first_record_index_.clear();
+  }
+  return s;
+}
+
+Status EntryStore::BuildFromImpl(
+    SimDisk* disk, const std::function<Result<bool>(std::string*)>& next) {
   disk_ = disk;
   const size_t page_size = disk->page_size();
   std::string buf;
@@ -15,10 +29,10 @@ Status EntryStore::BuildFrom(
   auto flush_page = [&]() -> Status {
     if (buf.empty()) return Status::OK();
     buf.resize(page_size, '\0');
-    PageId id = disk->Allocate();
+    NDQ_ASSIGN_OR_RETURN(PageId id, disk->Allocate());
+    run_.pages.push_back(id);
     NDQ_RETURN_IF_ERROR(
         disk->WritePage(id, reinterpret_cast<const uint8_t*>(buf.data())));
-    run_.pages.push_back(id);
     buf.clear();
     return Status::OK();
   };

@@ -164,6 +164,8 @@ class EntryStore : public EntrySource {
 
   Status BuildFrom(SimDisk* disk,
                    const std::function<Result<bool>(std::string*)>& next);
+  Status BuildFromImpl(SimDisk* disk,
+                       const std::function<Result<bool>(std::string*)>& next);
 
   /// Returns a reader positioned at the first record that *starts* in the
   /// page containing start_key's position (records before start_key must

@@ -1,0 +1,169 @@
+// Distributed resilience (ISSUE 3, tentpole part 3): a downed server
+// must degrade the result — not the process. Retries with backoff absorb
+// transient faults; exhausted retries on an unreachable server yield a
+// partial result with a structured DegradationWarning (or fail-stop when
+// degradation is disabled); recovery restores exact results; query
+// shipping falls back gracefully when the target owner is down.
+
+#include "dist/distributed.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "query/reference.h"
+#include "storage/fault_injector.h"
+#include "testing/paper_fixture.h"
+
+namespace ndq {
+namespace {
+
+// Same fixture split as distributed_test.cc: dc=com + dc=att on the root
+// server, the research subdomain delegated.
+DistributedDirectory PaperFleet() {
+  DirectoryInstance inst = testing::PaperInstance();
+  return DistributedDirectory::Build(
+             inst, {{"dc=com", "root-server"},
+                    {"dc=research, dc=att, dc=com", "research-server"}})
+      .TakeValue();
+}
+
+RetryPolicy FastRetries() {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.backoff_micros = 0;  // keep the test instant
+  return p;
+}
+
+std::vector<Entry> ReferenceResult(const DirectoryInstance& global,
+                                   const Query& q) {
+  std::vector<const Entry*> ref = EvaluateReference(q, global).TakeValue();
+  std::vector<Entry> out;
+  for (const Entry* e : ref) out.push_back(*e);
+  return out;
+}
+
+TEST(DegradationTest, DownedServerYieldsPartialResultWithWarning) {
+  DistributedDirectory fleet = PaperFleet();
+  fleet.set_retry_policy(FastRetries());
+  fleet.FindServer("research-server")->set_down(true);
+
+  // Spans both servers; only the root server's two entries can arrive.
+  QueryPtr q = ParseQuery("(dc=com ? sub ? objectClass=*)").TakeValue();
+  OpTrace trace;
+  Result<std::vector<Entry>> got = fleet.Evaluate(*q, &trace);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->size(), 2u);  // dc=com, dc=att
+
+  std::vector<DegradationWarning> warnings = fleet.last_warnings();
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].server, "research-server");
+  EXPECT_NE(warnings[0].ToString().find("research-server"),
+            std::string::npos);
+  EXPECT_GE(uint64_t{fleet.net_stats().degraded_results}, 1u);
+  // max_attempts=3 means 2 re-issues before giving up.
+  EXPECT_GE(uint64_t{fleet.net_stats().retries}, 2u);
+  EXPECT_GE(trace.degraded_shards, 1u);
+}
+
+TEST(DegradationTest, FailStopWhenDegradationDisabled) {
+  DistributedDirectory fleet = PaperFleet();
+  fleet.set_retry_policy(FastRetries());
+  fleet.set_allow_degraded(false);
+  fleet.FindServer("research-server")->set_down(true);
+
+  QueryPtr q = ParseQuery("(dc=com ? sub ? objectClass=*)").TakeValue();
+  Result<std::vector<Entry>> got = fleet.Evaluate(*q);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(fleet.last_warnings().empty());
+}
+
+TEST(DegradationTest, TransientFaultIsRetriedToAFullResult) {
+  DirectoryInstance global = testing::PaperInstance();
+  DistributedDirectory fleet = PaperFleet();
+  fleet.set_retry_policy(FastRetries());
+  QueryPtr q = ParseQuery("(dc=com ? sub ? objectClass=*)").TakeValue();
+  std::vector<Entry> want = ReferenceResult(global, *q);
+
+  // One transient read fault on the research server: the first attempt
+  // fails, the retry succeeds, and the result is complete — no warning.
+  FaultInjector fi(
+      {FaultInjector::FailNth(1, FaultOpBit(FaultOp::kRead))});
+  fleet.FindServer("research-server")->disk()->set_fault_injector(&fi);
+  Result<std::vector<Entry>> got = fleet.Evaluate(*q);
+  fleet.FindServer("research-server")->disk()->set_fault_injector(nullptr);
+
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, want);
+  EXPECT_EQ(fi.faults_fired(), 1u);
+  EXPECT_GE(uint64_t{fleet.net_stats().retries}, 1u);
+  EXPECT_EQ(uint64_t{fleet.net_stats().degraded_results}, 0u);
+  EXPECT_TRUE(fleet.last_warnings().empty());
+}
+
+TEST(DegradationTest, QueryShippingFallsBackWhenOwnerIsDown) {
+  DistributedDirectory fleet = PaperFleet();
+  fleet.set_retry_policy(FastRetries());
+  // Subtree-local boolean: with shipping on this would normally be pushed
+  // whole to the research server. Down, it must degrade to an empty
+  // partial result — not hang or crash.
+  QueryPtr q =
+      ParseQuery(
+          "(& (dc=research, dc=att, dc=com ? sub ? objectClass=dcObject)"
+          "   (dc=research, dc=att, dc=com ? sub ? objectClass=*))")
+          .TakeValue();
+  fleet.FindServer("research-server")->set_down(true);
+  Result<std::vector<Entry>> got = fleet.Evaluate(*q);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got->empty());
+  EXPECT_FALSE(fleet.last_warnings().empty());
+}
+
+TEST(DegradationTest, RecoveryRestoresExactResults) {
+  DirectoryInstance global = testing::PaperInstance();
+  DistributedDirectory fleet = PaperFleet();
+  fleet.set_retry_policy(FastRetries());
+  QueryPtr q = ParseQuery(
+                   "(c (dc=att, dc=com ? sub ? objectClass=organizationalUnit)"
+                   "   (dc=att, dc=com ? sub ? surName=jagadish))")
+                   .TakeValue();
+  std::vector<Entry> want = ReferenceResult(global, *q);
+
+  DirectoryServer* research = fleet.FindServer("research-server");
+  research->set_down(true);
+  Result<std::vector<Entry>> degraded = fleet.Evaluate(*q);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_FALSE(fleet.last_warnings().empty());
+
+  // Server comes back: the very next evaluation is exact again, and the
+  // stale warnings are gone.
+  research->set_down(false);
+  Result<std::vector<Entry>> healed = fleet.Evaluate(*q);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(*healed, want);
+  EXPECT_TRUE(fleet.last_warnings().empty());
+}
+
+TEST(DegradationTest, ParallelFleetDegradesIdentically) {
+  DistributedDirectory fleet = PaperFleet();
+  fleet.set_retry_policy(FastRetries());
+  fleet.set_parallelism(3);
+  fleet.FindServer("research-server")->set_down(true);
+  QueryPtr q = ParseQuery(
+                   "(& (dc=com ? sub ? objectClass=dcObject)"
+                   "   (dc=com ? sub ? objectClass=*))")
+                   .TakeValue();
+  for (int round = 0; round < 5; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    Result<std::vector<Entry>> got = fleet.Evaluate(*q);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->size(), 2u);  // the root server's dc entries
+    EXPECT_FALSE(fleet.last_warnings().empty());
+  }
+}
+
+}  // namespace
+}  // namespace ndq

@@ -12,6 +12,7 @@
 
 #include "exec/operand_cache.h"
 #include "exec/thread_pool.h"
+#include "storage/fault_injector.h"
 #include "storage/run.h"
 
 namespace ndq {
@@ -227,6 +228,104 @@ TEST(OperandCacheTest, ConcurrentHitsInsertsAndClears) {
     ASSERT_TRUE(FreeRun(&disk, &l).ok());
   }
   EXPECT_GT(list_pages, 0u);
+  EXPECT_EQ(disk.live_pages(), 0u);
+}
+
+TEST(OperandCacheTest, CopyOutFaultReclassifiesHitAsMiss) {
+  SimDisk disk(256);
+  OperandCache cache(&disk, /*capacity_pages=*/64);
+  EntryList original = MakeList(&disk, 50, "a");
+  ASSERT_TRUE(cache.Insert("a", original).ok());
+  ASSERT_TRUE(FreeRun(&disk, &original).ok());
+
+  // The first read of the copy-out fails; the cache must absorb it: the
+  // lookup reports a miss (never a truncated list), the poisoned entry is
+  // evicted, and nothing leaks.
+  EntryList out = MakeList(&disk, 1, "sentinel");
+  EntryList untouched = out;
+  FaultInjector fi(
+      {FaultInjector::FailNth(1, FaultOpBit(FaultOp::kRead))});
+  disk.set_fault_injector(&fi);
+  Result<bool> hit = cache.Lookup("a", &out);
+  disk.set_fault_injector(nullptr);
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  EXPECT_FALSE(*hit);
+  EXPECT_EQ(out.pages, untouched.pages);  // output untouched on miss
+  ASSERT_TRUE(FreeRun(&disk, &out).ok());
+
+  OperandCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);  // reclassified
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.copy_failures, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.resident_entries, 0u);
+  EXPECT_EQ(disk.live_pages(), 0u);
+
+  // The key really is gone: the next lookup is an honest miss.
+  Result<bool> again = cache.Lookup("a", &out);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
+}
+
+TEST(OperandCacheTest, CopyInFaultIsAbsorbedAndInsertsNothing) {
+  SimDisk disk(256);
+  OperandCache cache(&disk, /*capacity_pages=*/64);
+  EntryList original = MakeList(&disk, 50, "a");
+  size_t baseline = disk.live_pages();
+
+  // The private copy's first allocation fails: Insert must swallow the
+  // failure (caching is best-effort), insert nothing, and leak nothing.
+  FaultInjector fi(
+      {FaultInjector::FailNth(1, FaultOpBit(FaultOp::kAllocate))});
+  disk.set_fault_injector(&fi);
+  ASSERT_TRUE(cache.Insert("a", original).ok());
+  disk.set_fault_injector(nullptr);
+
+  OperandCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.copy_failures, 1u);
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.resident_entries, 0u);
+  EXPECT_EQ(disk.live_pages(), baseline);
+
+  EntryList out;
+  Result<bool> hit = cache.Lookup("a", &out);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_FALSE(*hit);
+  ASSERT_TRUE(FreeRun(&disk, &original).ok());
+  EXPECT_EQ(disk.live_pages(), 0u);
+}
+
+TEST(OperandCacheTest, ConcurrentCopyOutFaultsNeverDoubleFree) {
+  SimDisk disk(256);
+  OperandCache cache(&disk, /*capacity_pages=*/64);
+  EntryList original = MakeList(&disk, 50, "a");
+  ASSERT_TRUE(cache.Insert("a", original).ok());
+  ASSERT_TRUE(FreeRun(&disk, &original).ok());
+
+  // Every copy-out fails while several threads hold pins on the same
+  // entry: the first failure dooms + evicts it, the laggards must not
+  // free it a second time (the eviction path empties the run so the
+  // doomed-path free is a no-op). ASan/TSan are the real judges here;
+  // the page ledger is the in-tree check.
+  FaultInjector fi(
+      {FaultInjector::FailEveryKth(1, FaultOpBit(FaultOp::kRead))});
+  disk.set_fault_injector(&fi);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      EntryList out;
+      Result<bool> hit = cache.Lookup("a", &out);
+      ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+      EXPECT_FALSE(*hit);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  disk.set_fault_injector(nullptr);
+
+  OperandCacheStats stats = cache.stats();
+  EXPECT_GE(stats.copy_failures, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.resident_entries, 0u);
   EXPECT_EQ(disk.live_pages(), 0u);
 }
 

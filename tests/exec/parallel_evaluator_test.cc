@@ -5,6 +5,7 @@
 // randomized forests/queries in all language levels, plus trace checks
 // (worker stamps, cache traffic, theorem bounds, I/O reconciliation).
 
+#include <cctype>
 #include <cstddef>
 #include <random>
 #include <string>
@@ -251,6 +252,72 @@ TEST(ParallelEvaluatorTest, NoPageLeaksAcrossEvaluations) {
     cache.Clear();
     EXPECT_EQ(disk.live_pages(), baseline);
   }
+}
+
+// Wraps a store and fails scans whose start key contains a marker, so a
+// specific atomic leaf can be broken while its siblings keep working.
+class FailingSource : public EntrySource {
+ public:
+  FailingSource(const EntrySource* base,
+                std::vector<std::pair<std::string, Status>> failures)
+      : base_(base), failures_(std::move(failures)) {}
+
+  Status ScanRange(std::string_view start_key, std::string_view end_key,
+                   const std::function<Status(std::string_view)>& fn)
+      const override {
+    std::string key(start_key);
+    for (char& c : key) c = static_cast<char>(std::tolower(c));
+    for (const auto& [marker, status] : failures_) {
+      if (key.find(marker) != std::string::npos) return status;
+    }
+    return base_->ScanRange(start_key, end_key, fn);
+  }
+  uint64_t num_entries() const override { return base_->num_entries(); }
+  const IoStats* io_stats() const override { return base_->io_stats(); }
+  uint64_t EstimateRangeRecords(std::string_view start_key,
+                                std::string_view end_key) const override {
+    return base_->EstimateRangeRecords(start_key, end_key);
+  }
+  uint64_t EstimateRangePages(std::string_view start_key,
+                              std::string_view end_key) const override {
+    return base_->EstimateRangePages(start_key, end_key);
+  }
+
+ private:
+  const EntrySource* base_;
+  std::vector<std::pair<std::string, Status>> failures_;
+};
+
+TEST(ParallelEvaluatorTest, FirstErrorSurfacesDeterministically) {
+  DirectoryInstance inst = testing::PaperInstance();
+  SimDisk disk(1024);
+  EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+  // Both operands fail, with distinct messages; the research subtree's
+  // scan key is strictly deeper, so the markers cannot cross-match.
+  FailingSource failing(
+      &store, {{"research", Status::Unavailable("injected: left operand")},
+               {"com", Status::Unavailable("injected: right operand")}});
+  ExecOptions options;
+  options.parallelism = 4;
+  ParallelEvaluator parallel(&disk, &failing, options);
+
+  Result<QueryPtr> q = ParseQuery(
+      "(& (dc=research, dc=att, dc=com ? sub ? objectClass=*)"
+      "   (dc=com ? sub ? objectClass=dcObject))");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  // Whatever order the forked subtrees finish in, the error of the
+  // FIRST failing operand (query order) must surface, every time.
+  for (int round = 0; round < 25; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    Result<std::vector<Entry>> got = parallel.EvaluateToEntries(**q);
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+    EXPECT_EQ(got.status().message(), "injected: left operand");
+  }
+  EXPECT_EQ(disk.live_pages(),
+            static_cast<size_t>(uint64_t{disk.stats().pages_allocated} -
+                                uint64_t{disk.stats().pages_freed}));
 }
 
 class ParallelPropertyTest

@@ -9,7 +9,7 @@ namespace {
 
 TEST(BufferPoolTest, PinMissThenHit) {
   SimDisk disk(64);
-  PageId p = disk.Allocate();
+  PageId p = *disk.Allocate();
   BufferPool pool(&disk, 4);
   {
     PageHandle h = pool.Pin(p).TakeValue();
@@ -26,7 +26,7 @@ TEST(BufferPoolTest, PinMissThenHit) {
 
 TEST(BufferPoolTest, DirtyWritebackOnEviction) {
   SimDisk disk(64);
-  PageId p = disk.Allocate();
+  PageId p = *disk.Allocate();
   BufferPool pool(&disk, 1);
   {
     PageHandle h = pool.Pin(p).TakeValue();
@@ -34,7 +34,7 @@ TEST(BufferPoolTest, DirtyWritebackOnEviction) {
     h.MarkDirty();
   }
   // Pinning another page evicts p and writes it back.
-  PageId q = disk.Allocate();
+  PageId q = *disk.Allocate();
   { PageHandle h = pool.Pin(q).TakeValue(); }
   EXPECT_EQ(pool.stats().evictions, 1u);
   EXPECT_EQ(pool.stats().dirty_writebacks, 1u);
@@ -45,8 +45,8 @@ TEST(BufferPoolTest, DirtyWritebackOnEviction) {
 
 TEST(BufferPoolTest, CleanEvictionSkipsWriteback) {
   SimDisk disk(64);
-  PageId p = disk.Allocate();
-  PageId q = disk.Allocate();
+  PageId p = *disk.Allocate();
+  PageId q = *disk.Allocate();
   BufferPool pool(&disk, 1);
   { PageHandle h = pool.Pin(p).TakeValue(); }
   { PageHandle h = pool.Pin(q).TakeValue(); }
@@ -56,8 +56,8 @@ TEST(BufferPoolTest, CleanEvictionSkipsWriteback) {
 
 TEST(BufferPoolTest, AllPinnedIsResourceExhausted) {
   SimDisk disk(64);
-  PageId p = disk.Allocate();
-  PageId q = disk.Allocate();
+  PageId p = *disk.Allocate();
+  PageId q = *disk.Allocate();
   BufferPool pool(&disk, 1);
   PageHandle h = pool.Pin(p).TakeValue();
   Result<PageHandle> r = pool.Pin(q);
@@ -86,9 +86,9 @@ TEST(BufferPoolTest, NewAllocatesZeroedDirtyPage) {
 
 TEST(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
   SimDisk disk(64);
-  PageId a = disk.Allocate();
-  PageId b = disk.Allocate();
-  PageId c = disk.Allocate();
+  PageId a = *disk.Allocate();
+  PageId b = *disk.Allocate();
+  PageId c = *disk.Allocate();
   BufferPool pool(&disk, 2);
   { PageHandle h = pool.Pin(a).TakeValue(); }
   { PageHandle h = pool.Pin(b).TakeValue(); }
@@ -118,7 +118,7 @@ TEST(BufferPoolTest, FreePageDropsFrameAndDiskPage) {
 
 TEST(BufferPoolTest, MoveTransfersPin) {
   SimDisk disk(64);
-  PageId p = disk.Allocate();
+  PageId p = *disk.Allocate();
   BufferPool pool(&disk, 1);
   PageHandle a = pool.Pin(p).TakeValue();
   PageHandle b = std::move(a);
@@ -126,7 +126,7 @@ TEST(BufferPoolTest, MoveTransfersPin) {
   EXPECT_TRUE(b.valid());
   b.Release();
   // Pin count drained exactly once: page can be evicted now.
-  PageId q = disk.Allocate();
+  PageId q = *disk.Allocate();
   EXPECT_TRUE(pool.Pin(q).ok());
 }
 

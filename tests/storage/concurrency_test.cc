@@ -27,7 +27,7 @@ TEST(StorageConcurrencyTest, DiskCountersStayExactUnderContention) {
     threads.emplace_back([&disk, t] {
       std::vector<uint8_t> buf(128);
       for (int i = 0; i < kPagesPerThread; ++i) {
-        PageId p = disk.Allocate();
+        PageId p = *disk.Allocate();
         std::memset(buf.data(), t + 1, buf.size());
         ASSERT_TRUE(disk.WritePage(p, buf.data()).ok());
         std::vector<uint8_t> back(128);
@@ -62,7 +62,7 @@ TEST(StorageConcurrencyTest, IoScopeAttributesPerThread) {
       IoScope scope(&disk, &per_thread[t]);
       std::vector<uint8_t> buf(128, static_cast<uint8_t>(t));
       for (int i = 0; i <= t; ++i) {
-        PageId p = disk.Allocate();
+        PageId p = *disk.Allocate();
         ASSERT_TRUE(disk.WritePage(p, buf.data()).ok());
         ASSERT_TRUE(disk.ReadPage(p, buf.data()).ok());
         ASSERT_TRUE(disk.Free(p).ok());
@@ -85,7 +85,7 @@ TEST(StorageConcurrencyTest, NestedIoScopesSplitSelfFromChild) {
   std::vector<uint8_t> buf(128, 7);
   {
     IoScope outer(&disk, &parent);
-    PageId p = disk.Allocate();
+    PageId p = *disk.Allocate();
     ASSERT_TRUE(disk.WritePage(p, buf.data()).ok());
     {
       IoScope inner(&disk, &child);
@@ -109,7 +109,7 @@ TEST(StorageConcurrencyTest, BufferPoolConcurrentPins) {
   std::vector<PageId> pages;
   std::vector<uint8_t> buf(128);
   for (int i = 0; i < kPages; ++i) {
-    PageId p = disk.Allocate();
+    PageId p = *disk.Allocate();
     std::memset(buf.data(), i + 1, buf.size());
     ASSERT_TRUE(disk.WritePage(p, buf.data()).ok());
     pages.push_back(p);

@@ -10,7 +10,7 @@ namespace {
 
 TEST(SimDiskTest, AllocateWriteRead) {
   SimDisk disk(256);
-  PageId p = disk.Allocate();
+  PageId p = *disk.Allocate();
   std::vector<uint8_t> out(256, 0xAA);
   ASSERT_TRUE(disk.ReadPage(p, out.data()).ok());
   for (uint8_t b : out) EXPECT_EQ(b, 0);  // fresh pages are zeroed
@@ -24,7 +24,7 @@ TEST(SimDiskTest, AllocateWriteRead) {
 
 TEST(SimDiskTest, StatsCountTransfers) {
   SimDisk disk(128);
-  PageId p = disk.Allocate();
+  PageId p = *disk.Allocate();
   std::vector<uint8_t> buf(128, 1);
   ASSERT_TRUE(disk.WritePage(p, buf.data()).ok());
   ASSERT_TRUE(disk.WritePage(p, buf.data()).ok());
@@ -39,12 +39,12 @@ TEST(SimDiskTest, StatsCountTransfers) {
 
 TEST(SimDiskTest, FreeAndReuse) {
   SimDisk disk(64);
-  PageId a = disk.Allocate();
-  PageId b = disk.Allocate();
+  PageId a = *disk.Allocate();
+  PageId b = *disk.Allocate();
   EXPECT_EQ(disk.live_pages(), 2u);
   ASSERT_TRUE(disk.Free(a).ok());
   EXPECT_EQ(disk.live_pages(), 1u);
-  PageId c = disk.Allocate();  // reuses a's slot
+  PageId c = *disk.Allocate();  // reuses a's slot
   EXPECT_EQ(c, a);
   // Reused pages come back zeroed.
   std::vector<uint8_t> buf(64, 0xFF);
@@ -59,7 +59,7 @@ TEST(SimDiskTest, InvalidAccessRejected) {
   EXPECT_FALSE(disk.ReadPage(99, buf.data()).ok());
   EXPECT_FALSE(disk.WritePage(99, buf.data()).ok());
   EXPECT_FALSE(disk.Free(99).ok());
-  PageId p = disk.Allocate();
+  PageId p = *disk.Allocate();
   ASSERT_TRUE(disk.Free(p).ok());
   EXPECT_FALSE(disk.Free(p).ok());           // double free
   EXPECT_FALSE(disk.ReadPage(p, buf.data()).ok());  // use after free

@@ -27,9 +27,9 @@ struct TempPath {
 TEST(PersistenceTest, DiskImageRoundTrip) {
   TempPath tmp("disk");
   SimDisk disk(256);
-  PageId a = disk.Allocate();
-  PageId b = disk.Allocate();
-  PageId c = disk.Allocate();
+  PageId a = *disk.Allocate();
+  PageId b = *disk.Allocate();
+  PageId c = *disk.Allocate();
   std::vector<uint8_t> pa(256, 0x11), pb(256, 0x22);
   ASSERT_TRUE(disk.WritePage(a, pa.data()).ok());
   ASSERT_TRUE(disk.WritePage(b, pb.data()).ok());
@@ -46,13 +46,13 @@ TEST(PersistenceTest, DiskImageRoundTrip) {
   EXPECT_EQ(buf[10], 0x22);
   EXPECT_FALSE(reloaded.ReadPage(c, buf.data()).ok());  // still freed
   // The freed slot is reusable, preserving the id space.
-  EXPECT_EQ(reloaded.Allocate(), c);
+  EXPECT_EQ(*reloaded.Allocate(), c);
 }
 
 TEST(PersistenceTest, PageSizeMismatchRejected) {
   TempPath tmp("disk");
   SimDisk disk(256);
-  disk.Allocate();
+  (void)disk.Allocate();
   ASSERT_TRUE(disk.SaveToFile(tmp.path).ok());
   SimDisk other(512);
   EXPECT_FALSE(other.LoadFromFile(tmp.path).ok());
