@@ -1,0 +1,194 @@
+// ndqfuzz — the differential query fuzzer's command line.
+//
+// Fuzzing mode (the default) runs seeded random cases through every
+// engine in the repo and reports divergences, shrunk to minimal repros:
+//
+//   ndqfuzz --seed 42 --iters 500 --entries 80 --out /tmp/repros
+//
+// The same --seed and --iters always produce the same cases, checks and
+// shrinks (keep --time-budget-s off when reproducing by seed).
+//
+// Corpus mode replays every .ndqrepro file in a directory through the
+// full check suite; corpus files encode FIXED bugs, so any failure is a
+// regression:
+//
+//   ndqfuzz --corpus tests/fuzz/corpus
+//
+// Exit status: 0 when every case/replay agreed, 1 on any divergence,
+// 2 on usage or I/O errors.
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: ndqfuzz [options]\n"
+               "  --seed N           base seed (default 1)\n"
+               "  --iters N          cases to run (default 50)\n"
+               "  --entries N        entries per random instance (default "
+               "60)\n"
+               "  --max-lang L       highest language level: 0..3 "
+               "(default 3)\n"
+               "  --weird P          adversarial-RDN probability "
+               "(default 0.15)\n"
+               "  --extreme P        near-INT64_MAX attribute probability "
+               "(default 0.05)\n"
+               "  --out DIR          write .ndqrepro files for divergences\n"
+               "  --corpus DIR       replay every .ndqrepro in DIR instead "
+               "of fuzzing\n"
+               "  --time-budget-s N  stop starting new cases after N "
+               "seconds\n"
+               "  --no-dist          skip the distributed oracles\n"
+               "  --no-faults        skip the fault-injected oracle\n"
+               "  --no-shrink       keep divergences unshrunk\n");
+}
+
+bool ParseU64(const char* s, uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (s[0] == '\0' || end == nullptr || *end != '\0' || errno != 0) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+int ReplayCorpus(const std::string& dir, const ndq::fuzz::FuzzOptions& opt) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<std::string> paths;
+  for (const auto& de : fs::directory_iterator(dir, ec)) {
+    if (de.path().extension() == ".ndqrepro") {
+      paths.push_back(de.path().string());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "ndqfuzz: cannot read corpus dir '%s': %s\n",
+                 dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    std::fprintf(stderr, "ndqfuzz: no .ndqrepro files in '%s'\n",
+                 dir.c_str());
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& path : paths) {
+    ndq::Result<ndq::fuzz::Repro> repro =
+        ndq::fuzz::Repro::LoadFrom(path);
+    if (!repro.ok()) {
+      std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(),
+                   repro.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    ndq::Result<std::vector<ndq::fuzz::CheckFailure>> result =
+        ndq::fuzz::ReplayRepro(*repro, opt);
+    if (!result.ok()) {
+      std::fprintf(stderr, "FAIL %s: replay error: %s\n", path.c_str(),
+                   result.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (result->empty()) {
+      std::printf("ok   %s (%s, %zu entries)\n", path.c_str(),
+                  repro->check.c_str(), repro->entries.size());
+      continue;
+    }
+    ++failures;
+    for (const ndq::fuzz::CheckFailure& f : *result) {
+      std::fprintf(stderr, "FAIL %s: %s: %s\n", path.c_str(),
+                   f.check.c_str(), f.detail.c_str());
+    }
+  }
+  std::printf("%zu repro(s) replayed, %d failing\n", paths.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ndq::fuzz::FuzzOptions opt;
+  std::string corpus_dir;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    uint64_t v = 0;
+    if (arg == "--seed" && next() != nullptr && ParseU64(argv[i], &v)) {
+      opt.seed = v;
+    } else if (arg == "--iters" && next() != nullptr &&
+               ParseU64(argv[i], &v)) {
+      opt.iterations = v;
+    } else if (arg == "--entries" && next() != nullptr &&
+               ParseU64(argv[i], &v)) {
+      opt.gen.num_entries = v;
+    } else if (arg == "--max-lang" && next() != nullptr &&
+               ParseU64(argv[i], &v) && v <= 3) {
+      opt.gen.max_language = static_cast<ndq::Language>(
+          static_cast<int>(ndq::Language::kL0) + static_cast<int>(v));
+    } else if (arg == "--weird" && next() != nullptr) {
+      opt.gen.weird_rdn_probability = std::atof(argv[i]);
+    } else if (arg == "--extreme" && next() != nullptr) {
+      opt.gen.extreme_int_probability = std::atof(argv[i]);
+    } else if (arg == "--time-budget-s" && next() != nullptr &&
+               ParseU64(argv[i], &v)) {
+      opt.time_budget_ms = v * 1000;
+    } else if (arg == "--out" && next() != nullptr) {
+      opt.out_dir = argv[i];
+    } else if (arg == "--corpus" && next() != nullptr) {
+      corpus_dir = argv[i];
+    } else if (arg == "--no-dist") {
+      opt.with_distributed = false;
+    } else if (arg == "--no-faults") {
+      opt.with_faults = false;
+    } else if (arg == "--no-shrink") {
+      opt.shrink = false;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "ndqfuzz: bad argument '%s'\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
+  if (!corpus_dir.empty()) return ReplayCorpus(corpus_dir, opt);
+
+  ndq::fuzz::FuzzReport report = ndq::fuzz::RunFuzz(opt);
+  std::printf("ndqfuzz: %llu case(s), %llu check(s), %zu divergence(s)\n",
+              static_cast<unsigned long long>(report.cases),
+              static_cast<unsigned long long>(report.checks),
+              report.divergences.size());
+  for (const ndq::fuzz::Divergence& d : report.divergences) {
+    std::fprintf(stderr,
+                 "DIVERGENCE [%s] case seed %llu\n"
+                 "  detail: %s\n"
+                 "  query (original): %s\n"
+                 "  query (shrunk):   %s\n"
+                 "  entries: %zu -> %zu%s%s\n",
+                 d.check.c_str(),
+                 static_cast<unsigned long long>(d.case_seed),
+                 d.detail.c_str(), d.original_query_text.c_str(),
+                 d.repro.query_text.c_str(), d.original_entries,
+                 d.repro.entries.size(),
+                 d.saved_path.empty() ? "" : "\n  saved: ",
+                 d.saved_path.c_str());
+  }
+  return report.divergences.empty() ? 0 : 1;
+}

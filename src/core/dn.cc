@@ -74,13 +74,21 @@ Result<std::string> Unescape(std::string_view text) {
 }
 
 // Trims unescaped ASCII spaces from both ends (escape sequences are still
-// present in `text`, so a trailing "\\ " survives).
+// present in `text`, so a trailing "\\ " survives). A trailing space is
+// escaped iff it is preceded by an odd-length run of backslashes: in
+// "a\\\\ " the backslash before the space is itself escaped, so the space
+// is unescaped and must be trimmed.
 std::string_view TrimSpaces(std::string_view text) {
   size_t begin = 0;
   while (begin < text.size() && text[begin] == ' ') ++begin;
   size_t end = text.size();
-  while (end > begin && text[end - 1] == ' ' &&
-         (end < 2 || text[end - 2] != '\\')) {
+  while (end > begin && text[end - 1] == ' ') {
+    size_t backslashes = 0;
+    while (end - 1 - backslashes > begin &&
+           text[end - 2 - backslashes] == '\\') {
+      ++backslashes;
+    }
+    if (backslashes % 2 == 1) break;  // the space is escaped
     --end;
   }
   return text.substr(begin, end - begin);
@@ -89,8 +97,14 @@ std::string_view TrimSpaces(std::string_view text) {
 std::string EscapeValue(const std::string& v) {
   std::string out;
   out.reserve(v.size());
-  for (char c : v) {
-    if (c == ',' || c == '+' || c == '=' || c == '\\') out += '\\';
+  for (size_t i = 0; i < v.size(); ++i) {
+    char c = v[i];
+    // Leading/trailing spaces must be escaped or Parse's trimming would
+    // drop them and the printed form would not round-trip.
+    bool edge_space = c == ' ' && (i == 0 || i + 1 == v.size());
+    if (c == ',' || c == '+' || c == '=' || c == '\\' || edge_space) {
+      out += '\\';
+    }
     out += c;
   }
   return out;

@@ -109,10 +109,13 @@ void SerializeAcc(const AggAccumulator& acc, std::string* out) {
   w.PutU8(static_cast<uint8_t>(acc.fn));
   w.PutVarint(acc.count);
   w.PutVarint(acc.int_count);
-  w.PutSigned(acc.sum);
+  // The 128-bit sum travels as low/high 64-bit halves.
+  w.PutSigned(static_cast<int64_t>(
+      static_cast<uint64_t>(static_cast<unsigned __int128>(acc.sum))));
+  w.PutSigned(static_cast<int64_t>(acc.sum >> 64));
   w.PutSigned(acc.min);
   w.PutSigned(acc.max);
-  w.PutU8(acc.any_int ? 1 : 0);
+  w.PutU8((acc.any_int ? 1 : 0) | (acc.overflow ? 2 : 0));
 }
 
 Result<AggAccumulator> DeserializeAcc(ByteReader* reader) {
@@ -123,11 +126,17 @@ Result<AggAccumulator> DeserializeAcc(ByteReader* reader) {
   AggAccumulator acc(static_cast<AggFn>(fn));
   NDQ_ASSIGN_OR_RETURN(acc.count, reader->GetVarint());
   NDQ_ASSIGN_OR_RETURN(acc.int_count, reader->GetVarint());
-  NDQ_ASSIGN_OR_RETURN(acc.sum, reader->GetSigned());
+  NDQ_ASSIGN_OR_RETURN(int64_t sum_lo, reader->GetSigned());
+  NDQ_ASSIGN_OR_RETURN(int64_t sum_hi, reader->GetSigned());
+  acc.sum = (static_cast<AggAccumulator::Sum128>(sum_hi) << 64) |
+            static_cast<AggAccumulator::Sum128>(
+                static_cast<uint64_t>(sum_lo));
   NDQ_ASSIGN_OR_RETURN(acc.min, reader->GetSigned());
   NDQ_ASSIGN_OR_RETURN(acc.max, reader->GetSigned());
-  NDQ_ASSIGN_OR_RETURN(uint8_t any, reader->GetU8());
-  acc.any_int = any != 0;
+  NDQ_ASSIGN_OR_RETURN(uint8_t flags, reader->GetU8());
+  if (flags > 3) return Status::Corruption("bad aggregate flag byte");
+  acc.any_int = (flags & 1) != 0;
+  acc.overflow = (flags & 2) != 0;
   return acc;
 }
 

@@ -41,15 +41,80 @@ Result<bool> Blocked(SimDisk* disk, QueryOp op, const EntryList& l3,
   return false;
 }
 
+// Aggregate-selection variant shared by the hierarchy and embedded-ref
+// baselines: for each r1, the L2 rescan folds every witness's
+// contribution into fresh accumulators (instead of early-exiting on the
+// first one); the annotated list then goes through the same filter scan
+// the stack/merge algorithms use — by Def. 6.2 that scan IS the
+// semantics, so reusing it keeps the two sides comparable while the
+// witness accumulation stays independent.
+Result<EntryList> NaiveAggSelect(SimDisk* disk, QueryOp op,
+                                 const EntryList& l1, const EntryList& l2,
+                                 const EntryList* l3,
+                                 const std::string& attr,
+                                 const AggSelFilter& agg) {
+  NDQ_ASSIGN_OR_RETURN(AggProgram prog,
+                       AggProgram::Compile(agg, /*structural=*/true));
+  const bool constrained =
+      op == QueryOp::kCoAncestors || op == QueryOp::kCoDescendants;
+  const bool embedded =
+      op == QueryOp::kValueDn || op == QueryOp::kDnValue;
+  RunWriter annotated_writer(disk);
+  RunReader outer(disk, l1);
+  std::string rec1, buf;
+  while (true) {
+    NDQ_ASSIGN_OR_RETURN(bool more, outer.Next(&rec1));
+    if (!more) break;
+    NDQ_ASSIGN_OR_RETURN(Entry r1, DeserializeEntry(rec1));
+    std::vector<AggAccumulator> accs = prog.MakeWitnessAccs();
+    RunReader inner(disk, l2);
+    std::string rec2;
+    while (true) {
+      NDQ_ASSIGN_OR_RETURN(bool more2, inner.Next(&rec2));
+      if (!more2) break;
+      bool witness = false;
+      if (embedded) {
+        NDQ_ASSIGN_OR_RETURN(Entry r2, DeserializeEntry(rec2));
+        witness = op == QueryOp::kValueDn
+                      ? r1.HasPair(attr, Value::DnRef(r2.dn().ToString()))
+                      : r2.HasPair(attr, Value::DnRef(r1.dn().ToString()));
+        if (witness) prog.AddWitnessContribution(r2, &accs);
+        continue;
+      }
+      NDQ_ASSIGN_OR_RETURN(std::string_view k2, PeekEntryKey(rec2));
+      if (!RelatedKeys(op, r1.HierKey(), k2)) continue;
+      if (constrained) {
+        NDQ_ASSIGN_OR_RETURN(bool blocked,
+                             Blocked(disk, op, *l3, r1.HierKey(), k2));
+        if (blocked) continue;
+      }
+      NDQ_ASSIGN_OR_RETURN(Entry r2, DeserializeEntry(rec2));
+      prog.AddWitnessContribution(r2, &accs);
+    }
+    std::vector<std::optional<int64_t>> vals;
+    vals.reserve(accs.size());
+    for (AggAccumulator& a : accs) vals.push_back(a.Finish());
+    buf.clear();
+    WriteAnnotated(vals, rec1, &buf);
+    NDQ_RETURN_IF_ERROR(annotated_writer.Add(buf));
+  }
+  NDQ_ASSIGN_OR_RETURN(Run annotated, annotated_writer.Finish());
+  return FilterAnnotatedList(disk, annotated, prog);
+}
+
 }  // namespace
 
 Result<EntryList> NaiveHierarchy(SimDisk* disk, QueryOp op,
                                  const EntryList& l1, const EntryList& l2,
-                                 const EntryList* l3) {
+                                 const EntryList* l3,
+                                 const std::optional<AggSelFilter>& agg) {
   const bool constrained =
       op == QueryOp::kCoAncestors || op == QueryOp::kCoDescendants;
   if (constrained && l3 == nullptr) {
     return Status::InvalidArgument("constrained operator requires L3");
+  }
+  if (agg.has_value()) {
+    return NaiveAggSelect(disk, op, l1, l2, l3, /*attr=*/"", *agg);
   }
   RunWriter out(disk);
   RunReader outer(disk, l1);
@@ -80,9 +145,13 @@ Result<EntryList> NaiveHierarchy(SimDisk* disk, QueryOp op,
 
 Result<EntryList> NaiveEmbeddedRef(SimDisk* disk, QueryOp op,
                                    const EntryList& l1, const EntryList& l2,
-                                   const std::string& attr) {
+                                   const std::string& attr,
+                                   const std::optional<AggSelFilter>& agg) {
   if (op != QueryOp::kValueDn && op != QueryOp::kDnValue) {
     return Status::InvalidArgument("NaiveEmbeddedRef: not vd/dv");
+  }
+  if (agg.has_value()) {
+    return NaiveAggSelect(disk, op, l1, l2, /*l3=*/nullptr, attr, *agg);
   }
   RunWriter out(disk);
   RunReader outer(disk, l1);

@@ -6,29 +6,41 @@
 // second operand, is quadratic in the sum of the sizes of the two
 // operands." Sec. 7.2 says the same of the embedded-reference operators.
 //
-// These implementations exist for the benchmark harness (E2/E3/E4/E7):
-// a block-nested-loop witness test whose I/O is O((|L1|/B) * (|L2|/B)).
-// Results are identical to the stack/merge algorithms.
+// These implementations exist for the benchmark harness (E2/E3/E4/E7)
+// and as an independent full-language oracle for the differential fuzzer
+// (ndqfuzz): a block-nested-loop witness test whose I/O is
+// O((|L1|/B) * (|L2|/B)). Results are identical to the stack/merge
+// algorithms — including under aggregate selection (L2), where each
+// entry's witness multiset is accumulated by the rescan rather than by
+// the stacks, so a divergence localizes the bug to the clever side.
 
 #ifndef NDQ_EXEC_NAIVE_H_
 #define NDQ_EXEC_NAIVE_H_
+
+#include <optional>
+#include <string>
 
 #include "exec/common.h"
 #include "query/ast.h"
 
 namespace ndq {
 
-/// Quadratic witness-test evaluation of any of the six hierarchy operators
-/// (existential semantics only — the baseline predates aggregation).
-Result<EntryList> NaiveHierarchy(SimDisk* disk, QueryOp op,
-                                 const EntryList& l1, const EntryList& l2,
-                                 const EntryList* l3);
+/// Quadratic witness-test evaluation of any of the six hierarchy
+/// operators. A missing `agg` means the existential L1 semantics (keep
+/// entries with a non-empty witness set); with `agg`, every L1 entry is a
+/// candidate and the aggregate selection filter decides (Sec. 6.2's
+/// generalization — existential is the count($2) > 0 special case).
+Result<EntryList> NaiveHierarchy(
+    SimDisk* disk, QueryOp op, const EntryList& l1, const EntryList& l2,
+    const EntryList* l3,
+    const std::optional<AggSelFilter>& agg = std::nullopt);
 
 /// Quadratic evaluation of vd/dv: for each L1 entry, rescan L2 for
-/// witnesses.
-Result<EntryList> NaiveEmbeddedRef(SimDisk* disk, QueryOp op,
-                                   const EntryList& l1, const EntryList& l2,
-                                   const std::string& attr);
+/// witnesses (optionally folding their aggregate contributions).
+Result<EntryList> NaiveEmbeddedRef(
+    SimDisk* disk, QueryOp op, const EntryList& l1, const EntryList& l2,
+    const std::string& attr,
+    const std::optional<AggSelFilter>& agg = std::nullopt);
 
 }  // namespace ndq
 

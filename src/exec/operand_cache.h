@@ -6,9 +6,13 @@
 // cache can hand back a copy for the cost of re-reading it (~out pages)
 // instead of re-scanning the store (scan >> out for selective filters).
 //
-// Keys are the canonical leaf rendering (QueryNodeLabel), so two
-// syntactically different but identically-canonicalized leaves share an
-// entry. The cache owns PRIVATE copies of the runs it stores: Insert
+// Keys are a TYPED binary encoding of the leaf (OperandCacheKey below):
+// node kind, scope, base HierKey and a tagged filter encoding, so two
+// leaves share an entry only when they are semantically the same query.
+// (The human-readable QueryNodeLabel is NOT sound as a key: "x=5" renders
+// identically for int equality and string equality on "5", and a rewrite
+// can turn an atomic leaf into an LDAP leaf with the same label.) The
+// cache owns PRIVATE copies of the runs it stores: Insert
 // copies the caller's list in, Lookup copies the cached list out into a
 // fresh run the caller owns. Nothing the caller later frees can invalidate
 // a cached entry, and concurrent hits on one entry are plain concurrent
@@ -31,8 +35,18 @@
 #include <unordered_map>
 
 #include "exec/common.h"
+#include "query/ast.h"
 
 namespace ndq {
+
+/// The sound cache key for a leaf query: a version-tagged, typed,
+/// length-prefixed encoding of (node kind, scope, base HierKey, filter).
+/// Unlike the display label, it distinguishes int- from string-typed
+/// equality, True from Presence(objectClass), and atomic from LDAP leaves
+/// (so pre- and post-rewrite forms that differ semantically never
+/// collide). It deliberately EXCLUDES parallelism and tracing knobs: the
+/// cached list is invariant under them.
+std::string OperandCacheKey(const Query& query);
 
 struct OperandCacheStats {
   uint64_t hits = 0;

@@ -108,7 +108,7 @@ Result<EntryList> ParallelEvaluator::EvalLeaf(const Query& query,
                                               OpTrace* trace) {
   std::string key;
   if (cache_ != nullptr) {
-    key = QueryNodeLabel(query);
+    key = OperandCacheKey(query);
     EntryList cached;
     NDQ_ASSIGN_OR_RETURN(bool hit, cache_->Lookup(key, &cached));
     if (hit) {

@@ -7,6 +7,32 @@
 
 namespace ndq {
 
+namespace {
+
+// A string-equality rhs needs the quoted form when the bare rendering
+// would re-parse as a different filter kind: integer literals ("5" would
+// become int equality), '*' (presence/substring), or forms the filter
+// grammar cannot represent bare (empty, edge spaces trimmed by Parse, a
+// leading quote).
+bool NeedsQuoting(const std::string& s) {
+  if (s.empty()) return true;
+  if (s.front() == ' ' || s.back() == ' ' || s.front() == '"') return true;
+  if (s.find('*') != std::string::npos) return true;
+  return ParseValueAs(TypeKind::kInt, s).ok();
+}
+
+std::string QuoteString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 const char* CompareOpToString(CompareOp op) {
   switch (op) {
     case CompareOp::kEq:
@@ -136,6 +162,31 @@ Result<AtomicFilter> AtomicFilter::Parse(std::string_view text) {
   }
 
   if (op == CompareOp::kEq) {
+    if (!rhs.empty() && rhs.front() == '"') {
+      // Quoted string equality: attr="text", with \" and \\ escapes.
+      // Always string-typed, regardless of what the text spells.
+      std::string value;
+      bool closed = false;
+      size_t i = 1;
+      for (; i < rhs.size(); ++i) {
+        char c = rhs[i];
+        if (c == '\\') {
+          if (i + 1 >= rhs.size()) break;
+          value += rhs[++i];
+        } else if (c == '"') {
+          closed = true;
+          ++i;
+          break;
+        } else {
+          value += c;
+        }
+      }
+      if (!closed || i != rhs.size()) {
+        return Status::InvalidArgument("malformed quoted value in filter: " +
+                                       std::string(text));
+      }
+      return Equals(std::move(attr), Value::String(std::move(value)));
+    }
     if (rhs == "*") {
       if (attr == kObjectClassAttr) return True();
       return Presence(std::move(attr));
@@ -234,6 +285,9 @@ std::string AtomicFilter::ToString() const {
     case Kind::kIntCmp:
       return attr_ + CompareOpToString(op_) + std::to_string(int_rhs_);
     case Kind::kEquals:
+      if (value_rhs_.is_string() && NeedsQuoting(value_rhs_.AsString())) {
+        return attr_ + "=" + QuoteString(value_rhs_.AsString());
+      }
       return attr_ + "=" + value_rhs_.ToString();
     case Kind::kSubstring:
       return attr_ + "=" + pattern_;

@@ -46,7 +46,10 @@ class AtomicFilter {
   ///   "attr=*jag*"    substring       "attr<3" "attr<=3" ">" ">=" "!="
   /// Integer literals on the right of = yield int equality; anything else
   /// string equality. "objectClass=*" parses to True (matches everything,
-  /// as every entry has an objectClass).
+  /// as every entry has an objectClass). A quoted rhs (attr="text", with
+  /// \" and \\ escapes) is ALWAYS string equality — the form ToString
+  /// emits when the bare rendering would re-parse as something else
+  /// (attr="5" is string equality on "5", distinct from attr=5).
   static Result<AtomicFilter> Parse(std::string_view text);
 
   Kind kind() const { return kind_; }

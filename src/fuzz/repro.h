@@ -1,0 +1,67 @@
+// Replayable fuzzing repro files (.ndqrepro).
+//
+// A repro is a self-contained (instance, query) pair plus provenance:
+// which invariant failed and which case seed produced it. The format is
+// line-oriented text so shrunk counterexamples can be read, diffed and
+// checked into the regression corpus (tests/fuzz/corpus/); strings and DN
+// texts are quoted with C-style escapes so adversarial values (DN
+// metacharacters, edge spaces, quotes) survive the round trip exactly.
+//
+//   ndqrepro 1
+//   check <invariant-name>
+//   seed <u64>
+//   query <query text, one line, as Query::ToString renders it>
+//   entry "<dn text>"
+//   attr <name> int <i64>
+//   attr <name> str "<escaped>"
+//   attr <name> dn "<dn text>"
+//   end
+//   ... more entries ...
+//
+// Replaying a repro (fuzz.h's ReplayRepro) rebuilds the instance and runs
+// the full check suite: corpus files encode FIXED bugs, so replay must
+// come back clean — a reappearing failure is a regression.
+
+#ifndef NDQ_FUZZ_REPRO_H_
+#define NDQ_FUZZ_REPRO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/entry.h"
+#include "core/instance.h"
+
+namespace ndq {
+namespace fuzz {
+
+/// Quotes `s` for a repro line: wraps in '"' and escapes '\', '"' and
+/// control bytes (\n, \r, \t, \xHH).
+std::string QuoteString(std::string_view s);
+
+/// Parses one quoted string starting at text[*pos] (which must be '"');
+/// advances *pos past the closing quote.
+Result<std::string> UnquoteString(std::string_view text, size_t* pos);
+
+/// One replayable counterexample.
+struct Repro {
+  std::string check;       ///< name of the invariant that failed
+  uint64_t seed = 0;       ///< fuzz case seed (provenance)
+  std::string query_text;  ///< Query::ToString form
+  std::vector<Entry> entries;
+
+  std::string ToText() const;
+  static Result<Repro> FromText(std::string_view text);
+
+  Status SaveTo(const std::string& path) const;
+  static Result<Repro> LoadFrom(const std::string& path);
+
+  /// Rebuilds the (schema-less) instance from `entries`.
+  Result<DirectoryInstance> BuildInstance() const;
+};
+
+}  // namespace fuzz
+}  // namespace ndq
+
+#endif  // NDQ_FUZZ_REPRO_H_

@@ -27,6 +27,14 @@ struct RandomForestOptions {
   int num_tags = 8;            ///< "tag" values tag0..tagN
   double ref_probability = 0.4;  ///< chance an entry gets "ref" values
   int max_refs = 3;            ///< max "ref" values per entry
+  /// Fuzzing hooks (default 0 so existing tests/benches are unchanged):
+  /// chance an "x" value is drawn near ±INT64_MAX instead of
+  /// [0, int_attr_range) — exercises the aggregate overflow paths.
+  double extreme_int_probability = 0.0;
+  /// Chance an RDN value is decorated with DN metacharacters
+  /// (',', '=', '+', '\\', edge spaces) — exercises escaping round-trips.
+  /// Serial numbers keep decorated values unique.
+  double weird_rdn_probability = 0.0;
 };
 
 /// Generates a random forest instance. Entries have attributes:

@@ -22,19 +22,18 @@ class QueryGen {
   QueryPtr Gen(int depth) {
     int lang = static_cast<int>(options_.max_language);
     // Weighted choice of node kind, bounded by depth and language.
-    if (depth <= 0 || Chance(0.35)) return GenAtomic();
+    if (depth <= 0 || Chance(options_.leaf_probability)) return GenAtomic();
     std::vector<int> choices;  // 0=bool 1=hier 2=hierc 3=g 4=er
-    if (lang >= 1) choices.push_back(0);
+    auto add = [&](int kind, int weight) {
+      for (int w = 0; w < weight; ++w) choices.push_back(kind);
+    };
+    if (lang >= 1) add(0, options_.bool_weight);
     if (lang >= 2) {
-      choices.push_back(1);
-      choices.push_back(1);
-      choices.push_back(2);
+      add(1, options_.hierarchy_weight);
+      add(2, options_.constrained_weight);
     }
-    if (lang >= 3) choices.push_back(3);
-    if (lang >= 4) {
-      choices.push_back(4);
-      choices.push_back(4);
-    }
+    if (lang >= 3) add(3, options_.agg_weight);
+    if (lang >= 4) add(4, options_.embedded_ref_weight);
     if (choices.empty()) return GenAtomic();
     switch (choices[rng_() % choices.size()]) {
       case 0: {
@@ -91,7 +90,7 @@ class QueryGen {
   }
 
   AtomicFilter RandomFilter() {
-    switch (rng_() % 6) {
+    switch (rng_() % 7) {
       case 0:
         return AtomicFilter::True();
       case 1:
@@ -108,6 +107,12 @@ class QueryGen {
       case 4:
         return AtomicFilter::Equals(
             "tag", Value::String("tag" + std::to_string(rng_() % 8)));
+      case 5:
+        // String equality whose rhs looks like an int: serializes with
+        // the quoted syntax (x="5") and must stay distinct from the
+        // int-typed x=5 everywhere (typed cache keys, rewrites, ...).
+        return AtomicFilter::Equals(
+            "x", Value::String(std::to_string(rng_() % 20)));
       default:
         return AtomicFilter::Substring("tag",
                                        "*" + std::to_string(rng_() % 10) +

@@ -20,6 +20,20 @@ struct RandomQueryOptions {
   /// Probability that a hierarchy/ER operator carries an aggregate
   /// selection filter (when the language allows).
   double agg_probability = 0.5;
+  /// Probability that an interior position becomes an atomic leaf anyway
+  /// (controls tree size; depth 0 always forces a leaf).
+  double leaf_probability = 0.35;
+  /// Relative weights for operator classes at interior nodes, used only
+  /// when the language level admits the class: boolean (L0+), plain
+  /// hierarchy (L1+), constrained hierarchy (L1+), simple aggregation
+  /// `g` (L2+), embedded reference (L3+). A zero weight disables the
+  /// class — the fuzzer's shrinker uses that to localize a divergence to
+  /// one operator family.
+  int bool_weight = 1;
+  int hierarchy_weight = 2;
+  int constrained_weight = 1;
+  int agg_weight = 1;
+  int embedded_ref_weight = 2;
 };
 
 /// Generates a random query against instances produced by RandomForest

@@ -16,13 +16,20 @@
 //     values of any type.
 //   * an aggregate over an empty (int-)multiset is undefined, except count,
 //     which is 0; a comparison involving an undefined aggregate is false.
-//   * average uses integer division (sum/count), keeping the aggregate
-//     domain integral as the grammar's IntOp comparisons expect.
+//   * average uses integer division (sum/count of int values), keeping the
+//     aggregate domain integral as the grammar's IntOp comparisons expect.
+//   * sums are accumulated in 128-bit arithmetic, so the result is
+//     independent of accumulation/merge order (the stack algorithms fold
+//     contributions in a different order than a linear scan). A sum whose
+//     true value does not fit in int64 is undefined (null), never a
+//     silently wrapped value; average stays defined as long as the 128-bit
+//     quotient fits (it always does: |avg| <= max |value|).
 
 #ifndef NDQ_QUERY_AGGREGATE_H_
 #define NDQ_QUERY_AGGREGATE_H_
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 
@@ -39,15 +46,23 @@ Result<AggFn> AggFnFromString(const std::string& name);
 
 /// \brief Incremental accumulator for one aggregate function.
 struct AggAccumulator {
+  /// 128-bit signed accumulator type for sums: wide enough that adding
+  /// int64 values cannot reach its bounds for any feasible multiset size
+  /// (overflow would need ~2^64 extreme values), so sum results are
+  /// order-independent. `overflow` is a defensive sticky flag should that
+  /// bound ever be hit.
+  using Sum128 = __int128;
+
   explicit AggAccumulator(AggFn fn = AggFn::kCount) : fn(fn) {}
 
   AggFn fn;
   uint64_t count = 0;       // values seen (count fn counts everything)
   uint64_t int_count = 0;   // int values seen (for avg)
-  int64_t sum = 0;
+  Sum128 sum = 0;
   int64_t min = 0;
   int64_t max = 0;
   bool any_int = false;
+  bool overflow = false;  // 128-bit accumulator itself overflowed
 
   /// Folds in one attribute value.
   void AddValue(const Value& v) {
@@ -57,7 +72,9 @@ struct AggAccumulator {
 
   void AddInt(int64_t x) {
     ++int_count;
-    sum += x;
+    if (__builtin_add_overflow(sum, static_cast<Sum128>(x), &sum)) {
+      overflow = true;
+    }
     if (!any_int || x < min) min = x;
     if (!any_int || x > max) max = x;
     any_int = true;
@@ -70,7 +87,8 @@ struct AggAccumulator {
   void Merge(const AggAccumulator& other) {
     count += other.count;
     int_count += other.int_count;
-    sum += other.sum;
+    if (__builtin_add_overflow(sum, other.sum, &sum)) overflow = true;
+    overflow = overflow || other.overflow;
     if (other.any_int) {
       if (!any_int || other.min < min) min = other.min;
       if (!any_int || other.max > max) max = other.max;
@@ -78,8 +96,13 @@ struct AggAccumulator {
     }
   }
 
-  /// The aggregate value, or nullopt if undefined.
+  /// The aggregate value, or nullopt if undefined. A sum outside the
+  /// int64 domain is undefined (comparisons against it are false) rather
+  /// than a wrapped value; the average is computed in 128-bit arithmetic
+  /// and is always representable when any int value was seen.
   std::optional<int64_t> Finish() const {
+    constexpr Sum128 kInt64Min = std::numeric_limits<int64_t>::min();
+    constexpr Sum128 kInt64Max = std::numeric_limits<int64_t>::max();
     switch (fn) {
       case AggFn::kCount:
         return static_cast<int64_t>(count);
@@ -88,12 +111,16 @@ struct AggAccumulator {
       case AggFn::kMax:
         return any_int ? std::optional<int64_t>(max) : std::nullopt;
       case AggFn::kSum:
-        return any_int ? std::optional<int64_t>(sum) : std::nullopt;
-      case AggFn::kAvg:
-        return any_int ? std::optional<int64_t>(sum /
-                                                static_cast<int64_t>(
-                                                    int_count))
-                       : std::nullopt;
+        if (!any_int || overflow || sum < kInt64Min || sum > kInt64Max) {
+          return std::nullopt;
+        }
+        return static_cast<int64_t>(sum);
+      case AggFn::kAvg: {
+        if (!any_int || overflow) return std::nullopt;
+        Sum128 avg = sum / static_cast<Sum128>(int_count);
+        if (avg < kInt64Min || avg > kInt64Max) return std::nullopt;
+        return static_cast<int64_t>(avg);
+      }
     }
     return std::nullopt;
   }

@@ -74,8 +74,12 @@ class QueryParser {
     if (q1 == std::string_view::npos) {
       return Status::InvalidArgument("atomic query missing '?'");
     }
-    std::string base_text(Trim(text_.substr(pos_, q1 - pos_)));
-    if (base_text == "null-dn") base_text.clear();
+    // Only strip whitespace for the null-dn sentinel check; Dn::Parse
+    // gets the raw slice because its own trimmer knows that a space
+    // preceded by an odd backslash run is escaped content, not padding.
+    std::string_view raw_base = text_.substr(pos_, q1 - pos_);
+    std::string base_text(Trim(raw_base) == "null-dn" ? std::string_view()
+                                                      : raw_base);
     NDQ_ASSIGN_OR_RETURN(Dn base, Dn::Parse(base_text));
     pos_ = q1 + 1;
     size_t q2 = text_.find('?', pos_);
@@ -98,8 +102,9 @@ class QueryParser {
       if (q1 == std::string_view::npos) {
         return Status::InvalidArgument("ldap query missing '?'");
       }
-      std::string base_text(Trim(text_.substr(pos_, q1 - pos_)));
-      if (base_text == "null-dn") base_text.clear();
+      std::string_view raw_base = text_.substr(pos_, q1 - pos_);
+      std::string base_text(Trim(raw_base) == "null-dn" ? std::string_view()
+                                                        : raw_base);
       NDQ_ASSIGN_OR_RETURN(Dn base, Dn::Parse(base_text));
       pos_ = q1 + 1;
       size_t q2 = text_.find('?', pos_);

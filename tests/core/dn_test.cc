@@ -68,6 +68,76 @@ TEST(DnTest, EscapedSpecialCharacters) {
   EXPECT_EQ(MustParse(plus.ToString()), plus);
 }
 
+// Regression (fuzzer corpus `dn-roundtrip`): values with leading/trailing
+// spaces, backslash runs, and escaped delimiters must survive
+// parse -> print -> parse unchanged.
+TEST(DnTest, EscapedEdgeValuesRoundTrip) {
+  struct Case {
+    const char* text;   // input to Parse
+    const char* value;  // expected raw RDN value at the leaf
+  };
+  const Case cases[] = {
+      {R"(cn=\ leading, dc=com)", " leading"},
+      {R"(cn=trailing\ , dc=com)", "trailing "},
+      {R"(cn=\ both\ , dc=com)", " both "},
+      {R"(cn=\\, dc=com)", "\\"},
+      {R"(cn=a\\\,b, dc=com)", "a\\,b"},
+      {R"(cn=a\=b, dc=com)", "a=b"},
+      {R"(cn=\,\=\+\\, dc=com)", ",=+\\"},
+      {R"(cn=mid dle, dc=com)", "mid dle"},
+  };
+  for (const Case& c : cases) {
+    Dn dn = MustParse(c.text);
+    ASSERT_EQ(dn.rdn().pairs()[0].second, c.value) << c.text;
+    // parse -> print -> parse is the identity.
+    EXPECT_EQ(MustParse(dn.ToString()), dn) << c.text << " -> "
+                                            << dn.ToString();
+  }
+}
+
+TEST(DnTest, BuiltValuesWithEdgeSpacesRoundTrip) {
+  // Values constructed programmatically (not via Parse) must print in a
+  // form Parse maps back to the same value.
+  for (const char* raw : {" leading", "trailing ", " ", "  ", "a ", " a",
+                          "back\\slash ", "\\ ", "a\\", "x  y"}) {
+    Dn dn = Dn::Make({Rdn::Single("cn", raw).TakeValue()}).TakeValue();
+    Dn back = MustParse(dn.ToString());
+    ASSERT_EQ(back, dn) << '[' << raw << "] printed as " << dn.ToString();
+    EXPECT_EQ(back.rdn().pairs()[0].second, raw);
+  }
+}
+
+TEST(DnTest, TrailingSpaceAfterEscapedBackslashIsTrimmed) {
+  // In "cn=a\\ " the backslash is escaped, so the space is NOT: it must be
+  // trimmed (the old single-char lookback kept it).
+  Dn dn = MustParse("cn=a\\\\ , dc=com");
+  EXPECT_EQ(dn.rdn().pairs()[0].second, "a\\");
+  // Odd-length run: the space IS escaped and survives.
+  Dn kept = MustParse("cn=a\\\\\\ , dc=com");
+  EXPECT_EQ(kept.rdn().pairs()[0].second, "a\\ ");
+}
+
+TEST(DnTest, KeyOrderWithEscapedDelimiters) {
+  // Escaped delimiters live unescaped inside HierKeys; since RDN values may
+  // not contain control bytes, the key separators (0x1e/0x1f) still yield
+  // prefix-of-descendant order for such values.
+  Dn parent = MustParse(R"(o=a\,b\=c, dc=com)");
+  EXPECT_EQ(parent.rdn().pairs()[0].second, "a,b=c");
+  Dn child = MustParse(R"(cn=x\+y, o=a\,b\=c, dc=com)");
+  Dn grand = MustParse(R"(uid=z\\ , cn=x\+y, o=a\,b\=c, dc=com)");
+  EXPECT_TRUE(parent.IsParentOf(child));
+  EXPECT_TRUE(parent.IsAncestorOf(grand));
+  EXPECT_TRUE(KeyIsAncestor(parent.HierKey(), grand.HierKey()));
+  EXPECT_LT(parent.HierKey(), child.HierKey());
+  EXPECT_LT(child.HierKey(), grand.HierKey());
+  EXPECT_LT(grand.HierKey(), KeySubtreeEnd(parent.HierKey()));
+  // A sibling of `parent` whose value string-extends it stays outside.
+  Dn sib = MustParse(R"(o=a\,b\=cd, dc=com)");
+  EXPECT_FALSE(KeyIsAncestor(parent.HierKey(), sib.HierKey()));
+  EXPECT_TRUE(sib.HierKey() >= KeySubtreeEnd(parent.HierKey()) ||
+              sib.HierKey() < parent.HierKey());
+}
+
 TEST(DnTest, ParseErrors) {
   EXPECT_FALSE(Dn::Parse("dc").ok());             // missing '='
   EXPECT_FALSE(Dn::Parse("dc=,dc=com").ok());     // empty value
@@ -198,14 +268,20 @@ TEST_P(DnPropertyTest, RandomForestInvariants) {
   std::uniform_int_distribution<int> depth_dist(1, 6);
   std::uniform_int_distribution<int> val_dist(0, 30);
   const char* attrs[] = {"dc", "ou", "cn", "uid"};
+  // One in four values is adversarial: escapes, delimiters, edge spaces.
+  const char* weird[] = {" lead", "trail ", "a,b", "x=y", "p+q", "b\\s",
+                         "\\ ", "a\\", " ", "two  spaces "};
   std::vector<Dn> dns;
   for (int i = 0; i < 200; ++i) {
     std::vector<Rdn> rdns;
     int depth = depth_dist(rng);
     for (int d = 0; d < depth; ++d) {
-      rdns.push_back(Rdn::Single(attrs[val_dist(rng) % 4],
-                                 "v" + std::to_string(val_dist(rng)))
-                         .TakeValue());
+      int v = val_dist(rng);
+      std::string value =
+          (v % 4 == 0) ? weird[v % 10] : "v" + std::to_string(v);
+      rdns.push_back(
+          Rdn::Single(attrs[val_dist(rng) % 4], std::move(value))
+              .TakeValue());
     }
     dns.push_back(Dn::Make(std::move(rdns)).TakeValue());
   }

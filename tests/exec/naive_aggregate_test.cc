@@ -1,0 +1,232 @@
+// Three-way cross-check of aggregate (L2) selection semantics: for every
+// hierarchy / embedded-reference operator and a sweep of aggregate
+// selection filters, the quadratic naive baseline, the stack/merge
+// algorithms, and the in-memory reference semantics must produce the same
+// entries in the same (reverse-DN) order. This is the full-language oracle
+// the differential fuzzer (ndqfuzz) leans on; the aggregate accumulator
+// wire format gets its round-trip check here too.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/embedded_ref.h"
+#include "exec/hierarchy.h"
+#include "exec/naive.h"
+#include "gen/random_forest.h"
+#include "query/reference.h"
+#include "storage/serde.h"
+
+namespace ndq {
+namespace {
+
+QueryPtr ClassLeaf(int klass) {
+  return Query::Atomic(
+      Dn(), Scope::kSub,
+      AtomicFilter::Equals("objectClass",
+                           Value::String("class" + std::to_string(klass))));
+}
+
+AggSelFilter Agg(const std::string& text) {
+  Result<AggSelFilter> r = ParseAggSelFilter(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.TakeValue();
+}
+
+// Reads `list` back and checks it matches the reference result exactly.
+void ExpectSameEntries(SimDisk* disk, const EntryList& list,
+                       const std::vector<const Entry*>& want,
+                       const std::string& what) {
+  Result<std::vector<Entry>> got = ReadEntryList(disk, list);
+  ASSERT_TRUE(got.ok()) << what << ": " << got.status().ToString();
+  ASSERT_EQ(got->size(), want.size()) << what;
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ((*got)[i], *want[i]) << what << " at index " << i;
+  }
+}
+
+class NaiveAggregateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NaiveAggregateTest, HierarchyThreeWayAgreement) {
+  gen::RandomForestOptions opt;
+  opt.seed = static_cast<uint32_t>(GetParam());
+  opt.num_entries = 120;
+  DirectoryInstance inst = gen::RandomForest(opt);
+
+  QueryPtr q1 = ClassLeaf(0), q2 = ClassLeaf(1), q3 = ClassLeaf(2);
+  SimDisk disk(1024);
+  std::vector<const Entry*> m1 =
+      EvaluateReference(*q1, inst).TakeValue();
+  std::vector<const Entry*> m2 =
+      EvaluateReference(*q2, inst).TakeValue();
+  std::vector<const Entry*> m3 =
+      EvaluateReference(*q3, inst).TakeValue();
+  EntryList l1 = MakeEntryList(&disk, m1).TakeValue();
+  EntryList l2 = MakeEntryList(&disk, m2).TakeValue();
+  EntryList l3 = MakeEntryList(&disk, m3).TakeValue();
+
+  const QueryOp ops[] = {QueryOp::kParents,       QueryOp::kChildren,
+                         QueryOp::kAncestors,     QueryOp::kDescendants,
+                         QueryOp::kCoAncestors,   QueryOp::kCoDescendants};
+  const char* aggs[] = {
+      "count($2)>0",   // existential as the aggregate special case
+      "count($2)=0",   // keeps entries with EMPTY witness sets
+      "count($2)>1",
+      "sum($2.x)>=10",
+      "average($2.x)<=9",
+      "min(x)<=max($2.x)",           // self-attr vs witness-attr
+      "count($2)=max(count($2))",    // entry-set aggregate (two-phase)
+      "min(x)=min(min(x))",
+      "count($1)!=0",
+      "sum($2.x)!=sum(x)",
+  };
+  for (QueryOp op : ops) {
+    const bool constrained =
+        op == QueryOp::kCoAncestors || op == QueryOp::kCoDescendants;
+    for (const char* agg_text : aggs) {
+      SCOPED_TRACE(std::string(QueryOpToString(op)) + " " + agg_text);
+      std::optional<AggSelFilter> agg = Agg(agg_text);
+      QueryPtr full =
+          constrained
+              ? Query::HierarchyConstrained(op, q1, q2, q3, agg)
+              : Query::Hierarchy(op, q1, q2, agg);
+      std::vector<const Entry*> want =
+          EvaluateReference(*full, inst).TakeValue();
+
+      Result<EntryList> exec = EvalHierarchy(
+          &disk, op, l1, l2, constrained ? &l3 : nullptr, agg);
+      ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+      ExpectSameEntries(&disk, *exec, want, "stack");
+      ASSERT_TRUE(FreeRun(&disk, &*exec).ok());
+
+      Result<EntryList> naive = NaiveHierarchy(
+          &disk, op, l1, l2, constrained ? &l3 : nullptr, agg);
+      ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+      ExpectSameEntries(&disk, *naive, want, "naive");
+      ASSERT_TRUE(FreeRun(&disk, &*naive).ok());
+    }
+  }
+}
+
+TEST_P(NaiveAggregateTest, EmbeddedRefThreeWayAgreement) {
+  gen::RandomForestOptions opt;
+  opt.seed = static_cast<uint32_t>(GetParam()) + 100;
+  opt.num_entries = 100;
+  DirectoryInstance inst = gen::RandomForest(opt);
+
+  QueryPtr q1 = ClassLeaf(0), q2 = ClassLeaf(1);
+  SimDisk disk(1024);
+  std::vector<const Entry*> m1 =
+      EvaluateReference(*q1, inst).TakeValue();
+  std::vector<const Entry*> m2 =
+      EvaluateReference(*q2, inst).TakeValue();
+  EntryList l1 = MakeEntryList(&disk, m1).TakeValue();
+  EntryList l2 = MakeEntryList(&disk, m2).TakeValue();
+
+  const char* aggs[] = {
+      "count($2)>0", "count($2)=0", "count($2)>=2", "sum($2.x)>3",
+      "count($2)=max(count($2))", "min($2.x)=min(min($2.x))",
+      "count($$)>5",
+  };
+  for (QueryOp op : {QueryOp::kValueDn, QueryOp::kDnValue}) {
+    for (const char* agg_text : aggs) {
+      SCOPED_TRACE(std::string(QueryOpToString(op)) + " " + agg_text);
+      std::optional<AggSelFilter> agg = Agg(agg_text);
+      QueryPtr full = Query::EmbeddedRef(op, q1, q2, "ref", agg);
+      std::vector<const Entry*> want =
+          EvaluateReference(*full, inst).TakeValue();
+
+      Result<EntryList> exec = EvalEmbeddedRef(&disk, op, l1, l2, "ref", agg);
+      ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+      ExpectSameEntries(&disk, *exec, want, "merge");
+      ASSERT_TRUE(FreeRun(&disk, &*exec).ok());
+
+      Result<EntryList> naive =
+          NaiveEmbeddedRef(&disk, op, l1, l2, "ref", agg);
+      ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+      ExpectSameEntries(&disk, *naive, want, "naive");
+      ASSERT_TRUE(FreeRun(&disk, &*naive).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NaiveAggregateTest,
+                         ::testing::Values(1, 2, 3));
+
+// The aggregate-with-count($2)>0 path and the pure existential path are
+// the same function (Sec. 6.2); keep them pinned together on the naive
+// side too.
+TEST(NaiveAggregateTest, ExistentialEqualsCountPositive) {
+  gen::RandomForestOptions opt;
+  opt.seed = 9;
+  opt.num_entries = 80;
+  DirectoryInstance inst = gen::RandomForest(opt);
+  QueryPtr q1 = ClassLeaf(0), q2 = ClassLeaf(1);
+  SimDisk disk(1024);
+  EntryList l1 =
+      MakeEntryList(&disk, EvaluateReference(*q1, inst).TakeValue())
+          .TakeValue();
+  EntryList l2 =
+      MakeEntryList(&disk, EvaluateReference(*q2, inst).TakeValue())
+          .TakeValue();
+  for (QueryOp op : {QueryOp::kAncestors, QueryOp::kChildren}) {
+    EntryList plain =
+        NaiveHierarchy(&disk, op, l1, l2, nullptr).TakeValue();
+    EntryList agg =
+        NaiveHierarchy(&disk, op, l1, l2, nullptr, Agg("count($2)>0"))
+            .TakeValue();
+    std::vector<Entry> a = ReadEntryList(&disk, plain).TakeValue();
+    std::vector<Entry> b = ReadEntryList(&disk, agg).TakeValue();
+    EXPECT_EQ(a, b);
+    ASSERT_TRUE(FreeRun(&disk, &plain).ok());
+    ASSERT_TRUE(FreeRun(&disk, &agg).ok());
+  }
+}
+
+// Regression: the serialized accumulator must carry the full 128-bit sum
+// (spillable stacks and distributed merges ship accumulators between
+// phases; truncating the sum would silently re-introduce the overflow).
+TEST(AccWireFormatTest, RoundTripsExtremeSums) {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  AggAccumulator acc(AggFn::kSum);
+  acc.AddValue(Value::Int(kMax));
+  acc.AddValue(Value::Int(kMax));
+  acc.AddValue(Value::String("not an int"));
+  ASSERT_FALSE(acc.Finish().has_value());  // sum exceeds int64
+
+  std::string wire;
+  SerializeAcc(acc, &wire);
+  ByteReader reader(wire);
+  Result<AggAccumulator> back = DeserializeAcc(&reader);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(back->sum, acc.sum);
+  EXPECT_EQ(back->count, acc.count);
+  EXPECT_EQ(back->int_count, acc.int_count);
+  EXPECT_EQ(back->any_int, acc.any_int);
+  EXPECT_EQ(back->overflow, acc.overflow);
+  EXPECT_EQ(back->Finish(), acc.Finish());
+
+  // Adding the most negative value brings the true sum back in range:
+  // only a full-width wire format preserves that.
+  back->AddValue(Value::Int(std::numeric_limits<int64_t>::min()));
+  EXPECT_EQ(back->Finish().value(), kMax - 1);
+
+  // Negative sums round-trip too (the high half is the sign extension).
+  AggAccumulator neg(AggFn::kSum);
+  neg.AddInt(std::numeric_limits<int64_t>::min());
+  neg.AddInt(-1);
+  std::string neg_wire;
+  SerializeAcc(neg, &neg_wire);
+  ByteReader neg_reader(neg_wire);
+  Result<AggAccumulator> neg_back = DeserializeAcc(&neg_reader);
+  ASSERT_TRUE(neg_back.ok());
+  EXPECT_EQ(neg_back->sum, neg.sum);
+  EXPECT_FALSE(neg_back->Finish().has_value());
+}
+
+}  // namespace
+}  // namespace ndq

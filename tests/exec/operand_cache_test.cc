@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "exec/operand_cache.h"
+#include "exec/parallel_evaluator.h"
 #include "exec/thread_pool.h"
 #include "storage/fault_injector.h"
 #include "storage/run.h"
@@ -327,6 +328,90 @@ TEST(OperandCacheTest, ConcurrentCopyOutFaultsNeverDoubleFree) {
   EXPECT_EQ(stats.hits, 0u);
   EXPECT_EQ(stats.resident_entries, 0u);
   EXPECT_EQ(disk.live_pages(), 0u);
+}
+
+// Regression (fuzzer corpus `cache-collision`): the display label renders
+// int equality and string equality on "5" identically ("x=5"), True and
+// Presence(objectClass) identically ("objectClass=*"), and an
+// atomic-vs-LDAP leaf pair from a rewrite identically — the typed key
+// must separate all of them, while still sharing genuinely equal leaves.
+TEST(OperandCacheKeyTest, DistinguishesAmbiguouslyLabeledLeaves) {
+  Dn base = Dn::Parse("dc=com").TakeValue();
+  QueryPtr int_eq = Query::Atomic(base, Scope::kSub,
+                                  AtomicFilter::Equals("x", Value::Int(5)));
+  QueryPtr str_eq = Query::Atomic(
+      base, Scope::kSub, AtomicFilter::Equals("x", Value::String("5")));
+  QueryPtr int_cmp = Query::Atomic(
+      base, Scope::kSub,
+      AtomicFilter::IntCompare("x", CompareOp::kEq, 5));
+  EXPECT_NE(OperandCacheKey(*int_eq), OperandCacheKey(*str_eq));
+  EXPECT_NE(OperandCacheKey(*int_cmp), OperandCacheKey(*str_eq));
+
+  QueryPtr all = Query::Atomic(base, Scope::kSub, AtomicFilter::True());
+  QueryPtr oc_presence = Query::Atomic(
+      base, Scope::kSub, AtomicFilter::Presence("objectClass"));
+  EXPECT_NE(OperandCacheKey(*all), OperandCacheKey(*oc_presence));
+
+  // Scope and base are evaluation-relevant and must be in the key.
+  QueryPtr one = Query::Atomic(base, Scope::kOne, AtomicFilter::True());
+  EXPECT_NE(OperandCacheKey(*all), OperandCacheKey(*one));
+  Dn other = Dn::Parse("dc=org").TakeValue();
+  QueryPtr elsewhere =
+      Query::Atomic(other, Scope::kSub, AtomicFilter::True());
+  EXPECT_NE(OperandCacheKey(*all), OperandCacheKey(*elsewhere));
+
+  // A rewritten plan may replace an atomic leaf by an LDAP leaf; the two
+  // kinds never alias, whatever their filters.
+  QueryPtr ldap = Query::Ldap(base, Scope::kSub,
+                              LdapFilter::Atomic(AtomicFilter::True()));
+  EXPECT_NE(OperandCacheKey(*all), OperandCacheKey(*ldap));
+
+  // Structurally equal leaves DO share — that is the point of the cache.
+  QueryPtr again = Query::Atomic(base, Scope::kSub,
+                                 AtomicFilter::Equals("x", Value::Int(5)));
+  EXPECT_EQ(OperandCacheKey(*int_eq), OperandCacheKey(*again));
+}
+
+TEST(OperandCacheTest, TypedKeysPreventStaleServingAcrossFilterTypes) {
+  // Two leaves whose labels collide but whose answers differ: with the
+  // old label keys, whichever ran first would be served for both.
+  DirectoryInstance inst{Schema(), false};
+  Entry root(Dn::Parse("dc=com").TakeValue());
+  Entry str_entry(Dn::Parse("cn=s, dc=com").TakeValue());
+  str_entry.AddString("x", "5");
+  Entry int_entry(Dn::Parse("cn=i, dc=com").TakeValue());
+  int_entry.AddInt("x", 5);
+  ASSERT_TRUE(inst.Add(root).ok());
+  ASSERT_TRUE(inst.Add(str_entry).ok());
+  ASSERT_TRUE(inst.Add(int_entry).ok());
+
+  SimDisk disk(1024);
+  EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+  OperandCache cache(&disk, /*capacity_pages=*/64);
+  ParallelEvaluator eval(&disk, &store, ExecOptions{}, &cache);
+
+  Dn base = Dn::Parse("dc=com").TakeValue();
+  QueryPtr str_q = Query::Atomic(
+      base, Scope::kSub, AtomicFilter::Equals("x", Value::String("5")));
+  QueryPtr int_q = Query::Atomic(
+      base, Scope::kSub,
+      AtomicFilter::IntCompare("x", CompareOp::kEq, 5));
+
+  Result<std::vector<Entry>> got_str = eval.EvaluateToEntries(*str_q);
+  ASSERT_TRUE(got_str.ok()) << got_str.status().ToString();
+  ASSERT_EQ(got_str->size(), 1u);
+  EXPECT_EQ((*got_str)[0], str_entry);
+
+  // Same label, different filter type: must MISS and recompute.
+  Result<std::vector<Entry>> got_int = eval.EvaluateToEntries(*int_q);
+  ASSERT_TRUE(got_int.ok()) << got_int.status().ToString();
+  ASSERT_EQ(got_int->size(), 1u);
+  EXPECT_EQ((*got_int)[0], int_entry);
+
+  OperandCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 2u);
 }
 
 }  // namespace

@@ -130,5 +130,56 @@ TEST(AtomicFilterTest, ToStringRoundTrips) {
   }
 }
 
+// Regression (fuzzer corpus `cache-collision`): string equality whose value
+// spells an integer used to render as "x=5", which re-parses as INT
+// equality — a different filter. The quoted form keeps them distinct.
+TEST(AtomicFilterTest, StringEqualityOnDigitsRoundTrips) {
+  AtomicFilter str_eq = AtomicFilter::Equals("x", Value::String("5"));
+  AtomicFilter int_eq = F("x=5");
+  EXPECT_NE(str_eq.ToString(), int_eq.ToString());
+  EXPECT_EQ(str_eq.ToString(), "x=\"5\"");
+
+  AtomicFilter reparsed = F(str_eq.ToString());
+  EXPECT_EQ(reparsed, str_eq);
+  EXPECT_EQ(reparsed.kind(), AtomicFilter::Kind::kEquals);
+  EXPECT_TRUE(reparsed.equals_rhs().is_string());
+
+  // The two filters really differ: an int value 5 satisfies only int
+  // equality; a string value "5" satisfies both (types unknown at parse
+  // time, int literals also match their string spelling).
+  Entry with_int(D("x=1"));
+  with_int.AddInt("x", 5);
+  EXPECT_TRUE(int_eq.Matches(with_int));
+  EXPECT_FALSE(str_eq.Matches(with_int));
+}
+
+TEST(AtomicFilterTest, QuotedStringForms) {
+  // Quoting is always accepted on input, whatever the content.
+  AtomicFilter f = F("cn=\"plain\"");
+  EXPECT_EQ(f, AtomicFilter::Equals("cn", Value::String("plain")));
+  // ...but only emitted when needed.
+  EXPECT_EQ(f.ToString(), "cn=plain");
+
+  EXPECT_EQ(F("cn=\"\""), AtomicFilter::Equals("cn", Value::String("")));
+  EXPECT_EQ(F("cn=\" pad \""),
+            AtomicFilter::Equals("cn", Value::String(" pad ")));
+  EXPECT_EQ(F("cn=\"a*b\""),
+            AtomicFilter::Equals("cn", Value::String("a*b")));
+  EXPECT_EQ(F("cn=\"q\\\"v\\\\w\""),
+            AtomicFilter::Equals("cn", Value::String("q\"v\\w")));
+
+  // Values that would be misparsed bare round-trip via quoting.
+  for (const char* raw : {"5", "-17", " lead", "trail ", "", "a*b",
+                          "\"quoted\"", "q\"v\\w"}) {
+    AtomicFilter eq = AtomicFilter::Equals("cn", Value::String(raw));
+    AtomicFilter again = F(eq.ToString());
+    EXPECT_EQ(again, eq) << '[' << raw << "] printed as " << eq.ToString();
+  }
+
+  EXPECT_FALSE(AtomicFilter::Parse("cn=\"unterminated").ok());
+  EXPECT_FALSE(AtomicFilter::Parse("cn=\"bad\"trailing").ok());
+  EXPECT_FALSE(AtomicFilter::Parse("cn=\"dangling\\").ok());
+}
+
 }  // namespace
 }  // namespace ndq

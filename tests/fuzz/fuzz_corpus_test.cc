@@ -1,0 +1,68 @@
+// Regression corpus replay: every .ndqrepro under tests/fuzz/corpus/ is a
+// minimized counterexample for a bug that has since been FIXED, so each one
+// must come back clean from the full differential check matrix. A failure
+// here means a fixed bug has reappeared.
+//
+// The corpus directory is baked in at compile time (NDQ_FUZZ_CORPUS_DIR,
+// set in tests/CMakeLists.txt) so the suite runs from any build directory.
+// The same files can be replayed by hand with:
+//
+//   ndqfuzz --corpus tests/fuzz/corpus
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzz.h"
+#include "fuzz/repro.h"
+
+#ifndef NDQ_FUZZ_CORPUS_DIR
+#error "NDQ_FUZZ_CORPUS_DIR must point at tests/fuzz/corpus"
+#endif
+
+namespace ndq {
+namespace fuzz {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& de :
+       std::filesystem::directory_iterator(NDQ_FUZZ_CORPUS_DIR, ec)) {
+    if (de.path().extension() == ".ndqrepro") {
+      paths.push_back(de.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+TEST(FuzzCorpusTest, CorpusIsPresent) {
+  // The checked-in corpus pins the DN-escape, cache-key, aggregate
+  // overflow and naive-L2 fixes; shrinking away to nothing would silently
+  // drop that coverage.
+  EXPECT_GE(CorpusFiles().size(), 4u) << "corpus dir: " << NDQ_FUZZ_CORPUS_DIR;
+}
+
+TEST(FuzzCorpusTest, EveryReproReplaysClean) {
+  FuzzOptions opt;  // full matrix: distributed + fault oracles included
+  for (const std::string& path : CorpusFiles()) {
+    SCOPED_TRACE(path);
+    Result<Repro> repro = Repro::LoadFrom(path);
+    ASSERT_TRUE(repro.ok()) << repro.status().ToString();
+    EXPECT_FALSE(repro->check.empty());
+    EXPECT_FALSE(repro->entries.empty());
+    Result<std::vector<CheckFailure>> failures = ReplayRepro(*repro, opt);
+    ASSERT_TRUE(failures.ok()) << failures.status().ToString();
+    for (const CheckFailure& f : *failures) {
+      ADD_FAILURE() << "regression: " << f.check << ": " << f.detail;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace ndq

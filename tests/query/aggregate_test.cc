@@ -1,9 +1,15 @@
 #include "query/aggregate.h"
 
+#include <cstdint>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace ndq {
 namespace {
+
+constexpr int64_t kI64Max = std::numeric_limits<int64_t>::max();
+constexpr int64_t kI64Min = std::numeric_limits<int64_t>::min();
 
 TEST(AggAccumulatorTest, Count) {
   AggAccumulator acc(AggFn::kCount);
@@ -58,6 +64,85 @@ TEST(AggAccumulatorTest, MergeIsDistributive) {
   AggAccumulator empty(AggFn::kMin);
   empty.Merge(AggAccumulator(AggFn::kMin));
   EXPECT_FALSE(empty.Finish().has_value());
+}
+
+// Regression (fuzzer corpus `agg-sum-overflow`): summing adversarial values
+// used to wrap a bare int64 (UB). A sum whose true value is outside the
+// int64 domain must be undefined, never a wrapped number.
+TEST(AggAccumulatorTest, SumOverflowIsUndefined) {
+  AggAccumulator sm(AggFn::kSum);
+  sm.AddInt(kI64Max);
+  sm.AddInt(kI64Max);
+  EXPECT_FALSE(sm.Finish().has_value());
+  // Comparisons against the undefined sum are false, not UB-dependent.
+  EXPECT_FALSE(CompareAgg(sm.Finish(), CompareOp::kEq, -2));
+
+  AggAccumulator neg(AggFn::kSum);
+  neg.AddInt(kI64Min);
+  neg.AddInt(-1);
+  EXPECT_FALSE(neg.Finish().has_value());
+}
+
+TEST(AggAccumulatorTest, SumRecoversIntoRange) {
+  // The 128-bit accumulator keeps the exact value, so a running sum that
+  // transiently exceeds int64 but returns into range is defined again.
+  AggAccumulator sm(AggFn::kSum);
+  sm.AddInt(kI64Max);
+  sm.AddInt(kI64Max);
+  sm.AddInt(kI64Min);
+  EXPECT_EQ(sm.Finish().value(), kI64Max - 1);
+}
+
+TEST(AggAccumulatorTest, SumAtInt64BoundsIsDefined) {
+  AggAccumulator hi(AggFn::kSum);
+  hi.AddInt(kI64Max);
+  EXPECT_EQ(hi.Finish().value(), kI64Max);
+
+  AggAccumulator lo(AggFn::kSum);
+  lo.AddInt(kI64Min);
+  EXPECT_EQ(lo.Finish().value(), kI64Min);
+}
+
+TEST(AggAccumulatorTest, SumOverflowIsMergeOrderIndependent) {
+  // The stack algorithms merge accumulators in a different order than a
+  // linear scan; the result must not depend on it.
+  AggAccumulator a(AggFn::kSum), b(AggFn::kSum), linear(AggFn::kSum);
+  for (int64_t v : {kI64Max, 5L}) {
+    a.AddInt(v);
+    linear.AddInt(v);
+  }
+  for (int64_t v : {kI64Min, -5L}) {
+    b.AddInt(v);
+    linear.AddInt(v);
+  }
+  AggAccumulator merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.Finish(), linear.Finish());
+  EXPECT_EQ(merged.Finish().value(), -1);
+
+  AggAccumulator reversed = b;
+  reversed.Merge(a);
+  EXPECT_EQ(reversed.Finish(), linear.Finish());
+}
+
+TEST(AggAccumulatorTest, AverageUsesIntCountNotCount) {
+  // Non-int values bump `count` but must not dilute the average.
+  AggAccumulator avg(AggFn::kAvg);
+  avg.AddValue(Value::Int(10));
+  avg.AddValue(Value::Int(20));
+  avg.AddValue(Value::String("ignored"));
+  avg.AddValue(Value::String("ignored too"));
+  EXPECT_EQ(avg.Finish().value(), 15);  // 30/2, not 30/4
+}
+
+TEST(AggAccumulatorTest, AverageOfExtremeValuesIsDefined) {
+  // avg is computed in 128-bit: |avg| <= max |value|, so it always fits
+  // int64 even when the intermediate sum does not.
+  AggAccumulator avg(AggFn::kAvg);
+  avg.AddInt(kI64Max);
+  avg.AddInt(kI64Max);
+  avg.AddInt(kI64Max - 2);
+  EXPECT_EQ(avg.Finish().value(), kI64Max - 1);
 }
 
 TEST(CompareAggTest, UndefinedIsFalse) {
