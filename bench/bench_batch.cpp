@@ -1,0 +1,230 @@
+// E17 — multi-query batching with cross-query operand sharing
+// (bench_batch).
+// Claim: operand lists are materialized in reverse-DN order, so a
+// sub-plan's output is reusable by EVERY query in a batch that contains
+// it (Sec. 3's physical design at the workload level). RunBatch censuses
+// the batch, materializes each shared subtree once, and serves every
+// other occurrence from the operand cache for ~output pages instead of
+// re-scanning the store — with results byte-identical to one-at-a-time
+// evaluation.
+//
+// Measures a 16-query batch whose queries overlap heavily in operands:
+// sequential cold-cache evaluation vs Session::RunBatch, wall-clock under
+// per-page transfer latency plus counted page transfers. Emits
+// BENCH_batch.json for EXPERIMENTS.md.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "exec/trace.h"
+#include "gen/dif_gen.h"
+#include "query/parser.h"
+#include "store/entry_store.h"
+
+using namespace ndq;
+using namespace ndq::bench;
+
+namespace {
+
+constexpr uint32_t kLatencyMicros = 80;
+
+// Five selective full-store scans (base dc=com, subtree scope): the
+// operand pool. Every query below is built from this pool, so each leaf
+// recurs in 5-8 of the 16 queries and several whole sub-plans recur too —
+// the shape of a directory serving many concurrent clients with
+// overlapping interests.
+#define LEAF_A "(dc=com ? sub ? objectClass=SLADSAction)"
+#define LEAF_B "(dc=com ? sub ? objectClass=policyValidityPeriod)"
+#define LEAF_C "(dc=com ? sub ? objectClass=trafficProfile)"
+#define LEAF_D "(dc=com ? sub ? sourcePort=25)"
+#define LEAF_E "(dc=com ? sub ? objectClass=SLAPolicyRules)"
+
+const char* kBatch[] = {
+    "(& " LEAF_A " " LEAF_B ")",
+    "(| " LEAF_A " " LEAF_B ")",
+    "(- " LEAF_C " " LEAF_D ")",
+    "(& " LEAF_C " " LEAF_D ")",
+    "(| " LEAF_E " " LEAF_A ")",
+    "(- " LEAF_E " " LEAF_B ")",
+    "(c " LEAF_B " " LEAF_D ")",
+    "(d " LEAF_C " " LEAF_E ")",
+    // Nested repeats: the whole (& A B) / (- C D) sub-plans above recur
+    // here as operands, so the census finds multi-level sharing.
+    "(- (& " LEAF_A " " LEAF_B ") " LEAF_D ")",
+    "(| (& " LEAF_A " " LEAF_B ") " LEAF_E ")",
+    "(& (- " LEAF_C " " LEAF_D ") " LEAF_A ")",
+    "(| (- " LEAF_C " " LEAF_D ") " LEAF_B ")",
+    // Exact duplicates: the easiest sharing there is.
+    "(& " LEAF_A " " LEAF_B ")",
+    "(- " LEAF_C " " LEAF_D ")",
+    "(| " LEAF_E " " LEAF_A ")",
+    "(c " LEAF_B " " LEAF_D ")",
+};
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E17: multi-query batch engine (bench_batch)",
+              "a batch materializes each shared operand subtree once; "
+              "every other occurrence is a cache copy, not a re-scan; "
+              "results byte-identical to one-at-a-time evaluation");
+
+  gen::DifOptions opt;
+  opt.num_orgs = 6;
+  opt.subdomains_per_org = 3;
+  DirectoryInstance inst = gen::GenerateDif(opt);
+
+  SimDisk disk(1024);
+  EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+  std::printf("directory: %zu entries, %zu store pages, %uus/page\n",
+              inst.size(), disk.live_pages(), kLatencyMicros);
+  std::printf("batch: %zu queries over 5 overlapping operands\n",
+              std::size(kBatch));
+  disk.set_transfer_latency_micros(kLatencyMicros);
+
+  std::vector<QueryPtr> plans;
+  for (const char* text : kBatch) {
+    plans.push_back(ParseQuery(text).TakeValue());
+  }
+
+  uint64_t violations = 0;
+
+  // Baseline: one at a time, cold — no cache, so every occurrence of
+  // every operand re-scans the store. Canonicalization stays ON on both
+  // sides (the comparison is sharing, not rewriting).
+  double seq_ms;
+  uint64_t seq_pages;
+  std::vector<std::vector<Entry>> want;
+  {
+    EngineOptions opts;
+    opts.cache_capacity_pages = 0;
+    EngineHarness h(&disk, &store, opts);
+    uint64_t before = disk.stats().TotalTransfers();
+    auto start = std::chrono::steady_clock::now();
+    for (const QueryPtr& q : plans) {
+      QueryOutcome out = h.Run(q);
+      violations += VerifyTheoremBounds(out.trace).size();
+      want.push_back(std::move(out.entries));
+    }
+    seq_ms = MillisSince(start);
+    seq_pages = disk.stats().TotalTransfers() - before;
+  }
+
+  // The batch path: same parallelism (1 — the speedup below is sharing,
+  // not threading), queue deep enough to admit all 16 at once.
+  double batch_ms;
+  uint64_t batch_pages;
+  BatchResult br;
+  {
+    EngineOptions opts;
+    opts.cache_capacity_pages = 1 << 16;
+    opts.queue_depth = 64;
+    Engine engine(&disk, &store, opts);
+    Session session = engine.OpenSession();
+    uint64_t before = disk.stats().TotalTransfers();
+    auto start = std::chrono::steady_clock::now();
+    br = session.RunBatch(plans);
+    batch_ms = MillisSince(start);
+    batch_pages = disk.stats().TotalTransfers() - before;
+  }
+
+  // Byte-identical or the speedup is meaningless.
+  bool identical = br.outcomes.size() == want.size();
+  for (size_t i = 0; identical && i < want.size(); ++i) {
+    if (!br.outcomes[i].ok() || br.outcomes[i].entries != want[i]) {
+      identical = false;
+    }
+    violations += VerifyTheoremBounds(br.outcomes[i].trace).size();
+  }
+
+  // Batching + intra-query parallelism compose: same batch, 4 threads.
+  double batch4_ms;
+  {
+    EngineOptions opts;
+    opts.cache_capacity_pages = 1 << 16;
+    opts.queue_depth = 64;
+    opts.exec.parallelism = 4;
+    Engine engine(&disk, &store, opts);
+    Session session = engine.OpenSession();
+    auto start = std::chrono::steady_clock::now();
+    BatchResult br4 = session.RunBatch(plans);
+    batch4_ms = MillisSince(start);
+    for (size_t i = 0; identical && i < want.size(); ++i) {
+      if (!br4.outcomes[i].ok() || br4.outcomes[i].entries != want[i]) {
+        identical = false;
+      }
+    }
+  }
+
+  double speedup = seq_ms / batch_ms;
+  double speedup4 = seq_ms / batch4_ms;
+  std::printf("\n%-34s %10s %12s\n", "mode", "wall_ms", "pages");
+  std::printf("%-34s %10.1f %12llu\n", "sequential cold (baseline)", seq_ms,
+              static_cast<unsigned long long>(seq_pages));
+  std::printf("%-34s %10.1f %12llu\n", "RunBatch, 1 thread", batch_ms,
+              static_cast<unsigned long long>(batch_pages));
+  std::printf("%-34s %10.1f\n", "RunBatch, 4 threads", batch4_ms);
+
+  std::printf("\nsharing census: %zu shared subtrees, %llu occurrences; "
+              "cache %llu hits / %llu misses\n",
+              br.stats.shared_subtrees,
+              static_cast<unsigned long long>(br.stats.shared_occurrences),
+              static_cast<unsigned long long>(br.stats.cache_hits),
+              static_cast<unsigned long long>(br.stats.cache_misses));
+
+  std::printf("\nbatch speedup @1 thread: %.2fx (target >= 1.5x) %s\n",
+              speedup, speedup >= 1.5 ? "PASS" : "FAIL");
+  std::printf("batch+parallel speedup @4 threads: %.2fx\n", speedup4);
+  std::printf("page transfers: %llu -> %llu (%.1f%% saved)\n",
+              static_cast<unsigned long long>(seq_pages),
+              static_cast<unsigned long long>(batch_pages),
+              100.0 * (1.0 - static_cast<double>(batch_pages) / seq_pages));
+  std::printf("results byte-identical to sequential: %s\n",
+              identical ? "PASS" : "FAIL");
+  std::printf("theorem-bound violations: %llu %s\n",
+              static_cast<unsigned long long>(violations),
+              violations == 0 ? "PASS" : "FAIL");
+
+  FILE* f = std::fopen("BENCH_batch.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"experiment\": \"bench_batch\",\n");
+    std::fprintf(f, "  \"entries\": %zu,\n", inst.size());
+    std::fprintf(f, "  \"batch_queries\": %zu,\n", std::size(kBatch));
+    std::fprintf(f, "  \"page_latency_us\": %u,\n", kLatencyMicros);
+    std::fprintf(f, "  \"sequential_cold_ms\": %.1f,\n", seq_ms);
+    std::fprintf(f, "  \"batch_ms\": %.1f,\n", batch_ms);
+    std::fprintf(f, "  \"batch_parallel4_ms\": %.1f,\n", batch4_ms);
+    std::fprintf(f, "  \"batch_speedup\": %.2f,\n", speedup);
+    std::fprintf(f, "  \"batch_parallel4_speedup\": %.2f,\n", speedup4);
+    std::fprintf(f, "  \"sequential_pages\": %llu,\n",
+                 static_cast<unsigned long long>(seq_pages));
+    std::fprintf(f, "  \"batch_pages\": %llu,\n",
+                 static_cast<unsigned long long>(batch_pages));
+    std::fprintf(f, "  \"shared_subtrees\": %zu,\n",
+                 br.stats.shared_subtrees);
+    std::fprintf(f, "  \"shared_occurrences\": %llu,\n",
+                 static_cast<unsigned long long>(br.stats.shared_occurrences));
+    std::fprintf(f, "  \"cache_hits\": %llu,\n",
+                 static_cast<unsigned long long>(br.stats.cache_hits));
+    std::fprintf(f, "  \"cache_misses\": %llu,\n",
+                 static_cast<unsigned long long>(br.stats.cache_misses));
+    std::fprintf(f, "  \"byte_identical\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(f, "  \"theorem_violations\": %llu\n",
+                 static_cast<unsigned long long>(violations));
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_batch.json\n");
+  }
+  return (speedup >= 1.5 && identical && violations == 0) ? 0 : 1;
+}

@@ -8,7 +8,6 @@
 // client, shipping strictly more records than the single L0 query.
 
 #include "bench_util.h"
-#include "exec/evaluator.h"
 #include "gen/dif_gen.h"
 #include "gen/paper_data.h"
 #include "query/parser.h"
@@ -88,7 +87,7 @@ void LdapWorkaroundCost() {
     SimDisk disk;
     EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
     SimDisk scratch;
-    Evaluator evaluator(&scratch, &store);
+    EngineHarness h(&scratch, &store);
 
     // L0: the server evaluates the difference; the client receives only
     // the final result.
@@ -99,8 +98,7 @@ void LdapWorkaroundCost() {
                       .TakeValue();
     uint64_t before =
         disk.stats().TotalTransfers() + scratch.stats().TotalTransfers();
-    std::vector<Entry> l0_result =
-        evaluator.EvaluateToEntries(*l0).TakeValue();
+    std::vector<Entry> l0_result = h.Entries(l0);
     uint64_t io_l0 = disk.stats().TotalTransfers() +
                      scratch.stats().TotalTransfers() - before;
 
@@ -114,8 +112,8 @@ void LdapWorkaroundCost() {
                       .TakeValue();
     before =
         disk.stats().TotalTransfers() + scratch.stats().TotalTransfers();
-    std::vector<Entry> r1 = evaluator.EvaluateToEntries(*q1).TakeValue();
-    std::vector<Entry> r2 = evaluator.EvaluateToEntries(*q2).TakeValue();
+    std::vector<Entry> r1 = h.Entries(q1);
+    std::vector<Entry> r2 = h.Entries(q2);
     uint64_t io_ldap = disk.stats().TotalTransfers() +
                        scratch.stats().TotalTransfers() - before;
     size_t shipped_ldap = r1.size() + r2.size();

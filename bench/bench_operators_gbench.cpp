@@ -9,7 +9,6 @@
 #include "bench_util.h"
 #include "exec/boolean.h"
 #include "exec/embedded_ref.h"
-#include "exec/evaluator.h"
 #include "exec/hierarchy.h"
 #include "gen/dif_gen.h"
 #include "gen/paper_data.h"
@@ -91,7 +90,7 @@ struct DifFixture {
 
 void BM_FlagshipL3Query(benchmark::State& state) {
   DifFixture f;
-  Evaluator evaluator(&f.scratch, &f.store);
+  bench::EngineHarness h(&f.scratch, &f.store);
   QueryPtr q = ParseQuery(
                    "(dv (dc=com ? sub ? objectClass=SLADSAction)"
                    "    (g (vd (dc=com ? sub ? objectClass=SLAPolicyRules)"
@@ -103,7 +102,7 @@ void BM_FlagshipL3Query(benchmark::State& state) {
                    "    SLADSActRef)")
                    .TakeValue();
   for (auto _ : state) {
-    std::vector<Entry> r = evaluator.EvaluateToEntries(*q).TakeValue();
+    std::vector<Entry> r = h.Entries(q);
     benchmark::DoNotOptimize(r.size());
   }
 }

@@ -13,8 +13,6 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "exec/operand_cache.h"
-#include "exec/parallel_evaluator.h"
 #include "exec/trace.h"
 #include "gen/dif_gen.h"
 #include "query/parser.h"
@@ -69,21 +67,14 @@ struct Workload {
   std::vector<QueryPtr> queries;
 };
 
-// Evaluates every query in `w` once, frees the results, accumulates
-// theorem-bound violations, and returns wall-clock milliseconds.
-double RunOnce(ParallelEvaluator* eval, SimDisk* disk, const Workload& w,
-               uint64_t* violations) {
+// Evaluates every query in `w` once through the engine session,
+// accumulates theorem-bound violations, and returns wall-clock
+// milliseconds.
+double RunOnce(EngineHarness* h, const Workload& w, uint64_t* violations) {
   auto start = std::chrono::steady_clock::now();
   for (const QueryPtr& q : w.queries) {
-    OpTrace trace;
-    Result<EntryList> r = eval->Evaluate(*q, &trace);
-    if (!r.ok()) {
-      std::fprintf(stderr, "eval failed: %s\n", r.status().ToString().c_str());
-      std::exit(1);
-    }
-    EntryList list = r.TakeValue();
-    if (!FreeRun(disk, &list).ok()) std::exit(1);
-    *violations += VerifyTheoremBounds(trace).size();
+    QueryOutcome out = h->Run(q);
+    *violations += VerifyTheoremBounds(out.trace).size();
   }
   auto end = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::milli>(end - start).count();
@@ -101,20 +92,21 @@ Measurement Measure(SimDisk* disk, const EntryStore& store,
                     uint64_t* violations) {
   Measurement m;
   m.threads = threads;
-  ExecOptions options;
-  options.parallelism = threads;
+  EngineOptions options = EngineHarness::ColdOptions();
+  options.exec.parallelism = threads;
 
   {  // Cold: no cache, every leaf re-scans the store.
-    ParallelEvaluator eval(disk, &store, options);
+    EngineHarness h(disk, &store, options);
     uint64_t before = disk->stats().TotalTransfers();
-    m.cold_ms = RunOnce(&eval, disk, w, violations);
+    m.cold_ms = RunOnce(&h, w, violations);
     m.transfers_cold = disk->stats().TotalTransfers() - before;
   }
   {  // Warm: one unmeasured pass fills the cache, then measure.
-    OperandCache cache(disk, /*capacity_pages=*/1 << 16);
-    ParallelEvaluator eval(disk, &store, options, &cache);
-    RunOnce(&eval, disk, w, violations);
-    m.warm_ms = RunOnce(&eval, disk, w, violations);
+    EngineOptions warm = options;
+    warm.cache_capacity_pages = 1 << 16;
+    EngineHarness h(disk, &store, warm);
+    RunOnce(&h, w, violations);
+    m.warm_ms = RunOnce(&h, w, violations);
   }
   return m;
 }

@@ -7,7 +7,6 @@
 // independent of directory size.
 
 #include "bench_util.h"
-#include "exec/evaluator.h"
 #include "exec/trace.h"
 #include "gen/dif_gen.h"
 #include "gen/paper_data.h"
@@ -56,19 +55,18 @@ void Sweep(const char* label, const char* text) {
     SimDisk disk;
     EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
     SimDisk scratch;
-    Evaluator evaluator(&scratch, &store);
+    EngineHarness h(&scratch, &store);
     uint64_t before =
         disk.stats().TotalTransfers() + scratch.stats().TotalTransfers();
-    OpTrace trace;
-    std::vector<Entry> result =
-        evaluator.EvaluateToEntries(*q, &trace).TakeValue();
+    QueryOutcome out = h.Run(q);
     uint64_t io = disk.stats().TotalTransfers() +
                   scratch.stats().TotalTransfers() - before;
+    const std::vector<Entry>& result = out.entries;
     // Every operator must stay within its paper I/O theorem (exec/trace.h).
-    std::vector<std::string> bad = VerifyTheoremBounds(trace);
+    std::vector<std::string> bad = VerifyTheoremBounds(out.trace);
     violations += bad.size();
     // |L| = cumulative atomic sub-query output (Theorem 8.3's input size).
-    uint64_t l_records = evaluator.stats().atomic_output_records;
+    uint64_t l_records = h.engine.eval_stats().atomic_output_records;
     double l_pages = static_cast<double>(l_records) / 40.0;  // ~40/page
     std::printf("%10zu %10llu %8zu | %10llu %10.2f | %10llu %8s\n",
                 inst.size(), (unsigned long long)l_records, result.size(),

@@ -8,7 +8,6 @@
 
 #include "bench_util.h"
 #include "exec/cost.h"
-#include "exec/evaluator.h"
 #include "gen/dif_gen.h"
 #include "gen/paper_data.h"
 #include "query/parser.h"
@@ -28,9 +27,11 @@ struct Measured {
 Measured Measure(SimDisk* disk, const EntryStore& store,
                  const QueryPtr& q) {
   SimDisk scratch;
-  Evaluator evaluator(&scratch, &store);
+  // The harness default (canonicalization off) matters here: the whole
+  // point is measuring the plan exactly as given, pre- vs post-rewrite.
+  EngineHarness h(&scratch, &store);
   disk->ResetStats();
-  std::vector<Entry> r = evaluator.EvaluateToEntries(*q).TakeValue();
+  std::vector<Entry> r = h.Entries(q);
   return Measured{
       disk->stats().TotalTransfers() + scratch.stats().TotalTransfers(),
       r.size(), EstimateCost(store, *q).TotalPages()};

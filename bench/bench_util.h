@@ -9,9 +9,11 @@
 #define NDQ_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "engine/engine.h"
 #include "exec/common.h"
 #include "gen/random_forest.h"
 
@@ -48,6 +50,44 @@ struct OperandLists {
   }
   uint64_t InputRecords() const {
     return l1.num_records + l2.num_records + l3.num_records;
+  }
+};
+
+/// Engine-backed evaluation for the harnesses: a borrowing-mode engine
+/// over (scratch, store) plus one session. The default options are tuned
+/// for measurement, not serving: the operand cache is OFF (the shape
+/// claims measure cold I/O) and plan canonicalization is OFF (several
+/// harnesses compare un-rewritten against rewritten plans). Flip either
+/// through `opts` when a harness wants warm-cache or canonical behavior.
+struct EngineHarness {
+  Engine engine;
+  Session session;
+
+  static EngineOptions ColdOptions() {
+    EngineOptions o;
+    o.cache_capacity_pages = 0;
+    o.rewrite = false;
+    return o;
+  }
+
+  EngineHarness(SimDisk* scratch, const EntrySource* store,
+                EngineOptions opts = ColdOptions())
+      : engine(scratch, store, opts), session(engine.OpenSession()) {}
+
+  /// Evaluates one plan; exits on failure (the bench convention — a
+  /// harness measuring a failed query would report garbage).
+  QueryOutcome Run(const QueryPtr& plan) {
+    QueryOutcome out = session.Run(plan);
+    if (!out.ok()) {
+      std::fprintf(stderr, "eval failed: %s\n",
+                   out.status.ToString().c_str());
+      std::exit(1);
+    }
+    return out;
+  }
+
+  std::vector<Entry> Entries(const QueryPtr& plan) {
+    return Run(plan).entries;
   }
 };
 

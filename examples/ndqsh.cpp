@@ -14,6 +14,12 @@
 //   .explain <query>                               classify + optimize
 //   .stats                                         store and I/O counters
 //   .help / .quit
+//
+// The shell is a thin frontend over ndq::Engine (engine/engine.h): one
+// engine owns the disks, store, operand cache, thread pool and fault
+// policy, and a single Session submits the queries. `.set parallelism`
+// and `.set faults` are engine settings — they survive across queries and
+// are reported by `.explain analyze` and `.stats`.
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,45 +31,27 @@
 
 #include "core/ldif.h"
 #include "core/ldif_update.h"
+#include "engine/engine.h"
 #include "exec/cost.h"
-#include "exec/evaluator.h"
-#include "exec/parallel_evaluator.h"
 #include "gen/paper_data.h"
 #include "query/parser.h"
 #include "query/rewrite.h"
 #include "query/validate.h"
-#include "storage/fault_injector.h"
-#include "store/directory_store.h"
 
 namespace {
 
 struct Shell {
-  ndq::SimDisk disk;
-  ndq::SimDisk scratch;
-  ndq::DirectoryStore store{&disk, ndq::gen::PaperSchema()};
-  ndq::Evaluator evaluator{&scratch, &store};
-  // Sorted-operand cache + parallel evaluator, engaged by
-  // `.set parallelism <n>` (null until then; the sequential evaluator
-  // above stays the default).
-  ndq::OperandCache cache{&scratch, /*capacity_pages=*/4096};
-  std::unique_ptr<ndq::ParallelEvaluator> parallel;
-  // Fault-injection policy attached to both disks by `.set faults <spec>`
-  // (null = faults off). Owned here; the disks only hold a raw pointer.
-  std::unique_ptr<ndq::FaultInjector> injector;
+  ndq::Engine engine{ndq::gen::PaperSchema()};
+  ndq::Session session{engine.OpenSession()};
+  // The active fault spec, remembered for display ("off" = none).
+  std::string fault_spec = "off";
+
+  ndq::DirectoryStore& store() { return *engine.mutable_store(); }
 
   void SetFaults(const std::string& spec) {
-    if (spec == "off") {
-      disk.set_fault_injector(nullptr);
-      scratch.set_fault_injector(nullptr);
-      injector.reset();
-      std::printf("fault injection off\n");
-      return;
-    }
-    ndq::Result<ndq::FaultInjector> parsed =
-        ndq::FaultInjector::Parse(spec);
-    if (!parsed.ok()) {
-      std::printf("bad fault spec: %s\n",
-                  parsed.status().ToString().c_str());
+    ndq::Status s = engine.SetFaults(spec);
+    if (!s.ok()) {
+      std::printf("bad fault spec: %s\n", s.ToString().c_str());
       std::printf(
           "syntax: <rule>[;<rule>...], rule = ops[:field...]\n"
           "  ops:    read|write|alloc|free|any\n"
@@ -72,41 +60,39 @@ struct Shell {
           "  e.g. .set faults read:n=3   .set faults any:p=0.01:seed=7\n");
       return;
     }
-    // Detach from the disks before replacing the old policy.
-    disk.set_fault_injector(nullptr);
-    scratch.set_fault_injector(nullptr);
-    injector = std::make_unique<ndq::FaultInjector>(parsed.TakeValue());
-    disk.set_fault_injector(injector.get());
-    scratch.set_fault_injector(injector.get());
-    std::printf("fault injection on: %s\n", spec.c_str());
+    fault_spec = (spec == "off" || spec.empty()) ? "off" : spec;
+    if (fault_spec == "off") {
+      std::printf("fault injection off\n");
+    } else {
+      std::printf("fault injection on: %s\n", fault_spec.c_str());
+    }
   }
 
   void SetParallelism(size_t n) {
     if (n == 0) n = 1;
-    ndq::ExecOptions options;
-    options.parallelism = n;
-    parallel = std::make_unique<ndq::ParallelEvaluator>(&scratch, &store,
-                                                        options, &cache);
+    engine.SetParallelism(n);
     std::printf(
         "parallelism set to %zu (operand cache: %zu pages, cleared on "
         "store updates)\n",
-        n, cache.capacity_pages());
+        engine.parallelism(),
+        engine.cache() != nullptr ? engine.cache()->capacity_pages()
+                                  : size_t{0});
   }
 
   // Cached operand lists are snapshots of the store; drop them whenever
   // it mutates (.load/.apply/.add/.delete).
-  void InvalidateCache() { cache.Clear(); }
+  void InvalidateCache() { engine.InvalidateCaches(); }
 
   int LoadLdifText(const std::string& text) {
     ndq::Result<std::vector<ndq::Entry>> entries =
-        ndq::ParseLdif(store.schema(), text);
+        ndq::ParseLdif(store().schema(), text);
     if (!entries.ok()) {
       std::printf("parse error: %s\n", entries.status().ToString().c_str());
       return -1;
     }
     int n = 0;
     for (ndq::Entry& e : *entries) {
-      ndq::Status s = store.Put(std::move(e));
+      ndq::Status s = store().Put(std::move(e));
       if (!s.ok()) {
         std::printf("put error: %s\n", s.ToString().c_str());
         continue;
@@ -126,7 +112,7 @@ struct Shell {
     std::stringstream buf;
     buf << in.rdbuf();
     ndq::Result<size_t> n =
-        ndq::ApplyLdifChanges(store.schema(), buf.str(), &store);
+        ndq::ApplyLdifChanges(store().schema(), buf.str(), &store());
     if (!n.ok()) {
       std::printf("apply error: %s\n", n.status().ToString().c_str());
       return;
@@ -147,62 +133,55 @@ struct Shell {
     if (n >= 0) std::printf("loaded %d entries from %s\n", n, path.c_str());
   }
 
+  // Distinguishes "the text never parsed" from "the plan failed to
+  // evaluate" in an outcome: rejected/unparsed outcomes carry no plan.
+  static void PrintFailure(const ndq::QueryOutcome& outcome) {
+    std::printf("%s error: %s\n",
+                outcome.plan == nullptr ? "parse" : "eval",
+                outcome.status.ToString().c_str());
+    for (const ndq::DegradationWarning& w : outcome.warnings) {
+      std::printf("warning: %s\n", w.ToString().c_str());
+    }
+  }
+
   void RunQuery(const std::string& text) {
-    ndq::Result<ndq::QueryPtr> q = ndq::ParseQuery(text);
-    if (!q.ok()) {
-      std::printf("parse error: %s\n", q.status().ToString().c_str());
+    ndq::QueryOutcome outcome = session.Run(text);
+    if (!outcome.ok()) {
+      PrintFailure(outcome);
       return;
     }
-    ndq::QueryPtr optimized = ndq::RewriteQuery(*q);
-    ndq::Result<std::vector<ndq::Entry>> r =
-        parallel != nullptr ? parallel->EvaluateToEntries(*optimized)
-                            : evaluator.EvaluateToEntries(*optimized);
-    if (!r.ok()) {
-      std::printf("eval error: %s\n", r.status().ToString().c_str());
-      return;
-    }
-    for (const ndq::Entry& e : *r) {
+    for (const ndq::Entry& e : outcome.entries) {
       std::printf("%s", e.ToString().c_str());
       std::printf("\n");
     }
-    std::printf("# %zu entr%s  [%s]\n", r->size(),
-                r->size() == 1 ? "y" : "ies",
-                ndq::LanguageToString((*q)->MinimalLanguage()));
+    std::printf("# %zu entr%s  [%s]\n", outcome.entries.size(),
+                outcome.entries.size() == 1 ? "y" : "ies",
+                ndq::LanguageToString(outcome.plan->MinimalLanguage()));
   }
 
   void ExplainAnalyze(const std::string& text) {
-    ndq::Result<ndq::QueryPtr> q = ndq::ParseQuery(text);
-    if (!q.ok()) {
-      std::printf("parse error: %s\n", q.status().ToString().c_str());
+    ndq::QueryOutcome outcome = session.Run(text);
+    if (!outcome.ok()) {
+      PrintFailure(outcome);
       return;
     }
-    ndq::QueryPtr optimized = ndq::RewriteQuery(*q);
-    ndq::OpTrace trace;
-    ndq::Result<ndq::EntryList> r =
-        parallel != nullptr ? parallel->Evaluate(*optimized, &trace)
-                            : evaluator.Evaluate(*optimized, &trace);
-    if (!r.ok()) {
-      std::printf("eval error: %s\n", r.status().ToString().c_str());
-      return;
-    }
-    uint64_t result_records = r->num_records;
-    ndq::Status freed = ndq::FreeRun(&scratch, &*r);
-    if (!freed.ok()) {
-      std::printf("free error: %s\n", freed.ToString().c_str());
-    }
-    std::printf("%s",
-                ndq::ExplainAnalyze(store, *optimized, trace).c_str());
-    ndq::CostEstimate est = ndq::EstimateCost(store, *optimized);
+    std::printf("settings: parallelism=%zu faults=%s cache=%zu pages\n",
+                engine.parallelism(), fault_spec.c_str(),
+                engine.cache() != nullptr ? engine.cache()->capacity_pages()
+                                          : size_t{0});
     std::printf(
-        "total: %llu result entr%s; estimated ~%.0f pages, actual %llu "
+        "%s",
+        ndq::ExplainAnalyze(store(), *outcome.plan, outcome.trace).c_str());
+    std::printf(
+        "total: %zu result entr%s; estimated ~%.0f pages, actual %llu "
         "transfers (%llu reads + %llu writes), %.1f ms\n",
-        (unsigned long long)result_records,
-        result_records == 1 ? "y" : "ies", est.TotalPages(),
-        (unsigned long long)trace.io.TotalTransfers(),
-        (unsigned long long)trace.io.page_reads,
-        (unsigned long long)trace.io.page_writes,
-        trace.wall_micros / 1000.0);
-    for (const std::string& v : ndq::VerifyTheoremBounds(trace)) {
+        outcome.entries.size(), outcome.entries.size() == 1 ? "y" : "ies",
+        outcome.estimated_pages,
+        (unsigned long long)outcome.trace.io.TotalTransfers(),
+        (unsigned long long)outcome.trace.io.page_reads,
+        (unsigned long long)outcome.trace.io.page_writes,
+        outcome.trace.wall_micros / 1000.0);
+    for (const std::string& v : ndq::VerifyTheoremBounds(outcome.trace)) {
       std::printf("BOUND VIOLATION: %s\n", v.c_str());
     }
   }
@@ -217,7 +196,7 @@ struct Shell {
                 ndq::LanguageToString((*q)->MinimalLanguage()),
                 (*q)->NodeCount());
     for (const ndq::QueryIssue& issue :
-         ndq::ValidateQuery(store.schema(), **q)) {
+         ndq::ValidateQuery(store().schema(), **q)) {
       std::printf("%s: %s\n",
                   issue.severity == ndq::QueryIssue::Severity::kError
                       ? "error"
@@ -232,36 +211,45 @@ struct Shell {
     } else {
       std::printf("already optimal: %s\n", r->ToString().c_str());
     }
-    std::printf("plan:\n%s", ndq::ExplainPlan(store, *r).c_str());
-    ndq::CostEstimate est = ndq::EstimateCost(store, *r);
+    std::printf("plan:\n%s", ndq::ExplainPlan(store(), *r).c_str());
+    ndq::CostEstimate est = ndq::EstimateCost(store(), *r);
     std::printf("estimated cost: ~%.0f pages (%.0f leaf + %.0f operator)\n",
                 est.TotalPages(), est.leaf_pages, est.operator_pages);
   }
 
   void Stats() {
     std::printf("store: %llu entries, %zu segment(s), memtable %zu\n",
-                (unsigned long long)store.num_entries(),
-                store.num_segments(), store.memtable_size());
-    std::printf("data disk:    %s\n", disk.stats().ToString().c_str());
-    std::printf("scratch disk: %s\n", scratch.stats().ToString().c_str());
-    ndq::OperandCacheStats cs = cache.stats();
-    std::printf(
-        "operand cache: %llu hit(s), %llu miss(es), %llu/%zu pages "
-        "(%llu entr%s), %llu eviction(s); parallelism %zu\n",
-        (unsigned long long)cs.hits, (unsigned long long)cs.misses,
-        (unsigned long long)cs.resident_pages, cache.capacity_pages(),
-        (unsigned long long)cs.resident_entries,
-        cs.resident_entries == 1 ? "y" : "ies",
-        (unsigned long long)cs.evictions,
-        parallel != nullptr ? parallel->parallelism() : size_t{1});
-    if (cs.copy_failures > 0) {
-      std::printf("operand cache: %llu copy failure(s) absorbed\n",
-                  (unsigned long long)cs.copy_failures);
+                (unsigned long long)store().num_entries(),
+                store().num_segments(), store().memtable_size());
+    std::printf("data disk:    %s\n",
+                engine.data_disk()->stats().ToString().c_str());
+    std::printf("scratch disk: %s\n",
+                engine.scratch()->stats().ToString().c_str());
+    if (engine.cache() != nullptr) {
+      ndq::OperandCacheStats cs = engine.cache()->stats();
+      std::printf(
+          "operand cache: %llu hit(s), %llu miss(es), %llu/%zu pages "
+          "(%llu entr%s), %llu eviction(s); parallelism %zu\n",
+          (unsigned long long)cs.hits, (unsigned long long)cs.misses,
+          (unsigned long long)cs.resident_pages,
+          engine.cache()->capacity_pages(),
+          (unsigned long long)cs.resident_entries,
+          cs.resident_entries == 1 ? "y" : "ies",
+          (unsigned long long)cs.evictions, engine.parallelism());
+      if (cs.copy_failures > 0) {
+        std::printf("operand cache: %llu copy failure(s) absorbed\n",
+                    (unsigned long long)cs.copy_failures);
+      }
     }
-    if (injector != nullptr) {
+    ndq::SessionStats ss = session.stats();
+    std::printf("session: %llu submitted, %llu completed, %llu rejected\n",
+                (unsigned long long)ss.submitted,
+                (unsigned long long)ss.completed,
+                (unsigned long long)ss.rejected);
+    if (engine.fault_injector() != nullptr) {
       std::printf("fault injection: %llu of %llu eligible op(s) failed\n",
-                  (unsigned long long)injector->faults_fired(),
-                  (unsigned long long)injector->ops_seen());
+                  (unsigned long long)engine.fault_injector()->faults_fired(),
+                  (unsigned long long)engine.fault_injector()->ops_seen());
     }
   }
 };
@@ -350,7 +338,7 @@ int main(int argc, char** argv) {
         std::printf("bad dn: %s\n", dn.status().ToString().c_str());
         continue;
       }
-      ndq::Status s = shell.store.Remove(*dn);
+      ndq::Status s = shell.store().Remove(*dn);
       if (s.ok()) shell.InvalidateCache();
       std::printf("%s\n", s.ok() ? "deleted" : s.ToString().c_str());
     } else if (line.rfind(".set faults ", 0) == 0) {

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "apps/qos.h"
+#include "engine/engine.h"
 #include "testing_support.h"
 
 using ndq::apps::PacketProfile;
@@ -50,9 +51,9 @@ int main() {
     ndq::SimDisk disk, scratch;
     ndq::EntryStore store =
         ndq::EntryStore::BulkLoad(&disk, inst).TakeValue();
+    ndq::Engine ndq_engine(&scratch, &store);
     QosPolicyEngine engine(
-        &scratch, &store,
-        ndq::gen::MustDn("dc=research, dc=att, dc=com"));
+        &ndq_engine, ndq::gen::MustDn("dc=research, dc=att, dc=com"));
 
     PacketProfile weekend_packet;
     weekend_packet.source_address = "204.178.16.5";
@@ -81,7 +82,8 @@ int main() {
     ndq::SimDisk disk, scratch;
     ndq::EntryStore store =
         ndq::EntryStore::BulkLoad(&disk, inst).TakeValue();
-    QosPolicyEngine engine(&scratch, &store,
+    ndq::Engine ndq_engine(&scratch, &store);
+    QosPolicyEngine engine(&ndq_engine,
                            ndq::gen::MustDn("dc=sub0, dc=org0, dc=com"));
 
     PacketProfile smtp;

@@ -3,35 +3,30 @@
 // This walks the public API end to end:
 //   1. define a schema (Def. 3.1) and an instance (Def. 3.2),
 //   2. bulk-load it into the external-memory entry store,
-//   3. parse paper-syntax queries and evaluate them,
-//   4. inspect results and I/O statistics.
+//   3. open an ndq::Engine session over the store,
+//   4. parse paper-syntax queries, evaluate them, inspect results and
+//      I/O statistics.
 
 #include <cstdio>
 
-#include "exec/evaluator.h"
-#include "query/parser.h"
+#include "engine/engine.h"
 #include "testing_support.h"
 
 namespace {
 
-void RunQuery(ndq::Evaluator* evaluator, const char* title,
-              const char* text) {
+void RunQuery(ndq::Session* session, const char* title, const char* text) {
   std::printf("--- %s\n    %s\n", title, text);
-  ndq::Result<ndq::QueryPtr> query = ndq::ParseQuery(text);
-  if (!query.ok()) {
-    std::printf("    parse error: %s\n", query.status().ToString().c_str());
+  ndq::QueryOutcome outcome = session->Run(text);
+  if (!outcome.ok()) {
+    std::printf("    %s error: %s\n",
+                outcome.plan == nullptr ? "parse" : "eval",
+                outcome.status.ToString().c_str());
     return;
   }
   std::printf("    language: %s\n",
-              ndq::LanguageToString((*query)->MinimalLanguage()));
-  ndq::Result<std::vector<ndq::Entry>> result =
-      evaluator->EvaluateToEntries(**query);
-  if (!result.ok()) {
-    std::printf("    eval error: %s\n", result.status().ToString().c_str());
-    return;
-  }
-  std::printf("    %zu result(s):\n", result->size());
-  for (const ndq::Entry& e : *result) {
+              ndq::LanguageToString(outcome.plan->MinimalLanguage()));
+  std::printf("    %zu result(s):\n", outcome.entries.size());
+  for (const ndq::Entry& e : outcome.entries) {
     std::printf("      %s\n", e.dn().ToString().c_str());
   }
 }
@@ -55,31 +50,34 @@ int main() {
               (unsigned long long)store->num_entries(),
               (unsigned long long)store->num_pages());
 
-  ndq::Evaluator evaluator(&disk, &*store);
+  // Borrowing-mode engine: evaluate the bulk-loaded store, using the same
+  // disk for intermediates. One session submits every query.
+  ndq::Engine engine(&disk, &*store);
+  ndq::Session session = engine.OpenSession();
 
-  RunQuery(&evaluator, "Atomic query (LDAP-expressible)",
+  RunQuery(&session, "Atomic query (LDAP-expressible)",
            "(dc=att, dc=com ? sub ? surName=jagadish)");
 
-  RunQuery(&evaluator, "L0: set difference across bases (Example 4.1)",
+  RunQuery(&session, "L0: set difference across bases (Example 4.1)",
            "(- (dc=att, dc=com ? sub ? surName=jagadish)\n"
            "   (dc=research, dc=att, dc=com ? sub ? surName=jagadish))");
 
-  RunQuery(&evaluator, "L1: hierarchical selection (Example 5.1)",
+  RunQuery(&session, "L1: hierarchical selection (Example 5.1)",
            "(c (dc=att, dc=com ? sub ? objectClass=organizationalUnit)\n"
            "   (dc=att, dc=com ? sub ? surName=jagadish))");
 
-  RunQuery(&evaluator, "L1: closest-subnet selection (Example 5.3)",
+  RunQuery(&session, "L1: closest-subnet selection (Example 5.3)",
            "(dc (dc=att, dc=com ? sub ? objectClass=dcObject)\n"
            "    (& (dc=att, dc=com ? sub ? sourcePort=25)\n"
            "       (dc=att, dc=com ? sub ? objectClass=trafficProfile))\n"
            "    (dc=att, dc=com ? sub ? objectClass=dcObject))");
 
-  RunQuery(&evaluator, "L2: aggregate selection (Example 6.1)",
+  RunQuery(&session, "L2: aggregate selection (Example 6.1)",
            "(g (dc=research, dc=att, dc=com ? sub ? "
            "objectClass=SLAPolicyRules)\n"
            "   count(SLAPVPRef) > 1)");
 
-  RunQuery(&evaluator,
+  RunQuery(&session,
            "L3: the Section 7 flagship — action of the highest-priority "
            "policy governing SMTP traffic",
            "(dv (dc=att, dc=com ? sub ? objectClass=SLADSAction)\n"

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "apps/tops.h"
+#include "engine/engine.h"
 #include "store/directory_store.h"
 #include "testing_support.h"
 
@@ -61,7 +62,10 @@ int main() {
       return 1;
     }
   }
-  TopsResolver resolver(&scratch, &store,
+  // One engine over the mutable store; the resolver opens a session on
+  // it. Store mutations below are followed by InvalidateCaches().
+  ndq::Engine engine(&scratch, &store, {}, &disk);
+  TopsResolver resolver(&engine,
                         ndq::gen::MustDn("dc=research, dc=att, dc=com"));
 
   Dial(&resolver, "Wednesday 10:00", "jag", CallContext{"", 1000, 3});
@@ -79,12 +83,14 @@ int main() {
   q.AddString("QHPName", "dnd");
   q.AddInt("priority", 0);
   if (!store.Add(q).ok()) return 1;
+  engine.InvalidateCaches();
 
   Dial(&resolver, "Wednesday 10:00, DND active", "jag",
        CallContext{"", 1000, 3});
 
   std::printf("\n[jag removes do-not-disturb]\n");
   if (!store.Remove(dnd).ok()) return 1;
+  engine.InvalidateCaches();
   Dial(&resolver, "Wednesday 10:00 again", "jag", CallContext{"", 1000, 3});
 
   std::printf("\nstore: %llu entries, %zu segment(s), memtable %zu\n",

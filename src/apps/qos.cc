@@ -59,12 +59,28 @@ bool AddressMatches(const std::string& pattern, const std::string& address) {
   return true;
 }
 
+QosPolicyEngine::QosPolicyEngine(Engine* engine, Dn domain)
+    : policies_base_(domain.Child(MustRdn("ou", "networkPolicies"))),
+      session_(engine->OpenSession()) {}
+
 QosPolicyEngine::QosPolicyEngine(SimDisk* scratch, const EntrySource* store,
                                  Dn domain, ExecOptions options)
     : policies_base_(domain.Child(MustRdn("ou", "networkPolicies"))),
-      scratch_(scratch),
-      store_(store),
-      evaluator_(scratch, store, options) {}
+      owned_engine_(std::make_unique<Engine>(scratch, store, [&] {
+        EngineOptions o;
+        o.exec = options;
+        // Uncached, like the historic Evaluator wiring: callers of this
+        // shim mutate the store without engine-level invalidation.
+        o.cache_capacity_pages = 0;
+        return o;
+      }())),
+      session_(owned_engine_->OpenSession()) {}
+
+Result<std::vector<Entry>> QosPolicyEngine::Eval(const QueryPtr& query) {
+  QueryOutcome outcome = session_.Run(query);
+  if (!outcome.ok()) return outcome.status;
+  return std::move(outcome.entries);
+}
 
 Result<std::vector<Entry>> QosPolicyEngine::MatchingProfiles(
     const PacketProfile& packet) {
@@ -74,8 +90,7 @@ Result<std::vector<Entry>> QosPolicyEngine::MatchingProfiles(
       policies_base_, Scope::kSub,
       AtomicFilter::Equals(kObjectClassAttr,
                            Value::String("trafficProfile")));
-  NDQ_ASSIGN_OR_RETURN(std::vector<Entry> profiles,
-                       evaluator_.EvaluateToEntries(*q));
+  NDQ_ASSIGN_OR_RETURN(std::vector<Entry> profiles, Eval(q));
   std::vector<Entry> out;
   for (Entry& tp : profiles) {
     // Port constraints: a profile with a sourcePort only matches packets
@@ -134,8 +149,7 @@ Result<std::vector<Entry>> QosPolicyEngine::MatchingPeriods(
                         kObjectClassAttr,
                         Value::String("policyValidityPeriod"))),
       std::move(in_window));
-  NDQ_ASSIGN_OR_RETURN(std::vector<Entry> periods,
-                       evaluator_.EvaluateToEntries(*q));
+  NDQ_ASSIGN_OR_RETURN(std::vector<Entry> periods, Eval(q));
   std::vector<Entry> out;
   for (Entry& pvp : periods) {
     const std::vector<Value>* days = pvp.Values("PVDayOfWeek");
@@ -178,8 +192,7 @@ Result<PolicyDecision> QosPolicyEngine::Match(const PacketProfile& packet) {
   QueryPtr applicable_q =
       Query::Or(std::move(via_pvp), std::move(unconstrained));
 
-  NDQ_ASSIGN_OR_RETURN(std::vector<Entry> applicable,
-                       evaluator_.EvaluateToEntries(*applicable_q));
+  NDQ_ASSIGN_OR_RETURN(std::vector<Entry> applicable, Eval(applicable_q));
   decision.applicable_policies = applicable.size();
   if (applicable.empty()) return decision;
 
@@ -191,8 +204,7 @@ Result<PolicyDecision> QosPolicyEngine::Match(const PacketProfile& packet) {
           "min(SLARulePriority)=min(min(SLARulePriority))"));
   QueryPtr winners_q = Query::SimpleAgg(
       UnionOfBases(applicable, policies_base_), top);
-  NDQ_ASSIGN_OR_RETURN(std::vector<Entry> winners,
-                       evaluator_.EvaluateToEntries(*winners_q));
+  NDQ_ASSIGN_OR_RETURN(std::vector<Entry> winners, Eval(winners_q));
 
   // Exception resolution: drop a winner if one of its exceptions is
   // itself applicable at the same priority.
@@ -232,8 +244,7 @@ Result<PolicyDecision> QosPolicyEngine::Match(const PacketProfile& packet) {
                     AtomicFilter::Equals(kObjectClassAttr,
                                          Value::String("SLADSAction"))),
       UnionOfBases(surviving, policies_base_), "SLADSActRef");
-  NDQ_ASSIGN_OR_RETURN(decision.actions,
-                       evaluator_.EvaluateToEntries(*actions_q));
+  NDQ_ASSIGN_OR_RETURN(decision.actions, Eval(actions_q));
   decision.policies = std::move(surviving);
   return decision;
 }

@@ -14,10 +14,11 @@
 #ifndef NDQ_APPS_QOS_H_
 #define NDQ_APPS_QOS_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "exec/evaluator.h"
+#include "engine/engine.h"
 
 namespace ndq {
 namespace apps {
@@ -49,8 +50,15 @@ struct PolicyDecision {
 class QosPolicyEngine {
  public:
   /// `domain` is the domain entry above the "ou=networkPolicies" subtree
-  /// (e.g. "dc=research, dc=att, dc=com"). `scratch` holds intermediate
-  /// query lists.
+  /// (e.g. "dc=research, dc=att, dc=com"). Opens its own Session on
+  /// `engine` (which must outlive it) and shares the engine's pool and
+  /// operand cache — the caller is responsible for
+  /// Engine::InvalidateCaches() after store mutations.
+  QosPolicyEngine(Engine* engine, Dn domain);
+
+  /// DEPRECATED shim: wires a private borrowing-mode Engine over
+  /// (scratch, store) with the operand cache off (matching the historic
+  /// uncached read-through semantics). Prefer the Engine constructor.
   QosPolicyEngine(SimDisk* scratch, const EntrySource* store, Dn domain,
                   ExecOptions options = {});
 
@@ -63,10 +71,11 @@ class QosPolicyEngine {
   Result<std::vector<Entry>> MatchingPeriods(const PacketProfile& packet);
 
  private:
+  Result<std::vector<Entry>> Eval(const QueryPtr& query);
+
   Dn policies_base_;  // ou=networkPolicies, <domain>
-  SimDisk* scratch_;
-  const EntrySource* store_;
-  Evaluator evaluator_;
+  std::unique_ptr<Engine> owned_engine_;  // deprecated-shim mode only
+  Session session_;
 };
 
 /// True iff a concrete dotted address matches a profile pattern such as

@@ -48,10 +48,28 @@ bool QhpMatches(const Entry& qhp, const CallContext& ctx) {
   return true;
 }
 
+TopsResolver::TopsResolver(Engine* engine, Dn domain)
+    : profiles_base_(domain.Child(MustRdn("ou", "userProfiles"))),
+      session_(engine->OpenSession()) {}
+
 TopsResolver::TopsResolver(SimDisk* scratch, const EntrySource* store,
                            Dn domain, ExecOptions options)
     : profiles_base_(domain.Child(MustRdn("ou", "userProfiles"))),
-      evaluator_(scratch, store, options) {}
+      owned_engine_(std::make_unique<Engine>(scratch, store, [&] {
+        EngineOptions o;
+        o.exec = options;
+        // Uncached, like the historic Evaluator wiring: callers of this
+        // shim mutate the store without engine-level invalidation.
+        o.cache_capacity_pages = 0;
+        return o;
+      }())),
+      session_(owned_engine_->OpenSession()) {}
+
+Result<std::vector<Entry>> TopsResolver::Eval(const QueryPtr& query) {
+  QueryOutcome outcome = session_.Run(query);
+  if (!outcome.ok()) return outcome.status;
+  return std::move(outcome.entries);
+}
 
 Result<std::vector<Entry>> TopsResolver::MatchingQhps(
     const Dn& subscriber, const CallContext& ctx) {
@@ -63,8 +81,7 @@ Result<std::vector<Entry>> TopsResolver::MatchingQhps(
                     AtomicFilter::Equals(kObjectClassAttr,
                                          Value::String("QHP"))),
       Query::Atomic(subscriber, Scope::kBase, AtomicFilter::True()));
-  NDQ_ASSIGN_OR_RETURN(std::vector<Entry> qhps,
-                       evaluator_.EvaluateToEntries(*q));
+  NDQ_ASSIGN_OR_RETURN(std::vector<Entry> qhps, Eval(q));
   std::vector<Entry> matching;
   for (Entry& qhp : qhps) {
     if (QhpMatches(qhp, ctx)) matching.push_back(std::move(qhp));
@@ -86,8 +103,7 @@ Result<CallResolution> TopsResolver::Resolve(const std::string& callee_uid,
       Query::Atomic(profiles_base_, Scope::kSub,
                     AtomicFilter::Equals(kObjectClassAttr,
                                          Value::String("TOPSSubscriber"))));
-  NDQ_ASSIGN_OR_RETURN(std::vector<Entry> subs,
-                       evaluator_.EvaluateToEntries(*find));
+  NDQ_ASSIGN_OR_RETURN(std::vector<Entry> subs, Eval(find));
   if (subs.empty()) return res;
   res.subscriber_found = true;
   const Dn& subscriber = subs[0].dn();
@@ -102,8 +118,7 @@ Result<CallResolution> TopsResolver::Resolve(const std::string& callee_uid,
       res.winning_qhp->dn(), Scope::kSub,
       AtomicFilter::Equals(kObjectClassAttr,
                            Value::String("callAppearance")));
-  NDQ_ASSIGN_OR_RETURN(res.appearances,
-                       evaluator_.EvaluateToEntries(*ca_q));
+  NDQ_ASSIGN_OR_RETURN(res.appearances, Eval(ca_q));
   std::stable_sort(res.appearances.begin(), res.appearances.end(),
                    [](const Entry& a, const Entry& b) {
                      return PriorityOf(a) < PriorityOf(b);

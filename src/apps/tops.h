@@ -9,11 +9,12 @@
 #ifndef NDQ_APPS_TOPS_H_
 #define NDQ_APPS_TOPS_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "exec/evaluator.h"
+#include "engine/engine.h"
 
 namespace ndq {
 namespace apps {
@@ -37,7 +38,15 @@ struct CallResolution {
 class TopsResolver {
  public:
   /// `domain` is the domain entry above "ou=userProfiles" (e.g.
-  /// "dc=research, dc=att, dc=com").
+  /// "dc=research, dc=att, dc=com"). The resolver opens its own Session
+  /// on `engine` (which must outlive it) and shares the engine's pool and
+  /// operand cache — the caller is responsible for
+  /// Engine::InvalidateCaches() after store mutations.
+  TopsResolver(Engine* engine, Dn domain);
+
+  /// DEPRECATED shim: wires a private borrowing-mode Engine over
+  /// (scratch, store) with the operand cache off (matching the historic
+  /// uncached read-through semantics). Prefer the Engine constructor.
   TopsResolver(SimDisk* scratch, const EntrySource* store, Dn domain,
                ExecOptions options = {});
 
@@ -51,8 +60,11 @@ class TopsResolver {
                                           const CallContext& ctx);
 
  private:
+  Result<std::vector<Entry>> Eval(const QueryPtr& query);
+
   Dn profiles_base_;  // ou=userProfiles, <domain>
-  Evaluator evaluator_;
+  std::unique_ptr<Engine> owned_engine_;  // deprecated-shim mode only
+  Session session_;
 };
 
 /// Whether one QHP entry admits the context (time window, days-of-week,

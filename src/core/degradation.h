@@ -1,0 +1,31 @@
+// Structured "this result is degraded" notes.
+//
+// Several layers can decide to return a partial or empty result instead
+// of failing outright: the distributed coordinator drops an unreachable
+// server's contribution after retries (dist/distributed.h), and the batch
+// engine's admission control rejects a query whose estimated page budget
+// is exceeded (engine/engine.h). Both attach one DegradationWarning per
+// degradation so callers can tell a complete answer from a partial one.
+
+#ifndef NDQ_CORE_DEGRADATION_H_
+#define NDQ_CORE_DEGRADATION_H_
+
+#include <string>
+
+namespace ndq {
+
+/// One structured degradation note: which component degraded the result
+/// and why. `source` is a server name for distributed degradation, or a
+/// component label such as "admission" for engine-side rejection.
+struct DegradationWarning {
+  std::string source;
+  std::string detail;
+
+  std::string ToString() const {
+    return "degraded: " + source + ": " + detail;
+  }
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_CORE_DEGRADATION_H_

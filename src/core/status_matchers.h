@@ -1,0 +1,83 @@
+// gtest helpers for Status / Result<T> assertions.
+//
+// Replaces the ad-hoc `ASSERT_TRUE(r.ok()) << r.status().ToString()`
+// pattern: the macros below print the full status on failure without the
+// caller spelling the stream-out, and the code matchers make negative
+// tests say WHICH error they expect instead of just "not ok".
+//
+//   NDQ_ASSERT_OK(store.Put(entry));
+//   NDQ_ASSERT_OK_AND_ASSIGN(auto entries, session.Query("(...)"));
+//   NDQ_EXPECT_STATUS(outcome.status, StatusCode::kResourceExhausted);
+//
+// Header-only and gtest-dependent: include from tests only, never from
+// src/.
+
+#ifndef NDQ_CORE_STATUS_MATCHERS_H_
+#define NDQ_CORE_STATUS_MATCHERS_H_
+
+#include <gtest/gtest.h>
+
+#include "core/status.h"
+
+namespace ndq {
+namespace testing_internal {
+
+// Each helper is overloaded for Status and Result<T>, so every macro
+// works uniformly on both.
+inline ::testing::AssertionResult IsOkImpl(const char* expr,
+                                           const Status& status) {
+  if (status.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << expr << " is not OK: " << status.ToString();
+}
+
+template <typename T>
+::testing::AssertionResult IsOkImpl(const char* expr, const Result<T>& r) {
+  return IsOkImpl(expr, r.status());
+}
+
+inline ::testing::AssertionResult HasCodeImpl(const char* expr,
+                                              const char* /*code_expr*/,
+                                              const Status& status,
+                                              StatusCode code) {
+  if (status.code() == code) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << expr << " has code " << StatusCodeToString(status.code())
+         << " (\"" << status.message() << "\"), expected "
+         << StatusCodeToString(code);
+}
+
+template <typename T>
+::testing::AssertionResult HasCodeImpl(const char* expr,
+                                       const char* code_expr,
+                                       const Result<T>& r, StatusCode code) {
+  return HasCodeImpl(expr, code_expr, r.status(), code);
+}
+
+}  // namespace testing_internal
+}  // namespace ndq
+
+/// Asserts/expects that a Status or Result<T> expression is OK, printing
+/// the full status on failure.
+#define NDQ_ASSERT_OK(expr) \
+  ASSERT_PRED_FORMAT1(::ndq::testing_internal::IsOkImpl, (expr))
+#define NDQ_EXPECT_OK(expr) \
+  EXPECT_PRED_FORMAT1(::ndq::testing_internal::IsOkImpl, (expr))
+
+/// Asserts/expects a specific StatusCode on a Status or Result<T>.
+#define NDQ_ASSERT_STATUS(expr, code) \
+  ASSERT_PRED_FORMAT2(::ndq::testing_internal::HasCodeImpl, (expr), (code))
+#define NDQ_EXPECT_STATUS(expr, code) \
+  EXPECT_PRED_FORMAT2(::ndq::testing_internal::HasCodeImpl, (expr), (code))
+
+/// Evaluates a Result<T> expression, asserts it is OK, and moves its
+/// value into `lhs` (which may be a declaration: `auto x, ...`).
+#define NDQ_ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, rexpr)            \
+  auto tmp = (rexpr);                                             \
+  ASSERT_PRED_FORMAT1(::ndq::testing_internal::IsOkImpl, tmp);    \
+  lhs = tmp.TakeValue()
+#define NDQ_ASSERT_OK_AND_ASSIGN(lhs, rexpr)                     \
+  NDQ_ASSERT_OK_AND_ASSIGN_IMPL(                                 \
+      NDQ_ASSIGN_OR_RETURN_NAME(_ndq_assert_result_, __LINE__), lhs, rexpr)
+
+#endif  // NDQ_CORE_STATUS_MATCHERS_H_

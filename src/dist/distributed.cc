@@ -8,6 +8,8 @@
 #include "exec/boolean.h"
 #include "exec/embedded_ref.h"
 #include "exec/hierarchy.h"
+#include "query/fingerprint.h"
+#include "query/rewrite.h"
 #include "storage/external_sort.h"
 #include "storage/serde.h"
 
@@ -384,6 +386,42 @@ Result<EntryList> DistributedDirectory::EvaluateNode(const Query& query,
 
 Result<EntryList> DistributedDirectory::EvaluateNodeImpl(
     const Query& query, OpTrace* trace, bool* shipped_whole) {
+  // Inside an EvaluateBatch, a sub-plan the census marked shared is
+  // served from — and on first sight published to — the per-batch
+  // coordinator cache: later occurrences cost a local ~2*out-page copy
+  // instead of another round of server contacts and result shipping.
+  std::string shared_key;
+  if (batch_cache_ != nullptr && batch_shared_ != nullptr) {
+    std::string key = QueryFingerprint(query);
+    if (batch_shared_->contains(key)) {
+      EntryList cached;
+      NDQ_ASSIGN_OR_RETURN(bool hit, batch_cache_->Lookup(key, &cached));
+      if (hit) {
+        if (trace != nullptr) {
+          trace->cache_hits = 1;
+          FillTraceSkeleton(query, trace);
+        }
+        return cached;
+      }
+      shared_key = std::move(key);
+    }
+  }
+  Result<EntryList> out = EvaluateNodeDispatch(query, trace, shipped_whole);
+  if (!out.ok() || shared_key.empty()) return out;
+  // Insert copies the list and absorbs I/O failures during the copy (the
+  // entry is simply not cached); anything else is an invariant violation
+  // — propagate it, but free the computed list first.
+  Status cs = batch_cache_->Insert(shared_key, *out);
+  if (!cs.ok()) {
+    ScopedRun computed(coordinator_disk_.get(), out.TakeValue());
+    return cs;
+  }
+  if (trace != nullptr) trace->cache_misses = 1;
+  return out;
+}
+
+Result<EntryList> DistributedDirectory::EvaluateNodeDispatch(
+    const Query& query, OpTrace* trace, bool* shipped_whole) {
   SimDisk* disk = coordinator_disk_.get();
   if (query_shipping_ && !query.is_atomic() &&
       query.op() != QueryOp::kLdap) {
@@ -512,6 +550,37 @@ Result<std::vector<Entry>> DistributedDirectory::Evaluate(
   if (!entries.ok()) return entries;
   NDQ_RETURN_IF_ERROR(freed);
   return entries;
+}
+
+Result<std::vector<std::vector<Entry>>> DistributedDirectory::EvaluateBatch(
+    const std::vector<QueryPtr>& queries, size_t cache_capacity_pages) {
+  std::vector<QueryPtr> canon;
+  canon.reserve(queries.size());
+  for (const QueryPtr& q : queries) {
+    if (q == nullptr) return Status::InvalidArgument("null query in batch");
+    canon.push_back(RewriteQuery(q));
+  }
+  PlanCensus census = AnalyzeBatch(canon);
+  SharedOperands shared{census.SharedKeys()};
+  OperandCache cache(coordinator_disk_.get(), cache_capacity_pages);
+  batch_cache_ = &cache;
+  batch_shared_ = &shared;
+  std::vector<std::vector<Entry>> results;
+  results.reserve(canon.size());
+  Status failed;
+  for (const QueryPtr& q : canon) {
+    Result<std::vector<Entry>> r = Evaluate(*q);
+    if (!r.ok()) {
+      failed = r.status();
+      break;
+    }
+    results.push_back(r.TakeValue());
+  }
+  batch_cache_ = nullptr;
+  batch_shared_ = nullptr;
+  // `cache` now clears itself, returning its pages to the coordinator.
+  NDQ_RETURN_IF_ERROR(failed);
+  return results;
 }
 
 std::vector<DegradationWarning> DistributedDirectory::last_warnings()

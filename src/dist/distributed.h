@@ -30,7 +30,10 @@
 #include <string>
 #include <vector>
 
+#include "core/degradation.h"
 #include "exec/evaluator.h"
+#include "exec/operand_cache.h"
+#include "exec/parallel_evaluator.h"
 #include "exec/thread_pool.h"
 #include "query/ast.h"
 
@@ -69,17 +72,10 @@ struct RetryPolicy {
   uint64_t timeout_micros = 0;
 };
 
-/// One structured "this result is partial" note, attached to the
-/// evaluation that degraded (see DistributedDirectory::last_warnings).
-struct DegradationWarning {
-  std::string server;  ///< server whose contribution is missing
-  std::string detail;  ///< last failure, e.g. "server s2 is down"
-
-  std::string ToString() const {
-    return "degraded: missing contribution from server '" + server +
-           "': " + detail;
-  }
-};
+// DegradationWarning (core/degradation.h) is attached to evaluations that
+// returned a partial result: `source` names the server whose contribution
+// is missing, `detail` carries the last failure (e.g. "server s2 is
+// down"). See DistributedDirectory::last_warnings.
 
 /// One directory server: a naming context plus a store over its own disk.
 class DirectoryServer {
@@ -138,6 +134,21 @@ class DistributedDirectory {
   Result<std::vector<Entry>> Evaluate(const Query& query,
                                       OpTrace* trace = nullptr);
 
+  /// Batched evaluation with cross-query sub-plan sharing at the
+  /// coordinator. The batch is canonicalized and censused for shared
+  /// sub-plans (query/fingerprint.h); the first occurrence of each ships
+  /// and evaluates normally, and its shipped result is kept in a
+  /// per-batch coordinator-side operand cache, so every later occurrence
+  /// — in the same query or a later one — is served locally without
+  /// contacting any server (fewer queries shipped, fewer bytes moved;
+  /// see net_stats). Results are byte-identical to calling Evaluate once
+  /// per query with the same plans. `cache_capacity_pages` bounds the
+  /// per-batch cache on the coordinator disk; the cache is dropped when
+  /// the batch returns. last_warnings reflects the batch's final query.
+  Result<std::vector<std::vector<Entry>>> EvaluateBatch(
+      const std::vector<QueryPtr>& queries,
+      size_t cache_capacity_pages = 4096);
+
   /// When enabled (default), a (sub)query whose atomic leaves all fall
   /// within ONE server's exclusive ownership is shipped to that server
   /// whole — it evaluates there with the usual algorithms and only the
@@ -188,11 +199,16 @@ class DistributedDirectory {
   DistributedDirectory() = default;
 
   Result<EntryList> EvaluateNode(const Query& query, OpTrace* trace);
+  /// Batch-sharing wrapper: serves/publishes sub-plans the active batch
+  /// census marked shared from the per-batch coordinator cache, and
+  /// delegates everything else to EvaluateNodeDispatch.
+  Result<EntryList> EvaluateNodeImpl(const Query& query, OpTrace* trace,
+                                     bool* shipped_whole);
   /// `shipped_whole` (may be null) is set when the node was pushed to one
   /// server whole — its children's trace I/O then came from the remote
   /// evaluator and is already inside this node's own IoScope.
-  Result<EntryList> EvaluateNodeImpl(const Query& query, OpTrace* trace,
-                                     bool* shipped_whole);
+  Result<EntryList> EvaluateNodeDispatch(const Query& query, OpTrace* trace,
+                                         bool* shipped_whole);
   Result<EntryList> EvaluateAtomicDistributed(const Query& query,
                                               OpTrace* trace);
 
@@ -218,6 +234,11 @@ class DistributedDirectory {
   std::shared_ptr<WarningSink> warnings_ =
       std::make_shared<WarningSink>();
   std::unique_ptr<ThreadPool> pool_;  // null = sequential
+  /// Per-batch sharing state; non-null only inside EvaluateBatch. The
+  /// cache itself is thread-safe, so the pointers are safe to consult
+  /// from set_parallelism's pool tasks.
+  OperandCache* batch_cache_ = nullptr;
+  const SharedOperands* batch_shared_ = nullptr;
 };
 
 }  // namespace ndq

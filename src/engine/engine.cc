@@ -1,0 +1,544 @@
+#include "engine/engine.h"
+
+#include <utility>
+
+#include "exec/cost.h"
+#include "query/fingerprint.h"
+#include "query/parser.h"
+#include "query/rewrite.h"
+
+namespace ndq {
+
+namespace internal {
+
+struct TicketState {
+  QueryPtr plan;
+  std::shared_ptr<const SharedOperands> shared;
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  bool done = false;
+  QueryOutcome outcome;
+
+  void Complete(QueryOutcome out) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      outcome = std::move(out);
+      done = true;
+    }
+    cv.notify_all();
+  }
+
+  const QueryOutcome& Wait() const {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+    return outcome;
+  }
+
+  bool IsDone() const {
+    std::lock_guard<std::mutex> lock(mu);
+    return done;
+  }
+};
+
+/// One session's admission state. Submissions become "chains": at most
+/// max_inflight pool tasks run at once, each evaluating queries and then
+/// pulling the next waiting one, so a full pool never strands a queue and
+/// no worker ever blocks waiting for admission (which could deadlock a
+/// pool whose workers are all gatekeeping).
+class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
+ public:
+  SessionImpl(Engine* engine, SessionOptions options)
+      : engine_(engine), options_(options) {}
+
+  QueryTicket Submit(const std::string& text) {
+    Result<QueryPtr> parsed = ParseQuery(text);
+    if (!parsed.ok()) {
+      return DoneTicket(nullptr, parsed.status(), {}, 0,
+                        /*count_rejected=*/false);
+    }
+    return Submit(*parsed);
+  }
+
+  QueryTicket Submit(const QueryPtr& plan) {
+    QueryPtr canonical = engine_->rewrite() ? RewriteQuery(plan) : plan;
+    return SubmitCanonical(std::move(canonical), nullptr);
+  }
+
+  BatchResult RunBatch(std::vector<Result<QueryPtr>> parsed) {
+    BatchResult br;
+    br.outcomes.resize(parsed.size());
+
+    std::vector<QueryPtr> canon(parsed.size());
+    std::vector<QueryPtr> valid;
+    for (size_t i = 0; i < parsed.size(); ++i) {
+      if (!parsed[i].ok()) continue;
+      canon[i] = engine_->rewrite() ? RewriteQuery(*parsed[i]) : *parsed[i];
+      valid.push_back(canon[i]);
+    }
+
+    // The sharing census over the canonical batch, and one precompute
+    // pass so every shared subtree is materialized exactly once before
+    // any query runs (queries then only ever hit).
+    PlanCensus census = AnalyzeBatch(valid);
+    br.stats.shared_subtrees = census.shared.size();
+    br.stats.shared_occurrences = census.TotalOccurrences();
+    OperandCache* cache = engine_->cache();
+    std::shared_ptr<const SharedOperands> shared;
+    OperandCacheStats before;
+    if (cache != nullptr && !census.shared.empty()) {
+      before = cache->stats();
+      shared = std::make_shared<const SharedOperands>(
+          SharedOperands{census.SharedKeys()});
+      engine_->PrecomputeShared(census.maximal, shared);
+    }
+
+    std::vector<QueryTicket> tickets(parsed.size());
+    for (size_t i = 0; i < parsed.size(); ++i) {
+      if (!parsed[i].ok()) continue;
+      tickets[i] = SubmitCanonical(canon[i], shared);
+    }
+    for (size_t i = 0; i < parsed.size(); ++i) {
+      if (!parsed[i].ok()) {
+        br.outcomes[i].status = parsed[i].status();
+        continue;
+      }
+      br.outcomes[i] = TakeOutcome(tickets[i]);
+      for (const DegradationWarning& w : br.outcomes[i].warnings) {
+        if (w.source == "admission") {
+          ++br.stats.rejected;
+          break;
+        }
+      }
+    }
+    if (cache != nullptr && shared != nullptr) {
+      OperandCacheStats after = cache->stats();
+      br.stats.cache_hits = after.hits - before.hits;
+      br.stats.cache_misses = after.misses - before.misses;
+    }
+    return br;
+  }
+
+  /// Waits for the ticket and moves its outcome out (batch tickets are
+  /// owned exclusively by RunBatch, so the move cannot race a reader).
+  QueryOutcome TakeOutcome(const QueryTicket& ticket) {
+    ticket.state_->Wait();
+    std::lock_guard<std::mutex> lock(ticket.state_->mu);
+    return std::move(ticket.state_->outcome);
+  }
+
+  void Drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return inflight_ == 0 && waiting_.empty(); });
+  }
+
+  SessionStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  /// Admission + enqueue of an already-canonical plan.
+  QueryTicket SubmitCanonical(QueryPtr plan,
+                              std::shared_ptr<const SharedOperands> shared) {
+    double est = EstimateCost(engine_->store(), *plan).TotalPages();
+    uint64_t budget = options_.per_query_page_budget ==
+                              SessionOptions::kInheritBudget
+                          ? engine_->page_budget()
+                          : options_.per_query_page_budget;
+    if (budget > 0 && est > static_cast<double>(budget)) {
+      DegradationWarning w{
+          "admission", "estimated " + std::to_string((uint64_t)est) +
+                           " pages exceeds the per-query budget of " +
+                           std::to_string(budget)};
+      return DoneTicket(std::move(plan),
+                        Status::ResourceExhausted(w.ToString()), {w}, est,
+                        /*count_rejected=*/true);
+    }
+
+    auto state = std::make_shared<TicketState>();
+    state->plan = std::move(plan);
+    state->shared = std::move(shared);
+    bool dispatch = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      size_t depth = options_.queue_depth == SessionOptions::kInherit
+                         ? engine_->options().queue_depth
+                         : options_.queue_depth;
+      if (inflight_ + waiting_.size() >= depth) {
+        ++stats_.rejected;
+        DegradationWarning w{"admission",
+                             "session queue depth " +
+                                 std::to_string(depth) + " exceeded"};
+        QueryOutcome out;
+        out.status = Status::ResourceExhausted(w.ToString());
+        out.plan = std::move(state->plan);
+        out.warnings.push_back(std::move(w));
+        out.estimated_pages = est;
+        state->Complete(std::move(out));
+        return QueryTicket(std::move(state));
+      }
+      ++stats_.submitted;
+      size_t max_inflight = options_.max_inflight == SessionOptions::kInherit
+                                ? engine_->options().max_inflight
+                                : options_.max_inflight;
+      if (max_inflight == 0) max_inflight = 1;
+      if (inflight_ < max_inflight) {
+        ++inflight_;
+        dispatch = true;
+      } else {
+        waiting_.push_back(state);
+      }
+    }
+    if (dispatch) {
+      auto self = shared_from_this();
+      engine_->Dispatch([self, state] { self->Chain(state); });
+    }
+    return QueryTicket(std::move(state));
+  }
+
+  /// One dispatched task: evaluate, deliver, pull the next waiting query.
+  void Chain(std::shared_ptr<TicketState> state) {
+    while (state != nullptr) {
+      QueryOutcome out =
+          engine_->ExecuteQuery(state->plan, state->shared.get());
+      state->Complete(std::move(out));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.completed;
+      }
+      state = PullNext();
+    }
+  }
+
+  std::shared_ptr<TicketState> PullNext() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!waiting_.empty()) {
+      std::shared_ptr<TicketState> next = waiting_.front();
+      waiting_.pop_front();
+      return next;
+    }
+    --inflight_;
+    lock.unlock();
+    cv_.notify_all();
+    return nullptr;
+  }
+
+  /// An already-completed ticket (parse errors, admission rejections).
+  QueryTicket DoneTicket(QueryPtr plan, Status status,
+                         std::vector<DegradationWarning> warnings, double est,
+                         bool count_rejected) {
+    auto state = std::make_shared<TicketState>();
+    QueryOutcome out;
+    out.status = std::move(status);
+    out.plan = std::move(plan);
+    out.warnings = std::move(warnings);
+    out.estimated_pages = est;
+    state->Complete(std::move(out));
+    if (count_rejected) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rejected;
+    }
+    return QueryTicket(std::move(state));
+  }
+
+  Engine* const engine_;
+  const SessionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<TicketState>> waiting_;
+  size_t inflight_ = 0;  // chains currently dispatched
+  SessionStats stats_;
+};
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// QueryTicket / Session
+// ---------------------------------------------------------------------------
+
+bool QueryTicket::done() const {
+  return state_ != nullptr && state_->IsDone();
+}
+
+const QueryOutcome& QueryTicket::Wait() const {
+  static const QueryOutcome kInvalid = [] {
+    QueryOutcome out;
+    out.status = Status::InvalidArgument("invalid (default) QueryTicket");
+    return out;
+  }();
+  if (state_ == nullptr) return kInvalid;
+  return state_->Wait();
+}
+
+namespace {
+
+QueryTicket InvalidSessionTicket() {
+  // Reuse the invalid-ticket path: a default ticket waits to an
+  // InvalidArgument outcome.
+  return QueryTicket();
+}
+
+}  // namespace
+
+QueryTicket Session::Submit(const std::string& query_text) {
+  if (impl_ == nullptr) return InvalidSessionTicket();
+  return impl_->Submit(query_text);
+}
+
+QueryTicket Session::Submit(const QueryPtr& plan) {
+  if (impl_ == nullptr) return InvalidSessionTicket();
+  return impl_->Submit(plan);
+}
+
+QueryOutcome Session::Run(const std::string& query_text) {
+  return Submit(query_text).Wait();
+}
+
+QueryOutcome Session::Run(const QueryPtr& plan) {
+  return Submit(plan).Wait();
+}
+
+Result<std::vector<Entry>> Session::Query(const std::string& query_text) {
+  QueryOutcome out = Run(query_text);
+  if (!out.ok()) return out.status;
+  return std::move(out.entries);
+}
+
+BatchResult Session::RunBatch(const std::vector<std::string>& query_texts) {
+  std::vector<Result<QueryPtr>> parsed;
+  parsed.reserve(query_texts.size());
+  for (const std::string& text : query_texts) parsed.push_back(ParseQuery(text));
+  return RunBatchParsed(std::move(parsed));
+}
+
+BatchResult Session::RunBatch(const std::vector<QueryPtr>& plans) {
+  std::vector<Result<QueryPtr>> parsed;
+  parsed.reserve(plans.size());
+  for (const QueryPtr& plan : plans) {
+    if (plan == nullptr) {
+      parsed.push_back(Status::InvalidArgument("null plan in batch"));
+    } else {
+      parsed.push_back(plan);
+    }
+  }
+  return RunBatchParsed(std::move(parsed));
+}
+
+BatchResult Session::RunBatchParsed(std::vector<Result<QueryPtr>> parsed) {
+  if (impl_ == nullptr) {
+    BatchResult br;
+    br.outcomes.resize(parsed.size());
+    for (QueryOutcome& out : br.outcomes) {
+      out.status = Status::InvalidArgument("session not opened");
+    }
+    return br;
+  }
+  return impl_->RunBatch(std::move(parsed));
+}
+
+void Session::Drain() {
+  if (impl_ != nullptr) impl_->Drain();
+}
+
+SessionStats Session::stats() const {
+  if (impl_ == nullptr) return SessionStats();
+  return impl_->stats();
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(Schema schema, EngineOptions options)
+    : owned_data_disk_(std::make_unique<SimDisk>(options.page_size)),
+      owned_scratch_(std::make_unique<SimDisk>(options.page_size)),
+      owned_store_(std::make_unique<DirectoryStore>(owned_data_disk_.get(),
+                                                    std::move(schema))),
+      scratch_(owned_scratch_.get()),
+      data_disk_(owned_data_disk_.get()),
+      store_(owned_store_.get()),
+      options_(std::move(options)) {
+  Init();
+}
+
+Engine::Engine(SimDisk* scratch, const EntrySource* store,
+               EngineOptions options, SimDisk* data_disk)
+    : scratch_(scratch),
+      data_disk_(data_disk),
+      store_(store),
+      options_(std::move(options)) {
+  Init();
+}
+
+void Engine::Init() {
+  if (options_.cache_capacity_pages > 0) {
+    cache_ =
+        std::make_unique<OperandCache>(scratch_, options_.cache_capacity_pages);
+  }
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    RebuildPoolLocked(options_.exec.parallelism == 0
+                          ? 1
+                          : options_.exec.parallelism);
+  }
+  if (!options_.fault_spec.empty()) {
+    // A bad spec at construction leaves fault injection off; call
+    // SetFaults directly to observe the parse error.
+    SetFaults(options_.fault_spec).ok();
+  }
+}
+
+Engine::~Engine() {
+  Drain();
+  AttachInjector(nullptr);
+}
+
+void Engine::RebuildPoolLocked(size_t parallelism) {
+  // Order matters: the group and evaluator borrow the pool.
+  evaluator_.reset();
+  group_.reset();
+  pool_.reset();
+  options_.exec.parallelism = parallelism;
+  // A session thread blocks on its ticket instead of helping the pool
+  // (unlike a direct ParallelEvaluator caller), so delivering
+  // `parallelism` concurrent evaluation threads takes that many WORKERS —
+  // a ThreadPool of parallelism+1. With parallelism 1 the pool stays
+  // workerless and dispatch runs inline on the submitting thread.
+  pool_ = std::make_unique<ThreadPool>(parallelism <= 1 ? 1
+                                                        : parallelism + 1);
+  group_ = std::make_unique<ThreadPool::TaskGroup>(pool_.get());
+  evaluator_ = std::make_unique<ParallelEvaluator>(
+      scratch_, store_, options_.exec, cache_.get(), pool_.get());
+}
+
+Session Engine::OpenSession(SessionOptions options) {
+  return Session(std::make_shared<internal::SessionImpl>(this, options));
+}
+
+void Engine::SetParallelism(size_t n) {
+  if (n == 0) n = 1;
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  sched_cv_.wait(lock, [&] { return global_inflight_ == 0; });
+  RebuildPoolLocked(n);
+}
+
+size_t Engine::parallelism() const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  // Invert the worker-count adjustment in RebuildPoolLocked.
+  size_t p = pool_->parallelism();
+  return p <= 1 ? 1 : p - 1;
+}
+
+Status Engine::SetFaults(const std::string& spec) {
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  sched_cv_.wait(lock, [&] { return global_inflight_ == 0; });
+  if (spec.empty() || spec == "off") {
+    AttachInjector(nullptr);
+    injector_.reset();
+    options_.fault_spec.clear();
+    return Status::OK();
+  }
+  NDQ_ASSIGN_OR_RETURN(FaultInjector parsed, FaultInjector::Parse(spec));
+  AttachInjector(nullptr);
+  injector_ = std::make_unique<FaultInjector>(std::move(parsed));
+  AttachInjector(injector_.get());
+  options_.fault_spec = spec;
+  return Status::OK();
+}
+
+void Engine::SetPageBudget(uint64_t pages) {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  options_.per_query_page_budget = pages;
+}
+
+uint64_t Engine::page_budget() const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  return options_.per_query_page_budget;
+}
+
+void Engine::InvalidateCaches() {
+  if (cache_ != nullptr) cache_->Clear();
+}
+
+void Engine::Drain() {
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  sched_cv_.wait(lock, [&] { return global_inflight_ == 0; });
+}
+
+EvalStats Engine::eval_stats() const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  return evaluator_->stats();
+}
+
+void Engine::AttachInjector(FaultInjector* injector) {
+  scratch_->set_fault_injector(injector);
+  if (data_disk_ != nullptr) data_disk_->set_fault_injector(injector);
+}
+
+void Engine::Dispatch(std::function<void()> body) {
+  ThreadPool::TaskGroup* group;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    ++global_inflight_;
+    group = group_.get();
+  }
+  // With no pool workers this runs `body` inline on the calling thread;
+  // the in-flight counter was already published, so a concurrent
+  // SetParallelism cannot swap the pool out from under it.
+  group->Run([this, body = std::move(body)] {
+    body();
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    --global_inflight_;
+    sched_cv_.notify_all();
+  });
+}
+
+QueryOutcome Engine::ExecuteQuery(const QueryPtr& plan,
+                                  const SharedOperands* shared) {
+  QueryOutcome out;
+  out.plan = plan;
+  out.estimated_pages = EstimateCost(*store_, *plan).TotalPages();
+  Result<std::vector<Entry>> r =
+      evaluator_->EvaluateToEntries(*plan, &out.trace, shared);
+  if (!r.ok()) {
+    out.status = r.status();
+    return out;
+  }
+  out.entries = r.TakeValue();
+  return out;
+}
+
+void Engine::PrecomputeShared(const std::vector<QueryPtr>& roots,
+                              std::shared_ptr<const SharedOperands> shared) {
+  if (cache_ == nullptr || roots.empty()) return;
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  auto sync = std::make_shared<Sync>();
+  sync->remaining = roots.size();
+  for (const QueryPtr& root : roots) {
+    Dispatch([this, root, shared, sync] {
+      // Evaluating the root with the shared set publishes it — and any
+      // nested shared subtree — to the cache as a side effect; the list
+      // itself is not needed. Failures (e.g. injected faults) are
+      // absorbed: the queries will recompute whatever went uncached.
+      Result<EntryList> r = evaluator_->Evaluate(*root, nullptr, shared.get());
+      if (r.ok()) {
+        ScopedRun guard(scratch_, r.TakeValue());
+        guard.Free().ok();
+      }
+      {
+        std::lock_guard<std::mutex> lock(sync->mu);
+        --sync->remaining;
+      }
+      sync->cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(sync->mu);
+  sync->cv.wait(lock, [&] { return sync->remaining == 0; });
+}
+
+}  // namespace ndq

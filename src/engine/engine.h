@@ -1,0 +1,326 @@
+// The multi-query batch engine: one session-oriented front door for the
+// whole evaluation stack.
+//
+// Everything below this layer is a component you wire by hand: disks,
+// stores, evaluators, the operand cache, the thread pool, fault
+// injection, tracing. ndq::Engine owns that wiring once — every frontend
+// (ndqsh, the example apps, the benches, the fuzzer) opens a Session and
+// submits queries, and gets the same semantics: canonicalized plans,
+// admission control, per-query EXPLAIN ANALYZE traces, and — for batches
+// — cross-query operand sharing.
+//
+// Cross-query sharing is the paper's physical design paying off at the
+// workload level: operand lists are materialized in reverse-DN order, so
+// a sub-plan's output is reusable by EVERY query in a batch that contains
+// the same sub-plan, not just by later operators of one query. RunBatch
+// canonicalizes the batch, runs a sharing census (query/fingerprint.h),
+// materializes each maximal shared subtree exactly once, and lets every
+// query copy the finished list out of the operand cache for ~2*out pages
+// instead of re-evaluating the subtree.
+//
+// Admission control is deliberately graceful: a query the engine refuses
+// (queue full, or its cost estimate exceeds the per-query page budget)
+// still yields a QueryOutcome — status ResourceExhausted plus a
+// DegradationWarning{source: "admission"} — never an abort, mirroring how
+// the distributed layer degrades instead of failing (core/degradation.h).
+//
+// Threading: the engine owns ONE fleet-wide pool; every in-flight query's
+// intra-query parallelism draws from it, so total concurrency is bounded
+// no matter how many sessions are open. Sessions are driven by user
+// threads; with parallelism 1 the pool has no workers and Submit runs the
+// query inline (the degenerate sequential mode, same code path).
+
+#ifndef NDQ_ENGINE_ENGINE_H_
+#define NDQ_ENGINE_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/degradation.h"
+#include "exec/parallel_evaluator.h"
+#include "storage/fault_injector.h"
+#include "store/directory_store.h"
+
+namespace ndq {
+
+/// Engine-wide configuration. Everything here is a default the engine is
+/// constructed with; parallelism, fault policy and the page budget can be
+/// changed later through the Set* methods (the changes survive across
+/// queries — they are engine state, not per-call arguments).
+struct EngineOptions {
+  /// Page size of engine-owned disks (schema-owning constructor only).
+  size_t page_size = kDefaultPageSize;
+  /// Evaluation knobs; `exec.parallelism` sizes the fleet-wide pool.
+  ExecOptions exec;
+  /// Operand cache capacity on the scratch disk. 0 disables the cache
+  /// (and with it cross-query sharing) — useful for cold-I/O benches.
+  size_t cache_capacity_pages = 4096;
+  /// Admission defaults, inheritable per session (SessionOptions):
+  /// at most `max_inflight` queries of one session evaluate at once...
+  size_t max_inflight = 4;
+  /// ...and at most `queue_depth` may be submitted-but-unfinished; the
+  /// excess is rejected gracefully (ResourceExhausted + warning).
+  size_t queue_depth = 16;
+  /// Reject queries whose cost estimate exceeds this many pages
+  /// (0 = unlimited). Estimates are upper bounds (exec/cost.h).
+  uint64_t per_query_page_budget = 0;
+  /// Fault-injection policy spec (storage/fault_injector.h Parse syntax),
+  /// applied at construction; empty = off.
+  std::string fault_spec;
+  /// Canonicalize every submitted plan with RewriteQuery. Leave on:
+  /// sharing detection fingerprints canonical forms.
+  bool rewrite = true;
+};
+
+/// Everything one query produced. Rejected and failed queries carry their
+/// status (and, for admission rejections, a warning) here — an outcome is
+/// always delivered.
+struct QueryOutcome {
+  Status status = Status::OK();
+  /// The result entries (empty on failure).
+  std::vector<Entry> entries;
+  /// Per-operator execution trace of `plan` (exec/trace.h); feed it to
+  /// ExplainAnalyze / VerifyTheoremBounds. Default-constructed when the
+  /// query never ran.
+  OpTrace trace;
+  /// Admission / degradation warnings ("admission" source = this engine).
+  std::vector<DegradationWarning> warnings;
+  /// The canonical plan that was (or would have been) evaluated.
+  QueryPtr plan;
+  /// The cost model's page estimate for `plan` (exec/cost.h).
+  double estimated_pages = 0;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Per-session admission overrides. kInherit falls back to the engine's
+/// EngineOptions value at the time of each submission.
+struct SessionOptions {
+  static constexpr size_t kInherit = static_cast<size_t>(-1);
+  static constexpr uint64_t kInheritBudget = static_cast<uint64_t>(-1);
+
+  size_t max_inflight = kInherit;
+  size_t queue_depth = kInherit;
+  uint64_t per_query_page_budget = kInheritBudget;
+};
+
+struct SessionStats {
+  uint64_t submitted = 0;  ///< accepted into the session queue
+  uint64_t completed = 0;  ///< outcomes delivered (including failures)
+  uint64_t rejected = 0;   ///< admission rejections (not in submitted)
+};
+
+/// What one RunBatch did beyond the per-query outcomes.
+struct BatchStats {
+  /// Distinct sub-plans occurring >= 2 times across the batch.
+  size_t shared_subtrees = 0;
+  /// Total occurrences of those sub-plans (>= 2 * shared_subtrees).
+  uint64_t shared_occurrences = 0;
+  /// Operand-cache hit/miss deltas over the batch (engine-wide counters;
+  /// exact when no other session runs concurrently).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// Queries rejected by admission control.
+  size_t rejected = 0;
+};
+
+struct BatchResult {
+  /// One outcome per submitted query, in submission order.
+  std::vector<QueryOutcome> outcomes;
+  BatchStats stats;
+};
+
+namespace internal {
+struct TicketState;
+class SessionImpl;
+}  // namespace internal
+
+/// A handle on one submitted query. Cheap to copy; Wait() blocks until
+/// the outcome is ready (immediately so for rejected queries).
+class QueryTicket {
+ public:
+  QueryTicket() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool done() const;
+  /// Blocks until the query finishes; the outcome stays owned by the
+  /// ticket (valid while any copy of it lives).
+  const QueryOutcome& Wait() const;
+
+ private:
+  friend class internal::SessionImpl;
+  explicit QueryTicket(std::shared_ptr<internal::TicketState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::TicketState> state_;
+};
+
+class Engine;
+
+/// A submission channel into the engine with its own admission state.
+/// Sessions are movable/copyable handles; all copies share one queue.
+/// Thread-compatible: drive one session from one thread (open several
+/// sessions for concurrent submitters). Must not outlive its Engine.
+class Session {
+ public:
+  Session() = default;
+
+  /// Parses, canonicalizes, admission-checks and enqueues one query.
+  /// Parse errors and admission rejections come back as already-done
+  /// tickets carrying the status — Submit itself never fails.
+  QueryTicket Submit(const std::string& query_text);
+  QueryTicket Submit(const QueryPtr& plan);
+
+  /// Submit + Wait.
+  QueryOutcome Run(const std::string& query_text);
+  QueryOutcome Run(const QueryPtr& plan);
+
+  /// Convenience: just the entries (or the failure status).
+  Result<std::vector<Entry>> Query(const std::string& query_text);
+
+  /// The batch path: canonicalizes all plans, detects sub-plans shared
+  /// across the batch, materializes each maximal shared subtree exactly
+  /// once, then evaluates the queries with every shared subtree served
+  /// from the operand cache. Results are byte-identical to running the
+  /// queries one at a time. Blocks until every outcome is ready.
+  BatchResult RunBatch(const std::vector<std::string>& query_texts);
+  BatchResult RunBatch(const std::vector<QueryPtr>& plans);
+
+  /// Blocks until every query submitted on this session has finished.
+  void Drain();
+
+  SessionStats stats() const;
+
+ private:
+  friend class Engine;
+  explicit Session(std::shared_ptr<internal::SessionImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  BatchResult RunBatchParsed(std::vector<Result<QueryPtr>> parsed);
+
+  std::shared_ptr<internal::SessionImpl> impl_;
+};
+
+/// \brief The engine: storage stack + thread pool + operand cache +
+/// fault injection + admission, behind Sessions.
+class Engine {
+ public:
+  /// Owning mode: the engine builds its own data disk, scratch disk and
+  /// mutable DirectoryStore over `schema`. The interactive shell uses
+  /// this; mutate through mutable_store() and call InvalidateCaches().
+  explicit Engine(Schema schema, EngineOptions options = {});
+
+  /// Borrowing mode: evaluate an existing store (e.g. a bulk-loaded
+  /// EntryStore) using `scratch` for intermediates. `data_disk` is
+  /// optional and only used to attach fault injection to the store's own
+  /// device; both pointers must outlive the engine.
+  Engine(SimDisk* scratch, const EntrySource* store,
+         EngineOptions options = {}, SimDisk* data_disk = nullptr);
+
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Session OpenSession(SessionOptions options = {});
+
+  /// Resizes the fleet-wide pool (1 = sequential). Waits for every
+  /// in-flight query to finish first; the operand cache survives. The
+  /// setting persists for all future queries of every session.
+  void SetParallelism(size_t n);
+  size_t parallelism() const;
+
+  /// Installs (or, with "off" / "", clears) a fault-injection policy on
+  /// the engine's disks; see FaultInjector::Parse for the spec syntax.
+  /// Waits for in-flight queries; persists until the next SetFaults.
+  Status SetFaults(const std::string& spec);
+
+  /// Default per-query page budget for sessions that inherit it
+  /// (0 = unlimited). Takes effect on the next submission.
+  void SetPageBudget(uint64_t pages);
+
+  /// Drops cached operand lists. Call after mutating the store: cached
+  /// lists are snapshots of it.
+  void InvalidateCaches();
+
+  /// Blocks until no query is in flight on any session.
+  void Drain();
+
+  const EngineOptions& options() const { return options_; }
+  const EntrySource& store() const { return *store_; }
+  /// The engine-owned mutable store, or nullptr in borrowing mode.
+  DirectoryStore* mutable_store() { return owned_store_.get(); }
+  SimDisk* scratch() { return scratch_; }
+  /// The data device: engine-owned in owning mode, the constructor's
+  /// `data_disk` (possibly null) in borrowing mode.
+  SimDisk* data_disk() { return data_disk_; }
+  /// Null when cache_capacity_pages == 0.
+  OperandCache* cache() { return cache_.get(); }
+  /// Null when no fault policy is installed.
+  FaultInjector* fault_injector() { return injector_.get(); }
+  /// Cumulative evaluator statistics (exec/evaluator.h).
+  EvalStats eval_stats() const;
+
+ private:
+  friend class internal::SessionImpl;
+
+  /// Shared constructor tail: cache, pool, initial fault policy.
+  void Init();
+  /// Caller holds sched_mu_ with global_inflight_ == 0.
+  void RebuildPoolLocked(size_t parallelism);
+
+  /// Runs `body` as one pool task with engine-wide in-flight accounting
+  /// (inline when the pool has no workers).
+  void Dispatch(std::function<void()> body);
+
+  /// Evaluates one canonical plan (filling entries/trace/estimate).
+  /// `shared` may be null. Runs on the dispatching task's thread.
+  QueryOutcome ExecuteQuery(const QueryPtr& plan,
+                            const SharedOperands* shared);
+
+  /// Materializes each plan in `roots` once, publishing it (and any
+  /// nested shared subtree) to the operand cache; failures are absorbed
+  /// (the queries recompute). Blocks until done.
+  void PrecomputeShared(const std::vector<QueryPtr>& roots,
+                        std::shared_ptr<const SharedOperands> shared);
+
+  uint64_t page_budget() const;
+  bool rewrite() const { return options_.rewrite; }
+
+  void AttachInjector(FaultInjector* injector);
+
+  // Storage (owning mode); declared first so everything above it can
+  // refer to it during destruction.
+  std::unique_ptr<SimDisk> owned_data_disk_;
+  std::unique_ptr<SimDisk> owned_scratch_;
+  std::unique_ptr<DirectoryStore> owned_store_;
+
+  SimDisk* scratch_ = nullptr;
+  SimDisk* data_disk_ = nullptr;  // may be null in borrowing mode
+  const EntrySource* store_ = nullptr;
+
+  EngineOptions options_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<OperandCache> cache_;
+
+  // Pool / evaluator pair; rebuilt together by SetParallelism while the
+  // engine is idle. The evaluator borrows the pool, so declaration order
+  // (pool first) gives the right destruction order.
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool::TaskGroup> group_;
+  std::unique_ptr<ParallelEvaluator> evaluator_;
+
+  mutable std::mutex sched_mu_;
+  std::condition_variable sched_cv_;
+  size_t global_inflight_ = 0;  // dispatched, not yet finished
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_ENGINE_ENGINE_H_

@@ -1,66 +1,15 @@
 #include "exec/operand_cache.h"
 
-#include "storage/serde.h"
+#include "query/fingerprint.h"
 
 namespace ndq {
 
-namespace {
-
-void AppendAtomic(std::string* out, const AtomicFilter& f) {
-  ByteWriter w(out);
-  w.PutU8(static_cast<uint8_t>(f.kind()));
-  switch (f.kind()) {
-    case AtomicFilter::Kind::kTrue:
-      break;
-    case AtomicFilter::Kind::kPresence:
-      w.PutString(f.attr());
-      break;
-    case AtomicFilter::Kind::kIntCmp:
-      w.PutString(f.attr());
-      w.PutU8(static_cast<uint8_t>(f.cmp_op()));
-      w.PutSigned(f.int_rhs());
-      break;
-    case AtomicFilter::Kind::kEquals:
-      w.PutString(f.attr());
-      w.PutU8(static_cast<uint8_t>(f.equals_rhs().kind()));
-      if (f.equals_rhs().is_int()) {
-        w.PutSigned(f.equals_rhs().AsInt());
-      } else {
-        w.PutString(f.equals_rhs().AsString());
-      }
-      break;
-    case AtomicFilter::Kind::kSubstring:
-      w.PutString(f.attr());
-      w.PutString(f.pattern());
-      break;
-  }
-}
-
-void AppendLdap(std::string* out, const LdapFilter& f) {
-  ByteWriter w(out);
-  w.PutU8(static_cast<uint8_t>(f.op()));
-  if (f.op() == LdapFilter::Op::kAtomic) {
-    AppendAtomic(out, f.atomic());
-  } else {
-    w.PutVarint(f.children().size());
-    for (const LdapFilterPtr& c : f.children()) AppendLdap(out, *c);
-  }
-}
-
-}  // namespace
-
 std::string OperandCacheKey(const Query& query) {
-  std::string key("ock1");  // versioned: bump on any encoding change
-  ByteWriter w(&key);
-  w.PutU8(static_cast<uint8_t>(query.op()));
-  w.PutU8(static_cast<uint8_t>(query.scope()));
-  w.PutString(query.base().HierKey());
-  if (query.op() == QueryOp::kLdap) {
-    AppendLdap(&key, *query.ldap_filter());
-  } else {
-    AppendAtomic(&key, query.filter());
-  }
-  return key;
+  // Since the batch engine (PR 5), cache keys ARE plan fingerprints
+  // (query/fingerprint.h): sound for any subtree, not just leaves, so
+  // one cache serves leaf reuse within a query and cross-query sub-plan
+  // sharing across a batch.
+  return QueryFingerprint(query);
 }
 
 OperandCache::OperandCache(SimDisk* disk, size_t capacity_pages)

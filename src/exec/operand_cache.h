@@ -1,17 +1,15 @@
 // A bounded LRU cache of finished sorted operand lists.
 //
-// Atomic sub-queries recur — within one query (the same leaf under several
+// Sub-plans recur — within one query (the same leaf under several
 // operators) and across a workload batch (every query anchored at the same
-// base/scope/filter). Their outputs are immutable sorted EntryLists, so the
-// cache can hand back a copy for the cost of re-reading it (~out pages)
-// instead of re-scanning the store (scan >> out for selective filters).
+// base/scope/filter, or sharing a whole operand subtree). Their outputs
+// are immutable sorted EntryLists, so the cache can hand back a copy for
+// the cost of re-reading it (~out pages) instead of re-evaluating it
+// (scan >> out for selective filters).
 //
-// Keys are a TYPED binary encoding of the leaf (OperandCacheKey below):
-// node kind, scope, base HierKey and a tagged filter encoding, so two
-// leaves share an entry only when they are semantically the same query.
-// (The human-readable QueryNodeLabel is NOT sound as a key: "x=5" renders
-// identically for int equality and string equality on "5", and a rewrite
-// can turn an atomic leaf into an LDAP leaf with the same label.) The
+// Keys are plan fingerprints (query/fingerprint.h, via OperandCacheKey
+// below): a typed binary encoding of the whole subtree, so two sub-plans
+// share an entry only when they are semantically the same plan. The
 // cache owns PRIVATE copies of the runs it stores: Insert
 // copies the caller's list in, Lookup copies the cached list out into a
 // fresh run the caller owns. Nothing the caller later frees can invalidate
@@ -39,13 +37,16 @@
 
 namespace ndq {
 
-/// The sound cache key for a leaf query: a version-tagged, typed,
-/// length-prefixed encoding of (node kind, scope, base HierKey, filter).
-/// Unlike the display label, it distinguishes int- from string-typed
-/// equality, True from Presence(objectClass), and atomic from LDAP leaves
-/// (so pre- and post-rewrite forms that differ semantically never
-/// collide). It deliberately EXCLUDES parallelism and tracing knobs: the
-/// cached list is invariant under them.
+/// The sound cache key for a sub-plan: the plan fingerprint of the
+/// subtree (query/fingerprint.h) — a version-tagged, typed,
+/// length-prefixed encoding of the whole operator tree, scopes, base
+/// HierKeys and filters. Unlike the display label, it distinguishes int-
+/// from string-typed equality, True from Presence(objectClass), and
+/// atomic from LDAP leaves (so pre- and post-rewrite forms that differ
+/// semantically never collide). Sound for ANY subtree, not just leaves:
+/// the batch engine caches whole shared operand subtrees under it. It
+/// deliberately EXCLUDES parallelism and tracing knobs: the cached list
+/// is invariant under them.
 std::string OperandCacheKey(const Query& query);
 
 struct OperandCacheStats {

@@ -7,6 +7,7 @@
 #include "exec/boolean.h"
 #include "exec/embedded_ref.h"
 #include "exec/hierarchy.h"
+#include "query/fingerprint.h"
 
 namespace ndq {
 
@@ -26,12 +27,21 @@ Result<EntryList> FinishStep(SimDisk* disk, Result<EntryList> out,
 
 ParallelEvaluator::ParallelEvaluator(SimDisk* disk, const EntrySource* store,
                                      ExecOptions options, OperandCache* cache)
+    : ParallelEvaluator(disk, store, options, cache, nullptr) {}
+
+ParallelEvaluator::ParallelEvaluator(SimDisk* disk, const EntrySource* store,
+                                     ExecOptions options, OperandCache* cache,
+                                     ThreadPool* shared_pool)
     : disk_(disk),
       store_(store),
       options_(options),
       cache_(cache),
-      pool_(std::make_unique<ThreadPool>(
-          options.parallelism == 0 ? 1 : options.parallelism)) {}
+      owned_pool_(shared_pool == nullptr
+                      ? std::make_unique<ThreadPool>(
+                            options.parallelism == 0 ? 1
+                                                     : options.parallelism)
+                      : nullptr),
+      pool_(shared_pool != nullptr ? shared_pool : owned_pool_.get()) {}
 
 ParallelEvaluator::~ParallelEvaluator() = default;
 
@@ -46,17 +56,22 @@ void ParallelEvaluator::ResetStats() {
 }
 
 Result<EntryList> ParallelEvaluator::Evaluate(const Query& query,
-                                              OpTrace* trace) {
+                                              OpTrace* trace,
+                                              const SharedOperands* shared) {
   if (cache_ != nullptr && cache_->disk() != disk_) {
     return Status::InvalidArgument(
         "operand cache is backed by a different disk than the evaluator");
   }
-  return EvaluateTraced(query, trace);
+  if (shared != nullptr && !shared->keys.empty() && cache_ == nullptr) {
+    return Status::InvalidArgument(
+        "shared-operand evaluation requires an operand cache");
+  }
+  return EvaluateTraced(query, trace, shared);
 }
 
 Result<std::vector<Entry>> ParallelEvaluator::EvaluateToEntries(
-    const Query& query, OpTrace* trace) {
-  NDQ_ASSIGN_OR_RETURN(EntryList list, Evaluate(query, trace));
+    const Query& query, OpTrace* trace, const SharedOperands* shared) {
+  NDQ_ASSIGN_OR_RETURN(EntryList list, Evaluate(query, trace, shared));
   ScopedRun guard(disk_, std::move(list));
   Result<std::vector<Entry>> entries = ReadEntryList(disk_, guard.get());
   Status freed = guard.Free();
@@ -67,9 +82,9 @@ Result<std::vector<Entry>> ParallelEvaluator::EvaluateToEntries(
   return entries;
 }
 
-Result<EntryList> ParallelEvaluator::EvaluateTraced(const Query& query,
-                                                    OpTrace* trace) {
-  if (trace == nullptr) return EvaluateNode(query, nullptr);
+Result<EntryList> ParallelEvaluator::EvaluateTraced(
+    const Query& query, OpTrace* trace, const SharedOperands* shared) {
+  if (trace == nullptr) return EvaluateNode(query, nullptr, shared);
   *trace = OpTrace();
   trace->label = QueryNodeLabel(query);
   trace->op = query.op();
@@ -83,7 +98,7 @@ Result<EntryList> ParallelEvaluator::EvaluateTraced(const Query& query,
     // children on other threads never touch this scope. Either way `self`
     // is exactly this node's own traffic.
     IoScope scope(nullptr, &self);
-    return EvaluateNode(query, trace);
+    return EvaluateNode(query, trace, shared);
   }();
   if (!out.ok()) return out;
   trace->io = self;
@@ -97,8 +112,9 @@ Result<EntryList> ParallelEvaluator::EvaluateTraced(const Query& query,
 }
 
 Status ParallelEvaluator::EvalOperandInto(const Query& query, OpTrace* trace,
+                                          const SharedOperands* shared,
                                           ScopedRun* out) {
-  Result<EntryList> r = EvaluateTraced(query, trace);
+  Result<EntryList> r = EvaluateTraced(query, trace, shared);
   if (!r.ok()) return r.status();
   *out = ScopedRun(disk_, r.TakeValue());
   return Status::OK();
@@ -145,11 +161,55 @@ Result<EntryList> ParallelEvaluator::EvalLeaf(const Query& query,
 }
 
 Result<EntryList> ParallelEvaluator::EvaluateNode(const Query& query,
-                                                  OpTrace* trace) {
+                                                  OpTrace* trace,
+                                                  const SharedOperands* shared) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.operators_evaluated;
   }
+  // Cross-query sharing: an interior node the batch scheduler marked
+  // shared is served from — and on a miss published to — the operand
+  // cache, exactly like a leaf. The first occurrence in the batch
+  // evaluates the subtree; every later one copies the finished list out
+  // for ~2*out pages. Leaves skip this path (EvalLeaf caches them
+  // unconditionally); fingerprints are recomputed per node, which is
+  // cheap for directory-query-sized trees.
+  const bool leaf =
+      query.op() == QueryOp::kAtomic || query.op() == QueryOp::kLdap;
+  std::string shared_key;
+  if (!leaf && cache_ != nullptr && shared != nullptr &&
+      !shared->keys.empty()) {
+    std::string key = QueryFingerprint(query);
+    if (shared->contains(key)) {
+      EntryList cached;
+      NDQ_ASSIGN_OR_RETURN(bool hit, cache_->Lookup(key, &cached));
+      if (hit) {
+        if (trace != nullptr) {
+          trace->cache_hits = 1;
+          FillTraceSkeleton(query, trace);
+        }
+        return cached;
+      }
+      shared_key = std::move(key);
+    }
+  }
+  Result<EntryList> out = EvaluateOperator(query, trace, shared);
+  if (!out.ok() || shared_key.empty()) return out;
+  // Publish for the batch's other occurrences. Insert copies the list and
+  // absorbs injected faults during the copy (the entry is simply not
+  // cached); anything else is an invariant violation — propagate it, but
+  // free the computed list first.
+  Status cs = cache_->Insert(shared_key, *out);
+  if (!cs.ok()) {
+    ScopedRun computed(disk_, out.TakeValue());
+    return cs;
+  }
+  if (trace != nullptr) trace->cache_misses = 1;
+  return out;
+}
+
+Result<EntryList> ParallelEvaluator::EvaluateOperator(
+    const Query& query, OpTrace* trace, const SharedOperands* shared) {
   OpTrace* t1 = nullptr;
   OpTrace* t2 = nullptr;
   OpTrace* t3 = nullptr;
@@ -170,7 +230,7 @@ Result<EntryList> ParallelEvaluator::EvaluateNode(const Query& query,
     case QueryOp::kSimpleAgg: {
       // One operand: nothing to fork.
       ScopedRun l1;
-      NDQ_RETURN_IF_ERROR(EvalOperandInto(*query.q1(), t1, &l1));
+      NDQ_RETURN_IF_ERROR(EvalOperandInto(*query.q1(), t1, shared, &l1));
       Result<EntryList> out =
           EvalSimpleAgg(disk_, l1.get(), *query.agg(), trace);
       return FinishStep(disk_, std::move(out), {&l1});
@@ -190,11 +250,11 @@ Result<EntryList> ParallelEvaluator::EvaluateNode(const Query& query,
   ScopedRun l1, l2, l3;
   Status s1, s2, s3;
   {
-    ThreadPool::TaskGroup group(pool_.get());
-    group.Run([&] { s1 = EvalOperandInto(*query.q1(), t1, &l1); });
-    group.Run([&] { s2 = EvalOperandInto(*query.q2(), t2, &l2); });
+    ThreadPool::TaskGroup group(pool_);
+    group.Run([&] { s1 = EvalOperandInto(*query.q1(), t1, shared, &l1); });
+    group.Run([&] { s2 = EvalOperandInto(*query.q2(), t2, shared, &l2); });
     if (query.q3() != nullptr) {
-      group.Run([&] { s3 = EvalOperandInto(*query.q3(), t3, &l3); });
+      group.Run([&] { s3 = EvalOperandInto(*query.q3(), t3, shared, &l3); });
     }
   }
   NDQ_RETURN_IF_ERROR(s1);

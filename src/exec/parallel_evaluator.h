@@ -21,19 +21,36 @@
 // EXPLAIN ANALYZE and VerifyTheoremBounds keep working unchanged.
 //
 // An optional OperandCache short-circuits repeated atomic leaves (see
-// exec/operand_cache.h); hits and misses land in the leaf's OpTrace.
+// exec/operand_cache.h); hits and misses land in the leaf's OpTrace. A
+// batch scheduler can additionally pass a SharedOperands set of interior
+// plan fingerprints (query/fingerprint.h): nodes in the set are served
+// from / published to the same cache, which is how shared operand
+// subtrees across a batch of queries evaluate exactly once.
 
 #ifndef NDQ_EXEC_PARALLEL_EVALUATOR_H_
 #define NDQ_EXEC_PARALLEL_EVALUATOR_H_
 
 #include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_set>
 
 #include "exec/evaluator.h"
 #include "exec/operand_cache.h"
 #include "exec/thread_pool.h"
 
 namespace ndq {
+
+/// The shared-subtree set a batch scheduler computed over one batch of
+/// canonicalized plans (PlanCensus::SharedKeys). When passed to Evaluate,
+/// the evaluator consults its OperandCache at every INTERIOR node whose
+/// fingerprint is in the set — a hit replaces the whole subtree's
+/// evaluation with a ~2*out-page cached copy, a miss evaluates normally
+/// and publishes the result for the batch's other occurrences.
+struct SharedOperands {
+  std::unordered_set<std::string> keys;  ///< plan fingerprints
+  bool contains(const std::string& fp) const { return keys.count(fp) != 0; }
+};
 
 class ParallelEvaluator {
  public:
@@ -44,6 +61,15 @@ class ParallelEvaluator {
   /// store mutates.
   ParallelEvaluator(SimDisk* disk, const EntrySource* store,
                     ExecOptions options = {}, OperandCache* cache = nullptr);
+
+  /// Engine form: runs on `shared_pool` (non-owning, must outlive the
+  /// evaluator) instead of a private pool, so one fleet-wide pool bounds
+  /// parallelism across every in-flight query. `options.parallelism` is
+  /// ignored in this form; a null `shared_pool` falls back to a private
+  /// pool as above.
+  ParallelEvaluator(SimDisk* disk, const EntrySource* store,
+                    ExecOptions options, OperandCache* cache,
+                    ThreadPool* shared_pool);
   ~ParallelEvaluator();
 
   ParallelEvaluator(const ParallelEvaluator&) = delete;
@@ -53,11 +79,15 @@ class ParallelEvaluator {
   /// Identical records, in identical order, to Evaluator::Evaluate. A
   /// non-null `trace` receives the per-operator execution trace,
   /// including which worker ran each node and the leaf cache traffic.
-  Result<EntryList> Evaluate(const Query& query, OpTrace* trace = nullptr);
+  /// A non-null `shared` enables interior-node caching as described on
+  /// SharedOperands (requires a cache).
+  Result<EntryList> Evaluate(const Query& query, OpTrace* trace = nullptr,
+                             const SharedOperands* shared = nullptr);
 
   /// Convenience: evaluates and deserializes the result entries.
-  Result<std::vector<Entry>> EvaluateToEntries(const Query& query,
-                                               OpTrace* trace = nullptr);
+  Result<std::vector<Entry>> EvaluateToEntries(
+      const Query& query, OpTrace* trace = nullptr,
+      const SharedOperands* shared = nullptr);
 
   size_t parallelism() const { return pool_->parallelism(); }
   OperandCache* cache() const { return cache_; }
@@ -68,17 +98,25 @@ class ParallelEvaluator {
  private:
   /// Trace-wrapping recursion step: opens this node's IoScope, times it,
   /// and reassembles cumulative io as self + sum of children.
-  Result<EntryList> EvaluateTraced(const Query& query, OpTrace* trace);
-  Result<EntryList> EvaluateNode(const Query& query, OpTrace* trace);
+  Result<EntryList> EvaluateTraced(const Query& query, OpTrace* trace,
+                                   const SharedOperands* shared);
+  /// Shared-subtree cache check around EvaluateOperator.
+  Result<EntryList> EvaluateNode(const Query& query, OpTrace* trace,
+                                 const SharedOperands* shared);
+  /// Leaf dispatch or fork/join operator evaluation proper.
+  Result<EntryList> EvaluateOperator(const Query& query, OpTrace* trace,
+                                     const SharedOperands* shared);
   Result<EntryList> EvalLeaf(const Query& query, OpTrace* trace);
   /// Evaluates one operand subtree into a ScopedRun (fork target).
-  Status EvalOperandInto(const Query& query, OpTrace* trace, ScopedRun* out);
+  Status EvalOperandInto(const Query& query, OpTrace* trace,
+                         const SharedOperands* shared, ScopedRun* out);
 
   SimDisk* disk_;
   const EntrySource* store_;
   ExecOptions options_;
   OperandCache* cache_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // null when pool is borrowed
+  ThreadPool* pool_;
   mutable std::mutex stats_mu_;
   EvalStats stats_;
 };

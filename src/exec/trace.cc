@@ -204,6 +204,17 @@ std::string QueryNodeLabel(const Query& q) {
   return out;
 }
 
+void FillTraceSkeleton(const Query& q, OpTrace* trace) {
+  for (const QueryPtr& child : {q.q1(), q.q2(), q.q3()}) {
+    if (child == nullptr) continue;
+    OpTrace t;
+    t.label = QueryNodeLabel(*child);
+    t.op = child->op();
+    FillTraceSkeleton(*child, &t);
+    trace->children.push_back(std::move(t));
+  }
+}
+
 std::vector<std::string> VerifyTheoremBounds(const OpTrace& trace) {
   std::vector<std::string> violations;
   CheckNode(trace, &violations);

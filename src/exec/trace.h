@@ -110,6 +110,13 @@ struct OpTrace {
 /// for node.
 std::string QueryNodeLabel(const Query& q);
 
+/// Fills `trace->children` with label/op-only skeleton nodes mirroring
+/// `q`'s subtree. Used when a cached operand list replaces a subtree's
+/// evaluation (operand-cache hits on shared sub-plans): EXPLAIN ANALYZE
+/// keeps the plan shape, and the skeletons' zero I/O records that nothing
+/// under the hit actually ran.
+void FillTraceSkeleton(const Query& q, OpTrace* trace);
+
 /// \brief Checks every operator in the trace against its paper I/O bound.
 ///
 /// Bounds are per-node (SelfIo) and expressed in the trace's own measured

@@ -8,6 +8,7 @@
 
 #include "core/dn.h"
 #include "dist/distributed.h"
+#include "engine/engine.h"
 #include "exec/evaluator.h"
 #include "exec/operand_cache.h"
 #include "exec/parallel_evaluator.h"
@@ -257,6 +258,33 @@ std::vector<CheckFailure> CheckCase(const DirectoryInstance& instance,
       ParallelEvaluator par(&disk, &*store, opts, &cache);
       check_entries("par" + std::to_string(threads),
                     par.EvaluateToEntries(*query));
+    }
+  }
+
+  // Batched submission through the engine must be byte-identical to
+  // one-at-a-time evaluation. The batch repeats Q and wraps it in
+  // idempotent combinators, so the sharing census finds Q as a common
+  // subtree and the shared-operand fast path (precompute once, serve the
+  // other occurrences from the operand cache) actually runs — any
+  // cache-key collision, stale snapshot or copy-out truncation shows up
+  // as a divergence from the reference result.
+  {
+    EngineOptions engine_opts;
+    engine_opts.cache_capacity_pages = kCachePages;
+    Engine engine(&disk, &*store, engine_opts);
+    Session session = engine.OpenSession();
+    std::vector<QueryPtr> batch = {query, query, Query::And(query, query),
+                                   Query::Or(query, query)};
+    BatchResult batched = session.RunBatch(batch);
+    for (size_t i = 0; i < batched.outcomes.size(); ++i) {
+      QueryOutcome& out = batched.outcomes[i];
+      ++local_checks;
+      const std::string name = "batch" + std::to_string(i);
+      if (!out.ok()) {
+        fail(name, "evaluation failed: " + out.status.ToString());
+      } else if (out.entries != want) {
+        fail(name, DiffEntries(want, out.entries));
+      }
     }
   }
 

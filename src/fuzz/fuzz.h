@@ -11,6 +11,9 @@
 //   exec        the external-memory Evaluator (stack/merge algorithms)
 //   par1/2/4    ParallelEvaluator at 1, 2 and 4 threads, sharing one
 //               OperandCache (exercises typed cache keys under reuse)
+//   batch0..3   ndq::Engine Session::RunBatch over [Q, Q, (& Q Q),
+//               (| Q Q)]: cross-query operand sharing must leave every
+//               outcome byte-identical to one-at-a-time evaluation
 //   rewrite     Evaluator on RewriteQuery(Q) (optimizer equivalences)
 //   expand      Evaluator on ExpandParentsChildren(Q) (Thm 8.2(d); exact
 //               because RandomForest instances are prefix-closed)

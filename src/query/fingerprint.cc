@@ -1,0 +1,187 @@
+#include "query/fingerprint.h"
+
+#include "storage/serde.h"
+
+namespace ndq {
+
+namespace {
+
+void AppendAtomicFilter(std::string* out, const AtomicFilter& f) {
+  ByteWriter w(out);
+  w.PutU8(static_cast<uint8_t>(f.kind()));
+  switch (f.kind()) {
+    case AtomicFilter::Kind::kTrue:
+      break;
+    case AtomicFilter::Kind::kPresence:
+      w.PutString(f.attr());
+      break;
+    case AtomicFilter::Kind::kIntCmp:
+      w.PutString(f.attr());
+      w.PutU8(static_cast<uint8_t>(f.cmp_op()));
+      w.PutSigned(f.int_rhs());
+      break;
+    case AtomicFilter::Kind::kEquals:
+      w.PutString(f.attr());
+      w.PutU8(static_cast<uint8_t>(f.equals_rhs().kind()));
+      if (f.equals_rhs().is_int()) {
+        w.PutSigned(f.equals_rhs().AsInt());
+      } else {
+        w.PutString(f.equals_rhs().AsString());
+      }
+      break;
+    case AtomicFilter::Kind::kSubstring:
+      w.PutString(f.attr());
+      w.PutString(f.pattern());
+      break;
+  }
+}
+
+void AppendLdapFilter(std::string* out, const LdapFilter& f) {
+  ByteWriter w(out);
+  w.PutU8(static_cast<uint8_t>(f.op()));
+  if (f.op() == LdapFilter::Op::kAtomic) {
+    AppendAtomicFilter(out, f.atomic());
+  } else {
+    w.PutVarint(f.children().size());
+    for (const LdapFilterPtr& c : f.children()) AppendLdapFilter(out, *c);
+  }
+}
+
+void AppendEntryAgg(std::string* out, const EntryAgg& ea) {
+  ByteWriter w(out);
+  w.PutU8(static_cast<uint8_t>(ea.fn));
+  w.PutU8(static_cast<uint8_t>(ea.target));
+  w.PutString(ea.attr);
+}
+
+// spelled_dollar_dollar is deliberately excluded: count($1) and count($$)
+// are alternative renderings of the same entry-set cardinality.
+void AppendAggAttr(std::string* out, const AggAttr& a) {
+  ByteWriter w(out);
+  w.PutU8(static_cast<uint8_t>(a.kind));
+  switch (a.kind) {
+    case AggAttr::Kind::kConst:
+      w.PutSigned(a.constant);
+      break;
+    case AggAttr::Kind::kEntry:
+      AppendEntryAgg(out, a.entry);
+      break;
+    case AggAttr::Kind::kEntrySet: {
+      ByteWriter w2(out);
+      w2.PutU8(static_cast<uint8_t>(a.set_form));
+      if (a.set_form == AggAttr::SetForm::kAggOfEntry) {
+        w2.PutU8(static_cast<uint8_t>(a.outer_fn));
+        AppendEntryAgg(out, a.entry);
+      }
+      break;
+    }
+  }
+}
+
+void AppendAggSel(std::string* out, const std::optional<AggSelFilter>& agg) {
+  ByteWriter w(out);
+  w.PutU8(agg.has_value() ? 1 : 0);
+  if (!agg.has_value()) return;
+  AppendAggAttr(out, agg->lhs);
+  ByteWriter w2(out);
+  w2.PutU8(static_cast<uint8_t>(agg->op));
+  AppendAggAttr(out, agg->rhs);
+}
+
+void AppendNode(std::string* out, const Query& q) {
+  ByteWriter w(out);
+  w.PutU8(static_cast<uint8_t>(q.op()));
+  switch (q.op()) {
+    case QueryOp::kAtomic:
+      w.PutU8(static_cast<uint8_t>(q.scope()));
+      w.PutString(q.base().HierKey());
+      AppendAtomicFilter(out, q.filter());
+      return;
+    case QueryOp::kLdap:
+      w.PutU8(static_cast<uint8_t>(q.scope()));
+      w.PutString(q.base().HierKey());
+      AppendLdapFilter(out, *q.ldap_filter());
+      return;
+    default:
+      break;
+  }
+  // Operator node: reference attribute (vd/dv), aggregate filter, then
+  // the operands in q1/q2/q3 order (arity is implied by the op kind, but
+  // encode it anyway so truncated encodings can never alias).
+  w.PutString(q.ref_attr());
+  AppendAggSel(out, q.agg());
+  size_t arity = (q.q1() != nullptr ? 1 : 0) + (q.q2() != nullptr ? 1 : 0) +
+                 (q.q3() != nullptr ? 1 : 0);
+  ByteWriter w2(out);
+  w2.PutVarint(arity);
+  for (const QueryPtr& child : {q.q1(), q.q2(), q.q3()}) {
+    if (child != nullptr) AppendNode(out, *child);
+  }
+}
+
+void CountSubtrees(
+    const QueryPtr& q,
+    std::unordered_map<std::string, PlanCensus::SharedPlan>* counts) {
+  if (q == nullptr) return;
+  PlanCensus::SharedPlan& sp = (*counts)[QueryFingerprint(*q)];
+  if (sp.occurrences++ == 0) {
+    sp.plan = q;
+    sp.nodes = q->NodeCount();
+  }
+  CountSubtrees(q->q1(), counts);
+  CountSubtrees(q->q2(), counts);
+  CountSubtrees(q->q3(), counts);
+}
+
+void CollectMaximal(const QueryPtr& q, const PlanCensus& census,
+                    std::unordered_set<std::string>* emitted,
+                    std::vector<QueryPtr>* out) {
+  if (q == nullptr) return;
+  std::string fp = QueryFingerprint(*q);
+  if (census.shared.count(fp) != 0) {
+    // A shared subtree: materialize this root once; nested shared
+    // subtrees are published while it evaluates, so do not descend.
+    if (emitted->insert(std::move(fp)).second) out->push_back(q);
+    return;
+  }
+  CollectMaximal(q->q1(), census, emitted, out);
+  CollectMaximal(q->q2(), census, emitted, out);
+  CollectMaximal(q->q3(), census, emitted, out);
+}
+
+}  // namespace
+
+std::string QueryFingerprint(const Query& query) {
+  std::string fp("qfp1");  // versioned: bump on any encoding change
+  AppendNode(&fp, query);
+  return fp;
+}
+
+std::unordered_set<std::string> PlanCensus::SharedKeys() const {
+  std::unordered_set<std::string> keys;
+  keys.reserve(shared.size());
+  for (const auto& [fp, sp] : shared) keys.insert(fp);
+  return keys;
+}
+
+uint64_t PlanCensus::TotalOccurrences() const {
+  uint64_t total = 0;
+  for (const auto& [fp, sp] : shared) total += sp.occurrences;
+  return total;
+}
+
+PlanCensus AnalyzeBatch(const std::vector<QueryPtr>& plans) {
+  PlanCensus census;
+  std::unordered_map<std::string, PlanCensus::SharedPlan> counts;
+  for (const QueryPtr& plan : plans) CountSubtrees(plan, &counts);
+  for (auto& [fp, sp] : counts) {
+    if (sp.occurrences >= 2) census.shared.emplace(fp, sp);
+  }
+  std::unordered_set<std::string> emitted;
+  for (const QueryPtr& plan : plans) {
+    CollectMaximal(plan, census, &emitted, &census.maximal);
+  }
+  return census;
+}
+
+}  // namespace ndq

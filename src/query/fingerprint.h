@@ -1,0 +1,76 @@
+// Plan fingerprints: a typed, canonical encoding of query subtrees.
+//
+// The physical design makes every operand list reusable: an operand is
+// materialized in reverse-DN order, so two occurrences of the SAME
+// sub-plan — within one query or across a batch of queries — denote the
+// same sorted list on the same store snapshot. A fingerprint is the
+// equality key for that reuse: a version-tagged, length-prefixed binary
+// encoding of the whole subtree (operator kinds, scopes, base HierKeys,
+// typed filter constants, aggregate-selection filters, reference
+// attributes), so two subtrees share a fingerprint only when they are
+// semantically the same plan.
+//
+// The human-readable Query::ToString is NOT sound as a key: "x=5"
+// renders identically for int equality and string equality on "5", and a
+// rewrite can turn an atomic leaf into an LDAP leaf with the same label.
+// The fingerprint distinguishes all of those. It deliberately EXCLUDES
+// execution knobs (parallelism, tracing, budgets): the materialized list
+// is invariant under them.
+//
+// AnalyzeBatch is the census the multi-query schedulers run over a batch
+// of canonicalized plans: which sub-plans occur more than once, and the
+// maximal shared subtrees worth materializing exactly once (engine/ for
+// local evaluation, dist/ for batched sub-plan shipping).
+
+#ifndef NDQ_QUERY_FINGERPRINT_H_
+#define NDQ_QUERY_FINGERPRINT_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "query/ast.h"
+
+namespace ndq {
+
+/// Canonical fingerprint of the plan subtree rooted at `query`.
+/// Equal fingerprints <=> semantically identical sub-plans (same operator
+/// tree, scopes, bases, typed filters, aggregate filters, ref attrs).
+std::string QueryFingerprint(const Query& query);
+
+/// The cross-query sharing census of one batch of plans.
+struct PlanCensus {
+  /// One sub-plan that occurs at least twice across the batch.
+  struct SharedPlan {
+    QueryPtr plan;          ///< a representative occurrence
+    size_t occurrences = 0; ///< total occurrences across all plans
+    size_t nodes = 0;       ///< subtree size of the plan
+  };
+
+  /// Every shared sub-plan, keyed by fingerprint.
+  std::unordered_map<std::string, SharedPlan> shared;
+
+  /// Representatives of the MAXIMAL shared subtrees: shared sub-plans not
+  /// strictly contained in another shared sub-plan occurrence. These are
+  /// the roots a scheduler materializes once; nested shared subtrees are
+  /// published as a side effect of evaluating them.
+  std::vector<QueryPtr> maximal;
+
+  /// The fingerprints of every shared sub-plan (the set an evaluator
+  /// consults its operand cache for).
+  std::unordered_set<std::string> SharedKeys() const;
+
+  /// Total shared occurrences across the batch (>= 2 per shared plan).
+  uint64_t TotalOccurrences() const;
+};
+
+/// Counts every subtree occurrence across `plans` and derives the shared
+/// set and its maximal representatives. Plans should already be
+/// canonicalized (e.g. via RewriteQuery) so that syntactic variants of
+/// the same sub-plan fingerprint identically.
+PlanCensus AnalyzeBatch(const std::vector<QueryPtr>& plans);
+
+}  // namespace ndq
+
+#endif  // NDQ_QUERY_FINGERPRINT_H_

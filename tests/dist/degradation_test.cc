@@ -59,7 +59,7 @@ TEST(DegradationTest, DownedServerYieldsPartialResultWithWarning) {
 
   std::vector<DegradationWarning> warnings = fleet.last_warnings();
   ASSERT_EQ(warnings.size(), 1u);
-  EXPECT_EQ(warnings[0].server, "research-server");
+  EXPECT_EQ(warnings[0].source, "research-server");
   EXPECT_NE(warnings[0].ToString().find("research-server"),
             std::string::npos);
   EXPECT_GE(uint64_t{fleet.net_stats().degraded_results}, 1u);
