@@ -70,7 +70,7 @@ struct EngineHarness {
     return o;
   }
 
-  EngineHarness(SimDisk* scratch, const EntrySource* store,
+  EngineHarness(Disk* scratch, const EntrySource* store,
                 EngineOptions opts = ColdOptions())
       : engine(scratch, store, opts), session(engine.OpenSession()) {}
 

@@ -79,6 +79,18 @@ struct Shell {
                                   : size_t{0});
   }
 
+  void SetIoDepth(size_t n) {
+    engine.SetIoDepth(n);
+    if (n == 0) {
+      std::printf("async I/O off (synchronous page reads)\n");
+    } else {
+      std::printf(
+          "io-depth set to %zu (run scans keep up to %zu page reads in "
+          "flight; page accounting is unchanged)\n",
+          engine.io_depth(), engine.io_depth());
+    }
+  }
+
   // Cached operand lists are snapshots of the store; drop them whenever
   // it mutates (.load/.apply/.add/.delete).
   void InvalidateCache() { engine.InvalidateCaches(); }
@@ -165,10 +177,11 @@ struct Shell {
       PrintFailure(outcome);
       return;
     }
-    std::printf("settings: parallelism=%zu faults=%s cache=%zu pages\n",
-                engine.parallelism(), fault_spec.c_str(),
-                engine.cache() != nullptr ? engine.cache()->capacity_pages()
-                                          : size_t{0});
+    std::printf(
+        "settings: parallelism=%zu iodepth=%zu faults=%s cache=%zu pages\n",
+        engine.parallelism(), engine.io_depth(), fault_spec.c_str(),
+        engine.cache() != nullptr ? engine.cache()->capacity_pages()
+                                  : size_t{0});
     std::printf(
         "%s",
         ndq::ExplainAnalyze(store(), *outcome.plan, outcome.trace).c_str());
@@ -269,6 +282,9 @@ const char* kHelp =
     "                      evaluate independent operand subtrees on up to\n"
     "                      n threads, with a sorted-operand cache for\n"
     "                      repeated atomic sub-queries (1 = sequential)\n"
+    "  .set iodepth <n>    keep up to n async page reads in flight on\n"
+    "                      sequential run scans (0 = synchronous, the\n"
+    "                      default; page accounting is identical)\n"
     "  .set faults <spec>  inject I/O faults on both disks; spec is\n"
     "                      rule[;rule...], rule = ops[:n=k|:every=k|:p=x\n"
     "                      |:seed=s|:page=id|:sticky], ops in\n"
@@ -351,6 +367,14 @@ int main(int argc, char** argv) {
         continue;
       }
       shell.SetParallelism(static_cast<size_t>(n));
+    } else if (line.rfind(".set iodepth ", 0) == 0) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(line.c_str() + 13, &end, 10);
+      if (end == line.c_str() + 13 || (end != nullptr && *end != '\0')) {
+        std::printf("usage: .set iodepth <n>\n");
+        continue;
+      }
+      shell.SetIoDepth(static_cast<size_t>(n));
     } else if (line.rfind(".explain analyze ", 0) == 0) {
       std::string q = line.substr(17);
       // Multi-line queries: keep reading while parens are unbalanced.

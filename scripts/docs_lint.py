@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Documentation link lint (stdlib only; run from the repo root or via CI).
+
+Checks two invariants over the Markdown docs:
+
+  1. Reachability: every file under docs/*.md is reachable from README.md
+     by following relative Markdown links (a doc nobody links to is a doc
+     nobody reads).
+  2. Resolution: every relative link in every checked doc points at a file
+     that exists (anchors are stripped; http(s)/mailto links are skipped).
+
+Exit code 0 = clean, 1 = violations (each printed as file: message).
+"""
+
+import os
+import re
+import sys
+
+# Matches inline links [text](target) — not images, not reference-style.
+# Good enough for this repo's docs; deliberately ignores code fences by
+# stripping them first.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+# Bare doc mentions like `docs/ARCHITECTURE.md` in prose or bullet lists
+# count for reachability: the documentation map uses that style.
+BARE_RE = re.compile(r"`((?:docs/)?[A-Za-z_][A-Za-z0-9_./-]*\.md)`")
+
+
+def links_of(path):
+    with open(path, encoding="utf-8") as f:
+        text = FENCE_RE.sub("", f.read())
+    targets = LINK_RE.findall(text) + BARE_RE.findall(text)
+    out = []
+    for t in targets:
+        if t.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        out.append(t.split("#", 1)[0])
+    return out
+
+
+def main():
+    root = os.getcwd()
+    readme = os.path.join(root, "README.md")
+    if not os.path.isfile(readme):
+        print("docs_lint: run from the repo root (README.md not found)")
+        return 1
+
+    errors = []
+
+    # Walk the link graph from README.md over Markdown files.
+    seen = set()
+    queue = [readme]
+    while queue:
+        path = queue.pop()
+        rel = os.path.relpath(path, root)
+        if path in seen:
+            continue
+        seen.add(path)
+        for target in links_of(path):
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}: broken link -> {target}")
+            elif resolved.endswith(".md"):
+                queue.append(resolved)
+
+    # Every doc under docs/ must have been reached.
+    docs_dir = os.path.join(root, "docs")
+    for name in sorted(os.listdir(docs_dir)):
+        if not name.endswith(".md"):
+            continue
+        path = os.path.join(docs_dir, name)
+        if path not in seen:
+            errors.append(
+                f"docs/{name}: unreachable from README.md (add it to the "
+                "documentation map)")
+
+    for e in errors:
+        print(f"docs_lint: {e}")
+    if not errors:
+        print(f"docs_lint: OK ({len(seen)} markdown files, all links resolve)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,7 +63,7 @@ QosPolicyEngine::QosPolicyEngine(Engine* engine, Dn domain)
     : policies_base_(domain.Child(MustRdn("ou", "networkPolicies"))),
       session_(engine->OpenSession()) {}
 
-QosPolicyEngine::QosPolicyEngine(SimDisk* scratch, const EntrySource* store,
+QosPolicyEngine::QosPolicyEngine(Disk* scratch, const EntrySource* store,
                                  Dn domain, ExecOptions options)
     : policies_base_(domain.Child(MustRdn("ou", "networkPolicies"))),
       owned_engine_(std::make_unique<Engine>(scratch, store, [&] {

@@ -59,7 +59,7 @@ class QosPolicyEngine {
   /// DEPRECATED shim: wires a private borrowing-mode Engine over
   /// (scratch, store) with the operand cache off (matching the historic
   /// uncached read-through semantics). Prefer the Engine constructor.
-  QosPolicyEngine(SimDisk* scratch, const EntrySource* store, Dn domain,
+  QosPolicyEngine(Disk* scratch, const EntrySource* store, Dn domain,
                   ExecOptions options = {});
 
   /// Full resolution per Sec. 2.1.

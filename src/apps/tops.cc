@@ -52,7 +52,7 @@ TopsResolver::TopsResolver(Engine* engine, Dn domain)
     : profiles_base_(domain.Child(MustRdn("ou", "userProfiles"))),
       session_(engine->OpenSession()) {}
 
-TopsResolver::TopsResolver(SimDisk* scratch, const EntrySource* store,
+TopsResolver::TopsResolver(Disk* scratch, const EntrySource* store,
                            Dn domain, ExecOptions options)
     : profiles_base_(domain.Child(MustRdn("ou", "userProfiles"))),
       owned_engine_(std::make_unique<Engine>(scratch, store, [&] {

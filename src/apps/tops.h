@@ -47,7 +47,7 @@ class TopsResolver {
   /// DEPRECATED shim: wires a private borrowing-mode Engine over
   /// (scratch, store) with the operand cache off (matching the historic
   /// uncached read-through semantics). Prefer the Engine constructor.
-  TopsResolver(SimDisk* scratch, const EntrySource* store, Dn domain,
+  TopsResolver(Disk* scratch, const EntrySource* store, Dn domain,
                ExecOptions options = {});
 
   /// Dial-by-name: resolve `callee_uid` under the configured domain.

@@ -422,7 +422,7 @@ Result<EntryList> DistributedDirectory::EvaluateNodeImpl(
 
 Result<EntryList> DistributedDirectory::EvaluateNodeDispatch(
     const Query& query, OpTrace* trace, bool* shipped_whole) {
-  SimDisk* disk = coordinator_disk_.get();
+  Disk* disk = coordinator_disk_.get();
   if (query_shipping_ && !query.is_atomic() &&
       query.op() != QueryOp::kLdap) {
     DirectoryServer* owner = SingleOwner(query);

@@ -84,7 +84,7 @@ class DirectoryServer {
 
   const std::string& name() const { return name_; }
   const Dn& context() const { return context_; }
-  SimDisk* disk() { return disk_.get(); }
+  Disk* disk() { return disk_.get(); }
   const EntryStore& store() const { return store_; }
   size_t num_entries() const { return store_.num_entries(); }
 
@@ -189,7 +189,7 @@ class DistributedDirectory {
   const NetStats& net_stats() const { return net_; }
   void ResetStats();
 
-  SimDisk* coordinator_disk() { return coordinator_disk_.get(); }
+  Disk* coordinator_disk() { return coordinator_disk_.get(); }
   const std::vector<std::unique_ptr<DirectoryServer>>& servers() const {
     return servers_;
   }

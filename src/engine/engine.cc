@@ -1,11 +1,16 @@
 #include "engine/engine.h"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
 #include <utility>
 
 #include "exec/cost.h"
 #include "query/fingerprint.h"
 #include "query/parser.h"
 #include "query/rewrite.h"
+#include "storage/file_disk.h"
 
 namespace ndq {
 
@@ -350,9 +355,37 @@ SessionStats Session::stats() const {
 // Engine
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Builds one engine-owned disk per EngineOptions::disk_backend
+/// ("" = $NDQ_DISK_BACKEND, then "sim"). File-backed disks live under
+/// $NDQ_FILE_DISK_DIR (default /tmp) and are unlinked immediately after
+/// opening — the fd keeps the storage alive for the engine's lifetime
+/// and nothing ever leaks into the filesystem.
+std::unique_ptr<Disk> MakeOwnedDisk(const EngineOptions& options,
+                                    const char* role) {
+  std::string backend = options.disk_backend;
+  if (backend.empty()) {
+    const char* env = std::getenv("NDQ_DISK_BACKEND");
+    if (env != nullptr) backend = env;
+  }
+  if (backend != "file") return std::make_unique<SimDisk>(options.page_size);
+
+  static std::atomic<uint64_t> seq{0};
+  const char* dir = std::getenv("NDQ_FILE_DISK_DIR");
+  std::string path = std::string(dir != nullptr ? dir : "/tmp") + "/ndq-" +
+                     role + "-" + std::to_string(::getpid()) + "-" +
+                     std::to_string(seq.fetch_add(1)) + ".pages";
+  auto disk = std::make_unique<FileDisk>(path, options.page_size);
+  if (disk->init_status().ok()) ::unlink(path.c_str());
+  return disk;
+}
+
+}  // namespace
+
 Engine::Engine(Schema schema, EngineOptions options)
-    : owned_data_disk_(std::make_unique<SimDisk>(options.page_size)),
-      owned_scratch_(std::make_unique<SimDisk>(options.page_size)),
+    : owned_data_disk_(MakeOwnedDisk(options, "data")),
+      owned_scratch_(MakeOwnedDisk(options, "scratch")),
       owned_store_(std::make_unique<DirectoryStore>(owned_data_disk_.get(),
                                                     std::move(schema))),
       scratch_(owned_scratch_.get()),
@@ -362,8 +395,8 @@ Engine::Engine(Schema schema, EngineOptions options)
   Init();
 }
 
-Engine::Engine(SimDisk* scratch, const EntrySource* store,
-               EngineOptions options, SimDisk* data_disk)
+Engine::Engine(Disk* scratch, const EntrySource* store,
+               EngineOptions options, Disk* data_disk)
     : scratch_(scratch),
       data_disk_(data_disk),
       store_(store),
@@ -387,6 +420,7 @@ void Engine::Init() {
     // SetFaults directly to observe the parse error.
     SetFaults(options_.fault_spec).ok();
   }
+  if (options_.io_depth > 0) SetIoDepth(options_.io_depth);
 }
 
 Engine::~Engine() {
@@ -452,6 +486,21 @@ void Engine::SetPageBudget(uint64_t pages) {
   options_.per_query_page_budget = pages;
 }
 
+void Engine::SetIoDepth(size_t n) {
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  sched_cv_.wait(lock, [&] { return global_inflight_ == 0; });
+  scratch_->SetIoDepth(n);
+  if (data_disk_ != nullptr && data_disk_ != scratch_) {
+    data_disk_->SetIoDepth(n);
+  }
+  options_.io_depth = n;
+}
+
+size_t Engine::io_depth() const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  return options_.io_depth;
+}
+
 uint64_t Engine::page_budget() const {
   std::lock_guard<std::mutex> lock(sched_mu_);
   return options_.per_query_page_budget;
@@ -501,6 +550,7 @@ QueryOutcome Engine::ExecuteQuery(const QueryPtr& plan,
   out.estimated_pages = EstimateCost(*store_, *plan).TotalPages();
   Result<std::vector<Entry>> r =
       evaluator_->EvaluateToEntries(*plan, &out.trace, shared);
+  out.trace.io_depth = scratch_->io_depth();
   if (!r.ok()) {
     out.status = r.status();
     return out;

@@ -56,6 +56,17 @@ namespace ndq {
 struct EngineOptions {
   /// Page size of engine-owned disks (schema-owning constructor only).
   size_t page_size = kDefaultPageSize;
+  /// Backend of engine-owned disks (schema-owning constructor only):
+  /// "sim" (default) = in-memory SimDisk, "file" = real-file FileDisk
+  /// (storage/file_disk.h) under $NDQ_FILE_DISK_DIR (default /tmp).
+  /// Empty = consult $NDQ_DISK_BACKEND, then fall back to "sim" — which
+  /// is how CI runs the whole suite against the file backend without
+  /// touching each test.
+  std::string disk_backend;
+  /// Async read io-depth applied to the engine's disks at construction
+  /// (see Disk::SetIoDepth). 0 (default) = synchronous reads. Changeable
+  /// later via SetIoDepth.
+  size_t io_depth = 0;
   /// Evaluation knobs; `exec.parallelism` sizes the fleet-wide pool.
   ExecOptions exec;
   /// Operand cache capacity on the scratch disk. 0 disables the cache
@@ -220,8 +231,8 @@ class Engine {
   /// EntryStore) using `scratch` for intermediates. `data_disk` is
   /// optional and only used to attach fault injection to the store's own
   /// device; both pointers must outlive the engine.
-  Engine(SimDisk* scratch, const EntrySource* store,
-         EngineOptions options = {}, SimDisk* data_disk = nullptr);
+  Engine(Disk* scratch, const EntrySource* store,
+         EngineOptions options = {}, Disk* data_disk = nullptr);
 
   ~Engine();
 
@@ -245,6 +256,15 @@ class Engine {
   /// (0 = unlimited). Takes effect on the next submission.
   void SetPageBudget(uint64_t pages);
 
+  /// Attaches (n > 0) or detaches (n == 0) the async read engine on the
+  /// engine's disks: sequential run scans then keep up to `n` page reads
+  /// in flight (storage/prefetcher.h). Waits for every in-flight query
+  /// first (the async engine must not be swapped under a running scan);
+  /// persists for all future queries. Page accounting is identical at any
+  /// io-depth — only wall-clock changes.
+  void SetIoDepth(size_t n);
+  size_t io_depth() const;
+
   /// Drops cached operand lists. Call after mutating the store: cached
   /// lists are snapshots of it.
   void InvalidateCaches();
@@ -256,10 +276,10 @@ class Engine {
   const EntrySource& store() const { return *store_; }
   /// The engine-owned mutable store, or nullptr in borrowing mode.
   DirectoryStore* mutable_store() { return owned_store_.get(); }
-  SimDisk* scratch() { return scratch_; }
+  Disk* scratch() { return scratch_; }
   /// The data device: engine-owned in owning mode, the constructor's
   /// `data_disk` (possibly null) in borrowing mode.
-  SimDisk* data_disk() { return data_disk_; }
+  Disk* data_disk() { return data_disk_; }
   /// Null when cache_capacity_pages == 0.
   OperandCache* cache() { return cache_.get(); }
   /// Null when no fault policy is installed.
@@ -296,13 +316,14 @@ class Engine {
   void AttachInjector(FaultInjector* injector);
 
   // Storage (owning mode); declared first so everything above it can
-  // refer to it during destruction.
-  std::unique_ptr<SimDisk> owned_data_disk_;
-  std::unique_ptr<SimDisk> owned_scratch_;
+  // refer to it during destruction. SimDisk or FileDisk per
+  // EngineOptions::disk_backend.
+  std::unique_ptr<Disk> owned_data_disk_;
+  std::unique_ptr<Disk> owned_scratch_;
   std::unique_ptr<DirectoryStore> owned_store_;
 
-  SimDisk* scratch_ = nullptr;
-  SimDisk* data_disk_ = nullptr;  // may be null in borrowing mode
+  Disk* scratch_ = nullptr;
+  Disk* data_disk_ = nullptr;  // may be null in borrowing mode
   const EntrySource* store_ = nullptr;
 
   EngineOptions options_;

@@ -5,7 +5,7 @@ namespace ndq {
 namespace {
 
 template <typename MatchFn>
-Result<EntryList> ScanScope(SimDisk* disk, const EntrySource& store,
+Result<EntryList> ScanScope(Disk* disk, const EntrySource& store,
                             const Dn& base, Scope scope,
                             const MatchFn& matches, OpTrace* trace) {
   uint64_t scanned = 0;
@@ -51,7 +51,7 @@ Result<EntryList> ScanScope(SimDisk* disk, const EntrySource& store,
 
 }  // namespace
 
-Result<EntryList> EvalAtomic(SimDisk* disk, const EntrySource& store,
+Result<EntryList> EvalAtomic(Disk* disk, const EntrySource& store,
                              const Dn& base, Scope scope,
                              const AtomicFilter& filter, OpTrace* trace) {
   if (trace != nullptr) trace->op = QueryOp::kAtomic;
@@ -60,7 +60,7 @@ Result<EntryList> EvalAtomic(SimDisk* disk, const EntrySource& store,
                    trace);
 }
 
-Result<EntryList> EvalLdap(SimDisk* disk, const EntrySource& store,
+Result<EntryList> EvalLdap(Disk* disk, const EntrySource& store,
                            const Dn& base, Scope scope,
                            const LdapFilter& filter, OpTrace* trace) {
   if (trace != nullptr) trace->op = QueryOp::kLdap;

@@ -17,13 +17,13 @@ namespace ndq {
 
 /// Evaluates "(base ? scope ? filter)" over the store. A non-null `trace`
 /// receives the leaf's counters (records scanned vs. matched).
-Result<EntryList> EvalAtomic(SimDisk* disk, const EntrySource& store,
+Result<EntryList> EvalAtomic(Disk* disk, const EntrySource& store,
                              const Dn& base, Scope scope,
                              const AtomicFilter& filter,
                              OpTrace* trace = nullptr);
 
 /// Evaluates a baseline LDAP query (base + scope + boolean filter).
-Result<EntryList> EvalLdap(SimDisk* disk, const EntrySource& store,
+Result<EntryList> EvalLdap(Disk* disk, const EntrySource& store,
                            const Dn& base, Scope scope,
                            const LdapFilter& filter,
                            OpTrace* trace = nullptr);

@@ -2,7 +2,7 @@
 
 namespace ndq {
 
-Result<EntryList> EvalBoolean(SimDisk* disk, QueryOp op, const EntryList& l1,
+Result<EntryList> EvalBoolean(Disk* disk, QueryOp op, const EntryList& l1,
                               const EntryList& l2, OpTrace* trace) {
   if (op != QueryOp::kAnd && op != QueryOp::kOr && op != QueryOp::kDiff) {
     return Status::InvalidArgument("EvalBoolean: not a boolean operator");

@@ -18,7 +18,7 @@ namespace ndq {
 /// Computes (& L1 L2), (| L1 L2) or (- L1 L2); op must be one of kAnd,
 /// kOr, kDiff. Inputs are borrowed, the result is a fresh list. A non-null
 /// `trace` receives the merge's input/output counters.
-Result<EntryList> EvalBoolean(SimDisk* disk, QueryOp op, const EntryList& l1,
+Result<EntryList> EvalBoolean(Disk* disk, QueryOp op, const EntryList& l1,
                               const EntryList& l2, OpTrace* trace = nullptr);
 
 }  // namespace ndq

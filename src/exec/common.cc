@@ -2,7 +2,7 @@
 
 namespace ndq {
 
-LabeledMerge::LabeledMerge(SimDisk* disk, const EntryList* l1,
+LabeledMerge::LabeledMerge(Disk* disk, const EntryList* l1,
                            const EntryList* l2, const EntryList* l3) {
   const EntryList* lists[3] = {l1, l2, l3};
   const uint8_t labels[3] = {kInL1, kInL2, kInL3};
@@ -51,7 +51,7 @@ Result<bool> LabeledMerge::Next(LabeledRecord* out) {
   return true;
 }
 
-Result<Run> MaterializeLabeledMerge(SimDisk* disk, const EntryList* l1,
+Result<Run> MaterializeLabeledMerge(Disk* disk, const EntryList* l1,
                                     const EntryList* l2,
                                     const EntryList* l3) {
   LabeledMerge merge(disk, l1, l2, l3);
@@ -268,7 +268,7 @@ std::optional<int64_t> InnerValue(
 
 }  // namespace
 
-Result<EntryList> FilterAnnotatedList(SimDisk* disk, Run annotated,
+Result<EntryList> FilterAnnotatedList(Disk* disk, Run annotated,
                                       const AggProgram& prog) {
   // This function consumes `annotated` on every path: the guard frees it
   // if any scan below fails.
@@ -339,7 +339,7 @@ AggSelFilter ExistentialFilter() {
   return f;
 }
 
-Result<EntryList> MakeEntryList(SimDisk* disk,
+Result<EntryList> MakeEntryList(Disk* disk,
                                 const std::vector<const Entry*>& entries) {
   RunWriter writer(disk);
   std::string buf;
@@ -351,7 +351,7 @@ Result<EntryList> MakeEntryList(SimDisk* disk,
   return writer.Finish();
 }
 
-Result<std::vector<Entry>> ReadEntryList(SimDisk* disk,
+Result<std::vector<Entry>> ReadEntryList(Disk* disk,
                                          const EntryList& list) {
   std::vector<Entry> out;
   RunReader reader(disk, list);

@@ -53,7 +53,7 @@ struct ExecOptions {
 class ScopedRun {
  public:
   ScopedRun() = default;
-  ScopedRun(SimDisk* disk, Run run) : disk_(disk), run_(run) {}
+  ScopedRun(Disk* disk, Run run) : disk_(disk), run_(run) {}
   ~ScopedRun() { Reset(); }
 
   ScopedRun(ScopedRun&& other) noexcept { *this = std::move(other); }
@@ -86,7 +86,7 @@ class ScopedRun {
   /// since it runs on paths that already carry a primary error).
   Status Free() {
     if (disk_ == nullptr) return Status::OK();
-    SimDisk* d = disk_;
+    Disk* d = disk_;
     disk_ = nullptr;
     return FreeRun(d, &run_);
   }
@@ -94,7 +94,7 @@ class ScopedRun {
   void Reset() { Free().ok(); }
 
  private:
-  SimDisk* disk_ = nullptr;
+  Disk* disk_ = nullptr;
   Run run_;
 };
 
@@ -121,7 +121,7 @@ class LabeledMerge {
   /// no I/O; the first Next() call primes the inputs, so read errors from
   /// the initial page fetches surface through Next()'s Status instead of
   /// being lost in a constructor.
-  LabeledMerge(SimDisk* disk, const EntryList* l1, const EntryList* l2,
+  LabeledMerge(Disk* disk, const EntryList* l1, const EntryList* l2,
                const EntryList* l3);
 
   /// Reads the next merged element; returns false at end.
@@ -143,7 +143,7 @@ class LabeledMerge {
 };
 
 /// Materializes a labeled merge into a run of [u8 labels][entry] records.
-Result<Run> MaterializeLabeledMerge(SimDisk* disk, const EntryList* l1,
+Result<Run> MaterializeLabeledMerge(Disk* disk, const EntryList* l1,
                                     const EntryList* l2, const EntryList* l3);
 
 /// Splits a labeled record produced by MaterializeLabeledMerge.
@@ -219,7 +219,7 @@ struct AggProgram {
 /// (when the program needs entry-set aggregates) followed by the selection
 /// scan. The annotated input is consumed (freed); the result contains the
 /// plain entry records that pass. Linear I/O (<= 2 scans + output).
-Result<EntryList> FilterAnnotatedList(SimDisk* disk, Run annotated,
+Result<EntryList> FilterAnnotatedList(Disk* disk, Run annotated,
                                       const AggProgram& prog);
 
 /// The implicit existential filter "count($2) > 0" (Sec. 6.2 observes the
@@ -231,11 +231,11 @@ AggSelFilter ExistentialFilter();
 // ---------------------------------------------------------------------------
 
 /// Materializes entries (already key-ordered) into an EntryList.
-Result<EntryList> MakeEntryList(SimDisk* disk,
+Result<EntryList> MakeEntryList(Disk* disk,
                                 const std::vector<const Entry*>& entries);
 
 /// Reads back a whole entry list (for tests).
-Result<std::vector<Entry>> ReadEntryList(SimDisk* disk,
+Result<std::vector<Entry>> ReadEntryList(Disk* disk,
                                          const EntryList& list);
 
 }  // namespace ndq

@@ -166,6 +166,11 @@ void ExplainAnalyzeNode(const EntrySource& store, const Query& q,
   AppendIfNonZero(out, "retries", t.retries);
   AppendIfNonZero(out, "degraded", t.degraded_shards);
   AppendIfNonZero(out, "worker", t.worker);
+  // Async I/O fields; all zero (hence absent) under synchronous reads.
+  AppendIfNonZero(out, "io_depth", t.io_depth);
+  AppendIfNonZero(out, "prefetch_hits", self.prefetch_hits);
+  AppendIfNonZero(out, "prefetch_wasted", self.prefetch_wasted);
+  AppendIfNonZero(out, "io_wait_us", self.io_wait_us);
   // Thread occupancy of the subtree; elide the trivial 1 so sequential
   // output is unchanged.
   size_t workers = t.SubtreeWorkers();

@@ -54,7 +54,7 @@ Status MergeContribution(std::string_view payload,
 
 // Streams pairs of a sorted pair run grouped by key, merged against the
 // (sorted) entry list L1; writes the annotated list.
-Result<Run> AnnotateByPairs(SimDisk* disk, const EntryList& l1,
+Result<Run> AnnotateByPairs(Disk* disk, const EntryList& l1,
                             const Run& sorted_pairs,
                             const AggProgram& prog) {
   RunReader l1_reader(disk, l1);
@@ -97,7 +97,7 @@ Result<Run> AnnotateByPairs(SimDisk* disk, const EntryList& l1,
 }
 
 // dv: LP = {(referenced key, contribution of r2)} from L2's attr values.
-Result<Run> BuildDvPairs(SimDisk* disk, const EntryList& l2,
+Result<Run> BuildDvPairs(Disk* disk, const EntryList& l2,
                          const std::string& attr, const AggProgram& prog,
                          const ExecOptions& options, uint64_t* sort_passes) {
   ExternalSorter sorter(disk, PairKey, options.sort);
@@ -126,7 +126,7 @@ Result<Run> BuildDvPairs(SimDisk* disk, const EntryList& l2,
 }
 
 // vd: two-sort path (see header).
-Result<Run> BuildVdPairs(SimDisk* disk, const EntryList& l1,
+Result<Run> BuildVdPairs(Disk* disk, const EntryList& l1,
                          const EntryList& l2, const std::string& attr,
                          const AggProgram& prog, const ExecOptions& options,
                          uint64_t* sort_passes) {
@@ -198,7 +198,7 @@ Result<Run> BuildVdPairs(SimDisk* disk, const EntryList& l1,
 
 }  // namespace
 
-Result<EntryList> EvalEmbeddedRef(SimDisk* disk, QueryOp op,
+Result<EntryList> EvalEmbeddedRef(Disk* disk, QueryOp op,
                                   const EntryList& l1, const EntryList& l2,
                                   const std::string& attr,
                                   const std::optional<AggSelFilter>& agg,

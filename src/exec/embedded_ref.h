@@ -26,7 +26,7 @@ namespace ndq {
 /// Evaluates (vd L1 L2 attr [agg]) or (dv L1 L2 attr [agg]). A non-null
 /// `trace` receives the operator's counters, including the merge-pass
 /// count of the pair-list sorts (Thm 7.1's log factor).
-Result<EntryList> EvalEmbeddedRef(SimDisk* disk, QueryOp op,
+Result<EntryList> EvalEmbeddedRef(Disk* disk, QueryOp op,
                                   const EntryList& l1, const EntryList& l2,
                                   const std::string& attr,
                                   const std::optional<AggSelFilter>& agg,

@@ -23,7 +23,7 @@ struct IoSnapshot {
   bool has_store = false;
 };
 
-IoSnapshot TakeSnapshot(SimDisk* disk, const EntrySource* store) {
+IoSnapshot TakeSnapshot(Disk* disk, const EntrySource* store) {
   IoSnapshot snap;
   snap.scratch = disk->stats();
   const IoStats* st = store != nullptr ? store->io_stats() : nullptr;
@@ -34,7 +34,7 @@ IoSnapshot TakeSnapshot(SimDisk* disk, const EntrySource* store) {
   return snap;
 }
 
-IoStats SnapshotDelta(const IoSnapshot& snap, SimDisk* disk,
+IoStats SnapshotDelta(const IoSnapshot& snap, Disk* disk,
                       const EntrySource* store) {
   IoStats delta = disk->stats() - snap.scratch;
   if (snap.has_store) {
@@ -52,7 +52,7 @@ IoStats SnapshotDelta(const IoSnapshot& snap, SimDisk* disk,
 // Finishes an operator step: on success, protects the freshly produced
 // list while the operand guards free, so a failed operand Free cannot
 // leak the output.
-Result<EntryList> FinishStep(SimDisk* disk, Result<EntryList> out,
+Result<EntryList> FinishStep(Disk* disk, Result<EntryList> out,
                              std::initializer_list<ScopedRun*> operands) {
   if (!out.ok()) return out;  // operand guards free via their destructors
   ScopedRun out_guard(disk, out.TakeValue());
@@ -62,7 +62,7 @@ Result<EntryList> FinishStep(SimDisk* disk, Result<EntryList> out,
 
 }  // namespace
 
-Result<EntryList> EvalSimpleAgg(SimDisk* disk, const EntryList& l1,
+Result<EntryList> EvalSimpleAgg(Disk* disk, const EntryList& l1,
                                 const AggSelFilter& filter, OpTrace* trace) {
   NDQ_ASSIGN_OR_RETURN(AggProgram prog,
                        AggProgram::Compile(filter, /*structural=*/false));

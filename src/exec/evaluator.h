@@ -39,7 +39,7 @@ struct EvalStats {
 /// \brief Evaluates query trees against one directory server's store.
 class Evaluator {
  public:
-  Evaluator(SimDisk* disk, const EntrySource* store, ExecOptions options = {})
+  Evaluator(Disk* disk, const EntrySource* store, ExecOptions options = {})
       : disk_(disk), store_(store), options_(options) {}
 
   /// Evaluates the query; the caller owns (and frees) the returned list.
@@ -57,7 +57,7 @@ class Evaluator {
  private:
   Result<EntryList> EvaluateNode(const Query& query, OpTrace* trace);
 
-  SimDisk* disk_;
+  Disk* disk_;
   const EntrySource* store_;
   ExecOptions options_;
   EvalStats stats_;
@@ -65,7 +65,7 @@ class Evaluator {
 
 /// Simple aggregate selection "(g L1 AggSelFilter)" over a materialized
 /// list (Theorem 6.1: at most two scans + output). Exposed for benches.
-Result<EntryList> EvalSimpleAgg(SimDisk* disk, const EntryList& l1,
+Result<EntryList> EvalSimpleAgg(Disk* disk, const EntryList& l1,
                                 const AggSelFilter& filter,
                                 OpTrace* trace = nullptr);
 

@@ -58,7 +58,7 @@ void MergeAccVec(const std::vector<AggAccumulator>& from,
 
 using HSStack = SpillableStack<HSItem>;
 
-std::unique_ptr<HSStack> MakeStack(SimDisk* disk, size_t window) {
+std::unique_ptr<HSStack> MakeStack(Disk* disk, size_t window) {
   return std::make_unique<HSStack>(
       disk, window, SerializeHSItem,
       [](std::string_view rec) { return DeserializeHSItem(rec); });
@@ -66,7 +66,7 @@ std::unique_ptr<HSStack> MakeStack(SimDisk* disk, size_t window) {
 
 // Forward pass for the ancestor-direction operators (p, a, ac): one scan
 // of the lexicographic merge; emits the annotated L1 list in key order.
-Result<Run> AncestorPass(SimDisk* disk, QueryOp op, const EntryList& l1,
+Result<Run> AncestorPass(Disk* disk, QueryOp op, const EntryList& l1,
                          const EntryList& l2, const EntryList* l3,
                          const AggProgram& prog, const ExecOptions& options,
                          OpTrace* trace) {
@@ -136,7 +136,7 @@ Result<Run> AncestorPass(SimDisk* disk, QueryOp op, const EntryList& l1,
 // Backward pass for the descendant-direction operators (c, d, dc): scans
 // the merged stream in DESCENDING key order; emits the annotated L1 list
 // in descending order (the caller reverses it).
-Result<Run> DescendantPass(SimDisk* disk, QueryOp op, const EntryList& l1,
+Result<Run> DescendantPass(Disk* disk, QueryOp op, const EntryList& l1,
                            const EntryList& l2, const EntryList* l3,
                            const AggProgram& prog, const ExecOptions& options,
                            OpTrace* trace) {
@@ -221,7 +221,7 @@ Result<Run> DescendantPass(SimDisk* disk, QueryOp op, const EntryList& l1,
 
 }  // namespace
 
-Result<EntryList> EvalHierarchy(SimDisk* disk, QueryOp op,
+Result<EntryList> EvalHierarchy(Disk* disk, QueryOp op,
                                 const EntryList& l1, const EntryList& l2,
                                 const EntryList* l3,
                                 const std::optional<AggSelFilter>& agg,

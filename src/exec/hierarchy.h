@@ -41,7 +41,7 @@ namespace ndq {
 /// `agg` means the existential L1 semantics. A non-null `trace` receives
 /// the pass's counters, including the spill stack's peak depth and
 /// spill/reload count (the Thm 5.1 amortization at work).
-Result<EntryList> EvalHierarchy(SimDisk* disk, QueryOp op,
+Result<EntryList> EvalHierarchy(Disk* disk, QueryOp op,
                                 const EntryList& l1, const EntryList& l2,
                                 const EntryList* l3,
                                 const std::optional<AggSelFilter>& agg,

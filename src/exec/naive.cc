@@ -24,7 +24,7 @@ bool RelatedKeys(QueryOp op, std::string_view k1, std::string_view k2) {
 }
 
 // Whether some r3 in L3 strictly intervenes between r1 and witness r2.
-Result<bool> Blocked(SimDisk* disk, QueryOp op, const EntryList& l3,
+Result<bool> Blocked(Disk* disk, QueryOp op, const EntryList& l3,
                      std::string_view k1, std::string_view k2) {
   RunReader reader(disk, l3);
   std::string rec;
@@ -48,7 +48,7 @@ Result<bool> Blocked(SimDisk* disk, QueryOp op, const EntryList& l3,
 // the stack/merge algorithms use — by Def. 6.2 that scan IS the
 // semantics, so reusing it keeps the two sides comparable while the
 // witness accumulation stays independent.
-Result<EntryList> NaiveAggSelect(SimDisk* disk, QueryOp op,
+Result<EntryList> NaiveAggSelect(Disk* disk, QueryOp op,
                                  const EntryList& l1, const EntryList& l2,
                                  const EntryList* l3,
                                  const std::string& attr,
@@ -104,7 +104,7 @@ Result<EntryList> NaiveAggSelect(SimDisk* disk, QueryOp op,
 
 }  // namespace
 
-Result<EntryList> NaiveHierarchy(SimDisk* disk, QueryOp op,
+Result<EntryList> NaiveHierarchy(Disk* disk, QueryOp op,
                                  const EntryList& l1, const EntryList& l2,
                                  const EntryList* l3,
                                  const std::optional<AggSelFilter>& agg) {
@@ -143,7 +143,7 @@ Result<EntryList> NaiveHierarchy(SimDisk* disk, QueryOp op,
   return out.Finish();
 }
 
-Result<EntryList> NaiveEmbeddedRef(SimDisk* disk, QueryOp op,
+Result<EntryList> NaiveEmbeddedRef(Disk* disk, QueryOp op,
                                    const EntryList& l1, const EntryList& l2,
                                    const std::string& attr,
                                    const std::optional<AggSelFilter>& agg) {

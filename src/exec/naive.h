@@ -31,14 +31,14 @@ namespace ndq {
 /// candidate and the aggregate selection filter decides (Sec. 6.2's
 /// generalization — existential is the count($2) > 0 special case).
 Result<EntryList> NaiveHierarchy(
-    SimDisk* disk, QueryOp op, const EntryList& l1, const EntryList& l2,
+    Disk* disk, QueryOp op, const EntryList& l1, const EntryList& l2,
     const EntryList* l3,
     const std::optional<AggSelFilter>& agg = std::nullopt);
 
 /// Quadratic evaluation of vd/dv: for each L1 entry, rescan L2 for
 /// witnesses (optionally folding their aggregate contributions).
 Result<EntryList> NaiveEmbeddedRef(
-    SimDisk* disk, QueryOp op, const EntryList& l1, const EntryList& l2,
+    Disk* disk, QueryOp op, const EntryList& l1, const EntryList& l2,
     const std::string& attr,
     const std::optional<AggSelFilter>& agg = std::nullopt);
 

@@ -12,7 +12,7 @@ std::string OperandCacheKey(const Query& query) {
   return QueryFingerprint(query);
 }
 
-OperandCache::OperandCache(SimDisk* disk, size_t capacity_pages)
+OperandCache::OperandCache(Disk* disk, size_t capacity_pages)
     : disk_(disk), capacity_pages_(capacity_pages) {}
 
 OperandCache::~OperandCache() { Clear(); }

@@ -58,7 +58,12 @@ struct OperandCacheStats {
   uint64_t oversize_rejects = 0;
   /// Copy-in or copy-out failures absorbed by the cache (the query
   /// proceeds without it: a failed copy-in is not cached, a failed
-  /// copy-out reads as a miss and evicts the entry).
+  /// copy-out reads as a miss and evicts the entry). Counts failures
+  /// under async I/O too: a prefetched read's fault/error surfaces when
+  /// the copy loop CONSUMES the page (Disk::FinishAsyncRead), i.e. on
+  /// the copying thread inside CopyList — never on an I/O worker where
+  /// it could bypass this accounting. Guarded by
+  /// OperandCacheAsyncCopyFailure in tests/exec/operand_cache_test.
   uint64_t copy_failures = 0;
   uint64_t resident_pages = 0;
   uint64_t resident_entries = 0;
@@ -67,13 +72,13 @@ struct OperandCacheStats {
 class OperandCache {
  public:
   /// `capacity_pages` bounds the total pages of cached runs (on `disk`).
-  OperandCache(SimDisk* disk, size_t capacity_pages);
+  OperandCache(Disk* disk, size_t capacity_pages);
   ~OperandCache();
 
   OperandCache(const OperandCache&) = delete;
   OperandCache& operator=(const OperandCache&) = delete;
 
-  SimDisk* disk() const { return disk_; }
+  Disk* disk() const { return disk_; }
   size_t capacity_pages() const { return capacity_pages_; }
 
   /// On a hit, copies the cached list into a fresh run owned by the caller
@@ -119,7 +124,7 @@ class OperandCache {
   void EvictLocked(
       std::unordered_map<std::string, std::shared_ptr<Entry>>::iterator it);
 
-  SimDisk* const disk_;
+  Disk* const disk_;
   const size_t capacity_pages_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;

@@ -15,7 +15,7 @@ namespace {
 
 // On success, protects the freshly produced list while the operand guards
 // free, so a failed operand Free cannot leak the output.
-Result<EntryList> FinishStep(SimDisk* disk, Result<EntryList> out,
+Result<EntryList> FinishStep(Disk* disk, Result<EntryList> out,
                              std::initializer_list<ScopedRun*> operands) {
   if (!out.ok()) return out;  // operand guards free via their destructors
   ScopedRun out_guard(disk, out.TakeValue());
@@ -25,11 +25,11 @@ Result<EntryList> FinishStep(SimDisk* disk, Result<EntryList> out,
 
 }  // namespace
 
-ParallelEvaluator::ParallelEvaluator(SimDisk* disk, const EntrySource* store,
+ParallelEvaluator::ParallelEvaluator(Disk* disk, const EntrySource* store,
                                      ExecOptions options, OperandCache* cache)
     : ParallelEvaluator(disk, store, options, cache, nullptr) {}
 
-ParallelEvaluator::ParallelEvaluator(SimDisk* disk, const EntrySource* store,
+ParallelEvaluator::ParallelEvaluator(Disk* disk, const EntrySource* store,
                                      ExecOptions options, OperandCache* cache,
                                      ThreadPool* shared_pool)
     : disk_(disk),

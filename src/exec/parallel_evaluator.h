@@ -59,7 +59,7 @@ class ParallelEvaluator {
   /// backed by the same scratch disk as the evaluator; it is consulted for
   /// every atomic leaf and must be Clear()ed by the owner whenever the
   /// store mutates.
-  ParallelEvaluator(SimDisk* disk, const EntrySource* store,
+  ParallelEvaluator(Disk* disk, const EntrySource* store,
                     ExecOptions options = {}, OperandCache* cache = nullptr);
 
   /// Engine form: runs on `shared_pool` (non-owning, must outlive the
@@ -67,7 +67,7 @@ class ParallelEvaluator {
   /// parallelism across every in-flight query. `options.parallelism` is
   /// ignored in this form; a null `shared_pool` falls back to a private
   /// pool as above.
-  ParallelEvaluator(SimDisk* disk, const EntrySource* store,
+  ParallelEvaluator(Disk* disk, const EntrySource* store,
                     ExecOptions options, OperandCache* cache,
                     ThreadPool* shared_pool);
   ~ParallelEvaluator();
@@ -111,7 +111,7 @@ class ParallelEvaluator {
   Status EvalOperandInto(const Query& query, OpTrace* trace,
                          const SharedOperands* shared, ScopedRun* out);
 
-  SimDisk* disk_;
+  Disk* disk_;
   const EntrySource* store_;
   ExecOptions options_;
   OperandCache* cache_;

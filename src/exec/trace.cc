@@ -18,6 +18,9 @@ IoStats SatDelta(const IoStats& total, const IoStats& used) {
   d.pages_allocated = SatSub(total.pages_allocated, used.pages_allocated);
   d.pages_freed = SatSub(total.pages_freed, used.pages_freed);
   d.faults_injected = SatSub(total.faults_injected, used.faults_injected);
+  d.prefetch_hits = SatSub(total.prefetch_hits, used.prefetch_hits);
+  d.prefetch_wasted = SatSub(total.prefetch_wasted, used.prefetch_wasted);
+  d.io_wait_us = SatSub(total.io_wait_us, used.io_wait_us);
   return d;
 }
 
@@ -53,6 +56,12 @@ void RenderNode(const OpTrace& t, int depth, std::string* out) {
   AppendCounter(out, "retries", t.retries, /*always=*/false);
   AppendCounter(out, "degraded", t.degraded_shards, /*always=*/false);
   AppendCounter(out, "worker", t.worker, /*always=*/false);
+  // Async-only fields: absent from synchronous traces (and their goldens).
+  AppendCounter(out, "io_depth", t.io_depth, /*always=*/false);
+  AppendCounter(out, "prefetch_hits", self.prefetch_hits, /*always=*/false);
+  AppendCounter(out, "prefetch_wasted", self.prefetch_wasted,
+                /*always=*/false);
+  AppendCounter(out, "io_wait_us", self.io_wait_us, /*always=*/false);
   char buf[48];
   std::snprintf(buf, sizeof(buf), " wall_us=%.0f", t.wall_micros);
   out->append(buf);
@@ -151,6 +160,9 @@ IoStats OpTrace::SelfIo() const {
     used.pages_allocated += c.pages_allocated;
     used.pages_freed += c.pages_freed;
     used.faults_injected += c.faults_injected;
+    used.prefetch_hits += c.prefetch_hits;
+    used.prefetch_wasted += c.prefetch_wasted;
+    used.io_wait_us += c.io_wait_us;
   }
   return SatDelta(io, used);
 }

@@ -76,6 +76,10 @@ struct OpTrace {
   /// Thread that evaluated this node: 0 = the query's calling thread,
   /// 1..N = pool workers (ThreadPool::current_worker_id()).
   uint32_t worker = 0;
+  /// Async read io-depth in effect for the query (root node only; 0 =
+  /// synchronous I/O). The per-node async counters live in `io`
+  /// (prefetch_hits / prefetch_wasted / io_wait_us).
+  uint64_t io_depth = 0;
 
   /// Page I/O of the node's subtree, summed over every disk the
   /// evaluation touched (scratch + store, or all servers).

@@ -38,7 +38,7 @@ std::vector<const Entry*> BooleanMerge(QueryOp op,
 
 }  // namespace
 
-Result<EntryList> NaiveEvaluate(SimDisk* disk, const EntrySource& store,
+Result<EntryList> NaiveEvaluate(Disk* disk, const EntrySource& store,
                                 const Query& query) {
   switch (query.op()) {
     case QueryOp::kAtomic:

@@ -31,7 +31,7 @@ namespace fuzz {
 
 /// Evaluates `query` bottom-up with the naive operator implementations.
 /// The caller owns (and frees) the returned list.
-Result<EntryList> NaiveEvaluate(SimDisk* disk, const EntrySource& store,
+Result<EntryList> NaiveEvaluate(Disk* disk, const EntrySource& store,
                                 const Query& query);
 
 }  // namespace fuzz

@@ -185,7 +185,7 @@ Result<std::optional<std::vector<uint64_t>>> AttributeIndexes::Candidates(
 }
 
 Result<std::optional<Run>> AttributeIndexes::EvalAtomic(
-    SimDisk* disk, const EntryStore& store, const Dn& base, Scope scope,
+    Disk* disk, const EntryStore& store, const Dn& base, Scope scope,
     const AtomicFilter& filter) const {
   NDQ_ASSIGN_OR_RETURN(std::optional<std::vector<uint64_t>> candidates,
                        Candidates(filter));

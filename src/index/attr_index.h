@@ -41,7 +41,7 @@ class AttributeIndexes {
   /// nullopt when the filter's attribute is not indexed (or the filter
   /// kind defeats the index); the caller then falls back to a range scan.
   /// The result, when present, is identical to EvalAtomic's.
-  Result<std::optional<Run>> EvalAtomic(SimDisk* disk,
+  Result<std::optional<Run>> EvalAtomic(Disk* disk,
                                               const EntryStore& store,
                                               const Dn& base, Scope scope,
                                               const AtomicFilter& filter)

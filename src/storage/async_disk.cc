@@ -1,0 +1,112 @@
+#include "storage/async_disk.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "storage/disk.h"
+
+namespace ndq {
+
+AsyncDisk::AsyncDisk(Disk* disk, size_t io_depth) : disk_(disk) {
+  if (io_depth == 0) io_depth = 1;
+  workers_.reserve(io_depth);
+  for (size_t i = 0; i < io_depth; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AsyncDisk::~AsyncDisk() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Unstarted requests are abandoned; anyone who would have waited on
+    // them is gone (the owner quiesced consumers first).
+    for (const RequestHandle& req : queue_) {
+      if (!req->started) {
+        req->canceled = true;
+        ++stats_.canceled_unstarted;
+      }
+    }
+    queue_.clear();
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+AsyncDisk::RequestHandle AsyncDisk::Submit(PageId page) {
+  auto req = std::make_shared<Request>();
+  req->page = page;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(req);
+    ++stats_.reads_submitted;
+  }
+  work_cv_.notify_one();
+  return req;
+}
+
+bool AsyncDisk::IsReady(const RequestHandle& req) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return req->done;
+}
+
+Status AsyncDisk::Wait(const RequestHandle& req, uint8_t* buf,
+                       uint64_t* waited_micros) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (waited_micros != nullptr) *waited_micros = 0;
+  if (!req->done) {
+    if (req->canceled) {
+      // Only the destructor abandons unstarted requests, and it requires
+      // quiesced consumers — reaching this means a use-after-cancel bug.
+      return Status::Internal("wait on canceled async read");
+    }
+    auto start = std::chrono::steady_clock::now();
+    done_cv_.wait(lock, [&] { return req->done; });
+    if (waited_micros != nullptr) {
+      *waited_micros = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    }
+  }
+  NDQ_RETURN_IF_ERROR(req->physical);
+  std::memcpy(buf, req->data.get(), disk_->page_size());
+  return Status::OK();
+}
+
+bool AsyncDisk::Cancel(const RequestHandle& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (req->done || req->started) return true;  // physical work spent
+  if (!req->canceled) {
+    req->canceled = true;
+    ++stats_.canceled_unstarted;
+  }
+  return false;
+}
+
+void AsyncDisk::WorkerLoop() {
+  for (;;) {
+    RequestHandle req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      if (req->canceled) continue;
+      req->started = true;
+    }
+    auto data = std::make_unique<uint8_t[]>(disk_->page_size());
+    Status s = disk_->PhysicalRead(req->page, data.get());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      req->physical = std::move(s);
+      req->data = std::move(data);
+      req->done = true;
+      ++stats_.reads_completed;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace ndq

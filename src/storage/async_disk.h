@@ -1,0 +1,117 @@
+// Asynchronous read engine for a Disk: a submit/complete queue served by
+// a fixed fleet of I/O worker threads.
+//
+// The paper's cost metric is page transfers, but a real directory server
+// lives and dies by how well it OVERLAPS them: access order on sorted
+// runs is fully predictable (reverse-DN sort), so a scan can keep
+// io-depth transfers in flight instead of stalling 80µs per page. The
+// AsyncDisk is the mechanism: Submit(page) enqueues a physical read and
+// returns a future-like handle immediately; `io_depth` worker threads
+// drain the queue (so at most io_depth physical reads are ever in flight);
+// Wait(handle) blocks the consumer until that read's completion.
+//
+// Accounting contract (the part that keeps the theorems honest): workers
+// perform Disk::PhysicalRead — bytes + latency only, NO transfer counters
+// and NO fault-injection consult. The consumer's Wait copies the payload
+// out, and the caller (storage/prefetcher.h) then runs the consumption-
+// time bookkeeping via Disk::FinishAsyncRead, in the exact order a
+// synchronous execution would have issued the reads. Simulated page
+// counts and fault-campaign op streams are therefore identical at every
+// io-depth; only wall-clock changes.
+//
+// Thread safety: fully thread-safe. Handles are shared_ptrs; a handle may
+// be waited on by at most one consumer but canceled by any thread.
+
+#ifndef NDQ_STORAGE_ASYNC_DISK_H_
+#define NDQ_STORAGE_ASYNC_DISK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "storage/io_stats.h"
+
+namespace ndq {
+
+class Disk;
+using PageId = uint32_t;
+
+struct AsyncDiskStats {
+  RelaxedCounter reads_submitted = 0;
+  /// Physical reads performed by the workers (started requests).
+  RelaxedCounter reads_completed = 0;
+  /// Requests canceled while still queued (no physical work spent).
+  RelaxedCounter canceled_unstarted = 0;
+};
+
+class AsyncDisk {
+ public:
+  /// One in-flight (or finished) read. Opaque to callers; pass it back to
+  /// Wait/Cancel/IsReady.
+  struct Request {
+    PageId page = 0;
+    std::unique_ptr<uint8_t[]> data;  // page payload once done
+    Status physical;                  // PhysicalRead outcome once done
+    bool started = false;             // a worker picked it up
+    bool done = false;
+    bool canceled = false;
+  };
+  using RequestHandle = std::shared_ptr<Request>;
+
+  /// Spawns `io_depth` (>= 1) worker threads over `disk`.
+  AsyncDisk(Disk* disk, size_t io_depth);
+
+  /// Cancels everything still queued and joins the workers. The owner
+  /// must guarantee no consumer is blocked in Wait at this point (the
+  /// engine drains in-flight queries before SetIoDepth(0)).
+  ~AsyncDisk();
+
+  AsyncDisk(const AsyncDisk&) = delete;
+  AsyncDisk& operator=(const AsyncDisk&) = delete;
+
+  size_t io_depth() const { return workers_.size(); }
+
+  /// Enqueues a physical read of `page`. Never blocks, never fails; the
+  /// read's outcome is reported by Wait.
+  RequestHandle Submit(PageId page);
+
+  /// True once the request's physical read has finished (Wait would not
+  /// block).
+  bool IsReady(const RequestHandle& req) const;
+
+  /// Blocks until the request completes, then copies the payload into
+  /// `buf` (page_size bytes) when the physical read succeeded and returns
+  /// its status. `waited_micros` (may be null) receives the time this
+  /// call spent blocked — 0 when the completion had already landed.
+  Status Wait(const RequestHandle& req, uint8_t* buf,
+              uint64_t* waited_micros = nullptr);
+
+  /// Cancels a request. Returns true if physical work was (or will be)
+  /// spent on it — i.e. a worker had already started it — which is what
+  /// prefetch-waste accounting wants to know. Queued-and-unstarted
+  /// requests are skipped by the workers entirely.
+  bool Cancel(const RequestHandle& req);
+
+  AsyncDiskStats stats() const { return stats_; }
+
+ private:
+  void WorkerLoop();
+
+  Disk* const disk_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue non-empty / stopping
+  std::condition_variable done_cv_;  // consumers: request completed
+  std::deque<RequestHandle> queue_;
+  bool stopping_ = false;
+  AsyncDiskStats stats_;
+  std::vector<std::thread> workers_;  // last: ctor starts them
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_STORAGE_ASYNC_DISK_H_

@@ -35,37 +35,70 @@ void PageHandle::Release() {
   }
 }
 
-BufferPool::BufferPool(SimDisk* disk, size_t capacity)
+BufferPool::BufferPool(Disk* disk, size_t capacity)
     : disk_(disk), capacity_(capacity == 0 ? 1 : capacity) {}
 
 BufferPool::~BufferPool() { FlushAll().ok(); }
 
 Result<PageHandle> BufferPool::Pin(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    ++stats_.hits;
-    Frame& f = it->second;
-    if (f.in_lru) {
-      lru_.erase(f.lru_it);
-      f.in_lru = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = frames_.find(id);
+    if (it != frames_.end()) {
+      if (it->second.loading) {
+        // Another thread is fetching this very page; wait for its fetch
+        // to resolve rather than reading the page a second time. If the
+        // fetch fails, the frame disappears and this thread retries as
+        // the fetcher (a fresh miss — same as the old serialized pool).
+        load_cv_.wait(lock, [&] {
+          auto wit = frames_.find(id);
+          return wit == frames_.end() || !wit->second.loading;
+        });
+        continue;
+      }
+      ++stats_.hits;
+      Frame& f = it->second;
+      if (f.in_lru) {
+        lru_.erase(f.lru_it);
+        f.in_lru = false;
+      }
+      ++f.pin_count;
+      return PageHandle(this, id, f.data.get());
     }
-    ++f.pin_count;
-    return PageHandle(this, id, f.data.get());
+
+    ++stats_.misses;
+    if (frames_.size() >= capacity_) NDQ_RETURN_IF_ERROR(EvictOne());
+    // Reserve the frame (it counts toward capacity and is pinned, so it
+    // can be neither evicted nor freed), then read outside the mutex so
+    // misses on distinct pages overlap their transfers.
+    Frame f;
+    f.data = std::make_unique<uint8_t[]>(disk_->page_size());
+    f.pin_count = 1;
+    f.loading = true;
+    auto [fit, inserted] = frames_.emplace(id, std::move(f));
+    if (!inserted) {
+      return Status::Internal("buffer pool: frame for page " +
+                              std::to_string(id) +
+                              " appeared during miss handling");
+    }
+    uint8_t* dest = fit->second.data.get();  // stable heap address
+    lock.unlock();
+    Status read = disk_->ReadPage(id, dest);
+    lock.lock();
+    it = frames_.find(id);
+    if (it == frames_.end() || !it->second.loading) {
+      return Status::Internal("buffer pool: loading frame for page " +
+                              std::to_string(id) + " disturbed");
+    }
+    if (!read.ok()) {
+      frames_.erase(it);
+      load_cv_.notify_all();
+      return read;
+    }
+    it->second.loading = false;
+    load_cv_.notify_all();
+    return PageHandle(this, id, it->second.data.get());
   }
-  ++stats_.misses;
-  if (frames_.size() >= capacity_) NDQ_RETURN_IF_ERROR(EvictOne());
-  Frame f;
-  f.data = std::make_unique<uint8_t[]>(disk_->page_size());
-  NDQ_RETURN_IF_ERROR(disk_->ReadPage(id, f.data.get()));
-  f.pin_count = 1;
-  auto [fit, inserted] = frames_.emplace(id, std::move(f));
-  if (!inserted) {
-    return Status::Internal("buffer pool: frame for page " +
-                            std::to_string(id) +
-                            " appeared during miss handling");
-  }
-  return PageHandle(this, id, fit->second.data.get());
 }
 
 Result<PageHandle> BufferPool::New() {

@@ -10,10 +10,20 @@
 // pinned handle's data() stays valid without the lock). Two threads may
 // pin the same page; coordinating writes to shared frame BYTES is the
 // caller's job, as it always was single-threaded.
+//
+// Miss handling is deduplicated: a miss installs a pinned "loading" frame
+// and performs the disk read OUTSIDE the pool mutex, so concurrent misses
+// on distinct pages overlap their transfers, while a second thread
+// pinning the SAME page waits for the first fetch instead of reading the
+// page twice. Hit/miss accounting is identical to the old serialized
+// pool: the waiter counts a hit exactly where it would have found the
+// frame resident, and if the fetch fails the waiter retries as the
+// fetcher (a fresh miss), preserving one-shot fault-injection semantics.
 
 #ifndef NDQ_STORAGE_BUFFER_POOL_H_
 #define NDQ_STORAGE_BUFFER_POOL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -65,7 +75,7 @@ struct BufferPoolStats {
 class BufferPool {
  public:
   /// `capacity` is the number of page frames.
-  BufferPool(SimDisk* disk, size_t capacity);
+  BufferPool(Disk* disk, size_t capacity);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -87,7 +97,7 @@ class BufferPool {
 
   const BufferPoolStats& stats() const { return stats_; }
   size_t capacity() const { return capacity_; }
-  SimDisk* disk() { return disk_; }
+  Disk* disk() { return disk_; }
 
   /// Current number of resident frames (for memory accounting in tests).
   size_t resident() const {
@@ -102,6 +112,9 @@ class BufferPool {
     std::unique_ptr<uint8_t[]> data;
     int pin_count = 0;
     bool dirty = false;
+    /// The fetching thread is filling `data` outside the pool mutex;
+    /// held pinned (pin_count 1) so it cannot be evicted or freed.
+    bool loading = false;
     std::list<PageId>::iterator lru_it;  // valid iff pin_count == 0
     bool in_lru = false;
   };
@@ -109,9 +122,10 @@ class BufferPool {
   void Unpin(PageId id, bool dirty);
   Status EvictOne();  // caller holds mu_
 
-  SimDisk* disk_;
+  Disk* disk_;
   size_t capacity_;
   mutable std::mutex mu_;
+  std::condition_variable load_cv_;  // a loading frame resolved
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // front = least recently used
   BufferPoolStats stats_;

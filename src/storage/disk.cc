@@ -5,6 +5,7 @@
 #include <cstring>
 #include <thread>
 
+#include "storage/async_disk.h"
 #include "storage/fault_injector.h"
 
 namespace ndq {
@@ -17,15 +18,16 @@ constexpr char kDiskMagic[8] = {'n', 'd', 'q', 'd', 'i', 's', 'k', '1'};
 // this thread pushes/pops or reads its own stack, so no locking is
 // needed; the innermost matching entry receives each operation.
 struct ScopeEntry {
-  const SimDisk* disk;  // nullptr = any disk
+  const Disk* disk;  // nullptr = any disk
   IoStats* acc;
 };
 thread_local std::vector<ScopeEntry> g_io_scopes;
 
-void BumpScoped(const SimDisk* disk, RelaxedCounter IoStats::* field) {
+void BumpScoped(const Disk* disk, RelaxedCounter IoStats::* field,
+                uint64_t delta = 1) {
   for (auto it = g_io_scopes.rbegin(); it != g_io_scopes.rend(); ++it) {
     if (it->disk == nullptr || it->disk == disk) {
-      ++(it->acc->*field);
+      (it->acc->*field) += delta;
       return;
     }
   }
@@ -33,13 +35,133 @@ void BumpScoped(const SimDisk* disk, RelaxedCounter IoStats::* field) {
 
 }  // namespace
 
-IoScope::IoScope(const SimDisk* disk, IoStats* acc) {
+IoScope::IoScope(const Disk* disk, IoStats* acc) {
   g_io_scopes.push_back(ScopeEntry{disk, acc});
 }
 
 IoScope::~IoScope() { g_io_scopes.pop_back(); }
 
-SimDisk::~SimDisk() { FreeAllChunks(); }
+// ---------------------------------------------------------------------------
+// Disk (base): accounting, faults, latency, async engine
+// ---------------------------------------------------------------------------
+
+Disk::Disk(size_t page_size) : page_size_(page_size) {}
+
+Disk::~Disk() = default;
+
+void Disk::ShutdownAsync() { async_.reset(); }
+
+void Disk::SetIoDepth(size_t depth) {
+  async_.reset();
+  if (depth > 0) async_ = std::make_unique<AsyncDisk>(this, depth);
+}
+
+size_t Disk::io_depth() const {
+  return async_ == nullptr ? 0 : async_->io_depth();
+}
+
+void Disk::SimulateLatency() const {
+  uint32_t us = latency_micros_.load(std::memory_order_relaxed);
+  if (us == 0) return;
+  // sleep_for (not a spin) so concurrent transfers overlap even on a
+  // single core — the point of the simulation.
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+Status Disk::CheckFault(FaultOp op, PageId id) {
+  FaultInjector* fi = injector_.load(std::memory_order_acquire);
+  if (fi == nullptr) return Status::OK();
+  Status s = fi->Check(op, id);
+  if (!s.ok()) {
+    ++stats_.faults_injected;
+    BumpScoped(this, &IoStats::faults_injected);
+  }
+  return s;
+}
+
+Result<PageId> Disk::Allocate() {
+  NDQ_RETURN_IF_ERROR(CheckFault(FaultOp::kAllocate, kInvalidPage));
+  NDQ_ASSIGN_OR_RETURN(PageId id, DoAllocate());
+  ++stats_.pages_allocated;
+  BumpScoped(this, &IoStats::pages_allocated);
+  live_pages_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Status Disk::Free(PageId id) {
+  NDQ_RETURN_IF_ERROR(CheckFault(FaultOp::kFree, id));
+  NDQ_RETURN_IF_ERROR(DoFree(id));
+  ++stats_.pages_freed;
+  BumpScoped(this, &IoStats::pages_freed);
+  live_pages_.fetch_sub(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Disk::ReadPage(PageId id, uint8_t* buf) {
+  NDQ_RETURN_IF_ERROR(CheckFault(FaultOp::kRead, id));
+  NDQ_RETURN_IF_ERROR(DoRead(id, buf));
+  ++stats_.page_reads;
+  BumpScoped(this, &IoStats::page_reads);
+  SimulateLatency();
+  return Status::OK();
+}
+
+Status Disk::WritePage(PageId id, const uint8_t* buf) {
+  NDQ_RETURN_IF_ERROR(CheckFault(FaultOp::kWrite, id));
+  NDQ_RETURN_IF_ERROR(DoWrite(id, buf));
+  ++stats_.page_writes;
+  BumpScoped(this, &IoStats::page_writes);
+  SimulateLatency();
+  return Status::OK();
+}
+
+Status Disk::PhysicalRead(PageId id, uint8_t* buf) {
+  // No fault consult, no counters: this transfer is not yet part of the
+  // simulated op stream. The I/O worker absorbs the device latency so the
+  // eventual consumer does not have to.
+  Status s = DoRead(id, buf);
+  if (s.ok()) SimulateLatency();
+  return s;
+}
+
+Status Disk::FinishAsyncRead(PageId id, const Status& physical) {
+  // Same observable order as the synchronous ReadPage: the injector is
+  // consulted first (a firing rule means the transfer "never happened" —
+  // the already-performed physical read is discarded), then the physical
+  // outcome, and only a successful consumption counts a page read.
+  NDQ_RETURN_IF_ERROR(CheckFault(FaultOp::kRead, id));
+  NDQ_RETURN_IF_ERROR(physical);
+  ++stats_.page_reads;
+  BumpScoped(this, &IoStats::page_reads);
+  return Status::OK();
+}
+
+void Disk::CountPrefetchHit() {
+  ++stats_.prefetch_hits;
+  BumpScoped(this, &IoStats::prefetch_hits);
+}
+
+void Disk::CountPrefetchWasted(uint64_t n) {
+  if (n == 0) return;
+  stats_.prefetch_wasted += n;
+  BumpScoped(this, &IoStats::prefetch_wasted, n);
+}
+
+void Disk::AddIoWaitMicros(uint64_t us) {
+  if (us == 0) return;
+  stats_.io_wait_us += us;
+  BumpScoped(this, &IoStats::io_wait_us, us);
+}
+
+// ---------------------------------------------------------------------------
+// SimDisk
+// ---------------------------------------------------------------------------
+
+SimDisk::~SimDisk() {
+  // Join the I/O workers before the chunks they read from disappear.
+  ShutdownAsync();
+  FreeAllChunks();
+}
 
 void SimDisk::FreeAllChunks() {
   for (auto& chunk : chunks_) {
@@ -56,14 +178,6 @@ SimDisk::PageSlot* SimDisk::SlotFor(PageId id) const {
   return &chunk[id & (kChunkSize - 1)];
 }
 
-void SimDisk::SimulateLatency() const {
-  uint32_t us = latency_micros_.load(std::memory_order_relaxed);
-  if (us == 0) return;
-  // sleep_for (not a spin) so concurrent transfers overlap even on a
-  // single core — the point of the simulation.
-  std::this_thread::sleep_for(std::chrono::microseconds(us));
-}
-
 Status SimDisk::SaveToFile(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
@@ -73,7 +187,7 @@ Status SimDisk::SaveToFile(const std::string& path) const {
     std::fclose(f);
     return Status::Internal(std::string("disk save: ") + what + ": " + path);
   };
-  uint64_t page_size = page_size_;
+  uint64_t page_size = this->page_size();
   uint64_t num_slots = num_slots_.load(std::memory_order_acquire);
   if (std::fwrite(kDiskMagic, 1, 8, f) != 8 ||
       std::fwrite(&page_size, sizeof page_size, 1, f) != 1 ||
@@ -85,7 +199,7 @@ Status SimDisk::SaveToFile(const std::string& path) const {
     uint8_t live = (slot != nullptr && slot->live) ? 1 : 0;
     if (std::fwrite(&live, 1, 1, f) != 1) return fail("slot flag");
     if (live &&
-        std::fwrite(slot->data.get(), 1, page_size_, f) != page_size_) {
+        std::fwrite(slot->data.get(), 1, page_size, f) != page_size) {
       return fail("page payload");
     }
   }
@@ -115,11 +229,12 @@ Status SimDisk::LoadFromFile(const std::string& path) {
       std::fread(&num_slots, sizeof num_slots, 1, f) != 1) {
     return fail("short header");
   }
-  if (page_size != page_size_) {
+  if (page_size != this->page_size()) {
     std::fclose(f);
     return Status::InvalidArgument(
         "disk image page size " + std::to_string(page_size) +
-        " does not match device page size " + std::to_string(page_size_));
+        " does not match device page size " +
+        std::to_string(this->page_size()));
   }
   if (num_slots > kMaxChunks * kChunkSize) {
     return fail("image larger than device capacity");
@@ -140,38 +255,26 @@ Status SimDisk::LoadFromFile(const std::string& path) {
     PageSlot& slot =
         chunks_[chunk_idx].load(std::memory_order_relaxed)[i &
                                                            (kChunkSize - 1)];
-    slot.data = std::make_unique<uint8_t[]>(page_size_);
+    slot.data = std::make_unique<uint8_t[]>(page_size);
     if (flag != 0) {
-      if (std::fread(slot.data.get(), 1, page_size_, f) != page_size_) {
+      if (std::fread(slot.data.get(), 1, page_size, f) != page_size) {
         return fail("short page payload");
       }
       slot.live = true;
       ++live;
     } else {
-      std::memset(slot.data.get(), 0, page_size_);
+      std::memset(slot.data.get(), 0, page_size);
       slot.live = false;
       free_list_.push_back(static_cast<PageId>(i));
     }
   }
   std::fclose(f);
   num_slots_.store(num_slots, std::memory_order_release);
-  live_pages_.store(live, std::memory_order_relaxed);
+  set_live_pages(live);
   return Status::OK();
 }
 
-Status SimDisk::CheckFault(FaultOp op, PageId id) {
-  FaultInjector* fi = injector_.load(std::memory_order_acquire);
-  if (fi == nullptr) return Status::OK();
-  Status s = fi->Check(op, id);
-  if (!s.ok()) {
-    ++stats_.faults_injected;
-    BumpScoped(this, &IoStats::faults_injected);
-  }
-  return s;
-}
-
-Result<PageId> SimDisk::Allocate() {
-  NDQ_RETURN_IF_ERROR(CheckFault(FaultOp::kAllocate, kInvalidPage));
+Result<PageId> SimDisk::DoAllocate() {
   PageId id;
   {
     std::lock_guard<std::mutex> lock(alloc_mu_);
@@ -198,19 +301,15 @@ Result<PageId> SimDisk::Allocate() {
   {
     std::lock_guard<std::mutex> lock(ShardFor(id));
     if (slot->data == nullptr) {
-      slot->data = std::make_unique<uint8_t[]>(page_size_);
+      slot->data = std::make_unique<uint8_t[]>(page_size());
     }
-    std::memset(slot->data.get(), 0, page_size_);
+    std::memset(slot->data.get(), 0, page_size());
     slot->live = true;
   }
-  ++stats_.pages_allocated;
-  BumpScoped(this, &IoStats::pages_allocated);
-  live_pages_.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
-Status SimDisk::Free(PageId id) {
-  NDQ_RETURN_IF_ERROR(CheckFault(FaultOp::kFree, id));
+Status SimDisk::DoFree(PageId id) {
   PageSlot* slot = SlotFor(id);
   if (slot != nullptr) {
     std::lock_guard<std::mutex> lock(ShardFor(id));
@@ -221,54 +320,33 @@ Status SimDisk::Free(PageId id) {
     return Status::InvalidArgument("freeing invalid page " +
                                    std::to_string(id));
   }
-  {
-    std::lock_guard<std::mutex> lock(alloc_mu_);
-    free_list_.push_back(id);
-  }
-  ++stats_.pages_freed;
-  BumpScoped(this, &IoStats::pages_freed);
-  live_pages_.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  free_list_.push_back(id);
   return Status::OK();
 }
 
-Status SimDisk::ReadPage(PageId id, uint8_t* buf) {
-  NDQ_RETURN_IF_ERROR(CheckFault(FaultOp::kRead, id));
+Status SimDisk::DoRead(PageId id, uint8_t* buf) {
   PageSlot* slot = SlotFor(id);
-  bool ok = false;
   if (slot != nullptr) {
     std::lock_guard<std::mutex> lock(ShardFor(id));
     if (slot->live) {
-      std::memcpy(buf, slot->data.get(), page_size_);
-      ok = true;
+      std::memcpy(buf, slot->data.get(), page_size());
+      return Status::OK();
     }
   }
-  if (!ok) {
-    return Status::OutOfRange("reading invalid page " + std::to_string(id));
-  }
-  ++stats_.page_reads;
-  BumpScoped(this, &IoStats::page_reads);
-  SimulateLatency();
-  return Status::OK();
+  return Status::OutOfRange("reading invalid page " + std::to_string(id));
 }
 
-Status SimDisk::WritePage(PageId id, const uint8_t* buf) {
-  NDQ_RETURN_IF_ERROR(CheckFault(FaultOp::kWrite, id));
+Status SimDisk::DoWrite(PageId id, const uint8_t* buf) {
   PageSlot* slot = SlotFor(id);
-  bool ok = false;
   if (slot != nullptr) {
     std::lock_guard<std::mutex> lock(ShardFor(id));
     if (slot->live) {
-      std::memcpy(slot->data.get(), buf, page_size_);
-      ok = true;
+      std::memcpy(slot->data.get(), buf, page_size());
+      return Status::OK();
     }
   }
-  if (!ok) {
-    return Status::OutOfRange("writing invalid page " + std::to_string(id));
-  }
-  ++stats_.page_writes;
-  BumpScoped(this, &IoStats::page_writes);
-  SimulateLatency();
-  return Status::OK();
+  return Status::OutOfRange("writing invalid page " + std::to_string(id));
 }
 
 }  // namespace ndq

@@ -1,12 +1,32 @@
-// A simulated page-granular block device.
+// Page-granular block devices: the abstract Disk interface, plus the
+// simulated implementation the theorems are measured on.
 //
-// SimDisk stands in for the directory server's disk: all persistent state
-// (the entry store, indexes, intermediate operator runs, spilled stacks)
-// lives in its pages, and every transfer is counted in IoStats. Keeping the
-// device in memory makes benchmark runs deterministic and fast while
-// preserving exactly the quantity the paper's theorems are about.
+// Disk is the device contract the whole system is written against: every
+// persistent structure (the entry store, indexes, intermediate operator
+// runs, spilled stacks) lives in pages of SOME Disk, and every transfer is
+// counted in IoStats. The base class owns everything the paper's
+// accounting depends on — transfer counters, fault-injection hooks,
+// simulated latency, and the async read engine — while subclasses provide
+// only the physical page operations:
+//   * SimDisk (below) keeps pages in memory: deterministic, fast, and the
+//     substrate for every theorem-bound check;
+//   * FileDisk (storage/file_disk.h) keeps pages in a real file via
+//     pread/pwrite, so benches can report actual-hardware wall-clock next
+//     to the simulated page counts.
 //
-// The device is safe for concurrent use by the parallel evaluator
+// Asynchronous reads. SetIoDepth(N) attaches an AsyncDisk
+// (storage/async_disk.h): a submit/complete queue served by N I/O worker
+// threads. Sequential scans then stream ahead through a Prefetcher
+// (storage/prefetcher.h) instead of stalling one page at a time. The
+// design invariant is that async I/O NEVER changes the simulated
+// accounting: a prefetched read performs its physical transfer early
+// (PhysicalRead — no counters, no fault check), and the transfer is
+// counted and offered to the fault injector only when a consumer actually
+// takes the page (FinishAsyncRead), in exactly the order a synchronous
+// execution would have issued it. Page counts stay byte-identical whether
+// io-depth is 0 or 64; wall-clock is what changes.
+//
+// SimDisk is safe for concurrent use by the parallel evaluator
 // (exec/parallel_evaluator.h):
 //   * the page table is a chunked array behind atomic chunk pointers, so
 //     it grows without invalidating concurrent readers;
@@ -34,6 +54,7 @@
 
 namespace ndq {
 
+class AsyncDisk;
 class FaultInjector;
 enum class FaultOp : uint8_t;
 
@@ -44,14 +65,15 @@ inline constexpr PageId kInvalidPage = static_cast<PageId>(-1);
 /// i.e. a blocking factor B in the tens, matching the paper's setting.
 inline constexpr size_t kDefaultPageSize = 4096;
 
-class SimDisk {
+/// \brief Abstract page device: accounting, faults, latency and async
+/// reads in the base; physical storage in the subclass.
+class Disk {
  public:
-  explicit SimDisk(size_t page_size = kDefaultPageSize)
-      : page_size_(page_size) {}
-  ~SimDisk();
+  explicit Disk(size_t page_size = kDefaultPageSize);
+  virtual ~Disk();
 
-  SimDisk(const SimDisk&) = delete;
-  SimDisk& operator=(const SimDisk&) = delete;
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
 
   size_t page_size() const { return page_size_; }
 
@@ -77,10 +99,12 @@ class SimDisk {
     return live_pages_.load(std::memory_order_relaxed);
   }
 
-  /// Simulated device latency added to every page transfer (the calling
-  /// thread sleeps; concurrent transfers overlap, like real disk queue
-  /// depth). 0 (the default) keeps tests instantaneous; bench_parallel
-  /// turns it on to measure how intra-query parallelism hides I/O stalls.
+  /// Simulated device latency added to every page transfer (the
+  /// transferring thread sleeps; concurrent transfers overlap, like real
+  /// disk queue depth). 0 (the default) keeps tests instantaneous;
+  /// bench_parallel and bench_io turn it on to measure how parallelism
+  /// and prefetch hide I/O stalls. Applies to async physical reads too
+  /// (the I/O worker sleeps, not the consumer).
   void set_transfer_latency_micros(uint32_t us) {
     latency_micros_.store(us, std::memory_order_relaxed);
   }
@@ -92,13 +116,91 @@ class SimDisk {
   /// subsequent Read/Write/Allocate/Free first consults it and fails —
   /// before any side effect — when a rule fires. Pass nullptr to detach.
   /// The injector is NOT owned and must outlive its attachment. The hook
-  /// is zero-cost when detached (one relaxed atomic load).
+  /// is zero-cost when detached (one relaxed atomic load). With async
+  /// reads the consult happens at completion-consumption time (see
+  /// FinishAsyncRead), so campaigns sweep the same deterministic op
+  /// stream at any io-depth.
   void set_fault_injector(FaultInjector* injector) {
     injector_.store(injector, std::memory_order_release);
   }
   FaultInjector* fault_injector() const {
     return injector_.load(std::memory_order_acquire);
   }
+
+  // -------------------------------------------------------------------
+  // Async read engine
+  // -------------------------------------------------------------------
+
+  /// Attaches (depth > 0) or detaches (depth == 0) the async read engine:
+  /// `depth` I/O worker threads serving a submit/complete queue, i.e. at
+  /// most `depth` physical reads in flight at once. Sequential run scans
+  /// pick the engine up automatically (storage/prefetcher.h). NOT safe
+  /// against concurrent page traffic; quiesce the device first (the
+  /// engine does: Engine::SetIoDepth drains in-flight queries).
+  void SetIoDepth(size_t depth);
+  size_t io_depth() const;
+  /// The attached engine, or nullptr when io_depth() == 0.
+  AsyncDisk* async() const { return async_.get(); }
+
+  /// Physical page read for the async engine: transfers the bytes and
+  /// simulates device latency, but neither counts the transfer nor
+  /// consults the fault injector — that happens at consumption via
+  /// FinishAsyncRead, keeping the simulated op stream identical to a
+  /// synchronous execution.
+  Status PhysicalRead(PageId id, uint8_t* buf);
+
+  /// Consumption-time bookkeeping for a prefetched page: consults the
+  /// fault injector (exactly where a sync ReadPage would), then reports
+  /// `physical` (the PhysicalRead outcome), and only on success counts
+  /// the transfer. Returns the status the equivalent sync ReadPage would
+  /// have returned.
+  Status FinishAsyncRead(PageId id, const Status& physical);
+
+  /// Prefetch observability, surfaced in IoStats and EXPLAIN ANALYZE.
+  void CountPrefetchHit();
+  void CountPrefetchWasted(uint64_t n);
+  void AddIoWaitMicros(uint64_t us);
+
+ protected:
+  // Physical operations, implemented by the device. The base class has
+  // already consulted the fault injector; implementations do no stats
+  // accounting and no latency simulation.
+  virtual Result<PageId> DoAllocate() = 0;
+  virtual Status DoFree(PageId id) = 0;
+  virtual Status DoRead(PageId id, uint8_t* buf) = 0;
+  virtual Status DoWrite(PageId id, const uint8_t* buf) = 0;
+
+  /// Consults the attached injector (if any); on refusal, counts the
+  /// fault and returns the injected status.
+  Status CheckFault(FaultOp op, PageId id);
+  void SimulateLatency() const;
+
+  /// For subclass restore paths (e.g. SimDisk::LoadFromFile) that replace
+  /// the whole device image outside Allocate/Free.
+  void set_live_pages(size_t n) {
+    live_pages_.store(n, std::memory_order_relaxed);
+  }
+
+  /// Subclass destructors MUST call this first: it joins the async
+  /// engine's worker threads before the physical storage they read from
+  /// is torn down. Idempotent.
+  void ShutdownAsync();
+
+ private:
+  size_t page_size_;
+  std::atomic<size_t> live_pages_{0};
+  std::atomic<uint32_t> latency_micros_{0};
+  std::atomic<FaultInjector*> injector_{nullptr};
+  std::unique_ptr<AsyncDisk> async_;
+  IoStats stats_;
+};
+
+/// \brief The in-memory simulated device (the paper's measurement
+/// substrate). See the file comment for the concurrency structure.
+class SimDisk : public Disk {
+ public:
+  explicit SimDisk(size_t page_size = kDefaultPageSize) : Disk(page_size) {}
+  ~SimDisk() override;
 
   /// Writes the device image (page size, live pages, contents) to a file.
   /// Freed slots are preserved so PageIds remain stable across reload.
@@ -107,6 +209,12 @@ class SimDisk {
   /// Reads a device image previously written by SaveToFile. Replaces this
   /// disk's contents; the page size must match the image's.
   Status LoadFromFile(const std::string& path);
+
+ protected:
+  Result<PageId> DoAllocate() override;
+  Status DoFree(PageId id) override;
+  Status DoRead(PageId id, uint8_t* buf) override;
+  Status DoWrite(PageId id, const uint8_t* buf) override;
 
  private:
   // Page slots live in fixed-size chunks whose addresses never change, so
@@ -128,22 +236,13 @@ class SimDisk {
   std::mutex& ShardFor(PageId id) const {
     return shard_mu_[id % kShards];
   }
-  void SimulateLatency() const;
   void FreeAllChunks();
-  /// Consults the attached injector (if any); on refusal, counts the
-  /// fault and returns the injected status.
-  Status CheckFault(FaultOp op, PageId id);
 
-  size_t page_size_;
   std::array<std::atomic<PageSlot*>, kMaxChunks> chunks_{};
   std::atomic<size_t> num_slots_{0};
   mutable std::mutex alloc_mu_;  // free_list_ + chunk growth
   mutable std::array<std::mutex, kShards> shard_mu_;
   std::vector<PageId> free_list_;
-  std::atomic<size_t> live_pages_{0};
-  std::atomic<uint32_t> latency_micros_{0};
-  std::atomic<FaultInjector*> injector_{nullptr};
-  IoStats stats_;
 };
 
 /// \brief RAII I/O attribution scope for the current thread.
@@ -156,10 +255,12 @@ class SimDisk {
 /// one scope per traced plan node; per-node I/O attribution then stays
 /// exact even when sibling subtrees run on other threads (each thread has
 /// its own scope stack), and cumulative subtree I/O is recovered as
-/// self + sum of children.
+/// self + sum of children. Async reads are attributed to the CONSUMING
+/// thread's scope (the physical transfer happens on an I/O worker with no
+/// scopes), so per-operator attribution is io-depth-invariant too.
 class IoScope {
  public:
-  IoScope(const SimDisk* disk, IoStats* acc);
+  IoScope(const Disk* disk, IoStats* acc);
   ~IoScope();
 
   IoScope(const IoScope&) = delete;

@@ -20,7 +20,7 @@ struct HeapCmp {
 };
 
 // k-way merges one group of sorted runs into a fresh run (inputs untouched).
-Result<Run> MergeGroup(SimDisk* disk, const RecordKeyFn& key_fn,
+Result<Run> MergeGroup(Disk* disk, const RecordKeyFn& key_fn,
                        const Run* runs, size_t count) {
   std::vector<std::unique_ptr<RunReader>> readers;
   readers.reserve(count);
@@ -52,7 +52,7 @@ Result<Run> MergeGroup(SimDisk* disk, const RecordKeyFn& key_fn,
 // Repeatedly merges `runs` fan_in at a time until one remains; consumes the
 // inputs. Increments *passes per merge pass if non-null. On error every
 // input and intermediate run is freed before the status propagates.
-Result<Run> MergeToOne(SimDisk* disk, const RecordKeyFn& key_fn,
+Result<Run> MergeToOne(Disk* disk, const RecordKeyFn& key_fn,
                        std::vector<Run> runs, size_t fan_in,
                        size_t* passes) {
   if (runs.empty()) {
@@ -91,7 +91,7 @@ Result<Run> MergeToOne(SimDisk* disk, const RecordKeyFn& key_fn,
 
 }  // namespace
 
-ExternalSorter::ExternalSorter(SimDisk* disk, RecordKeyFn key_fn,
+ExternalSorter::ExternalSorter(Disk* disk, RecordKeyFn key_fn,
                                ExternalSortOptions options)
     : disk_(disk), key_fn_(std::move(key_fn)), options_(options) {}
 
@@ -138,7 +138,7 @@ Result<Run> ExternalSorter::Finish() {
                     &merge_passes_);
 }
 
-Result<Run> MergeSortedRuns(SimDisk* disk, RecordKeyFn key_fn,
+Result<Run> MergeSortedRuns(Disk* disk, RecordKeyFn key_fn,
                             std::vector<Run> runs, size_t fan_in) {
   return MergeToOne(disk, key_fn, std::move(runs), fan_in, nullptr);
 }

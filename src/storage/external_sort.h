@@ -35,7 +35,7 @@ struct ExternalSortOptions {
 /// Intermediate runs are freed as they are merged.
 class ExternalSorter {
  public:
-  ExternalSorter(SimDisk* disk, RecordKeyFn key_fn,
+  ExternalSorter(Disk* disk, RecordKeyFn key_fn,
                  ExternalSortOptions options = {});
   /// Frees any generated runs that were never merged (abandoned sorts and
   /// error paths leak nothing).
@@ -57,7 +57,7 @@ class ExternalSorter {
   Status SpillBuffer();
   Result<Run> MergeRuns(const std::vector<Run>& runs);
 
-  SimDisk* disk_;
+  Disk* disk_;
   RecordKeyFn key_fn_;
   ExternalSortOptions options_;
   std::vector<std::string> buffer_;
@@ -69,7 +69,7 @@ class ExternalSorter {
 
 /// Convenience: k-way merges already-sorted runs into one sorted run,
 /// consuming (freeing) the inputs.
-Result<Run> MergeSortedRuns(SimDisk* disk, RecordKeyFn key_fn,
+Result<Run> MergeSortedRuns(Disk* disk, RecordKeyFn key_fn,
                             std::vector<Run> runs, size_t fan_in = 16);
 
 }  // namespace ndq

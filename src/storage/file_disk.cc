@@ -1,0 +1,137 @@
+#include "storage/file_disk.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+namespace ndq {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+FileDisk::FileDisk(const std::string& path, size_t page_size,
+                   bool open_existing)
+    : Disk(page_size), path_(path) {
+  int flags = O_RDWR | O_CREAT | O_CLOEXEC;
+  if (!open_existing) flags |= O_TRUNC;
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    init_ = Errno("open " + path_);
+    return;
+  }
+  if (open_existing) {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      init_ = Errno("fstat " + path_);
+      return;
+    }
+    if (st.st_size % static_cast<off_t>(this->page_size()) != 0) {
+      init_ = Status::Corruption(
+          "file disk " + path_ + ": size not a multiple of page size");
+      return;
+    }
+    const size_t slots = static_cast<size_t>(st.st_size) / this->page_size();
+    live_.assign(slots, true);
+    set_live_pages(slots);
+  }
+}
+
+FileDisk::~FileDisk() {
+  ShutdownAsync();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileDisk::Sync() {
+  NDQ_RETURN_IF_ERROR(init_);
+  if (::fdatasync(fd_) != 0) return Errno("fdatasync " + path_);
+  return Status::OK();
+}
+
+Status FileDisk::CheckLive(PageId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= live_.size() || !live_[id]) {
+    return Status::NotFound("file disk: page " + std::to_string(id) +
+                            " is not live");
+  }
+  return Status::OK();
+}
+
+Result<PageId> FileDisk::DoAllocate() {
+  NDQ_RETURN_IF_ERROR(init_);
+  PageId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      free_list_.pop_back();
+    } else {
+      if (live_.size() >= static_cast<size_t>(kInvalidPage)) {
+        return Status::ResourceExhausted("file disk: page id space full");
+      }
+      id = static_cast<PageId>(live_.size());
+      live_.push_back(false);
+    }
+    live_[id] = true;
+  }
+  // Zero the slot so reused and fresh pages behave alike (and fresh
+  // slots extend the file to cover their extent).
+  auto zeros = std::make_unique<uint8_t[]>(page_size());
+  std::memset(zeros.get(), 0, page_size());
+  const off_t off = static_cast<off_t>(id) * static_cast<off_t>(page_size());
+  if (::pwrite(fd_, zeros.get(), page_size(), off) !=
+      static_cast<ssize_t>(page_size())) {
+    Status s = Errno("pwrite " + path_);
+    std::lock_guard<std::mutex> lock(mu_);
+    live_[id] = false;
+    free_list_.push_back(id);
+    return s;
+  }
+  return id;
+}
+
+Status FileDisk::DoFree(PageId id) {
+  NDQ_RETURN_IF_ERROR(init_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= live_.size() || !live_[id]) {
+    return Status::NotFound("file disk: freeing page " + std::to_string(id) +
+                            " which is not live");
+  }
+  live_[id] = false;
+  free_list_.push_back(id);
+  return Status::OK();
+}
+
+Status FileDisk::DoRead(PageId id, uint8_t* buf) {
+  NDQ_RETURN_IF_ERROR(init_);
+  NDQ_RETURN_IF_ERROR(CheckLive(id));
+  const off_t off = static_cast<off_t>(id) * static_cast<off_t>(page_size());
+  const ssize_t n = ::pread(fd_, buf, page_size(), off);
+  if (n != static_cast<ssize_t>(page_size())) {
+    if (n < 0) return Errno("pread " + path_);
+    return Status::Corruption("file disk: short read of page " +
+                              std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status FileDisk::DoWrite(PageId id, const uint8_t* buf) {
+  NDQ_RETURN_IF_ERROR(init_);
+  NDQ_RETURN_IF_ERROR(CheckLive(id));
+  const off_t off = static_cast<off_t>(id) * static_cast<off_t>(page_size());
+  if (::pwrite(fd_, buf, page_size(), off) !=
+      static_cast<ssize_t>(page_size())) {
+    return Errno("pwrite " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace ndq

@@ -1,0 +1,74 @@
+// A Disk backed by one real file: page i lives at byte offset
+// i * page_size(), accessed with positioned pread/pwrite.
+//
+// SimDisk answers "how many transfers" — the paper's metric. FileDisk
+// answers "what does that cost on actual hardware": the same query runs
+// against the same Disk interface, every counter and fault hook behaves
+// identically (the accounting lives in the Disk base class), but each
+// physical page op is a real syscall against the filesystem. bench_io
+// runs both side by side so BENCH_io.json reports simulated page counts
+// next to real-file wall-clock, and a CI job runs the whole tier-1 suite
+// on this backend (NDQ_DISK_BACKEND=file) to keep it honest.
+//
+// Allocation state (live bitmap + free list) is kept in memory only: a
+// FileDisk is scratch space with the lifetime of the process, not a
+// recoverable store. `open_existing` reopens a file written earlier in
+// the SAME process lifetime (engine restart tests); every page already in
+// the file is then considered live.
+//
+// Thread safety: matches SimDisk. The bitmap/free-list sit under one
+// mutex; the pread/pwrite itself runs outside it (positioned I/O is
+// atomic per call), so concurrent transfers to distinct pages overlap.
+//
+// The constructor never fails (Engine owns disks unconditionally);
+// open() errors are stored and surfaced by the first page operation.
+
+#ifndef NDQ_STORAGE_FILE_DISK_H_
+#define NDQ_STORAGE_FILE_DISK_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/disk.h"
+
+namespace ndq {
+
+class FileDisk : public Disk {
+ public:
+  /// Creates (or with `open_existing` reopens) the backing file at `path`.
+  /// Check init_status() — or just let the first I/O report it.
+  explicit FileDisk(const std::string& path,
+                    size_t page_size = kDefaultPageSize,
+                    bool open_existing = false);
+  ~FileDisk() override;
+
+  const Status& init_status() const { return init_; }
+  const std::string& path() const { return path_; }
+
+  /// Flushes the backing file's data to stable storage (fdatasync).
+  Status Sync();
+
+ protected:
+  Result<PageId> DoAllocate() override;
+  Status DoFree(PageId id) override;
+  Status DoRead(PageId id, uint8_t* buf) override;
+  Status DoWrite(PageId id, const uint8_t* buf) override;
+
+ private:
+  /// Liveness check shared by read/write/free. Returns the slot's
+  /// validity without touching the file.
+  Status CheckLive(PageId id) const;
+
+  std::string path_;
+  Status init_;
+  int fd_ = -1;
+
+  mutable std::mutex mu_;  // live_ + free_list_
+  std::vector<bool> live_;
+  std::vector<PageId> free_list_;
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_STORAGE_FILE_DISK_H_

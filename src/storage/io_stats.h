@@ -61,6 +61,17 @@ struct IoStats {
   /// transfer counters above — because the simulated transfer never
   /// happened; the paper's I/O bounds stay comparable under injection.
   RelaxedCounter faults_injected = 0;
+  /// Prefetched reads that were already resident when the scan consumed
+  /// them (no stall). Only nonzero with an async engine attached
+  /// (Disk::SetIoDepth); a hit still counts its page_read at consumption.
+  RelaxedCounter prefetch_hits = 0;
+  /// Physical reads started by the prefetch window but never consumed
+  /// (abandoned scans). Real device work, but NOT counted in page_reads:
+  /// the synchronous execution would never have issued them, and the
+  /// paper's transfer bounds are over the synchronous op stream.
+  RelaxedCounter prefetch_wasted = 0;
+  /// Microseconds consumers spent blocked waiting for async completions.
+  RelaxedCounter io_wait_us = 0;
 
   uint64_t TotalTransfers() const { return page_reads + page_writes; }
 
@@ -73,6 +84,9 @@ struct IoStats {
     d.pages_allocated = pages_allocated - other.pages_allocated;
     d.pages_freed = pages_freed - other.pages_freed;
     d.faults_injected = faults_injected - other.faults_injected;
+    d.prefetch_hits = prefetch_hits - other.prefetch_hits;
+    d.prefetch_wasted = prefetch_wasted - other.prefetch_wasted;
+    d.io_wait_us = io_wait_us - other.io_wait_us;
     return d;
   }
 
@@ -82,6 +96,9 @@ struct IoStats {
     pages_allocated += other.pages_allocated;
     pages_freed += other.pages_freed;
     faults_injected += other.faults_injected;
+    prefetch_hits += other.prefetch_hits;
+    prefetch_wasted += other.prefetch_wasted;
+    io_wait_us += other.io_wait_us;
     return *this;
   }
 
@@ -92,6 +109,18 @@ struct IoStats {
                       " freed=" + std::to_string(pages_freed.load());
     if (faults_injected.load() != 0) {
       out += " faults=" + std::to_string(faults_injected.load());
+    }
+    // Async-only counters render only when async I/O actually ran, so
+    // synchronous output (and every golden string built on it) is
+    // unchanged.
+    if (prefetch_hits.load() != 0) {
+      out += " prefetch_hits=" + std::to_string(prefetch_hits.load());
+    }
+    if (prefetch_wasted.load() != 0) {
+      out += " prefetch_wasted=" + std::to_string(prefetch_wasted.load());
+    }
+    if (io_wait_us.load() != 0) {
+      out += " io_wait_us=" + std::to_string(io_wait_us.load());
     }
     return out;
   }

@@ -4,7 +4,7 @@
 
 namespace ndq {
 
-Status FreeRun(SimDisk* disk, Run* run) {
+Status FreeRun(Disk* disk, Run* run) {
   // Free every page even if one Free fails: stopping at the first error
   // would strand the remaining pages in the run with some already freed,
   // making a retry double-free. The run is always left empty; the first
@@ -20,7 +20,7 @@ Status FreeRun(SimDisk* disk, Run* run) {
   return first;
 }
 
-Result<Run> ReverseRun(SimDisk* disk, Run run) {
+Result<Run> ReverseRun(Disk* disk, Run run) {
   // Spill forward-order records in ~2-page batches, then replay the
   // batches last-to-first, reversing each batch in memory.
   const size_t batch_budget = 2 * disk->page_size();
@@ -78,7 +78,7 @@ Result<Run> ReverseRun(SimDisk* disk, Run run) {
   return reversed;
 }
 
-RunWriter::RunWriter(SimDisk* disk) : disk_(disk) {
+RunWriter::RunWriter(Disk* disk) : disk_(disk) {
   buf_.reserve(disk_->page_size());
 }
 
@@ -133,12 +133,13 @@ Result<Run> RunWriter::Finish() {
   return run_;
 }
 
-RunReader::RunReader(SimDisk* disk, const Run& run) : disk_(disk), run_(&run) {}
+RunReader::RunReader(Disk* disk, const Run& run)
+    : disk_(disk), run_(&run), prefetch_(disk, &run.pages) {}
 
 Status RunReader::LoadPage(size_t idx) {
   buf_.resize(disk_->page_size());
-  NDQ_RETURN_IF_ERROR(disk_->ReadPage(
-      run_->pages[idx], reinterpret_cast<uint8_t*>(buf_.data())));
+  NDQ_RETURN_IF_ERROR(
+      prefetch_.Read(idx, reinterpret_cast<uint8_t*>(buf_.data())));
   buf_pos_ = 0;
   page_idx_ = idx + 1;
   return Status::OK();

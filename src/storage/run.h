@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "storage/disk.h"
+#include "storage/prefetcher.h"
 
 namespace ndq {
 
@@ -28,14 +29,14 @@ struct Run {
 };
 
 /// Releases a run's pages back to the disk.
-Status FreeRun(SimDisk* disk, Run* run);
+Status FreeRun(Disk* disk, Run* run);
 
 /// Produces a new run holding `run`'s records in reverse order, consuming
 /// (freeing) the input. Costs O(pages) I/O: records are spilled in
 /// page-sized batches and the batches replayed last-to-first. Used by the
 /// descendant-direction hierarchy operators, which scan their input in
 /// descending key order (see exec/hierarchy.h).
-Result<Run> ReverseRun(SimDisk* disk, Run run);
+Result<Run> ReverseRun(Disk* disk, Run run);
 
 /// Appends records to a new run, one page of buffering.
 ///
@@ -45,7 +46,7 @@ Result<Run> ReverseRun(SimDisk* disk, Run run);
 /// writer — no partial run leaks.
 class RunWriter {
  public:
-  explicit RunWriter(SimDisk* disk);
+  explicit RunWriter(Disk* disk);
   ~RunWriter();
 
   RunWriter(const RunWriter&) = delete;
@@ -63,16 +64,19 @@ class RunWriter {
  private:
   Status FlushPage();
 
-  SimDisk* disk_;
+  Disk* disk_;
   Run run_;
   std::string buf_;  // current page payload
   bool finished_ = false;
 };
 
-/// Reads a run sequentially, one page of buffering.
+/// Reads a run sequentially, one page of buffering. When the disk has an
+/// async engine attached (Disk::SetIoDepth), the reader streams ahead
+/// through a Prefetcher, keeping up to io-depth page reads in flight;
+/// accounting is byte-identical either way (see storage/prefetcher.h).
 class RunReader {
  public:
-  RunReader(SimDisk* disk, const Run& run);
+  RunReader(Disk* disk, const Run& run);
 
   /// Reads the next record into `record`. Returns false at end-of-run.
   Result<bool> Next(std::string* record);
@@ -90,8 +94,9 @@ class RunReader {
   Status ReadBytes(size_t n, std::string* out);
   Result<uint64_t> ReadVarint();
 
-  SimDisk* disk_;
+  Disk* disk_;
   const Run* run_;
+  Prefetcher prefetch_;
   std::string buf_;
   size_t page_idx_ = 0;   // next page to load
   size_t buf_pos_ = 0;

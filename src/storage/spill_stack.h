@@ -34,7 +34,7 @@ class SpillableStack {
   /// the amortized O(items/B) I/O bound to hold, size it so that half a
   /// window of serialized items spans at least one disk page (the spill
   /// batch is the unit of transfer).
-  SpillableStack(SimDisk* disk, size_t window, SerializeFn ser,
+  SpillableStack(Disk* disk, size_t window, SerializeFn ser,
                  DeserializeFn deser)
       : disk_(disk),
         window_(window < 2 ? 2 : window),
@@ -142,7 +142,7 @@ class SpillableStack {
     return FreeRun(disk_, &run);
   }
 
-  SimDisk* disk_;
+  Disk* disk_;
   size_t window_;
   SerializeFn ser_;
   DeserializeFn deser_;

@@ -117,7 +117,7 @@ class MergedCursor {
 
 }  // namespace
 
-DirectoryStore::DirectoryStore(SimDisk* disk, Schema schema,
+DirectoryStore::DirectoryStore(Disk* disk, Schema schema,
                                DirectoryStoreOptions options)
     : disk_(disk), schema_(std::move(schema)), options_(options) {}
 

@@ -31,7 +31,7 @@ struct DirectoryStoreOptions {
 
 class DirectoryStore : public EntrySource, public UpdateTarget {
  public:
-  DirectoryStore(SimDisk* disk, Schema schema,
+  DirectoryStore(Disk* disk, Schema schema,
                  DirectoryStoreOptions options = {});
 
   /// Adds a new entry; fails with AlreadyExists if the dn is bound.
@@ -88,7 +88,7 @@ class DirectoryStore : public EntrySource, public UpdateTarget {
   /// True iff any live entry lies strictly below `key`.
   Result<bool> HasDescendants(const std::string& key) const;
 
-  SimDisk* disk_;
+  Disk* disk_;
   Schema schema_;
   DirectoryStoreOptions options_;
   // Key -> serialized entry, or empty string = tombstone.

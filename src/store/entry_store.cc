@@ -7,7 +7,7 @@
 namespace ndq {
 
 Status EntryStore::BuildFrom(
-    SimDisk* disk, const std::function<Result<bool>(std::string*)>& next) {
+    Disk* disk, const std::function<Result<bool>(std::string*)>& next) {
   Status s = BuildFromImpl(disk, next);
   if (!s.ok()) {
     // A partially built segment is unusable; return its pages so a failed
@@ -21,7 +21,7 @@ Status EntryStore::BuildFrom(
 }
 
 Status EntryStore::BuildFromImpl(
-    SimDisk* disk, const std::function<Result<bool>(std::string*)>& next) {
+    Disk* disk, const std::function<Result<bool>(std::string*)>& next) {
   disk_ = disk;
   const size_t page_size = disk->page_size();
   std::string buf;
@@ -100,7 +100,7 @@ Status EntryStore::BuildFromImpl(
   return Status::OK();
 }
 
-Result<EntryStore> EntryStore::BulkLoad(SimDisk* disk,
+Result<EntryStore> EntryStore::BulkLoad(Disk* disk,
                                         const DirectoryInstance& instance) {
   EntryStore store;
   auto it = instance.begin();
@@ -116,14 +116,14 @@ Result<EntryStore> EntryStore::BulkLoad(SimDisk* disk,
 }
 
 Result<EntryStore> EntryStore::FromStream(
-    SimDisk* disk, const std::function<Result<bool>(std::string*)>& next) {
+    Disk* disk, const std::function<Result<bool>(std::string*)>& next) {
   EntryStore store;
   NDQ_RETURN_IF_ERROR(store.BuildFrom(disk, next));
   return store;
 }
 
 Result<EntryStore> EntryStore::FromSortedRecords(
-    SimDisk* disk, const std::vector<std::string>& records) {
+    Disk* disk, const std::vector<std::string>& records) {
   EntryStore store;
   size_t i = 0;
   auto next = [&](std::string* record) -> Result<bool> {
@@ -283,7 +283,7 @@ std::string EntryStore::SerializeManifest() const {
   return out;
 }
 
-Result<EntryStore> EntryStore::FromManifest(SimDisk* disk,
+Result<EntryStore> EntryStore::FromManifest(Disk* disk,
                                             std::string_view manifest) {
   ByteReader r(manifest);
   NDQ_ASSIGN_OR_RETURN(std::string_view magic, r.GetString());

@@ -73,18 +73,18 @@ class EntryStore : public EntrySource {
   EntryStore() = default;
 
   /// Serializes all entries of `instance` (already in key order).
-  static Result<EntryStore> BulkLoad(SimDisk* disk,
+  static Result<EntryStore> BulkLoad(Disk* disk,
                                      const DirectoryInstance& instance);
 
   /// Builds a segment from serialized entry records, which must arrive in
   /// strictly increasing key order.
   static Result<EntryStore> FromSortedRecords(
-      SimDisk* disk, const std::vector<std::string>& records);
+      Disk* disk, const std::vector<std::string>& records);
 
   /// Streaming variant: `next` yields records in strictly increasing key
   /// order and returns false at end.
   static Result<EntryStore> FromStream(
-      SimDisk* disk, const std::function<Result<bool>(std::string*)>& next);
+      Disk* disk, const std::function<Result<bool>(std::string*)>& next);
 
   /// Calls `fn` for every record with start_key <= key < end_key (end_key
   /// empty = unbounded), in key order. Only pages overlapping the range
@@ -135,7 +135,7 @@ class EntryStore : public EntrySource {
   }
   uint64_t num_pages() const { return run_.pages.size(); }
   const Run& run() const { return run_; }
-  SimDisk* disk() const { return disk_; }
+  Disk* disk() const { return disk_; }
 
   /// Frees the segment's pages.
   Status Destroy();
@@ -146,11 +146,11 @@ class EntryStore : public EntrySource {
 
   /// Re-attaches a segment to `disk` from a manifest produced by
   /// SerializeManifest (the disk must hold the corresponding image).
-  static Result<EntryStore> FromManifest(SimDisk* disk,
+  static Result<EntryStore> FromManifest(Disk* disk,
                                          std::string_view manifest);
 
  private:
-  SimDisk* disk_ = nullptr;
+  Disk* disk_ = nullptr;
   Run run_;
   // Sparse index: first_keys_[i] is the key of the first record *starting*
   // in page i of run_.pages (records may span pages; a page with no record
@@ -162,9 +162,9 @@ class EntryStore : public EntrySource {
   // Ordinal of the first record starting in each page.
   std::vector<uint64_t> first_record_index_;
 
-  Status BuildFrom(SimDisk* disk,
+  Status BuildFrom(Disk* disk,
                    const std::function<Result<bool>(std::string*)>& next);
-  Status BuildFromImpl(SimDisk* disk,
+  Status BuildFromImpl(Disk* disk,
                        const std::function<Result<bool>(std::string*)>& next);
 
   /// Returns a reader positioned at the first record that *starts* in the

@@ -123,6 +123,45 @@ TEST(FaultCampaignTest, ParallelEvaluatorWithCacheSurvivesEveryFault) {
   EXPECT_GT(report.clean_failures + report.absorbed_successes, 0u);
 }
 
+// The async variant of the sweep: with an io-depth attached, every read
+// the workload consumes arrives through the prefetch queue, so the k-th
+// read fault fires at the k-th ASYNC COMPLETION (consumption time). The
+// deferred-accounting contract (Disk::FinishAsyncRead) makes that op
+// stream identical to the synchronous sweep's, so the same exhaustive
+// guarantees must hold: absorb or fail cleanly, never leak, always
+// recover byte-identically.
+TEST(FaultCampaignTest, AsyncCompletionsSurviveEveryFault) {
+  DirectoryInstance inst = testing::PaperInstance();
+  SimDisk disk(1024);
+  EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+  Evaluator evaluator(&disk, &store);
+  std::vector<QueryPtr> mix = ParseMix();
+  ASSERT_FALSE(mix.empty());
+
+  // Reference sweep, synchronous reads.
+  testing::FaultCampaignReport sync_report;
+  testing::RunFaultCampaign(
+      &disk, [&] { return EvaluateMix(evaluator, mix); },
+      /*after_run=*/nullptr, testing::FaultCampaignOptions(), &sync_report);
+  EXPECT_GT(sync_report.ks_tested, 1u);
+
+  disk.SetIoDepth(4);
+  testing::FaultCampaignReport report;
+  testing::RunFaultCampaign(
+      &disk, [&] { return EvaluateMix(evaluator, mix); },
+      /*after_run=*/nullptr, testing::FaultCampaignOptions(), &report);
+  EXPECT_EQ(report.clean_failures + report.absorbed_successes,
+            report.ks_tested - 1);
+  EXPECT_GT(report.clean_failures, 0u);
+  // Deferred accounting makes the async op stream identical to the sync
+  // one, so both sweeps self-terminate after the same number of probes
+  // with the same absorb/fail split.
+  EXPECT_EQ(report.ks_tested, sync_report.ks_tested);
+  EXPECT_EQ(report.clean_failures, sync_report.clean_failures);
+  EXPECT_EQ(report.absorbed_successes, sync_report.absorbed_successes);
+  disk.SetIoDepth(0);
+}
+
 TEST(FaultCampaignTest, FreeFaultsFailCleanlyAndRecover) {
   DirectoryInstance inst = testing::PaperInstance();
   SimDisk disk(1024);

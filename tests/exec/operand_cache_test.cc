@@ -335,6 +335,37 @@ TEST(OperandCacheTest, ConcurrentCopyOutFaultsNeverDoubleFree) {
 // Presence(objectClass) identically ("objectClass=*"), and an
 // atomic-vs-LDAP leaf pair from a rewrite identically — the typed key
 // must separate all of them, while still sharing genuinely equal leaves.
+// The guard promised by OperandCacheStats::copy_failures: with async
+// prefetch attached, a read fault still surfaces on the COPYING thread
+// (at Disk::FinishAsyncRead, consumption time), so the absorbed failure
+// is counted exactly as in the synchronous case.
+TEST(OperandCacheTest, OperandCacheAsyncCopyFailure) {
+  SimDisk disk(256);
+  disk.SetIoDepth(2);
+  OperandCache cache(&disk, /*capacity_pages=*/64);
+  EntryList original = MakeList(&disk, 50, "a");
+  ASSERT_TRUE(cache.Insert("a", original).ok());
+  ASSERT_TRUE(FreeRun(&disk, &original).ok());
+
+  FaultInjector fi(
+      {FaultInjector::FailNth(1, FaultOpBit(FaultOp::kRead))});
+  disk.set_fault_injector(&fi);
+  EntryList out;
+  Result<bool> hit = cache.Lookup("a", &out);
+  disk.set_fault_injector(nullptr);
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  EXPECT_FALSE(*hit);  // absorbed as a miss, same as synchronously
+  EXPECT_EQ(fi.faults_fired(), 1u);
+
+  OperandCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.copy_failures, 1u)
+      << "async completion fault bypassed copy_failures accounting";
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.resident_entries, 0u);
+  EXPECT_EQ(disk.live_pages(), 0u);
+  disk.SetIoDepth(0);
+}
+
 TEST(OperandCacheKeyTest, DistinguishesAmbiguouslyLabeledLeaves) {
   Dn base = Dn::Parse("dc=com").TakeValue();
   QueryPtr int_eq = Query::Atomic(base, Scope::kSub,

@@ -1,8 +1,13 @@
 #include "storage/buffer_pool.h"
 
+#include <atomic>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "storage/fault_injector.h"
 
 namespace ndq {
 namespace {
@@ -114,6 +119,78 @@ TEST(BufferPoolTest, FreePageDropsFrameAndDiskPage) {
   // Freeing a pinned page is rejected.
   PageHandle h = pool.New().TakeValue();
   EXPECT_FALSE(pool.FreePage(h.id()).ok());
+}
+
+// In-flight dedup: many threads missing on the SAME cold page must
+// produce exactly one disk read — the rest wait for the fetch and count
+// as hits, exactly as the old serialized pool accounted them. This is
+// also the TSan target for the loading-frame protocol.
+TEST(BufferPoolTest, ConcurrentMissesOnOnePageFetchOnce) {
+  SimDisk disk(64);
+  disk.set_transfer_latency_micros(300);  // widen the dedup window
+  PageId p = *disk.Allocate();
+  BufferPool pool(&disk, 8);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      Result<PageHandle> h = pool.Pin(p);
+      if (h.ok()) ok.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(ok.load(), kThreads);
+  EXPECT_EQ(disk.stats().page_reads, 1u) << "page was double-fetched";
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, static_cast<uint64_t>(kThreads) - 1);
+}
+
+// Misses on DISTINCT pages overlap their transfers (the read happens
+// outside the pool mutex); accounting stays exact.
+TEST(BufferPoolTest, ConcurrentMissesOnDistinctPagesAllFetch) {
+  SimDisk disk(64);
+  disk.set_transfer_latency_micros(100);
+  constexpr int kPages = 8;
+  std::vector<PageId> ids;
+  for (int i = 0; i < kPages; ++i) ids.push_back(*disk.Allocate());
+  BufferPool pool(&disk, kPages);
+
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kPages; ++i) {
+    threads.emplace_back([&, i] {
+      Result<PageHandle> h = pool.Pin(ids[static_cast<size_t>(i)]);
+      if (h.ok()) ok.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(ok.load(), kPages);
+  EXPECT_EQ(disk.stats().page_reads, static_cast<uint64_t>(kPages));
+  EXPECT_EQ(pool.stats().misses, static_cast<uint64_t>(kPages));
+  EXPECT_EQ(pool.stats().hits, 0u);
+}
+
+// A failed fetch must not poison the frame map: the loading frame is
+// removed and the next Pin retries the read from scratch.
+TEST(BufferPoolTest, FailedFetchLeavesNoFrameBehind) {
+  SimDisk disk(64);
+  PageId p = *disk.Allocate();
+  BufferPool pool(&disk, 4);
+
+  FaultInjector fi({FaultInjector::FailNth(1, FaultOpBit(FaultOp::kRead))});
+  disk.set_fault_injector(&fi);
+  EXPECT_FALSE(pool.Pin(p).ok());
+  disk.set_fault_injector(nullptr);
+  EXPECT_EQ(pool.resident(), 0u);
+
+  PageHandle h = pool.Pin(p).TakeValue();
+  EXPECT_TRUE(h.valid());
+  EXPECT_EQ(pool.stats().misses, 2u);  // the retry is a fresh miss
+  EXPECT_EQ(pool.stats().hits, 0u);
 }
 
 TEST(BufferPoolTest, MoveTransfersPin) {

@@ -51,7 +51,7 @@ struct FaultCampaignReport {
 /// e.g. clears an operand cache so cached runs don't count as live data
 /// in the leak baseline.
 inline void RunFaultCampaign(
-    SimDisk* disk,
+    Disk* disk,
     const std::function<Result<std::vector<Entry>>()>& workload,
     const std::function<void()>& after_run,
     const FaultCampaignOptions& options = {},
