@@ -1,0 +1,198 @@
+// E19 — compact on-disk page format (bench_format).
+// Claims: on a deep directory (fan-out 2, so DNs nest far and the
+// reverse-DN sort keys share long prefixes), prefix-compressed pages
+// with restart points cut the store's footprint AND every cold query's
+// page transfers by >= 30% — while query results stay byte-identical to
+// the raw format and the paper's theorem bounds keep holding on the
+// compressed traces.
+//
+// Queries are built programmatically (Query::Atomic/And/Or/Diff) so the
+// mix is immune to DN-escaping differences in the generated RDNs.
+// Emits BENCH_format.json for EXPERIMENTS.md.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "exec/trace.h"
+#include "filter/atomic_filter.h"
+#include "gen/random_forest.h"
+#include "query/ast.h"
+#include "storage/serde.h"
+#include "store/entry_store.h"
+
+using namespace ndq;
+using namespace ndq::bench;
+
+namespace {
+
+constexpr double kMaxPageRatio = 0.7;  // compressed/raw, both footprint+cold
+
+// A deep forest: fan-out 2 pushes median depth to ~log2(n), which is the
+// regime the paper's hierarchical operators target and where reverse-DN
+// keys share the longest prefixes.
+DirectoryInstance DeepForest(size_t n) {
+  gen::RandomForestOptions opt;
+  opt.seed = 19;
+  opt.num_entries = n;
+  opt.num_roots = 2;
+  opt.max_children = 2;
+  opt.weird_rdn_probability = 0.1;
+  opt.extreme_int_probability = 0.05;
+  return gen::RandomForest(opt);
+}
+
+// Programmatic query mix over the deep store: subtree selections from
+// the roots, boolean combinations, a whole-forest scan (null base), and
+// a deep-base subtree that exercises the sparse-index seek path.
+std::vector<QueryPtr> BuildMix(const DirectoryInstance& inst) {
+  std::vector<Dn> roots;
+  Dn deepest;
+  for (const auto& [key, entry] : inst) {
+    (void)key;
+    const Dn& dn = entry.dn();
+    if (dn.depth() == 1) roots.push_back(dn);
+    if (dn.depth() > deepest.depth()) deepest = dn;
+  }
+  // Mid-depth base: ancestor of the deepest entry, halfway up.
+  Dn mid = deepest;
+  for (size_t i = 0; i + 1 < deepest.depth() / 2; ++i) mid = mid.Parent();
+
+  auto atomic = [](Dn base, AtomicFilter f) {
+    return Query::Atomic(std::move(base), Scope::kSub, std::move(f));
+  };
+  std::vector<QueryPtr> mix;
+  mix.push_back(atomic(roots[0],
+                       AtomicFilter::Equals("objectClass",
+                                            Value::String("class0"))));
+  mix.push_back(Query::Or(
+      atomic(roots[0], AtomicFilter::Equals("tag", Value::String("tag1"))),
+      atomic(roots.size() > 1 ? roots[1] : roots[0],
+             AtomicFilter::Equals("objectClass", Value::String("class1")))));
+  mix.push_back(Query::And(
+      atomic(roots[0], AtomicFilter::Presence("x")),
+      atomic(roots[0],
+             AtomicFilter::Equals("objectClass", Value::String("class2")))));
+  mix.push_back(Query::Diff(
+      atomic(roots[0], AtomicFilter::Presence("objectClass")),
+      atomic(roots[0], AtomicFilter::Equals("tag", Value::String("tag0")))));
+  // Whole forest (null base), then a deep subtree.
+  mix.push_back(atomic(Dn(), AtomicFilter::Presence("objectClass")));
+  mix.push_back(atomic(mid, AtomicFilter::Presence("objectClass")));
+  return mix;
+}
+
+struct ModeResult {
+  uint64_t store_pages = 0;
+  uint64_t cold_pages = 0;
+  uint64_t violations = 0;
+  /// Serialized bytes of every result entry, per query, in order: equal
+  /// digests == byte-identical results.
+  std::vector<std::string> digests;
+};
+
+ModeResult RunMode(bool compressed, const DirectoryInstance& inst,
+                   const std::vector<QueryPtr>& mix) {
+  SetPageCompression(compressed);
+  ModeResult r;
+  SimDisk disk(4096);
+  EntryStore store = EntryStore::BulkLoad(&disk, inst).TakeValue();
+  r.store_pages = store.num_pages();
+
+  EngineHarness h(&disk, &store);
+  IoStats before = disk.stats();
+  for (const QueryPtr& q : mix) {
+    QueryOutcome out = h.Run(q);
+    r.violations += VerifyTheoremBounds(out.trace).size();
+    std::string digest;
+    for (const Entry& e : out.entries) SerializeEntry(e, &digest);
+    r.digests.push_back(std::move(digest));
+  }
+  r.cold_pages = (disk.stats() - before).TotalTransfers();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E19: compact on-disk format (bench_format)",
+              "prefix-compressed pages cut deep-directory store and cold "
+              "query pages >= 30% with byte-identical results and intact "
+              "theorem bounds");
+
+  const size_t sweep[] = {4000, 8000, 16000};
+  bool identical = true;
+  uint64_t violations = 0;
+  double worst_store_ratio = 0, worst_cold_ratio = 0;
+
+  std::printf("%8s %10s %10s %7s %10s %10s %7s\n", "entries", "raw_store",
+              "cmp_store", "ratio", "raw_cold", "cmp_cold", "ratio");
+  FILE* f = std::fopen("BENCH_format.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"experiment\": \"bench_format\",\n");
+    std::fprintf(f, "  \"sweep\": [\n");
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    size_t n = sweep[i];
+    DirectoryInstance inst = DeepForest(n);
+    std::vector<QueryPtr> mix = BuildMix(inst);
+    ModeResult raw = RunMode(false, inst, mix);
+    ModeResult comp = RunMode(true, inst, mix);
+    SetPageCompression(true);  // restore the default
+
+    double store_ratio =
+        static_cast<double>(comp.store_pages) / raw.store_pages;
+    double cold_ratio = static_cast<double>(comp.cold_pages) / raw.cold_pages;
+    worst_store_ratio = std::max(worst_store_ratio, store_ratio);
+    worst_cold_ratio = std::max(worst_cold_ratio, cold_ratio);
+    violations += raw.violations + comp.violations;
+    if (raw.digests != comp.digests) identical = false;
+
+    std::printf("%8zu %10llu %10llu %6.2f%% %10llu %10llu %6.2f%%\n", n,
+                static_cast<unsigned long long>(raw.store_pages),
+                static_cast<unsigned long long>(comp.store_pages),
+                100 * store_ratio,
+                static_cast<unsigned long long>(raw.cold_pages),
+                static_cast<unsigned long long>(comp.cold_pages),
+                100 * cold_ratio);
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "    {\"entries\": %zu, \"raw_store_pages\": %llu, "
+                   "\"compressed_store_pages\": %llu, \"raw_cold_pages\": "
+                   "%llu, \"compressed_cold_pages\": %llu}%s\n",
+                   n, static_cast<unsigned long long>(raw.store_pages),
+                   static_cast<unsigned long long>(comp.store_pages),
+                   static_cast<unsigned long long>(raw.cold_pages),
+                   static_cast<unsigned long long>(comp.cold_pages),
+                   i + 1 < 3 ? "," : "");
+    }
+  }
+
+  bool store_ok = worst_store_ratio <= kMaxPageRatio;
+  bool cold_ok = worst_cold_ratio <= kMaxPageRatio;
+  std::printf("\nworst store-page ratio: %.2f (target <= %.2f) %s\n",
+              worst_store_ratio, kMaxPageRatio, store_ok ? "PASS" : "FAIL");
+  std::printf("worst cold-page ratio:  %.2f (target <= %.2f) %s\n",
+              worst_cold_ratio, kMaxPageRatio, cold_ok ? "PASS" : "FAIL");
+  std::printf("results byte-identical across formats: %s\n",
+              identical ? "PASS" : "FAIL");
+  std::printf("theorem-bound violations: %llu %s\n",
+              static_cast<unsigned long long>(violations),
+              violations == 0 ? "PASS" : "FAIL");
+
+  if (f != nullptr) {
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"worst_store_ratio\": %.3f,\n", worst_store_ratio);
+    std::fprintf(f, "  \"worst_cold_ratio\": %.3f,\n", worst_cold_ratio);
+    std::fprintf(f, "  \"max_page_ratio\": %.2f,\n", kMaxPageRatio);
+    std::fprintf(f, "  \"results_identical\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(f, "  \"theorem_violations\": %llu\n",
+                 static_cast<unsigned long long>(violations));
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_format.json\n");
+  }
+  return (store_ok && cold_ok && identical && violations == 0) ? 0 : 1;
+}

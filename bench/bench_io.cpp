@@ -13,6 +13,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +34,11 @@ namespace {
 
 constexpr uint32_t kLatencyMicros = 80;
 constexpr double kTargetSpeedup = 4.5;
+// FileDisk gate: with the OS page cache serving reads faster than the
+// async queue round trip, adaptive backoff (Disk::PrefetchWorthwhile)
+// must keep every prefetching config within ~10% of its same-thread
+// synchronous peer — prefetch never pays, so it must never cost either.
+constexpr double kFileAsyncFloor = 0.9;
 
 // Multi-operand plans whose leaves are selective full-store scans: the
 // scans dominate the I/O, each one is a sorted-run pass the Prefetcher
@@ -192,7 +198,16 @@ int main() {
     EntryStore fstore = EntryStore::BulkLoad(&fdisk, inst).TakeValue();
     uint64_t fviolations = 0;
     for (Config config : sweep) {
-      file.push_back(Measure(&fdisk, fstore, mix, config, &fviolations));
+      // Real-file wall-clock is noisy at this scale; keep the best of
+      // three so the async-vs-sync gate measures the backend, not the
+      // scheduler.
+      Measurement best = Measure(&fdisk, fstore, mix, config, &fviolations);
+      for (int rep = 1; rep < 3; ++rep) {
+        Measurement again =
+            Measure(&fdisk, fstore, mix, config, &fviolations);
+        if (again.cold_ms < best.cold_ms) best = again;
+      }
+      file.push_back(best);
     }
     fdisk.SetIoDepth(0);
     violations += fviolations;
@@ -214,8 +229,22 @@ int main() {
       best4 = std::max(best4, sim.front().cold_ms / m.cold_ms);
     }
   }
+  // Every prefetching file-backend config against its same-thread
+  // synchronous peer.
+  double worst_file_ratio = 1e9;
+  for (const Measurement& m : file) {
+    if (m.config.io_depth == 0) continue;
+    for (const Measurement& s : file) {
+      if (s.config.threads == m.config.threads && s.config.io_depth == 0) {
+        worst_file_ratio = std::min(worst_file_ratio, s.cold_ms / m.cold_ms);
+      }
+    }
+  }
   std::printf("\ncold 4-thread async speedup: %.2fx (target >= %.1fx) %s\n",
               best4, kTargetSpeedup, best4 >= kTargetSpeedup ? "PASS" : "FAIL");
+  std::printf("file async vs sync, worst point: %.2fx (floor >= %.1fx) %s\n",
+              worst_file_ratio, kFileAsyncFloor,
+              worst_file_ratio >= kFileAsyncFloor ? "PASS" : "FAIL");
   std::printf("counted pages identical across io-depths: %s\n",
               pages_identical ? "PASS" : "FAIL");
   std::printf("theorem-bound violations: %llu %s\n",
@@ -234,6 +263,10 @@ int main() {
     std::fprintf(f, ",\n");
     std::fprintf(f, "  \"cold_4t_async_speedup\": %.2f,\n", best4);
     std::fprintf(f, "  \"target_speedup\": %.1f,\n", kTargetSpeedup);
+    std::fprintf(f, "  \"file_async_vs_sync_worst\": %.2f,\n",
+                 worst_file_ratio);
+    std::fprintf(f, "  \"file_async_vs_sync_floor\": %.1f,\n",
+                 kFileAsyncFloor);
     std::fprintf(f, "  \"pages_identical\": %s,\n",
                  pages_identical ? "true" : "false");
     std::fprintf(f, "  \"theorem_violations\": %llu\n",
@@ -242,6 +275,8 @@ int main() {
     std::fclose(f);
     std::printf("wrote BENCH_io.json\n");
   }
-  return (best4 >= kTargetSpeedup && pages_identical && violations == 0) ? 0
-                                                                         : 1;
+  return (best4 >= kTargetSpeedup && worst_file_ratio >= kFileAsyncFloor &&
+          pages_identical && violations == 0)
+             ? 0
+             : 1;
 }

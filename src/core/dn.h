@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/head64.h"
 #include "core/status.h"
 
 namespace ndq {
@@ -116,8 +117,12 @@ class Dn {
 
   bool operator==(const Dn& other) const { return key_ == other.key_; }
   bool operator!=(const Dn& other) const { return !(*this == other); }
-  /// Orders by HierKey: the global sort order of the whole system.
-  bool operator<(const Dn& other) const { return key_ < other.key_; }
+  /// Orders by HierKey: the global sort order of the whole system. Uses
+  /// the head-of-key word compare — most DN pairs differ inside the first
+  /// eight bytes of their root components.
+  bool operator<(const Dn& other) const {
+    return CompareKeysHead64(key_, other.key_) < 0;
+  }
 
  private:
   std::vector<Rdn> rdns_;  // leaf first

@@ -1,0 +1,57 @@
+// Head-of-key fast comparison.
+//
+// Every hot merge loop in the system compares byte-string sort keys
+// (HierKeys, encoded attribute values, pair keys). Most comparisons are
+// decided well inside the first eight bytes, so loading the head of each
+// key into one big-endian-ordered machine word turns the common case into
+// a single integer compare — the classic "poor man's normalized key"
+// trick. ExtractHead64(a) < ExtractHead64(b) implies a < b, and equality
+// of heads means the first min(8, len) bytes agree, so callers fall back
+// to a full compare only on head ties.
+
+#ifndef NDQ_CORE_HEAD64_H_
+#define NDQ_CORE_HEAD64_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace ndq {
+
+/// First min(8, size) bytes of `s` as a big-endian-ordered word, padded
+/// with zero bytes. Preserves order: head(a) < head(b) implies a < b for
+/// the underlying strings (zero padding is safe because a proper prefix
+/// sorts before its extensions, and the padded head ties exactly then).
+inline uint64_t ExtractHead64(std::string_view s) {
+  uint64_t head = 0;
+  if (s.size() >= 8) {
+    std::memcpy(&head, s.data(), 8);
+  } else if (!s.empty()) {
+    std::memcpy(&head, s.data(), s.size());
+  }
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_bswap64(head);
+#else
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) r = (r << 8) | ((head >> (8 * i)) & 0xff);
+  return r;
+#endif
+}
+
+/// Three-way compare of byte strings with the head-word fast path.
+inline int CompareKeysHead64(std::string_view a, std::string_view b) {
+  uint64_t ha = ExtractHead64(a);
+  uint64_t hb = ExtractHead64(b);
+  if (ha != hb) return ha < hb ? -1 : 1;
+  int c = a.compare(b);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+/// Convenience strict-weak-order form for std::sort and friends.
+inline bool KeyLessHead64(std::string_view a, std::string_view b) {
+  return CompareKeysHead64(a, b) < 0;
+}
+
+}  // namespace ndq
+
+#endif  // NDQ_CORE_HEAD64_H_

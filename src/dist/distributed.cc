@@ -150,7 +150,7 @@ Result<EntryList> DistributedDirectory::EvaluateAtomicDistributed(
     r.scanned_records = server_trace.scanned_records;
     if (!local.ok()) return local.status();
     ScopedRun local_guard(server->disk(), local.TakeValue());
-    RunWriter writer(coordinator_disk_.get());
+    RunWriter writer(coordinator_disk_.get(), RecordShape::kKeyed);
     RunReader reader(server->disk(), local_guard.get());
     std::string rec;
     uint64_t recs = 0, bytes = 0;
@@ -249,7 +249,7 @@ Result<EntryList> DistributedDirectory::EvaluateAtomicDistributed(
     return failed;
   }
   if (shipped.empty()) {
-    RunWriter writer(coordinator_disk_.get());
+    RunWriter writer(coordinator_disk_.get(), RecordShape::kKeyed);
     return writer.Finish();
   }
   if (shipped.size() == 1) return std::move(shipped[0]);
@@ -260,7 +260,8 @@ Result<EntryList> DistributedDirectory::EvaluateAtomicDistributed(
     return key.ok() ? *key : std::string_view();
   };
   return MergeSortedRuns(coordinator_disk_.get(), key_fn,
-                         std::move(shipped));
+                         std::move(shipped), /*fan_in=*/16,
+                         RecordShape::kKeyed);
 }
 
 DirectoryServer* DistributedDirectory::SingleOwner(const Query& query) {
@@ -291,7 +292,7 @@ Result<EntryList> DistributedDirectory::ShipWholeQuery(
   Evaluator remote(server->disk(), &server->store(), options_);
   NDQ_ASSIGN_OR_RETURN(EntryList local, remote.Evaluate(query, trace));
   ScopedRun local_guard(server->disk(), std::move(local));
-  RunWriter writer(coordinator_disk_.get());
+  RunWriter writer(coordinator_disk_.get(), RecordShape::kKeyed);
   RunReader reader(server->disk(), local_guard.get());
   std::string rec;
   uint64_t recs = 0, bytes = 0;

@@ -21,6 +21,7 @@ Status LabeledMerge::Refill(Input* in) {
   if (more) {
     NDQ_ASSIGN_OR_RETURN(std::string_view key, PeekEntryKey(in->record));
     in->key = std::string(key);
+    in->head = ExtractHead64(in->key);
   }
   return Status::OK();
 }
@@ -30,10 +31,15 @@ Result<bool> LabeledMerge::Next(LabeledRecord* out) {
     primed_ = true;
     for (Input& in : inputs_) NDQ_RETURN_IF_ERROR(Refill(&in));
   }
+  // Head words settle almost every comparison in one integer compare.
   const std::string* min_key = nullptr;
+  uint64_t min_head = 0;
   for (Input& in : inputs_) {
-    if (in.has && (min_key == nullptr || in.key < *min_key)) {
+    if (!in.has) continue;
+    if (min_key == nullptr || in.head < min_head ||
+        (in.head == min_head && in.key < *min_key)) {
       min_key = &in.key;
+      min_head = in.head;
     }
   }
   if (min_key == nullptr) return false;
@@ -310,7 +316,7 @@ Result<EntryList> FilterAnnotatedList(Disk* disk, Run annotated,
     if (rhs_set) globals.rhs = rhs_acc.Finish();
   }
 
-  RunWriter writer(disk);
+  RunWriter writer(disk, RecordShape::kKeyed);
   RunReader reader(disk, annotated);
   std::string rec;
   std::vector<std::optional<int64_t>> vals;
@@ -341,7 +347,7 @@ AggSelFilter ExistentialFilter() {
 
 Result<EntryList> MakeEntryList(Disk* disk,
                                 const std::vector<const Entry*>& entries) {
-  RunWriter writer(disk);
+  RunWriter writer(disk, RecordShape::kKeyed);
   std::string buf;
   for (const Entry* e : entries) {
     buf.clear();

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/entry.h"
+#include "core/head64.h"
 #include "query/aggregate.h"
 #include "storage/external_sort.h"
 #include "storage/run.h"
@@ -133,6 +134,7 @@ class LabeledMerge {
     uint8_t label;
     std::string record;
     std::string key;
+    uint64_t head = 0;  // ExtractHead64(key), cached at refill
     bool has = false;
   };
 

@@ -30,6 +30,14 @@ std::string_view PairKey(std::string_view rec) {
   return key.ok() ? *key : std::string_view();
 }
 
+// Pair records lead with a PutString sort key, so pair sorts spill in the
+// key-aware page format.
+ExternalSortOptions KeyedSort(const ExecOptions& options) {
+  ExternalSortOptions sort = options.sort;
+  sort.shape = RecordShape::kKeyed;
+  return sort;
+}
+
 // Serializes the witness contribution of entry `e` under `prog`.
 std::string ContributionPayload(const AggProgram& prog, const Entry& e) {
   std::vector<AggAccumulator> accs = prog.MakeWitnessAccs();
@@ -100,7 +108,7 @@ Result<Run> AnnotateByPairs(Disk* disk, const EntryList& l1,
 Result<Run> BuildDvPairs(Disk* disk, const EntryList& l2,
                          const std::string& attr, const AggProgram& prog,
                          const ExecOptions& options, uint64_t* sort_passes) {
-  ExternalSorter sorter(disk, PairKey, options.sort);
+  ExternalSorter sorter(disk, PairKey, KeyedSort(options));
   RunReader reader(disk, l2);
   std::string rec;
   std::string pair;
@@ -135,7 +143,7 @@ Result<Run> BuildVdPairs(Disk* disk, const EntryList& l1,
   Run lp1;
   ScopedRun lp1_guard;
   {
-    ExternalSorter sorter(disk, PairKey, options.sort);
+    ExternalSorter sorter(disk, PairKey, KeyedSort(options));
     RunReader reader(disk, l1);
     std::string rec, pair;
     while (true) {
@@ -159,7 +167,7 @@ Result<Run> BuildVdPairs(Disk* disk, const EntryList& l1,
     *sort_passes += sorter.merge_passes();
   }
   // Join LP1 with L2 on referenced key; emit (r1 key, contribution(r2)).
-  ExternalSorter sorter2(disk, PairKey, options.sort);
+  ExternalSorter sorter2(disk, PairKey, KeyedSort(options));
   {
     RunReader l2_reader(disk, l2);
     RunReader lp_reader(disk, lp1);

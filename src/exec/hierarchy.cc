@@ -61,7 +61,8 @@ using HSStack = SpillableStack<HSItem>;
 std::unique_ptr<HSStack> MakeStack(Disk* disk, size_t window) {
   return std::make_unique<HSStack>(
       disk, window, SerializeHSItem,
-      [](std::string_view rec) { return DeserializeHSItem(rec); });
+      [](std::string_view rec) { return DeserializeHSItem(rec); },
+      RecordShape::kKeyed);
 }
 
 // Forward pass for the ancestor-direction operators (p, a, ac): one scan

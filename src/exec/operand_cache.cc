@@ -18,7 +18,8 @@ OperandCache::OperandCache(Disk* disk, size_t capacity_pages)
 OperandCache::~OperandCache() { Clear(); }
 
 Result<EntryList> OperandCache::CopyList(const EntryList& src) {
-  RunWriter writer(disk_);
+  // Copies preserve the source's exact page format, like ReverseRun.
+  RunWriter writer(disk_, src.format);
   RunReader reader(disk_, src);
   std::string rec;
   while (true) {

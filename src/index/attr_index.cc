@@ -194,7 +194,7 @@ Result<std::optional<Run>> AttributeIndexes::EvalAtomic(
   }
   const std::string& base_key = base.HierKey();
   std::string end = KeySubtreeEnd(base_key);
-  RunWriter writer(disk);
+  RunWriter writer(disk, RecordShape::kKeyed);
   for (uint64_t id : *candidates) {
     const std::string& key = keys_[id];
     switch (scope) {

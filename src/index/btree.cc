@@ -7,22 +7,15 @@
 
 namespace ndq {
 
+// Both delegate to the canonical order-preserving codec in storage/serde.h
+// so the B+-tree and the page-format key encoding can never drift apart.
 std::string EncodeIntKey(int64_t v) {
-  uint64_t u = static_cast<uint64_t>(v) ^ (1ull << 63);  // flip sign bit
-  std::string out(8, '\0');
-  for (int i = 0; i < 8; ++i) {
-    out[i] = static_cast<char>((u >> (56 - 8 * i)) & 0xff);
-  }
+  std::string out;
+  AppendOrderedInt64(v, &out);
   return out;
 }
 
-int64_t DecodeIntKey(std::string_view key) {
-  uint64_t u = 0;
-  for (int i = 0; i < 8 && i < static_cast<int>(key.size()); ++i) {
-    u = (u << 8) | static_cast<uint8_t>(key[i]);
-  }
-  return static_cast<int64_t>(u ^ (1ull << 63));
-}
+int64_t DecodeIntKey(std::string_view key) { return DecodeOrderedInt64(key); }
 
 namespace {
 

@@ -99,10 +99,15 @@ Status Disk::Free(PageId id) {
 
 Status Disk::ReadPage(PageId id, uint8_t* buf) {
   NDQ_RETURN_IF_ERROR(CheckFault(FaultOp::kRead, id));
+  const auto start = std::chrono::steady_clock::now();
   NDQ_RETURN_IF_ERROR(DoRead(id, buf));
   ++stats_.page_reads;
   BumpScoped(this, &IoStats::page_reads);
   SimulateLatency();
+  RecordReadSample(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
   return Status::OK();
 }
 
@@ -119,8 +124,15 @@ Status Disk::PhysicalRead(PageId id, uint8_t* buf) {
   // No fault consult, no counters: this transfer is not yet part of the
   // simulated op stream. The I/O worker absorbs the device latency so the
   // eventual consumer does not have to.
+  const auto start = std::chrono::steady_clock::now();
   Status s = DoRead(id, buf);
-  if (s.ok()) SimulateLatency();
+  if (s.ok()) {
+    SimulateLatency();
+    RecordReadSample(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
   return s;
 }
 
@@ -151,6 +163,38 @@ void Disk::AddIoWaitMicros(uint64_t us) {
   if (us == 0) return;
   stats_.io_wait_us += us;
   BumpScoped(this, &IoStats::io_wait_us, us);
+}
+
+namespace {
+// Reads completing faster than this are cheaper than an async-queue
+// round trip (submit, wake a worker, complete, wake the consumer), so
+// prefetching them through the engine can only lose. A SimDisk with
+// bench-grade simulated latency (tens of microseconds) stays well above
+// it; a warm FileDisk served from the OS page cache sits well below.
+constexpr uint64_t kPrefetchMinReadNanos = 15000;
+// Before this many samples the estimate is noise; stay optimistic so
+// cold scans still stream ahead (and so short unit-test scans exercise
+// the prefetch path deterministically).
+constexpr uint64_t kReadSampleWarmup = 8;
+}  // namespace
+
+void Disk::RecordReadSample(uint64_t ns) {
+  // EWMA with alpha = 1/8. Relaxed load/store pair: a racing writer can
+  // drop a sample, which only delays convergence.
+  uint64_t old = read_ewma_ns_.load(std::memory_order_relaxed);
+  uint64_t next = (read_samples_.load(std::memory_order_relaxed) == 0)
+                      ? ns
+                      : old - old / 8 + ns / 8;
+  read_ewma_ns_.store(next, std::memory_order_relaxed);
+  read_samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Disk::PrefetchWorthwhile() const {
+  if (read_samples_.load(std::memory_order_relaxed) < kReadSampleWarmup) {
+    return true;
+  }
+  return read_ewma_ns_.load(std::memory_order_relaxed) >=
+         kPrefetchMinReadNanos;
 }
 
 // ---------------------------------------------------------------------------

@@ -161,6 +161,17 @@ class Disk {
   void CountPrefetchWasted(uint64_t n);
   void AddIoWaitMicros(uint64_t us);
 
+  /// Whether read-ahead is likely to pay for itself on this device right
+  /// now. The device keeps an EWMA of recent physical read durations
+  /// (sampled in ReadPage and PhysicalRead); when reads complete faster
+  /// than the async engine's own round-trip overhead — a warm FileDisk
+  /// served from page cache, a zero-latency SimDisk — issuing them
+  /// through the queue only adds handoff cost, so the Prefetcher falls
+  /// back to plain synchronous reads (accounting is identical either
+  /// way; see storage/prefetcher.h). Optimistic until enough samples
+  /// accumulate, so cold starts still get read-ahead.
+  bool PrefetchWorthwhile() const;
+
  protected:
   // Physical operations, implemented by the device. The base class has
   // already consulted the fault injector; implementations do no stats
@@ -187,11 +198,19 @@ class Disk {
   void ShutdownAsync();
 
  private:
+  /// Folds one physical-read duration into the EWMA (relaxed atomics;
+  /// lost updates under races only slow convergence).
+  void RecordReadSample(uint64_t ns);
+
   size_t page_size_;
   std::atomic<size_t> live_pages_{0};
   std::atomic<uint32_t> latency_micros_{0};
   std::atomic<FaultInjector*> injector_{nullptr};
   std::unique_ptr<AsyncDisk> async_;
+  // Adaptive prefetch state: EWMA of physical read durations + sample
+  // count for the warmup heuristic.
+  std::atomic<uint64_t> read_ewma_ns_{0};
+  std::atomic<uint64_t> read_samples_{0};
   IoStats stats_;
 };
 

@@ -4,24 +4,29 @@
 #include <memory>
 #include <queue>
 
+#include "core/head64.h"
+
 namespace ndq {
 namespace {
 
 struct HeapItem {
   std::string record;
   std::string key;
+  uint64_t head;  // ExtractHead64(key), cached at refill
   size_t source;
 };
 
 struct HeapCmp {
   bool operator()(const HeapItem& a, const HeapItem& b) const {
-    return a.key > b.key;  // min-heap
+    // min-heap; head words decide almost every sift comparison.
+    if (a.head != b.head) return a.head > b.head;
+    return a.key > b.key;
   }
 };
 
 // k-way merges one group of sorted runs into a fresh run (inputs untouched).
 Result<Run> MergeGroup(Disk* disk, const RecordKeyFn& key_fn,
-                       const Run* runs, size_t count) {
+                       const Run* runs, size_t count, RecordShape shape) {
   std::vector<std::unique_ptr<RunReader>> readers;
   readers.reserve(count);
   for (size_t i = 0; i < count; ++i) {
@@ -33,13 +38,14 @@ Result<Run> MergeGroup(Disk* disk, const RecordKeyFn& key_fn,
     NDQ_ASSIGN_OR_RETURN(bool more, readers[src]->Next(&rec));
     if (more) {
       std::string key(key_fn(rec));
-      heap.push(HeapItem{std::move(rec), std::move(key), src});
+      uint64_t head = ExtractHead64(key);
+      heap.push(HeapItem{std::move(rec), std::move(key), head, src});
     }
     return Status::OK();
   };
   for (size_t i = 0; i < readers.size(); ++i) NDQ_RETURN_IF_ERROR(refill(i));
 
-  RunWriter writer(disk);
+  RunWriter writer(disk, shape);
   while (!heap.empty()) {
     HeapItem top = heap.top();
     heap.pop();
@@ -54,9 +60,9 @@ Result<Run> MergeGroup(Disk* disk, const RecordKeyFn& key_fn,
 // input and intermediate run is freed before the status propagates.
 Result<Run> MergeToOne(Disk* disk, const RecordKeyFn& key_fn,
                        std::vector<Run> runs, size_t fan_in,
-                       size_t* passes) {
+                       RecordShape shape, size_t* passes) {
   if (runs.empty()) {
-    RunWriter w(disk);
+    RunWriter w(disk, shape);
     return w.Finish();
   }
   auto free_all = [&](std::vector<Run>* rs) {
@@ -67,7 +73,7 @@ Result<Run> MergeToOne(Disk* disk, const RecordKeyFn& key_fn,
     std::vector<Run> next;
     for (size_t i = 0; i < runs.size(); i += fan_in) {
       size_t n = std::min(fan_in, runs.size() - i);
-      Result<Run> merged = MergeGroup(disk, key_fn, &runs[i], n);
+      Result<Run> merged = MergeGroup(disk, key_fn, &runs[i], n, shape);
       if (!merged.ok()) {
         free_all(&runs);
         free_all(&next);
@@ -112,13 +118,26 @@ Status ExternalSorter::Add(std::string_view record) {
 
 Status ExternalSorter::SpillBuffer() {
   if (buffer_.empty()) return Status::OK();
-  std::sort(buffer_.begin(), buffer_.end(),
-            [this](const std::string& a, const std::string& b) {
-              return key_fn_(a) < key_fn_(b);
+  // Sort an index array with precomputed head words instead of the records
+  // themselves: most comparisons resolve on the head compare without
+  // re-extracting keys, and records are never moved.
+  struct SortItem {
+    uint64_t head;
+    uint32_t idx;
+  };
+  std::vector<SortItem> order;
+  order.reserve(buffer_.size());
+  for (uint32_t i = 0; i < buffer_.size(); ++i) {
+    order.push_back(SortItem{ExtractHead64(key_fn_(buffer_[i])), i});
+  }
+  std::sort(order.begin(), order.end(),
+            [this](const SortItem& a, const SortItem& b) {
+              if (a.head != b.head) return a.head < b.head;
+              return key_fn_(buffer_[a.idx]) < key_fn_(buffer_[b.idx]);
             });
-  RunWriter writer(disk_);
-  for (const std::string& rec : buffer_) {
-    NDQ_RETURN_IF_ERROR(writer.Add(rec));
+  RunWriter writer(disk_, options_.shape);
+  for (const SortItem& it : order) {
+    NDQ_RETURN_IF_ERROR(writer.Add(buffer_[it.idx]));
   }
   NDQ_ASSIGN_OR_RETURN(Run run, writer.Finish());
   runs_.push_back(std::move(run));
@@ -135,12 +154,13 @@ Result<Run> ExternalSorter::Finish() {
   std::vector<Run> runs = std::move(runs_);
   runs_.clear();
   return MergeToOne(disk_, key_fn_, std::move(runs), options_.fan_in,
-                    &merge_passes_);
+                    options_.shape, &merge_passes_);
 }
 
 Result<Run> MergeSortedRuns(Disk* disk, RecordKeyFn key_fn,
-                            std::vector<Run> runs, size_t fan_in) {
-  return MergeToOne(disk, key_fn, std::move(runs), fan_in, nullptr);
+                            std::vector<Run> runs, size_t fan_in,
+                            RecordShape shape) {
+  return MergeToOne(disk, key_fn, std::move(runs), fan_in, shape, nullptr);
 }
 
 }  // namespace ndq

@@ -27,6 +27,9 @@ struct ExternalSortOptions {
   size_t memory_budget = 1 << 20;
   /// Maximum number of runs merged per pass.
   size_t fan_in = 16;
+  /// Record shape of the stream being sorted (storage/serde.h); spill and
+  /// merge runs are written in the page format this resolves to.
+  RecordShape shape = RecordShape::kOpaque;
 };
 
 /// \brief Sorts records by key using bounded memory.
@@ -68,9 +71,11 @@ class ExternalSorter {
 };
 
 /// Convenience: k-way merges already-sorted runs into one sorted run,
-/// consuming (freeing) the inputs.
+/// consuming (freeing) the inputs. The output run is written in the page
+/// format `shape` resolves to.
 Result<Run> MergeSortedRuns(Disk* disk, RecordKeyFn key_fn,
-                            std::vector<Run> runs, size_t fan_in = 16);
+                            std::vector<Run> runs, size_t fan_in = 16,
+                            RecordShape shape = RecordShape::kOpaque);
 
 }  // namespace ndq
 

@@ -25,6 +25,16 @@ Status Prefetcher::Read(size_t idx, uint8_t* buf) {
   if (it != window_.end()) {
     req = std::move(it->second);
     window_.erase(it);
+  } else if (!disk_->PrefetchWorthwhile()) {
+    // The device is currently faster than the async round trip (see
+    // Disk::PrefetchWorthwhile); serve the miss synchronously. ReadPage
+    // performs the identical observable sequence (fault consult, then
+    // transfer count), so accounting is unchanged — only the queue
+    // handoff is skipped.
+    Status s = disk_->ReadPage(page, buf);
+    next_submit_ = std::max(next_submit_, idx + 1);
+    TopUpWindow();
+    return s;
   } else {
     // Out-of-window access (a seek, or a window the scan outran): fetch
     // fresh and restart streaming from here.
@@ -47,6 +57,11 @@ Status Prefetcher::Read(size_t idx, uint8_t* buf) {
 
 void Prefetcher::TopUpWindow() {
   if (async_ == nullptr) return;
+  // Back off while the device is serving reads faster than the engine's
+  // round-trip cost; requests already in flight drain normally, and the
+  // window refills if the device slows down again (e.g. the scan leaves
+  // the OS page cache).
+  if (!disk_->PrefetchWorthwhile()) return;
   const size_t depth = async_->io_depth();
   while (window_.size() < depth && next_submit_ < pages_->size()) {
     const size_t idx = next_submit_++;

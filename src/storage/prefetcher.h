@@ -17,6 +17,13 @@
 // simulation deliberately does NOT charge as a transfer, because the
 // synchronous execution would never have issued it.
 //
+// Adaptive backoff: when the device's recent reads complete faster than
+// an async-queue round trip (Disk::PrefetchWorthwhile — e.g. a FileDisk
+// whose pages are warm in the OS cache), the window stops submitting and
+// misses are served by plain synchronous ReadPage, which performs the
+// same observable sequence. Prefetch then costs nothing when it cannot
+// help, instead of adding handoff latency to every page.
+//
 // Thread-compatible (one consumer), like the RunReader that owns it.
 
 #ifndef NDQ_STORAGE_PREFETCHER_H_

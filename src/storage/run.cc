@@ -1,5 +1,7 @@
 #include "storage/run.h"
 
+#include <algorithm>
+
 #include "storage/serde.h"
 
 namespace ndq {
@@ -22,15 +24,19 @@ Status FreeRun(Disk* disk, Run* run) {
 
 Result<Run> ReverseRun(Disk* disk, Run run) {
   // Spill forward-order records in ~2-page batches, then replay the
-  // batches last-to-first, reversing each batch in memory.
+  // batches last-to-first, reversing each batch in memory. The output and
+  // every intermediate batch keep the input's format: reversed records
+  // are adjacent in both orders, so they compress the same, and keyed
+  // shape is preserved for downstream readers.
   const size_t batch_budget = 2 * disk->page_size();
+  const PageFormat format = run.format;
   std::vector<Run> batches;
   auto impl = [&]() -> Result<Run> {
     std::vector<std::string> buffer;
     size_t buffered = 0;
     auto flush = [&]() -> Status {
       if (buffer.empty()) return Status::OK();
-      RunWriter w(disk);
+      RunWriter w(disk, format);
       for (const std::string& rec : buffer) NDQ_RETURN_IF_ERROR(w.Add(rec));
       NDQ_ASSIGN_OR_RETURN(Run batch, w.Finish());
       batches.push_back(std::move(batch));
@@ -51,7 +57,7 @@ Result<Run> ReverseRun(Disk* disk, Run run) {
       NDQ_RETURN_IF_ERROR(flush());
     }
     NDQ_RETURN_IF_ERROR(FreeRun(disk, &run));
-    RunWriter out(disk);
+    RunWriter out(disk, format);
     std::string rec;
     for (auto bit = batches.rbegin(); bit != batches.rend(); ++bit) {
       std::vector<std::string> recs;
@@ -78,7 +84,11 @@ Result<Run> ReverseRun(Disk* disk, Run run) {
   return reversed;
 }
 
-RunWriter::RunWriter(Disk* disk) : disk_(disk) {
+RunWriter::RunWriter(Disk* disk, RecordShape shape)
+    : RunWriter(disk, ResolvePageFormat(shape)) {}
+
+RunWriter::RunWriter(Disk* disk, PageFormat format) : disk_(disk) {
+  run_.format = format;
   buf_.reserve(disk_->page_size());
 }
 
@@ -104,12 +114,71 @@ Status RunWriter::FlushPage() {
   return Status::OK();
 }
 
+namespace {
+
+size_t SharedPrefix(std::string_view a, std::string_view b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+}  // namespace
+
 Status RunWriter::Add(std::string_view record) {
   if (finished_) return Status::Internal("Add after Finish");
+  // Where this record's frame will start (FlushPage keeps buf_ strictly
+  // below a full page between Adds).
+  last_record_page_ = run_.pages.size();
+  last_record_offset_ = static_cast<uint32_t>(buf_.size());
+
+  // Restart whenever decode-from-here must not depend on history: the
+  // first record, every kRestartInterval records, and — for seekable
+  // runs (set_page_restarts) — the first record starting in each page,
+  // which makes every sparse-index seek target self-contained.
+  const bool restart =
+      run_.num_records == 0 || records_since_restart_ >= kRestartInterval ||
+      (page_restarts_ && last_record_page_ != last_start_page_);
+  if (restart) records_since_restart_ = 0;
+  ++records_since_restart_;
+  last_start_page_ = last_record_page_;
+
   std::string framed;
   ByteWriter w(&framed);
-  w.PutVarint(record.size());
-  framed.append(record.data(), record.size());
+  switch (run_.format) {
+    case PageFormat::kRaw: {
+      w.PutVarint(record.size());
+      framed.append(record.data(), record.size());
+      break;
+    }
+    case PageFormat::kPrefix: {
+      size_t shared = restart ? 0 : SharedPrefix(prev_record_, record);
+      w.PutVarint(shared);
+      w.PutVarint(record.size() - shared);
+      framed.append(record.data() + shared, record.size() - shared);
+      prev_record_.assign(record.data(), record.size());
+      break;
+    }
+    case PageFormat::kKeyPrefix: {
+      ByteReader r(record);
+      Result<std::string_view> key = r.GetString();
+      if (!key.ok()) {
+        return Status::Internal("keyed run record lacks a key prefix");
+      }
+      std::string_view rest = record.substr(r.position());
+      size_t shared_key = restart ? 0 : SharedPrefix(prev_key_, *key);
+      size_t shared_rest = restart ? 0 : SharedPrefix(prev_rest_, rest);
+      w.PutVarint(shared_key);
+      w.PutVarint(key->size() - shared_key);
+      w.PutVarint(shared_rest);
+      w.PutVarint(rest.size() - shared_rest);
+      framed.append(key->data() + shared_key, key->size() - shared_key);
+      framed.append(rest.data() + shared_rest, rest.size() - shared_rest);
+      prev_key_.assign(key->data(), key->size());
+      prev_rest_.assign(rest.data(), rest.size());
+      break;
+    }
+  }
 
   size_t off = 0;
   while (off < framed.size()) {
@@ -180,22 +249,83 @@ Result<uint64_t> RunReader::ReadVarint() {
   return v;
 }
 
+Status RunReader::CheckFrameLength(uint64_t claimed) const {
+  // No frame can legitimately claim more bytes than the run's pages hold;
+  // reject before allocating or looping, so a corrupted length prefix
+  // costs O(1) instead of a page-by-page crawl to the truncation error.
+  uint64_t capacity =
+      static_cast<uint64_t>(run_->pages.size()) * disk_->page_size();
+  if (claimed > capacity) {
+    return Status::Corruption("record length prefix past run end");
+  }
+  return Status::OK();
+}
+
 Status RunReader::SeekTo(size_t page_idx, size_t byte_offset,
                          uint64_t record_index) {
   if (page_idx >= run_->pages.size()) {
     return Status::OutOfRange("seek past end of run");
   }
+  if (byte_offset >= disk_->page_size()) {
+    return Status::Corruption("seek offset past page end");
+  }
   NDQ_RETURN_IF_ERROR(LoadPage(page_idx));
   buf_pos_ = byte_offset;
   records_read_ = record_index;
+  // A seek lands on a restart point, which references no history; any
+  // frame that does back-reference from here is caught as corruption in
+  // Next() (shared count exceeds the empty reconstruction state).
+  prev_key_.clear();
+  prev_rest_.clear();
+  prev_record_.clear();
   return Status::OK();
 }
 
 Result<bool> RunReader::Next(std::string* record) {
   if (records_read_ >= run_->num_records) return false;
-  NDQ_ASSIGN_OR_RETURN(uint64_t len, ReadVarint());
-  record->clear();
-  NDQ_RETURN_IF_ERROR(ReadBytes(len, record));
+  switch (run_->format) {
+    case PageFormat::kRaw: {
+      NDQ_ASSIGN_OR_RETURN(uint64_t len, ReadVarint());
+      NDQ_RETURN_IF_ERROR(CheckFrameLength(len));
+      record->clear();
+      NDQ_RETURN_IF_ERROR(ReadBytes(len, record));
+      break;
+    }
+    case PageFormat::kPrefix: {
+      NDQ_ASSIGN_OR_RETURN(uint64_t shared, ReadVarint());
+      NDQ_ASSIGN_OR_RETURN(uint64_t suffix_len, ReadVarint());
+      NDQ_RETURN_IF_ERROR(CheckFrameLength(suffix_len));
+      if (shared > prev_record_.size()) {
+        return Status::Corruption("prefix reference past previous record");
+      }
+      prev_record_.resize(shared);
+      NDQ_RETURN_IF_ERROR(ReadBytes(suffix_len, &prev_record_));
+      *record = prev_record_;
+      break;
+    }
+    case PageFormat::kKeyPrefix: {
+      NDQ_ASSIGN_OR_RETURN(uint64_t shared_key, ReadVarint());
+      NDQ_ASSIGN_OR_RETURN(uint64_t key_suffix, ReadVarint());
+      NDQ_ASSIGN_OR_RETURN(uint64_t shared_rest, ReadVarint());
+      NDQ_ASSIGN_OR_RETURN(uint64_t rest_suffix, ReadVarint());
+      NDQ_RETURN_IF_ERROR(CheckFrameLength(key_suffix));
+      NDQ_RETURN_IF_ERROR(CheckFrameLength(rest_suffix));
+      if (shared_key > prev_key_.size() ||
+          shared_rest > prev_rest_.size()) {
+        return Status::Corruption("prefix reference past previous record");
+      }
+      prev_key_.resize(shared_key);
+      NDQ_RETURN_IF_ERROR(ReadBytes(key_suffix, &prev_key_));
+      prev_rest_.resize(shared_rest);
+      NDQ_RETURN_IF_ERROR(ReadBytes(rest_suffix, &prev_rest_));
+      // Re-synthesize the original record: PutString(key) + rest.
+      record->clear();
+      ByteWriter w(record);
+      w.PutString(prev_key_);
+      record->append(prev_rest_);
+      break;
+    }
+  }
   ++records_read_;
   return true;
 }

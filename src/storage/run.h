@@ -16,14 +16,20 @@
 
 #include "storage/disk.h"
 #include "storage/prefetcher.h"
+#include "storage/serde.h"
 
 namespace ndq {
 
-/// Metadata for a run of records stored on disk pages.
+/// Metadata for a run of records stored on disk pages. `format` is the
+/// on-page record framing (storage/serde.h): versioned per run, so raw
+/// and compressed runs coexist and readers never guess. `payload_bytes`
+/// counts the framed bytes actually appended to the page stream, so
+/// pages.size() == ceil(payload_bytes / page_size) in every format.
 struct Run {
   std::vector<PageId> pages;
   uint64_t num_records = 0;
   uint64_t payload_bytes = 0;
+  PageFormat format = PageFormat::kRaw;
 
   bool empty() const { return num_records == 0; }
 };
@@ -46,13 +52,21 @@ Result<Run> ReverseRun(Disk* disk, Run run);
 /// writer — no partial run leaks.
 class RunWriter {
  public:
-  explicit RunWriter(Disk* disk);
+  /// `shape` declares the record stream (storage/serde.h): kKeyed streams
+  /// (records whose first field is a PutString sort key — serialized
+  /// entries, pair records, spill items) get key-aware prefix compression
+  /// when the global mode allows; kOpaque streams get generic prefix
+  /// compression. The resolved format is stamped into the finished Run.
+  explicit RunWriter(Disk* disk, RecordShape shape = RecordShape::kOpaque);
+  /// Writes in exactly `format`, ignoring the global mode. Used where the
+  /// output must match an existing run's format (ReverseRun).
+  RunWriter(Disk* disk, PageFormat format);
   ~RunWriter();
 
   RunWriter(const RunWriter&) = delete;
   RunWriter& operator=(const RunWriter&) = delete;
 
-  /// Appends one record (length-prefixed; may span pages).
+  /// Appends one record (framed per the run's format; may span pages).
   Status Add(std::string_view record);
 
   /// Flushes the tail page and returns the finished run, transferring
@@ -61,6 +75,22 @@ class RunWriter {
 
   uint64_t num_records() const { return run_.num_records; }
 
+  /// Forces a restart for the first record starting in each page, making
+  /// every such position a valid SeekTo target. Only seekable runs (the
+  /// entry store's segment, whose sparse index records those positions)
+  /// need this; scan-only runs skip it — on deep-directory keys a restart
+  /// re-emits the whole reverse-DN key, so per-page restarts cost real
+  /// compression. Call before the first Add().
+  void set_page_restarts(bool on) { page_restarts_ = on; }
+
+  /// Position where the most recent Add()'s frame started: page index
+  /// within the run and byte offset within that page. With
+  /// set_page_restarts(true), the first record starting in any page is
+  /// always a restart point, so this position is a valid SeekTo target
+  /// (the entry store's sparse index records it).
+  size_t last_record_page() const { return last_record_page_; }
+  uint32_t last_record_offset() const { return last_record_offset_; }
+
  private:
   Status FlushPage();
 
@@ -68,6 +98,15 @@ class RunWriter {
   Run run_;
   std::string buf_;  // current page payload
   bool finished_ = false;
+  // Compression state (unused for kRaw).
+  bool page_restarts_ = false;
+  uint64_t records_since_restart_ = 0;
+  size_t last_start_page_ = static_cast<size_t>(-1);
+  size_t last_record_page_ = 0;
+  uint32_t last_record_offset_ = 0;
+  std::string prev_key_;     // kKeyPrefix: previous record's key
+  std::string prev_rest_;    // kKeyPrefix: previous record minus the key
+  std::string prev_record_;  // kPrefix: previous record, whole
 };
 
 /// Reads a run sequentially, one page of buffering. When the disk has an
@@ -79,11 +118,17 @@ class RunReader {
   RunReader(Disk* disk, const Run& run);
 
   /// Reads the next record into `record`. Returns false at end-of-run.
+  /// Compressed records are reconstructed incrementally from the previous
+  /// record's key/bytes; the caller always sees the original record.
   Result<bool> Next(std::string* record);
 
   /// Positions the reader at `byte_offset` within page `page_idx`, which
-  /// must be the start of record number `record_index`. Used by indexed
-  /// range scans (store/entry_store.h).
+  /// must be the start of record number `record_index` AND (for compressed
+  /// runs) a restart point — guaranteed for the first record starting in
+  /// any page of a run written with set_page_restarts(true), which is
+  /// what the entry store's sparse index stores. A frame that
+  /// back-references history from here is reported as corruption, never
+  /// read out of bounds.
   Status SeekTo(size_t page_idx, size_t byte_offset, uint64_t record_index);
 
   uint64_t records_read() const { return records_read_; }
@@ -93,6 +138,9 @@ class RunReader {
   /// Pulls `n` raw bytes across page boundaries.
   Status ReadBytes(size_t n, std::string* out);
   Result<uint64_t> ReadVarint();
+  /// Rejects suffix lengths no well-formed frame could claim (an
+  /// oversized length prefix) before any allocation happens.
+  Status CheckFrameLength(uint64_t claimed) const;
 
   Disk* disk_;
   const Run* run_;
@@ -101,6 +149,10 @@ class RunReader {
   size_t page_idx_ = 0;   // next page to load
   size_t buf_pos_ = 0;
   uint64_t records_read_ = 0;
+  // Compression state (unused for kRaw).
+  std::string prev_key_;
+  std::string prev_rest_;
+  std::string prev_record_;
 };
 
 }  // namespace ndq

@@ -93,6 +93,89 @@ class ByteReader {
   size_t pos_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Page format (prefix compression)
+// ---------------------------------------------------------------------------
+
+/// On-disk framing of the records inside a run's pages. The format is
+/// versioned PER RUN (carried in Run metadata and segment manifests), so
+/// runs of different formats coexist on one disk and readers never guess.
+///
+///   kRaw       — every record framed as varint(len) + bytes (the v0
+///                layout; what NDQ_PAGE_FORMAT=raw selects).
+///   kPrefix    — each record prefix-compressed against the previous one:
+///                varint(shared) varint(suffix_len) suffix. For opaque
+///                record shapes (labeled/annotated runs).
+///   kKeyPrefix — key-aware compression for records whose FIRST field is a
+///                length-prefixed sort key (serialized entries, pair
+///                records, spill-stack items). The key and the remainder
+///                are compressed independently against the previous
+///                record's, so differing key lengths (whose varint prefix
+///                would defeat kPrefix at byte 0) still share their DN
+///                prefix:
+///                varint(shared_key) varint(key_suffix_len)
+///                varint(shared_rest) varint(rest_suffix_len)
+///                key_suffix rest_suffix.
+///
+/// Writers emit a RESTART (all shared counts forced to 0) for the first
+/// record, every kRestartInterval records, and — for seekable runs
+/// (RunWriter::set_page_restarts, used by the entry store) — for every
+/// record that starts in a new page, so the first record starting in any
+/// page is decodable without history and the sparse-index seek targets
+/// stay valid. Scan-only runs skip the per-page restarts: on deep
+/// directories a restart re-emits the whole reverse-DN key, which is
+/// most of the compression win.
+enum class PageFormat : uint8_t {
+  kRaw = 0,
+  kPrefix = 1,
+  kKeyPrefix = 2,
+};
+
+/// What a writer knows about its record stream; resolves to a PageFormat
+/// given the global compression mode.
+enum class RecordShape : uint8_t {
+  kOpaque = 0,  ///< arbitrary bytes
+  kKeyed = 1,   ///< first field is a ByteWriter::PutString sort key
+};
+
+/// Writer-side restart interval (records between forced restarts).
+/// Seeks never depend on it — the per-page forced restart (where
+/// enabled) is what makes sparse-index targets decodable — so the
+/// interval only bounds how far a mid-page corruption can smear. Deep-
+/// directory keys make full restart records expensive (a restart
+/// re-emits the whole reverse-DN key), so the interval is deliberately
+/// loose.
+inline constexpr uint64_t kRestartInterval = 64;
+
+/// Process-wide compression mode. Initialized lazily from the
+/// NDQ_PAGE_FORMAT environment variable ("raw" disables compression;
+/// anything else — including unset — enables it). Benches and tests
+/// override it programmatically to compare formats in one process.
+/// Affects only NEW writers; existing runs carry their own format.
+bool PageCompressionEnabled();
+void SetPageCompression(bool enabled);
+
+/// The format a fresh writer should use for `shape` under the current
+/// global mode.
+PageFormat ResolvePageFormat(RecordShape shape);
+
+// ---------------------------------------------------------------------------
+// Order-preserving typed key encoding
+// ---------------------------------------------------------------------------
+
+/// Order-preserving fixed-width encoding of a signed 64-bit integer: the
+/// sign bit is flipped and the bytes stored big-endian, so memcmp order on
+/// the 8-byte strings equals numeric order.
+void AppendOrderedInt64(int64_t v, std::string* out);
+int64_t DecodeOrderedInt64(std::string_view bytes);
+
+/// Order-preserving encoding of a typed Value: a kind-rank tag byte
+/// followed by the domain encoding (sign-flipped big-endian for kInt, raw
+/// bytes otherwise). memcmp order on encodings equals Value::operator<
+/// (kind first, then domain order) — the SerializeKeyByType idiom, used by
+/// the secondary indexes and verified by the codec property tests.
+void AppendOrderedValueKey(const Value& value, std::string* out);
+
 /// Appends the wire form of `value` to `out`.
 void SerializeValue(const Value& value, std::string* out);
 /// Reads one Value.

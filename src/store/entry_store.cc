@@ -24,34 +24,29 @@ Status EntryStore::BuildFromImpl(
     Disk* disk, const std::function<Result<bool>(std::string*)>& next) {
   disk_ = disk;
   const size_t page_size = disk->page_size();
-  std::string buf;
-  buf.reserve(page_size);
-  auto flush_page = [&]() -> Status {
-    if (buf.empty()) return Status::OK();
-    buf.resize(page_size, '\0');
-    NDQ_ASSIGN_OR_RETURN(PageId id, disk->Allocate());
-    run_.pages.push_back(id);
-    NDQ_RETURN_IF_ERROR(
-        disk->WritePage(id, reinterpret_cast<const uint8_t*>(buf.data())));
-    buf.clear();
-    return Status::OK();
-  };
+  // Entry records are keyed (HierKey first field), so the writer resolves
+  // to key-aware prefix compression when the global mode allows. Page
+  // restarts make the first record starting in each page decodable
+  // without history — exactly the set of positions the sparse index
+  // records, so every SeekReader target is self-contained.
+  RunWriter writer(disk, RecordShape::kKeyed);
+  writer.set_page_restarts(true);
 
   std::string record;
   std::string prev_key;
   // Pending sparse-index entries for pages not yet flushed are appended as
   // pages fill; a page with no record start inherits a sentinel.
-  auto note_record_start = [&](std::string_view key) {
-    size_t page_idx = run_.pages.size();  // current page being built
+  auto note_record_start = [&](std::string_view key, uint64_t ordinal) {
+    size_t page_idx = writer.last_record_page();
     while (first_keys_.size() <= page_idx) {
       first_keys_.emplace_back();
       first_offsets_.push_back(static_cast<uint32_t>(page_size));
-      first_record_index_.push_back(run_.num_records);
+      first_record_index_.push_back(ordinal);
     }
     if (first_offsets_[page_idx] == page_size) {
       first_keys_[page_idx] = std::string(key);
-      first_offsets_[page_idx] = static_cast<uint32_t>(buf.size());
-      first_record_index_[page_idx] = run_.num_records;
+      first_offsets_[page_idx] = writer.last_record_offset();
+      first_record_index_[page_idx] = ordinal;
     }
   };
 
@@ -59,28 +54,16 @@ Status EntryStore::BuildFromImpl(
     NDQ_ASSIGN_OR_RETURN(bool more, next(&record));
     if (!more) break;
     NDQ_ASSIGN_OR_RETURN(std::string_view key, PeekEntryKey(record));
-    if (run_.num_records > 0 && !(prev_key < key)) {
+    if (writer.num_records() > 0 && !(prev_key < key)) {
       return Status::InvalidArgument(
           "entry records not in strictly increasing key order");
     }
     prev_key = std::string(key);
-    note_record_start(key);
-
-    std::string framed;
-    ByteWriter w(&framed);
-    w.PutVarint(record.size());
-    framed += record;
-    size_t off = 0;
-    while (off < framed.size()) {
-      size_t take = std::min(page_size - buf.size(), framed.size() - off);
-      buf.append(framed, off, take);
-      off += take;
-      if (buf.size() == page_size) NDQ_RETURN_IF_ERROR(flush_page());
-    }
-    ++run_.num_records;
-    run_.payload_bytes += framed.size();
+    uint64_t ordinal = writer.num_records();
+    NDQ_RETURN_IF_ERROR(writer.Add(record));
+    note_record_start(key, ordinal);
   }
-  NDQ_RETURN_IF_ERROR(flush_page());
+  NDQ_ASSIGN_OR_RETURN(run_, writer.Finish());
   // Fill index slots for trailing pages with no record start, and for
   // pages fully occupied by spanning records.
   while (first_keys_.size() < run_.pages.size()) {
@@ -269,7 +252,15 @@ Result<std::optional<Entry>> EntryStore::Get(std::string_view hier_key) const {
 std::string EntryStore::SerializeManifest() const {
   std::string out;
   ByteWriter w(&out);
-  w.PutString("ndqseg1");
+  // Raw segments keep the v1 magic (bit-identical manifests, so images
+  // saved by older builds round-trip); compressed segments use v2, which
+  // adds the page-format byte right after the magic.
+  if (run_.format == PageFormat::kRaw) {
+    w.PutString("ndqseg1");
+  } else {
+    w.PutString("ndqseg2");
+    w.PutU8(static_cast<uint8_t>(run_.format));
+  }
   w.PutVarint(run_.num_records);
   w.PutVarint(run_.payload_bytes);
   w.PutVarint(run_.pages.size());
@@ -287,11 +278,18 @@ Result<EntryStore> EntryStore::FromManifest(Disk* disk,
                                             std::string_view manifest) {
   ByteReader r(manifest);
   NDQ_ASSIGN_OR_RETURN(std::string_view magic, r.GetString());
-  if (magic != "ndqseg1") {
+  if (magic != "ndqseg1" && magic != "ndqseg2") {
     return Status::Corruption("bad entry-store manifest magic");
   }
   EntryStore store;
   store.disk_ = disk;
+  if (magic == "ndqseg2") {
+    NDQ_ASSIGN_OR_RETURN(uint8_t fmt, r.GetU8());
+    if (fmt > static_cast<uint8_t>(PageFormat::kKeyPrefix)) {
+      return Status::Corruption("bad entry-store manifest page format");
+    }
+    store.run_.format = static_cast<PageFormat>(fmt);
+  }
   NDQ_ASSIGN_OR_RETURN(store.run_.num_records, r.GetVarint());
   NDQ_ASSIGN_OR_RETURN(store.run_.payload_bytes, r.GetVarint());
   NDQ_ASSIGN_OR_RETURN(uint64_t npages, r.GetVarint());

@@ -135,7 +135,7 @@ TEST(AsyncDiskTest, CancelSkipsUnstartedRequests) {
 TEST(AsyncDiskTest, PrefetchedScanKeepsPageAccountingIdentical) {
   SimDisk disk(256);
   RunWriter writer(&disk);
-  for (int i = 0; i < 500; ++i) {
+  for (int i = 0; i < 1500; ++i) {
     ASSERT_TRUE(writer.Add("record-" + std::to_string(i)).ok());
   }
   ndq::Run run = writer.Finish().TakeValue();
@@ -157,7 +157,7 @@ TEST(AsyncDiskTest, PrefetchedScanKeepsPageAccountingIdentical) {
   disk.ResetStats();
   std::vector<std::string> sync_result = scan();
   const uint64_t sync_reads = disk.stats().page_reads;
-  EXPECT_EQ(sync_result.size(), 500u);
+  EXPECT_EQ(sync_result.size(), 1500u);
   EXPECT_EQ(disk.stats().prefetch_hits.load(), 0u);
 
   for (size_t depth : {1u, 4u, 16u}) {
@@ -180,7 +180,7 @@ TEST(AsyncDiskTest, PrefetchedScanKeepsPageAccountingIdentical) {
 TEST(AsyncDiskTest, AbandonedScanCountsWastedNotRead) {
   SimDisk disk(256);
   RunWriter writer(&disk);
-  for (int i = 0; i < 500; ++i) {
+  for (int i = 0; i < 1500; ++i) {
     ASSERT_TRUE(writer.Add("record-" + std::to_string(i)).ok());
   }
   ndq::Run run = writer.Finish().TakeValue();
@@ -207,7 +207,7 @@ TEST(AsyncDiskTest, AbandonedScanCountsWastedNotRead) {
 TEST(AsyncDiskTest, FaultOnKthAsyncCompletionMatchesSyncStream) {
   SimDisk disk(256);
   RunWriter writer(&disk);
-  for (int i = 0; i < 200; ++i) {
+  for (int i = 0; i < 600; ++i) {
     ASSERT_TRUE(writer.Add("record-" + std::to_string(i)).ok());
   }
   ndq::Run run = writer.Finish().TakeValue();
@@ -250,6 +250,63 @@ TEST(AsyncDiskTest, FaultOnKthAsyncCompletionMatchesSyncStream) {
         << "fault landed on a different record than the sync stream";
     EXPECT_EQ(async_injector.faults_fired(), sync_injector.faults_fired());
   }
+}
+
+// Adaptive backoff: on a device serving reads faster than the async
+// round trip, the prefetch window stops submitting — so nothing is
+// wasted and accounting still matches sync — and it resumes once real
+// device latency reappears.
+TEST(AsyncDiskTest, PrefetchBacksOffOnFastDeviceAndRecovers) {
+  SimDisk disk(256);
+  RunWriter writer(&disk);
+  for (int i = 0; i < 1500; ++i) {
+    ASSERT_TRUE(writer.Add("record-" + std::to_string(i)).ok());
+  }
+  ndq::Run run = writer.Finish().TakeValue();
+  ASSERT_GT(run.pages.size(), 8u);
+
+  // Fresh device: optimistic until the duration estimate warms up.
+  EXPECT_TRUE(disk.PrefetchWorthwhile());
+
+  // Train the estimate with fast (zero-latency, in-memory) reads. A few
+  // thousand samples drown any scheduler hiccup in the EWMA.
+  std::vector<uint8_t> buf(disk.page_size());
+  for (int i = 0; i < 2000 && disk.PrefetchWorthwhile(); ++i) {
+    ASSERT_TRUE(
+        disk.ReadPage(run.pages[i % run.pages.size()], buf.data()).ok());
+  }
+  EXPECT_FALSE(disk.PrefetchWorthwhile());
+
+  // Backed off: an abandoned prefetching scan has issued no read-ahead,
+  // so nothing is wasted, and a full scan still counts every page.
+  disk.SetIoDepth(8);
+  disk.ResetStats();
+  {
+    RunReader reader(&disk, run);
+    std::string rec;
+    ASSERT_TRUE(reader.Next(&rec).ValueOrDie());
+  }
+  EXPECT_EQ(disk.stats().page_reads.load(), 1u);
+  EXPECT_EQ(disk.stats().prefetch_wasted.load(), 0u);
+  disk.ResetStats();
+  {
+    RunReader reader(&disk, run);
+    std::string rec;
+    while (reader.Next(&rec).ValueOrDie()) {
+    }
+  }
+  EXPECT_EQ(disk.stats().page_reads.load(), run.pages.size());
+
+  // Real device latency re-trains the estimate above the threshold and
+  // read-ahead resumes.
+  disk.set_transfer_latency_micros(200);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(
+        disk.ReadPage(run.pages[i % run.pages.size()], buf.data()).ok());
+  }
+  EXPECT_TRUE(disk.PrefetchWorthwhile());
+  disk.set_transfer_latency_micros(0);
+  disk.SetIoDepth(0);
 }
 
 }  // namespace

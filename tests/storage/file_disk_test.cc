@@ -104,7 +104,7 @@ TEST_F(FileDiskTest, InitErrorSurfacesOnFirstOperation) {
 TEST_F(FileDiskTest, RunScanAndPrefetchWorkOnRealFiles) {
   FileDisk disk(path_, 512);
   RunWriter writer(&disk);
-  for (int i = 0; i < 300; ++i) {
+  for (int i = 0; i < 1200; ++i) {
     ASSERT_TRUE(writer.Add("file-record-" + std::to_string(i)).ok());
   }
   ndq::Run run = writer.Finish().TakeValue();
@@ -125,7 +125,7 @@ TEST_F(FileDiskTest, RunScanAndPrefetchWorkOnRealFiles) {
 
   disk.ResetStats();
   std::vector<std::string> sync_result = scan();
-  ASSERT_EQ(sync_result.size(), 300u);
+  ASSERT_EQ(sync_result.size(), 1200u);
   const uint64_t sync_reads = disk.stats().page_reads;
 
   disk.SetIoDepth(4);

@@ -50,7 +50,8 @@ TEST(SerdeTest, TruncationDetected) {
   std::string buf;
   ByteWriter w(&buf);
   w.PutString("hello world");
-  ByteReader r(buf.substr(0, 4));
+  std::string truncated = buf.substr(0, 4);
+  ByteReader r(truncated);
   EXPECT_FALSE(r.GetString().ok());
   ByteReader r2("");
   EXPECT_FALSE(r2.GetVarint().ok());
@@ -92,6 +93,45 @@ TEST(SerdeTest, CorruptEntryRejected) {
   std::string bad = buf;
   bad[0] = '\x7f';  // nonsense key length
   EXPECT_FALSE(DeserializeEntry(bad).ok());
+}
+
+TEST(SerdeTest, OrderedInt64RoundTripAndOrder) {
+  const int64_t samples[] = {INT64_MIN, INT64_MIN + 1, -1000000, -256, -2,
+                             -1,        0,             1,        2,    255,
+                             1000000,   INT64_MAX - 1, INT64_MAX};
+  std::string prev;
+  bool first = true;
+  for (int64_t v : samples) {
+    std::string enc;
+    AppendOrderedInt64(v, &enc);
+    EXPECT_EQ(enc.size(), 8u);
+    EXPECT_EQ(DecodeOrderedInt64(enc), v);
+    if (!first) EXPECT_LT(prev, enc) << v;  // memcmp order == numeric order
+    prev = enc;
+    first = false;
+  }
+}
+
+TEST(SerdeTest, OrderedValueKeyMatchesValueCompare) {
+  // memcmp order on encodings must equal Value::operator< across domains
+  // AND across the int/string/dn kind boundary.
+  std::vector<Value> vals = {
+      Value::Int(INT64_MIN), Value::Int(-5),      Value::Int(0),
+      Value::Int(7),         Value::Int(INT64_MAX),
+      Value::String(""),     Value::String("a"),  Value::String("ab"),
+      Value::String("b"),    Value::String("\xff"),
+      Value::DnRef(""),      Value::DnRef("dc=att"),
+      Value::DnRef("dc=com"),
+  };
+  for (const Value& a : vals) {
+    for (const Value& b : vals) {
+      std::string ea, eb;
+      AppendOrderedValueKey(a, &ea);
+      AppendOrderedValueKey(b, &eb);
+      EXPECT_EQ(ea < eb, a < b) << a.ToString() << " vs " << b.ToString();
+      EXPECT_EQ(ea == eb, !(a < b) && !(b < a));
+    }
+  }
 }
 
 }  // namespace
