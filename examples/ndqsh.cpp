@@ -34,6 +34,7 @@
 #include "engine/engine.h"
 #include "exec/cost.h"
 #include "gen/paper_data.h"
+#include "query/optimize.h"
 #include "query/parser.h"
 #include "query/rewrite.h"
 #include "query/validate.h"
@@ -77,6 +78,15 @@ struct Shell {
         engine.parallelism(),
         engine.cache() != nullptr ? engine.cache()->capacity_pages()
                                   : size_t{0});
+  }
+
+  void SetOptimize(const std::string& arg) {
+    if (arg != "on" && arg != "off") {
+      std::printf("usage: .set optimize on|off\n");
+      return;
+    }
+    engine.SetOptimize(arg == "on");
+    std::printf("cost-based optimizer %s\n", arg.c_str());
   }
 
   void SetIoDepth(size_t n) {
@@ -178,10 +188,15 @@ struct Shell {
       return;
     }
     std::printf(
-        "settings: parallelism=%zu iodepth=%zu faults=%s cache=%zu pages\n",
-        engine.parallelism(), engine.io_depth(), fault_spec.c_str(),
+        "settings: parallelism=%zu iodepth=%zu optimize=%s faults=%s "
+        "cache=%zu pages\n",
+        engine.parallelism(), engine.io_depth(),
+        engine.optimize() ? "on" : "off", fault_spec.c_str(),
         engine.cache() != nullptr ? engine.cache()->capacity_pages()
                                   : size_t{0});
+    if (outcome.optimizer.Total() > 0) {
+      std::printf("optimizer: %s\n", outcome.optimizer.ToString().c_str());
+    }
     std::printf(
         "%s",
         ndq::ExplainAnalyze(store(), *outcome.plan, outcome.trace).c_str());
@@ -219,10 +234,22 @@ struct Shell {
     ndq::RewriteStats stats;
     ndq::QueryPtr r = ndq::RewriteQuery(*q, &stats);
     if (stats.Total() > 0) {
-      std::printf("optimized (%zu rewrite(s)): %s\n", stats.Total(),
+      std::printf("canonicalized (%zu rewrite(s)): %s\n", stats.Total(),
                   r->ToString().c_str());
     } else {
-      std::printf("already optimal: %s\n", r->ToString().c_str());
+      std::printf("already canonical: %s\n", r->ToString().c_str());
+    }
+    if (engine.optimize()) {
+      ndq::OptimizedPlan opt = ndq::OptimizeQuery(store(), r);
+      if (opt.stats.Total() > 0) {
+        std::printf(
+            "optimized (%s; est ~%.0f -> ~%.0f pages): %s\n",
+            opt.stats.ToString().c_str(), opt.est_pages_before,
+            opt.est_pages_after, opt.plan->ToString().c_str());
+        r = opt.plan;
+      } else {
+        std::printf("optimizer: no profitable rewrite\n");
+      }
     }
     std::printf("plan:\n%s", ndq::ExplainPlan(store(), *r).c_str());
     ndq::CostEstimate est = ndq::EstimateCost(store(), *r);
@@ -285,6 +312,11 @@ const char* kHelp =
     "  .set iodepth <n>    keep up to n async page reads in flight on\n"
     "                      sequential run scans (0 = synchronous, the\n"
     "                      default; page accounting is identical)\n"
+    "  .set optimize on|off\n"
+    "                      cost-based optimizer: short-circuit provably\n"
+    "                      empty operands, reorder &/| by selectivity,\n"
+    "                      push filters below hierarchy operators (on by\n"
+    "                      default; .explain shows what it did)\n"
     "  .set faults <spec>  inject I/O faults on both disks; spec is\n"
     "                      rule[;rule...], rule = ops[:n=k|:every=k|:p=x\n"
     "                      |:seed=s|:page=id|:sticky], ops in\n"
@@ -375,6 +407,8 @@ int main(int argc, char** argv) {
         continue;
       }
       shell.SetIoDepth(static_cast<size_t>(n));
+    } else if (line.rfind(".set optimize ", 0) == 0) {
+      shell.SetOptimize(line.substr(14));
     } else if (line.rfind(".explain analyze ", 0) == 0) {
       std::string q = line.substr(17);
       // Multi-line queries: keep reading while parens are unbalanced.

@@ -9,6 +9,7 @@
 #include "exec/embedded_ref.h"
 #include "exec/hierarchy.h"
 #include "query/fingerprint.h"
+#include "query/optimize.h"
 #include "query/rewrite.h"
 #include "storage/external_sort.h"
 #include "storage/serde.h"
@@ -553,13 +554,67 @@ Result<std::vector<Entry>> DistributedDirectory::Evaluate(
   return entries;
 }
 
+namespace {
+
+/// Coordinator-side view of the fleet for the cost model: estimates are
+/// summed over every server's own estimates, which keeps them upper
+/// bounds on the merged directory (entries live on exactly one server).
+/// It carries no merged statistics (stats() stays nullptr), so the
+/// optimizer only uses the servers' range geometry; scanning through it
+/// is not supported — it exists purely for estimation.
+class FleetSource : public EntrySource {
+ public:
+  explicit FleetSource(
+      const std::vector<std::unique_ptr<DirectoryServer>>& servers)
+      : servers_(servers) {}
+
+  Status ScanRange(std::string_view, std::string_view,
+                   const std::function<Status(std::string_view)>&)
+      const override {
+    return Status::NotSupported(
+        "FleetSource is an estimation-only view of the fleet");
+  }
+
+  uint64_t num_entries() const override {
+    uint64_t n = 0;
+    for (const auto& s : servers_) n += s->num_entries();
+    return n;
+  }
+
+  uint64_t EstimateRangeRecords(std::string_view start_key,
+                                std::string_view end_key) const override {
+    uint64_t n = 0;
+    for (const auto& s : servers_) {
+      n += s->store().EstimateRangeRecords(start_key, end_key);
+    }
+    return n;
+  }
+
+  uint64_t EstimateRangePages(std::string_view start_key,
+                              std::string_view end_key) const override {
+    uint64_t n = 0;
+    for (const auto& s : servers_) {
+      n += s->store().EstimateRangePages(start_key, end_key);
+    }
+    return n;
+  }
+
+ private:
+  const std::vector<std::unique_ptr<DirectoryServer>>& servers_;
+};
+
+}  // namespace
+
 Result<std::vector<std::vector<Entry>>> DistributedDirectory::EvaluateBatch(
     const std::vector<QueryPtr>& queries, size_t cache_capacity_pages) {
+  FleetSource fleet(servers_);
   std::vector<QueryPtr> canon;
   canon.reserve(queries.size());
   for (const QueryPtr& q : queries) {
     if (q == nullptr) return Status::InvalidArgument("null query in batch");
-    canon.push_back(RewriteQuery(q));
+    QueryPtr c = RewriteQuery(q);
+    if (optimize_) c = OptimizeQuery(fleet, c).plan;
+    canon.push_back(std::move(c));
   }
   PlanCensus census = AnalyzeBatch(canon);
   SharedOperands shared{census.SharedKeys()};

@@ -170,6 +170,15 @@ class DistributedDirectory {
     return pool_ != nullptr ? pool_->parallelism() : 1;
   }
 
+  /// When enabled (default), EvaluateBatch runs the cost-based optimizer
+  /// (query/optimize.h) on each canonicalized plan before the sharing
+  /// census, against a coordinator-side view of the fleet's statistics
+  /// (summed per-server estimates — still upper bounds). Short-circuits
+  /// avoid shipping provably-empty sub-plans; reordering canonicalizes
+  /// operand permutations so the census shares more.
+  void set_optimize(bool enabled) { optimize_ = enabled; }
+  bool optimize() const { return optimize_; }
+
   /// Transient-failure handling knobs (see RetryPolicy).
   void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_policy_; }
@@ -223,6 +232,7 @@ class DistributedDirectory {
   ExecOptions options_;
   NetStats net_;
   bool query_shipping_ = true;
+  bool optimize_ = true;
   RetryPolicy retry_policy_;
   bool allow_degraded_ = true;
   /// Mutex + warning list behind one shared_ptr so DistributedDirectory

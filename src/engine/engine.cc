@@ -8,6 +8,7 @@
 
 #include "exec/cost.h"
 #include "query/fingerprint.h"
+#include "query/optimize.h"
 #include "query/parser.h"
 #include "query/rewrite.h"
 #include "storage/file_disk.h"
@@ -19,6 +20,7 @@ namespace internal {
 struct TicketState {
   QueryPtr plan;
   std::shared_ptr<const SharedOperands> shared;
+  OptimizeStats opt;  ///< what the optimizer did to `plan`
 
   mutable std::mutex mu;
   mutable std::condition_variable cv;
@@ -67,7 +69,13 @@ class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
 
   QueryTicket Submit(const QueryPtr& plan) {
     QueryPtr canonical = engine_->rewrite() ? RewriteQuery(plan) : plan;
-    return SubmitCanonical(std::move(canonical), nullptr);
+    OptimizeStats opt;
+    if (engine_->optimize_enabled()) {
+      OptimizedPlan optimized = OptimizeQuery(engine_->store(), canonical);
+      canonical = optimized.plan;
+      opt = optimized.stats;
+    }
+    return SubmitCanonical(std::move(canonical), nullptr, opt);
   }
 
   BatchResult RunBatch(std::vector<Result<QueryPtr>> parsed) {
@@ -75,10 +83,19 @@ class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
     br.outcomes.resize(parsed.size());
 
     std::vector<QueryPtr> canon(parsed.size());
+    std::vector<OptimizeStats> opts(parsed.size());
     std::vector<QueryPtr> valid;
     for (size_t i = 0; i < parsed.size(); ++i) {
       if (!parsed[i].ok()) continue;
       canon[i] = engine_->rewrite() ? RewriteQuery(*parsed[i]) : *parsed[i];
+      // Optimize BEFORE the sharing census: reordering rebuilds operand
+      // permutations into one canonical left-deep shape, so the census
+      // sees them as the same sub-plan and shares it.
+      if (engine_->optimize_enabled()) {
+        OptimizedPlan optimized = OptimizeQuery(engine_->store(), canon[i]);
+        canon[i] = optimized.plan;
+        opts[i] = optimized.stats;
+      }
       valid.push_back(canon[i]);
     }
 
@@ -101,7 +118,7 @@ class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
     std::vector<QueryTicket> tickets(parsed.size());
     for (size_t i = 0; i < parsed.size(); ++i) {
       if (!parsed[i].ok()) continue;
-      tickets[i] = SubmitCanonical(canon[i], shared);
+      tickets[i] = SubmitCanonical(canon[i], shared, opts[i]);
     }
     for (size_t i = 0; i < parsed.size(); ++i) {
       if (!parsed[i].ok()) {
@@ -143,9 +160,10 @@ class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
   }
 
  private:
-  /// Admission + enqueue of an already-canonical plan.
+  /// Admission + enqueue of an already-canonical, already-optimized plan.
   QueryTicket SubmitCanonical(QueryPtr plan,
-                              std::shared_ptr<const SharedOperands> shared) {
+                              std::shared_ptr<const SharedOperands> shared,
+                              const OptimizeStats& opt = {}) {
     double est = EstimateCost(engine_->store(), *plan).TotalPages();
     uint64_t budget = options_.per_query_page_budget ==
                               SessionOptions::kInheritBudget
@@ -164,6 +182,7 @@ class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
     auto state = std::make_shared<TicketState>();
     state->plan = std::move(plan);
     state->shared = std::move(shared);
+    state->opt = opt;
     bool dispatch = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -207,6 +226,8 @@ class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
     while (state != nullptr) {
       QueryOutcome out =
           engine_->ExecuteQuery(state->plan, state->shared.get());
+      out.optimizer = state->opt;
+      out.trace.plan_rewrites = state->opt.Total();
       state->Complete(std::move(out));
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -405,6 +426,14 @@ Engine::Engine(Disk* scratch, const EntrySource* store,
 }
 
 void Engine::Init() {
+  // $NDQ_OPTIMIZE=on|off (also 1|0) overrides the constructed default,
+  // mirroring $NDQ_DISK_BACKEND — CI's lever for running the whole suite
+  // with the optimizer off without touching each test.
+  if (const char* env = std::getenv("NDQ_OPTIMIZE")) {
+    std::string v = env;
+    if (v == "off" || v == "0") options_.optimize = false;
+    if (v == "on" || v == "1") options_.optimize = true;
+  }
   if (options_.cache_capacity_pages > 0) {
     cache_ =
         std::make_unique<OperandCache>(scratch_, options_.cache_capacity_pages);
@@ -444,6 +473,9 @@ void Engine::RebuildPoolLocked(size_t parallelism) {
   group_ = std::make_unique<ThreadPool::TaskGroup>(pool_.get());
   evaluator_ = std::make_unique<ParallelEvaluator>(
       scratch_, store_, options_.exec, cache_.get(), pool_.get());
+  // Re-install the index hook: the evaluator was just recreated but the
+  // indexes (if built) survive pool resizes.
+  evaluator_->SetIndexHook(MakeIndexHook());
 }
 
 Session Engine::OpenSession(SessionOptions options) {
@@ -484,6 +516,50 @@ Status Engine::SetFaults(const std::string& spec) {
 void Engine::SetPageBudget(uint64_t pages) {
   std::lock_guard<std::mutex> lock(sched_mu_);
   options_.per_query_page_budget = pages;
+}
+
+void Engine::SetOptimize(bool on) {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  options_.optimize = on;
+}
+
+bool Engine::optimize() const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  return options_.optimize;
+}
+
+bool Engine::optimize_enabled() const { return optimize(); }
+
+IndexHook Engine::MakeIndexHook() const {
+  IndexHook hook;
+  if (indexes_ == nullptr) return hook;
+  hook.indexes = indexes_.get();
+  hook.store = indexed_store_;
+  const EntrySource* store = store_;
+  hook.use_probe = [store](const Query& leaf) {
+    return ChooseAccessPath(*store, leaf).path == AccessPath::kIndexProbe;
+  };
+  return hook;
+}
+
+Status Engine::BuildIndexes(const IndexSpec& spec) {
+  const auto* entry_store = dynamic_cast<const EntryStore*>(store_);
+  if (entry_store == nullptr) {
+    return Status::InvalidArgument(
+        "BuildIndexes requires a bulk-loaded EntryStore (borrowing mode); "
+        "the mutable DirectoryStore's merged view has no stable segment "
+        "to index");
+  }
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  sched_cv_.wait(lock, [&] { return global_inflight_ == 0; });
+  auto pool = std::make_unique<BufferPool>(scratch_, 256);
+  NDQ_ASSIGN_OR_RETURN(AttributeIndexes built,
+                       AttributeIndexes::Build(pool.get(), *entry_store, spec));
+  indexes_ = std::make_unique<AttributeIndexes>(std::move(built));
+  index_pool_ = std::move(pool);
+  indexed_store_ = entry_store;
+  evaluator_->SetIndexHook(MakeIndexHook());
+  return Status::OK();
 }
 
 void Engine::SetIoDepth(size_t n) {

@@ -44,6 +44,8 @@
 
 #include "core/degradation.h"
 #include "exec/parallel_evaluator.h"
+#include "index/attr_index.h"
+#include "query/optimize.h"
 #include "storage/fault_injector.h"
 #include "store/directory_store.h"
 
@@ -87,6 +89,13 @@ struct EngineOptions {
   /// Canonicalize every submitted plan with RewriteQuery. Leave on:
   /// sharing detection fingerprints canonical forms.
   bool rewrite = true;
+  /// Run the cost-based optimizer (query/optimize.h) on every submitted
+  /// plan after canonicalization: short-circuits, operand reordering,
+  /// filter pushdown, driven by the store's cardinality statistics.
+  /// Overridable per process with $NDQ_OPTIMIZE=on|off (consulted at
+  /// engine construction, like $NDQ_DISK_BACKEND), and at runtime with
+  /// SetOptimize — which is how CI runs the whole suite both ways.
+  bool optimize = true;
 };
 
 /// Everything one query produced. Rejected and failed queries carry their
@@ -102,10 +111,15 @@ struct QueryOutcome {
   OpTrace trace;
   /// Admission / degradation warnings ("admission" source = this engine).
   std::vector<DegradationWarning> warnings;
-  /// The canonical plan that was (or would have been) evaluated.
+  /// The canonical plan that was (or would have been) evaluated —
+  /// post-rewrite and post-optimization.
   QueryPtr plan;
   /// The cost model's page estimate for `plan` (exec/cost.h).
   double estimated_pages = 0;
+  /// What the cost-based optimizer did to this plan (all zero when
+  /// optimization is off or nothing applied); also mirrored in the root
+  /// trace's plan_rewrites field.
+  OptimizeStats optimizer;
 
   bool ok() const { return status.ok(); }
 };
@@ -256,6 +270,22 @@ class Engine {
   /// (0 = unlimited). Takes effect on the next submission.
   void SetPageBudget(uint64_t pages);
 
+  /// Enables/disables the cost-based optimizer for future submissions
+  /// (ndqsh's `.set optimize`). Takes effect on the next submission.
+  void SetOptimize(bool on);
+  bool optimize() const;
+
+  /// Builds per-attribute indexes over the store and installs the
+  /// index-probe access path: atomic leaves whose filter the statistics
+  /// prove selective (ChooseAccessPath) are answered by index probes
+  /// instead of range scans, byte-identically. Requires a bulk-loaded
+  /// EntryStore (borrowing mode); the engine's mutable DirectoryStore is
+  /// rejected — its merged view has no stable segment to index. Replaces
+  /// any previously built indexes; waits for in-flight queries.
+  Status BuildIndexes(const IndexSpec& spec);
+  /// Null until BuildIndexes succeeds.
+  const AttributeIndexes* indexes() const { return indexes_.get(); }
+
   /// Attaches (n > 0) or detaches (n == 0) the async read engine on the
   /// engine's disks: sequential run scans then keep up to `n` page reads
   /// in flight (storage/prefetcher.h). Waits for every in-flight query
@@ -312,6 +342,9 @@ class Engine {
 
   uint64_t page_budget() const;
   bool rewrite() const { return options_.rewrite; }
+  bool optimize_enabled() const;
+  /// The IndexHook the evaluator should carry (empty when no indexes).
+  IndexHook MakeIndexHook() const;
 
   void AttachInjector(FaultInjector* injector);
 
@@ -329,6 +362,12 @@ class Engine {
   EngineOptions options_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<OperandCache> cache_;
+
+  // Attribute indexes (BuildIndexes); the pool backs the B+-trees and
+  // must outlive them.
+  std::unique_ptr<BufferPool> index_pool_;
+  std::unique_ptr<AttributeIndexes> indexes_;
+  const EntryStore* indexed_store_ = nullptr;
 
   // Pool / evaluator pair; rebuilt together by SetParallelism while the
   // engine is idle. The evaluator borrows the pool, so declaration order

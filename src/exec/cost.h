@@ -5,11 +5,16 @@
 // 8.3), a sort term for the embedded-reference operators (Thm 7.1), and
 // range sizes for atomic leaves from the store's sparse index (no I/O).
 //
-// Cardinalities are UPPER BOUNDS (filters are not assumed selective):
-// a leaf's output is bounded by its scope range; an operator's output by
-// its first operand. The model is meant for plan comparison ("which of
-// two equivalent forms scans less"), not for absolute prediction — see
-// cost_test.cc for the guarantees it is tested to keep.
+// Cardinalities are UPPER BOUNDS: a leaf's output is bounded by its scope
+// range — tightened by the store's cardinality statistics when available
+// (store/stats.h: per-attribute filter-match bounds and subtree sketch,
+// so selective filters and one-level scopes estimate honestly) — and an
+// operator's output by its operands (unions capped at the store size).
+// The model is meant for plan comparison ("which of two equivalent forms
+// scans less"), not for absolute prediction — see cost_test.cc for the
+// guarantees it is tested to keep. The cost-based planner in
+// query/optimize.h consumes these estimates to choose among equivalent
+// plan shapes.
 
 #ifndef NDQ_EXEC_COST_H_
 #define NDQ_EXEC_COST_H_

@@ -135,12 +135,29 @@ Result<EntryList> ParallelEvaluator::EvalLeaf(const Query& query,
       return cached;
     }
   }
-  Result<EntryList> out =
-      query.op() == QueryOp::kAtomic
-          ? EvalAtomic(disk_, *store_, query.base(), query.scope(),
-                       query.filter(), trace)
-          : EvalLdap(disk_, *store_, query.base(), query.scope(),
-                     *query.ldap_filter(), trace);
+  Result<EntryList> out = Status::Internal("unreachable");
+  bool probed = false;
+  if (query.op() == QueryOp::kAtomic && index_hook_.enabled() &&
+      (index_hook_.use_probe == nullptr || index_hook_.use_probe(query))) {
+    // The probe declines (nullopt) when the attribute is not indexed or
+    // the filter kind defeats the index; fall through to the scan then.
+    Result<std::optional<Run>> r = index_hook_.indexes->EvalAtomic(
+        disk_, *index_hook_.store, query.base(), query.scope(),
+        query.filter());
+    NDQ_RETURN_IF_ERROR(r.status());
+    if (r->has_value()) {
+      out = **r;
+      probed = true;
+      if (trace != nullptr) trace->index_probes = 1;
+    }
+  }
+  if (!probed) {
+    out = query.op() == QueryOp::kAtomic
+              ? EvalAtomic(disk_, *store_, query.base(), query.scope(),
+                           query.filter(), trace)
+              : EvalLdap(disk_, *store_, query.base(), query.scope(),
+                         *query.ldap_filter(), trace);
+  }
   if (!out.ok()) return out;
   if (cache_ != nullptr) {
     // Insert copies the list; injected faults during the copy are absorbed

@@ -30,6 +30,7 @@
 #ifndef NDQ_EXEC_PARALLEL_EVALUATOR_H_
 #define NDQ_EXEC_PARALLEL_EVALUATOR_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,8 +39,24 @@
 #include "exec/evaluator.h"
 #include "exec/operand_cache.h"
 #include "exec/thread_pool.h"
+#include "index/attr_index.h"
 
 namespace ndq {
+
+/// Index-assisted leaf evaluation, installed by the owner (the engine)
+/// when attribute indexes exist over the store. `use_probe` is the
+/// cost-based scan-vs-probe decision (query/optimize.h ChooseAccessPath,
+/// bound by the engine so exec does not depend on the planner); the
+/// evaluator consults it per atomic leaf and falls back to the range
+/// scan when the probe declines or the attribute turns out not to be
+/// indexed. Results are byte-identical either way.
+struct IndexHook {
+  const AttributeIndexes* indexes = nullptr;
+  const EntryStore* store = nullptr;  ///< the indexed (bulk-loaded) store
+  std::function<bool(const Query&)> use_probe;
+
+  bool enabled() const { return indexes != nullptr && store != nullptr; }
+};
 
 /// The shared-subtree set a batch scheduler computed over one batch of
 /// canonicalized plans (PlanCensus::SharedKeys). When passed to Evaluate,
@@ -92,6 +109,12 @@ class ParallelEvaluator {
   size_t parallelism() const { return pool_->parallelism(); }
   OperandCache* cache() const { return cache_; }
 
+  /// Installs (or, default-constructed, clears) the index hook. Must not
+  /// be called while a query is in flight; the referenced indexes/store
+  /// must outlive their installation.
+  void SetIndexHook(IndexHook hook) { index_hook_ = std::move(hook); }
+  const IndexHook& index_hook() const { return index_hook_; }
+
   EvalStats stats() const;
   void ResetStats();
 
@@ -115,6 +138,7 @@ class ParallelEvaluator {
   const EntrySource* store_;
   ExecOptions options_;
   OperandCache* cache_;
+  IndexHook index_hook_;
   std::unique_ptr<ThreadPool> owned_pool_;  // null when pool is borrowed
   ThreadPool* pool_;
   mutable std::mutex stats_mu_;

@@ -68,6 +68,13 @@ struct OpTrace {
   /// degraded instead of failing; see NetStats::last_warnings).
   uint64_t retries = 0;
   uint64_t degraded_shards = 0;
+  /// Atomic leaves: 1 when the leaf was answered by an attribute-index
+  /// probe (index/attr_index.h via the engine's index hook) instead of
+  /// the range scan.
+  uint64_t index_probes = 0;
+  /// Root node only: rewrites the cost-based optimizer applied to the
+  /// plan before evaluation (query/optimize.h; OptimizeStats::Total).
+  uint64_t plan_rewrites = 0;
   /// Operand-cache traffic at this node (parallel evaluator only): a hit
   /// means the leaf's sorted list was copied out of the cache instead of
   /// re-scanning the store; a miss means it was evaluated and inserted.
@@ -130,8 +137,10 @@ void FillTraceSkeleton(const Query& q, OpTrace* trace);
 ///   * boolean and/or/diff:     <= 3*(in+out) + 8   (linear merge)
 ///   * p/a/ac (forward pass):   <= 8*(in+out) + 16  (merge+annotate+filter,
 ///                                                   spills amortized)
-///   * c/d/dc (backward pass):  <= 16*(in+out) + 16 (adds materialized
-///                                                   merge + 2 reversals)
+///   * c/d/dc (backward pass):  <= 24*(in+out) + 16 (adds materialized
+///                                                   merge + 2 reversals
+///                                                   over label-inflated
+///                                                   streams)
 ///   * g (simple agg):          <= 8*(in+out) + 16  (<= 3 scans + output)
 ///   * vd/dv:                   <= 8*(in+out)*(1+log2(in)) + 32 (sort term)
 ///   * atomic leaves:           writes <= 2*out + 4 (reads are the store

@@ -15,6 +15,7 @@
 #include "fuzz/naive_eval.h"
 #include "gen/random_forest.h"
 #include "gen/random_query.h"
+#include "query/optimize.h"
 #include "query/parser.h"
 #include "query/reference.h"
 #include "query/rewrite.h"
@@ -290,6 +291,20 @@ std::vector<CheckFailure> CheckCase(const DirectoryInstance& instance,
 
   // Rewrites must preserve M(Q) exactly.
   check_entries("rewrite", evaluator.EvaluateToEntries(*RewriteQuery(query)));
+  // The cost-based optimizer's plan must be byte-identical to the
+  // original: optimize0 checks the rewritten plan sequentially, optimize1
+  // re-checks it under parallel evaluation with an operand cache (the
+  // engine's configuration), so an illegal short-circuit, reorder or
+  // pushdown shows up as a divergence from the reference result.
+  {
+    QueryPtr optimized = OptimizeQuery(*store, RewriteQuery(query)).plan;
+    check_entries("optimize0", evaluator.EvaluateToEntries(*optimized));
+    OperandCache cache(&disk, kCachePages);
+    ExecOptions par_opts;
+    par_opts.parallelism = 2;
+    ParallelEvaluator par(&disk, &*store, par_opts, &cache);
+    check_entries("optimize1", par.EvaluateToEntries(*optimized));
+  }
   // Thm 8.2(d) expansion: exact on prefix-closed instances, which
   // RandomForest guarantees (children only grow under existing parents).
   check_entries("expand",

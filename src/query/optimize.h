@@ -1,0 +1,116 @@
+// The cost-based plan optimizer (ROADMAP item 4; docs/OPTIMIZER.md).
+//
+// RewriteQuery (query/rewrite.h) applies statistics-free canonicalizing
+// rewrites; OptimizeQuery runs AFTER it and consults the store's
+// cardinality statistics (store/stats.h via EntrySource::stats()) and the
+// cost model (exec/cost.h) to choose among equivalent plan shapes:
+//
+//   * Short-circuits: an operand whose estimated output cardinality is 0
+//     is PROVABLY empty (estimates are upper bounds), so
+//       (- Q1 empty)  -> Q1,          (- empty Q2)   -> empty,
+//       (& empty Q)   -> empty,       (| empty Q)    -> Q,
+//       (h Q1 empty)  -> empty        for hierarchy ops without an
+//                                     aggregate filter (pure existential
+//                                     semantics; an aggregate like
+//                                     count($2)=0 can match zero-witness
+//                                     entries, so it gates the rule),
+//       (h empty Q2), (g empty AS)  -> empty  (output is a subset of
+//                                     M(Q1) unconditionally).
+//     "empty" replacements become a base-scoped leaf with the original
+//     never-matching filter (~1 page) rather than the original scan.
+//
+//   * Operand reordering: &/| chains are flattened, ordered by estimated
+//     (output cardinality, total pages, fingerprint) and rebuilt
+//     left-deep, so intersections see their most selective operand first
+//     and syntactic permutations of the same operand set fingerprint
+//     identically — batch sub-plan sharing (query/fingerprint.h) then
+//     recognizes them as one plan.
+//
+//   * Filter pushdown: (& F (h Q1 Q2 [agg])) -> (h (& F Q1) Q2 [agg])
+//     for a leaf F and a hierarchy/simple-agg node, legal iff the
+//     aggregate filter (if any) uses no entry-SET aggregates (those read
+//     all of M(Q1), which the pushdown would change); applied only when
+//     the cost model says the pushed form is cheaper.
+//
+// Every rewrite preserves M(Q) on the store snapshot the statistics
+// describe, and — because results are sorted entry sets with canonical
+// serialization — byte-identical output, which the ndqfuzz optimize0/1
+// oracles check case by case.
+//
+// ChooseAccessPath is the shared scan-vs-index-probe decision: the
+// evaluator's index hook (exec/parallel_evaluator.h) and EXPLAIN both
+// call it so the plan report matches what execution actually does.
+
+#ifndef NDQ_QUERY_OPTIMIZE_H_
+#define NDQ_QUERY_OPTIMIZE_H_
+
+#include <string>
+
+#include "query/ast.h"
+#include "store/entry_store.h"
+
+namespace ndq {
+
+/// Per-rule toggles (all on by default; tests isolate rules with these).
+struct OptimizeOptions {
+  bool short_circuit = true;
+  bool reorder = true;
+  bool pushdown = true;
+};
+
+/// Counts of applied rewrites, reported through QueryOutcome and the
+/// root trace's plan_rewrites field.
+struct OptimizeStats {
+  size_t short_circuits = 0;
+  size_t reordered_operands = 0;
+  size_t pushed_filters = 0;
+
+  size_t Total() const {
+    return short_circuits + reordered_operands + pushed_filters;
+  }
+  /// "short_circuit=1 reorder=2 pushdown=1" (only nonzero rules), or
+  /// "none".
+  std::string ToString() const;
+};
+
+/// An optimized plan plus what the optimizer did and what it expects.
+struct OptimizedPlan {
+  QueryPtr plan;
+  OptimizeStats stats;
+  double est_pages_before = 0;
+  double est_pages_after = 0;
+};
+
+/// Optimizes `query` against `store`'s statistics and cost model. The
+/// input should already be canonicalized by RewriteQuery. Never returns
+/// a more expensive plan: rewrites are kept only when the cost estimate
+/// does not increase.
+OptimizedPlan OptimizeQuery(const EntrySource& store, const QueryPtr& query,
+                            const OptimizeOptions& options = {});
+
+/// How an atomic leaf should fetch its entries.
+enum class AccessPath {
+  kRangeScan,   ///< scan the scope's key range (exec/atomic.h)
+  kIndexProbe,  ///< probe a per-attribute index (index/attr_index.h)
+};
+
+/// The scan-vs-probe decision for one atomic leaf, with the estimates
+/// that drove it.
+struct AccessPathChoice {
+  AccessPath path = AccessPath::kRangeScan;
+  double scan_pages = 0;    ///< estimated pages for the range scan
+  double probe_pages = 0;   ///< estimated pages for index probes
+  uint64_t est_matches = 0; ///< upper bound on matching entries
+};
+
+/// Chooses the access path for an atomic leaf (`leaf.op()` must be
+/// kAtomic). Prefers an index probe only when statistics prove few
+/// enough matches that per-match point lookups beat the range scan; the
+/// evaluator still falls back to the scan when the attribute turns out
+/// not to be indexed.
+AccessPathChoice ChooseAccessPath(const EntrySource& store,
+                                  const Query& leaf);
+
+}  // namespace ndq
+
+#endif  // NDQ_QUERY_OPTIMIZE_H_

@@ -8,25 +8,8 @@ namespace ndq {
 
 namespace {
 
-// Tombstone wire format: the key followed by a marker varint that no
-// serialized entry can produce (attribute counts never reach 2^62).
-constexpr uint64_t kTombstoneMarker = ~uint64_t{0} >> 2;
-
-std::string MakeTombstone(const std::string& key) {
-  std::string out;
-  ByteWriter w(&out);
-  w.PutString(key);
-  w.PutVarint(kTombstoneMarker);
-  return out;
-}
-
-bool IsTombstone(std::string_view record) {
-  ByteReader r(record);
-  Result<std::string_view> key = r.GetString();
-  if (!key.ok()) return false;
-  Result<uint64_t> marker = r.GetVarint();
-  return marker.ok() && *marker == kTombstoneMarker;
-}
+// Tombstone wire format shared with the stats builder: see
+// MakeTombstoneRecord / IsTombstoneRecord in store/entry_store.h.
 
 // Newest-wins pull merge across the memtable and all segments.
 class MergedCursor {
@@ -50,7 +33,7 @@ class MergedCursor {
     while (true) {
       NDQ_ASSIGN_OR_RETURN(bool any, Step());
       if (!any) return false;
-      if (!include_tombstones && IsTombstone(record_)) continue;
+      if (!include_tombstones && IsTombstoneRecord(record_)) continue;
       return true;
     }
   }
@@ -90,7 +73,7 @@ class MergedCursor {
     // Pick the highest-priority version; advance every source at key.
     bool picked = false;
     if (mem_it_ != mem_end_ && mem_it_->first == key) {
-      record_ = mem_it_->second.empty() ? MakeTombstone(key)
+      record_ = mem_it_->second.empty() ? MakeTombstoneRecord(key)
                                         : mem_it_->second;
       picked = true;
       ++mem_it_;
@@ -135,7 +118,7 @@ Result<std::optional<Entry>> DirectoryStore::Get(const Dn& dn) const {
     bool tombstoned = false;
     Status s = (*it)->ScanRange(
         key, end, [&](std::string_view record) -> Status {
-          if (IsTombstone(record)) {
+          if (IsTombstoneRecord(record)) {
             tombstoned = true;
             return Status::OK();
           }
@@ -167,6 +150,8 @@ Status DirectoryStore::Put(Entry entry) {
   NDQ_ASSIGN_OR_RETURN(std::optional<Entry> existing, Get(entry.dn()));
   std::string record;
   SerializeEntry(entry, &record);
+  if (existing.has_value()) stats_.RemoveEntry(*existing);
+  stats_.AddEntry(entry);
   memtable_[entry.HierKey()] = std::move(record);
   if (!existing.has_value()) ++live_entries_;
   if (memtable_.size() >= options_.memtable_limit) {
@@ -192,6 +177,7 @@ Status DirectoryStore::Remove(const Dn& dn) {
     return Status::InvalidArgument("entry " + dn.ToString() +
                                    " has descendants; remove them first");
   }
+  stats_.RemoveEntry(*existing);
   memtable_[dn.HierKey()] = std::string();  // tombstone
   --live_entries_;
   if (memtable_.size() >= options_.memtable_limit) {
@@ -240,7 +226,7 @@ Status DirectoryStore::Flush() {
   auto it = memtable_.begin();
   auto next = [&](std::string* record) -> Result<bool> {
     if (it == memtable_.end()) return false;
-    *record = it->second.empty() ? MakeTombstone(it->first) : it->second;
+    *record = it->second.empty() ? MakeTombstoneRecord(it->first) : it->second;
     ++it;
     return true;
   };

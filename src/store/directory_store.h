@@ -17,6 +17,7 @@
 
 #include "core/ldif_update.h"
 #include "store/entry_store.h"
+#include "store/stats.h"
 
 namespace ndq {
 
@@ -65,6 +66,9 @@ class DirectoryStore : public EntrySource, public UpdateTarget {
   const IoStats* io_stats() const override {
     return disk_ == nullptr ? nullptr : &disk_->stats();
   }
+  /// Maintained exactly across Put/Remove (segments keep their own
+  /// build-time stats, but the merged truth lives here: newest wins).
+  const StoreStats* stats() const override { return &stats_; }
 
   /// Cost-model hooks: summed over segments (sparse indexes) plus the
   /// memtable span. Slight over-counts where versions shadow each other.
@@ -95,6 +99,7 @@ class DirectoryStore : public EntrySource, public UpdateTarget {
   std::map<std::string, std::string> memtable_;
   std::vector<std::unique_ptr<EntryStore>> segments_;  // oldest first
   uint64_t live_entries_ = 0;
+  StoreStats stats_;
 };
 
 }  // namespace ndq

@@ -3,8 +3,29 @@
 #include <algorithm>
 
 #include "storage/serde.h"
+#include "store/stats.h"
 
 namespace ndq {
+
+namespace {
+constexpr uint64_t kTombstoneMarker = ~uint64_t{0} >> 2;
+}  // namespace
+
+std::string MakeTombstoneRecord(std::string_view key) {
+  std::string out;
+  ByteWriter w(&out);
+  w.PutString(key);
+  w.PutVarint(kTombstoneMarker);
+  return out;
+}
+
+bool IsTombstoneRecord(std::string_view record) {
+  ByteReader r(record);
+  Result<std::string_view> key = r.GetString();
+  if (!key.ok()) return false;
+  Result<uint64_t> marker = r.GetVarint();
+  return marker.ok() && *marker == kTombstoneMarker;
+}
 
 Status EntryStore::BuildFrom(
     Disk* disk, const std::function<Result<bool>(std::string*)>& next) {
@@ -16,6 +37,7 @@ Status EntryStore::BuildFrom(
     first_keys_.clear();
     first_offsets_.clear();
     first_record_index_.clear();
+    stats_.reset();
   }
   return s;
 }
@@ -31,6 +53,11 @@ Status EntryStore::BuildFromImpl(
   // records, so every SeekReader target is self-contained.
   RunWriter writer(disk, RecordShape::kKeyed);
   writer.set_page_restarts(true);
+
+  // Cardinality statistics are computed inline over the same record
+  // stream; tombstone records (from DirectoryStore flushes) are skipped
+  // so the histograms count live entries only.
+  auto stats = std::make_shared<StoreStats>();
 
   std::string record;
   std::string prev_key;
@@ -59,10 +86,12 @@ Status EntryStore::BuildFromImpl(
           "entry records not in strictly increasing key order");
     }
     prev_key = std::string(key);
+    NDQ_RETURN_IF_ERROR(stats->AddRecord(record));
     uint64_t ordinal = writer.num_records();
     NDQ_RETURN_IF_ERROR(writer.Add(record));
     note_record_start(key, ordinal);
   }
+  stats_ = std::move(stats);
   NDQ_ASSIGN_OR_RETURN(run_, writer.Finish());
   // Fill index slots for trailing pages with no record start, and for
   // pages fully occupied by spanning records.
@@ -319,6 +348,7 @@ Status EntryStore::Destroy() {
   first_keys_.clear();
   first_offsets_.clear();
   first_record_index_.clear();
+  stats_.reset();
   return Status::OK();
 }
 

@@ -29,6 +29,14 @@
 
 namespace ndq {
 
+class StoreStats;
+
+// Tombstone wire format (shared by DirectoryStore and the stats builder):
+// the key followed by a marker varint no serialized entry can produce
+// (attribute counts never reach 2^62).
+std::string MakeTombstoneRecord(std::string_view key);
+bool IsTombstoneRecord(std::string_view record);
+
 /// \brief Anything that can stream serialized entries in key order.
 ///
 /// Implemented by the immutable EntryStore segment and by the mutable
@@ -65,6 +73,12 @@ class EntrySource {
     // Assume ~40 entries per page when nothing better is known.
     return EstimateRangeRecords(start_key, end_key) / 40 + 1;
   }
+
+  /// Cardinality statistics (store/stats.h) for the cost model and the
+  /// optimizer, or nullptr when the source keeps none (e.g. a segment
+  /// re-attached from a manifest). Estimates derived from the result are
+  /// upper bounds; 0 proves emptiness.
+  virtual const StoreStats* stats() const { return nullptr; }
 };
 
 /// \brief One immutable sorted segment of serialized entries.
@@ -133,6 +147,10 @@ class EntryStore : public EntrySource {
   const IoStats* io_stats() const override {
     return disk_ == nullptr ? nullptr : &disk_->stats();
   }
+  /// Built at segment-build time (BulkLoad/FromStream/...); nullptr for
+  /// segments re-attached via FromManifest. Shared so EntryStore stays
+  /// copyable.
+  const StoreStats* stats() const override { return stats_.get(); }
   uint64_t num_pages() const { return run_.pages.size(); }
   const Run& run() const { return run_; }
   Disk* disk() const { return disk_; }
@@ -152,6 +170,7 @@ class EntryStore : public EntrySource {
  private:
   Disk* disk_ = nullptr;
   Run run_;
+  std::shared_ptr<const StoreStats> stats_;
   // Sparse index: first_keys_[i] is the key of the first record *starting*
   // in page i of run_.pages (records may span pages; a page with no record
   // start repeats the previous key).
