@@ -112,17 +112,16 @@ struct Shell {
       std::printf("parse error: %s\n", entries.status().ToString().c_str());
       return -1;
     }
-    int n = 0;
-    for (ndq::Entry& e : *entries) {
-      ndq::Status s = store().Put(std::move(e));
-      if (!s.ok()) {
-        std::printf("put error: %s\n", s.ToString().c_str());
-        continue;
-      }
-      ++n;
+    // Session::Apply: ops run through the engine's epoch-guarded write
+    // path; in-flight queries keep their pinned snapshots and the operand
+    // cache is invalidated for us.
+    ndq::UpdateBatch batch;
+    for (ndq::Entry& e : *entries) batch.Put(std::move(e));
+    ndq::UpdateResult res = session.Apply(batch);
+    for (const ndq::Status& s : res.op_status) {
+      if (!s.ok()) std::printf("put error: %s\n", s.ToString().c_str());
     }
-    if (n > 0) InvalidateCache();
-    return n;
+    return static_cast<int>(res.applied);
   }
 
   void ApplyFile(const std::string& path) {
@@ -297,10 +296,11 @@ struct Shell {
 const char* kHelp =
     "commands:\n"
     "  (<query>)           evaluate (paper syntax; try .help-examples)\n"
-    "  .load <file>        load LDIF entries\n"
+    "  .load <file>        load LDIF entries (online: queries in flight\n"
+    "                      keep their snapshot; new queries see the load)\n"
     "  .apply <file>       apply LDIF change records (changetype:)\n"
     "  .add                read one LDIF record until a blank line\n"
-    "  .delete <dn>        remove an entry\n"
+    "  .delete <dn>        remove an entry (online, like .load)\n"
     "  .explain <query>    classify + show optimizer rewrites + cost\n"
     "  .explain analyze <query>\n"
     "                      evaluate with per-operator tracing: estimated\n"
@@ -386,9 +386,11 @@ int main(int argc, char** argv) {
         std::printf("bad dn: %s\n", dn.status().ToString().c_str());
         continue;
       }
-      ndq::Status s = shell.store().Remove(*dn);
-      if (s.ok()) shell.InvalidateCache();
-      std::printf("%s\n", s.ok() ? "deleted" : s.ToString().c_str());
+      ndq::UpdateBatch batch;
+      batch.Remove(*dn);
+      ndq::UpdateResult res = shell.session.Apply(batch);
+      std::printf("%s\n",
+                  res.ok() ? "deleted" : res.status.ToString().c_str());
     } else if (line.rfind(".set faults ", 0) == 0) {
       shell.SetFaults(line.substr(12));
     } else if (line.rfind(".set parallelism ", 0) == 0) {

@@ -319,4 +319,24 @@ std::string KeySubtreeEnd(std::string_view key) {
   return end;
 }
 
+std::string KeyExactEnd(std::string_view key) {
+  // The smallest legal key extending `key` appends kHierPairSep (more
+  // pairs in the last RDN) or kHierKeySep (a child); both sort at or
+  // after key + kHierPairSep, so that string bounds the point range.
+  std::string end(key);
+  end += kHierPairSep;
+  return end;
+}
+
+std::string KeyDescendantsBegin(std::string_view key) {
+  if (key.empty()) return std::string();  // every key descends from ""
+  std::string begin(key);
+  begin += kHierKeySep;
+  return begin;
+}
+
+bool KeyInSubtree(std::string_view root, std::string_view key) {
+  return key == root || KeyIsAncestor(root, key);
+}
+
 }  // namespace ndq

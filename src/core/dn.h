@@ -150,8 +150,29 @@ std::string_view KeyParent(std::string_view key);
 
 /// The smallest key string strictly greater than every descendant key of
 /// `key` — i.e. the exclusive upper bound of the subtree rooted at `key`.
-/// Used for scoped range scans (scope=sub).
+/// Used for scoped range scans (scope=sub). Note the subtree *range*
+/// [key, KeySubtreeEnd(key)) also contains sibling keys that extend the
+/// last RDN with more pairs ("key" + kHierPairSep + ...); callers that
+/// need exactly the subtree must post-filter with KeyInSubtree.
 std::string KeySubtreeEnd(std::string_view key);
+
+/// Exclusive upper bound of the range containing exactly `key`: the range
+/// [key, KeyExactEnd(key)) holds `key` and no other legal key, because any
+/// legal extension of a key begins with kHierPairSep or kHierKeySep and
+/// values contain no control bytes below them. Derived from the separator
+/// constants so point-lookup ranges can't diverge from the key grammar.
+std::string KeyExactEnd(std::string_view key);
+
+/// Inclusive start of the range of proper descendants of `key` (every
+/// descendant key begins with `key` + kHierKeySep; "" for the null key,
+/// whose descendants are the whole forest).
+std::string KeyDescendantsBegin(std::string_view key);
+
+/// True iff `key` lies in the subtree rooted at `root` (equal to `root` or
+/// a proper descendant). This is the predicate the subtree *range* scan
+/// over-approximates: [root, KeySubtreeEnd(root)) also yields sibling keys
+/// like "root" + kHierPairSep + ... which fail this test.
+bool KeyInSubtree(std::string_view root, std::string_view key);
 
 }  // namespace ndq
 

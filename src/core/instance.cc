@@ -76,7 +76,9 @@ std::vector<const Entry*> DirectoryInstance::EntriesInScope(
       auto it = entries_.lower_bound(base_key);
       std::string end = KeySubtreeEnd(base_key);
       for (; it != entries_.end() && (end.empty() || it->first < end); ++it) {
-        out.push_back(&it->second);
+        // The range also covers siblings extending the base's last RDN
+        // with more pairs; keep only the base and true descendants.
+        if (KeyInSubtree(base_key, it->first)) out.push_back(&it->second);
       }
       break;
     }
@@ -119,7 +121,9 @@ std::vector<const Entry*> DirectoryInstance::DescendantsOf(
   auto it = entries_.upper_bound(key);
   std::string end = KeySubtreeEnd(key);
   for (; it != entries_.end() && it->first < end; ++it) {
-    out.push_back(&it->second);
+    // Skip pair-extension siblings ("key" + kHierPairSep + ...): in the
+    // subtree range but not below `key`.
+    if (KeyIsAncestor(key, it->first)) out.push_back(&it->second);
   }
   return out;
 }

@@ -71,7 +71,10 @@ class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
     QueryPtr canonical = engine_->rewrite() ? RewriteQuery(plan) : plan;
     OptimizeStats opt;
     if (engine_->optimize_enabled()) {
-      OptimizedPlan optimized = OptimizeQuery(engine_->store(), canonical);
+      // Plan over a pinned view so the optimizer's statistics reads stay
+      // on one store version while concurrent mutations publish.
+      std::shared_ptr<const EntrySource> view = engine_->PinStore();
+      OptimizedPlan optimized = OptimizeQuery(*view, canonical);
       canonical = optimized.plan;
       opt = optimized.stats;
     }
@@ -85,6 +88,8 @@ class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
     std::vector<QueryPtr> canon(parsed.size());
     std::vector<OptimizeStats> opts(parsed.size());
     std::vector<QueryPtr> valid;
+    // One pinned view for the whole batch's planning pass.
+    std::shared_ptr<const EntrySource> view = engine_->PinStore();
     for (size_t i = 0; i < parsed.size(); ++i) {
       if (!parsed[i].ok()) continue;
       canon[i] = engine_->rewrite() ? RewriteQuery(*parsed[i]) : *parsed[i];
@@ -92,12 +97,13 @@ class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
       // permutations into one canonical left-deep shape, so the census
       // sees them as the same sub-plan and shares it.
       if (engine_->optimize_enabled()) {
-        OptimizedPlan optimized = OptimizeQuery(engine_->store(), canon[i]);
+        OptimizedPlan optimized = OptimizeQuery(*view, canon[i]);
         canon[i] = optimized.plan;
         opts[i] = optimized.stats;
       }
       valid.push_back(canon[i]);
     }
+    view.reset();
 
     // The sharing census over the canonical batch, and one precompute
     // pass so every shared subtree is materialized exactly once before
@@ -149,6 +155,10 @@ class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
     return std::move(ticket.state_->outcome);
   }
 
+  UpdateResult Apply(const UpdateBatch& batch) {
+    return engine_->ApplyUpdates(batch);
+  }
+
   void Drain() {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return inflight_ == 0 && waiting_.empty(); });
@@ -164,7 +174,7 @@ class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
   QueryTicket SubmitCanonical(QueryPtr plan,
                               std::shared_ptr<const SharedOperands> shared,
                               const OptimizeStats& opt = {}) {
-    double est = EstimateCost(engine_->store(), *plan).TotalPages();
+    double est = EstimateCost(*engine_->PinStore(), *plan).TotalPages();
     uint64_t budget = options_.per_query_page_budget ==
                               SessionOptions::kInheritBudget
                           ? engine_->page_budget()
@@ -280,6 +290,31 @@ class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
 }  // namespace internal
 
 // ---------------------------------------------------------------------------
+// UpdateOp
+// ---------------------------------------------------------------------------
+
+UpdateOp UpdateOp::Add(Entry e) {
+  UpdateOp op;
+  op.kind = Kind::kAdd;
+  op.entry = std::move(e);
+  return op;
+}
+
+UpdateOp UpdateOp::Put(Entry e) {
+  UpdateOp op;
+  op.kind = Kind::kPut;
+  op.entry = std::move(e);
+  return op;
+}
+
+UpdateOp UpdateOp::Remove(Dn dn) {
+  UpdateOp op;
+  op.kind = Kind::kRemove;
+  op.dn = std::move(dn);
+  return op;
+}
+
+// ---------------------------------------------------------------------------
 // QueryTicket / Session
 // ---------------------------------------------------------------------------
 
@@ -361,6 +396,15 @@ BatchResult Session::RunBatchParsed(std::vector<Result<QueryPtr>> parsed) {
     return br;
   }
   return impl_->RunBatch(std::move(parsed));
+}
+
+UpdateResult Session::Apply(const UpdateBatch& batch) {
+  if (impl_ == nullptr) {
+    UpdateResult res;
+    res.status = Status::InvalidArgument("session not opened");
+    return res;
+  }
+  return impl_->Apply(batch);
 }
 
 void Session::Drain() {
@@ -450,6 +494,13 @@ void Engine::Init() {
     SetFaults(options_.fault_spec).ok();
   }
   if (options_.io_depth > 0) SetIoDepth(options_.io_depth);
+  if (owned_store_ != nullptr) {
+    // Threshold-triggered flush/compaction runs on the engine's pool
+    // (inline when workerless) with engine-wide in-flight accounting, so
+    // Drain() and the destructor wait for maintenance like any query.
+    owned_store_->SetMaintenanceExecutor(
+        [this](std::function<void()> task) { Dispatch(std::move(task)); });
+  }
 }
 
 Engine::~Engine() {
@@ -582,6 +633,48 @@ uint64_t Engine::page_budget() const {
   return options_.per_query_page_budget;
 }
 
+std::shared_ptr<const EntrySource> Engine::PinStore() const {
+  std::shared_ptr<const EntrySource> snap = store_->PinSnapshot();
+  if (snap != nullptr) return snap;
+  // Immutable store: a non-owning alias so callers hold one handle type.
+  return std::shared_ptr<const EntrySource>(std::shared_ptr<void>(), store_);
+}
+
+UpdateResult Engine::ApplyUpdates(const UpdateBatch& batch) {
+  UpdateResult res;
+  if (owned_store_ == nullptr) {
+    res.status = Status::InvalidArgument(
+        "engine has no mutable store (borrowing mode); mutate the "
+        "borrowed store through its owner");
+    return res;
+  }
+  res.op_status.reserve(batch.ops.size());
+  for (const UpdateOp& op : batch.ops) {
+    Status s;
+    switch (op.kind) {
+      case UpdateOp::Kind::kAdd:
+        s = owned_store_->Add(op.entry);
+        break;
+      case UpdateOp::Kind::kPut:
+        s = owned_store_->Put(op.entry);
+        break;
+      case UpdateOp::Kind::kRemove:
+        s = owned_store_->Remove(op.dn);
+        break;
+    }
+    if (s.ok()) {
+      ++res.applied;
+    } else if (res.status.ok()) {
+      res.status = s;
+    }
+    res.op_status.push_back(std::move(s));
+  }
+  // Version-stamped cache keys already keep stale lists from serving new
+  // queries; clearing reclaims their pages promptly.
+  if (res.applied > 0) InvalidateCaches();
+  return res;
+}
+
 void Engine::InvalidateCaches() {
   if (cache_ != nullptr) cache_->Clear();
 }
@@ -623,7 +716,7 @@ QueryOutcome Engine::ExecuteQuery(const QueryPtr& plan,
                                   const SharedOperands* shared) {
   QueryOutcome out;
   out.plan = plan;
-  out.estimated_pages = EstimateCost(*store_, *plan).TotalPages();
+  out.estimated_pages = EstimateCost(*PinStore(), *plan).TotalPages();
   Result<std::vector<Entry>> r =
       evaluator_->EvaluateToEntries(*plan, &out.trace, shared);
   out.trace.io_depth = scratch_->io_depth();

@@ -161,6 +161,49 @@ struct BatchResult {
   BatchStats stats;
 };
 
+/// One mutation of an update batch (Session::Apply).
+struct UpdateOp {
+  enum class Kind {
+    kAdd,    ///< insert; fails with AlreadyExists if the dn is bound
+    kPut,    ///< insert or replace
+    kRemove  ///< delete; fails with NotFound / InvalidArgument (children)
+  };
+  Kind kind = Kind::kPut;
+  Entry entry;  ///< kAdd / kPut payload
+  Dn dn;        ///< kRemove target
+
+  static UpdateOp Add(Entry e);
+  static UpdateOp Put(Entry e);
+  static UpdateOp Remove(Dn dn);
+};
+
+/// An ordered list of mutations. Each op is individually atomic (it either
+/// fully applies or leaves the store untouched); the batch itself is NOT a
+/// transaction — later ops still run after an earlier one fails, exactly
+/// like a stream of LDAP updates.
+struct UpdateBatch {
+  std::vector<UpdateOp> ops;
+
+  void Add(Entry e) { ops.push_back(UpdateOp::Add(std::move(e))); }
+  void Put(Entry e) { ops.push_back(UpdateOp::Put(std::move(e))); }
+  void Remove(Dn dn) { ops.push_back(UpdateOp::Remove(std::move(dn))); }
+  bool empty() const { return ops.empty(); }
+  size_t size() const { return ops.size(); }
+};
+
+struct UpdateResult {
+  /// The first per-op error (OK when every op applied).
+  Status status;
+  /// Ops that took effect. Queries submitted after Apply returns observe
+  /// all of them (snapshot isolation: queries already in flight keep
+  /// their pinned pre-batch view).
+  size_t applied = 0;
+  /// Per-op status, in batch order.
+  std::vector<Status> op_status;
+
+  bool ok() const { return status.ok(); }
+};
+
 namespace internal {
 struct TicketState;
 class SessionImpl;
@@ -216,6 +259,12 @@ class Session {
   /// queries one at a time. Blocks until every outcome is ready.
   BatchResult RunBatch(const std::vector<std::string>& query_texts);
   BatchResult RunBatch(const std::vector<QueryPtr>& plans);
+
+  /// Applies a batch of mutations to the engine's store (owning mode
+  /// only; borrowing-mode engines reject with InvalidArgument). Safe to
+  /// call while queries are in flight — they keep their pinned snapshots;
+  /// queries submitted after Apply returns see every applied op.
+  UpdateResult Apply(const UpdateBatch& batch);
 
   /// Blocks until every query submitted on this session has finished.
   void Drain();
@@ -295,6 +344,12 @@ class Engine {
   void SetIoDepth(size_t n);
   size_t io_depth() const;
 
+  /// Applies a batch of mutations to the engine-owned DirectoryStore and
+  /// invalidates the operand cache; what Session::Apply forwards to.
+  /// Concurrent queries are snapshot-isolated (they pinned their store
+  /// version at evaluation start). Borrowing mode → InvalidArgument.
+  UpdateResult ApplyUpdates(const UpdateBatch& batch);
+
   /// Drops cached operand lists. Call after mutating the store: cached
   /// lists are snapshots of it.
   void InvalidateCaches();
@@ -339,6 +394,13 @@ class Engine {
   /// (the queries recompute). Blocks until done.
   void PrecomputeShared(const std::vector<QueryPtr>& roots,
                         std::shared_ptr<const SharedOperands> shared);
+
+  /// A consistent store view for planning and estimation: the pinned
+  /// snapshot of a mutable store, or (aliased, non-owning) the store
+  /// itself when it is immutable. Planning over the snapshot keeps
+  /// statistics pointers stable while concurrent mutations publish new
+  /// states.
+  std::shared_ptr<const EntrySource> PinStore() const;
 
   uint64_t page_budget() const;
   bool rewrite() const { return options_.rewrite; }

@@ -14,7 +14,7 @@ Result<EntryList> ScanScope(Disk* disk, const EntrySource& store,
   std::string end;
   switch (scope) {
     case Scope::kBase:
-      end = base_key + '\x01';
+      end = KeyExactEnd(base_key);
       break;
     case Scope::kOne:
     case Scope::kSub:
@@ -34,6 +34,11 @@ Result<EntryList> ScanScope(Disk* disk, const EntrySource& store,
         if (scope == Scope::kOne && key != base_key &&
             !KeyIsParent(base_key, key)) {
           return Status::OK();  // deeper descendant: outside scope one
+        }
+        if (scope == Scope::kSub && !KeyInSubtree(base_key, key)) {
+          // The subtree range also covers siblings whose last RDN extends
+          // the base's with more pairs ("base" + kHierPairSep + ...).
+          return Status::OK();
         }
         NDQ_ASSIGN_OR_RETURN(Entry entry, DeserializeEntry(record));
         if (matches(entry)) NDQ_RETURN_IF_ERROR(writer.Add(record));

@@ -39,7 +39,7 @@ CostEstimate EstimateNode(const EntrySource& store, const Query& q) {
       std::string end;
       switch (q.scope()) {
         case Scope::kBase:
-          end = base_key + '\x01';
+          end = KeyExactEnd(base_key);
           break;
         case Scope::kOne:
         case Scope::kSub:

@@ -93,15 +93,16 @@ Result<EntryList> EvalSimpleAgg(Disk* disk, const EntryList& l1,
 }
 
 Result<EntryList> Evaluator::Evaluate(const Query& query, OpTrace* trace) {
+  PinScope pin(this);
   if (trace == nullptr) return EvaluateNode(query, nullptr);
   *trace = OpTrace();
   const auto start = std::chrono::steady_clock::now();
-  IoSnapshot snap = TakeSnapshot(disk_, store_);
+  IoSnapshot snap = TakeSnapshot(disk_, active_store());
   Result<EntryList> out = EvaluateNode(query, trace);
   if (!out.ok()) return out;
   trace->label = QueryNodeLabel(query);
   trace->op = query.op();
-  trace->io = SnapshotDelta(snap, disk_, store_);
+  trace->io = SnapshotDelta(snap, disk_, active_store());
   trace->wall_micros =
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - start)
@@ -132,7 +133,7 @@ Result<EntryList> Evaluator::EvaluateNode(const Query& query,
     case QueryOp::kAtomic: {
       ++stats_.atomic_queries;
       NDQ_ASSIGN_OR_RETURN(
-          EntryList out, EvalAtomic(disk_, *store_, query.base(),
+          EntryList out, EvalAtomic(disk_, *active_store(), query.base(),
                                     query.scope(), query.filter(), trace));
       stats_.atomic_output_records += out.num_records;
       return out;
@@ -141,7 +142,7 @@ Result<EntryList> Evaluator::EvaluateNode(const Query& query,
       ++stats_.atomic_queries;
       NDQ_ASSIGN_OR_RETURN(
           EntryList out,
-          EvalLdap(disk_, *store_, query.base(), query.scope(),
+          EvalLdap(disk_, *active_store(), query.base(), query.scope(),
                    *query.ldap_filter(), trace));
       stats_.atomic_output_records += out.num_records;
       return out;

@@ -37,6 +37,11 @@ struct EvalStats {
 };
 
 /// \brief Evaluates query trees against one directory server's store.
+///
+/// Each top-level Evaluate pins one snapshot of a mutable store
+/// (EntrySource::PinSnapshot) and evaluates every leaf against it, so a
+/// query tree always observes ONE store version even while concurrent
+/// mutations land — no torn reads across atomic leaves.
 class Evaluator {
  public:
   Evaluator(Disk* disk, const EntrySource* store, ExecOptions options = {})
@@ -55,12 +60,38 @@ class Evaluator {
   void ResetStats() { stats_ = EvalStats(); }
 
  private:
+  /// RAII: the outermost Evaluate pins the store snapshot; recursive
+  /// operand evaluations reuse it (depth-counted, this class is
+  /// single-threaded).
+  class PinScope {
+   public:
+    explicit PinScope(Evaluator* ev) : ev_(ev) {
+      if (ev_->depth_++ == 0 && ev_->store_ != nullptr) {
+        ev_->snapshot_ = ev_->store_->PinSnapshot();
+      }
+    }
+    ~PinScope() {
+      if (--ev_->depth_ == 0) ev_->snapshot_.reset();
+    }
+
+   private:
+    Evaluator* ev_;
+  };
+
+  /// The store leaves read: the pinned snapshot when one exists (mutable
+  /// store mid-query), the raw store otherwise.
+  const EntrySource* active_store() const {
+    return snapshot_ != nullptr ? snapshot_.get() : store_;
+  }
+
   Result<EntryList> EvaluateNode(const Query& query, OpTrace* trace);
 
   Disk* disk_;
   const EntrySource* store_;
   ExecOptions options_;
   EvalStats stats_;
+  std::shared_ptr<const EntrySource> snapshot_;
+  int depth_ = 0;
 };
 
 /// Simple aggregate selection "(g L1 AggSelFilter)" over a materialized

@@ -66,7 +66,14 @@ Result<EntryList> ParallelEvaluator::Evaluate(const Query& query,
     return Status::InvalidArgument(
         "shared-operand evaluation requires an operand cache");
   }
-  return EvaluateTraced(query, trace, shared);
+  // Pin one store version for the whole query tree: every leaf — on this
+  // thread or a forked worker — reads the same snapshot, so concurrent
+  // mutations cannot tear a query across versions. Immutable stores
+  // return nullptr and are read directly.
+  std::shared_ptr<const EntrySource> snapshot =
+      store_ != nullptr ? store_->PinSnapshot() : nullptr;
+  const EntrySource* store = snapshot != nullptr ? snapshot.get() : store_;
+  return EvaluateTraced(query, trace, shared, store);
 }
 
 Result<std::vector<Entry>> ParallelEvaluator::EvaluateToEntries(
@@ -83,8 +90,9 @@ Result<std::vector<Entry>> ParallelEvaluator::EvaluateToEntries(
 }
 
 Result<EntryList> ParallelEvaluator::EvaluateTraced(
-    const Query& query, OpTrace* trace, const SharedOperands* shared) {
-  if (trace == nullptr) return EvaluateNode(query, nullptr, shared);
+    const Query& query, OpTrace* trace, const SharedOperands* shared,
+    const EntrySource* store) {
+  if (trace == nullptr) return EvaluateNode(query, nullptr, shared, store);
   *trace = OpTrace();
   trace->label = QueryNodeLabel(query);
   trace->op = query.op();
@@ -98,7 +106,7 @@ Result<EntryList> ParallelEvaluator::EvaluateTraced(
     // children on other threads never touch this scope. Either way `self`
     // is exactly this node's own traffic.
     IoScope scope(nullptr, &self);
-    return EvaluateNode(query, trace, shared);
+    return EvaluateNode(query, trace, shared, store);
   }();
   if (!out.ok()) return out;
   trace->io = self;
@@ -113,18 +121,26 @@ Result<EntryList> ParallelEvaluator::EvaluateTraced(
 
 Status ParallelEvaluator::EvalOperandInto(const Query& query, OpTrace* trace,
                                           const SharedOperands* shared,
+                                          const EntrySource* store,
                                           ScopedRun* out) {
-  Result<EntryList> r = EvaluateTraced(query, trace, shared);
+  Result<EntryList> r = EvaluateTraced(query, trace, shared, store);
   if (!r.ok()) return r.status();
   *out = ScopedRun(disk_, r.TakeValue());
   return Status::OK();
 }
 
 Result<EntryList> ParallelEvaluator::EvalLeaf(const Query& query,
-                                              OpTrace* trace) {
+                                              OpTrace* trace,
+                                              const EntrySource* store) {
+  // Mutable stores stamp a mutation version; keying the cache by it keeps
+  // lists computed against superseded versions from ever serving a query
+  // pinned to a newer one (the owner's Clear() on mutation is the
+  // capacity story, this is the correctness story).
+  const uint64_t version = store != nullptr ? store->version() : 0;
   std::string key;
   if (cache_ != nullptr) {
     key = OperandCacheKey(query);
+    if (version != 0) key += "@" + std::to_string(version);
     EntryList cached;
     NDQ_ASSIGN_OR_RETURN(bool hit, cache_->Lookup(key, &cached));
     if (hit) {
@@ -153,9 +169,9 @@ Result<EntryList> ParallelEvaluator::EvalLeaf(const Query& query,
   }
   if (!probed) {
     out = query.op() == QueryOp::kAtomic
-              ? EvalAtomic(disk_, *store_, query.base(), query.scope(),
+              ? EvalAtomic(disk_, *store, query.base(), query.scope(),
                            query.filter(), trace)
-              : EvalLdap(disk_, *store_, query.base(), query.scope(),
+              : EvalLdap(disk_, *store, query.base(), query.scope(),
                          *query.ldap_filter(), trace);
   }
   if (!out.ok()) return out;
@@ -177,9 +193,9 @@ Result<EntryList> ParallelEvaluator::EvalLeaf(const Query& query,
   return out;
 }
 
-Result<EntryList> ParallelEvaluator::EvaluateNode(const Query& query,
-                                                  OpTrace* trace,
-                                                  const SharedOperands* shared) {
+Result<EntryList> ParallelEvaluator::EvaluateNode(
+    const Query& query, OpTrace* trace, const SharedOperands* shared,
+    const EntrySource* store) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.operators_evaluated;
@@ -196,8 +212,14 @@ Result<EntryList> ParallelEvaluator::EvaluateNode(const Query& query,
   std::string shared_key;
   if (!leaf && cache_ != nullptr && shared != nullptr &&
       !shared->keys.empty()) {
+    // Membership in the batch's shared set is by the bare fingerprint
+    // (that is what the scheduler computed); the cache traffic itself is
+    // version-stamped like leaf keys, so occurrences pinned to different
+    // store versions never share a list.
     std::string key = QueryFingerprint(query);
     if (shared->contains(key)) {
+      const uint64_t version = store != nullptr ? store->version() : 0;
+      if (version != 0) key += "@" + std::to_string(version);
       EntryList cached;
       NDQ_ASSIGN_OR_RETURN(bool hit, cache_->Lookup(key, &cached));
       if (hit) {
@@ -210,7 +232,7 @@ Result<EntryList> ParallelEvaluator::EvaluateNode(const Query& query,
       shared_key = std::move(key);
     }
   }
-  Result<EntryList> out = EvaluateOperator(query, trace, shared);
+  Result<EntryList> out = EvaluateOperator(query, trace, shared, store);
   if (!out.ok() || shared_key.empty()) return out;
   // Publish for the batch's other occurrences. Insert copies the list and
   // absorbs injected faults during the copy (the entry is simply not
@@ -226,7 +248,8 @@ Result<EntryList> ParallelEvaluator::EvaluateNode(const Query& query,
 }
 
 Result<EntryList> ParallelEvaluator::EvaluateOperator(
-    const Query& query, OpTrace* trace, const SharedOperands* shared) {
+    const Query& query, OpTrace* trace, const SharedOperands* shared,
+    const EntrySource* store) {
   OpTrace* t1 = nullptr;
   OpTrace* t2 = nullptr;
   OpTrace* t3 = nullptr;
@@ -243,11 +266,12 @@ Result<EntryList> ParallelEvaluator::EvaluateOperator(
   switch (query.op()) {
     case QueryOp::kAtomic:
     case QueryOp::kLdap:
-      return EvalLeaf(query, trace);
+      return EvalLeaf(query, trace, store);
     case QueryOp::kSimpleAgg: {
       // One operand: nothing to fork.
       ScopedRun l1;
-      NDQ_RETURN_IF_ERROR(EvalOperandInto(*query.q1(), t1, shared, &l1));
+      NDQ_RETURN_IF_ERROR(
+          EvalOperandInto(*query.q1(), t1, shared, store, &l1));
       Result<EntryList> out =
           EvalSimpleAgg(disk_, l1.get(), *query.agg(), trace);
       return FinishStep(disk_, std::move(out), {&l1});
@@ -268,10 +292,13 @@ Result<EntryList> ParallelEvaluator::EvaluateOperator(
   Status s1, s2, s3;
   {
     ThreadPool::TaskGroup group(pool_);
-    group.Run([&] { s1 = EvalOperandInto(*query.q1(), t1, shared, &l1); });
-    group.Run([&] { s2 = EvalOperandInto(*query.q2(), t2, shared, &l2); });
+    group.Run(
+        [&] { s1 = EvalOperandInto(*query.q1(), t1, shared, store, &l1); });
+    group.Run(
+        [&] { s2 = EvalOperandInto(*query.q2(), t2, shared, store, &l2); });
     if (query.q3() != nullptr) {
-      group.Run([&] { s3 = EvalOperandInto(*query.q3(), t3, shared, &l3); });
+      group.Run(
+          [&] { s3 = EvalOperandInto(*query.q3(), t3, shared, store, &l3); });
     }
   }
   NDQ_RETURN_IF_ERROR(s1);

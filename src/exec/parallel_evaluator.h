@@ -119,20 +119,32 @@ class ParallelEvaluator {
   void ResetStats();
 
  private:
+  // Each public Evaluate pins ONE snapshot of a mutable store
+  // (EntrySource::PinSnapshot) and threads it down the recursion as
+  // `store`, so every forked subtree of a query reads the same store
+  // version even while concurrent mutations publish new states. Cache
+  // keys are stamped with the snapshot's mutation version (when nonzero),
+  // so lists computed against different versions never alias.
+
   /// Trace-wrapping recursion step: opens this node's IoScope, times it,
   /// and reassembles cumulative io as self + sum of children.
   Result<EntryList> EvaluateTraced(const Query& query, OpTrace* trace,
-                                   const SharedOperands* shared);
+                                   const SharedOperands* shared,
+                                   const EntrySource* store);
   /// Shared-subtree cache check around EvaluateOperator.
   Result<EntryList> EvaluateNode(const Query& query, OpTrace* trace,
-                                 const SharedOperands* shared);
+                                 const SharedOperands* shared,
+                                 const EntrySource* store);
   /// Leaf dispatch or fork/join operator evaluation proper.
   Result<EntryList> EvaluateOperator(const Query& query, OpTrace* trace,
-                                     const SharedOperands* shared);
-  Result<EntryList> EvalLeaf(const Query& query, OpTrace* trace);
+                                     const SharedOperands* shared,
+                                     const EntrySource* store);
+  Result<EntryList> EvalLeaf(const Query& query, OpTrace* trace,
+                             const EntrySource* store);
   /// Evaluates one operand subtree into a ScopedRun (fork target).
   Status EvalOperandInto(const Query& query, OpTrace* trace,
-                         const SharedOperands* shared, ScopedRun* out);
+                         const SharedOperands* shared,
+                         const EntrySource* store, ScopedRun* out);
 
   Disk* disk_;
   const EntrySource* store_;

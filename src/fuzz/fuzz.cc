@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <utility>
@@ -20,6 +21,8 @@
 #include "query/reference.h"
 #include "query/rewrite.h"
 #include "storage/fault_injector.h"
+#include "storage/serde.h"
+#include "store/directory_store.h"
 #include "store/entry_store.h"
 
 namespace ndq {
@@ -394,6 +397,174 @@ std::vector<CheckFailure> CheckCase(const DirectoryInstance& instance,
         fail("dn-roundtrip", "'" + text + "' reparses to '" +
                                  back->ToString() + "'");
         break;
+      }
+    }
+  }
+
+  // Online-mutation oracle: replay a seeded mutation script (replace /
+  // add-child / remove-leaf / deliberately-failing ops) against a
+  // DirectoryStore with a tiny memtable — so flushes and compactions
+  // fire mid-script — and a std::map reference in lockstep. The store's
+  // merged scan must match the reference exactly at checkpoints, failed
+  // ops must leave the store byte-identical (mutation atomicity), and
+  // the fuzz query over the mutated store must match the reference
+  // semantics of the mutated instance.
+  {
+    SimDisk mdisk(kFuzzPageSize);
+    DirectoryStoreOptions sopt;
+    sopt.memtable_limit = 8;
+    sopt.max_segments = 2;
+    sopt.validate = false;
+    DirectoryStore mstore(&mdisk, Schema(), sopt);
+    std::map<std::string, Entry> ref;
+    Status seed_status = Status::OK();
+    for (const auto& [key, entry] : instance) {
+      seed_status = mstore.Put(entry);
+      if (!seed_status.ok()) break;
+      ref[key] = entry;
+    }
+    ++local_checks;
+    if (!seed_status.ok()) {
+      fail("mutate", "seeding failed: " + seed_status.ToString());
+    } else {
+      auto compare_scan = [&](const std::string& when) -> bool {
+        auto it = ref.begin();
+        std::string detail;
+        Status s = mstore.ScanRange(
+            "", "", [&](std::string_view record) -> Status {
+              NDQ_ASSIGN_OR_RETURN(Entry e, DeserializeEntry(record));
+              if (it == ref.end()) {
+                return Status::Corruption("extra entry '" +
+                                          e.dn().ToString() + "'");
+              }
+              if (!(it->second == e)) {
+                return Status::Corruption("mismatch at '" +
+                                          e.dn().ToString() + "'");
+              }
+              ++it;
+              return Status::OK();
+            });
+        if (s.ok() && it != ref.end()) {
+          s = Status::Corruption("store is missing '" +
+                                 it->second.dn().ToString() + "'");
+        }
+        if (!s.ok()) {
+          fail("mutate", when + ": " + s.ToString());
+          return false;
+        }
+        return true;
+      };
+
+      std::mt19937 mrng(
+          static_cast<uint32_t>(CaseSeed(case_seed, 777) & 0xffffffffu));
+      auto nth_key = [&](size_t i) {
+        auto it = ref.begin();
+        std::advance(it, i);
+        return it;
+      };
+      Status script_status = Status::OK();
+      bool scans_ok = true;
+      for (int op = 0; op < 40 && scans_ok && !ref.empty(); ++op) {
+        size_t pick = mrng() % ref.size();
+        auto it = nth_key(pick);
+        switch (mrng() % 5) {
+          case 0: {  // replace with a mutated copy
+            Entry e = it->second;
+            e.AddInt("mutationGen", op);
+            script_status = mstore.Put(e);
+            if (script_status.ok()) it->second = e;
+            break;
+          }
+          case 1: {  // add a fresh child under an existing entry
+            Result<Rdn> rdn =
+                Rdn::Single("cn", "mut" + std::to_string(op));
+            if (!rdn.ok()) {
+              script_status = rdn.status();
+              break;
+            }
+            Entry child(it->second.dn().Child(*rdn));
+            child.AddInt("mutationGen", op);
+            script_status = mstore.Add(child);
+            if (script_status.ok()) ref[child.HierKey()] = child;
+            break;
+          }
+          case 2: {  // remove, when the pick is a leaf
+            auto next = std::next(it);
+            if (next != ref.end() &&
+                KeyIsAncestor(it->first, next->first)) {
+              break;  // interior entry: removal must be rejected below
+            }
+            script_status = mstore.Remove(it->second.dn());
+            if (script_status.ok()) ref.erase(it);
+            break;
+          }
+          case 3: {  // Add over a bound dn MUST fail and change nothing
+            Status s = mstore.Add(it->second);
+            if (s.code() != StatusCode::kAlreadyExists) {
+              script_status = Status::Corruption(
+                  "Add over bound dn returned " + s.ToString());
+            }
+            scans_ok = compare_scan("after rejected Add");
+            break;
+          }
+          case 4: {  // removing an interior entry MUST fail atomically
+            auto next = std::next(it);
+            if (next == ref.end() ||
+                !KeyIsAncestor(it->first, next->first)) {
+              break;  // leaf: nothing to reject
+            }
+            Status s = mstore.Remove(it->second.dn());
+            if (s.ok()) {
+              script_status = Status::Corruption(
+                  "interior remove of '" + it->second.dn().ToString() +
+                  "' succeeded");
+            }
+            scans_ok = compare_scan("after rejected interior Remove");
+            break;
+          }
+        }
+        if (!script_status.ok()) break;
+        if (op % 10 == 9) scans_ok = compare_scan("mid-script");
+      }
+      if (!script_status.ok()) {
+        fail("mutate", "script op failed: " + script_status.ToString());
+      } else if (scans_ok) {
+        Status fs = mstore.Flush();
+        Status cs = fs.ok() ? mstore.Compact() : fs;
+        if (!cs.ok()) {
+          fail("mutate", "flush/compact failed: " + cs.ToString());
+        } else if (compare_scan("after compaction")) {
+          // The fuzz query over the mutated store vs the reference
+          // semantics of the mutated instance.
+          std::vector<Entry> mutated;
+          mutated.reserve(ref.size());
+          for (const auto& [k, e] : ref) {
+            (void)k;
+            mutated.push_back(e);
+          }
+          DirectoryInstance mut_inst = RebuildInstance(mutated);
+          Result<std::vector<const Entry*>> mref =
+              EvaluateReference(*query, mut_inst);
+          ++local_checks;
+          if (!mref.ok()) {
+            fail("mutate",
+                 "reference on mutated instance failed: " +
+                     mref.status().ToString());
+          } else {
+            std::vector<Entry> mwant;
+            mwant.reserve(mref->size());
+            for (const Entry* e : *mref) mwant.push_back(*e);
+            Evaluator mev(&mdisk, &mstore);
+            Result<std::vector<Entry>> mgot =
+                mev.EvaluateToEntries(*query);
+            if (!mgot.ok()) {
+              fail("mutate", "query on mutated store failed: " +
+                                 mgot.status().ToString());
+            } else if (*mgot != mwant) {
+              fail("mutate", DiffEntries(mwant, *mgot));
+            }
+          }
+        }
       }
     }
   }

@@ -193,7 +193,6 @@ Result<std::optional<Run>> AttributeIndexes::EvalAtomic(
     return std::optional<Run>();  // fall back to range scan
   }
   const std::string& base_key = base.HierKey();
-  std::string end = KeySubtreeEnd(base_key);
   RunWriter writer(disk, RecordShape::kKeyed);
   for (uint64_t id : *candidates) {
     const std::string& key = keys_[id];
@@ -205,7 +204,7 @@ Result<std::optional<Run>> AttributeIndexes::EvalAtomic(
         if (key != base_key && !KeyIsParent(base_key, key)) continue;
         break;
       case Scope::kSub:
-        if (key < base_key || (!end.empty() && key >= end)) continue;
+        if (!KeyInSubtree(base_key, key)) continue;
         break;
     }
     NDQ_ASSIGN_OR_RETURN(std::optional<Entry> entry, store.Get(key));

@@ -418,7 +418,7 @@ AccessPathChoice ChooseAccessPath(const EntrySource& store,
   AccessPathChoice choice;
   const std::string& base_key = leaf.base().HierKey();
   std::string end = leaf.scope() == Scope::kBase
-                        ? base_key + '\x01'
+                        ? KeyExactEnd(base_key)
                         : KeySubtreeEnd(base_key);
   choice.scan_pages =
       static_cast<double>(store.EstimateRangePages(base_key, end));

@@ -120,6 +120,11 @@ Status Disk::WritePage(PageId id, const uint8_t* buf) {
   return Status::OK();
 }
 
+Status Disk::Sync() {
+  NDQ_RETURN_IF_ERROR(CheckFault(FaultOp::kSync, kInvalidPage));
+  return DoSync();
+}
+
 Status Disk::PhysicalRead(PageId id, uint8_t* buf) {
   // No fault consult, no counters: this transfer is not yet part of the
   // simulated op stream. The I/O worker absorbs the device latency so the

@@ -91,6 +91,14 @@ class Disk {
   /// Copies `buf` (page_size() bytes) into the page.
   Status WritePage(PageId id, const uint8_t* buf);
 
+  /// Durability barrier: blocks until every completed WritePage is on
+  /// stable media. SimDisk pages are always "durable" (the crash model is
+  /// process death, not power loss), so its barrier is a no-op; FileDisk
+  /// issues fdatasync. Consults the fault injector (FaultOp::kSync)
+  /// before the physical barrier, like every other device op. The WAL
+  /// (store/wal.h) calls this on commit.
+  Status Sync();
+
   const IoStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
@@ -180,6 +188,9 @@ class Disk {
   virtual Status DoFree(PageId id) = 0;
   virtual Status DoRead(PageId id, uint8_t* buf) = 0;
   virtual Status DoWrite(PageId id, const uint8_t* buf) = 0;
+  /// Physical durability barrier; default is the no-op of devices whose
+  /// writes are durable at completion (SimDisk).
+  virtual Status DoSync() { return Status::OK(); }
 
   /// Consults the attached injector (if any); on refusal, counts the
   /// fault and returns the injected status.

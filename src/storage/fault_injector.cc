@@ -14,6 +14,8 @@ const char* FaultOpName(FaultOp op) {
       return "alloc";
     case FaultOp::kFree:
       return "free";
+    case FaultOp::kSync:
+      return "sync";
   }
   return "?";
 }
@@ -87,6 +89,8 @@ Result<FaultInjector> FaultInjector::Parse(const std::string& spec) {
         r.ops |= FaultOpBit(FaultOp::kAllocate);
       } else if (op == "free") {
         r.ops |= FaultOpBit(FaultOp::kFree);
+      } else if (op == "sync") {
+        r.ops |= FaultOpBit(FaultOp::kSync);
       } else if (op == "any") {
         r.ops |= kFaultAllOps;
       } else {

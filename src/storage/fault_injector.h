@@ -32,17 +32,28 @@
 
 namespace ndq {
 
-/// The injectable operation kinds, usable as bitmask positions.
-enum class FaultOp : uint8_t { kRead = 0, kWrite = 1, kAllocate = 2, kFree = 3 };
+/// The injectable operation kinds, usable as bitmask positions. kSync is
+/// the whole-device durability barrier (Disk::Sync), not a page transfer.
+enum class FaultOp : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kAllocate = 2,
+  kFree = 3,
+  kSync = 4,
+};
 
 const char* FaultOpName(FaultOp op);
 
 inline constexpr uint32_t FaultOpBit(FaultOp op) {
   return uint32_t{1} << static_cast<uint8_t>(op);
 }
+/// The page-transfer ops. kSync is deliberately NOT part of "all": sweeps
+/// and the "any" spec keyword predate it and keep their op streams; rules
+/// that want sync faults name it explicitly ("sync:n=1", kFaultSyncOps).
 inline constexpr uint32_t kFaultAllOps =
     FaultOpBit(FaultOp::kRead) | FaultOpBit(FaultOp::kWrite) |
     FaultOpBit(FaultOp::kAllocate) | FaultOpBit(FaultOp::kFree);
+inline constexpr uint32_t kFaultSyncOps = FaultOpBit(FaultOp::kSync);
 
 /// \brief A seeded, scriptable I/O fault policy.
 ///
@@ -133,7 +144,7 @@ class FaultInjector {
   ///
   ///   spec  := rule (';' rule)*
   ///   rule  := ops (':' field)*
-  ///   ops   := ("read"|"write"|"alloc"|"free"|"any") ('|' ops)?
+  ///   ops   := ("read"|"write"|"alloc"|"free"|"sync"|"any") ('|' ops)?
   ///   field := "n=" N        -- fire on the Nth eligible op (1-based)
   ///          | "every=" K    -- fire on every Kth eligible op
   ///          | "p=" P        -- fire with probability P per eligible op

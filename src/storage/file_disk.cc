@@ -50,7 +50,7 @@ FileDisk::~FileDisk() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Status FileDisk::Sync() {
+Status FileDisk::DoSync() {
   NDQ_RETURN_IF_ERROR(init_);
   if (::fdatasync(fd_) != 0) return Errno("fdatasync " + path_);
   return Status::OK();

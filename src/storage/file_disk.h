@@ -46,14 +46,13 @@ class FileDisk : public Disk {
   const Status& init_status() const { return init_; }
   const std::string& path() const { return path_; }
 
-  /// Flushes the backing file's data to stable storage (fdatasync).
-  Status Sync();
-
  protected:
   Result<PageId> DoAllocate() override;
   Status DoFree(PageId id) override;
   Status DoRead(PageId id, uint8_t* buf) override;
   Status DoWrite(PageId id, const uint8_t* buf) override;
+  /// Flushes the backing file's data to stable storage (fdatasync).
+  Status DoSync() override;
 
  private:
   /// Liveness check shared by read/write/free. Returns the slot's

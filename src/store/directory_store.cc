@@ -1,26 +1,47 @@
 #include "store/directory_store.h"
 
 #include <iterator>
+#include <utility>
 
 #include "storage/serde.h"
+#include "store/wal.h"
 
 namespace ndq {
 
-namespace {
+// All mutable store state as one immutable value. Writers build the next
+// version (copy-on-write when any snapshot still references the current
+// one) and publish it by swapping the shared_ptr under mu_; readers work
+// against whichever version they snapshotted, so a query never observes a
+// half-applied mutation or a segment list mid-compaction.
+struct DirectoryStore::StoreState {
+  // Key -> serialized entry, or empty string = tombstone.
+  std::map<std::string, std::string> active;
+  // Memtable frozen for an in-progress (or failed, pending retry) flush.
+  // Read priority: active > frozen > segments newest-to-oldest.
+  std::shared_ptr<const std::map<std::string, std::string>> frozen;
+  std::vector<std::shared_ptr<EntryStore>> segments;  // oldest first
+  uint64_t live_entries = 0;
+  uint64_t version = 0;
+  StoreStats stats;
+};
 
 // Tombstone wire format shared with the stats builder: see
 // MakeTombstoneRecord / IsTombstoneRecord in store/entry_store.h.
 
-// Newest-wins pull merge across the memtable and all segments.
-class MergedCursor {
+// Newest-wins pull merge across one StoreState's version streams: active
+// memtable, frozen memtable (if any), then segments newest to oldest.
+class DirectoryStore::MergedCursor {
  public:
-  MergedCursor(const std::map<std::string, std::string>& memtable,
-               const std::vector<std::unique_ptr<EntryStore>>& segments,
-               std::string_view start_key)
-      : mem_it_(memtable.lower_bound(std::string(start_key))),
-        mem_end_(memtable.end()) {
-    // Higher priority first: memtable, then segments newest to oldest.
-    for (auto it = segments.rbegin(); it != segments.rend(); ++it) {
+  MergedCursor(const DirectoryStore::StoreState& state,
+               std::string_view start_key) {
+    const std::string start(start_key);
+    maps_.push_back({state.active.lower_bound(start), state.active.end()});
+    if (state.frozen != nullptr) {
+      maps_.push_back(
+          {state.frozen->lower_bound(start), state.frozen->end()});
+    }
+    for (auto it = state.segments.rbegin(); it != state.segments.rend();
+         ++it) {
       cursors_.emplace_back(it->get(), start_key);
       primed_.push_back(false);
       done_.push_back(false);
@@ -42,6 +63,10 @@ class MergedCursor {
   std::string_view key() const { return key_; }
 
  private:
+  struct MapRange {
+    std::map<std::string, std::string>::const_iterator it, end;
+  };
+
   // One newest-wins step over the raw version streams.
   Result<bool> Step() {
     for (size_t i = 0; i < cursors_.size(); ++i) {
@@ -53,16 +78,17 @@ class MergedCursor {
     }
     // Minimum key across sources.
     const std::string* min_key = nullptr;
-    std::string mem_key;
-    if (mem_it_ != mem_end_) {
-      mem_key = mem_it_->first;
-      min_key = &mem_key;
+    for (const MapRange& m : maps_) {
+      if (m.it == m.end) continue;
+      if (min_key == nullptr || m.it->first < *min_key) {
+        min_key = &m.it->first;
+      }
     }
     std::string cursor_key;
     for (size_t i = 0; i < cursors_.size(); ++i) {
       if (done_[i]) continue;
-      if (min_key == nullptr || std::string_view(cursors_[i].key()) <
-                                    std::string_view(*min_key)) {
+      if (min_key == nullptr ||
+          std::string_view(cursors_[i].key()) < std::string_view(*min_key)) {
         cursor_key = std::string(cursors_[i].key());
         min_key = &cursor_key;
       }
@@ -72,11 +98,14 @@ class MergedCursor {
 
     // Pick the highest-priority version; advance every source at key.
     bool picked = false;
-    if (mem_it_ != mem_end_ && mem_it_->first == key) {
-      record_ = mem_it_->second.empty() ? MakeTombstoneRecord(key)
-                                        : mem_it_->second;
-      picked = true;
-      ++mem_it_;
+    for (MapRange& m : maps_) {
+      if (m.it == m.end || m.it->first != key) continue;
+      if (!picked) {
+        record_ = m.it->second.empty() ? MakeTombstoneRecord(key)
+                                       : m.it->second;
+        picked = true;
+      }
+      ++m.it;
     }
     for (size_t i = 0; i < cursors_.size(); ++i) {
       if (done_[i] || cursors_[i].key() != key) continue;
@@ -91,38 +120,124 @@ class MergedCursor {
     return picked;
   }
 
-  std::map<std::string, std::string>::const_iterator mem_it_, mem_end_;
+  std::vector<MapRange> maps_;  // priority order: active, then frozen
   std::vector<EntryStore::Cursor> cursors_;
   std::vector<bool> primed_, done_;
   std::string record_;
   std::string key_;
 };
 
+namespace {
+
+// Memtable lookup outcome: found a record, found a tombstone, or absent.
+enum class MemHit { kMiss, kTombstone, kRecord };
+
+MemHit LookupMap(const std::map<std::string, std::string>& map,
+                 const std::string& key, const std::string** record) {
+  auto it = map.find(key);
+  if (it == map.end()) return MemHit::kMiss;
+  if (it->second.empty()) return MemHit::kTombstone;
+  *record = &it->second;
+  return MemHit::kRecord;
+}
+
 }  // namespace
+
+// A point-in-time view: shares one StoreState and holds an epoch guard so
+// compaction cannot destroy the segment pages under an in-flight scan.
+class DirectoryStore::Snapshot : public EntrySource {
+ public:
+  Snapshot(Disk* disk, std::shared_ptr<const StoreState> state,
+           EpochFramework::Guard guard)
+      : disk_(disk), state_(std::move(state)), guard_(std::move(guard)) {}
+
+  Status ScanRange(std::string_view start_key, std::string_view end_key,
+                   const std::function<Status(std::string_view)>& fn)
+      const override {
+    return DirectoryStore::ScanState(*state_, start_key, end_key, fn);
+  }
+  uint64_t num_entries() const override { return state_->live_entries; }
+  const IoStats* io_stats() const override {
+    return disk_ == nullptr ? nullptr : &disk_->stats();
+  }
+  const StoreStats* stats() const override { return &state_->stats; }
+  uint64_t EstimateRangeRecords(std::string_view start_key,
+                                std::string_view end_key) const override {
+    return DirectoryStore::EstimateStateRecords(*state_, start_key, end_key);
+  }
+  uint64_t EstimateRangePages(std::string_view start_key,
+                              std::string_view end_key) const override {
+    return DirectoryStore::EstimateStatePages(*state_, start_key, end_key);
+  }
+  // PinSnapshot() keeps the default nullptr: already a snapshot, callers
+  // read it directly.
+  uint64_t version() const override { return state_->version; }
+
+ private:
+  Disk* disk_;
+  std::shared_ptr<const StoreState> state_;
+  EpochFramework::Guard guard_;
+};
 
 DirectoryStore::DirectoryStore(Disk* disk, Schema schema,
                                DirectoryStoreOptions options)
-    : disk_(disk), schema_(std::move(schema)), options_(options) {}
+    : disk_(disk),
+      schema_(std::move(schema)),
+      options_(options),
+      state_(std::make_shared<StoreState>()) {}
 
-Result<std::optional<Entry>> DirectoryStore::Get(const Dn& dn) const {
-  const std::string& key = dn.HierKey();
-  auto mit = memtable_.find(key);
-  if (mit != memtable_.end()) {
-    if (mit->second.empty()) return std::optional<Entry>();  // tombstone
-    NDQ_ASSIGN_OR_RETURN(Entry e, DeserializeEntry(mit->second));
+DirectoryStore::~DirectoryStore() {
+  WaitForMaintenance();
+  epochs_.DrainAndReclaim();
+}
+
+std::shared_ptr<const DirectoryStore::StoreState>
+DirectoryStore::SnapshotState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+DirectoryStore::StoreState* DirectoryStore::MutableStateLocked() {
+  // use_count()==1 means no snapshot references this state: safe to
+  // mutate in place. The count is exact here because every new reference
+  // is taken under mu_, which we hold.
+  std::shared_ptr<StoreState> next;
+  if (state_.use_count() == 1) {
+    next = std::const_pointer_cast<StoreState>(state_);
+  } else {
+    next = std::make_shared<StoreState>(*state_);
+  }
+  ++next->version;
+  state_ = next;
+  return next.get();
+}
+
+// ---------------------------------------------------------------------------
+// Reads.
+
+Result<std::optional<Entry>> DirectoryStore::GetFromState(
+    const StoreState& state, const std::string& key) {
+  const std::string* record = nullptr;
+  MemHit hit = LookupMap(state.active, key, &record);
+  if (hit == MemHit::kMiss && state.frozen != nullptr) {
+    hit = LookupMap(*state.frozen, key, &record);
+  }
+  if (hit == MemHit::kTombstone) return std::optional<Entry>();
+  if (hit == MemHit::kRecord) {
+    NDQ_ASSIGN_OR_RETURN(Entry e, DeserializeEntry(*record));
     return std::optional<Entry>(std::move(e));
   }
-  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
-    std::string end = key + '\x01';
+  const std::string end = KeyExactEnd(key);
+  for (auto it = state.segments.rbegin(); it != state.segments.rend(); ++it) {
     std::optional<Entry> found;
     bool tombstoned = false;
     Status s = (*it)->ScanRange(
-        key, end, [&](std::string_view record) -> Status {
-          if (IsTombstoneRecord(record)) {
+        key, end, [&](std::string_view rec) -> Status {
+          if (IsTombstoneRecord(rec)) {
             tombstoned = true;
             return Status::OK();
           }
-          NDQ_ASSIGN_OR_RETURN(Entry e, DeserializeEntry(record));
+          NDQ_ASSIGN_OR_RETURN(Entry e, DeserializeEntry(rec));
           found = std::move(e);
           return Status::OK();
         });
@@ -133,63 +248,19 @@ Result<std::optional<Entry>> DirectoryStore::Get(const Dn& dn) const {
   return std::optional<Entry>();
 }
 
-Status DirectoryStore::Add(Entry entry) {
-  NDQ_ASSIGN_OR_RETURN(std::optional<Entry> existing, Get(entry.dn()));
-  if (existing.has_value()) {
-    return Status::AlreadyExists("dn already bound: " +
-                                 entry.dn().ToString());
-  }
-  return Put(std::move(entry));
-}
-
-Status DirectoryStore::Put(Entry entry) {
-  if (entry.dn().IsNull()) {
-    return Status::InvalidArgument("cannot put entry with null dn");
-  }
-  if (options_.validate) NDQ_RETURN_IF_ERROR(schema_.ValidateEntry(entry));
-  NDQ_ASSIGN_OR_RETURN(std::optional<Entry> existing, Get(entry.dn()));
-  std::string record;
-  SerializeEntry(entry, &record);
-  if (existing.has_value()) stats_.RemoveEntry(*existing);
-  stats_.AddEntry(entry);
-  memtable_[entry.HierKey()] = std::move(record);
-  if (!existing.has_value()) ++live_entries_;
-  if (memtable_.size() >= options_.memtable_limit) {
-    NDQ_RETURN_IF_ERROR(Flush());
-  }
-  return Status::OK();
-}
-
-Result<bool> DirectoryStore::HasDescendants(const std::string& key) const {
-  MergedCursor cursor(memtable_, segments_, key + kHierKeySep);
+Result<bool> DirectoryStore::StateHasDescendants(const StoreState& state,
+                                                 const std::string& key) {
+  MergedCursor cursor(state, KeyDescendantsBegin(key));
   NDQ_ASSIGN_OR_RETURN(bool more, cursor.Next());
   if (!more) return false;
   return KeyIsAncestor(key, cursor.key());
 }
 
-Status DirectoryStore::Remove(const Dn& dn) {
-  NDQ_ASSIGN_OR_RETURN(std::optional<Entry> existing, Get(dn));
-  if (!existing.has_value()) {
-    return Status::NotFound("no entry named " + dn.ToString());
-  }
-  NDQ_ASSIGN_OR_RETURN(bool kids, HasDescendants(dn.HierKey()));
-  if (kids) {
-    return Status::InvalidArgument("entry " + dn.ToString() +
-                                   " has descendants; remove them first");
-  }
-  stats_.RemoveEntry(*existing);
-  memtable_[dn.HierKey()] = std::string();  // tombstone
-  --live_entries_;
-  if (memtable_.size() >= options_.memtable_limit) {
-    NDQ_RETURN_IF_ERROR(Flush());
-  }
-  return Status::OK();
-}
-
-Status DirectoryStore::ScanRange(
-    std::string_view start_key, std::string_view end_key,
-    const std::function<Status(std::string_view record)>& fn) const {
-  MergedCursor cursor(memtable_, segments_, start_key);
+Status DirectoryStore::ScanState(
+    const StoreState& state, std::string_view start_key,
+    std::string_view end_key,
+    const std::function<Status(std::string_view)>& fn) {
+  MergedCursor cursor(state, start_key);
   while (true) {
     NDQ_ASSIGN_OR_RETURN(bool more, cursor.Next());
     if (!more) break;
@@ -199,63 +270,526 @@ Status DirectoryStore::ScanRange(
   return Status::OK();
 }
 
-uint64_t DirectoryStore::EstimateRangeRecords(
-    std::string_view start_key, std::string_view end_key) const {
+uint64_t DirectoryStore::EstimateStateRecords(const StoreState& state,
+                                              std::string_view start_key,
+                                              std::string_view end_key) {
   uint64_t total = 0;
-  for (const auto& seg : segments_) {
+  for (const auto& seg : state.segments) {
     total += seg->EstimateRangeRecords(start_key, end_key);
   }
-  auto lo = memtable_.lower_bound(std::string(start_key));
-  auto hi = end_key.empty() ? memtable_.end()
-                            : memtable_.lower_bound(std::string(end_key));
-  total += static_cast<uint64_t>(std::distance(lo, hi));
+  auto span = [&](const std::map<std::string, std::string>& m) {
+    auto lo = m.lower_bound(std::string(start_key));
+    auto hi =
+        end_key.empty() ? m.end() : m.lower_bound(std::string(end_key));
+    return static_cast<uint64_t>(std::distance(lo, hi));
+  };
+  total += span(state.active);
+  if (state.frozen != nullptr) total += span(*state.frozen);
   return total;
 }
 
-uint64_t DirectoryStore::EstimateRangePages(std::string_view start_key,
-                                            std::string_view end_key) const {
+uint64_t DirectoryStore::EstimateStatePages(const StoreState& state,
+                                            std::string_view start_key,
+                                            std::string_view end_key) {
   uint64_t total = 0;
-  for (const auto& seg : segments_) {
+  for (const auto& seg : state.segments) {
     total += seg->EstimateRangePages(start_key, end_key);
   }
   return total + 1;  // + the memtable (memory-resident)
 }
 
+Result<std::optional<Entry>> DirectoryStore::Get(const Dn& dn) const {
+  EpochFramework::Guard guard = epochs_.Pin();
+  std::shared_ptr<const StoreState> snap = SnapshotState();
+  return GetFromState(*snap, dn.HierKey());
+}
+
+Status DirectoryStore::ScanRange(
+    std::string_view start_key, std::string_view end_key,
+    const std::function<Status(std::string_view record)>& fn) const {
+  EpochFramework::Guard guard = epochs_.Pin();
+  std::shared_ptr<const StoreState> snap = SnapshotState();
+  return ScanState(*snap, start_key, end_key, fn);
+}
+
+uint64_t DirectoryStore::num_entries() const {
+  return SnapshotState()->live_entries;
+}
+
+const StoreStats* DirectoryStore::stats() const {
+  // The pointer is into the current state; see the header caveat about
+  // stability under concurrent mutations.
+  std::lock_guard<std::mutex> lock(mu_);
+  return &state_->stats;
+}
+
+uint64_t DirectoryStore::EstimateRangeRecords(
+    std::string_view start_key, std::string_view end_key) const {
+  return EstimateStateRecords(*SnapshotState(), start_key, end_key);
+}
+
+uint64_t DirectoryStore::EstimateRangePages(std::string_view start_key,
+                                            std::string_view end_key) const {
+  return EstimateStatePages(*SnapshotState(), start_key, end_key);
+}
+
+std::shared_ptr<const EntrySource> DirectoryStore::PinSnapshot() const {
+  EpochFramework::Guard guard = epochs_.Pin();
+  return std::make_shared<Snapshot>(disk_, SnapshotState(),
+                                    std::move(guard));
+}
+
+uint64_t DirectoryStore::version() const { return SnapshotState()->version; }
+
+size_t DirectoryStore::num_segments() const {
+  return SnapshotState()->segments.size();
+}
+
+size_t DirectoryStore::memtable_size() const {
+  return SnapshotState()->active.size();
+}
+
+// ---------------------------------------------------------------------------
+// Mutations.
+//
+// Protocol (docs/WRITE_PATH.md): all fallible work — validation, the
+// existence/descendant reads (which touch segment pages), the WAL commit —
+// happens BEFORE the first in-memory effect; the state transition itself
+// is infallible (map insert into an exclusively-owned state), so a non-OK
+// return always leaves the store exactly as it was. The reads run against
+// an optimistic snapshot outside mu_; the version is re-checked under mu_
+// before the log append, and the whole operation retries if a concurrent
+// writer moved the state in between.
+
+Status DirectoryStore::Add(Entry entry) {
+  return PutImpl(std::move(entry), /*must_not_exist=*/true);
+}
+
+Status DirectoryStore::Put(Entry entry) {
+  return PutImpl(std::move(entry), /*must_not_exist=*/false);
+}
+
+Status DirectoryStore::PutImpl(Entry entry, bool must_not_exist) {
+  if (entry.dn().IsNull()) {
+    return Status::InvalidArgument("cannot put entry with null dn");
+  }
+  if (options_.validate) NDQ_RETURN_IF_ERROR(schema_.ValidateEntry(entry));
+  const std::string key = entry.HierKey();
+  std::string record;
+  SerializeEntry(entry, &record);
+
+  bool trigger = false;
+  while (true) {
+    EpochFramework::Guard guard = epochs_.Pin();
+    std::shared_ptr<const StoreState> snap = SnapshotState();
+    NDQ_ASSIGN_OR_RETURN(std::optional<Entry> existing,
+                         GetFromState(*snap, key));
+    if (must_not_exist && existing.has_value()) {
+      return Status::AlreadyExists("dn already bound: " +
+                                   entry.dn().ToString());
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (state_->version != snap->version) continue;  // raced; re-read
+    if (wal_ != nullptr) NDQ_RETURN_IF_ERROR(wal_->AppendPut(key, record));
+    StoreState* s = MutableStateLocked();
+    if (existing.has_value()) s->stats.RemoveEntry(*existing);
+    s->stats.AddEntry(entry);
+    s->active[key] = std::move(record);
+    if (!existing.has_value()) ++s->live_entries;
+    trigger = s->active.size() >= options_.memtable_limit;
+    break;
+  }
+  if (trigger) MaybeScheduleMaintenance();
+  return Status::OK();
+}
+
+Status DirectoryStore::Remove(const Dn& dn) {
+  const std::string key = dn.HierKey();
+  bool trigger = false;
+  while (true) {
+    EpochFramework::Guard guard = epochs_.Pin();
+    std::shared_ptr<const StoreState> snap = SnapshotState();
+    NDQ_ASSIGN_OR_RETURN(std::optional<Entry> existing,
+                         GetFromState(*snap, key));
+    if (!existing.has_value()) {
+      return Status::NotFound("no entry named " + dn.ToString());
+    }
+    NDQ_ASSIGN_OR_RETURN(bool kids, StateHasDescendants(*snap, key));
+    if (kids) {
+      return Status::InvalidArgument("entry " + dn.ToString() +
+                                     " has descendants; remove them first");
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (state_->version != snap->version) continue;  // raced; re-read
+    if (wal_ != nullptr) NDQ_RETURN_IF_ERROR(wal_->AppendRemove(key));
+    StoreState* s = MutableStateLocked();
+    s->stats.RemoveEntry(*existing);
+    s->active[key] = std::string();  // tombstone
+    --s->live_entries;
+    trigger = s->active.size() >= options_.memtable_limit;
+    break;
+  }
+  if (trigger) MaybeScheduleMaintenance();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance: flush + compaction.
+
+void DirectoryStore::SetMaintenanceExecutor(
+    std::function<void(std::function<void()>)> executor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  maintenance_executor_ = std::move(executor);
+}
+
+Status DirectoryStore::maintenance_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return maintenance_status_;
+}
+
+void DirectoryStore::ClearMaintenanceStatus() {
+  std::lock_guard<std::mutex> lock(mu_);
+  maintenance_status_ = Status::OK();
+}
+
+void DirectoryStore::RecordMaintenanceError(const Status& s) {
+  if (s.ok()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (maintenance_status_.ok()) maintenance_status_ = s;
+}
+
+void DirectoryStore::WaitForMaintenance() {
+  std::unique_lock<std::mutex> lock(mu_);
+  maintenance_cv_.wait(lock, [this] {
+    return !maintenance_scheduled_ && maintenance_inflight_ == 0;
+  });
+}
+
+void DirectoryStore::MaybeScheduleMaintenance() {
+  std::function<void(std::function<void()>)> exec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (maintenance_scheduled_) return;
+    maintenance_scheduled_ = true;
+    ++maintenance_inflight_;
+    exec = maintenance_executor_;
+  }
+  auto task = [this] { RunMaintenance(); };
+  if (exec != nullptr) {
+    exec(std::move(task));
+  } else {
+    task();
+  }
+}
+
+void DirectoryStore::RunMaintenance() {
+  Status s;
+  {
+    std::lock_guard<std::mutex> maint(maint_mu_);
+    {
+      // Clear the dedupe flag before flushing: a mutation landing during
+      // this flush can schedule the next round.
+      std::lock_guard<std::mutex> lock(mu_);
+      maintenance_scheduled_ = false;
+    }
+    s = FlushLocked(/*allow_compact=*/true);
+  }
+  RecordMaintenanceError(s);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --maintenance_inflight_;
+  }
+  maintenance_cv_.notify_all();
+}
+
 Status DirectoryStore::Flush() {
-  if (memtable_.empty()) return Status::OK();
-  auto it = memtable_.begin();
+  std::lock_guard<std::mutex> maint(maint_mu_);
+  return FlushLocked(/*allow_compact=*/true);
+}
+
+Status DirectoryStore::FlushLocked(bool allow_compact) {
+  // Phase 1 — freeze: seal the log at the exact freeze point, then move
+  // the active memtable into the (immutable) frozen slot. A frozen
+  // memtable left over from a failed flush is retried as-is; it stays
+  // fully readable either way via the merge priority.
+  std::shared_ptr<const std::map<std::string, std::string>> frozen;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_->active.empty() && state_->frozen == nullptr) {
+      return Status::OK();
+    }
+    if (state_->frozen == nullptr) {
+      if (wal_ != nullptr) NDQ_RETURN_IF_ERROR(wal_->Seal());
+      StoreState* s = MutableStateLocked();
+      s->frozen = std::make_shared<const std::map<std::string, std::string>>(
+          std::move(s->active));
+      s->active.clear();
+    }
+    frozen = state_->frozen;
+  }
+
+  // Phase 2 — build the segment, outside every lock: queries and
+  // mutations proceed while FromStream writes pages.
+  auto it = frozen->begin();
   auto next = [&](std::string* record) -> Result<bool> {
-    if (it == memtable_.end()) return false;
-    *record = it->second.empty() ? MakeTombstoneRecord(it->first) : it->second;
+    if (it == frozen->end()) return false;
+    *record =
+        it->second.empty() ? MakeTombstoneRecord(it->first) : it->second;
     ++it;
     return true;
   };
-  NDQ_ASSIGN_OR_RETURN(EntryStore segment,
-                       EntryStore::FromStream(disk_, next));
-  segments_.push_back(std::make_unique<EntryStore>(std::move(segment)));
-  memtable_.clear();
-  if (segments_.size() >= options_.max_segments) {
-    NDQ_RETURN_IF_ERROR(Compact());
+  Result<EntryStore> built = EntryStore::FromStream(disk_, next);
+  if (!built.ok()) return built.status();  // frozen stays; next flush retries
+  auto segment = std::make_shared<EntryStore>(built.TakeValue());
+
+  // Phase 3 — checkpoint + install. The checkpoint must cover the NEW
+  // segment list; on checkpoint failure the segment is destroyed and the
+  // frozen memtable stays (still covered by the sealed log prefix).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (wal_ != nullptr) {
+      std::vector<std::string> manifests;
+      manifests.reserve(state_->segments.size() + 1);
+      for (const auto& seg : state_->segments) {
+        manifests.push_back(seg->SerializeManifest());
+      }
+      manifests.push_back(segment->SerializeManifest());
+      Status cs = wal_->Checkpoint(manifests);
+      if (!cs.ok()) {
+        Status ds = segment->Destroy();
+        if (!ds.ok()) {
+          return cs.WithContext("segment cleanup also failed (" +
+                                ds.message() + ")");
+        }
+        return cs;
+      }
+    }
+    StoreState* s = MutableStateLocked();
+    s->segments.push_back(std::move(segment));
+    s->frozen = nullptr;
+  }
+
+  if (allow_compact &&
+      SnapshotState()->segments.size() >= options_.max_segments) {
+    return CompactLocked();
   }
   return Status::OK();
 }
 
 Status DirectoryStore::Compact() {
-  NDQ_RETURN_IF_ERROR(Flush());
-  if (segments_.size() <= 1) return Status::OK();
-  MergedCursor cursor(memtable_, segments_, "");
+  std::lock_guard<std::mutex> maint(maint_mu_);
+  NDQ_RETURN_IF_ERROR(FlushLocked(/*allow_compact=*/false));
+  return CompactLocked();
+}
+
+Status DirectoryStore::CompactLocked() {
+  // The memtable was flushed under this maint_mu_ hold, so the merge
+  // covers segments only; any newer mutations live in the active memtable
+  // and shadow the merged segment by read priority. Nobody can free
+  // segment pages while we read them: only compaction frees, and
+  // maint_mu_ is held.
+  std::shared_ptr<const StoreState> snap = SnapshotState();
+  if (snap->segments.size() <= 1) return Status::OK();
+
+  StoreState merge_view;  // segments only: no memtables
+  merge_view.segments = snap->segments;
+  MergedCursor cursor(merge_view, "");
   auto next = [&](std::string* record) -> Result<bool> {
     NDQ_ASSIGN_OR_RETURN(bool more, cursor.Next());
     if (!more) return false;
     *record = cursor.record();
     return true;
   };
-  NDQ_ASSIGN_OR_RETURN(EntryStore merged,
-                       EntryStore::FromStream(disk_, next));
-  for (auto& s : segments_) NDQ_RETURN_IF_ERROR(s->Destroy());
-  segments_.clear();
-  segments_.push_back(std::make_unique<EntryStore>(std::move(merged)));
+  NDQ_ASSIGN_OR_RETURN(EntryStore built, EntryStore::FromStream(disk_, next));
+  auto merged = std::make_shared<EntryStore>(std::move(built));
+
+  // Install the merged segment; only then retire the old ones.
+  std::vector<std::shared_ptr<EntryStore>> old_segments;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (wal_ != nullptr) {
+      std::vector<std::string> manifests;
+      manifests.push_back(merged->SerializeManifest());
+      Status cs = wal_->Checkpoint(manifests);
+      if (!cs.ok()) {
+        Status ds = merged->Destroy();
+        if (!ds.ok()) {
+          return cs.WithContext("segment cleanup also failed (" +
+                                ds.message() + ")");
+        }
+        return cs;
+      }
+    }
+    StoreState* s = MutableStateLocked();
+    old_segments = std::move(s->segments);
+    s->segments.clear();
+    s->segments.push_back(merged);
+    // Refresh statistics from the merged segment's exact build-time stats
+    // (tombstones and shadowed versions are gone) plus the current
+    // memtable contents re-applied on top. Memtable records shadowing
+    // merged entries double-count — an over-count, which keeps the
+    // estimates upper bounds. Without this refresh, remove/re-add churn
+    // degrades the incremental stats without bound.
+    if (merged->stats() != nullptr) {
+      StoreStats fresh = *merged->stats();
+      bool ok = true;
+      for (const auto& [k, rec] : s->active) {
+        (void)k;
+        if (rec.empty()) continue;  // tombstone: nothing to add
+        if (!fresh.AddRecord(rec).ok()) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) s->stats = std::move(fresh);
+    }
+  }
+
+  // Old segment pages are retired behind the epoch horizon: destroyed
+  // right here when no reader is pinned (and the aggregated Status
+  // returned, so the caller sees destroy failures), otherwise deferred to
+  // the last blocking reader's release (failures land in
+  // maintenance_status()).
+  auto destroy_status = std::make_shared<Status>();
+  bool ran_inline = epochs_.Retire(
+      [this, old = std::move(old_segments), destroy_status]() mutable {
+        Status agg;
+        for (auto& seg : old) {
+          Status ds = seg->Destroy();
+          if (!ds.ok() && agg.ok()) agg = ds;
+        }
+        old.clear();
+        *destroy_status = agg;
+        RecordMaintenanceError(agg);
+      });
+  return ran_inline ? *destroy_status : Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Durability.
+
+Status DirectoryStore::EnableDurability() {
+  std::lock_guard<std::mutex> maint(maint_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("store is already durable");
+  }
+  if (!state_->active.empty() || state_->frozen != nullptr ||
+      !state_->segments.empty()) {
+    return Status::InvalidArgument(
+        "durability must be enabled on an empty store");
+  }
+  auto wal = std::make_unique<Wal>(disk_);
+  NDQ_RETURN_IF_ERROR(wal->Create());
+  wal_ = std::move(wal);
   return Status::OK();
+}
+
+Result<std::unique_ptr<DirectoryStore>> DirectoryStore::CreateDurable(
+    Disk* disk, Schema schema, DirectoryStoreOptions options) {
+  auto store =
+      std::make_unique<DirectoryStore>(disk, std::move(schema), options);
+  NDQ_RETURN_IF_ERROR(store->EnableDurability());
+  return store;
+}
+
+Result<std::unique_ptr<DirectoryStore>> DirectoryStore::Recover(
+    Disk* disk, Schema schema, DirectoryStoreOptions options) {
+  Wal::Recovered recovered;
+  NDQ_ASSIGN_OR_RETURN(std::unique_ptr<Wal> wal,
+                       Wal::Recover(disk, &recovered));
+
+  auto store =
+      std::make_unique<DirectoryStore>(disk, std::move(schema), options);
+  auto state = std::make_shared<StoreState>();
+  for (const std::string& manifest : recovered.manifests) {
+    NDQ_ASSIGN_OR_RETURN(EntryStore seg,
+                         EntryStore::FromManifest(disk, manifest));
+    state->segments.push_back(std::make_shared<EntryStore>(std::move(seg)));
+  }
+  state->active = std::move(recovered.memtable);
+
+  // Rebuild live count + statistics with one merged scan over the
+  // recovered state (manifest-attached segments carry no stats of their
+  // own).
+  {
+    MergedCursor cursor(*state, "");
+    while (true) {
+      NDQ_ASSIGN_OR_RETURN(bool more, cursor.Next());
+      if (!more) break;
+      ++state->live_entries;
+      NDQ_RETURN_IF_ERROR(state->stats.AddRecord(cursor.record()));
+    }
+  }
+  state->version = 1;
+  {
+    std::lock_guard<std::mutex> lock(store->mu_);
+    store->state_ = std::move(state);
+    store->wal_ = std::move(wal);
+  }
+
+  // Fold the replayed tail into a durable segment and checkpoint, retiring
+  // the pre-crash chain. (The log refuses appends until this checkpoint.)
+  Status s;
+  {
+    std::lock_guard<std::mutex> maint(store->maint_mu_);
+    bool empty_tail;
+    {
+      std::lock_guard<std::mutex> lock(store->mu_);
+      empty_tail = store->state_->active.empty();
+    }
+    if (empty_tail) {
+      // Nothing to flush; republish the recovered manifests as-is.
+      std::lock_guard<std::mutex> lock(store->mu_);
+      std::vector<std::string> manifests;
+      for (const auto& seg : store->state_->segments) {
+        manifests.push_back(seg->SerializeManifest());
+      }
+      s = store->wal_->Checkpoint(manifests);
+    } else {
+      // Seal no-ops (no records on the fresh post-recovery chain), so the
+      // flush checkpoint covers everything acknowledged.
+      s = store->FlushLocked(/*allow_compact=*/true);
+    }
+  }
+  NDQ_RETURN_IF_ERROR(s);
+  return store;
+}
+
+Status DirectoryStore::DestroyAll() {
+  WaitForMaintenance();
+  std::lock_guard<std::mutex> maint(maint_mu_);
+  epochs_.DrainAndReclaim();
+  std::shared_ptr<const StoreState> snap;
+  std::unique_ptr<Wal> wal;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap = state_;
+    wal = std::move(wal_);
+    auto fresh = std::make_shared<StoreState>();
+    fresh->version = state_->version + 1;
+    state_ = std::move(fresh);
+  }
+  Status agg;
+  for (const auto& seg : snap->segments) {
+    Status ds = seg->Destroy();
+    if (!ds.ok() && agg.ok()) agg = ds;
+  }
+  if (wal != nullptr) {
+    Status ws = wal->DestroyAll();
+    if (!ws.ok() && agg.ok()) agg = ws;
+  }
+  return agg;
+}
+
+uint64_t DirectoryStore::wal_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_ == nullptr ? 0 : wal_->chain_pages();
+}
+
+uint64_t DirectoryStore::wal_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_ == nullptr ? 0 : wal_->records_appended();
 }
 
 }  // namespace ndq

@@ -1,4 +1,5 @@
-// The mutable directory store: a small LSM over EntryStore segments.
+// The mutable directory store: a small LSM over EntryStore segments, safe
+// for concurrent queries and (optionally) durable across crashes.
 //
 // TOPS subscriber policies "can be created and modified dynamically"
 // (Sec. 2.2), so a directory server needs an update path. DirectoryStore
@@ -8,18 +9,39 @@
 // segments into one. Reads are a newest-wins merge across memtable and
 // segments — still in HierKey order, so the evaluation engine runs over a
 // DirectoryStore exactly as over one segment (both implement EntrySource).
+//
+// Concurrency (docs/WRITE_PATH.md): all state lives in an immutable
+// StoreState published through a shared_ptr under a short-section mutex.
+// Readers snapshot the pointer (PinSnapshot) and run lock-free against a
+// consistent version; writers copy-on-write (or mutate in place when no
+// reader holds the state) and publish atomically. Superseded segment
+// pages are destroyed behind an EpochFramework horizon, only after every
+// reader pinned before the compaction has drained. Flush/Compact serialize
+// on a maintenance mutex and do their heavy building outside all locks, so
+// queries never wait on segment construction.
+//
+// Durability: EnableDurability() attaches a write-ahead log (store/wal.h);
+// every Put/Remove then commits to the log (checksummed, synced) before
+// any in-memory effect, flushes seal + checkpoint the log, and Recover()
+// rebuilds the exact acknowledged state after a crash.
 
 #ifndef NDQ_STORE_DIRECTORY_STORE_H_
 #define NDQ_STORE_DIRECTORY_STORE_H_
 
+#include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "core/ldif_update.h"
 #include "store/entry_store.h"
+#include "store/epoch.h"
 #include "store/stats.h"
 
 namespace ndq {
+
+class Wal;
 
 struct DirectoryStoreOptions {
   /// Memtable flush threshold (entries + tombstones).
@@ -34,16 +56,36 @@ class DirectoryStore : public EntrySource, public UpdateTarget {
  public:
   DirectoryStore(Disk* disk, Schema schema,
                  DirectoryStoreOptions options = {});
+  /// Waits for in-flight maintenance; every snapshot must already be
+  /// released (snapshots hold the store's epoch framework).
+  ~DirectoryStore() override;
+
+  /// Attaches a write-ahead log to an EMPTY store on a fresh disk (the
+  /// superblock claims page 0). Subsequent mutations are durable.
+  Status EnableDurability();
+
+  /// Constructs an empty durable store (EnableDurability included).
+  static Result<std::unique_ptr<DirectoryStore>> CreateDurable(
+      Disk* disk, Schema schema, DirectoryStoreOptions options = {});
+
+  /// Rebuilds a durable store from the disk after a crash or restart:
+  /// re-attaches the checkpointed segments, replays the log tail,
+  /// rebuilds statistics, and checkpoints. The recovered state contains
+  /// exactly the acknowledged mutations.
+  static Result<std::unique_ptr<DirectoryStore>> Recover(
+      Disk* disk, Schema schema, DirectoryStoreOptions options = {});
 
   /// Adds a new entry; fails with AlreadyExists if the dn is bound.
   Status Add(Entry entry);
 
-  /// Adds or replaces.
+  /// Adds or replaces. On any error (validation, I/O, log commit) the
+  /// store is unchanged: no counter, statistic, or memtable effect
+  /// survives a non-OK return.
   Status Put(Entry entry);
 
   /// Removes the entry; fails with NotFound if absent and with
   /// InvalidArgument if the entry has descendants (namespaces stay
-  /// prefix-closed, as in LDAP).
+  /// prefix-closed, as in LDAP). Atomic like Put.
   Status Remove(const Dn& dn);
 
   /// Point lookup (memtable-over-segments, newest wins).
@@ -57,18 +99,22 @@ class DirectoryStore : public EntrySource, public UpdateTarget {
   }
   Status ReplaceEntry(Entry entry) override { return Put(std::move(entry)); }
 
-  /// Merged key-ordered scan (EntrySource).
+  /// Merged key-ordered scan (EntrySource) over a snapshot taken at call
+  /// time; concurrent mutations do not affect an in-progress scan.
   Status ScanRange(std::string_view start_key, std::string_view end_key,
                    const std::function<Status(std::string_view record)>& fn)
       const override;
 
-  uint64_t num_entries() const override { return live_entries_; }
+  uint64_t num_entries() const override;
   const IoStats* io_stats() const override {
     return disk_ == nullptr ? nullptr : &disk_->stats();
   }
-  /// Maintained exactly across Put/Remove (segments keep their own
-  /// build-time stats, but the merged truth lives here: newest wins).
-  const StoreStats* stats() const override { return &stats_; }
+  /// Maintained exactly across Put/Remove and refreshed from segment
+  /// build-time statistics on compaction, so estimate quality does not
+  /// drift under remove/re-add churn. The pointer is only stable while no
+  /// concurrent mutation runs — concurrent callers must read through
+  /// PinSnapshot()->stats().
+  const StoreStats* stats() const override;
 
   /// Cost-model hooks: summed over segments (sparse indexes) plus the
   /// memtable span. Slight over-counts where versions shadow each other.
@@ -77,29 +123,107 @@ class DirectoryStore : public EntrySource, public UpdateTarget {
   uint64_t EstimateRangePages(std::string_view start_key,
                               std::string_view end_key) const override;
 
-  /// Writes the memtable out as a new segment.
+  /// An immutable point-in-time view holding an epoch pin: scans,
+  /// estimates, and stats all observe one version while writers proceed.
+  /// Must be released before the store is destroyed.
+  std::shared_ptr<const EntrySource> PinSnapshot() const override;
+
+  /// Bumped on every mutation, flush, and compaction.
+  uint64_t version() const override;
+
+  /// Writes the memtable out as a new segment. On failure the memtable
+  /// contents stay readable (frozen) and the next flush retries.
   Status Flush();
 
   /// Merges everything into a single segment, dropping shadowed versions
-  /// and tombstones.
+  /// and tombstones, refreshes statistics, and retires the old segments
+  /// behind the epoch horizon. When no reader holds a pin the old pages
+  /// are destroyed before returning and the aggregated destroy Status is
+  /// returned; otherwise destruction is deferred to the last reader's
+  /// drain and failures land in maintenance_status().
   Status Compact();
 
-  size_t num_segments() const { return segments_.size(); }
-  size_t memtable_size() const { return memtable_.size(); }
+  size_t num_segments() const;
+  size_t memtable_size() const;
   const Schema& schema() const { return schema_; }
 
+  /// Routes background maintenance (threshold-triggered flush/compact)
+  /// through `executor` — e.g. Engine wires its thread pool dispatch.
+  /// Without an executor, maintenance runs inline on the mutating thread
+  /// (still after the triggering mutation has committed).
+  void SetMaintenanceExecutor(
+      std::function<void(std::function<void()>)> executor);
+
+  /// First error of any background maintenance task (threshold flushes,
+  /// deferred segment destruction). Sticky until cleared. Mutations keep
+  /// succeeding into the memtable while maintenance is failing.
+  Status maintenance_status() const;
+  void ClearMaintenanceStatus();
+
+  /// Blocks until no scheduled maintenance task is pending or running.
+  void WaitForMaintenance();
+
+  /// Frees every page the store owns (segments + log). Teardown hook for
+  /// leak-checked tests; requires quiescence (no snapshots, no queries).
+  Status DestroyAll();
+
+  /// Observability: pages currently owned by the log (0 when not durable)
+  /// and records appended to it.
+  uint64_t wal_pages() const;
+  uint64_t wal_records() const;
+
  private:
-  /// True iff any live entry lies strictly below `key`.
-  Result<bool> HasDescendants(const std::string& key) const;
+  struct StoreState;
+  class Snapshot;
+  class MergedCursor;
+
+  std::shared_ptr<const StoreState> SnapshotState() const;
+  /// Clone-if-shared and bump the version; call with mu_ held. The
+  /// returned state is exclusively owned by this writer until published.
+  StoreState* MutableStateLocked();
+
+  Status PutImpl(Entry entry, bool must_not_exist);
+  /// Flush with maint_mu_ held; `allow_compact` gates the
+  /// max_segments-triggered compaction (off when called FROM compaction).
+  Status FlushLocked(bool allow_compact);
+  Status CompactLocked();
+  void MaybeScheduleMaintenance();
+  void RunMaintenance();
+  void RecordMaintenanceError(const Status& s);
+
+  static Status ScanState(const StoreState& state, std::string_view start_key,
+                          std::string_view end_key,
+                          const std::function<Status(std::string_view)>& fn);
+  static Result<std::optional<Entry>> GetFromState(const StoreState& state,
+                                                   const std::string& key);
+  static Result<bool> StateHasDescendants(const StoreState& state,
+                                          const std::string& key);
+  static uint64_t EstimateStateRecords(const StoreState& state,
+                                       std::string_view start_key,
+                                       std::string_view end_key);
+  static uint64_t EstimateStatePages(const StoreState& state,
+                                     std::string_view start_key,
+                                     std::string_view end_key);
 
   Disk* disk_;
   Schema schema_;
   DirectoryStoreOptions options_;
-  // Key -> serialized entry, or empty string = tombstone.
-  std::map<std::string, std::string> memtable_;
-  std::vector<std::unique_ptr<EntryStore>> segments_;  // oldest first
-  uint64_t live_entries_ = 0;
-  StoreStats stats_;
+
+  mutable std::mutex mu_;  // guards state_, wal_, maintenance bookkeeping
+  std::shared_ptr<const StoreState> state_;
+  std::unique_ptr<Wal> wal_;
+  Status maintenance_status_;
+  std::function<void(std::function<void()>)> maintenance_executor_;
+  bool maintenance_scheduled_ = false;
+  int maintenance_inflight_ = 0;
+  std::condition_variable maintenance_cv_;
+
+  /// Serializes Flush/Compact so segment building happens outside mu_
+  /// without two maintainers racing. Lock order: maint_mu_ before mu_.
+  std::mutex maint_mu_;
+
+  /// Readers pin; compaction retires superseded segment pages behind it.
+  mutable EpochFramework epochs_;
 };
 
 }  // namespace ndq

@@ -267,8 +267,7 @@ uint64_t EntryStore::EstimateRangeRecords(std::string_view start_key,
 
 Result<std::optional<Entry>> EntryStore::Get(std::string_view hier_key) const {
   std::optional<Entry> found;
-  std::string end(hier_key);
-  end += '\x01';
+  std::string end = KeyExactEnd(hier_key);
   Status s = ScanRange(hier_key, end, [&](std::string_view record) -> Status {
     NDQ_ASSIGN_OR_RETURN(Entry e, DeserializeEntry(record));
     found = std::move(e);

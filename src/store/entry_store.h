@@ -79,6 +79,24 @@ class EntrySource {
   /// re-attached from a manifest). Estimates derived from the result are
   /// upper bounds; 0 proves emptiness.
   virtual const StoreStats* stats() const { return nullptr; }
+
+  /// A consistent point-in-time snapshot of this source, or nullptr when
+  /// the source is immutable and can be read directly (the default).
+  /// Mutable sources (DirectoryStore) return an EntrySource whose scans,
+  /// estimates, and stats all observe one version regardless of
+  /// concurrent writers; the snapshot pins an epoch so the pages it
+  /// covers outlive concurrent compaction (store/epoch.h). Evaluators pin
+  /// once per query (docs/WRITE_PATH.md).
+  virtual std::shared_ptr<const EntrySource> PinSnapshot() const {
+    return nullptr;
+  }
+
+  /// Monotonic mutation version: bumped on every state change of a
+  /// mutable source; 0 forever on immutable sources. Snapshots report the
+  /// version they captured. Cache keys (exec/operand_cache.h users)
+  /// include it so results computed against an old snapshot can never be
+  /// served after the store has moved on.
+  virtual uint64_t version() const { return 0; }
 };
 
 /// \brief One immutable sorted segment of serialized entries.

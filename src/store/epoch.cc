@@ -1,0 +1,118 @@
+#include "store/epoch.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ndq {
+
+EpochFramework::Guard::Guard(Guard&& other) noexcept
+    : framework_(other.framework_), epoch_(other.epoch_) {
+  other.framework_ = nullptr;
+}
+
+EpochFramework::Guard& EpochFramework::Guard::operator=(
+    Guard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    framework_ = other.framework_;
+    epoch_ = other.epoch_;
+    other.framework_ = nullptr;
+  }
+  return *this;
+}
+
+EpochFramework::Guard::~Guard() { Release(); }
+
+void EpochFramework::Guard::Release() {
+  if (framework_ == nullptr) return;
+  EpochFramework* fw = framework_;
+  framework_ = nullptr;
+  fw->Unpin(epoch_);
+}
+
+EpochFramework::~EpochFramework() {
+  std::vector<std::function<void()>> run;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(pins_.empty() && "EpochFramework destroyed with live guards");
+    for (auto& r : retired_) run.push_back(std::move(r.fn));
+    retired_.clear();
+  }
+  for (auto& fn : run) fn();
+}
+
+EpochFramework::Guard EpochFramework::Pin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pins_[global_epoch_];
+  return Guard(this, global_epoch_);
+}
+
+bool EpochFramework::Retire(std::function<void()> fn) {
+  bool inline_run = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Later pins observe only post-retire state, so they must not block
+    // this retirement: advance the epoch before recording it.
+    uint64_t epoch = global_epoch_++;
+    if (pins_.empty()) {
+      inline_run = true;
+    } else {
+      retired_.push_back({epoch, std::move(fn)});
+    }
+  }
+  if (inline_run) fn();
+  return inline_run;
+}
+
+void EpochFramework::Unpin(uint64_t epoch) {
+  std::vector<std::function<void()>> run;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pins_.find(epoch);
+    assert(it != pins_.end());
+    if (--it->second == 0) pins_.erase(it);
+    run = CollectRunnableLocked();
+    if (pins_.empty()) drained_.notify_all();
+  }
+  for (auto& fn : run) fn();
+}
+
+std::vector<std::function<void()>> EpochFramework::CollectRunnableLocked() {
+  uint64_t horizon =
+      pins_.empty() ? global_epoch_ : pins_.begin()->first;
+  std::vector<std::function<void()>> run;
+  auto out = retired_.begin();
+  for (auto& r : retired_) {
+    if (r.epoch < horizon) {
+      run.push_back(std::move(r.fn));
+    } else {
+      *out++ = std::move(r);
+    }
+  }
+  retired_.erase(out, retired_.end());
+  return run;
+}
+
+void EpochFramework::DrainAndReclaim() {
+  std::vector<std::function<void()>> run;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_.wait(lock, [&] { return pins_.empty(); });
+    run = CollectRunnableLocked();
+  }
+  for (auto& fn : run) fn();
+}
+
+uint64_t EpochFramework::pending_retirements() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_.size();
+}
+
+uint64_t EpochFramework::active_pins() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [epoch, count] : pins_) n += count;
+  return n;
+}
+
+}  // namespace ndq

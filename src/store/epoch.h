@@ -1,0 +1,92 @@
+// Epoch-based reclamation for snapshot readers (docs/WRITE_PATH.md).
+//
+// DirectoryStore publishes immutable copy-on-write state; a reader pins an
+// epoch for the duration of its scan and the writer retires superseded
+// resources (segment pages) behind the epoch horizon: a retirement runs
+// only once every guard pinned before it was queued has been released.
+// Guards are taken once per query / store operation, so a plain
+// mutex-protected pin table is cheap enough and keeps the invariants easy
+// to audit (compare the atomic global-epoch scheme in LineairDB-style
+// engines, which trades auditability for per-transaction pin throughput we
+// don't need).
+
+#ifndef NDQ_STORE_EPOCH_H_
+#define NDQ_STORE_EPOCH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace ndq {
+
+/// \brief Deferred reclamation: readers pin, writers retire.
+class EpochFramework {
+ public:
+  EpochFramework() = default;
+  EpochFramework(const EpochFramework&) = delete;
+  EpochFramework& operator=(const EpochFramework&) = delete;
+  /// Destruction runs every pending retirement (no guards may be live).
+  ~EpochFramework();
+
+  /// \brief RAII pin: the epoch taken at construction stays protected
+  /// until destruction. Movable, not copyable; unpinning may run
+  /// newly-unblocked retirements on this thread.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept;
+    Guard& operator=(Guard&& other) noexcept;
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard();
+
+    bool pinned() const { return framework_ != nullptr; }
+    void Release();
+
+   private:
+    friend class EpochFramework;
+    Guard(EpochFramework* framework, uint64_t epoch)
+        : framework_(framework), epoch_(epoch) {}
+    EpochFramework* framework_ = nullptr;
+    uint64_t epoch_ = 0;
+  };
+
+  /// Pins the current epoch.
+  Guard Pin();
+
+  /// Queues `fn` to run once every currently-pinned guard has released.
+  /// Returns true if no guard was pinned and `fn` ran inline (on this
+  /// thread, before returning); false if it was deferred to the release
+  /// of the last blocking guard (and will run on that reader's thread).
+  bool Retire(std::function<void()> fn);
+
+  /// Blocks until all currently-pinned guards release, then runs every
+  /// pending retirement. Call from quiescent teardown paths only.
+  void DrainAndReclaim();
+
+  uint64_t pending_retirements() const;
+  uint64_t active_pins() const;
+
+ private:
+  struct Retirement {
+    uint64_t epoch;  // runs when no pin with pin-epoch <= this remains
+    std::function<void()> fn;
+  };
+
+  void Unpin(uint64_t epoch);
+  // Moves runnable retirements out; call with mu_ held.
+  std::vector<std::function<void()>> CollectRunnableLocked();
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_;
+  uint64_t global_epoch_ = 0;
+  std::map<uint64_t, uint64_t> pins_;  // epoch -> live guard count
+  std::vector<Retirement> retired_;
+};
+
+}  // namespace ndq
+
+#endif  // NDQ_STORE_EPOCH_H_

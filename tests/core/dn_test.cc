@@ -260,6 +260,82 @@ TEST(DnTest, KeySubtreeEndBoundsExactlyTheSubtree) {
   EXPECT_EQ(KeySubtreeEnd(""), "");
 }
 
+TEST(DnTest, KeyExactEndIsolatesAdjacentKeys) {
+  // The point-lookup range [key, KeyExactEnd(key)) must contain `key` and
+  // exclude its closest legal neighbors: a child, a multi-pair sibling
+  // extending the same RDN, and a sibling whose value extends key's value
+  // as a string.
+  Dn att = MustParse("dc=att, dc=com");
+  std::string end = KeyExactEnd(att.HierKey());
+  EXPECT_LT(att.HierKey(), end);
+
+  Dn child = MustParse("dc=research, dc=att, dc=com");
+  EXPECT_TRUE(KeyIsParent(att.HierKey(), child.HierKey()));
+  EXPECT_GE(child.HierKey(), end) << "child key inside the exact range";
+
+  // Same RDN extended with a second pair sorts immediately after the key
+  // (kHierPairSep is the lowest byte a legal extension can add).
+  std::string multi_pair =
+      att.HierKey() + std::string(1, kHierPairSep) + "o=x";
+  EXPECT_GE(multi_pair, end) << "multi-pair sibling inside the exact range";
+
+  Dn attlabs = MustParse("dc=att-labs, dc=com");
+  EXPECT_GE(attlabs.HierKey(), end)
+      << "value-extending sibling inside the exact range";
+
+  // And nothing legal sorts between the key and its end: the end is the
+  // key plus the smallest legal continuation byte.
+  EXPECT_EQ(end.substr(0, att.HierKey().size()), att.HierKey());
+  EXPECT_EQ(end.size(), att.HierKey().size() + 1);
+  EXPECT_LT(end.back(), kHierKeySep + 1);
+}
+
+TEST(DnTest, KeyDescendantsBeginExcludesTheRootAndSiblings) {
+  Dn att = MustParse("dc=att, dc=com");
+  std::string begin = KeyDescendantsBegin(att.HierKey());
+  // The root itself and every multi-pair/value-extending sibling sort
+  // BEFORE the descendants range.
+  EXPECT_LT(att.HierKey(), begin);
+  std::string multi_pair =
+      att.HierKey() + std::string(1, kHierPairSep) + "o=x";
+  EXPECT_LT(multi_pair, begin);
+
+  Dn child = MustParse("dc=research, dc=att, dc=com");
+  Dn grand = MustParse("ou=y, dc=research, dc=att, dc=com");
+  EXPECT_GE(child.HierKey(), begin);
+  EXPECT_GE(grand.HierKey(), begin);
+  // Descendants end where the subtree ends.
+  EXPECT_LT(child.HierKey(), KeySubtreeEnd(att.HierKey()));
+
+  // The null key's descendants are the whole forest.
+  EXPECT_EQ(KeyDescendantsBegin(""), "");
+}
+
+TEST(DnTest, KeyInSubtreePostFiltersTheScanRange) {
+  Dn att = MustParse("dc=att, dc=com");
+  const std::string root = att.HierKey();
+  // Members: the root and proper descendants at any depth.
+  EXPECT_TRUE(KeyInSubtree(root, root));
+  EXPECT_TRUE(KeyInSubtree(root, MustParse("dc=research, dc=att, dc=com")
+                                     .HierKey()));
+  EXPECT_TRUE(KeyInSubtree(
+      root, MustParse("uid=jag, ou=userProfiles, dc=research, dc=att, "
+                      "dc=com")
+                .HierKey()));
+  // Non-members that the range [root, KeySubtreeEnd(root)) DOES yield:
+  // the multi-pair sibling. This is exactly what the post-filter is for.
+  std::string multi_pair = root + std::string(1, kHierPairSep) + "o=x";
+  EXPECT_LT(multi_pair, KeySubtreeEnd(root));
+  EXPECT_FALSE(KeyInSubtree(root, multi_pair));
+  // Plain non-members.
+  EXPECT_FALSE(KeyInSubtree(root, MustParse("dc=att-labs, dc=com").HierKey()));
+  EXPECT_FALSE(KeyInSubtree(root, MustParse("dc=com").HierKey()));
+  EXPECT_FALSE(KeyInSubtree(root, ""));
+  // The null root contains everything, including the null key.
+  EXPECT_TRUE(KeyInSubtree("", root));
+  EXPECT_TRUE(KeyInSubtree("", ""));
+}
+
 // Property test: random DNs obey the prefix/ordering invariants.
 class DnPropertyTest : public ::testing::TestWithParam<int> {};
 

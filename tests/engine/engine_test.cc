@@ -269,5 +269,49 @@ TEST(EngineOwningModeTest, MutableStoreFeedsQueries) {
   EXPECT_EQ(fewer.size(), inst.size() - 1);
 }
 
+TEST_F(EngineTest, ApplyIsRejectedInBorrowingMode) {
+  // A borrowing engine evaluates someone else's store; routing mutations
+  // through it would bypass the owner. The whole batch is rejected before
+  // any op runs.
+  Engine engine = MakeEngine();
+  Session session = engine.OpenSession();
+  UpdateBatch batch;
+  Entry e(testing::D("dc=new, dc=com"));
+  e.AddClass("dcObject");
+  e.AddString("dc", "new");
+  batch.Put(e);
+  UpdateResult res = session.Apply(batch);
+  NDQ_EXPECT_STATUS(res.status, StatusCode::kInvalidArgument);
+  EXPECT_EQ(res.applied, 0u);
+  EXPECT_TRUE(res.op_status.empty());
+}
+
+TEST(EngineSessionTest, ApplyOnUnopenedSessionFailsGracefully) {
+  Session session;  // never opened on an engine
+  UpdateBatch batch;
+  batch.Remove(Dn());
+  UpdateResult res = session.Apply(batch);
+  NDQ_EXPECT_STATUS(res.status, StatusCode::kInvalidArgument);
+  EXPECT_EQ(res.applied, 0u);
+}
+
+TEST(EngineOwningModeTest, ApplyFeedsQueriesWithoutManualInvalidation) {
+  Engine engine{testing::PaperSchema()};
+  Session session = engine.OpenSession();
+  UpdateBatch batch;
+  DirectoryInstance inst = testing::PaperInstance();
+  for (const auto& [key, entry] : inst) {
+    (void)key;
+    batch.Put(entry);
+  }
+  UpdateResult res = session.Apply(batch);
+  NDQ_ASSERT_OK(res.status);
+  EXPECT_EQ(res.applied, inst.size());
+  // No InvalidateCaches() call: Apply handles visibility itself.
+  NDQ_ASSERT_OK_AND_ASSIGN(std::vector<Entry> all,
+                           session.Query("(dc=com ? sub ? objectClass=*)"));
+  EXPECT_EQ(all.size(), inst.size());
+}
+
 }  // namespace
 }  // namespace ndq

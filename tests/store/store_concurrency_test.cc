@@ -1,0 +1,197 @@
+// Mixed readers and writers through the Engine front door. Built for the
+// thread sanitizer: reader sessions evaluate queries while another session
+// applies update batches, and every query must observe ONE consistent
+// store version (the snapshot pinned at submit time) — never a torn state
+// mixing two versions.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/status_matchers.h"
+#include "engine/engine.h"
+#include "testing/paper_fixture.h"
+
+namespace ndq {
+namespace {
+
+Schema TestSchema() {
+  Schema schema = testing::PaperSchema();
+  EXPECT_TRUE(schema.AddAttribute("rev", TypeKind::kInt).ok());
+  if (!schema.HasAttribute("cn")) {
+    EXPECT_TRUE(schema.AddAttribute("cn", TypeKind::kString).ok());
+  }
+  EXPECT_TRUE(schema.AddClass("flagObject", {"cn", "rev"}).ok());
+  EXPECT_TRUE(schema.AddClass("churnObject", {"cn", "rev"}).ok());
+  return schema;
+}
+
+Entry FlagEntry(int rev) {
+  Entry e(testing::D("cn=flag, dc=att, dc=com"));
+  e.AddClass("flagObject");
+  e.AddString("cn", "flag");
+  e.AddInt("rev", rev);
+  return e;
+}
+
+Entry ChurnEntry(int i) {
+  const std::string name = "churn" + std::to_string(i);
+  Entry e(testing::D("cn=" + name + ", dc=att, dc=com"));
+  e.AddClass("churnObject");
+  e.AddString("cn", name);
+  e.AddInt("rev", i);
+  return e;
+}
+
+// Loads the paper instance into an owning-mode engine via the public
+// update path.
+void LoadPaper(Session& session) {
+  UpdateBatch batch;
+  for (const auto& [key, entry] : testing::PaperInstance()) {
+    batch.Put(entry);
+  }
+  UpdateResult res = session.Apply(batch);
+  ASSERT_TRUE(res.ok()) << res.status.ToString();
+  ASSERT_EQ(res.applied, batch.size());
+}
+
+TEST(StoreConcurrencyTest, QueriesNeverObserveTornVersions) {
+  // The flag entry alternates between rev=1 and rev=2. A single entry
+  // can never satisfy both, so the conjunction below is empty in EVERY
+  // consistent snapshot; a non-empty result means one query evaluated
+  // its two operands against different store versions.
+  constexpr const char* kTornDetector =
+      "(& (dc=att, dc=com ? sub ? rev=1)"
+      "   (dc=att, dc=com ? sub ? rev=2))";
+  constexpr const char* kSubtree = "(dc=com ? sub ? objectClass=*)";
+
+  EngineOptions options;
+  options.exec.parallelism = 3;  // shared pool: maintenance + queries
+  Engine engine(TestSchema(), options);
+  Session loader = engine.OpenSession();
+  LoadPaper(loader);
+  ASSERT_TRUE(loader.Apply([] {
+                UpdateBatch b;
+                b.Put(FlagEntry(1));
+                return b;
+              }())
+                  .ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries_ok{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&engine, &stop, &queries_ok, kTornDetector,
+                          kSubtree, r] {
+      Session session = engine.OpenSession();
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const char* text = (++i + r) % 2 == 0 ? kTornDetector : kSubtree;
+        QueryOutcome out = session.Run(text);
+        if (!out.status.ok()) {
+          ADD_FAILURE() << "query failed: " << out.status.ToString();
+          return;
+        }
+        if (text == kTornDetector) {
+          EXPECT_TRUE(out.entries.empty())
+              << "torn snapshot: one query saw two store versions";
+        }
+        queries_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Session writer = engine.OpenSession();
+  for (int i = 0; i < 150; ++i) {
+    UpdateBatch batch;
+    batch.Put(FlagEntry(i % 2 == 0 ? 2 : 1));
+    // Churn a small subtree so flushes/compactions fire while queries
+    // are in flight.
+    batch.Put(ChurnEntry(i % 8));
+    if (i % 4 == 3) batch.Remove(ChurnEntry(i % 8).dn());
+    UpdateResult res = writer.Apply(batch);
+    EXPECT_TRUE(res.ok()) << res.status.ToString();
+  }
+  stop = true;
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(queries_ok.load(), 0u);
+
+  // Quiesced store answers the detector with the final consistent state.
+  QueryOutcome out = writer.Run(
+      "(& (dc=att, dc=com ? sub ? rev=1)"
+      "   (dc=att, dc=com ? sub ? rev=2))");
+  NDQ_ASSERT_OK(out.status);
+  EXPECT_TRUE(out.entries.empty());
+}
+
+TEST(StoreConcurrencyTest, ApplyReportsPerOpStatusesAndAppliedCount) {
+  Engine engine(TestSchema());
+  Session session = engine.OpenSession();
+  LoadPaper(session);
+
+  UpdateBatch batch;
+  batch.ops.push_back(UpdateOp::Add(FlagEntry(1)));       // OK
+  batch.ops.push_back(UpdateOp::Add(FlagEntry(1)));       // AlreadyExists
+  batch.ops.push_back(UpdateOp::Put(FlagEntry(2)));       // OK (replace)
+  batch.ops.push_back(
+      UpdateOp::Remove(testing::D("cn=nope, dc=att, dc=com")));  // NotFound
+  batch.ops.push_back(
+      UpdateOp::Remove(FlagEntry(1).dn()));               // OK
+
+  UpdateResult res = session.Apply(batch);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.applied, 3u);
+  ASSERT_EQ(res.op_status.size(), 5u);
+  EXPECT_TRUE(res.op_status[0].ok());
+  EXPECT_EQ(res.op_status[1].code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(res.op_status[2].ok());
+  EXPECT_EQ(res.op_status[3].code(), StatusCode::kNotFound);
+  EXPECT_TRUE(res.op_status[4].ok());
+  // The batch status is the FIRST error.
+  EXPECT_EQ(res.status.code(), StatusCode::kAlreadyExists);
+
+  // Later OK ops really landed: the flag entry is gone again.
+  QueryOutcome out =
+      session.Run("(dc=att, dc=com ? sub ? objectClass=flagObject)");
+  NDQ_ASSERT_OK(out.status);
+  EXPECT_TRUE(out.entries.empty());
+}
+
+TEST(StoreConcurrencyTest, MutationsInvalidateDerivedResults) {
+  // The same query resubmitted after an update must see the new state
+  // even when its operand was cached (version-stamped cache keys).
+  Engine engine(TestSchema());
+  Session session = engine.OpenSession();
+  LoadPaper(session);
+  constexpr const char* kQuery =
+      "(dc=att, dc=com ? sub ? objectClass=churnObject)";
+
+  QueryOutcome before = session.Run(kQuery);
+  NDQ_ASSERT_OK(before.status);
+  EXPECT_TRUE(before.entries.empty());
+
+  UpdateBatch batch;
+  batch.Put(ChurnEntry(1));
+  batch.Put(ChurnEntry(2));
+  UpdateResult put_res = session.Apply(batch);
+  ASSERT_TRUE(put_res.ok()) << put_res.status.ToString();
+
+  QueryOutcome after = session.Run(kQuery);
+  NDQ_ASSERT_OK(after.status);
+  EXPECT_EQ(after.entries.size(), 2u);
+
+  UpdateBatch removal;
+  removal.Remove(ChurnEntry(2).dn());
+  ASSERT_TRUE(session.Apply(removal).ok());
+
+  QueryOutcome final_out = session.Run(kQuery);
+  NDQ_ASSERT_OK(final_out.status);
+  EXPECT_EQ(final_out.entries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ndq
