@@ -1,49 +1,47 @@
 // Distributed evaluation (Sec. 8.3): the namespace is delegated across a
 // fleet of directory servers DNS-style; atomic sub-queries run where the
-// data lives and only their results travel to the coordinator.
+// data lives and only their results travel to the coordinator. The fleet
+// sits behind the regular Engine/Session API — the only difference from a
+// local engine is the EngineOptions backend.
 
 #include <cstdio>
 
-#include "dist/distributed.h"
-#include "query/parser.h"
+#include "engine/engine.h"
 #include "testing_support.h"
 
 namespace {
 
-void RunDistributed(ndq::DistributedDirectory* fleet, const char* title,
-                    const char* text) {
+void RunOne(ndq::Session* session, ndq::Engine* engine, const char* title,
+            const char* text) {
   std::printf("--- %s\n", title);
+  ndq::DistributedDirectory* fleet = engine->fleet();
   fleet->ResetStats();
-  ndq::Result<ndq::QueryPtr> q = ndq::ParseQuery(text);
-  if (!q.ok()) {
-    std::printf("    parse error: %s\n", q.status().ToString().c_str());
+  ndq::QueryOutcome out = session->Run(text);
+  if (!out.ok()) {
+    std::printf("    error: %s\n", out.status.ToString().c_str());
     return;
   }
-  ndq::Result<std::vector<ndq::Entry>> r = fleet->Evaluate(**q);
-  if (!r.ok()) {
-    std::printf("    eval error: %s\n", r.status().ToString().c_str());
-    return;
+  std::printf("    %zu result(s)\n", out.entries.size());
+  for (size_t i = 0; i < out.entries.size() && i < 3; ++i) {
+    std::printf("      %s\n", out.entries[i].dn().ToString().c_str());
   }
-  std::printf("    %zu result(s)\n", r->size());
-  for (size_t i = 0; i < r->size() && i < 3; ++i) {
-    std::printf("      %s\n", (*r)[i].dn().ToString().c_str());
-  }
-  if (r->size() > 3) std::printf("      ...\n");
+  if (out.entries.size() > 3) std::printf("      ...\n");
   const ndq::NetStats& net = fleet->net_stats();
   std::printf(
       "    network: %llu messages, %llu records / %llu bytes shipped, "
-      "%llu server contacts\n",
+      "%llu server contacts, %llu failovers\n",
       (unsigned long long)net.messages,
       (unsigned long long)net.records_shipped,
       (unsigned long long)net.bytes_shipped,
-      (unsigned long long)net.servers_contacted);
+      (unsigned long long)net.servers_contacted,
+      (unsigned long long)net.failovers);
 }
 
 }  // namespace
 
 int main() {
   // A synthetic multi-org directory, delegated along organizational
-  // boundaries as Sec. 3.3 describes.
+  // boundaries as Sec. 3.3 describes, with two replicas per shard.
   ndq::gen::DifOptions opt;
   opt.num_orgs = 2;
   opt.subdomains_per_org = 2;
@@ -51,49 +49,77 @@ int main() {
   ndq::DirectoryInstance global = ndq::gen::GenerateDif(opt);
   std::printf("global directory: %zu entries\n", global.size());
 
-  ndq::Result<ndq::DistributedDirectory> fleet_r =
-      ndq::DistributedDirectory::Build(
-          global, {{"dc=com", "root"},
-                   {"dc=org0, dc=com", "org0"},
-                   {"dc=org1, dc=com", "org1"},
-                   {"dc=sub0, dc=org0, dc=com", "sub0-delegate"}});
-  if (!fleet_r.ok()) {
-    std::printf("build error: %s\n", fleet_r.status().ToString().c_str());
+  ndq::Result<ndq::TopologyConfig> topology = ndq::TopologyConfig::Parse(
+      "replicas 2\n"
+      "shard root          dc=com\n"
+      "shard org0          dc=org0, dc=com\n"
+      "shard org1          dc=org1, dc=com\n"
+      "shard sub0-delegate dc=sub0, dc=org0, dc=com\n");
+  if (!topology.ok()) {
+    std::printf("topology error: %s\n", topology.status().ToString().c_str());
     return 1;
   }
-  ndq::DistributedDirectory& fleet = *fleet_r;
-  for (const auto& server : fleet.servers()) {
-    std::printf("  server %-14s context '%s': %zu entries\n",
-                server->name().c_str(),
-                server->context().ToString().c_str(),
-                server->num_entries());
+
+  ndq::EngineOptions eopt;
+  eopt.backend = ndq::EngineBackend::kDistributed;
+  eopt.topology = *topology;
+  ndq::Engine engine(global, eopt);
+  if (!engine.init_status().ok()) {
+    std::printf("build error: %s\n",
+                engine.init_status().ToString().c_str());
+    return 1;
+  }
+  ndq::DistributedDirectory* fleet = engine.fleet();
+  for (const auto& shard : fleet->shards()) {
+    std::printf("  shard %-14s context '%-25s' %zu entries x%zu replicas\n",
+                shard->name().c_str(), shard->context().ToString().c_str(),
+                shard->num_entries(), shard->num_replicas());
   }
   std::printf("\n");
 
-  RunDistributed(&fleet, "local query: stays on one delegate",
-                 "(dc=sub0, dc=org0, dc=com ? sub ? "
-                 "objectClass=TOPSSubscriber)");
+  ndq::Session session = engine.OpenSession();
 
-  RunDistributed(&fleet, "global query: fans out to the whole fleet",
-                 "(dc=com ? sub ? objectClass=TOPSSubscriber)");
+  RunOne(&session, &engine, "local query: stays on one delegate",
+         "(dc=sub0, dc=org0, dc=com ? sub ? "
+         "objectClass=TOPSSubscriber)");
 
-  RunDistributed(
-      &fleet, "cross-server L2 query (subscribers with 3+ profiles)",
-      "(c (dc=com ? sub ? objectClass=TOPSSubscriber)"
-      "   (dc=com ? sub ? objectClass=QHP) count($2)>=3)");
+  RunOne(&session, &engine, "global query: fans out to the whole fleet",
+         "(dc=com ? sub ? objectClass=TOPSSubscriber)");
 
-  RunDistributed(
-      &fleet, "cross-server L3 query (policies for SMTP traffic)",
-      "(vd (dc=com ? sub ? objectClass=SLAPolicyRules)"
-      "    (& (dc=com ? sub ? sourcePort=25)"
-      "       (dc=com ? sub ? objectClass=trafficProfile)) SLATPRef)");
+  RunOne(&session, &engine,
+         "cross-server L2 query (subscribers with 3+ profiles)",
+         "(c (dc=com ? sub ? objectClass=TOPSSubscriber)"
+         "   (dc=com ? sub ? objectClass=QHP) count($2)>=3)");
 
-  std::printf("\nper-server disk I/O:\n");
-  for (const auto& server : fleet.servers()) {
-    std::printf("  %-14s %s\n", server->name().c_str(),
+  RunOne(&session, &engine,
+         "cross-server L3 query (policies for SMTP traffic)",
+         "(vd (dc=com ? sub ? objectClass=SLAPolicyRules)"
+         "    (& (dc=com ? sub ? sourcePort=25)"
+         "       (dc=com ? sub ? objectClass=trafficProfile)) SLATPRef)");
+
+  // Failover: take one replica of every shard down; the same global
+  // query still returns every entry, served by the sibling replicas.
+  for (const auto& shard : fleet->shards()) {
+    shard->replica(0)->set_down(true);
+  }
+  RunOne(&session, &engine,
+         "global query again, one replica down per shard (failover)",
+         "(dc=com ? sub ? objectClass=TOPSSubscriber)");
+  std::printf("    per-replica failovers:\n");
+  for (const auto& [name, count] : fleet->ReplicaFailovers()) {
+    std::printf("      %-18s %llu\n", name.c_str(),
+                (unsigned long long)count);
+  }
+  for (const auto& shard : fleet->shards()) {
+    shard->replica(0)->set_down(false);
+  }
+
+  std::printf("\nper-replica disk I/O:\n");
+  for (const auto& server : fleet->servers()) {
+    std::printf("  %-18s %s\n", server->name().c_str(),
                 server->disk()->stats().ToString().c_str());
   }
-  std::printf("  %-14s %s\n", "coordinator",
-              fleet.coordinator_disk()->stats().ToString().c_str());
+  std::printf("  %-18s %s\n", "coordinator",
+              fleet->coordinator_disk()->stats().ToString().c_str());
   return 0;
 }

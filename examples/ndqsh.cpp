@@ -20,6 +20,11 @@
 // policy, and a single Session submits the queries. `.set parallelism`
 // and `.set faults` are engine settings — they survive across queries and
 // are reported by `.explain analyze` and `.stats`.
+//
+// `.topology <file>` rebuilds the engine over a fleet of replicated
+// subtree shards (EngineBackend::kDistributed) loaded with the current
+// entries; queries work unchanged and `.stats` shows the network
+// counters. `.topology off` returns to the local mutable store.
 
 #include <cstdio>
 #include <cstdlib>
@@ -38,19 +43,123 @@
 #include "query/parser.h"
 #include "query/rewrite.h"
 #include "query/validate.h"
+#include "storage/serde.h"
 
 namespace {
 
 struct Shell {
-  ndq::Engine engine{ndq::gen::PaperSchema()};
-  ndq::Session session{engine.OpenSession()};
+  ndq::Schema schema = ndq::gen::PaperSchema();
+  // Behind a pointer so `.topology` can swap the whole backend.
+  std::unique_ptr<ndq::Engine> engine =
+      std::make_unique<ndq::Engine>(schema);
+  ndq::Session session{engine->OpenSession()};
   // The active fault spec, remembered for display ("off" = none).
   std::string fault_spec = "off";
+  // The active shard layout; meaningful when distributed() is true.
+  ndq::TopologyConfig topology;
 
-  ndq::DirectoryStore& store() { return *engine.mutable_store(); }
+  bool distributed() const { return engine->fleet() != nullptr; }
+
+  ndq::DirectoryStore& store() { return *engine->mutable_store(); }
+
+  /// Every entry currently served, as an instance the next backend can
+  /// load: the local store's merged view, or (distributed) each shard's
+  /// partition off replica 0.
+  ndq::Result<ndq::DirectoryInstance> CurrentInstance() {
+    ndq::DirectoryInstance inst(schema, /*validate=*/false);
+    auto add = [&inst](std::string_view record) -> ndq::Status {
+      NDQ_ASSIGN_OR_RETURN(ndq::Entry e, ndq::DeserializeEntry(record));
+      return inst.Add(e);
+    };
+    if (distributed()) {
+      for (const auto& shard : engine->fleet()->shards()) {
+        NDQ_RETURN_IF_ERROR(
+            shard->replica(0)->store().ScanRange("", "", add));
+      }
+    } else {
+      NDQ_RETURN_IF_ERROR(engine->store().ScanRange("", "", add));
+    }
+    return inst;
+  }
+
+  void TopologyOff() {
+    if (!distributed()) {
+      std::printf("already on the local backend\n");
+      return;
+    }
+    ndq::Result<ndq::DirectoryInstance> inst = CurrentInstance();
+    if (!inst.ok()) {
+      std::printf("cannot read fleet entries: %s\n",
+                  inst.status().ToString().c_str());
+      return;
+    }
+    auto next = std::make_unique<ndq::Engine>(schema);
+    ndq::Session next_session = next->OpenSession();
+    ndq::UpdateBatch batch;
+    for (const auto& [key, entry] : *inst) batch.Put(entry);
+    ndq::UpdateResult res = next_session.Apply(batch);
+    if (!res.ok()) {
+      std::printf("reload failed: %s\n", res.status.ToString().c_str());
+      return;
+    }
+    engine = std::move(next);
+    session = std::move(next_session);
+    fault_spec = "off";
+    std::printf("local backend restored (%zu entries)\n", res.applied);
+  }
+
+  void TopologyLoad(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      std::printf("cannot open %s\n", path.c_str());
+      return;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    ndq::Result<ndq::TopologyConfig> parsed =
+        ndq::TopologyConfig::Parse(buf.str());
+    if (!parsed.ok()) {
+      std::printf("bad topology: %s\n", parsed.status().ToString().c_str());
+      return;
+    }
+    ndq::Result<ndq::DirectoryInstance> inst = CurrentInstance();
+    if (!inst.ok()) {
+      std::printf("cannot snapshot entries: %s\n",
+                  inst.status().ToString().c_str());
+      return;
+    }
+    ndq::EngineOptions opt;
+    opt.backend = ndq::EngineBackend::kDistributed;
+    opt.topology = *parsed;
+    auto next = std::make_unique<ndq::Engine>(*inst, opt);
+    if (!next->init_status().ok()) {
+      std::printf("fleet build failed: %s\n",
+                  next->init_status().ToString().c_str());
+      return;  // the current engine stays live
+    }
+    engine = std::move(next);
+    session = engine->OpenSession();
+    topology = *parsed;
+    fault_spec = "off";
+    std::printf("distributed backend up (read-only):\n");
+    for (const auto& shard : engine->fleet()->shards()) {
+      std::printf("  shard %-14s context '%-25s' %zu entries x%zu\n",
+                  shard->name().c_str(),
+                  shard->context().ToString().c_str(), shard->num_entries(),
+                  shard->num_replicas());
+    }
+  }
+
+  void TopologyShow() {
+    if (!distributed()) {
+      std::printf("backend: local (use .topology <file> to shard)\n");
+      return;
+    }
+    std::printf("backend: distributed\n%s", topology.ToString().c_str());
+  }
 
   void SetFaults(const std::string& spec) {
-    ndq::Status s = engine.SetFaults(spec);
+    ndq::Status s = engine->SetFaults(spec);
     if (!s.ok()) {
       std::printf("bad fault spec: %s\n", s.ToString().c_str());
       std::printf(
@@ -71,13 +180,13 @@ struct Shell {
 
   void SetParallelism(size_t n) {
     if (n == 0) n = 1;
-    engine.SetParallelism(n);
+    engine->SetParallelism(n);
     std::printf(
         "parallelism set to %zu (operand cache: %zu pages, cleared on "
         "store updates)\n",
-        engine.parallelism(),
-        engine.cache() != nullptr ? engine.cache()->capacity_pages()
-                                  : size_t{0});
+        engine->parallelism(),
+        engine->cache() != nullptr ? engine->cache()->capacity_pages()
+                                   : size_t{0});
   }
 
   void SetOptimize(const std::string& arg) {
@@ -85,29 +194,33 @@ struct Shell {
       std::printf("usage: .set optimize on|off\n");
       return;
     }
-    engine.SetOptimize(arg == "on");
+    engine->SetOptimize(arg == "on");
     std::printf("cost-based optimizer %s\n", arg.c_str());
   }
 
   void SetIoDepth(size_t n) {
-    engine.SetIoDepth(n);
+    engine->SetIoDepth(n);
     if (n == 0) {
       std::printf("async I/O off (synchronous page reads)\n");
     } else {
       std::printf(
           "io-depth set to %zu (run scans keep up to %zu page reads in "
           "flight; page accounting is unchanged)\n",
-          engine.io_depth(), engine.io_depth());
+          engine->io_depth(), engine->io_depth());
     }
   }
 
   // Cached operand lists are snapshots of the store; drop them whenever
   // it mutates (.load/.apply/.add/.delete).
-  void InvalidateCache() { engine.InvalidateCaches(); }
+  void InvalidateCache() { engine->InvalidateCaches(); }
 
   int LoadLdifText(const std::string& text) {
+    if (distributed()) {
+      std::printf("distributed backend is read-only (.topology off first)\n");
+      return -1;
+    }
     ndq::Result<std::vector<ndq::Entry>> entries =
-        ndq::ParseLdif(store().schema(), text);
+        ndq::ParseLdif(schema, text);
     if (!entries.ok()) {
       std::printf("parse error: %s\n", entries.status().ToString().c_str());
       return -1;
@@ -125,6 +238,10 @@ struct Shell {
   }
 
   void ApplyFile(const std::string& path) {
+    if (distributed()) {
+      std::printf("distributed backend is read-only (.topology off first)\n");
+      return;
+    }
     std::ifstream in(path);
     if (!in) {
       std::printf("cannot open %s\n", path.c_str());
@@ -133,7 +250,7 @@ struct Shell {
     std::stringstream buf;
     buf << in.rdbuf();
     ndq::Result<size_t> n =
-        ndq::ApplyLdifChanges(store().schema(), buf.str(), &store());
+        ndq::ApplyLdifChanges(schema, buf.str(), &store());
     if (!n.ok()) {
       std::printf("apply error: %s\n", n.status().ToString().c_str());
       return;
@@ -189,16 +306,16 @@ struct Shell {
     std::printf(
         "settings: parallelism=%zu iodepth=%zu optimize=%s faults=%s "
         "cache=%zu pages\n",
-        engine.parallelism(), engine.io_depth(),
-        engine.optimize() ? "on" : "off", fault_spec.c_str(),
-        engine.cache() != nullptr ? engine.cache()->capacity_pages()
-                                  : size_t{0});
+        engine->parallelism(), engine->io_depth(),
+        engine->optimize() ? "on" : "off", fault_spec.c_str(),
+        engine->cache() != nullptr ? engine->cache()->capacity_pages()
+                                   : size_t{0});
     if (outcome.optimizer.Total() > 0) {
       std::printf("optimizer: %s\n", outcome.optimizer.ToString().c_str());
     }
-    std::printf(
-        "%s",
-        ndq::ExplainAnalyze(store(), *outcome.plan, outcome.trace).c_str());
+    std::printf("%s", ndq::ExplainAnalyze(engine->store(), *outcome.plan,
+                                          outcome.trace)
+                          .c_str());
     std::printf(
         "total: %zu result entr%s; estimated ~%.0f pages, actual %llu "
         "transfers (%llu reads + %llu writes), %.1f ms\n",
@@ -223,7 +340,7 @@ struct Shell {
                 ndq::LanguageToString((*q)->MinimalLanguage()),
                 (*q)->NodeCount());
     for (const ndq::QueryIssue& issue :
-         ndq::ValidateQuery(store().schema(), **q)) {
+         ndq::ValidateQuery(schema, **q)) {
       std::printf("%s: %s\n",
                   issue.severity == ndq::QueryIssue::Severity::kError
                       ? "error"
@@ -238,8 +355,8 @@ struct Shell {
     } else {
       std::printf("already canonical: %s\n", r->ToString().c_str());
     }
-    if (engine.optimize()) {
-      ndq::OptimizedPlan opt = ndq::OptimizeQuery(store(), r);
+    if (engine->optimize()) {
+      ndq::OptimizedPlan opt = ndq::OptimizeQuery(engine->store(), r);
       if (opt.stats.Total() > 0) {
         std::printf(
             "optimized (%s; est ~%.0f -> ~%.0f pages): %s\n",
@@ -250,31 +367,56 @@ struct Shell {
         std::printf("optimizer: no profitable rewrite\n");
       }
     }
-    std::printf("plan:\n%s", ndq::ExplainPlan(store(), *r).c_str());
-    ndq::CostEstimate est = ndq::EstimateCost(store(), *r);
+    std::printf("plan:\n%s", ndq::ExplainPlan(engine->store(), *r).c_str());
+    ndq::CostEstimate est = ndq::EstimateCost(engine->store(), *r);
     std::printf("estimated cost: ~%.0f pages (%.0f leaf + %.0f operator)\n",
                 est.TotalPages(), est.leaf_pages, est.operator_pages);
   }
 
   void Stats() {
-    std::printf("store: %llu entries, %zu segment(s), memtable %zu\n",
-                (unsigned long long)store().num_entries(),
-                store().num_segments(), store().memtable_size());
-    std::printf("data disk:    %s\n",
-                engine.data_disk()->stats().ToString().c_str());
-    std::printf("scratch disk: %s\n",
-                engine.scratch()->stats().ToString().c_str());
-    if (engine.cache() != nullptr) {
-      ndq::OperandCacheStats cs = engine.cache()->stats();
+    if (distributed()) {
+      ndq::DistributedDirectory* fleet = engine->fleet();
+      std::printf("backend: distributed (%zu shards)\n",
+                  fleet->shards().size());
+      for (const auto& server : fleet->servers()) {
+        std::printf("  %-18s %llu entries, disk %s\n",
+                    server->name().c_str(),
+                    (unsigned long long)server->store().num_entries(),
+                    server->disk()->stats().ToString().c_str());
+      }
+      const ndq::NetStats& net = fleet->net_stats();
+      std::printf(
+          "network: %llu messages, %llu records / %llu bytes shipped,\n"
+          "         %llu server contacts, %llu retries, %llu failovers, "
+          "%llu degraded\n",
+          (unsigned long long)net.messages,
+          (unsigned long long)net.records_shipped,
+          (unsigned long long)net.bytes_shipped,
+          (unsigned long long)net.servers_contacted,
+          (unsigned long long)net.retries, (unsigned long long)net.failovers,
+          (unsigned long long)net.degraded_results);
+      std::printf("coordinator:  %s\n",
+                  fleet->coordinator_disk()->stats().ToString().c_str());
+    } else {
+      std::printf("store: %llu entries, %zu segment(s), memtable %zu\n",
+                  (unsigned long long)store().num_entries(),
+                  store().num_segments(), store().memtable_size());
+      std::printf("data disk:    %s\n",
+                  engine->data_disk()->stats().ToString().c_str());
+      std::printf("scratch disk: %s\n",
+                  engine->scratch()->stats().ToString().c_str());
+    }
+    if (engine->cache() != nullptr) {
+      ndq::OperandCacheStats cs = engine->cache()->stats();
       std::printf(
           "operand cache: %llu hit(s), %llu miss(es), %llu/%zu pages "
           "(%llu entr%s), %llu eviction(s); parallelism %zu\n",
           (unsigned long long)cs.hits, (unsigned long long)cs.misses,
           (unsigned long long)cs.resident_pages,
-          engine.cache()->capacity_pages(),
+          engine->cache()->capacity_pages(),
           (unsigned long long)cs.resident_entries,
           cs.resident_entries == 1 ? "y" : "ies",
-          (unsigned long long)cs.evictions, engine.parallelism());
+          (unsigned long long)cs.evictions, engine->parallelism());
       if (cs.copy_failures > 0) {
         std::printf("operand cache: %llu copy failure(s) absorbed\n",
                     (unsigned long long)cs.copy_failures);
@@ -285,10 +427,10 @@ struct Shell {
                 (unsigned long long)ss.submitted,
                 (unsigned long long)ss.completed,
                 (unsigned long long)ss.rejected);
-    if (engine.fault_injector() != nullptr) {
+    if (engine->fault_injector() != nullptr) {
       std::printf("fault injection: %llu of %llu eligible op(s) failed\n",
-                  (unsigned long long)engine.fault_injector()->faults_fired(),
-                  (unsigned long long)engine.fault_injector()->ops_seen());
+                  (unsigned long long)engine->fault_injector()->faults_fired(),
+                  (unsigned long long)engine->fault_injector()->ops_seen());
     }
   }
 };
@@ -321,7 +463,15 @@ const char* kHelp =
     "                      rule[;rule...], rule = ops[:n=k|:every=k|:p=x\n"
     "                      |:seed=s|:page=id|:sticky], ops in\n"
     "                      read|write|alloc|free|any (.set faults off)\n"
-    "  .stats              store / I/O / operand-cache counters\n"
+    "  .topology <file>    reload the current entries into a fleet of\n"
+    "                      replicated subtree shards and route queries\n"
+    "                      through the coordinator (read-only); the file\n"
+    "                      holds `replicas N`, `page_size N` and\n"
+    "                      `shard <name> [replicas=K] <dn>` lines\n"
+    "  .topology           show the active shard layout\n"
+    "  .topology off       return to the local mutable store\n"
+    "  .stats              store / I/O / operand-cache counters (network\n"
+    "                      and per-replica counters when distributed)\n"
     "  .help-examples      sample queries\n"
     "  .quit\n";
 
@@ -391,6 +541,12 @@ int main(int argc, char** argv) {
       ndq::UpdateResult res = shell.session.Apply(batch);
       std::printf("%s\n",
                   res.ok() ? "deleted" : res.status.ToString().c_str());
+    } else if (line == ".topology") {
+      shell.TopologyShow();
+    } else if (line == ".topology off") {
+      shell.TopologyOff();
+    } else if (line.rfind(".topology ", 0) == 0) {
+      shell.TopologyLoad(line.substr(10));
     } else if (line.rfind(".set faults ", 0) == 0) {
       shell.SetFaults(line.substr(12));
     } else if (line.rfind(".set parallelism ", 0) == 0) {

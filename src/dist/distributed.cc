@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "dist/merge.h"
 #include "exec/atomic.h"
 #include "exec/boolean.h"
 #include "exec/embedded_ref.h"
@@ -16,6 +17,19 @@
 
 namespace ndq {
 
+namespace {
+
+// SplitMix64: cheap, well-mixed hash for the backoff jitter. Not
+// cryptographic — it only has to decorrelate concurrent retry loops.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 DirectoryServer::DirectoryServer(std::string name, Dn context,
                                  size_t page_size)
     : name_(std::move(name)),
@@ -23,134 +37,426 @@ DirectoryServer::DirectoryServer(std::string name, Dn context,
       disk_(std::make_unique<SimDisk>(page_size)) {}
 
 Result<DistributedDirectory> DistributedDirectory::Build(
-    const DirectoryInstance& global,
-    const std::vector<std::pair<std::string, std::string>>& contexts,
-    size_t page_size) {
+    const DirectoryInstance& global, const TopologyConfig& topology) {
   DistributedDirectory dist;
-  dist.coordinator_disk_ = std::make_unique<SimDisk>(page_size);
-  for (const auto& [dn_text, server_name] : contexts) {
-    NDQ_ASSIGN_OR_RETURN(Dn context, Dn::Parse(dn_text));
-    dist.servers_.push_back(std::make_unique<DirectoryServer>(
-        server_name, std::move(context), page_size));
-  }
+  NDQ_ASSIGN_OR_RETURN(dist.routing_, RoutingTable::Resolve(topology));
+  dist.coordinator_disk_ = std::make_unique<SimDisk>(topology.page_size);
+  const size_t num_shards = dist.routing_.num_shards();
 
-  // Partition: each entry to the deepest covering context.
+  // Partition: each entry to the shard with the deepest covering context.
   std::vector<DirectoryInstance> parts;
-  parts.reserve(dist.servers_.size());
-  for (size_t i = 0; i < dist.servers_.size(); ++i) {
+  parts.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
     parts.emplace_back(global.schema(), /*validate=*/false);
   }
   for (const auto& [key, entry] : global) {
-    DirectoryServer* best = nullptr;
-    size_t best_idx = 0;
-    for (size_t i = 0; i < dist.servers_.size(); ++i) {
-      const Dn& ctx = dist.servers_[i]->context();
-      const std::string& ck = ctx.HierKey();
-      bool covers = ck == key || KeyIsAncestor(ck, key);
-      if (!covers) continue;
-      if (best == nullptr || ctx.depth() > best->context().depth()) {
-        best = dist.servers_[i].get();
-        best_idx = i;
-      }
-    }
-    if (best == nullptr) {
+    size_t owner = dist.routing_.OwnerOf(key);
+    if (owner == RoutingTable::kNone) {
       return Status::InvalidArgument("no naming context covers entry " +
                                      entry.dn().ToString());
     }
-    NDQ_RETURN_IF_ERROR(parts[best_idx].Add(entry));
+    NDQ_RETURN_IF_ERROR(parts[owner].Add(entry));
   }
-  for (size_t i = 0; i < dist.servers_.size(); ++i) {
-    NDQ_ASSIGN_OR_RETURN(
-        dist.servers_[i]->store_,
-        EntryStore::BulkLoad(dist.servers_[i]->disk_.get(), parts[i]));
+
+  // Replication: bulk-load each shard's partition onto R identical
+  // replicas, each with its own disk. A single-replica shard's replica
+  // keeps the plain shard name, so legacy (pre-replication) callers see
+  // the same server names they always did.
+  for (size_t i = 0; i < num_shards; ++i) {
+    std::unique_ptr<Shard> shard(new Shard());
+    shard->name_ = dist.routing_.name(i);
+    shard->context_ = dist.routing_.context(i);
+    const size_t replicas = topology.ReplicasFor(i);
+    for (size_t r = 0; r < replicas; ++r) {
+      std::string replica_name =
+          replicas == 1 ? shard->name_
+                        : shard->name_ + "/r" + std::to_string(r);
+      auto rep = std::make_unique<DirectoryServer>(
+          std::move(replica_name), shard->context_, topology.page_size);
+      NDQ_ASSIGN_OR_RETURN(rep->store_,
+                           EntryStore::BulkLoad(rep->disk_.get(), parts[i]));
+      shard->replicas_.push_back(std::move(rep));
+    }
+    dist.shards_.push_back(std::move(shard));
   }
   return dist;
 }
 
-DirectoryServer* DistributedDirectory::FindServer(const std::string& name) {
-  for (auto& s : servers_) {
+Result<DistributedDirectory> DistributedDirectory::Build(
+    const DirectoryInstance& global,
+    const std::vector<std::pair<std::string, std::string>>& contexts,
+    size_t page_size) {
+  return Build(global, TopologyConfig::FromContexts(contexts, page_size));
+}
+
+Shard* DistributedDirectory::FindShard(const std::string& name) {
+  for (auto& s : shards_) {
     if (s->name() == name) return s.get();
+  }
+  return nullptr;
+}
+
+std::vector<DirectoryServer*> DistributedDirectory::servers() const {
+  std::vector<DirectoryServer*> out;
+  for (const auto& s : shards_) {
+    for (const auto& r : s->replicas_) out.push_back(r.get());
+  }
+  return out;
+}
+
+DirectoryServer* DistributedDirectory::FindServer(const std::string& name) {
+  for (auto& s : shards_) {
+    for (auto& r : s->replicas_) {
+      if (r->name() == name) return r.get();
+    }
   }
   return nullptr;
 }
 
 std::vector<std::string> DistributedDirectory::OwnersFor(const Dn& base,
                                                          Scope scope) const {
-  const std::string& bk = base.HierKey();
-  // Owner of the base dn itself: deepest context covering it.
-  const DirectoryServer* owner = nullptr;
-  for (const auto& s : servers_) {
-    const std::string& ck = s->context().HierKey();
-    if (ck == bk || KeyIsAncestor(ck, bk) || bk.empty()) {
-      if (owner == nullptr ||
-          s->context().depth() > owner->context().depth()) {
-        owner = s.get();
-      }
-    }
-  }
   std::vector<std::string> out;
-  if (owner != nullptr) out.push_back(owner->name());
-  if (scope == Scope::kBase) return out;
-  // Subtree scopes may reach into delegated contexts below the base. kOne
-  // can cross exactly one delegation boundary (a child held by a
-  // delegate); include those too.
-  for (const auto& s : servers_) {
-    if (owner != nullptr && s->name() == owner->name()) continue;
-    const std::string& ck = s->context().HierKey();
-    bool under = bk.empty() || ck == bk || KeyIsAncestor(bk, ck);
-    if (!under) continue;
-    if (scope == Scope::kOne) {
-      // Only relevant if the delegated context is the base or its child.
-      if (!(ck == bk || KeyIsParent(bk, ck))) continue;
-    }
-    out.push_back(s->name());
+  for (size_t i : routing_.OwnersFor(base, scope)) {
+    out.push_back(routing_.name(i));
   }
   return out;
 }
 
-Result<EntryList> DistributedDirectory::EvaluateAtomicDistributed(
-    const Query& query, OpTrace* trace) {
-  std::vector<std::string> owners = OwnersFor(query.base(), query.scope());
-  net_.servers_contacted += owners.size();
+bool DistributedDirectory::AnyReplicaUp(const Shard& shard) {
+  for (const auto& r : shard.replicas_) {
+    if (!r->is_down()) return true;
+  }
+  return false;
+}
 
-  // Issue the atomic query to every owning server; with a pool the
-  // servers work concurrently (slot `i` keeps the results in owner order,
-  // so the merge below — and therefore the output — is deterministic).
-  // Each task locks its server, evaluates there, and ships the sorted
-  // result to the coordinator disk.
-  struct PerOwner {
-    Status status;
-    Run run;
-    IoStats io;
-    uint64_t scanned_records = 0;
-    uint64_t shipped_records = 0;
-    uint64_t shipped_bytes = 0;
-    uint64_t retries = 0;
-    bool present = false;
-  };
-  std::vector<PerOwner> results(owners.size());
-  // One request/response attempt against `server`. Every early exit is
-  // clean: the ScopedRun guard reclaims the server-side list and the
-  // RunWriter destructor reclaims a partially shipped coordinator run, so
-  // a failed attempt leaves nothing behind for the retry to trip over.
-  auto attempt_one = [&](DirectoryServer* server, PerOwner& r) -> Status {
+Status DistributedDirectory::FetchAtomicFromShard(Shard& shard,
+                                                  const Query& query,
+                                                  bool want_trace,
+                                                  ShardFetch* out) {
+  // One request/response attempt against `replica`. Every early exit is
+  // clean: a failed evaluation frees its own intermediates and a timed-out
+  // result run is freed here, so a retry (or a sibling) starts fresh.
+  auto attempt_one = [&](DirectoryServer* replica, bool* refused) -> Status {
     net_.messages += 2;  // request + response
-    if (server->is_down()) {
-      return Status::Unavailable("server '" + server->name() + "' is down");
+    if (replica->is_down()) {
+      *refused = true;
+      return Status::Unavailable("replica '" + replica->name() +
+                                 "' is down");
     }
     const auto start = std::chrono::steady_clock::now();
-    std::lock_guard<std::mutex> server_lock(server->mu_);
+    std::lock_guard<std::mutex> replica_lock(replica->mu_);
     OpTrace server_trace;
-    OpTrace* st = trace != nullptr ? &server_trace : nullptr;
+    OpTrace* st = want_trace ? &server_trace : nullptr;
     Result<EntryList> local =
         query.op() == QueryOp::kLdap
-            ? EvalLdap(server->disk(), server->store(), query.base(),
+            ? EvalLdap(replica->disk(), replica->store(), query.base(),
                        query.scope(), *query.ldap_filter(), st)
-            : EvalAtomic(server->disk(), server->store(), query.base(),
+            : EvalAtomic(replica->disk(), replica->store(), query.base(),
                          query.scope(), query.filter(), st);
-    r.scanned_records = server_trace.scanned_records;
+    out->scanned_records = server_trace.scanned_records;
     if (!local.ok()) return local.status();
-    ScopedRun local_guard(server->disk(), local.TakeValue());
+    Run run = local.TakeValue();
+    if (retry_policy_.timeout_micros > 0) {
+      double elapsed = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      if (elapsed > static_cast<double>(retry_policy_.timeout_micros)) {
+        FreeRun(replica->disk(), &run).ok();
+        return Status::Unavailable("replica '" + replica->name() +
+                                   "' timed out");
+      }
+    }
+    // The sorted result STAYS on the replica's disk; the coordinator
+    // streams it during the merge (dist/merge.h).
+    out->replica = replica;
+    out->run = std::move(run);
+    return Status::OK();
+  };
+
+  const size_t num_replicas = shard.replicas_.size();
+  // Read load-balancing: each fetch starts its ring walk one replica past
+  // the previous fetch's start.
+  const size_t start =
+      shard.next_replica_.fetch_add(1, std::memory_order_relaxed) %
+      num_replicas;
+  const int max_attempts = std::max(1, retry_policy_.max_attempts);
+  const double jitter =
+      std::clamp(retry_policy_.backoff_jitter, 0.0, 1.0);
+  Status last = Status::Unavailable("shard '" + shard.name() +
+                                    "' has no replicas");
+  for (size_t k = 0; k < num_replicas; ++k) {
+    DirectoryServer* replica =
+        shard.replicas_[(start + k) % num_replicas].get();
+    uint64_t backoff = retry_policy_.backoff_micros;
+    for (int attempt = 1;; ++attempt) {
+      bool refused = false;
+      last = attempt_one(replica, &refused);
+      if (last.ok()) return last;
+      // Only transient (Unavailable) failures are worth another attempt;
+      // a corrupted page or a logic error fails immediately, because
+      // neither a retry nor a sibling holding the same data can fix it.
+      if (last.code() != StatusCode::kUnavailable) return last;
+      // A down replica refuses instantly: fail over to a sibling now
+      // instead of burning the backoff budget on a known-dead server.
+      if (refused || attempt >= max_attempts) break;
+      ++out->retries;
+      ++net_.retries;
+      if (backoff > 0) {
+        uint64_t sleep_us = backoff;
+        if (jitter > 0) {
+          // Uniform in [0,1): subtracts up to jitter*backoff, spreading
+          // the retry storms of concurrent sessions apart.
+          uint64_t bits = SplitMix64(
+              jitter_seq_->fetch_add(1, std::memory_order_relaxed));
+          double u = static_cast<double>(bits >> 11) *
+                     (1.0 / 9007199254740992.0);
+          sleep_us -= static_cast<uint64_t>(
+              static_cast<double>(backoff) * jitter * u);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+        backoff *= 2;
+      }
+    }
+    // Failover: abandon this replica for the next one in the ring (if
+    // any is left to try).
+    if (k + 1 < num_replicas) {
+      ++net_.failovers;
+      ++out->failovers;
+      replica->failovers_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return last;
+}
+
+namespace {
+
+/// The pre-streaming merge: copy every stream onto `coord` first, then
+/// merge the local copies (storage/external_sort.h). Kept behind
+/// set_streaming_merge(false) as the byte-identity reference.
+Result<Run> MaterializeAndMerge(Disk* coord, const RecordKeyFn& key_fn,
+                                const std::vector<ShardStream*>& streams,
+                                size_t* failed_stream) {
+  std::vector<Run> local;
+  auto cleanup = [&] {
+    for (Run& r : local) FreeRun(coord, &r).ok();
+  };
+  for (size_t i = 0; i < streams.size(); ++i) {
+    RunWriter writer(coord, RecordShape::kKeyed);
+    std::string rec;
+    while (true) {
+      Result<bool> more = streams[i]->Next(&rec);
+      if (!more.ok()) {
+        *failed_stream = i;
+        cleanup();
+        return more.status();
+      }
+      if (!*more) break;
+      Status added = writer.Add(rec);
+      if (!added.ok()) {
+        cleanup();
+        return added;
+      }
+    }
+    Status closed = streams[i]->Close();
+    if (!closed.ok()) {
+      *failed_stream = i;
+      cleanup();
+      return closed;
+    }
+    Result<Run> run = writer.Finish();
+    if (!run.ok()) {
+      cleanup();
+      return run.status();
+    }
+    local.push_back(run.TakeValue());
+  }
+  if (local.empty()) {
+    RunWriter writer(coord, RecordShape::kKeyed);
+    return writer.Finish();
+  }
+  if (local.size() == 1) return std::move(local[0]);
+  // Each shipped list is sorted; contexts are disjoint so a merge (no
+  // dedup needed) restores global order.
+  return MergeSortedRuns(coord, key_fn, std::move(local), /*fan_in=*/16,
+                         RecordShape::kKeyed);
+}
+
+}  // namespace
+
+Result<EntryList> DistributedDirectory::EvaluateAtomicDistributed(
+    const Query& query, OpTrace* trace, EvalCtx& ctx) {
+  std::vector<size_t> owner_idx =
+      routing_.OwnersFor(query.base(), query.scope());
+  net_.servers_contacted += owner_idx.size();
+  std::vector<Shard*> owners;
+  owners.reserve(owner_idx.size());
+  for (size_t idx : owner_idx) owners.push_back(shards_[idx].get());
+
+  auto key_fn = [](std::string_view rec) {
+    Result<std::string_view> key = PeekEntryKey(rec);
+    return key.ok() ? *key : std::string_view();
+  };
+  auto degrade = [&](size_t i, const Status& why) {
+    // The shard stayed unavailable through every replica and retry:
+    // degrade. Its contribution is dropped, the reachable shards'
+    // results still merge, and the caller sees exactly what is missing
+    // via the warnings.
+    ++net_.degraded_results;
+    if (trace != nullptr) ++trace->degraded_shards;
+    std::lock_guard<std::mutex> lock(ctx.mu);
+    ctx.warnings.push_back({owners[i]->name(), why.message()});
+  };
+
+  std::vector<char> excluded(owners.size(), 0);
+  // The whole scatter-gather restarts when a shard dies mid-merge and
+  // degradation is allowed: the dead shard is excluded and the survivors
+  // re-fetch (their streams were partially drained). Terminates — every
+  // round either returns or excludes at least one shard.
+  while (true) {
+    // Scatter: issue the atomic query to every live owning shard; with a
+    // pool the shards work concurrently (slot `i` keeps results in owner
+    // order, so the merge — and therefore the output — is deterministic).
+    struct PerShard {
+      Status status;
+      ShardFetch fetch;
+      IoStats io;
+      bool fetched = false;
+    };
+    std::vector<PerShard> rs(owners.size());
+    {
+      ThreadPool::TaskGroup group(pool_.get());
+      for (size_t i = 0; i < owners.size(); ++i) {
+        if (excluded[i]) continue;
+        group.Run([&, i] {
+          PerShard& r = rs[i];
+          // Scope the task's I/O (the replica-side scan) so it reaches
+          // this leaf's trace even when the task ran on a pool worker.
+          IoScope scope(nullptr, &r.io);
+          r.status = FetchAtomicFromShard(*owners[i], query,
+                                          trace != nullptr, &r.fetch);
+          r.fetched = r.status.ok();
+        });
+      }
+    }
+    Status failed;
+    for (size_t i = 0; i < owners.size(); ++i) {
+      if (excluded[i]) continue;
+      PerShard& r = rs[i];
+      if (trace != nullptr) {
+        trace->scanned_records += r.fetch.scanned_records;
+        trace->retries += r.fetch.retries;
+        trace->failovers += r.fetch.failovers;
+        trace->io += r.io;
+      }
+      if (r.status.ok()) continue;
+      if (allow_degraded_ && r.status.code() == StatusCode::kUnavailable) {
+        degrade(i, r.status);
+        excluded[i] = 1;
+      } else if (failed.ok()) {
+        failed = r.status;
+      }
+    }
+    if (!failed.ok()) {
+      for (PerShard& r : rs) {
+        if (r.fetched) FreeRun(r.fetch.replica->disk(), &r.fetch.run).ok();
+      }
+      return failed;
+    }
+
+    // Gather: wrap each fetched run as a resumable stream. A mid-merge
+    // read failure re-fetches the same result from a sibling replica and
+    // resumes where the stream left off (dist/merge.h).
+    std::vector<std::unique_ptr<ShardStream>> streams;
+    std::vector<size_t> stream_owner;  // stream index -> owners index
+    for (size_t i = 0; i < owners.size(); ++i) {
+      if (excluded[i] || !rs[i].fetched) continue;
+      Shard* shard = owners[i];
+      auto refetch =
+          [this, shard, &query,
+           trace](uint64_t) -> Result<ShardStream::Source> {
+        ShardFetch f;
+        Status s =
+            FetchAtomicFromShard(*shard, query, trace != nullptr, &f);
+        if (trace != nullptr) {
+          trace->scanned_records += f.scanned_records;
+          trace->retries += f.retries;
+          trace->failovers += f.failovers;
+        }
+        if (!s.ok()) return s;
+        return ShardStream::Source{f.replica->disk(), std::move(f.run)};
+      };
+      streams.push_back(std::make_unique<ShardStream>(
+          shard->name(),
+          ShardStream::Source{rs[i].fetch.replica->disk(),
+                              std::move(rs[i].fetch.run)},
+          std::move(refetch)));
+      stream_owner.push_back(i);
+    }
+    std::vector<ShardStream*> ptrs;
+    ptrs.reserve(streams.size());
+    for (auto& s : streams) ptrs.push_back(s.get());
+
+    size_t failed_stream = static_cast<size_t>(-1);
+    Result<Run> merged =
+        streaming_merge_
+            ? MergeShardStreams(coordinator_disk_.get(), key_fn, ptrs,
+                                RecordShape::kKeyed, &failed_stream)
+            : MaterializeAndMerge(coordinator_disk_.get(), key_fn, ptrs,
+                                  &failed_stream);
+    // Whatever the merge consumed crossed the network, whether or not it
+    // completed; a degraded restart re-ships and re-counts honestly.
+    for (ShardStream* s : ptrs) {
+      net_.records_shipped += s->consumed();
+      net_.bytes_shipped += s->bytes_consumed();
+      if (trace != nullptr) {
+        trace->shipped_records += s->consumed();
+        trace->shipped_bytes += s->bytes_consumed();
+      }
+    }
+    if (merged.ok()) return merged;
+    for (ShardStream* s : ptrs) s->Close().ok();
+    if (allow_degraded_ &&
+        merged.status().code() == StatusCode::kUnavailable &&
+        failed_stream < stream_owner.size()) {
+      size_t i = stream_owner[failed_stream];
+      degrade(i, merged.status());
+      excluded[i] = 1;
+      continue;  // re-fetch the survivors and merge again
+    }
+    return merged.status();
+  }
+}
+
+Shard* DistributedDirectory::SingleOwner(const Query& query) {
+  Shard* owner = nullptr;
+  for (const Query* leaf : query.Leaves()) {
+    std::vector<size_t> owners =
+        routing_.OwnersFor(leaf->base(), leaf->scope());
+    if (owners.size() != 1) return nullptr;
+    Shard* s = shards_[owners[0]].get();
+    if (owner != nullptr && owner != s) return nullptr;
+    owner = s;
+  }
+  return owner;
+}
+
+Result<EntryList> DistributedDirectory::ShipWholeQuery(const Query& query,
+                                                       Shard* shard,
+                                                       OpTrace* trace) {
+  // The chosen replica evaluates the whole tree locally (on its own disk
+  // and scratch space) and only the final result crosses the network.
+  ++net_.queries_shipped;
+  ++net_.servers_contacted;
+  auto attempt_one = [&](DirectoryServer* server) -> Result<EntryList> {
+    net_.messages += 2;
+    if (server->is_down()) {
+      return Status::Unavailable("replica '" + server->name() +
+                                 "' is down");
+    }
+    std::lock_guard<std::mutex> server_lock(server->mu_);
+    Evaluator remote(server->disk(), &server->store(), options_);
+    NDQ_ASSIGN_OR_RETURN(EntryList local, remote.Evaluate(query, trace));
+    ScopedRun local_guard(server->disk(), std::move(local));
     RunWriter writer(coordinator_disk_.get(), RecordShape::kKeyed);
     RunReader reader(server->disk(), local_guard.get());
     std::string rec;
@@ -162,170 +468,59 @@ Result<EntryList> DistributedDirectory::EvaluateAtomicDistributed(
       ++recs;
       NDQ_RETURN_IF_ERROR(writer.Add(rec));
     }
-    NDQ_RETURN_IF_ERROR(local_guard.Free());
-    NDQ_ASSIGN_OR_RETURN(Run run, writer.Finish());
-    if (retry_policy_.timeout_micros > 0) {
-      double elapsed = std::chrono::duration<double, std::micro>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
-      if (elapsed > static_cast<double>(retry_policy_.timeout_micros)) {
-        FreeRun(coordinator_disk_.get(), &run).ok();
-        return Status::Unavailable("server '" + server->name() +
-                                   "' timed out");
-      }
-    }
-    r.shipped_records = recs;
-    r.shipped_bytes = bytes;
-    r.run = std::move(run);
-    return Status::OK();
-  };
-  auto fetch_one = [&](size_t i) {
-    PerOwner& r = results[i];
-    // Scope the task's I/O (server scan + coordinator ship) so it reaches
-    // this leaf's trace even when the task ran on a pool worker.
-    IoScope scope(nullptr, &r.io);
-    DirectoryServer* server = FindServer(owners[i]);
-    if (server == nullptr) return;
-    r.present = true;
-    // Transient (Unavailable) failures are retried with exponential
-    // backoff; anything else — a corrupted page, a logic error — fails
-    // immediately, because retrying cannot fix it.
-    const int max_attempts = std::max(1, retry_policy_.max_attempts);
-    uint64_t backoff = retry_policy_.backoff_micros;
-    for (int attempt = 1;; ++attempt) {
-      r.status = attempt_one(server, r);
-      if (r.status.ok() ||
-          r.status.code() != StatusCode::kUnavailable ||
-          attempt >= max_attempts) {
-        break;
-      }
-      ++r.retries;
-      ++net_.retries;
-      if (backoff > 0) {
-        std::this_thread::sleep_for(std::chrono::microseconds(backoff));
-        backoff *= 2;
-      }
-    }
-  };
-  {
-    ThreadPool::TaskGroup group(pool_.get());
-    for (size_t i = 0; i < owners.size(); ++i) {
-      group.Run([&fetch_one, i] { fetch_one(i); });
-    }
-  }
-
-  std::vector<Run> shipped;
-  Status failed;
-  for (size_t i = 0; i < results.size(); ++i) {
-    PerOwner& r = results[i];
-    if (!r.present) continue;
-    net_.bytes_shipped += r.shipped_bytes;
-    net_.records_shipped += r.shipped_records;
+    net_.bytes_shipped += bytes;
+    net_.records_shipped += recs;
     if (trace != nullptr) {
-      trace->scanned_records += r.scanned_records;
-      trace->shipped_records += r.shipped_records;
-      trace->shipped_bytes += r.shipped_bytes;
-      trace->retries += r.retries;
-      trace->io += r.io;
+      // The remote evaluator filled `trace` (children included); record
+      // the final-result shipment here — under parallelism there is no
+      // stable global counter window to recover it from.
+      trace->shipped_records = recs;
+      trace->shipped_bytes = bytes;
     }
-    if (!r.status.ok()) {
-      if (allow_degraded_ && r.status.code() == StatusCode::kUnavailable) {
-        // The server stayed unavailable through every retry: degrade.
-        // Its contribution is dropped, the reachable servers' results
-        // still merge, and the caller can see exactly what is missing
-        // via last_warnings().
-        ++net_.degraded_results;
-        if (trace != nullptr) ++trace->degraded_shards;
-        std::lock_guard<std::mutex> lock(warnings_->mu);
-        warnings_->warnings.push_back({owners[i], r.status.message()});
-        continue;
-      }
-      if (failed.ok()) failed = r.status;
-      continue;
-    }
-    shipped.push_back(std::move(r.run));
-  }
-  if (!failed.ok()) {
-    for (Run& run : shipped) FreeRun(coordinator_disk_.get(), &run).ok();
-    return failed;
-  }
-  if (shipped.empty()) {
-    RunWriter writer(coordinator_disk_.get(), RecordShape::kKeyed);
+    NDQ_RETURN_IF_ERROR(local_guard.Free());
     return writer.Finish();
-  }
-  if (shipped.size() == 1) return std::move(shipped[0]);
-  // Each shipped list is sorted; contexts are disjoint so a merge (no
-  // dedup needed) restores global order.
-  auto key_fn = [](std::string_view rec) {
-    Result<std::string_view> key = PeekEntryKey(rec);
-    return key.ok() ? *key : std::string_view();
   };
-  return MergeSortedRuns(coordinator_disk_.get(), key_fn,
-                         std::move(shipped), /*fan_in=*/16,
-                         RecordShape::kKeyed);
-}
 
-DirectoryServer* DistributedDirectory::SingleOwner(const Query& query) {
-  DirectoryServer* owner = nullptr;
-  for (const Query* leaf : query.Leaves()) {
-    std::vector<std::string> owners =
-        OwnersFor(leaf->base(), leaf->scope());
-    if (owners.size() != 1) return nullptr;
-    DirectoryServer* s = FindServer(owners[0]);
-    if (s == nullptr) return nullptr;
-    if (owner != nullptr && owner != s) return nullptr;
-    owner = s;
+  const size_t num_replicas = shard->replicas_.size();
+  const size_t start =
+      shard->next_replica_.fetch_add(1, std::memory_order_relaxed) %
+      num_replicas;
+  uint64_t failovers = 0;
+  Status last = Status::Unavailable("shard '" + shard->name() +
+                                    "' has no replicas");
+  for (size_t k = 0; k < num_replicas; ++k) {
+    DirectoryServer* server =
+        shard->replicas_[(start + k) % num_replicas].get();
+    // A failed remote evaluation may have partially filled the trace;
+    // start it over for each replica (the successful one refills it).
+    if (trace != nullptr && k > 0) *trace = OpTrace();
+    Result<EntryList> out = attempt_one(server);
+    if (out.ok()) {
+      if (trace != nullptr) trace->failovers += failovers;
+      return out;
+    }
+    last = out.status();
+    if (last.code() != StatusCode::kUnavailable) return last;
+    if (k + 1 < num_replicas) {
+      ++net_.failovers;
+      ++failovers;
+      server->failovers_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  return owner;
-}
-
-Result<EntryList> DistributedDirectory::ShipWholeQuery(
-    const Query& query, DirectoryServer* server, OpTrace* trace) {
-  if (server->is_down()) {
-    return Status::Unavailable("server '" + server->name() + "' is down");
-  }
-  // The server evaluates the whole tree locally (on its own disk and
-  // scratch space) and only the final result crosses the network.
-  ++net_.queries_shipped;
-  net_.messages += 2;
-  ++net_.servers_contacted;
-  std::lock_guard<std::mutex> server_lock(server->mu_);
-  Evaluator remote(server->disk(), &server->store(), options_);
-  NDQ_ASSIGN_OR_RETURN(EntryList local, remote.Evaluate(query, trace));
-  ScopedRun local_guard(server->disk(), std::move(local));
-  RunWriter writer(coordinator_disk_.get(), RecordShape::kKeyed);
-  RunReader reader(server->disk(), local_guard.get());
-  std::string rec;
-  uint64_t recs = 0, bytes = 0;
-  while (true) {
-    NDQ_ASSIGN_OR_RETURN(bool more, reader.Next(&rec));
-    if (!more) break;
-    bytes += rec.size();
-    ++recs;
-    NDQ_RETURN_IF_ERROR(writer.Add(rec));
-  }
-  net_.bytes_shipped += bytes;
-  net_.records_shipped += recs;
-  if (trace != nullptr) {
-    // The remote evaluator filled `trace` (children included); record the
-    // final-result shipment here — under parallelism there is no stable
-    // global counter window to recover it from.
-    trace->shipped_records = recs;
-    trace->shipped_bytes = bytes;
-  }
-  NDQ_RETURN_IF_ERROR(local_guard.Free());
-  return writer.Finish();
+  return last;
 }
 
 IoStats DistributedDirectory::FleetIo() const {
   IoStats total = coordinator_disk_->stats();
-  for (const auto& s : servers_) {
-    const IoStats& d = s->disk_->stats();
-    total.page_reads += d.page_reads;
-    total.page_writes += d.page_writes;
-    total.pages_allocated += d.pages_allocated;
-    total.pages_freed += d.pages_freed;
-    total.faults_injected += d.faults_injected;
+  for (const auto& shard : shards_) {
+    for (const auto& r : shard->replicas_) {
+      const IoStats& d = r->disk_->stats();
+      total.page_reads += d.page_reads;
+      total.page_writes += d.page_writes;
+      total.pages_allocated += d.pages_allocated;
+      total.pages_freed += d.pages_freed;
+      total.faults_injected += d.faults_injected;
+    }
   }
   return total;
 }
@@ -343,8 +538,11 @@ void StampWorker(OpTrace* t, uint32_t worker) {
 }  // namespace
 
 Result<EntryList> DistributedDirectory::EvaluateNode(const Query& query,
-                                                     OpTrace* trace) {
-  if (trace == nullptr) return EvaluateNodeImpl(query, nullptr, nullptr);
+                                                     OpTrace* trace,
+                                                     EvalCtx& ctx) {
+  if (trace == nullptr) {
+    return EvaluateNodeImpl(query, nullptr, nullptr, ctx);
+  }
   *trace = OpTrace();
   const auto start = std::chrono::steady_clock::now();
   // Attribution via this thread's IoScope, not fleet-wide counter
@@ -354,7 +552,7 @@ Result<EntryList> DistributedDirectory::EvaluateNode(const Query& query,
   IoStats self;
   Result<EntryList> out = [&] {
     IoScope scope(nullptr, &self);
-    return EvaluateNodeImpl(query, trace, &shipped_whole);
+    return EvaluateNodeImpl(query, trace, &shipped_whole, ctx);
   }();
   if (!out.ok()) return out;
   trace->label = QueryNodeLabel(query);
@@ -387,17 +585,17 @@ Result<EntryList> DistributedDirectory::EvaluateNode(const Query& query,
 }
 
 Result<EntryList> DistributedDirectory::EvaluateNodeImpl(
-    const Query& query, OpTrace* trace, bool* shipped_whole) {
-  // Inside an EvaluateBatch, a sub-plan the census marked shared is
-  // served from — and on first sight published to — the per-batch
-  // coordinator cache: later occurrences cost a local ~2*out-page copy
-  // instead of another round of server contacts and result shipping.
+    const Query& query, OpTrace* trace, bool* shipped_whole, EvalCtx& ctx) {
+  // Inside a batch, a sub-plan the census marked shared is served from —
+  // and on first sight published to — the per-batch coordinator cache:
+  // later occurrences cost a local ~2*out-page copy instead of another
+  // round of server contacts and result shipping.
   std::string shared_key;
-  if (batch_cache_ != nullptr && batch_shared_ != nullptr) {
+  if (ctx.batch_cache != nullptr && ctx.batch_shared != nullptr) {
     std::string key = QueryFingerprint(query);
-    if (batch_shared_->contains(key)) {
+    if (ctx.batch_shared->contains(key)) {
       EntryList cached;
-      NDQ_ASSIGN_OR_RETURN(bool hit, batch_cache_->Lookup(key, &cached));
+      NDQ_ASSIGN_OR_RETURN(bool hit, ctx.batch_cache->Lookup(key, &cached));
       if (hit) {
         if (trace != nullptr) {
           trace->cache_hits = 1;
@@ -408,12 +606,13 @@ Result<EntryList> DistributedDirectory::EvaluateNodeImpl(
       shared_key = std::move(key);
     }
   }
-  Result<EntryList> out = EvaluateNodeDispatch(query, trace, shipped_whole);
+  Result<EntryList> out =
+      EvaluateNodeDispatch(query, trace, shipped_whole, ctx);
   if (!out.ok() || shared_key.empty()) return out;
   // Insert copies the list and absorbs I/O failures during the copy (the
   // entry is simply not cached); anything else is an invariant violation
   // — propagate it, but free the computed list first.
-  Status cs = batch_cache_->Insert(shared_key, *out);
+  Status cs = ctx.batch_cache->Insert(shared_key, *out);
   if (!cs.ok()) {
     ScopedRun computed(coordinator_disk_.get(), out.TakeValue());
     return cs;
@@ -423,22 +622,23 @@ Result<EntryList> DistributedDirectory::EvaluateNodeImpl(
 }
 
 Result<EntryList> DistributedDirectory::EvaluateNodeDispatch(
-    const Query& query, OpTrace* trace, bool* shipped_whole) {
+    const Query& query, OpTrace* trace, bool* shipped_whole, EvalCtx& ctx) {
   Disk* disk = coordinator_disk_.get();
   if (query_shipping_ && !query.is_atomic() &&
       query.op() != QueryOp::kLdap) {
-    DirectoryServer* owner = SingleOwner(query);
-    if (owner != nullptr && !owner->is_down()) {
+    Shard* owner = SingleOwner(query);
+    if (owner != nullptr && AnyReplicaUp(*owner)) {
       Result<EntryList> whole = ShipWholeQuery(query, owner, trace);
       if (whole.ok() ||
           whole.status().code() != StatusCode::kUnavailable) {
         if (shipped_whole != nullptr) *shipped_whole = true;
         return whole;
       }
-      // The shipment failed transiently mid-flight: fall back to the
-      // per-atomic path below, which retries each server independently
-      // and can degrade instead of failing. Start the trace over — the
-      // aborted remote evaluation may have partially filled it.
+      // Every replica failed the shipment transiently mid-flight: fall
+      // back to the per-atomic path below, which retries each shard
+      // independently and can degrade instead of failing. Start the
+      // trace over — the aborted remote evaluation may have partially
+      // filled it.
       ++net_.retries;
       if (trace != nullptr) *trace = OpTrace();
     }
@@ -458,9 +658,10 @@ Result<EntryList> DistributedDirectory::EvaluateNodeDispatch(
   switch (query.op()) {
     case QueryOp::kAtomic:
     case QueryOp::kLdap:
-      return EvaluateAtomicDistributed(query, trace);
+      return EvaluateAtomicDistributed(query, trace, ctx);
     case QueryOp::kSimpleAgg: {
-      NDQ_ASSIGN_OR_RETURN(EntryList r1, EvaluateNode(*query.q1(), t1));
+      NDQ_ASSIGN_OR_RETURN(EntryList r1,
+                           EvaluateNode(*query.q1(), t1, ctx));
       ScopedRun l1(disk, std::move(r1));
       Result<EntryList> out =
           EvalSimpleAgg(disk, l1.get(), *query.agg(), trace);
@@ -474,13 +675,13 @@ Result<EntryList> DistributedDirectory::EvaluateNodeDispatch(
   }
 
   // Multi-operand operators: evaluate the operand sub-plans concurrently
-  // (coordinator-side fork/join; each sub-plan ships from its servers
+  // (coordinator-side fork/join; each sub-plan ships from its shards
   // independently), join, then run the operator on this thread.
   ScopedRun l1, l2, l3;
   Status s1, s2, s3;
-  auto eval_into = [this](const Query& q, OpTrace* t, ScopedRun* out,
-                          Status* status) {
-    Result<EntryList> r = EvaluateNode(q, t);
+  auto eval_into = [this, &ctx](const Query& q, OpTrace* t, ScopedRun* out,
+                                Status* status) {
+    Result<EntryList> r = EvaluateNode(q, t, ctx);
     if (!r.ok()) {
       *status = r.status();
       return;
@@ -537,16 +738,20 @@ Result<EntryList> DistributedDirectory::EvaluateNodeDispatch(
   return out_guard.Release();
 }
 
-Result<std::vector<Entry>> DistributedDirectory::Evaluate(
-    const Query& query, OpTrace* trace) {
-  {
-    std::lock_guard<std::mutex> lock(warnings_->mu);
-    warnings_->warnings.clear();
-  }
-  NDQ_ASSIGN_OR_RETURN(EntryList out, EvaluateNode(query, trace));
+Result<std::vector<Entry>> DistributedDirectory::Execute(
+    const Query& query, OpTrace* trace,
+    std::vector<DegradationWarning>* warnings, OperandCache* batch_cache,
+    const SharedOperands* batch_shared) {
+  EvalCtx ctx;
+  ctx.batch_cache = batch_cache;
+  ctx.batch_shared = batch_shared;
+  if (warnings != nullptr) warnings->clear();
+  Result<EntryList> out = EvaluateNode(query, trace, ctx);
+  if (warnings != nullptr) *warnings = std::move(ctx.warnings);
+  if (!out.ok()) return out.status();
   Result<std::vector<Entry>> entries =
-      ReadEntryList(coordinator_disk_.get(), out);
-  Status freed = FreeRun(coordinator_disk_.get(), &out);
+      ReadEntryList(coordinator_disk_.get(), *out);
+  Status freed = FreeRun(coordinator_disk_.get(), &*out);
   // A read error is the primary failure; a free error only matters when
   // the read itself succeeded.
   if (!entries.ok()) return entries;
@@ -554,19 +759,28 @@ Result<std::vector<Entry>> DistributedDirectory::Evaluate(
   return entries;
 }
 
+Result<std::vector<Entry>> DistributedDirectory::Evaluate(
+    const Query& query, OpTrace* trace) {
+  std::vector<DegradationWarning> warnings;
+  Result<std::vector<Entry>> out = Execute(query, trace, &warnings);
+  std::lock_guard<std::mutex> lock(warnings_->mu);
+  warnings_->warnings = std::move(warnings);
+  return out;
+}
+
 namespace {
 
 /// Coordinator-side view of the fleet for the cost model: estimates are
-/// summed over every server's own estimates, which keeps them upper
-/// bounds on the merged directory (entries live on exactly one server).
-/// It carries no merged statistics (stats() stays nullptr), so the
-/// optimizer only uses the servers' range geometry; scanning through it
-/// is not supported — it exists purely for estimation.
+/// summed over every shard's own estimates (replica 0 — replicas are
+/// identical), which keeps them upper bounds on the merged directory
+/// (entries live on exactly one shard). It carries no merged statistics
+/// (stats() stays nullptr), so the optimizer only uses the shards' range
+/// geometry; scanning through it is not supported — it exists purely for
+/// estimation.
 class FleetSource : public EntrySource {
  public:
-  explicit FleetSource(
-      const std::vector<std::unique_ptr<DirectoryServer>>& servers)
-      : servers_(servers) {}
+  explicit FleetSource(const std::vector<std::unique_ptr<Shard>>& shards)
+      : shards_(shards) {}
 
   Status ScanRange(std::string_view, std::string_view,
                    const std::function<Status(std::string_view)>&)
@@ -577,15 +791,15 @@ class FleetSource : public EntrySource {
 
   uint64_t num_entries() const override {
     uint64_t n = 0;
-    for (const auto& s : servers_) n += s->num_entries();
+    for (const auto& s : shards_) n += s->num_entries();
     return n;
   }
 
   uint64_t EstimateRangeRecords(std::string_view start_key,
                                 std::string_view end_key) const override {
     uint64_t n = 0;
-    for (const auto& s : servers_) {
-      n += s->store().EstimateRangeRecords(start_key, end_key);
+    for (const auto& s : shards_) {
+      n += s->replica(0)->store().EstimateRangeRecords(start_key, end_key);
     }
     return n;
   }
@@ -593,21 +807,28 @@ class FleetSource : public EntrySource {
   uint64_t EstimateRangePages(std::string_view start_key,
                               std::string_view end_key) const override {
     uint64_t n = 0;
-    for (const auto& s : servers_) {
-      n += s->store().EstimateRangePages(start_key, end_key);
+    for (const auto& s : shards_) {
+      n += s->replica(0)->store().EstimateRangePages(start_key, end_key);
     }
     return n;
   }
 
  private:
-  const std::vector<std::unique_ptr<DirectoryServer>>& servers_;
+  const std::vector<std::unique_ptr<Shard>>& shards_;
 };
 
 }  // namespace
 
+const EntrySource& DistributedDirectory::estimation_source() {
+  if (fleet_source_ == nullptr) {
+    fleet_source_ = std::make_unique<FleetSource>(shards_);
+  }
+  return *fleet_source_;
+}
+
 Result<std::vector<std::vector<Entry>>> DistributedDirectory::EvaluateBatch(
     const std::vector<QueryPtr>& queries, size_t cache_capacity_pages) {
-  FleetSource fleet(servers_);
+  const EntrySource& fleet = estimation_source();
   std::vector<QueryPtr> canon;
   canon.reserve(queries.size());
   for (const QueryPtr& q : queries) {
@@ -619,21 +840,24 @@ Result<std::vector<std::vector<Entry>>> DistributedDirectory::EvaluateBatch(
   PlanCensus census = AnalyzeBatch(canon);
   SharedOperands shared{census.SharedKeys()};
   OperandCache cache(coordinator_disk_.get(), cache_capacity_pages);
-  batch_cache_ = &cache;
-  batch_shared_ = &shared;
   std::vector<std::vector<Entry>> results;
   results.reserve(canon.size());
   Status failed;
+  std::vector<DegradationWarning> warnings;
   for (const QueryPtr& q : canon) {
-    Result<std::vector<Entry>> r = Evaluate(*q);
+    Result<std::vector<Entry>> r =
+        Execute(*q, nullptr, &warnings, &cache, &shared);
     if (!r.ok()) {
       failed = r.status();
       break;
     }
     results.push_back(r.TakeValue());
   }
-  batch_cache_ = nullptr;
-  batch_shared_ = nullptr;
+  {
+    // Legacy contract: last_warnings reflects the batch's final query.
+    std::lock_guard<std::mutex> lock(warnings_->mu);
+    warnings_->warnings = std::move(warnings);
+  }
   // `cache` now clears itself, returning its pages to the coordinator.
   NDQ_RETURN_IF_ERROR(failed);
   return results;
@@ -643,6 +867,18 @@ std::vector<DegradationWarning> DistributedDirectory::last_warnings()
     const {
   std::lock_guard<std::mutex> lock(warnings_->mu);
   return warnings_->warnings;
+}
+
+std::map<std::string, uint64_t> DistributedDirectory::ReplicaFailovers()
+    const {
+  std::map<std::string, uint64_t> out;
+  for (const auto& shard : shards_) {
+    for (const auto& r : shard->replicas_) {
+      uint64_t n = r->failovers();
+      if (n > 0) out[r->name()] = n;
+    }
+  }
+  return out;
 }
 
 void DistributedDirectory::set_parallelism(size_t n) {
@@ -656,7 +892,12 @@ void DistributedDirectory::set_parallelism(size_t n) {
 void DistributedDirectory::ResetStats() {
   net_.Reset();
   coordinator_disk_->ResetStats();
-  for (auto& s : servers_) s->disk()->ResetStats();
+  for (const auto& shard : shards_) {
+    for (const auto& r : shard->replicas_) {
+      r->disk()->ResetStats();
+      r->failovers_.store(0, std::memory_order_relaxed);
+    }
+  }
 }
 
 }  // namespace ndq

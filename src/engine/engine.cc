@@ -20,6 +20,9 @@ namespace internal {
 struct TicketState {
   QueryPtr plan;
   std::shared_ptr<const SharedOperands> shared;
+  /// Distributed batches: the batch's coordinator-side operand cache,
+  /// kept alive by the tickets that share it.
+  std::shared_ptr<OperandCache> dist_cache;
   OptimizeStats opt;  ///< what the optimizer did to `plan`
 
   mutable std::mutex mu;
@@ -113,18 +116,34 @@ class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
     br.stats.shared_occurrences = census.TotalOccurrences();
     OperandCache* cache = engine_->cache();
     std::shared_ptr<const SharedOperands> shared;
+    std::shared_ptr<OperandCache> dist_cache;
     OperandCacheStats before;
-    if (cache != nullptr && !census.shared.empty()) {
-      before = cache->stats();
-      shared = std::make_shared<const SharedOperands>(
-          SharedOperands{census.SharedKeys()});
-      engine_->PrecomputeShared(census.maximal, shared);
+    if (!census.shared.empty()) {
+      if (engine_->fleet() != nullptr) {
+        // Distributed: sharing happens at the coordinator. No precompute
+        // pass — the local evaluator cannot reach the fleet; instead the
+        // first query to need a shared sub-plan ships it and publishes
+        // the shipped list to this per-batch cache, and every later
+        // occurrence is a coordinator-local copy.
+        if (engine_->options().cache_capacity_pages > 0) {
+          shared = std::make_shared<const SharedOperands>(
+              SharedOperands{census.SharedKeys()});
+          dist_cache = std::make_shared<OperandCache>(
+              engine_->fleet()->coordinator_disk(),
+              engine_->options().cache_capacity_pages);
+        }
+      } else if (cache != nullptr) {
+        before = cache->stats();
+        shared = std::make_shared<const SharedOperands>(
+            SharedOperands{census.SharedKeys()});
+        engine_->PrecomputeShared(census.maximal, shared);
+      }
     }
 
     std::vector<QueryTicket> tickets(parsed.size());
     for (size_t i = 0; i < parsed.size(); ++i) {
       if (!parsed[i].ok()) continue;
-      tickets[i] = SubmitCanonical(canon[i], shared, opts[i]);
+      tickets[i] = SubmitCanonical(canon[i], shared, opts[i], dist_cache);
     }
     for (size_t i = 0; i < parsed.size(); ++i) {
       if (!parsed[i].ok()) {
@@ -139,8 +158,9 @@ class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
         }
       }
     }
-    if (cache != nullptr && shared != nullptr) {
-      OperandCacheStats after = cache->stats();
+    if (shared != nullptr) {
+      OperandCacheStats after =
+          dist_cache != nullptr ? dist_cache->stats() : cache->stats();
       br.stats.cache_hits = after.hits - before.hits;
       br.stats.cache_misses = after.misses - before.misses;
     }
@@ -173,7 +193,9 @@ class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
   /// Admission + enqueue of an already-canonical, already-optimized plan.
   QueryTicket SubmitCanonical(QueryPtr plan,
                               std::shared_ptr<const SharedOperands> shared,
-                              const OptimizeStats& opt = {}) {
+                              const OptimizeStats& opt = {},
+                              std::shared_ptr<OperandCache> dist_cache =
+                                  nullptr) {
     double est = EstimateCost(*engine_->PinStore(), *plan).TotalPages();
     uint64_t budget = options_.per_query_page_budget ==
                               SessionOptions::kInheritBudget
@@ -192,6 +214,7 @@ class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
     auto state = std::make_shared<TicketState>();
     state->plan = std::move(plan);
     state->shared = std::move(shared);
+    state->dist_cache = std::move(dist_cache);
     state->opt = opt;
     bool dispatch = false;
     {
@@ -234,8 +257,8 @@ class SessionImpl : public std::enable_shared_from_this<SessionImpl> {
   /// One dispatched task: evaluate, deliver, pull the next waiting query.
   void Chain(std::shared_ptr<TicketState> state) {
     while (state != nullptr) {
-      QueryOutcome out =
-          engine_->ExecuteQuery(state->plan, state->shared.get());
+      QueryOutcome out = engine_->ExecuteQuery(
+          state->plan, state->shared.get(), state->dist_cache.get());
       out.optimizer = state->opt;
       out.trace.plan_rewrites = state->opt.Total();
       state->Complete(std::move(out));
@@ -469,6 +492,69 @@ Engine::Engine(Disk* scratch, const EntrySource* store,
   Init();
 }
 
+namespace {
+
+/// Stand-in store for an engine whose build failed: planning over it is
+/// harmless (everything estimates to zero) and evaluation never happens —
+/// ExecuteQuery short-circuits on init_status() first.
+class NullSource : public EntrySource {
+ public:
+  Status ScanRange(std::string_view, std::string_view,
+                   const std::function<Status(std::string_view)>&)
+      const override {
+    return Status::Internal("engine failed to initialize");
+  }
+  uint64_t num_entries() const override { return 0; }
+  uint64_t EstimateRangeRecords(std::string_view,
+                                std::string_view) const override {
+    return 0;
+  }
+  uint64_t EstimateRangePages(std::string_view,
+                              std::string_view) const override {
+    return 0;
+  }
+};
+
+}  // namespace
+
+Engine::Engine(const DirectoryInstance& global, EngineOptions options)
+    : options_(std::move(options)) {
+  if (options_.backend == EngineBackend::kDistributed) {
+    Result<DistributedDirectory> built =
+        DistributedDirectory::Build(global, options_.topology);
+    if (built.ok()) {
+      fleet_ = std::make_unique<DistributedDirectory>(built.TakeValue());
+      scratch_ = fleet_->coordinator_disk();
+      store_ = &fleet_->estimation_source();
+    } else {
+      init_status_ = built.status();
+    }
+  } else {
+    owned_data_disk_ = MakeOwnedDisk(options_, "data");
+    owned_scratch_ = MakeOwnedDisk(options_, "scratch");
+    Result<EntryStore> loaded =
+        EntryStore::BulkLoad(owned_data_disk_.get(), global);
+    if (loaded.ok()) {
+      owned_entry_store_ =
+          std::make_unique<EntryStore>(loaded.TakeValue());
+      scratch_ = owned_scratch_.get();
+      data_disk_ = owned_data_disk_.get();
+      store_ = owned_entry_store_.get();
+    } else {
+      init_status_ = loaded.status();
+    }
+  }
+  if (!init_status_.ok()) {
+    if (owned_scratch_ == nullptr) {
+      owned_scratch_ = std::make_unique<SimDisk>(options_.page_size);
+    }
+    null_source_ = std::make_unique<NullSource>();
+    scratch_ = owned_scratch_.get();
+    store_ = null_source_.get();
+  }
+  Init();
+}
+
 void Engine::Init() {
   // $NDQ_OPTIMIZE=on|off (also 1|0) overrides the constructed default,
   // mirroring $NDQ_DISK_BACKEND — CI's lever for running the whole suite
@@ -514,6 +600,9 @@ void Engine::RebuildPoolLocked(size_t parallelism) {
   group_.reset();
   pool_.reset();
   options_.exec.parallelism = parallelism;
+  // The fleet fans out across shards with the same degree; its pool is
+  // its own (shard fetches must not deadlock against session dispatch).
+  if (fleet_ != nullptr) fleet_->set_parallelism(parallelism);
   // A session thread blocks on its ticket instead of helping the pool
   // (unlike a direct ParallelEvaluator caller), so delivering
   // `parallelism` concurrent evaluation threads takes that many WORKERS —
@@ -594,6 +683,11 @@ IndexHook Engine::MakeIndexHook() const {
 }
 
 Status Engine::BuildIndexes(const IndexSpec& spec) {
+  if (fleet_ != nullptr) {
+    return Status::InvalidArgument(
+        "distributed engines have no coordinator-local segment to index; "
+        "indexes live on the shards");
+  }
   const auto* entry_store = dynamic_cast<const EntryStore*>(store_);
   if (entry_store == nullptr) {
     return Status::InvalidArgument(
@@ -620,6 +714,11 @@ void Engine::SetIoDepth(size_t n) {
   if (data_disk_ != nullptr && data_disk_ != scratch_) {
     data_disk_->SetIoDepth(n);
   }
+  if (fleet_ != nullptr) {
+    for (DirectoryServer* server : fleet_->servers()) {
+      server->disk()->SetIoDepth(n);
+    }
+  }
   options_.io_depth = n;
 }
 
@@ -642,6 +741,13 @@ std::shared_ptr<const EntrySource> Engine::PinStore() const {
 
 UpdateResult Engine::ApplyUpdates(const UpdateBatch& batch) {
   UpdateResult res;
+  if (fleet_ != nullptr) {
+    res.status = Status::InvalidArgument(
+        "distributed engines are read-only: the fleet's replicas are "
+        "bulk-loaded copies of one instance; rebuild the engine to change "
+        "the data");
+    return res;
+  }
   if (owned_store_ == nullptr) {
     res.status = Status::InvalidArgument(
         "engine has no mutable store (borrowing mode); mutate the "
@@ -692,6 +798,11 @@ EvalStats Engine::eval_stats() const {
 void Engine::AttachInjector(FaultInjector* injector) {
   scratch_->set_fault_injector(injector);
   if (data_disk_ != nullptr) data_disk_->set_fault_injector(injector);
+  if (fleet_ != nullptr) {
+    for (DirectoryServer* server : fleet_->servers()) {
+      server->disk()->set_fault_injector(injector);
+    }
+  }
 }
 
 void Engine::Dispatch(std::function<void()> body) {
@@ -713,10 +824,25 @@ void Engine::Dispatch(std::function<void()> body) {
 }
 
 QueryOutcome Engine::ExecuteQuery(const QueryPtr& plan,
-                                  const SharedOperands* shared) {
+                                  const SharedOperands* shared,
+                                  OperandCache* dist_cache) {
   QueryOutcome out;
   out.plan = plan;
+  if (!init_status_.ok()) {
+    out.status = init_status_;
+    return out;
+  }
   out.estimated_pages = EstimateCost(*PinStore(), *plan).TotalPages();
+  if (fleet_ != nullptr) {
+    Result<std::vector<Entry>> r =
+        fleet_->Execute(*plan, &out.trace, &out.warnings, dist_cache, shared);
+    if (!r.ok()) {
+      out.status = r.status();
+      return out;
+    }
+    out.entries = r.TakeValue();
+    return out;
+  }
   Result<std::vector<Entry>> r =
       evaluator_->EvaluateToEntries(*plan, &out.trace, shared);
   out.trace.io_depth = scratch_->io_depth();

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "core/degradation.h"
+#include "dist/distributed.h"
 #include "exec/parallel_evaluator.h"
 #include "index/attr_index.h"
 #include "query/optimize.h"
@@ -51,11 +52,31 @@
 
 namespace ndq {
 
+/// What serves the entries behind an engine built from a
+/// DirectoryInstance. Sessions are backend-agnostic: Submit/Run/RunBatch
+/// behave identically either way (same plans, same results); only the
+/// execution substrate — and the failure modes it can absorb — changes.
+enum class EngineBackend {
+  /// One bulk-loaded store + scratch disk in this process (default).
+  kLocal,
+  /// A fleet of replicated subtree shards plus a coordinator
+  /// (dist/distributed.h), laid out by EngineOptions::topology. Queries
+  /// scatter to the owning shards, fail over across replicas, and
+  /// stream-merge at the coordinator.
+  kDistributed,
+};
+
 /// Engine-wide configuration. Everything here is a default the engine is
 /// constructed with; parallelism, fault policy and the page budget can be
 /// changed later through the Set* methods (the changes survive across
 /// queries — they are engine state, not per-call arguments).
 struct EngineOptions {
+  /// Execution substrate of the DirectoryInstance constructor; the other
+  /// constructors are inherently local and ignore this.
+  EngineBackend backend = EngineBackend::kLocal;
+  /// Shard layout when backend == kDistributed (dist/topology.h). Its
+  /// page_size governs the fleet's disks.
+  TopologyConfig topology;
   /// Page size of engine-owned disks (schema-owning constructor only).
   size_t page_size = kDefaultPageSize;
   /// Backend of engine-owned disks (schema-owning constructor only):
@@ -297,6 +318,15 @@ class Engine {
   Engine(Disk* scratch, const EntrySource* store,
          EngineOptions options = {}, Disk* data_disk = nullptr);
 
+  /// Backend-selecting mode: loads `global` behind options.backend.
+  /// kLocal bulk-loads one engine-owned EntryStore (read-only);
+  /// kDistributed partitions `global` across options.topology's
+  /// replicated shards and evaluates every query through the fleet —
+  /// Sessions, admission, EXPLAIN ANALYZE and batch sharing all work
+  /// unchanged. A failed build does not throw: init_status() carries the
+  /// error and every submitted query completes with it.
+  Engine(const DirectoryInstance& global, EngineOptions options = {});
+
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -358,6 +388,14 @@ class Engine {
   void Drain();
 
   const EngineOptions& options() const { return options_; }
+  /// OK, or why the DirectoryInstance constructor's build failed (bad
+  /// topology, uncovered entries, bulk-load failure). Queries submitted
+  /// to a failed engine complete gracefully with this status.
+  const Status& init_status() const { return init_status_; }
+  /// The shard fleet, or nullptr for local backends. For stats and fault
+  /// injection (net_stats, ReplicaFailovers, set_down); evaluate through
+  /// Sessions, not DistributedDirectory::Evaluate.
+  DistributedDirectory* fleet() { return fleet_.get(); }
   const EntrySource& store() const { return *store_; }
   /// The engine-owned mutable store, or nullptr in borrowing mode.
   DirectoryStore* mutable_store() { return owned_store_.get(); }
@@ -385,9 +423,11 @@ class Engine {
   void Dispatch(std::function<void()> body);
 
   /// Evaluates one canonical plan (filling entries/trace/estimate).
-  /// `shared` may be null. Runs on the dispatching task's thread.
-  QueryOutcome ExecuteQuery(const QueryPtr& plan,
-                            const SharedOperands* shared);
+  /// `shared` may be null. `dist_cache` (null outside distributed
+  /// batches) is the batch's coordinator-side operand cache. Runs on the
+  /// dispatching task's thread.
+  QueryOutcome ExecuteQuery(const QueryPtr& plan, const SharedOperands* shared,
+                            OperandCache* dist_cache = nullptr);
 
   /// Materializes each plan in `roots` once, publishing it (and any
   /// nested shared subtree) to the operand cache; failures are absorbed
@@ -416,6 +456,15 @@ class Engine {
   std::unique_ptr<Disk> owned_data_disk_;
   std::unique_ptr<Disk> owned_scratch_;
   std::unique_ptr<DirectoryStore> owned_store_;
+  // DirectoryInstance constructor, kLocal: the bulk-loaded segment.
+  std::unique_ptr<EntryStore> owned_entry_store_;
+  // DirectoryInstance constructor, kDistributed: the shard fleet. Its
+  // coordinator disk doubles as the engine's scratch.
+  std::unique_ptr<DistributedDirectory> fleet_;
+  // Stand-in store after a failed build, so planning never dereferences
+  // null; init_status_ fails the queries themselves.
+  std::unique_ptr<EntrySource> null_source_;
+  Status init_status_;
 
   Disk* scratch_ = nullptr;
   Disk* data_disk_ = nullptr;  // may be null in borrowing mode

@@ -231,6 +231,7 @@ void ExplainAnalyzeNode(const EntrySource& store, const Query& q,
   AppendIfNonZero(out, "cache_misses", t.cache_misses);
   AppendIfNonZero(out, "faults", self.faults_injected);
   AppendIfNonZero(out, "retries", t.retries);
+  AppendIfNonZero(out, "failovers", t.failovers);
   AppendIfNonZero(out, "degraded", t.degraded_shards);
   AppendIfNonZero(out, "worker", t.worker);
   // Async I/O fields; all zero (hence absent) under synchronous reads.

@@ -56,6 +56,7 @@ void RenderNode(const OpTrace& t, int depth, std::string* out) {
   AppendCounter(out, "cache_misses", t.cache_misses, /*always=*/false);
   AppendCounter(out, "faults", self.faults_injected, /*always=*/false);
   AppendCounter(out, "retries", t.retries, /*always=*/false);
+  AppendCounter(out, "failovers", t.failovers, /*always=*/false);
   AppendCounter(out, "degraded", t.degraded_shards, /*always=*/false);
   AppendCounter(out, "worker", t.worker, /*always=*/false);
   // Async-only fields: absent from synchronous traces (and their goldens).

@@ -68,6 +68,10 @@ struct OpTrace {
   /// degraded instead of failing; see NetStats::last_warnings).
   uint64_t retries = 0;
   uint64_t degraded_shards = 0;
+  /// Distributed atomic nodes: times a shard-level request abandoned one
+  /// replica for a sibling (refusals by down replicas and exhausted
+  /// retries both count; see NetStats::failovers).
+  uint64_t failovers = 0;
   /// Atomic leaves: 1 when the leaf was answered by an attribute-index
   /// probe (index/attr_index.h via the engine's index hook) instead of
   /// the range scan.

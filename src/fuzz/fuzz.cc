@@ -569,32 +569,36 @@ std::vector<CheckFailure> CheckCase(const DirectoryInstance& instance,
     }
   }
 
-  // Distributed oracles.
+  // Distributed oracles, against a REPLICATED topology (two replicas per
+  // shard) so the replica routing and failover paths get fuzzed too.
   std::vector<std::pair<std::string, std::string>> contexts =
       MakeContexts(instance);
   if (options.with_distributed && !contexts.empty()) {
+    TopologyConfig topology =
+        TopologyConfig::FromContexts(contexts, kFuzzPageSize);
+    topology.replicas = 2;
     Result<DistributedDirectory> fleet =
-        DistributedDirectory::Build(instance, contexts, kFuzzPageSize);
+        DistributedDirectory::Build(instance, topology);
     ++local_checks;
     if (!fleet.ok()) {
       fail("dist", "Build failed: " + fleet.status().ToString());
     } else {
       fleet->set_allow_degraded(false);
-      check_entries("dist", fleet->Evaluate(*query));
+      check_entries("dist", fleet->Execute(*query));
     }
 
     if (options.with_faults) {
       Result<DistributedDirectory> faulty =
-          DistributedDirectory::Build(instance, contexts, kFuzzPageSize);
+          DistributedDirectory::Build(instance, topology);
       ++local_checks;
       if (!faulty.ok()) {
         fail("dist-fault", "Build failed: " + faulty.status().ToString());
       } else {
         faulty->set_allow_degraded(false);
-        // One seeded transient fault per server disk, injected after the
+        // One seeded transient fault per replica disk, injected after the
         // stores are built so only evaluation-time I/O can fail. The
-        // retry policy must absorb every one-shot fault: any divergence
-        // or error here is a recovery bug.
+        // retry/failover machinery must absorb every one-shot fault: any
+        // divergence or error here is a recovery bug.
         std::vector<std::unique_ptr<FaultInjector>> injectors;
         size_t si = 0;
         for (const auto& server : faulty->servers()) {
@@ -605,7 +609,18 @@ std::vector<CheckFailure> CheckCase(const DirectoryInstance& instance,
           injectors.push_back(std::move(inj));
           ++si;
         }
-        check_entries("dist-fault", faulty->Evaluate(*query));
+        // Additionally take one whole replica down per shard (seeded
+        // choice) — results must still be exact via failover.
+        size_t shard_i = 0;
+        for (const auto& shard : faulty->shards()) {
+          if (shard->num_replicas() > 1) {
+            size_t down = CaseSeed(case_seed, 2000 + shard_i) %
+                          shard->num_replicas();
+            shard->replica(down)->set_down(true);
+          }
+          ++shard_i;
+        }
+        check_entries("dist-fault", faulty->Execute(*query));
         for (const auto& server : faulty->servers()) {
           server->disk()->set_fault_injector(nullptr);
         }

@@ -1,5 +1,9 @@
 #include "dist/distributed.h"
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "gen/dif_gen.h"
@@ -36,8 +40,9 @@ TEST(DistributedTest, PartitionByDeepestContext) {
 
 TEST(DistributedTest, UncoveredEntryRejected) {
   DirectoryInstance inst = testing::PaperInstance();
-  Result<DistributedDirectory> r = DistributedDirectory::Build(
-      inst, {{"dc=att, dc=com", "only-att"}});
+  std::vector<std::pair<std::string, std::string>> contexts = {
+      {"dc=att, dc=com", "only-att"}};
+  Result<DistributedDirectory> r = DistributedDirectory::Build(inst, contexts);
   EXPECT_FALSE(r.ok());  // dc=com itself is uncovered
 }
 

@@ -1,0 +1,349 @@
+// Scale-out sharding (ISSUE 10): the declarative TopologyConfig text
+// form, routing across nested delegations at shard boundaries, replica
+// failover byte-identity against a healthy fleet, and the streaming
+// scatter-gather merge against its materialized predecessor.
+
+#include "dist/topology.h"
+
+#include <atomic>
+#include <chrono>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/distributed.h"
+#include "gen/dif_gen.h"
+#include "query/parser.h"
+#include "query/reference.h"
+#include "storage/fault_injector.h"
+#include "testing/paper_fixture.h"
+
+namespace ndq {
+namespace {
+
+using testing::D;
+
+TEST(TopologyConfigTest, ParseDirectivesAndOverrides) {
+  TopologyConfig cfg =
+      TopologyConfig::Parse(
+          "# the paper fixture's Figure 1 split, replicated\n"
+          "replicas 2\n"
+          "page_size 512\n"
+          "\n"
+          "shard root dc=com\n"
+          "shard research replicas=3 dc=research, dc=att, dc=com\n")
+          .TakeValue();
+  EXPECT_EQ(cfg.replicas, 2u);
+  EXPECT_EQ(cfg.page_size, 512u);
+  ASSERT_EQ(cfg.shards.size(), 2u);
+  EXPECT_EQ(cfg.shards[0].name, "root");
+  EXPECT_EQ(cfg.shards[0].context, "dc=com");
+  EXPECT_EQ(cfg.shards[1].context, "dc=research, dc=att, dc=com");
+  EXPECT_EQ(cfg.ReplicasFor(0), 2u);  // inherits the default
+  EXPECT_EQ(cfg.ReplicasFor(1), 3u);  // per-shard override
+}
+
+TEST(TopologyConfigTest, ToStringRoundTrips) {
+  TopologyConfig cfg =
+      TopologyConfig::Parse(
+          "replicas 2\n"
+          "shard root dc=com\n"
+          "shard att replicas=1 dc=att, dc=com\n")
+          .TakeValue();
+  TopologyConfig again = TopologyConfig::Parse(cfg.ToString()).TakeValue();
+  EXPECT_EQ(again.ToString(), cfg.ToString());
+  EXPECT_EQ(again.shards.size(), cfg.shards.size());
+  EXPECT_EQ(again.replicas, cfg.replicas);
+  EXPECT_EQ(again.page_size, cfg.page_size);
+}
+
+TEST(TopologyConfigTest, ParseRejectsBadInput) {
+  EXPECT_FALSE(TopologyConfig::Parse("bogus 3\n").ok());
+  EXPECT_FALSE(TopologyConfig::Parse("replicas 0\nshard a dc=com\n").ok());
+  EXPECT_FALSE(TopologyConfig::Parse("shard a\n").ok());  // no context dn
+  EXPECT_FALSE(TopologyConfig::Parse("").ok());           // no shards
+  // Duplicate names and unparseable dns surface when the routing table
+  // resolves (i.e. at Build).
+  TopologyConfig dup =
+      TopologyConfig::Parse("shard a dc=com\nshard a dc=att, dc=com\n")
+          .TakeValue();
+  EXPECT_FALSE(RoutingTable::Resolve(dup).ok());
+  TopologyConfig bad_dn =
+      TopologyConfig::Parse("shard a ?!not-a-dn\n").TakeValue();
+  EXPECT_FALSE(RoutingTable::Resolve(bad_dn).ok());
+}
+
+// A three-level delegation chain: root owns dc=com, org0 is delegated out
+// of root, sub0 is delegated out of org0. Routing must chase the chain
+// exactly as a DNS resolver would.
+DistributedDirectory NestedFleet(const DirectoryInstance& global,
+                                 size_t replicas = 1) {
+  TopologyConfig cfg =
+      TopologyConfig::Parse(
+          "shard root dc=com\n"
+          "shard org0 dc=org0, dc=com\n"
+          "shard sub0 dc=sub0, dc=org0, dc=com\n"
+          "shard org1 dc=org1, dc=com\n")
+          .TakeValue();
+  cfg.replicas = replicas;
+  return DistributedDirectory::Build(global, cfg).TakeValue();
+}
+
+DirectoryInstance SmallDif() {
+  gen::DifOptions opt;
+  opt.num_orgs = 2;
+  opt.subdomains_per_org = 2;
+  return gen::GenerateDif(opt);
+}
+
+TEST(TopologyRoutingTest, OwnersForNestedDelegations) {
+  DirectoryInstance global = SmallDif();
+  DistributedDirectory fleet = NestedFleet(global);
+
+  // Subtree at the top touches every shard, in shard order.
+  EXPECT_EQ(fleet.OwnersFor(D("dc=com"), Scope::kSub),
+            (std::vector<std::string>{"root", "org0", "sub0", "org1"}));
+  // Subtree at org0 crosses into its own nested delegation (sub0) but
+  // never into the sibling org.
+  EXPECT_EQ(fleet.OwnersFor(D("dc=org0, dc=com"), Scope::kSub),
+            (std::vector<std::string>{"org0", "sub0"}));
+  // Base scope resolves to the deepest covering context alone.
+  EXPECT_EQ(fleet.OwnersFor(D("dc=sub0, dc=org0, dc=com"), Scope::kBase),
+            (std::vector<std::string>{"sub0"}));
+  EXPECT_EQ(fleet.OwnersFor(D("dc=org0, dc=com"), Scope::kBase),
+            (std::vector<std::string>{"org0"}));
+  // kOne crosses exactly one boundary: org0's children include the sub0
+  // context root, and root's children include both org context roots —
+  // but never the grandchild sub0.
+  EXPECT_EQ(fleet.OwnersFor(D("dc=org0, dc=com"), Scope::kOne),
+            (std::vector<std::string>{"org0", "sub0"}));
+  EXPECT_EQ(fleet.OwnersFor(D("dc=com"), Scope::kOne),
+            (std::vector<std::string>{"root", "org0", "org1"}));
+  // A base inside a delegate's subtree never routes to the parent shard.
+  EXPECT_EQ(fleet.OwnersFor(D("ou=subscribers, dc=sub0, dc=org0, dc=com"),
+                            Scope::kSub),
+            (std::vector<std::string>{"sub0"}));
+}
+
+TEST(TopologyRoutingTest, PartitionRespectsNestedBoundaries) {
+  DirectoryInstance global = SmallDif();
+  DistributedDirectory fleet = NestedFleet(global, /*replicas=*/2);
+  size_t total = 0;
+  for (const auto& shard : fleet.shards()) {
+    EXPECT_EQ(shard->num_replicas(), 2u);
+    // Replicas hold identical partitions.
+    EXPECT_EQ(shard->replica(0)->num_entries(),
+              shard->replica(1)->num_entries());
+    total += shard->num_entries();
+  }
+  EXPECT_EQ(total, global.size());
+  // sub0's entries live on sub0, not on org0 (the delegation carved them
+  // out of the parent context).
+  Shard* org0 = fleet.FindShard("org0");
+  Shard* sub0 = fleet.FindShard("sub0");
+  ASSERT_NE(org0, nullptr);
+  ASSERT_NE(sub0, nullptr);
+  EXPECT_GT(sub0->num_entries(), 0u);
+  std::vector<const Entry*> under_sub0 =
+      global.EntriesInScope(D("dc=sub0, dc=org0, dc=com"), Scope::kSub);
+  EXPECT_EQ(sub0->num_entries(), under_sub0.size());
+}
+
+const char* kWorkload[] = {
+    "(dc=com ? sub ? objectClass=TOPSSubscriber)",
+    "(dc=sub0, dc=org0, dc=com ? sub ? objectClass=QHP)",
+    "(c (dc=com ? sub ? objectClass=TOPSSubscriber)"
+    "   (dc=com ? sub ? objectClass=QHP) count($2)>=3)",
+    "(vd (dc=com ? sub ? objectClass=SLAPolicyRules)"
+    "    (& (dc=com ? sub ? sourcePort=25)"
+    "       (dc=com ? sub ? objectClass=trafficProfile)) SLATPRef)",
+};
+
+RetryPolicy FastRetries() {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.backoff_micros = 0;
+  return p;
+}
+
+// With R=2, any single replica down per shard must be invisible: the
+// sibling serves the identical partition, so results are byte-identical
+// to the healthy fleet, nothing degrades, and the failover counters show
+// the rerouting actually happened.
+TEST(ReplicationTest, SingleReplicaDownIsByteIdentical) {
+  DirectoryInstance global = SmallDif();
+  DistributedDirectory fleet = NestedFleet(global, /*replicas=*/2);
+  fleet.set_retry_policy(FastRetries());
+
+  std::vector<std::vector<Entry>> healthy;
+  for (const char* text : kWorkload) {
+    QueryPtr q = ParseQuery(text).TakeValue();
+    healthy.push_back(fleet.Execute(*q).TakeValue());
+  }
+
+  for (size_t down = 0; down < 2; ++down) {
+    SCOPED_TRACE("replica " + std::to_string(down) + " down");
+    for (const auto& shard : fleet.shards()) {
+      shard->replica(down)->set_down(true);
+    }
+    fleet.ResetStats();
+    for (size_t i = 0; i < std::size(kWorkload); ++i) {
+      SCOPED_TRACE(kWorkload[i]);
+      QueryPtr q = ParseQuery(kWorkload[i]).TakeValue();
+      std::vector<DegradationWarning> warnings;
+      Result<std::vector<Entry>> got =
+          fleet.Execute(*q, /*trace=*/nullptr, &warnings);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(*got, healthy[i]);
+      EXPECT_TRUE(warnings.empty());
+    }
+    EXPECT_EQ(uint64_t{fleet.net_stats().degraded_results}, 0u);
+    // The ring walk moved every request addressed to the downed replica.
+    EXPECT_GT(uint64_t{fleet.net_stats().failovers}, 0u);
+    EXPECT_FALSE(fleet.ReplicaFailovers().empty());
+    for (const auto& shard : fleet.shards()) {
+      shard->replica(down)->set_down(false);
+    }
+  }
+}
+
+// Both replicas down -> the shard's contribution degrades (or fails
+// under fail-stop); this is the boundary the replication moved, from one
+// server to the whole replica set.
+TEST(ReplicationTest, WholeReplicaSetDownDegrades) {
+  DirectoryInstance global = SmallDif();
+  DistributedDirectory fleet = NestedFleet(global, /*replicas=*/2);
+  fleet.set_retry_policy(FastRetries());
+  Shard* sub0 = fleet.FindShard("sub0");
+  ASSERT_NE(sub0, nullptr);
+  sub0->replica(0)->set_down(true);
+  sub0->replica(1)->set_down(true);
+
+  QueryPtr q = ParseQuery(kWorkload[0]).TakeValue();
+  std::vector<DegradationWarning> warnings;
+  OpTrace trace;
+  Result<std::vector<Entry>> got = fleet.Execute(*q, &trace, &warnings);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].source, "sub0");
+  EXPECT_GE(trace.degraded_shards, 1u);
+
+  fleet.set_allow_degraded(false);
+  Result<std::vector<Entry>> failed = fleet.Execute(*q);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+}
+
+// The streaming k-way merge and the materialize-then-merge predecessor
+// must agree byte-for-byte on every query; only coordinator I/O differs.
+TEST(MergeTest, StreamingEqualsMaterialized) {
+  DirectoryInstance global = SmallDif();
+  DistributedDirectory fleet = NestedFleet(global, /*replicas=*/2);
+  for (const char* text : kWorkload) {
+    SCOPED_TRACE(text);
+    QueryPtr q = ParseQuery(text).TakeValue();
+    fleet.set_streaming_merge(false);
+    std::vector<Entry> materialized = fleet.Execute(*q).TakeValue();
+    fleet.set_streaming_merge(true);
+    std::vector<Entry> streamed = fleet.Execute(*q).TakeValue();
+    EXPECT_EQ(streamed, materialized);
+    std::vector<const Entry*> ref = EvaluateReference(*q, global).TakeValue();
+    ASSERT_EQ(streamed.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(streamed[i], *ref[i]);
+  }
+}
+
+// A transient read fault can land anywhere: during the shard fetch (the
+// retry path) or while the coordinator is consuming the shard's stream
+// mid-merge (the refetch-and-skip path). Sweep the fault position; with
+// fail-stop semantics every run must still be exact.
+TEST(MergeTest, TransientReadFaultAnywhereStaysExact) {
+  DirectoryInstance global = SmallDif();
+  DistributedDirectory fleet = NestedFleet(global, /*replicas=*/2);
+  fleet.set_retry_policy(FastRetries());
+  fleet.set_allow_degraded(false);
+
+  QueryPtr q = ParseQuery(kWorkload[0]).TakeValue();
+  std::vector<Entry> want = fleet.Execute(*q).TakeValue();
+
+  for (size_t victim = 0; victim < 2; ++victim) {
+    DirectoryServer* replica = fleet.FindShard("org0")->replica(victim);
+    for (uint64_t nth = 1; nth <= 20; ++nth) {
+      SCOPED_TRACE("replica " + std::to_string(victim) + " fault at read " +
+                   std::to_string(nth));
+      FaultInjector fi(
+          {FaultInjector::FailNth(nth, FaultOpBit(FaultOp::kRead))});
+      replica->disk()->set_fault_injector(&fi);
+      Result<std::vector<Entry>> got = fleet.Execute(*q);
+      replica->disk()->set_fault_injector(nullptr);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(*got, want);
+    }
+  }
+}
+
+// Concurrent Executes racing replica outages: every call must still be
+// byte-identical (the sibling replica absorbs the outage). This is the
+// TSan target for the failover machinery.
+TEST(ReplicationTest, ConcurrentExecuteDuringOutages) {
+  DirectoryInstance global = SmallDif();
+  DistributedDirectory fleet = NestedFleet(global, /*replicas=*/2);
+  fleet.set_retry_policy(FastRetries());
+
+  QueryPtr q = ParseQuery(kWorkload[0]).TakeValue();
+  std::vector<Entry> want = fleet.Execute(*q).TakeValue();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 8; ++i) {
+        QueryPtr local = ParseQuery(kWorkload[0]).TakeValue();
+        std::vector<DegradationWarning> warnings;
+        Result<std::vector<Entry>> got =
+            fleet.Execute(*local, nullptr, &warnings);
+        if (!got.ok() || *got != want || !warnings.empty()) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread chaos([&] {
+    while (!stop.load()) {
+      for (const auto& shard : fleet.shards()) {
+        shard->replica(0)->set_down(true);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      for (const auto& shard : fleet.shards()) {
+        shard->replica(0)->set_down(false);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  for (std::thread& t : readers) t.join();
+  stop.store(true);
+  chaos.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// Round-robin reads spread load across the replica set: after a healthy
+// run of identical queries, every replica of a fanned-out shard has
+// served some of them.
+TEST(ReplicationTest, ReadsRoundRobinAcrossReplicas) {
+  DirectoryInstance global = SmallDif();
+  DistributedDirectory fleet = NestedFleet(global, /*replicas=*/2);
+  fleet.ResetStats();
+  QueryPtr q = ParseQuery(kWorkload[1]).TakeValue();
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(fleet.Execute(*q).ok());
+  Shard* sub0 = fleet.FindShard("sub0");
+  ASSERT_NE(sub0, nullptr);
+  EXPECT_GT(sub0->replica(0)->disk()->stats().TotalTransfers(), 0u);
+  EXPECT_GT(sub0->replica(1)->disk()->stats().TotalTransfers(), 0u);
+}
+
+}  // namespace
+}  // namespace ndq
